@@ -1,0 +1,53 @@
+//! Ablation benches for design choices the paper motivates but does not
+//! sweep exhaustively: the hysteresis counter's asymmetry and the wait
+//! period, measured both for runtime cost and (printed) quality.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsc_control::{engine, ControllerParams, EvictionMode, Revisit};
+use rsc_trace::{spec2000, InputId};
+
+fn bench_ablations(c: &mut Criterion) {
+    let events = 300_000;
+    let pop = spec2000::benchmark("mcf").unwrap().population(events);
+
+    let mut g = c.benchmark_group("ablations/hysteresis_shape");
+    for (name, up, threshold) in [
+        ("paper_+50_-1", 50u32, 1_000u32),
+        ("symmetric_+1_-1", 1, 20),
+        ("steep_+200_-1", 200, 4_000),
+    ] {
+        let params = ControllerParams {
+            eviction: EvictionMode::Counter { up, down: 1, threshold },
+            ..ControllerParams::scaled()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                engine::run_population(params, &pop, InputId::Eval, events, 1)
+                    .unwrap()
+                    .stats
+                    .incorrect
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("ablations/wait_period");
+    for (name, wait) in [("wait_5k", 5_000u64), ("wait_25k", 25_000), ("wait_100k", 100_000)] {
+        let params = ControllerParams {
+            revisit: Revisit::After(wait),
+            ..ControllerParams::scaled()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                engine::run_population(params, &pop, InputId::Eval, events, 1)
+                    .unwrap()
+                    .stats
+                    .correct
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for the Figure 2 pipeline: self-training Pareto curve,
+//! threshold knee, cross-input point, and initial-behavior points.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rsc_bench::experiments::fig2;
+use rsc_bench::options::ExpOptions;
+use rsc_profile::{initial, offline, pareto, BranchProfile};
+use rsc_trace::{spec2000, InputId};
+
+fn bench_fig2(c: &mut Criterion) {
+    let events = 300_000;
+    let pop = spec2000::benchmark("gzip").unwrap().population(events);
+
+    c.bench_function("fig2/self_training_curve", |b| {
+        b.iter_batched(
+            || BranchProfile::from_trace(pop.trace(InputId::Eval, events, 1)),
+            |profile| {
+                let curve = pareto::curve(&profile);
+                let knee = pareto::threshold_point(&profile, 0.99);
+                (curve.len(), knee)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("fig2/cross_input_experiment", |b| {
+        b.iter(|| offline::cross_input_experiment(&pop, events, 1, 0.99, 32))
+    });
+
+    c.bench_function("fig2/initial_behavior_profile", |b| {
+        b.iter(|| initial::initial_profile(pop.trace(InputId::Eval, events, 1), 1_000))
+    });
+
+    let mut slow = c.benchmark_group("fig2/full");
+    slow.sample_size(10);
+    slow.bench_function("one_benchmark_marks", |b| {
+        b.iter(|| fig2::run(&ExpOptions::small().with_events(100_000)).len())
+    });
+    slow.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for the Figure 3 analysis: block-bias series of
+//! behavior-changing branches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsc_control::analysis::blocks;
+use rsc_trace::{spec2000, InputId};
+
+fn bench_fig3(c: &mut Criterion) {
+    let events = 500_000;
+    let pop = spec2000::benchmark("gap").unwrap().population(events);
+    let ids = blocks::changing_branches(&pop, 5);
+
+    c.bench_function("fig3/changing_branch_selection", |b| {
+        b.iter(|| blocks::changing_branches(&pop, 5).len())
+    });
+
+    c.bench_function("fig3/block_bias_series", |b| {
+        b.iter(|| {
+            blocks::block_bias_series(pop.trace(InputId::Eval, events, 1), &ids, 1000)
+                .len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for the Figure 5 pipeline: reactive controller runs
+//! against the self-training reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsc_control::{engine, ControllerParams};
+use rsc_trace::{spec2000, InputId};
+
+fn bench_fig5(c: &mut Criterion) {
+    let events = 500_000;
+    let pop = spec2000::benchmark("gzip").unwrap().population(events);
+
+    let mut g = c.benchmark_group("fig5");
+    for (name, params) in [
+        ("baseline", ControllerParams::scaled()),
+        ("no_eviction", ControllerParams::scaled().without_eviction()),
+        ("no_revisit", ControllerParams::scaled().without_revisit()),
+        ("sampling_monitor", ControllerParams::scaled().with_monitor_sampling(8)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                engine::run_population(params, &pop, InputId::Eval, events, 1)
+                    .unwrap()
+                    .stats
+                    .correct
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for the Figure 6 analysis: post-eviction misprediction
+//! windows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsc_control::analysis::transition;
+use rsc_control::ControllerParams;
+use rsc_trace::{spec2000, InputId};
+
+fn bench_fig6(c: &mut Criterion) {
+    let events = 500_000;
+    let pop = spec2000::benchmark("mcf").unwrap().population(events);
+
+    c.bench_function("fig6/eviction_windows", |b| {
+        b.iter(|| {
+            transition::eviction_windows(
+                ControllerParams::scaled(),
+                pop.trace(InputId::Eval, events, 1),
+                64,
+            )
+            .unwrap()
+            .len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for the Figure 7 pipeline: closed- vs open-loop MSSP
+//! timing simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsc_control::ControllerParams;
+use rsc_mssp::{machine, MsspParams};
+use rsc_trace::{spec2000, InputId};
+
+fn bench_fig7(c: &mut Criterion) {
+    let events = 200_000;
+    let pop = spec2000::benchmark("gzip").unwrap().population(events);
+
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("superscalar_baseline", |b| {
+        b.iter(|| {
+            machine::run_baseline(
+                &pop,
+                InputId::Eval,
+                events,
+                1,
+                &MsspParams::new().machine,
+            )
+        })
+    });
+    g.bench_function("mssp_closed_loop", |b| {
+        b.iter(|| {
+            machine::run_mssp_only(&pop, InputId::Eval, events, 1, &MsspParams::new())
+                .mssp_cycles
+        })
+    });
+    g.bench_function("mssp_open_loop", |b| {
+        let params = MsspParams::new()
+            .with_controller(ControllerParams::scaled().without_eviction());
+        b.iter(|| {
+            machine::run_mssp_only(&pop, InputId::Eval, events, 1, &params).mssp_cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for the Figure 8 pipeline: MSSP under different
+//! re-optimization latencies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsc_control::ControllerParams;
+use rsc_mssp::{machine, MsspParams};
+use rsc_trace::{spec2000, InputId};
+
+fn bench_fig8(c: &mut Criterion) {
+    let events = 200_000;
+    let pop = spec2000::benchmark("twolf").unwrap().population(events);
+
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    for lat in [0u64, 10_000, 100_000] {
+        let params = MsspParams::new()
+            .with_controller(ControllerParams::scaled().with_latency(lat));
+        g.bench_function(format!("latency_{lat}"), |b| {
+            b.iter(|| {
+                machine::run_mssp_only(&pop, InputId::Eval, events, 1, &params)
+                    .mssp_cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for the Figure 9 analysis: biased-interval extraction
+//! and correlation clustering on vortex.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rsc_control::analysis::intervals;
+use rsc_control::{engine, ControllerParams};
+use rsc_trace::{spec2000, InputId};
+
+fn bench_fig9(c: &mut Criterion) {
+    let events = 500_000;
+    let pop = spec2000::benchmark("vortex").unwrap().population(events);
+    let run = engine::run_population(
+        ControllerParams::scaled(),
+        &pop,
+        InputId::Eval,
+        events,
+        1,
+    )
+    .unwrap();
+
+    c.bench_function("fig9/interval_extraction", |b| {
+        b.iter(|| intervals::biased_intervals(&run.transitions, events).len())
+    });
+
+    let ivs = intervals::biased_intervals(&run.transitions, events);
+    c.bench_function("fig9/correlation_clustering", |b| {
+        b.iter_batched(
+            || intervals::flipping_branches(&ivs, events),
+            |flipping| intervals::correlated_clusters(&flipping, events / 50).len(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the substrates: trace generation throughput,
+//! controller observe throughput, cache and predictor operations.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rsc_control::{ControllerParams, ReactiveController};
+use rsc_mssp::cache::Cache;
+use rsc_mssp::predictor::Gshare;
+use rsc_trace::{spec2000, InputId};
+
+fn bench_substrates(c: &mut Criterion) {
+    let events = 1_000_000;
+    let pop = spec2000::benchmark("gcc").unwrap().population(events);
+
+    let mut g = c.benchmark_group("substrates");
+    g.throughput(Throughput::Elements(events));
+    g.sample_size(10);
+    g.bench_function("trace_generation_1M_events", |b| {
+        b.iter(|| pop.trace(InputId::Eval, events, 1).count())
+    });
+    g.bench_function("controller_observe_1M_events", |b| {
+        b.iter(|| {
+            let mut ctl =
+                ReactiveController::new(ControllerParams::scaled()).unwrap();
+            ctl.set_record_transitions(false);
+            for r in pop.trace(InputId::Eval, events, 1) {
+                ctl.observe(&r);
+            }
+            ctl.stats().correct
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("substrates/micro");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("cache_access_100k", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(64, 2, 64);
+            for i in 0..100_000u64 {
+                cache.access(i * 37 % (1 << 20));
+            }
+            cache.misses()
+        })
+    });
+    g.bench_function("gshare_100k", |b| {
+        b.iter(|| {
+            let mut gs = Gshare::new(4096);
+            let mut correct = 0u64;
+            for i in 0..100_000u64 {
+                correct += u64::from(gs.predict_and_update(i % 64 * 4, i % 3 == 0));
+            }
+            correct
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

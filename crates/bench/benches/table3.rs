@@ -1,0 +1,32 @@
+//! Criterion bench for the Table 3 pipeline: a full baseline controller
+//! run over one benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsc_control::{engine, ControllerParams};
+use rsc_trace::{spec2000, InputId};
+
+fn bench_table3(c: &mut Criterion) {
+    let events = 500_000;
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(20);
+    for name in ["gcc", "mcf", "vortex"] {
+        let pop = spec2000::benchmark(name).unwrap().population(events);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                engine::run_population(
+                    ControllerParams::scaled(),
+                    &pop,
+                    InputId::Eval,
+                    events,
+                    1,
+                )
+                .unwrap()
+                .stats
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for the Table 4 pipeline: the seven sensitivity
+//! configurations on one benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsc_bench::experiments::table4;
+use rsc_control::{engine, ControllerParams};
+use rsc_trace::{spec2000, InputId};
+
+fn bench_table4(c: &mut Criterion) {
+    let events = 300_000;
+    let pop = spec2000::benchmark("bzip2").unwrap().population(events);
+
+    let mut g = c.benchmark_group("table4");
+    for name in table4::CONFIG_NAMES {
+        let params = table4::config(ControllerParams::scaled(), name);
+        g.bench_function(name.replace(' ', "_"), |b| {
+            b.iter(|| {
+                engine::run_population(params, &pop, InputId::Eval, events, 1)
+                    .unwrap()
+                    .stats
+                    .incorrect
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! One module per table/figure of the paper.
+
+pub mod fig2;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod clustering;
+pub mod confidence;
+pub mod dynamo;
+pub mod fig9;
+pub mod oscillation;
+pub mod regions;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod variance;

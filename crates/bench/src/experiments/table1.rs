@@ -1,0 +1,47 @@
+//! Table 1 — simulation data sets and run lengths: the paper's inputs next
+//! to this reproduction's synthetic equivalents.
+
+use crate::options::ExpOptions;
+use crate::table::TextTable;
+use rsc_trace::{spec2000, InputId};
+
+/// Renders the paper's input pairings alongside our synthetic workloads.
+pub fn render(opts: &ExpOptions) -> String {
+    let mut t = TextTable::new(vec![
+        "bmark",
+        "paper profile input",
+        "paper eval input",
+        "paper len",
+        "ours",
+    ]);
+    for m in spec2000::all() {
+        let pop = m.population(opts.events);
+        let instr = opts.events * m.instr_per_branch as u64;
+        t.row(vec![
+            m.name.to_string(),
+            m.paper.profile_input.to_string(),
+            m.paper.eval_input.to_string(),
+            format!("{}B", m.paper.run_len_billions),
+            format!(
+                "2 synthetic inputs, {} branches, ~{}M instr",
+                pop.touched_on(InputId::Eval),
+                instr / 1_000_000
+            ),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lists_all_benchmarks_with_paper_inputs() {
+        let s = render(&ExpOptions::small());
+        assert!(s.contains("scrabbl.pl"));
+        assert!(s.contains("kajiya input"));
+        assert!(s.contains("bzip2"));
+        assert_eq!(s.lines().count(), 14); // header + rule + 12 rows
+    }
+}

@@ -1,0 +1,86 @@
+//! Table 2 — model parameters: the paper's values and the scaled preset
+//! this reproduction runs by default.
+
+use crate::table::TextTable;
+use rsc_control::{ControllerParams, EvictionMode, Revisit};
+
+fn describe(p: &ControllerParams) -> Vec<(String, String)> {
+    let mut rows = Vec::new();
+    rows.push(("Monitor period".into(), format!("{} executions", p.monitor_period)));
+    rows.push((
+        "Selection threshold".into(),
+        format!("{:.1} percent", p.selection_threshold * 100.0),
+    ));
+    match p.eviction {
+        EvictionMode::Counter { up, down, threshold } => rows.push((
+            "Misspeculation threshold".into(),
+            format!("{threshold} (+{up} on misp., -{down} otherwise)"),
+        )),
+        EvictionMode::Sampling { period, samples, bias_threshold } => rows.push((
+            "Eviction".into(),
+            format!("sample {samples}/{period}, bias floor {bias_threshold}"),
+        )),
+        EvictionMode::Never => rows.push(("Eviction".into(), "disabled".into())),
+    }
+    match p.revisit {
+        Revisit::After(n) => rows.push(("Wait period".into(), format!("{n} executions"))),
+        Revisit::Never => rows.push(("Wait period".into(), "no revisit".into())),
+    }
+    rows.push((
+        "Oscillation threshold".into(),
+        match p.oscillation_limit {
+            Some(n) => format!("will not optimize a {} time", ordinal(n + 1)),
+            None => "unlimited".into(),
+        },
+    ));
+    rows.push((
+        "Optimization latency".into(),
+        format!("{} instructions", p.optimization_latency),
+    ));
+    rows
+}
+
+fn ordinal(n: u32) -> String {
+    let suffix = match (n % 10, n % 100) {
+        (1, 11) | (2, 12) | (3, 13) => "th",
+        (1, _) => "st",
+        (2, _) => "nd",
+        (3, _) => "rd",
+        _ => "th",
+    };
+    format!("{n}{suffix}")
+}
+
+/// Renders the paper's Table 2 next to the scaled defaults.
+pub fn render() -> String {
+    let paper = describe(&ControllerParams::table2());
+    let scaled = describe(&ControllerParams::scaled());
+    let mut t = TextTable::new(vec!["parameter", "paper (Table 2)", "scaled preset"]);
+    for ((name, pv), (_, sv)) in paper.into_iter().zip(scaled) {
+        t.row(vec![name, pv, sv]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_paper_values() {
+        let s = render();
+        assert!(s.contains("10000 executions"));
+        assert!(s.contains("10000 (+50 on misp., -1 otherwise)"));
+        assert!(s.contains("1000000 instructions"));
+        assert!(s.contains("will not optimize a 6th time"));
+    }
+
+    #[test]
+    fn ordinals() {
+        assert_eq!(ordinal(1), "1st");
+        assert_eq!(ordinal(2), "2nd");
+        assert_eq!(ordinal(3), "3rd");
+        assert_eq!(ordinal(6), "6th");
+        assert_eq!(ordinal(11), "11th");
+    }
+}

@@ -1,0 +1,76 @@
+//! Table 5 — simulation parameters of the MSSP machine.
+
+use crate::table::TextTable;
+use rsc_mssp::MachineConfig;
+
+/// Renders the machine configuration in the paper's Table 5 layout.
+pub fn render() -> String {
+    let m = MachineConfig::table5();
+    let mut t = TextTable::new(vec!["parameter", "leading core", "trailing cores"]);
+    t.row(vec![
+        "Pipeline".into(),
+        format!("{}-wide, {}-stage", m.leading.width, m.leading.pipeline_depth),
+        format!("{}-wide, {}-stage", m.trailing.width, m.trailing.pipeline_depth),
+    ]);
+    t.row(vec![
+        "Window".into(),
+        format!("{}-entry", m.leading.window),
+        format!("{}-entry", m.trailing.window),
+    ]);
+    t.row(vec![
+        "Caches".into(),
+        format!(
+            "{}KB {}-way SA {}B blocks, {} cycle",
+            m.leading.l1_kib, m.leading.l1_assoc, m.block_bytes, m.leading.l1_latency
+        ),
+        format!("{}KB {}-way, {}B", m.trailing.l1_kib, m.trailing.l1_assoc, m.block_bytes),
+    ]);
+    t.row(vec![
+        "Br. Pred.".into(),
+        format!(
+            "{}Kb gshare, {}-entry RAS, {}-entry indirect",
+            m.gshare_counters * 2 / 1024,
+            m.ras_entries,
+            m.indirect_entries
+        ),
+        "same".into(),
+    ]);
+    t.row(vec![
+        "L2 cache".into(),
+        format!(
+            "shared {}MB, {}-way SA, {}-cycle minimum",
+            m.l2_kib / 1024,
+            m.l2_assoc,
+            m.l2_latency
+        ),
+        "shared".into(),
+    ]);
+    t.row(vec![
+        "Coherence".into(),
+        format!("{}-cycle minimum hop", m.coherence_hop),
+        format!("{} cores", m.trailing_count),
+    ]);
+    t.row(vec![
+        "Memory".into(),
+        format!("{}-cycle latency minimum (after L2)", m.memory_latency),
+        "shared".into(),
+    ]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_paper_values() {
+        let s = render();
+        assert!(s.contains("4-wide, 12-stage"));
+        assert!(s.contains("2-wide, 8-stage"));
+        assert!(s.contains("128-entry"));
+        assert!(s.contains("64KB 2-way"));
+        assert!(s.contains("8Kb gshare"));
+        assert!(s.contains("1MB"));
+        assert!(s.contains("200-cycle"));
+    }
+}

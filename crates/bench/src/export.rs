@@ -1,0 +1,236 @@
+//! Machine-readable CSV export of experiment data (raw fractions, not the
+//! formatted percentages of the text tables) — for external plotting.
+
+use crate::experiments::{dynamo, fig2, fig5, fig7, fig8, oscillation, table3, table4};
+use crate::table::TextTable;
+use std::io;
+use std::path::Path;
+
+/// Writes `csv` to `<dir>/<name>.csv`, creating `dir` if needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write(dir: &Path, name: &str, csv: &str) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(format!("{name}.csv")), csv)
+}
+
+/// Figure 2: one row per mark per benchmark.
+pub fn fig2_csv(rows: &[fig2::Row]) -> String {
+    let mut t = TextTable::new(vec!["benchmark", "mark", "training_execs", "incorrect", "correct"]);
+    for r in rows {
+        t.row(vec![
+            r.name.into(),
+            "self_train_knee_99".into(),
+            String::new(),
+            r.knee.0.to_string(),
+            r.knee.1.to_string(),
+        ]);
+        t.row(vec![
+            r.name.into(),
+            "cross_input".into(),
+            String::new(),
+            r.cross_input.0.to_string(),
+            r.cross_input.1.to_string(),
+        ]);
+        for (n, inc, cor) in &r.initial {
+            t.row(vec![
+                r.name.into(),
+                "initial_behavior".into(),
+                n.to_string(),
+                inc.to_string(),
+                cor.to_string(),
+            ]);
+        }
+        for (inc, cor) in &r.curve {
+            t.row(vec![
+                r.name.into(),
+                "pareto_curve".into(),
+                String::new(),
+                inc.to_string(),
+                cor.to_string(),
+            ]);
+        }
+    }
+    t.to_csv()
+}
+
+/// Figure 5: one row per configuration per benchmark.
+pub fn fig5_csv(rows: &[fig5::Row]) -> String {
+    let mut t = TextTable::new(vec!["benchmark", "series", "incorrect", "correct"]);
+    for r in rows {
+        t.row(vec![
+            r.name.into(),
+            "self_training_99".into(),
+            r.self_training.0.to_string(),
+            r.self_training.1.to_string(),
+        ]);
+        for (name, inc, cor) in &r.reactive {
+            t.row(vec![
+                r.name.into(),
+                (*name).into(),
+                inc.to_string(),
+                cor.to_string(),
+            ]);
+        }
+    }
+    t.to_csv()
+}
+
+/// Table 3: raw per-benchmark counters.
+pub fn table3_csv(rows: &[table3::Row]) -> String {
+    let mut t = TextTable::new(vec![
+        "benchmark",
+        "touched",
+        "entered_biased",
+        "evicted_branches",
+        "total_evictions",
+        "correct_frac",
+        "incorrect_frac",
+        "misspec_distance",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.name.into(),
+            r.stats.touched.to_string(),
+            r.stats.entered_biased.to_string(),
+            r.stats.evicted_branches.to_string(),
+            r.stats.total_evictions.to_string(),
+            r.stats.correct_frac().to_string(),
+            r.stats.incorrect_frac().to_string(),
+            r.stats.misspec_distance().map(|d| d.to_string()).unwrap_or_default(),
+        ]);
+    }
+    t.to_csv()
+}
+
+/// Table 4: raw sensitivity averages.
+pub fn table4_csv(rows: &[table4::Row]) -> String {
+    let mut t = TextTable::new(vec!["configuration", "correct_frac", "incorrect_frac"]);
+    for r in rows {
+        t.row(vec![r.name.into(), r.correct.to_string(), r.incorrect.to_string()]);
+    }
+    t.to_csv()
+}
+
+/// Figure 7: normalized performance per configuration.
+pub fn fig7_csv(rows: &[fig7::Row]) -> String {
+    let mut t = TextTable::new(vec![
+        "benchmark",
+        "closed",
+        "open",
+        "closed_long_monitor",
+        "open_long_monitor",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.name.into(),
+            r.closed.to_string(),
+            r.open.to_string(),
+            r.closed_long.to_string(),
+            r.open_long.to_string(),
+        ]);
+    }
+    t.to_csv()
+}
+
+/// Figure 8: normalized performance per latency.
+pub fn fig8_csv(rows: &[fig8::Row]) -> String {
+    let mut t = TextTable::new(vec!["benchmark", "lat_0", "lat_1e4", "lat_1e5"]);
+    for r in rows {
+        t.row(vec![
+            r.name.into(),
+            r.perf[0].to_string(),
+            r.perf[1].to_string(),
+            r.perf[2].to_string(),
+        ]);
+    }
+    t.to_csv()
+}
+
+/// Oscillation-cap census.
+pub fn oscillation_csv(rows: &[oscillation::Row]) -> String {
+    let mut t = TextTable::new(vec![
+        "benchmark",
+        "capped_reopts",
+        "uncapped_reopts",
+        "disabled",
+        "capped_correct",
+        "uncapped_correct",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.name.into(),
+            r.capped_reopts.to_string(),
+            r.uncapped_reopts.to_string(),
+            r.disabled.to_string(),
+            r.capped_correct.to_string(),
+            r.uncapped_correct.to_string(),
+        ]);
+    }
+    t.to_csv()
+}
+
+/// Dynamo flush-policy comparison.
+pub fn dynamo_csv(rows: &[dynamo::Row]) -> String {
+    let mut t = TextTable::new(vec![
+        "benchmark",
+        "policy",
+        "correct_frac",
+        "incorrect_frac",
+        "utility",
+    ]);
+    for r in rows {
+        for (policy, s) in
+            [("closed", &r.closed), ("flush", &r.flush), ("open", &r.open)]
+        {
+            t.row(vec![
+                r.name.into(),
+                policy.into(),
+                s.correct_frac().to_string(),
+                s.incorrect_frac().to_string(),
+                dynamo::utility(s).to_string(),
+            ]);
+        }
+    }
+    t.to_csv()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::ExpOptions;
+
+    #[test]
+    fn table3_csv_has_all_benchmarks() {
+        let rows = table3::run(&ExpOptions::small());
+        let csv = table3_csv(&rows);
+        assert_eq!(csv.lines().count(), 13); // header + 12
+        assert!(csv.starts_with("benchmark,"));
+        assert!(csv.contains("vortex,"));
+    }
+
+    #[test]
+    fn write_creates_directory_and_file() {
+        let dir = std::env::temp_dir().join("rsc_export_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        write(&dir, "probe", "a,b\n1,2\n").unwrap();
+        let content = std::fs::read_to_string(dir.join("probe.csv")).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fig7_csv_is_numeric() {
+        let rows = vec![fig7::Row {
+            name: "gzip",
+            closed: 1.2,
+            open: 0.5,
+            closed_long: 1.1,
+            open_long: 0.7,
+        }];
+        let csv = fig7_csv(&rows);
+        assert!(csv.contains("gzip,1.2,0.5,1.1,0.7"));
+    }
+}

@@ -1,0 +1,11 @@
+//! # rsc-bench — the reproduction harness
+//!
+//! One module per table/figure of the paper, plus the `repro` binary that
+//! prints paper-vs-measured comparisons. See `EXPERIMENTS.md` at the repo
+//! root for recorded results.
+
+pub mod experiments;
+pub mod export;
+pub mod options;
+pub mod parallel;
+pub mod table;

@@ -1,0 +1,166 @@
+//! Minimal fixed-width text-table formatting for experiment output.
+
+/// A simple left-padded text table builder.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_bench::table::TextTable;
+/// let mut t = TextTable::new(vec!["bmark", "value"]);
+/// t.row(vec!["gcc".into(), "66.3".into()]);
+/// let s = t.render();
+/// assert!(s.contains("gcc"));
+/// assert!(s.contains("66.3"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row. Shorter rows are padded with empty cells.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as RFC-4180-style CSV (quoting cells that contain
+    /// commas, quotes, or newlines).
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            cells.iter().map(|c| cell(c)).collect::<Vec<_>>().join(",")
+        };
+        let mut out = String::new();
+        out.push_str(&line(&self.headers));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table with aligned columns and a separator line.
+    pub fn render(&self) -> String {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (w, h) in widths.iter_mut().zip(&self.headers) {
+            *w = (*w).max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate().take(cols) {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = width.saturating_sub(cell.chars().count());
+                line.push_str(cell);
+                line.push_str(&" ".repeat(pad));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with the given decimals.
+pub fn pct(x: f64, decimals: usize) -> String {
+    format!("{:.*}%", decimals, x * 100.0)
+}
+
+/// Formats an optional count, printing `-` for `None`.
+pub fn opt_u64(x: Option<u64>) -> String {
+    x.map_or_else(|| "-".to_string(), |v| v.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[2].starts_with("xxxxx"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        let s = t.render();
+        assert!(s.contains('1'));
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(pct(0.4481, 1), "44.8%");
+        assert_eq!(opt_u64(None), "-");
+        assert_eq!(opt_u64(Some(12)), "12");
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["plain".into(), "with,comma".into()]);
+        t.row(vec!["quote\"d".into(), "multi\nline".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.split('\n').collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "plain,\"with,comma\"");
+        assert!(lines[2].starts_with("\"quote\"\"d\""));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut t = TextTable::new(vec!["a"]);
+        assert!(t.is_empty());
+        t.row(vec!["x".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

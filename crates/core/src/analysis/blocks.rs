@@ -1,0 +1,182 @@
+//! Per-block bias series for individual branches (the paper's Figure 3).
+//!
+//! Figure 3 plots the bias of five gap branches averaged over blocks of
+//! 1,000 dynamic instances, showing branches that look perfectly biased for
+//! at least their first 20,000 executions and then change — the population
+//! that defeats initial-behavior training.
+
+use rsc_trace::{BranchId, BranchRecord, Population};
+
+/// The per-block bias series of one branch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockBiasSeries {
+    /// The branch.
+    pub branch: BranchId,
+    /// Fraction of taken outcomes per block of `block_len` executions.
+    /// The final partial block is included if it has at least one event.
+    pub taken_frac: Vec<f64>,
+    /// Block length in executions.
+    pub block_len: u64,
+}
+
+impl BlockBiasSeries {
+    /// Bias toward the branch's *initial* majority direction per block,
+    /// which is how Figure 3 is drawn (series start near 1.0 and may fall
+    /// to 0.0 on a perfect reversal).
+    pub fn initial_direction_bias(&self) -> Vec<f64> {
+        let initially_taken = self.taken_frac.first().is_none_or(|&f| f >= 0.5);
+        self.taken_frac
+            .iter()
+            .map(|&f| if initially_taken { f } else { 1.0 - f })
+            .collect()
+    }
+
+    /// Number of leading blocks with bias of at least `threshold` toward
+    /// the initial direction.
+    pub fn initially_biased_blocks(&self, threshold: f64) -> usize {
+        self.initial_direction_bias()
+            .iter()
+            .take_while(|&&b| b >= threshold)
+            .count()
+    }
+}
+
+/// Computes block-bias series for the requested branches from a record
+/// stream.
+pub fn block_bias_series<I: IntoIterator<Item = BranchRecord>>(
+    trace: I,
+    branches: &[BranchId],
+    block_len: u64,
+) -> Vec<BlockBiasSeries> {
+    assert!(block_len > 0, "block length must be positive");
+    let max_idx = branches.iter().map(|b| b.index()).max();
+    let Some(max_idx) = max_idx else {
+        return Vec::new();
+    };
+    let mut selected = vec![false; max_idx + 1];
+    for b in branches {
+        selected[b.index()] = true;
+    }
+    // (taken-in-block, seen-in-block, finished blocks)
+    let mut acc: Vec<(u64, u64, Vec<f64>)> = vec![(0, 0, Vec::new()); max_idx + 1];
+    for r in trace {
+        let idx = r.branch.index();
+        if idx > max_idx || !selected[idx] {
+            continue;
+        }
+        let (taken, seen, blocks) = &mut acc[idx];
+        *taken += u64::from(r.taken);
+        *seen += 1;
+        if *seen == block_len {
+            blocks.push(*taken as f64 / *seen as f64);
+            *taken = 0;
+            *seen = 0;
+        }
+    }
+    branches
+        .iter()
+        .map(|&b| {
+            let (taken, seen, mut blocks) = std::mem::take(&mut acc[b.index()]);
+            if seen > 0 {
+                blocks.push(taken as f64 / seen as f64);
+            }
+            BlockBiasSeries { branch: b, taken_frac: blocks, block_len }
+        })
+        .collect()
+}
+
+/// Finds the hottest branches in a population whose behavior changes over
+/// time (more than one phase) *and* starts out highly biased — the exact
+/// population Figure 3 plots: branches indistinguishable from truly biased
+/// ones at first.
+pub fn changing_branches(population: &Population, count: usize) -> Vec<BranchId> {
+    let mut candidates: Vec<(usize, f64)> = population
+        .branches()
+        .iter()
+        .enumerate()
+        .filter(|(_, spec)| {
+            let initial_p = spec.behavior.p_taken(0, false);
+            // Figure 3 plots one-time behavior changes; periodic bursts are
+            // a different (oscillating) population.
+            let periodic = matches!(
+                spec.behavior,
+                rsc_trace::Behavior::PeriodicBurst { .. }
+            );
+            spec.behavior.phase_count() > 1
+                && !periodic
+                && spec.eval_weight > 0.0
+                && !(0.05..0.95).contains(&initial_p)
+        })
+        .map(|(i, spec)| (i, spec.eval_weight))
+        .collect();
+    candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("weights are finite"));
+    candidates
+        .into_iter()
+        .take(count)
+        .map(|(i, _)| BranchId::new(i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_trace::spec2000;
+
+    fn rec(b: u32, taken: bool, instr: u64) -> BranchRecord {
+        BranchRecord { branch: BranchId::new(b), taken, instr }
+    }
+
+    #[test]
+    fn blocks_average_correctly() {
+        // 4 executions in blocks of 2: [T, T], [F, T] → 1.0, 0.5.
+        let trace = vec![rec(0, true, 1), rec(0, true, 2), rec(0, false, 3), rec(0, true, 4)];
+        let s = block_bias_series(trace, &[BranchId::new(0)], 2);
+        assert_eq!(s[0].taken_frac, vec![1.0, 0.5]);
+    }
+
+    #[test]
+    fn partial_final_block_is_kept() {
+        let trace = vec![rec(0, true, 1), rec(0, true, 2), rec(0, false, 3)];
+        let s = block_bias_series(trace, &[BranchId::new(0)], 2);
+        assert_eq!(s[0].taken_frac, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn unselected_branches_are_ignored() {
+        let trace = vec![rec(0, true, 1), rec(1, false, 2)];
+        let s = block_bias_series(trace, &[BranchId::new(1)], 1);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].taken_frac, vec![0.0]);
+    }
+
+    #[test]
+    fn initial_direction_bias_handles_not_taken_start() {
+        // Branch starts not-taken biased, then flips to taken.
+        let mut trace = Vec::new();
+        for i in 0..10 {
+            trace.push(rec(0, false, i));
+        }
+        for i in 10..20 {
+            trace.push(rec(0, true, i));
+        }
+        let s = &block_bias_series(trace, &[BranchId::new(0)], 10)[0];
+        assert_eq!(s.initial_direction_bias(), vec![1.0, 0.0]);
+        assert_eq!(s.initially_biased_blocks(0.99), 1);
+    }
+
+    #[test]
+    fn empty_branch_list_returns_empty() {
+        let trace = vec![rec(0, true, 1)];
+        assert!(block_bias_series(trace, &[], 10).is_empty());
+    }
+
+    #[test]
+    fn gap_model_has_changing_branches() {
+        let pop = spec2000::benchmark("gap").unwrap().population(1_000_000);
+        let ids = changing_branches(&pop, 5);
+        assert_eq!(ids.len(), 5);
+        for id in &ids {
+            assert!(pop.branches()[id.index()].behavior.phase_count() > 1);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Biased-interval extraction and correlation clustering (Figure 9).
+//!
+//! The paper plots, for the 139 vortex branches that flip between biased
+//! and unbiased characterization, the periods during which each branch is
+//! considered biased — and observes that branches change behavior in
+//! groups. We reconstruct those intervals from the controller's transition
+//! log and cluster branches by their transition times.
+
+use crate::controller::{TransitionEvent, TransitionKind};
+use rsc_trace::BranchId;
+use std::collections::BTreeMap;
+
+/// The periods during which one branch was classified biased.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BiasedIntervals {
+    /// The branch.
+    pub branch: BranchId,
+    /// Half-open `[enter, exit)` spans in global event indexes. A branch
+    /// still biased at the end of the run closes its last span at
+    /// `total_events`.
+    pub spans: Vec<(u64, u64)>,
+    /// Evictions observed (closed spans).
+    pub exits: u32,
+    /// `true` if the branch was classified *unbiased* at least once.
+    pub was_unbiased: bool,
+}
+
+impl BiasedIntervals {
+    /// Total events spent classified biased.
+    pub fn covered(&self) -> u64 {
+        self.spans.iter().map(|(a, b)| b - a).sum()
+    }
+
+    /// Returns `true` if the branch flipped between characterizations —
+    /// it was classified biased *and* either got evicted or also spent
+    /// time classified unbiased (the paper's Figure 9 population).
+    pub fn flips(&self, _total_events: u64) -> bool {
+        !self.spans.is_empty() && (self.exits > 0 || self.was_unbiased)
+    }
+}
+
+/// Extracts biased intervals for every branch from a transition log.
+pub fn biased_intervals(
+    transitions: &[TransitionEvent],
+    total_events: u64,
+) -> Vec<BiasedIntervals> {
+    let mut by_branch: BTreeMap<BranchId, Vec<(u64, u64)>> = BTreeMap::new();
+    let mut open: BTreeMap<BranchId, u64> = BTreeMap::new();
+    let mut exits: BTreeMap<BranchId, u32> = BTreeMap::new();
+    let mut unbiased: BTreeMap<BranchId, bool> = BTreeMap::new();
+    for t in transitions {
+        match t.kind {
+            TransitionKind::EnterBiased => {
+                open.entry(t.branch).or_insert(t.event_index);
+            }
+            TransitionKind::ExitBiased => {
+                if let Some(start) = open.remove(&t.branch) {
+                    by_branch.entry(t.branch).or_default().push((start, t.event_index));
+                    *exits.entry(t.branch).or_insert(0) += 1;
+                }
+            }
+            TransitionKind::EnterUnbiased => {
+                unbiased.insert(t.branch, true);
+            }
+            _ => {}
+        }
+    }
+    for (branch, start) in open {
+        by_branch.entry(branch).or_default().push((start, total_events));
+    }
+    by_branch
+        .into_iter()
+        .map(|(branch, spans)| BiasedIntervals {
+            branch,
+            spans,
+            exits: exits.get(&branch).copied().unwrap_or(0),
+            was_unbiased: unbiased.get(&branch).copied().unwrap_or(false),
+        })
+        .collect()
+}
+
+/// Returns only the branches that flip between biased and unbiased
+/// (the Figure 9 population).
+pub fn flipping_branches(
+    intervals: &[BiasedIntervals],
+    total_events: u64,
+) -> Vec<&BiasedIntervals> {
+    intervals.iter().filter(|iv| iv.flips(total_events)).collect()
+}
+
+/// Clusters flipping branches by their transition-time signatures: two
+/// branches belong to the same cluster when all their span boundaries fall
+/// within `tolerance` events of each other (and they have the same number
+/// of spans).
+///
+/// Returns clusters sorted by decreasing size; each cluster lists branch
+/// ids. A cluster of size > 1 is a correlated group in the Figure 9 sense.
+pub fn correlated_clusters(
+    intervals: &[&BiasedIntervals],
+    tolerance: u64,
+) -> Vec<Vec<BranchId>> {
+    type Cluster = (Vec<(u64, u64)>, Vec<BranchId>);
+    let mut clusters: Vec<Cluster> = Vec::new();
+    for iv in intervals {
+        let found = clusters.iter_mut().find(|(sig, _)| {
+            sig.len() == iv.spans.len()
+                && sig.iter().zip(&iv.spans).all(|(&(a1, b1), &(a2, b2))| {
+                    a1.abs_diff(a2) <= tolerance && b1.abs_diff(b2) <= tolerance
+                })
+        });
+        match found {
+            Some((_, members)) => members.push(iv.branch),
+            None => clusters.push((iv.spans.clone(), vec![iv.branch])),
+        }
+    }
+    let mut result: Vec<Vec<BranchId>> = clusters.into_iter().map(|(_, m)| m).collect();
+    result.sort_by_key(|m| std::cmp::Reverse(m.len()));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_trace::Direction;
+
+    fn ev(branch: u32, kind: TransitionKind, event_index: u64) -> TransitionEvent {
+        TransitionEvent {
+            branch: BranchId::new(branch),
+            kind,
+            event_index,
+            instr: event_index * 6,
+            direction: Some(Direction::Taken),
+        }
+    }
+
+    #[test]
+    fn extracts_closed_and_open_spans() {
+        let log = vec![
+            ev(0, TransitionKind::EnterBiased, 10),
+            ev(0, TransitionKind::ExitBiased, 50),
+            ev(1, TransitionKind::EnterBiased, 20),
+        ];
+        let ivs = biased_intervals(&log, 100);
+        assert_eq!(ivs.len(), 2);
+        assert_eq!(ivs[0].spans, vec![(10, 50)]);
+        assert_eq!(ivs[0].exits, 1);
+        assert_eq!(ivs[1].spans, vec![(20, 100)], "open span closes at end");
+        assert_eq!(ivs[1].exits, 0);
+    }
+
+    #[test]
+    fn reentry_creates_multiple_spans() {
+        let log = vec![
+            ev(0, TransitionKind::EnterBiased, 10),
+            ev(0, TransitionKind::ExitBiased, 20),
+            ev(0, TransitionKind::EnterBiased, 60),
+            ev(0, TransitionKind::ExitBiased, 80),
+        ];
+        let ivs = biased_intervals(&log, 100);
+        assert_eq!(ivs[0].spans, vec![(10, 20), (60, 80)]);
+        assert_eq!(ivs[0].covered(), 30);
+    }
+
+    fn iv(branch: u32, spans: Vec<(u64, u64)>, exits: u32, was_unbiased: bool) -> BiasedIntervals {
+        BiasedIntervals { branch: BranchId::new(branch), spans, exits, was_unbiased }
+    }
+
+    #[test]
+    fn flips_requires_both_characterizations() {
+        // Biased the whole run, never evicted, never unbiased: not a
+        // flipper.
+        assert!(!iv(0, vec![(0, 100)], 0, false).flips(100));
+        // Evicted once: flips.
+        assert!(iv(1, vec![(0, 50)], 1, false).flips(100));
+        // Classified unbiased first, biased later: flips.
+        assert!(iv(2, vec![(60, 100)], 0, true).flips(100));
+        // Never biased at all: not a flipper.
+        assert!(!iv(3, vec![], 0, true).flips(100));
+    }
+
+    #[test]
+    fn clustering_groups_similar_signatures() {
+        let a = iv(0, vec![(0, 50)], 1, false);
+        let b = iv(1, vec![(2, 52)], 1, false);
+        let c = iv(2, vec![(0, 90)], 1, false);
+        let refs: Vec<&BiasedIntervals> = vec![&a, &b, &c];
+        let clusters = correlated_clusters(&refs, 5);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].len(), 2, "a and b cluster together");
+        assert_eq!(clusters[1], vec![BranchId::new(2)]);
+    }
+
+    #[test]
+    fn clustering_separates_different_span_counts() {
+        let a = iv(0, vec![(0, 50)], 1, false);
+        let b = iv(1, vec![(0, 50), (60, 70)], 2, false);
+        let refs: Vec<&BiasedIntervals> = vec![&a, &b];
+        assert_eq!(correlated_clusters(&refs, 5).len(), 2);
+    }
+}

@@ -1,0 +1,7 @@
+//! Post-hoc analyses of controller runs: per-branch block biases
+//! (Figure 3), transition-local misprediction behavior (Figure 6), and
+//! biased-interval correlation (Figure 9).
+
+pub mod blocks;
+pub mod intervals;
+pub mod transition;

@@ -1,0 +1,280 @@
+//! Behavior around eviction transitions (the paper's Figure 6).
+//!
+//! When a branch leaves the biased state, what do its next executions look
+//! like relative to the direction that used to be speculated? The paper
+//! reports two common shapes: softening (same direction, weaker bias) and
+//! perfect reversal, with over half of exits showing original-direction
+//! bias below 30% in the transition window.
+
+use crate::controller::{ReactiveController, TransitionKind};
+use crate::params::{ControllerParams, InvalidParamsError};
+use rsc_trace::{BranchRecord, Direction};
+
+/// The outcome window following one eviction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvictionWindow {
+    /// The evicted branch.
+    pub branch: rsc_trace::BranchId,
+    /// The direction that was being speculated.
+    pub direction: Direction,
+    /// For each of the following executions (up to the window size):
+    /// `true` if the outcome *mismatched* the old direction.
+    pub mispredictions: Vec<bool>,
+}
+
+impl EvictionWindow {
+    /// Misprediction rate over the captured window (fraction of outcomes
+    /// not in the original bias direction).
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.mispredictions.is_empty() {
+            return 0.0;
+        }
+        let miss = self.mispredictions.iter().filter(|&&m| m).count();
+        miss as f64 / self.mispredictions.len() as f64
+    }
+
+    /// Bias toward the original direction over the window.
+    pub fn original_direction_bias(&self) -> f64 {
+        1.0 - self.misprediction_rate()
+    }
+}
+
+/// Captures post-eviction windows while running a controller over a trace.
+///
+/// `window` is the number of post-eviction executions captured per eviction
+/// (the paper uses up to 64).
+///
+/// # Errors
+///
+/// Returns an error if `params` are inconsistent.
+pub fn eviction_windows<I: IntoIterator<Item = BranchRecord>>(
+    params: ControllerParams,
+    trace: I,
+    window: usize,
+) -> Result<Vec<EvictionWindow>, InvalidParamsError> {
+    let mut ctl = ReactiveController::new(params)?;
+    let mut finished: Vec<EvictionWindow> = Vec::new();
+    // At most one open window per branch; a re-eviction inside the window
+    // closes the old one.
+    let mut open: Vec<Option<EvictionWindow>> = Vec::new();
+
+    for r in trace {
+        let idx = r.branch.index();
+        if idx >= open.len() {
+            open.resize(idx + 1, None);
+        }
+        let evictions_before = ctl.evictions(r.branch);
+        let _ = ctl.observe(&r);
+        let evicted_now = ctl.evictions(r.branch) > evictions_before;
+
+        if let Some(w) = open[idx].as_mut() {
+            // The eviction-triggering execution itself belongs to the
+            // window only for *subsequent* executions, so record before
+            // checking for a fresh eviction on this record.
+            if !evicted_now {
+                w.mispredictions.push(!w.direction.matches(r.taken));
+                if w.mispredictions.len() >= window {
+                    finished.push(open[idx].take().expect("window is open"));
+                }
+            }
+        }
+        if evicted_now {
+            if let Some(w) = open[idx].take() {
+                finished.push(w);
+            }
+            let dir = last_speculated_direction(&ctl, r.branch)
+                .unwrap_or(Direction::from_taken(r.taken));
+            open[idx] = Some(EvictionWindow {
+                branch: r.branch,
+                direction: dir,
+                mispredictions: Vec::with_capacity(window),
+            });
+        }
+    }
+    finished.extend(open.into_iter().flatten().filter(|w| !w.mispredictions.is_empty()));
+    Ok(finished)
+}
+
+/// The direction recorded with the branch's most recent exit-biased
+/// transition.
+fn last_speculated_direction(
+    ctl: &ReactiveController,
+    branch: rsc_trace::BranchId,
+) -> Option<Direction> {
+    ctl.transitions()
+        .iter()
+        .rev()
+        .find(|t| t.branch == branch && t.kind == TransitionKind::ExitBiased)
+        .and_then(|t| t.direction)
+}
+
+/// Mean misprediction rate by offset after eviction (the Figure 6 series):
+/// element `i` is the average, over all captured windows long enough, of
+/// the misprediction indicator at offset `i`.
+pub fn mean_misprediction_by_offset(windows: &[EvictionWindow], len: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| {
+            let mut n = 0u64;
+            let mut miss = 0u64;
+            for w in windows {
+                if let Some(&m) = w.mispredictions.get(i) {
+                    n += 1;
+                    miss += u64::from(m);
+                }
+            }
+            if n == 0 {
+                0.0
+            } else {
+                miss as f64 / n as f64
+            }
+        })
+        .collect()
+}
+
+/// Distribution summary of post-eviction behavior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExitBehaviorSummary {
+    /// Number of captured eviction windows.
+    pub exits: usize,
+    /// Fraction of exits whose original-direction bias fell below 30%
+    /// (the paper reports over 50%).
+    pub strongly_degraded_frac: f64,
+    /// Fraction of exits that became (almost) perfectly biased the other
+    /// way — original-direction bias below 2% (the paper reports ~20%).
+    pub reversed_frac: f64,
+    /// Fraction of exits that merely softened: original-direction bias
+    /// still at least 50%.
+    pub softened_frac: f64,
+}
+
+/// Summarizes captured windows into the Figure 6 headline fractions.
+pub fn summarize_exits(windows: &[EvictionWindow]) -> ExitBehaviorSummary {
+    let exits = windows.len();
+    if exits == 0 {
+        return ExitBehaviorSummary {
+            exits: 0,
+            strongly_degraded_frac: 0.0,
+            reversed_frac: 0.0,
+            softened_frac: 0.0,
+        };
+    }
+    let mut degraded = 0usize;
+    let mut reversed = 0usize;
+    let mut softened = 0usize;
+    for w in windows {
+        let bias = w.original_direction_bias();
+        if bias < 0.30 {
+            degraded += 1;
+        }
+        if bias < 0.02 {
+            reversed += 1;
+        }
+        if bias >= 0.50 {
+            softened += 1;
+        }
+    }
+    ExitBehaviorSummary {
+        exits,
+        strongly_degraded_frac: degraded as f64 / exits as f64,
+        reversed_frac: reversed as f64 / exits as f64,
+        softened_frac: softened as f64 / exits as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{EvictionMode, MonitorPolicy};
+    use rsc_trace::BranchId;
+
+    fn rec(b: u32, taken: bool, instr: u64) -> BranchRecord {
+        BranchRecord { branch: BranchId::new(b), taken, instr }
+    }
+
+    fn tiny() -> ControllerParams {
+        ControllerParams {
+            monitor_period: 10,
+            monitor_policy: MonitorPolicy::FixedWindow,
+            monitor_sample_rate: 1,
+            selection_threshold: 0.995,
+            eviction: EvictionMode::Counter { up: 50, down: 1, threshold: 100 },
+            revisit: crate::params::Revisit::After(1_000_000),
+            oscillation_limit: Some(50),
+            optimization_latency: 0,
+        }
+    }
+
+    /// A branch that is taken for `head` executions then not-taken.
+    fn flip_trace(head: u64, total: u64) -> Vec<BranchRecord> {
+        (0..total).map(|i| rec(0, i < head, (i + 1) * 5)).collect()
+    }
+
+    #[test]
+    fn captures_reversal_window() {
+        let windows = eviction_windows(tiny(), flip_trace(50, 200), 16).unwrap();
+        assert_eq!(windows.len(), 1);
+        let w = &windows[0];
+        assert_eq!(w.direction, Direction::Taken);
+        assert_eq!(w.mispredictions.len(), 16);
+        assert!(w.mispredictions.iter().all(|&m| m), "perfect reversal");
+        assert_eq!(w.misprediction_rate(), 1.0);
+        assert_eq!(w.original_direction_bias(), 0.0);
+    }
+
+    #[test]
+    fn no_eviction_no_windows() {
+        // Always taken: never evicted.
+        let trace: Vec<_> = (0..200).map(|i| rec(0, true, (i + 1) * 5)).collect();
+        let windows = eviction_windows(tiny(), trace, 16).unwrap();
+        assert!(windows.is_empty());
+    }
+
+    #[test]
+    fn partial_window_at_end_of_trace_is_kept() {
+        let windows = eviction_windows(tiny(), flip_trace(50, 58), 64).unwrap();
+        assert_eq!(windows.len(), 1);
+        assert!(windows[0].mispredictions.len() < 64);
+        assert!(!windows[0].mispredictions.is_empty());
+    }
+
+    #[test]
+    fn offset_series_averages_windows() {
+        let windows = vec![
+            EvictionWindow {
+                branch: BranchId::new(0),
+                direction: Direction::Taken,
+                mispredictions: vec![true, false],
+            },
+            EvictionWindow {
+                branch: BranchId::new(1),
+                direction: Direction::Taken,
+                mispredictions: vec![true, true],
+            },
+        ];
+        let series = mean_misprediction_by_offset(&windows, 3);
+        assert_eq!(series, vec![1.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn summary_classifies_shapes() {
+        let mk = |rate: f64| EvictionWindow {
+            branch: BranchId::new(0),
+            direction: Direction::Taken,
+            mispredictions: (0..100).map(|i| (i as f64) < rate * 100.0).collect(),
+        };
+        // Reversed (bias 0), degraded (bias 0.2), softened (bias 0.8).
+        let windows = vec![mk(1.0), mk(0.8), mk(0.2)];
+        let s = summarize_exits(&windows);
+        assert_eq!(s.exits, 3);
+        assert!((s.reversed_frac - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.strongly_degraded_frac - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.softened_frac - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = summarize_exits(&[]);
+        assert_eq!(s.exits, 0);
+        assert_eq!(s.reversed_frac, 0.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Wilson-score confidence bounds for bias estimation.
+//!
+//! The paper's monitor uses a fixed window ("a moderately long monitoring
+//! period as a simple filter"). A statistically principled alternative
+//! classifies as soon as the evidence suffices: select when the *lower*
+//! confidence bound of the bias exceeds the threshold, reject when the
+//! *upper* bound falls below it. Clearly biased branches classify in tens
+//! of executions instead of thousands; borderline branches automatically
+//! get longer windows.
+
+/// Wilson score interval for a Bernoulli proportion.
+///
+/// Returns `(lower, upper)` bounds for the true success probability given
+/// `successes` out of `n` trials at the given `z` value (1.96 ≈ 95%,
+/// 2.58 ≈ 99%, 3.29 ≈ 99.9%).
+///
+/// # Panics
+///
+/// Panics if `successes > n` or `z` is not positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_control::confidence::wilson_bounds;
+/// let (lo, hi) = wilson_bounds(99, 100, 2.58);
+/// assert!(lo > 0.9 && hi < 1.0);
+/// ```
+pub fn wilson_bounds(successes: u64, n: u64, z: f64) -> (f64, f64) {
+    assert!(successes <= n, "successes cannot exceed trials");
+    assert!(z.is_finite() && z > 0.0, "z must be positive and finite");
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let n_f = n as f64;
+    let p = successes as f64 / n_f;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n_f;
+    let center = p + z2 / (2.0 * n_f);
+    let margin = z * (p * (1.0 - p) / n_f + z2 / (4.0 * n_f * n_f)).sqrt();
+    (
+        ((center - margin) / denom).max(0.0),
+        ((center + margin) / denom).min(1.0),
+    )
+}
+
+/// An incremental classifier: feed Bernoulli outcomes, and it reports
+/// whether the majority-direction bias is confidently above or below a
+/// target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiasClassifier {
+    taken: u64,
+    n: u64,
+    target: f64,
+    z: f64,
+}
+
+/// What the classifier can conclude so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BiasVerdict {
+    /// The majority-direction bias confidently meets the target.
+    Biased,
+    /// The bias is confidently below the target.
+    NotBiased,
+    /// More evidence is needed.
+    Undecided,
+}
+
+impl BiasClassifier {
+    /// Creates a classifier for the given bias `target` and `z` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not in `(0.5, 1.0]` or `z` is invalid.
+    pub fn new(target: f64, z: f64) -> Self {
+        assert!(
+            target > 0.5 && target <= 1.0,
+            "target must be in (0.5, 1.0], got {target}"
+        );
+        assert!(z.is_finite() && z > 0.0, "z must be positive and finite");
+        BiasClassifier { taken: 0, n: 0, target, z }
+    }
+
+    /// Records one outcome.
+    pub fn record(&mut self, taken: bool) {
+        self.taken += u64::from(taken);
+        self.n += 1;
+    }
+
+    /// Samples recorded so far.
+    pub fn samples(&self) -> u64 {
+        self.n
+    }
+
+    /// Taken count recorded so far.
+    pub fn taken(&self) -> u64 {
+        self.taken
+    }
+
+    /// Returns the current verdict on the *majority direction's* bias.
+    pub fn verdict(&self) -> BiasVerdict {
+        if self.n == 0 {
+            return BiasVerdict::Undecided;
+        }
+        let majority = self.taken.max(self.n - self.taken);
+        let (lo, hi) = wilson_bounds(majority, self.n, self.z);
+        if lo >= self.target {
+            BiasVerdict::Biased
+        } else if hi < self.target {
+            BiasVerdict::NotBiased
+        } else {
+            BiasVerdict::Undecided
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_bracket_the_point_estimate() {
+        for &(s, n) in &[(0u64, 10u64), (5, 10), (10, 10), (990, 1000)] {
+            let (lo, hi) = wilson_bounds(s, n, 1.96);
+            let p = s as f64 / n as f64;
+            assert!(lo <= p + 1e-12, "lo {lo} > p {p}");
+            assert!(hi >= p - 1e-12, "hi {hi} < p {p}");
+            assert!((0.0..=1.0).contains(&lo));
+            assert!((0.0..=1.0).contains(&hi));
+        }
+    }
+
+    #[test]
+    fn bounds_tighten_with_evidence() {
+        let (lo1, hi1) = wilson_bounds(9, 10, 1.96);
+        let (lo2, hi2) = wilson_bounds(900, 1000, 1.96);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn empty_sample_is_vacuous() {
+        assert_eq!(wilson_bounds(0, 0, 1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "successes cannot exceed trials")]
+    fn rejects_impossible_counts() {
+        wilson_bounds(11, 10, 1.96);
+    }
+
+    #[test]
+    fn classifier_decides_perfect_bias_quickly() {
+        let mut c = BiasClassifier::new(0.95, 2.58);
+        let mut decided_at = None;
+        for i in 0..10_000 {
+            c.record(true);
+            if c.verdict() == BiasVerdict::Biased {
+                decided_at = Some(i + 1);
+                break;
+            }
+        }
+        let at = decided_at.expect("must classify");
+        assert!(at < 300, "took {at} samples");
+    }
+
+    #[test]
+    fn classifier_rejects_coin_quickly() {
+        let mut c = BiasClassifier::new(0.995, 2.58);
+        let mut decided_at = None;
+        for i in 0..10_000u64 {
+            c.record(i % 2 == 0);
+            if c.verdict() == BiasVerdict::NotBiased {
+                decided_at = Some(i + 1);
+                break;
+            }
+        }
+        let at = decided_at.expect("must reject");
+        assert!(at < 200, "took {at} samples");
+    }
+
+    #[test]
+    fn classifier_stays_undecided_near_the_boundary() {
+        // True bias exactly at the target: neither bound should clear it
+        // quickly.
+        let mut c = BiasClassifier::new(0.9, 2.58);
+        for i in 0..50u64 {
+            c.record(i % 10 != 0); // 90% taken
+        }
+        assert_eq!(c.verdict(), BiasVerdict::Undecided);
+    }
+
+    #[test]
+    fn classifier_uses_majority_direction() {
+        let mut c = BiasClassifier::new(0.95, 2.58);
+        for _ in 0..500 {
+            c.record(false);
+        }
+        assert_eq!(c.verdict(), BiasVerdict::Biased, "not-taken bias counts too");
+    }
+}

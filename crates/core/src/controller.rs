@@ -1,0 +1,879 @@
+//! The reactive speculation controller (the paper's Figure 4(b) model).
+//!
+//! Each static branch moves through a three-state machine:
+//!
+//! ```text
+//!              bias >= threshold            misspec counter trips
+//!   Monitor ─────────────────────► Biased ──────────────────────┐
+//!      ▲  │                                                      │
+//!      │  │ bias < threshold                 (eviction arc)      │
+//!      │  ▼                                                      │
+//!   Unbiased ◄───────────────────────────────────────────────────┘
+//!      │        revisit arc: after the wait period,
+//!      └──────► back to Monitor
+//! ```
+//!
+//! Transitions into and out of the biased state deploy new code and are
+//! therefore subject to the optimization latency: after selection, the
+//! branch keeps running unoptimized code until the latency elapses; after
+//! eviction, speculation (and its misspeculations) continue until the
+//! repaired code is deployed.
+
+use crate::counter::HysteresisCounter;
+use crate::params::{ControllerParams, EvictionMode, InvalidParamsError, MonitorPolicy, Revisit};
+use crate::stats::ControlStats;
+use rsc_trace::{BranchId, BranchRecord, Direction};
+
+/// What the controller did with one dynamic branch execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecDecision {
+    /// The branch was not speculated (monitor/unbiased/disabled/pending
+    /// deployment).
+    NotSpeculated,
+    /// Speculated and the outcome matched.
+    Correct,
+    /// Speculated and the outcome did not match.
+    Incorrect,
+}
+
+impl SpecDecision {
+    /// Returns `true` for [`SpecDecision::Correct`] or
+    /// [`SpecDecision::Incorrect`].
+    pub fn speculated(self) -> bool {
+        !matches!(self, SpecDecision::NotSpeculated)
+    }
+}
+
+/// Kinds of classification transitions the controller logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionKind {
+    /// Monitor decided the branch is biased (re-optimization requested).
+    EnterBiased,
+    /// The eviction policy fired (repair requested).
+    ExitBiased,
+    /// Monitor decided the branch is not biased.
+    EnterUnbiased,
+    /// The wait period elapsed; the branch returned to the monitor state.
+    RevisitMonitor,
+    /// The oscillation cap fired; the branch was permanently disabled.
+    Disabled,
+}
+
+/// One logged transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionEvent {
+    /// The branch that transitioned.
+    pub branch: BranchId,
+    /// What happened.
+    pub kind: TransitionKind,
+    /// Global dynamic branch-event index at the decision.
+    pub event_index: u64,
+    /// Dynamic instruction count at the decision.
+    pub instr: u64,
+    /// The speculated direction, for enter/exit-biased transitions.
+    pub direction: Option<Direction>,
+}
+
+/// Eviction bookkeeping inside the biased state.
+#[derive(Debug, Clone)]
+enum EvictTracker {
+    Counter(HysteresisCounter),
+    Sampling { pos: u64, matched: u64, sampled: u64 },
+    Never,
+}
+
+/// Per-branch controller state.
+#[derive(Debug, Clone)]
+enum State {
+    Monitor { execs: u64, samples: u64, taken: u64 },
+    PendingBiased { deadline: u64, dir: Direction },
+    Biased { dir: Direction, tracker: EvictTracker },
+    PendingMonitor { deadline: u64, dir: Direction },
+    Unbiased { remaining: Option<u64> },
+    Disabled,
+}
+
+impl State {
+    fn fresh_monitor() -> State {
+        State::Monitor { execs: 0, samples: 0, taken: 0 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BranchCtl {
+    state: State,
+    /// Lifetime entries into the biased state (statistics).
+    entries: u32,
+    /// Entries since the last flush (what the oscillation cap counts).
+    entries_since_flush: u32,
+    evictions: u32,
+    execs: u64,
+}
+
+impl BranchCtl {
+    fn new() -> Self {
+        BranchCtl {
+            state: State::fresh_monitor(),
+            entries: 0,
+            entries_since_flush: 0,
+            evictions: 0,
+            execs: 0,
+        }
+    }
+}
+
+/// The reactive controller: one FSM per static branch plus global
+/// statistics and a transition log.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_control::{ControllerParams, ReactiveController};
+/// use rsc_trace::{spec2000, InputId};
+///
+/// let pop = spec2000::benchmark("gzip").unwrap().population(200_000);
+/// let mut ctl = ReactiveController::new(ControllerParams::scaled())?;
+/// for r in pop.trace(InputId::Eval, 200_000, 1) {
+///     ctl.observe(&r);
+/// }
+/// let stats = ctl.stats();
+/// assert!(stats.correct > stats.incorrect);
+/// # Ok::<(), rsc_control::InvalidParamsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReactiveController {
+    params: ControllerParams,
+    branches: Vec<BranchCtl>,
+    transitions: Vec<TransitionEvent>,
+    record_transitions: bool,
+    events: u64,
+    instructions: u64,
+    correct: u64,
+    incorrect: u64,
+}
+
+impl ReactiveController {
+    /// Creates a controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the parameters are inconsistent.
+    pub fn new(params: ControllerParams) -> Result<Self, InvalidParamsError> {
+        params.validate()?;
+        Ok(ReactiveController {
+            params,
+            branches: Vec::new(),
+            transitions: Vec::new(),
+            record_transitions: true,
+            events: 0,
+            instructions: 0,
+            correct: 0,
+            incorrect: 0,
+        })
+    }
+
+    /// Disables the transition log (saves memory on very long runs).
+    pub fn set_record_transitions(&mut self, record: bool) {
+        self.record_transitions = record;
+    }
+
+    /// The controller's parameters.
+    pub fn params(&self) -> &ControllerParams {
+        &self.params
+    }
+
+    fn fresh_tracker(&self) -> EvictTracker {
+        match self.params.eviction {
+            EvictionMode::Counter { up, down, threshold } => {
+                EvictTracker::Counter(HysteresisCounter::new(up, down, threshold))
+            }
+            EvictionMode::Sampling { .. } => {
+                EvictTracker::Sampling { pos: 0, matched: 0, sampled: 0 }
+            }
+            EvictionMode::Never => EvictTracker::Never,
+        }
+    }
+
+    fn log(
+        &mut self,
+        branch: BranchId,
+        kind: TransitionKind,
+        instr: u64,
+        direction: Option<Direction>,
+    ) {
+        if self.record_transitions {
+            self.transitions.push(TransitionEvent {
+                branch,
+                kind,
+                event_index: self.events,
+                instr,
+                direction,
+            });
+        }
+    }
+
+    /// Forgets every classification, returning all touched branches to a
+    /// fresh monitor state.
+    ///
+    /// This models a Dynamo-style *fragment cache flush*: the optimizer
+    /// discards all generated code on a suspected phase change and
+    /// re-learns from scratch. Oscillation-cap entry counts are cleared
+    /// too (the flushed optimizer has no memory of past oscillation), so a
+    /// flush-based policy can re-optimize branches a capped reactive
+    /// policy would refuse. Statistics and the transition log are
+    /// preserved; no transition events are emitted for the flush itself.
+    pub fn flush_all(&mut self) {
+        for b in &mut self.branches {
+            b.state = State::fresh_monitor();
+            b.entries_since_flush = 0;
+        }
+    }
+
+    /// Feeds one dynamic branch execution through the branch's FSM and
+    /// returns what the speculation system did with it.
+    pub fn observe(&mut self, r: &BranchRecord) -> SpecDecision {
+        let idx = r.branch.index();
+        if idx >= self.branches.len() {
+            self.branches.resize_with(idx + 1, BranchCtl::new);
+        }
+        self.events += 1;
+        self.instructions = self.instructions.max(r.instr);
+        self.branches[idx].execs += 1;
+
+        // Deployment deadlines are checked before processing so that the
+        // first post-deadline execution already runs the new code.
+        loop {
+            let state = std::mem::replace(&mut self.branches[idx].state, State::Disabled);
+            match state {
+                State::Disabled => {
+                    self.branches[idx].state = State::Disabled;
+                    return SpecDecision::NotSpeculated;
+                }
+                State::Monitor { mut execs, mut samples, mut taken } => {
+                    if execs % self.params.monitor_sample_rate == 0 {
+                        samples += 1;
+                        taken += u64::from(r.taken);
+                    }
+                    execs += 1;
+                    let majority = taken.max(samples - taken);
+                    let point_bias = if samples == 0 {
+                        0.0
+                    } else {
+                        majority as f64 / samples as f64
+                    };
+                    let threshold = self.params.selection_threshold;
+                    // `Some(true)` = classify biased, `Some(false)` =
+                    // classify unbiased, `None` = keep monitoring.
+                    let outcome = match self.params.monitor_policy {
+                        MonitorPolicy::FixedWindow => {
+                            if execs >= self.params.monitor_period {
+                                Some(point_bias >= threshold)
+                            } else {
+                                None
+                            }
+                        }
+                        MonitorPolicy::Confidence { z, min_execs, max_execs } => {
+                            if samples < min_execs {
+                                None
+                            } else {
+                                let (lo, hi) =
+                                    crate::confidence::wilson_bounds(majority, samples, z);
+                                if lo >= threshold {
+                                    Some(true)
+                                } else if hi < threshold {
+                                    Some(false)
+                                } else if samples >= max_execs {
+                                    Some(point_bias >= threshold)
+                                } else {
+                                    None
+                                }
+                            }
+                        }
+                    };
+                    let Some(is_biased) = outcome else {
+                        self.branches[idx].state = State::Monitor { execs, samples, taken };
+                        return SpecDecision::NotSpeculated;
+                    };
+                    if is_biased {
+                        let dir = if taken * 2 >= samples {
+                            Direction::Taken
+                        } else {
+                            Direction::NotTaken
+                        };
+                        // Oscillation cap: refuse the (limit+1)-th entry.
+                        if let Some(limit) = self.params.oscillation_limit {
+                            if self.branches[idx].entries_since_flush >= limit {
+                                self.branches[idx].state = State::Disabled;
+                                self.log(r.branch, TransitionKind::Disabled, r.instr, None);
+                                return SpecDecision::NotSpeculated;
+                            }
+                        }
+                        self.branches[idx].entries += 1;
+                        self.branches[idx].entries_since_flush += 1;
+                        self.log(
+                            r.branch,
+                            TransitionKind::EnterBiased,
+                            r.instr,
+                            Some(dir),
+                        );
+                        if self.params.optimization_latency == 0 {
+                            self.branches[idx].state =
+                                State::Biased { dir, tracker: self.fresh_tracker() };
+                        } else {
+                            self.branches[idx].state = State::PendingBiased {
+                                deadline: r.instr + self.params.optimization_latency,
+                                dir,
+                            };
+                        }
+                    } else {
+                        let remaining = match self.params.revisit {
+                            Revisit::After(n) => Some(n),
+                            Revisit::Never => None,
+                        };
+                        self.branches[idx].state = State::Unbiased { remaining };
+                        self.log(r.branch, TransitionKind::EnterUnbiased, r.instr, None);
+                    }
+                    return SpecDecision::NotSpeculated;
+                }
+                State::PendingBiased { deadline, dir } => {
+                    if r.instr >= deadline {
+                        // New code deployed; reprocess this execution as
+                        // biased.
+                        self.branches[idx].state =
+                            State::Biased { dir, tracker: self.fresh_tracker() };
+                        continue;
+                    }
+                    self.branches[idx].state = State::PendingBiased { deadline, dir };
+                    return SpecDecision::NotSpeculated;
+                }
+                State::Biased { dir, mut tracker } => {
+                    let correct = dir.matches(r.taken);
+                    let decision = if correct {
+                        self.correct += 1;
+                        SpecDecision::Correct
+                    } else {
+                        self.incorrect += 1;
+                        SpecDecision::Incorrect
+                    };
+                    let evict = match &mut tracker {
+                        EvictTracker::Counter(c) => {
+                            if correct {
+                                c.correct();
+                            } else {
+                                c.misspeculation();
+                            }
+                            c.should_evict()
+                        }
+                        EvictTracker::Sampling { pos, matched, sampled } => {
+                            let (period, samples, bias_threshold) = match self.params.eviction {
+                                EvictionMode::Sampling { period, samples, bias_threshold } => {
+                                    (period, samples, bias_threshold)
+                                }
+                                _ => unreachable!("tracker matches eviction mode"),
+                            };
+                            let mut fire = false;
+                            if *pos < samples {
+                                *sampled += 1;
+                                *matched += u64::from(correct);
+                                if *sampled == samples {
+                                    let bias = *matched as f64 / *sampled as f64;
+                                    fire = bias < bias_threshold;
+                                }
+                            }
+                            *pos += 1;
+                            if *pos >= period {
+                                *pos = 0;
+                                *matched = 0;
+                                *sampled = 0;
+                            }
+                            fire
+                        }
+                        EvictTracker::Never => false,
+                    };
+                    if evict {
+                        self.branches[idx].evictions += 1;
+                        self.log(r.branch, TransitionKind::ExitBiased, r.instr, Some(dir));
+                        if self.params.optimization_latency == 0 {
+                            self.branches[idx].state = State::fresh_monitor();
+                        } else {
+                            self.branches[idx].state = State::PendingMonitor {
+                                deadline: r.instr + self.params.optimization_latency,
+                                dir,
+                            };
+                        }
+                    } else {
+                        self.branches[idx].state = State::Biased { dir, tracker };
+                    }
+                    return decision;
+                }
+                State::PendingMonitor { deadline, dir } => {
+                    if r.instr >= deadline {
+                        // Repaired code deployed; this execution is
+                        // monitored, not speculated.
+                        self.branches[idx].state = State::fresh_monitor();
+                        continue;
+                    }
+                    // The stale speculative code is still running.
+                    self.branches[idx].state = State::PendingMonitor { deadline, dir };
+                    return if dir.matches(r.taken) {
+                        self.correct += 1;
+                        SpecDecision::Correct
+                    } else {
+                        self.incorrect += 1;
+                        SpecDecision::Incorrect
+                    };
+                }
+                State::Unbiased { remaining } => {
+                    match remaining {
+                        Some(n) if n <= 1 => {
+                            self.branches[idx].state = State::fresh_monitor();
+                            self.log(r.branch, TransitionKind::RevisitMonitor, r.instr, None);
+                        }
+                        Some(n) => {
+                            self.branches[idx].state = State::Unbiased { remaining: Some(n - 1) };
+                        }
+                        None => {
+                            self.branches[idx].state = State::Unbiased { remaining: None };
+                        }
+                    }
+                    return SpecDecision::NotSpeculated;
+                }
+            }
+        }
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> ControlStats {
+        let mut s = ControlStats {
+            events: self.events,
+            instructions: self.instructions,
+            correct: self.correct,
+            incorrect: self.incorrect,
+            ..ControlStats::default()
+        };
+        for b in &self.branches {
+            if b.execs == 0 {
+                continue;
+            }
+            s.touched += 1;
+            if b.entries > 0 {
+                s.entered_biased += 1;
+                s.total_entries += u64::from(b.entries);
+            }
+            if b.evictions > 0 {
+                s.evicted_branches += 1;
+                s.total_evictions += u64::from(b.evictions);
+            }
+            if matches!(b.state, State::Disabled) {
+                s.disabled_branches += 1;
+            }
+        }
+        s.reopt_requests = s.total_entries + s.total_evictions;
+        s
+    }
+
+    /// The transition log (empty if recording is disabled).
+    pub fn transitions(&self) -> &[TransitionEvent] {
+        &self.transitions
+    }
+
+    /// Times `branch` entered the biased state.
+    pub fn entries(&self, branch: BranchId) -> u32 {
+        self.branches.get(branch.index()).map_or(0, |b| b.entries)
+    }
+
+    /// Times `branch` was evicted from the biased state.
+    pub fn evictions(&self, branch: BranchId) -> u32 {
+        self.branches.get(branch.index()).map_or(0, |b| b.evictions)
+    }
+
+    /// Returns `true` if `branch` is currently speculated (biased state, or
+    /// eviction pending deployment).
+    pub fn is_speculating(&self, branch: BranchId) -> bool {
+        matches!(
+            self.branches.get(branch.index()).map(|b| &b.state),
+            Some(State::Biased { .. }) | Some(State::PendingMonitor { .. })
+        )
+    }
+
+    /// Returns `true` if `branch` has been permanently disabled by the
+    /// oscillation cap.
+    pub fn is_disabled(&self, branch: BranchId) -> bool {
+        matches!(
+            self.branches.get(branch.index()).map(|b| &b.state),
+            Some(State::Disabled)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(b: u32, taken: bool, instr: u64) -> BranchRecord {
+        BranchRecord { branch: BranchId::new(b), taken, instr }
+    }
+
+    /// Tiny parameters that make hand-reasoning easy.
+    fn tiny() -> ControllerParams {
+        ControllerParams {
+            monitor_period: 10,
+            monitor_policy: MonitorPolicy::FixedWindow,
+            monitor_sample_rate: 1,
+            selection_threshold: 0.995,
+            eviction: EvictionMode::Counter { up: 50, down: 1, threshold: 100 },
+            revisit: Revisit::After(20),
+            oscillation_limit: Some(5),
+            optimization_latency: 0,
+        }
+    }
+
+    fn drive(ctl: &mut ReactiveController, b: u32, taken: bool, n: u64, instr: &mut u64) {
+        for _ in 0..n {
+            *instr += 5;
+            ctl.observe(&rec(b, taken, *instr));
+        }
+    }
+
+    #[test]
+    fn biased_branch_is_selected_after_monitoring() {
+        let mut ctl = ReactiveController::new(tiny()).unwrap();
+        let mut instr = 0;
+        drive(&mut ctl, 0, true, 10, &mut instr);
+        assert!(ctl.is_speculating(BranchId::new(0)));
+        assert_eq!(ctl.entries(BranchId::new(0)), 1);
+        // Further executions are speculated correctly.
+        let d = ctl.observe(&rec(0, true, instr + 5));
+        assert_eq!(d, SpecDecision::Correct);
+    }
+
+    #[test]
+    fn unbiased_branch_is_not_selected() {
+        let mut ctl = ReactiveController::new(tiny()).unwrap();
+        let mut instr = 0;
+        for i in 0..10u64 {
+            instr += 5;
+            ctl.observe(&rec(0, i % 2 == 0, instr));
+        }
+        assert!(!ctl.is_speculating(BranchId::new(0)));
+        assert_eq!(ctl.entries(BranchId::new(0)), 0);
+        let d = ctl.observe(&rec(0, true, instr + 5));
+        assert_eq!(d, SpecDecision::NotSpeculated);
+    }
+
+    #[test]
+    fn monitoring_executions_are_not_speculated() {
+        let mut ctl = ReactiveController::new(tiny()).unwrap();
+        for i in 0..9u64 {
+            let d = ctl.observe(&rec(0, true, 5 * (i + 1)));
+            assert_eq!(d, SpecDecision::NotSpeculated);
+        }
+    }
+
+    #[test]
+    fn eviction_after_sustained_misspeculation() {
+        let mut ctl = ReactiveController::new(tiny()).unwrap();
+        let mut instr = 0;
+        drive(&mut ctl, 0, true, 10, &mut instr); // select taken
+        // Reverse the behavior: 100/50 = 2 misspecs to reach threshold 100.
+        drive(&mut ctl, 0, false, 2, &mut instr);
+        assert_eq!(ctl.evictions(BranchId::new(0)), 1);
+        assert!(!ctl.is_speculating(BranchId::new(0)));
+        // Back in monitor: next executions are unspeculated.
+        let d = ctl.observe(&rec(0, false, instr + 5));
+        assert_eq!(d, SpecDecision::NotSpeculated);
+    }
+
+    #[test]
+    fn short_bursts_are_tolerated() {
+        let mut ctl = ReactiveController::new(tiny()).unwrap();
+        let mut instr = 0;
+        drive(&mut ctl, 0, true, 10, &mut instr);
+        // One misspec (counter 50), then plenty of correct ones.
+        drive(&mut ctl, 0, false, 1, &mut instr);
+        drive(&mut ctl, 0, true, 60, &mut instr);
+        drive(&mut ctl, 0, false, 1, &mut instr);
+        assert_eq!(ctl.evictions(BranchId::new(0)), 0);
+        assert!(ctl.is_speculating(BranchId::new(0)));
+    }
+
+    #[test]
+    fn revisit_reselects_late_biased_branch() {
+        let mut ctl = ReactiveController::new(tiny()).unwrap();
+        let mut instr = 0;
+        // Unbiased during first monitor window.
+        for i in 0..10u64 {
+            instr += 5;
+            ctl.observe(&rec(0, i % 2 == 0, instr));
+        }
+        assert_eq!(ctl.entries(BranchId::new(0)), 0);
+        // Wait period (20 executions), now biased.
+        drive(&mut ctl, 0, true, 20, &mut instr);
+        // Re-monitoring for 10 executions, all taken → selected.
+        drive(&mut ctl, 0, true, 10, &mut instr);
+        assert_eq!(ctl.entries(BranchId::new(0)), 1);
+        assert!(ctl.is_speculating(BranchId::new(0)));
+    }
+
+    #[test]
+    fn no_revisit_strands_unbiased_branches() {
+        let params = tiny().without_revisit();
+        let mut ctl = ReactiveController::new(params).unwrap();
+        let mut instr = 0;
+        for i in 0..10u64 {
+            instr += 5;
+            ctl.observe(&rec(0, i % 2 == 0, instr));
+        }
+        // A long biased stretch afterwards is never harvested.
+        drive(&mut ctl, 0, true, 1000, &mut instr);
+        assert_eq!(ctl.entries(BranchId::new(0)), 0);
+        assert_eq!(ctl.stats().correct, 0);
+    }
+
+    #[test]
+    fn no_eviction_keeps_misspeculating() {
+        let params = tiny().without_eviction();
+        let mut ctl = ReactiveController::new(params).unwrap();
+        let mut instr = 0;
+        drive(&mut ctl, 0, true, 10, &mut instr);
+        drive(&mut ctl, 0, false, 500, &mut instr);
+        let s = ctl.stats();
+        assert_eq!(s.incorrect, 500, "open loop never repairs");
+        assert_eq!(s.total_evictions, 0);
+    }
+
+    #[test]
+    fn oscillation_cap_disables_branch() {
+        let mut ctl = ReactiveController::new(tiny()).unwrap();
+        let mut instr = 0;
+        for round in 0..6u32 {
+            // Monitor passes (all taken), then reverse until evicted.
+            drive(&mut ctl, 0, true, 10, &mut instr);
+            if round < 5 {
+                assert_eq!(ctl.entries(BranchId::new(0)), round + 1);
+                drive(&mut ctl, 0, false, 2, &mut instr);
+                assert_eq!(ctl.evictions(BranchId::new(0)), round + 1);
+            }
+        }
+        // The sixth monitor pass must disable instead of re-entering.
+        assert!(ctl.is_disabled(BranchId::new(0)));
+        assert_eq!(ctl.entries(BranchId::new(0)), 5);
+        let s = ctl.stats();
+        assert_eq!(s.disabled_branches, 1);
+        // Once disabled, nothing happens anymore.
+        let d = ctl.observe(&rec(0, true, instr + 5));
+        assert_eq!(d, SpecDecision::NotSpeculated);
+    }
+
+    #[test]
+    fn selection_latency_defers_speculation() {
+        let params = tiny().with_latency(1000);
+        let mut ctl = ReactiveController::new(params).unwrap();
+        let mut instr = 0;
+        drive(&mut ctl, 0, true, 10, &mut instr); // decision at instr=50
+        // Still within latency window: not speculated.
+        let d = ctl.observe(&rec(0, true, 900));
+        assert_eq!(d, SpecDecision::NotSpeculated);
+        // Past the deadline (50 + 1000): speculated.
+        let d = ctl.observe(&rec(0, true, 1100));
+        assert_eq!(d, SpecDecision::Correct);
+    }
+
+    #[test]
+    fn eviction_latency_keeps_counting_misspecs() {
+        let params = tiny().with_latency(1000);
+        let mut ctl = ReactiveController::new(params).unwrap();
+        let mut instr = 0;
+        drive(&mut ctl, 0, true, 10, &mut instr);
+        // Deploy the optimized code.
+        instr += 2000;
+        ctl.observe(&rec(0, true, instr));
+        // Trip the eviction counter.
+        drive(&mut ctl, 0, false, 2, &mut instr);
+        assert_eq!(ctl.evictions(BranchId::new(0)), 1);
+        // Stale code still speculating during the latency window.
+        let d = ctl.observe(&rec(0, false, instr + 10));
+        assert_eq!(d, SpecDecision::Incorrect);
+        // After deployment the branch is monitored again.
+        let d = ctl.observe(&rec(0, false, instr + 5000));
+        assert_eq!(d, SpecDecision::NotSpeculated);
+    }
+
+    #[test]
+    fn transition_log_captures_lifecycle() {
+        let mut ctl = ReactiveController::new(tiny()).unwrap();
+        let mut instr = 0;
+        drive(&mut ctl, 0, true, 10, &mut instr);
+        drive(&mut ctl, 0, false, 2, &mut instr);
+        let kinds: Vec<TransitionKind> = ctl.transitions().iter().map(|t| t.kind).collect();
+        assert_eq!(kinds, vec![TransitionKind::EnterBiased, TransitionKind::ExitBiased]);
+        assert_eq!(ctl.transitions()[0].direction, Some(Direction::Taken));
+    }
+
+    #[test]
+    fn transition_recording_can_be_disabled() {
+        let mut ctl = ReactiveController::new(tiny()).unwrap();
+        ctl.set_record_transitions(false);
+        let mut instr = 0;
+        drive(&mut ctl, 0, true, 10, &mut instr);
+        assert!(ctl.transitions().is_empty());
+        assert_eq!(ctl.entries(BranchId::new(0)), 1);
+    }
+
+    #[test]
+    fn monitor_sampling_classifies_from_fewer_samples() {
+        let params = tiny().with_monitor_sampling(2);
+        let mut ctl = ReactiveController::new(params).unwrap();
+        let mut instr = 0;
+        // Alternate so that sampled executions (every 2nd, starting with
+        // the first) are all taken while unsampled ones are not-taken.
+        for i in 0..10u64 {
+            instr += 5;
+            ctl.observe(&rec(0, i % 2 == 0, instr));
+        }
+        // 5 samples, all taken → selected despite 50% true bias.
+        assert_eq!(ctl.entries(BranchId::new(0)), 1);
+    }
+
+    #[test]
+    fn sampled_eviction_fires_on_degraded_bias() {
+        let mut params = tiny();
+        params.eviction =
+            EvictionMode::Sampling { period: 20, samples: 10, bias_threshold: 0.98 };
+        let mut ctl = ReactiveController::new(params).unwrap();
+        let mut instr = 0;
+        drive(&mut ctl, 0, true, 10, &mut instr); // select
+        // Degrade to ~50%: the first full sampling window must evict.
+        for i in 0..40u64 {
+            instr += 5;
+            ctl.observe(&rec(0, i % 2 == 0, instr));
+            if ctl.evictions(BranchId::new(0)) > 0 {
+                break;
+            }
+        }
+        assert_eq!(ctl.evictions(BranchId::new(0)), 1);
+    }
+
+    #[test]
+    fn sampled_eviction_keeps_healthy_branch() {
+        let mut params = tiny();
+        params.eviction =
+            EvictionMode::Sampling { period: 20, samples: 10, bias_threshold: 0.98 };
+        let mut ctl = ReactiveController::new(params).unwrap();
+        let mut instr = 0;
+        drive(&mut ctl, 0, true, 10, &mut instr);
+        drive(&mut ctl, 0, true, 200, &mut instr);
+        assert_eq!(ctl.evictions(BranchId::new(0)), 0);
+        assert!(ctl.is_speculating(BranchId::new(0)));
+    }
+
+    #[test]
+    fn stats_reflect_mixed_population() {
+        let mut ctl = ReactiveController::new(tiny()).unwrap();
+        let mut instr = 0;
+        // Branch 0 biased; branch 1 unbiased; branch 2 never executes.
+        drive(&mut ctl, 0, true, 30, &mut instr);
+        for i in 0..30u64 {
+            instr += 5;
+            ctl.observe(&rec(1, i % 2 == 0, instr));
+        }
+        let s = ctl.stats();
+        assert_eq!(s.touched, 2);
+        assert_eq!(s.entered_biased, 1);
+        assert_eq!(s.correct, 20);
+        assert_eq!(s.events, 60);
+        assert_eq!(s.reopt_requests, 1);
+    }
+
+    #[test]
+    fn rejects_invalid_params() {
+        let mut p = tiny();
+        p.monitor_period = 0;
+        assert!(ReactiveController::new(p).is_err());
+    }
+
+    #[test]
+    fn confidence_monitor_selects_obvious_bias_early() {
+        // At threshold 0.995 and z = 2.58, a perfect branch clears the
+        // Wilson lower bound after ~1,325 samples — far earlier than the
+        // 10,000-execution window it is racing here.
+        let params = tiny()
+            .with_monitor_period(10_000)
+            .with_confidence_monitor(2.58, 16, 10_000);
+        let mut ctl = ReactiveController::new(params).unwrap();
+        let mut instr = 0;
+        drive(&mut ctl, 0, true, 2_000, &mut instr);
+        assert!(ctl.is_speculating(BranchId::new(0)));
+        let s = ctl.stats();
+        assert!(s.correct > 500, "correct {}", s.correct);
+    }
+
+    #[test]
+    fn confidence_monitor_rejects_unbiased_early() {
+        let params = tiny().with_confidence_monitor(2.58, 16, 10_000);
+        let mut ctl = ReactiveController::new(params).unwrap();
+        let mut instr = 0;
+        for i in 0..400u64 {
+            instr += 5;
+            ctl.observe(&rec(0, i % 2 == 0, instr));
+        }
+        assert!(!ctl.is_speculating(BranchId::new(0)));
+        assert_eq!(ctl.entries(BranchId::new(0)), 0);
+        assert_eq!(ctl.stats().correct + ctl.stats().incorrect, 0);
+    }
+
+    #[test]
+    fn confidence_monitor_forces_decision_at_max() {
+        // True bias right at the boundary: undecidable, so the max forces
+        // a point-estimate decision.
+        let params = tiny().with_confidence_monitor(2.58, 16, 64);
+        let mut ctl = ReactiveController::new(params).unwrap();
+        let mut instr = 0;
+        // 63 taken + 1 not-taken in the first 64: point bias 0.984 < 0.995
+        // at the cap -> unbiased.
+        for i in 0..64u64 {
+            instr += 5;
+            ctl.observe(&rec(0, i != 10, instr));
+        }
+        assert!(!ctl.is_speculating(BranchId::new(0)));
+    }
+
+    #[test]
+    fn flush_forgets_classifications_but_keeps_stats() {
+        let mut ctl = ReactiveController::new(tiny()).unwrap();
+        let mut instr = 0;
+        drive(&mut ctl, 0, true, 50, &mut instr);
+        assert!(ctl.is_speculating(BranchId::new(0)));
+        let before = ctl.stats();
+        assert!(before.correct > 0);
+
+        ctl.flush_all();
+        assert!(!ctl.is_speculating(BranchId::new(0)));
+        // Statistics survive the flush.
+        let after = ctl.stats();
+        assert_eq!(after.correct, before.correct);
+        assert_eq!(after.total_entries, before.total_entries);
+        // The branch re-monitors and can be re-selected.
+        drive(&mut ctl, 0, true, 10, &mut instr);
+        assert!(ctl.is_speculating(BranchId::new(0)));
+        assert_eq!(ctl.entries(BranchId::new(0)), 2);
+    }
+
+    #[test]
+    fn flush_resets_oscillation_cap_budget() {
+        let mut ctl = ReactiveController::new(tiny()).unwrap();
+        let mut instr = 0;
+        // Exhaust the cap (5 entries) via forced oscillation.
+        for _ in 0..6 {
+            drive(&mut ctl, 0, true, 10, &mut instr);
+            drive(&mut ctl, 0, false, 2, &mut instr);
+        }
+        assert!(ctl.is_disabled(BranchId::new(0)));
+
+        // A flush gives the branch a fresh budget.
+        ctl.flush_all();
+        drive(&mut ctl, 0, true, 10, &mut instr);
+        assert!(ctl.is_speculating(BranchId::new(0)));
+        assert!(!ctl.is_disabled(BranchId::new(0)));
+    }
+}

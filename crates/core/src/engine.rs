@@ -1,0 +1,104 @@
+//! Convenience drivers: run a controller over traces and collect results.
+
+use crate::controller::{ReactiveController, TransitionEvent};
+use crate::params::{ControllerParams, InvalidParamsError};
+use crate::stats::ControlStats;
+use rsc_trace::{BranchRecord, InputId, Population};
+
+/// The outcome of one controller run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Aggregate counters.
+    pub stats: ControlStats,
+    /// The transition log.
+    pub transitions: Vec<TransitionEvent>,
+}
+
+/// Runs a controller over an arbitrary record stream.
+///
+/// # Errors
+///
+/// Returns an error if `params` are inconsistent.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_control::{engine, ControllerParams};
+/// use rsc_trace::{spec2000, InputId};
+///
+/// let pop = spec2000::benchmark("mcf").unwrap().population(100_000);
+/// let result = engine::run_trace(
+///     ControllerParams::scaled(),
+///     pop.trace(InputId::Eval, 100_000, 1),
+/// )?;
+/// assert_eq!(result.stats.events, 100_000);
+/// # Ok::<(), rsc_control::InvalidParamsError>(())
+/// ```
+pub fn run_trace<I: IntoIterator<Item = BranchRecord>>(
+    params: ControllerParams,
+    trace: I,
+) -> Result<RunResult, InvalidParamsError> {
+    let mut ctl = ReactiveController::new(params)?;
+    for r in trace {
+        ctl.observe(&r);
+    }
+    let stats = ctl.stats();
+    let transitions = ctl.transitions().to_vec();
+    Ok(RunResult { stats, transitions })
+}
+
+/// Runs a controller over one benchmark population.
+///
+/// # Errors
+///
+/// Returns an error if `params` are inconsistent.
+pub fn run_population(
+    params: ControllerParams,
+    population: &Population,
+    input: InputId,
+    events: u64,
+    seed: u64,
+) -> Result<RunResult, InvalidParamsError> {
+    run_trace(params, population.trace(input, events, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_trace::spec2000;
+
+    #[test]
+    fn run_population_produces_consistent_stats() {
+        let pop = spec2000::benchmark("gzip").unwrap().population(50_000);
+        let r = run_population(
+            ControllerParams::scaled(),
+            &pop,
+            InputId::Eval,
+            50_000,
+            3,
+        )
+        .unwrap();
+        assert_eq!(r.stats.events, 50_000);
+        assert!(r.stats.touched > 0);
+        assert!(r.stats.correct + r.stats.incorrect <= r.stats.events);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let pop = spec2000::benchmark("vpr").unwrap().population(30_000);
+        let a = run_population(ControllerParams::scaled(), &pop, InputId::Eval, 30_000, 5)
+            .unwrap();
+        let b = run_population(ControllerParams::scaled(), &pop, InputId::Eval, 30_000, 5)
+            .unwrap();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.transitions.len(), b.transitions.len());
+    }
+
+    #[test]
+    fn invalid_params_error_out() {
+        let pop = spec2000::benchmark("vpr").unwrap().population(1000);
+        let mut p = ControllerParams::scaled();
+        p.monitor_period = 0;
+        assert!(run_population(p, &pop, InputId::Eval, 1000, 1).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! # rsc-control — reactive speculation control
+//!
+//! The core contribution of *Reactive Techniques for Controlling Software
+//! Speculation* (Zilles & Neelakantam, CGO 2005): a simple three-state
+//! model — monitor, biased, unbiased — that keeps aggressive software
+//! speculation robust by *re-classifying* branches when their behavior
+//! changes.
+//!
+//! The two arcs that separate this model from one-shot profile-guided
+//! selection are:
+//!
+//! * **eviction** (biased → monitor): an asymmetric saturating counter
+//!   (+50 on a misspeculation, −1 otherwise, evict at 10,000) detects
+//!   branches whose bias has degraded and requests repair;
+//! * **revisit** (unbiased → monitor): after a long wait period, rejected
+//!   branches get another chance, harvesting late-developing bias.
+//!
+//! Everything else — thresholds, sampling, latency — is a second-order
+//! knob, which this crate's sensitivity presets let you verify.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rsc_control::{engine, ControllerParams};
+//! use rsc_trace::{spec2000, InputId};
+//!
+//! let pop = spec2000::benchmark("gcc").unwrap().population(200_000);
+//! let closed = engine::run_population(
+//!     ControllerParams::scaled(),
+//!     &pop, InputId::Eval, 200_000, 7,
+//! )?;
+//! let open = engine::run_population(
+//!     ControllerParams::scaled().without_eviction(),
+//!     &pop, InputId::Eval, 200_000, 7,
+//! )?;
+//! // The open-loop controller misspeculates far more.
+//! assert!(open.stats.incorrect >= closed.stats.incorrect);
+//! # Ok::<(), rsc_control::InvalidParamsError>(())
+//! ```
+
+pub mod analysis;
+pub mod confidence;
+pub mod controller;
+pub mod counter;
+pub mod engine;
+pub mod params;
+pub mod stats;
+
+pub use controller::{
+    ReactiveController, SpecDecision, TransitionEvent, TransitionKind,
+};
+pub use engine::{run_population, run_trace, RunResult};
+pub use params::{ControllerParams, EvictionMode, InvalidParamsError, MonitorPolicy, Revisit};
+pub use stats::ControlStats;

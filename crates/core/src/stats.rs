@@ -1,0 +1,153 @@
+//! Aggregate controller statistics (the quantities behind Tables 3 and 4).
+
+/// Counters accumulated by a [`ReactiveController`](crate::ReactiveController)
+/// run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControlStats {
+    /// Total dynamic branch events observed.
+    pub events: u64,
+    /// Total dynamic instructions observed.
+    pub instructions: u64,
+    /// Dynamic branches speculated correctly.
+    pub correct: u64,
+    /// Dynamic branches misspeculated.
+    pub incorrect: u64,
+    /// Static branches that executed at least once (Table 3 "touch").
+    pub touched: usize,
+    /// Static branches that entered the biased state (Table 3 "bias").
+    pub entered_biased: usize,
+    /// Static branches evicted at least once (Table 3 "evict").
+    pub evicted_branches: usize,
+    /// Total evictions (Table 3 "total evicts").
+    pub total_evictions: u64,
+    /// Total entries into the biased state.
+    pub total_entries: u64,
+    /// Static branches permanently disabled by the oscillation cap.
+    pub disabled_branches: usize,
+    /// Re-optimization requests issued (entries plus evictions).
+    pub reopt_requests: u64,
+}
+
+impl ControlStats {
+    /// Fraction of dynamic branches speculated correctly (Table 3
+    /// "% spec.", Table 4 "correct").
+    pub fn correct_frac(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.events as f64
+        }
+    }
+
+    /// Fraction of dynamic branches misspeculated (Table 4 "incorrect").
+    pub fn incorrect_frac(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.incorrect as f64 / self.events as f64
+        }
+    }
+
+    /// Average instructions between misspeculations (Table 3 "misspec
+    /// dist."), or `None` if there were none.
+    pub fn misspec_distance(&self) -> Option<u64> {
+        self.instructions.checked_div(self.incorrect)
+    }
+
+    /// Fraction of touched branches that entered the biased state (the
+    /// paper reports 34% on average).
+    pub fn biased_frac(&self) -> f64 {
+        if self.touched == 0 {
+            0.0
+        } else {
+            self.entered_biased as f64 / self.touched as f64
+        }
+    }
+
+    /// Fraction of touched branches that were evicted (the paper reports
+    /// about 2% on average).
+    pub fn evicted_frac(&self) -> f64 {
+        if self.touched == 0 {
+            0.0
+        } else {
+            self.evicted_branches as f64 / self.touched as f64
+        }
+    }
+
+    /// Average evictions per evicted branch (the paper reports ~1.6).
+    pub fn evictions_per_evicted_branch(&self) -> f64 {
+        if self.evicted_branches == 0 {
+            0.0
+        } else {
+            self.total_evictions as f64 / self.evicted_branches as f64
+        }
+    }
+
+    /// Sums per-benchmark stats into campaign totals.
+    pub fn accumulate(&mut self, other: &ControlStats) {
+        self.events += other.events;
+        self.instructions += other.instructions;
+        self.correct += other.correct;
+        self.incorrect += other.incorrect;
+        self.touched += other.touched;
+        self.entered_biased += other.entered_biased;
+        self.evicted_branches += other.evicted_branches;
+        self.total_evictions += other.total_evictions;
+        self.total_entries += other.total_entries;
+        self.disabled_branches += other.disabled_branches;
+        self.reopt_requests += other.reopt_requests;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ControlStats {
+        ControlStats {
+            events: 1000,
+            instructions: 6500,
+            correct: 448,
+            incorrect: 2,
+            touched: 100,
+            entered_biased: 34,
+            evicted_branches: 2,
+            total_evictions: 3,
+            total_entries: 37,
+            disabled_branches: 1,
+            reopt_requests: 40,
+        }
+    }
+
+    #[test]
+    fn fractions() {
+        let s = sample();
+        assert!((s.correct_frac() - 0.448).abs() < 1e-12);
+        assert!((s.incorrect_frac() - 0.002).abs() < 1e-12);
+        assert!((s.biased_frac() - 0.34).abs() < 1e-12);
+        assert!((s.evicted_frac() - 0.02).abs() < 1e-12);
+        assert!((s.evictions_per_evicted_branch() - 1.5).abs() < 1e-12);
+        assert_eq!(s.misspec_distance(), Some(3250));
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let s = ControlStats::default();
+        assert_eq!(s.correct_frac(), 0.0);
+        assert_eq!(s.incorrect_frac(), 0.0);
+        assert_eq!(s.biased_frac(), 0.0);
+        assert_eq!(s.evicted_frac(), 0.0);
+        assert_eq!(s.evictions_per_evicted_branch(), 0.0);
+        assert_eq!(s.misspec_distance(), None);
+    }
+
+    #[test]
+    fn accumulate_adds_all_fields() {
+        let mut a = sample();
+        a.accumulate(&sample());
+        assert_eq!(a.events, 2000);
+        assert_eq!(a.correct, 896);
+        assert_eq!(a.touched, 200);
+        assert_eq!(a.reopt_requests, 80);
+    }
+}

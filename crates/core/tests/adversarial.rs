@@ -1,0 +1,193 @@
+//! Failure injection: adversarial workloads designed to break a
+//! speculation controller, and the defenses the paper builds in.
+
+use rsc_control::{
+    ControllerParams, EvictionMode, MonitorPolicy, ReactiveController, Revisit,
+    SpecDecision,
+};
+use rsc_trace::{BranchId, BranchRecord};
+
+fn tiny_params() -> ControllerParams {
+    ControllerParams {
+        monitor_period: 100,
+        monitor_policy: MonitorPolicy::FixedWindow,
+        monitor_sample_rate: 1,
+        selection_threshold: 0.995,
+        eviction: EvictionMode::Counter { up: 50, down: 1, threshold: 500 },
+        revisit: Revisit::After(1_000),
+        oscillation_limit: Some(5),
+        optimization_latency: 0,
+    }
+}
+
+fn drive(
+    ctl: &mut ReactiveController,
+    branch: u32,
+    outcomes: impl IntoIterator<Item = bool>,
+    instr: &mut u64,
+) -> (u64, u64) {
+    let mut correct = 0;
+    let mut incorrect = 0;
+    for taken in outcomes {
+        *instr += 5;
+        match ctl.observe(&BranchRecord { branch: BranchId::new(branch), taken, instr: *instr }) {
+            SpecDecision::Correct => correct += 1,
+            SpecDecision::Incorrect => incorrect += 1,
+            SpecDecision::NotSpeculated => {}
+        }
+    }
+    (correct, incorrect)
+}
+
+/// A branch engineered to oscillate forever: perfectly biased long enough
+/// to be selected, then perfectly reversed long enough to be evicted, on
+/// repeat. The oscillation cap must bound the damage.
+#[test]
+fn oscillation_storm_is_bounded() {
+    let mut ctl = ReactiveController::new(tiny_params()).unwrap();
+    let mut instr = 0;
+    let mut total_incorrect = 0;
+    for cycle in 0..100 {
+        let phase = cycle % 2 == 0;
+        let (_, inc) = drive(&mut ctl, 0, std::iter::repeat_n(phase, 600), &mut instr);
+        total_incorrect += inc;
+    }
+    // 5 allowed optimizations x ~10 misspecs to evict each: damage must be
+    // bounded by the cap, not grow with the number of phases.
+    assert!(ctl.is_disabled(BranchId::new(0)));
+    assert_eq!(ctl.entries(BranchId::new(0)), 5);
+    assert!(
+        total_incorrect < 5 * 30,
+        "incorrect {total_incorrect} should be bounded by the cap"
+    );
+}
+
+/// Without the cap, the same storm generates unbounded re-optimization.
+#[test]
+fn oscillation_storm_without_cap_keeps_reoptimizing() {
+    let params = ControllerParams { oscillation_limit: None, ..tiny_params() };
+    let mut ctl = ReactiveController::new(params).unwrap();
+    let mut instr = 0;
+    for cycle in 0..100 {
+        let phase = cycle % 2 == 0;
+        drive(&mut ctl, 0, std::iter::repeat_n(phase, 600), &mut instr);
+    }
+    let entries = ctl.entries(BranchId::new(0));
+    let evictions = ctl.evictions(BranchId::new(0));
+    assert!(entries > 10, "entries {entries}");
+    // Every entry except possibly the still-open last one gets evicted.
+    assert!(entries - evictions <= 1, "entries {entries} vs evictions {evictions}");
+}
+
+/// A branch that stays just under the eviction engagement rate: the
+/// controller should tolerate it forever (that is the point of the
+/// hysteresis), and misspeculation stays proportional to its true rate.
+#[test]
+fn sub_threshold_noise_is_not_evicted() {
+    let mut ctl = ReactiveController::new(tiny_params()).unwrap();
+    let mut instr = 0;
+    // Select it first.
+    drive(&mut ctl, 0, std::iter::repeat_n(true, 100), &mut instr);
+    // 1% misspeculation, far below the ~2% engagement rate.
+    let outcomes = (0..50_000).map(|i| i % 100 != 0);
+    let (correct, incorrect) = drive(&mut ctl, 0, outcomes, &mut instr);
+    assert_eq!(ctl.evictions(BranchId::new(0)), 0);
+    assert!(correct > 49_000);
+    assert_eq!(incorrect, 500);
+}
+
+/// A burst of misspeculations shorter than the hysteresis distance must
+/// not evict; a sustained reversal must.
+#[test]
+fn burst_tolerance_vs_sustained_reversal() {
+    let mut ctl = ReactiveController::new(tiny_params()).unwrap();
+    let mut instr = 0;
+    drive(&mut ctl, 0, std::iter::repeat_n(true, 100), &mut instr);
+    // Burst of 9 misspecs (9 * 50 = 450 < 500), then recovery.
+    drive(&mut ctl, 0, std::iter::repeat_n(false, 9), &mut instr);
+    drive(&mut ctl, 0, std::iter::repeat_n(true, 1_000), &mut instr);
+    assert_eq!(ctl.evictions(BranchId::new(0)), 0, "short burst tolerated");
+    // Sustained reversal: evicted promptly.
+    drive(&mut ctl, 0, std::iter::repeat_n(false, 50), &mut instr);
+    assert_eq!(ctl.evictions(BranchId::new(0)), 1);
+}
+
+/// Alternating outcomes look 50%-biased at every window size the monitor
+/// uses; the controller must never select such a branch.
+#[test]
+fn alternating_branch_is_never_selected() {
+    let mut ctl = ReactiveController::new(tiny_params()).unwrap();
+    let mut instr = 0;
+    let outcomes = (0..100_000).map(|i| i % 2 == 0);
+    let (correct, incorrect) = drive(&mut ctl, 0, outcomes, &mut instr);
+    assert_eq!(ctl.entries(BranchId::new(0)), 0);
+    assert_eq!(correct + incorrect, 0);
+}
+
+/// Thousands of one-shot branches (executed once each) must neither be
+/// speculated nor blow up controller memory/state.
+#[test]
+fn cold_branch_flood() {
+    let mut ctl = ReactiveController::new(tiny_params()).unwrap();
+    let mut instr = 0;
+    for b in 0..50_000u32 {
+        instr += 5;
+        let d = ctl.observe(&BranchRecord { branch: BranchId::new(b), taken: true, instr });
+        assert_eq!(d, SpecDecision::NotSpeculated);
+    }
+    let s = ctl.stats();
+    assert_eq!(s.touched, 50_000);
+    assert_eq!(s.entered_biased, 0);
+    assert_eq!(s.correct + s.incorrect, 0);
+}
+
+/// A branch that reverses during the selection latency window: the
+/// controller deploys stale speculation, then must recover through the
+/// normal eviction path rather than wedging.
+#[test]
+fn reversal_during_deployment_latency() {
+    let params = ControllerParams { optimization_latency: 10_000, ..tiny_params() };
+    let mut ctl = ReactiveController::new(params).unwrap();
+    let mut instr = 0;
+    // Selected as taken at instr ~500.
+    drive(&mut ctl, 0, std::iter::repeat_n(true, 100), &mut instr);
+    // Behavior reverses while the optimizer is still compiling.
+    drive(&mut ctl, 0, std::iter::repeat_n(false, 1_000), &mut instr);
+    // Deployment has happened by now (instr >> deadline); the stale code
+    // misspeculates, the counter trips, and the branch is evicted.
+    let (_, incorrect) =
+        drive(&mut ctl, 0, std::iter::repeat_n(false, 2_000), &mut instr);
+    assert!(incorrect > 0, "stale speculation must be observed");
+    assert_eq!(ctl.evictions(BranchId::new(0)), 1);
+    // Re-monitored and re-selected in the new direction.
+    drive(&mut ctl, 0, std::iter::repeat_n(false, 3_000), &mut instr);
+    let (correct, _) =
+        drive(&mut ctl, 0, std::iter::repeat_n(false, 1_000), &mut instr);
+    assert!(correct > 0, "controller must re-learn the reversed direction");
+}
+
+/// Interleaving many branches does not leak state across them.
+#[test]
+fn no_cross_branch_interference() {
+    let mut ctl = ReactiveController::new(tiny_params()).unwrap();
+    let mut instr = 0;
+    // Branch 0 perfectly biased, branch 1 perfectly anti-biased, branch 2
+    // random-ish; interleaved.
+    for i in 0..30_000u64 {
+        instr += 5;
+        ctl.observe(&BranchRecord { branch: BranchId::new(0), taken: true, instr });
+        instr += 5;
+        ctl.observe(&BranchRecord { branch: BranchId::new(1), taken: false, instr });
+        instr += 5;
+        ctl.observe(&BranchRecord {
+            branch: BranchId::new(2),
+            taken: (i * 2654435761) % 97 < 48,
+            instr,
+        });
+    }
+    assert_eq!(ctl.entries(BranchId::new(0)), 1);
+    assert_eq!(ctl.entries(BranchId::new(1)), 1);
+    assert_eq!(ctl.entries(BranchId::new(2)), 0);
+    assert_eq!(ctl.evictions(BranchId::new(0)), 0);
+    assert_eq!(ctl.evictions(BranchId::new(1)), 0);
+}

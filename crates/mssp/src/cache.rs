@@ -1,0 +1,168 @@
+//! Set-associative cache model with LRU replacement.
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The block was present.
+    Hit,
+    /// The block was absent and has been filled.
+    Miss,
+}
+
+/// A set-associative, write-allocate cache with true-LRU replacement.
+///
+/// Only hit/miss behavior is modeled (timing lives in the core models).
+///
+/// # Examples
+///
+/// ```
+/// use rsc_mssp::cache::{Access, Cache};
+/// let mut c = Cache::new(1, 1, 64); // 1 KiB direct-mapped, 64 B blocks
+/// assert_eq!(c.access(0x0), Access::Miss);
+/// assert_eq!(c.access(0x8), Access::Hit); // same block
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Vec<u64>>, // tags, most-recently-used first
+    assoc: usize,
+    block_shift: u32,
+    set_mask: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `kib` KiB with `assoc` ways and `block_bytes`
+    /// blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sizes, non-power-of-two
+    /// block size, or fewer than one set).
+    pub fn new(kib: u32, assoc: u32, block_bytes: u32) -> Self {
+        assert!(kib > 0 && assoc > 0 && block_bytes > 0, "cache geometry must be positive");
+        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        let blocks = kib as u64 * 1024 / block_bytes as u64;
+        let sets = (blocks / assoc as u64).max(1);
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            sets: vec![Vec::with_capacity(assoc as usize); sets as usize],
+            assoc: assoc as usize,
+            block_shift: block_bytes.trailing_zeros(),
+            set_mask: sets - 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses `addr`, updating LRU state and filling on a miss.
+    pub fn access(&mut self, addr: u64) -> Access {
+        let block = addr >> self.block_shift;
+        let set = (block & self.set_mask) as usize;
+        let tag = block >> self.sets.len().trailing_zeros();
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == tag) {
+            let t = ways.remove(pos);
+            ways.insert(0, t);
+            self.hits += 1;
+            Access::Hit
+        } else {
+            if ways.len() >= self.assoc {
+                ways.pop();
+            }
+            ways.insert(0, tag);
+            self.misses += 1;
+            Access::Miss
+        }
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss rate over all accesses (0 if none).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Number of sets (exposed for tests and diagnostics).
+    pub fn set_count(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let c = Cache::new(64, 2, 64);
+        assert_eq!(c.set_count(), 64 * 1024 / 64 / 2);
+    }
+
+    #[test]
+    fn same_block_hits() {
+        let mut c = Cache::new(8, 2, 64);
+        assert_eq!(c.access(100), Access::Miss);
+        assert_eq!(c.access(101), Access::Hit);
+        assert_eq!(c.access(163), Access::Miss, "next block");
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // Direct construction of a 2-way set: three conflicting blocks.
+        let mut c = Cache::new(1, 2, 64); // 8 sets
+        let stride = 8 * 64; // same set, different tags
+        assert_eq!(c.access(0), Access::Miss);
+        assert_eq!(c.access(stride), Access::Miss);
+        assert_eq!(c.access(0), Access::Hit); // 0 now MRU
+        assert_eq!(c.access(2 * stride), Access::Miss); // evicts `stride`
+        assert_eq!(c.access(0), Access::Hit);
+        assert_eq!(c.access(stride), Access::Miss, "was evicted");
+    }
+
+    #[test]
+    fn small_cache_thrashes_large_working_set() {
+        let mut small = Cache::new(8, 8, 64);
+        let mut large = Cache::new(1024, 8, 64);
+        // 256 KiB working set, streamed twice.
+        for pass in 0..2 {
+            for i in 0..4096u64 {
+                let addr = i * 64;
+                let a = small.access(addr);
+                let b = large.access(addr);
+                if pass == 1 {
+                    assert_eq!(a, Access::Miss, "8 KiB cannot hold 256 KiB");
+                    let _ = b;
+                }
+            }
+        }
+        assert!(small.miss_rate() > large.miss_rate());
+    }
+
+    #[test]
+    fn miss_rate_zero_when_untouched() {
+        let c = Cache::new(8, 2, 64);
+        assert_eq!(c.miss_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_block_size() {
+        Cache::new(8, 2, 48);
+    }
+}

@@ -1,0 +1,132 @@
+//! Machine configuration (the paper's Table 5).
+
+/// One core's microarchitectural parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Fetch/issue width (instructions per cycle).
+    pub width: u32,
+    /// Pipeline depth in stages (branch misprediction penalty).
+    pub pipeline_depth: u32,
+    /// Instruction window entries (bounds memory-level parallelism).
+    pub window: u32,
+    /// L1 data cache size in KiB.
+    pub l1_kib: u32,
+    /// L1 associativity.
+    pub l1_assoc: u32,
+    /// L1 hit latency in cycles (including address generation).
+    pub l1_latency: u32,
+}
+
+/// Full asymmetric-CMP configuration.
+///
+/// Defaults reproduce the paper's Table 5: one large leading core, eight
+/// small trailing cores, a shared 1 MiB L2, and a 200-cycle memory.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_mssp::MachineConfig;
+/// let m = MachineConfig::table5();
+/// assert_eq!(m.leading.width, 4);
+/// assert_eq!(m.trailing_count, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// The leading (master) core.
+    pub leading: CoreConfig,
+    /// One trailing (checker) core.
+    pub trailing: CoreConfig,
+    /// Number of trailing cores.
+    pub trailing_count: u32,
+    /// Shared L2 size in KiB.
+    pub l2_kib: u32,
+    /// L2 associativity.
+    pub l2_assoc: u32,
+    /// L2 access latency in cycles (minimum).
+    pub l2_latency: u32,
+    /// Minimum memory latency after L2 miss, in cycles.
+    pub memory_latency: u32,
+    /// Minimum coherence hop between processors, in cycles.
+    pub coherence_hop: u32,
+    /// Cache block size in bytes (both levels).
+    pub block_bytes: u32,
+    /// gshare predictor size in counters (the paper's 8 Kbit = 4 K 2-bit
+    /// counters).
+    pub gshare_counters: u32,
+    /// Return-address-stack entries.
+    pub ras_entries: u32,
+    /// Indirect-target predictor entries.
+    pub indirect_entries: u32,
+}
+
+impl MachineConfig {
+    /// The paper's Table 5 parameters.
+    pub fn table5() -> Self {
+        MachineConfig {
+            leading: CoreConfig {
+                width: 4,
+                pipeline_depth: 12,
+                window: 128,
+                l1_kib: 64,
+                l1_assoc: 2,
+                l1_latency: 3,
+            },
+            trailing: CoreConfig {
+                width: 2,
+                pipeline_depth: 8,
+                window: 24,
+                l1_kib: 8,
+                l1_assoc: 8,
+                l1_latency: 3,
+            },
+            trailing_count: 8,
+            l2_kib: 1024,
+            l2_assoc: 8,
+            l2_latency: 10,
+            memory_latency: 200,
+            coherence_hop: 10,
+            block_bytes: 64,
+            gshare_counters: 4096,
+            ras_entries: 32,
+            indirect_entries: 256,
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::table5()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_matches_paper() {
+        let m = MachineConfig::table5();
+        assert_eq!(m.leading.width, 4);
+        assert_eq!(m.leading.pipeline_depth, 12);
+        assert_eq!(m.leading.window, 128);
+        assert_eq!(m.leading.l1_kib, 64);
+        assert_eq!(m.leading.l1_assoc, 2);
+        assert_eq!(m.trailing.width, 2);
+        assert_eq!(m.trailing.pipeline_depth, 8);
+        assert_eq!(m.trailing.window, 24);
+        assert_eq!(m.trailing.l1_kib, 8);
+        assert_eq!(m.trailing_count, 8);
+        assert_eq!(m.l2_kib, 1024);
+        assert_eq!(m.l2_latency, 10);
+        assert_eq!(m.memory_latency, 200);
+        assert_eq!(m.coherence_hop, 10);
+        assert_eq!(m.block_bytes, 64);
+        assert_eq!(m.ras_entries, 32);
+        assert_eq!(m.indirect_entries, 256);
+    }
+
+    #[test]
+    fn default_is_table5() {
+        assert_eq!(MachineConfig::default(), MachineConfig::table5());
+    }
+}

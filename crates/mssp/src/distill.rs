@@ -1,0 +1,113 @@
+//! The distiller: how much code a correct speculation eliminates.
+//!
+//! MSSP's approximate program omits both the speculated branch and the
+//! computation that only existed to feed it (Figure 1 of the paper:
+//! dead loads, address generation, comparison). The paper reports that
+//! eliminating checks enables removing as much as two-thirds of the
+//! speculative program's dynamic instructions; per-branch elimination
+//! fractions here are drawn deterministically from a range whose mean
+//! matches a more conservative distillation.
+
+use rsc_trace::rng::Xoshiro256;
+use rsc_trace::BranchId;
+
+/// Per-branch dead-code elimination fractions.
+#[derive(Debug, Clone)]
+pub struct Distiller {
+    fracs: Vec<f64>,
+}
+
+impl Distiller {
+    /// Elimination fraction bounds for one speculated branch's feeding
+    /// block.
+    pub const ELIM_RANGE: (f64, f64) = (0.25, 0.65);
+
+    /// Creates elimination fractions for `static_branches` branches,
+    /// deterministically from `seed`.
+    pub fn new(static_branches: usize, seed: u64) -> Self {
+        let mut rng = Xoshiro256::seed_from(seed).fork(0xD15_7111); // "distill"
+        let fracs = (0..static_branches)
+            .map(|_| rng.gen_range_f64(Self::ELIM_RANGE.0, Self::ELIM_RANGE.1))
+            .collect();
+        Distiller { fracs }
+    }
+
+    /// The fraction of the feeding block removed when `branch` is
+    /// speculated correctly.
+    pub fn elim_frac(&self, branch: BranchId) -> f64 {
+        self.fracs.get(branch.index()).copied().unwrap_or(Self::ELIM_RANGE.0)
+    }
+
+    /// Number of branches covered.
+    pub fn len(&self) -> usize {
+        self.fracs.len()
+    }
+
+    /// Returns `true` if no branches are covered.
+    pub fn is_empty(&self) -> bool {
+        self.fracs.is_empty()
+    }
+}
+
+/// Fractional skip accumulator: skips `frac` of a stream of unit steps,
+/// deterministically and without RNG state.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SkipAccumulator {
+    acc: f64,
+}
+
+impl SkipAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        SkipAccumulator::default()
+    }
+
+    /// Advances by one instruction with elimination fraction `frac`;
+    /// returns `true` if this instruction is eliminated.
+    pub fn skip(&mut self, frac: f64) -> bool {
+        self.acc += frac.clamp(0.0, 1.0);
+        if self.acc >= 1.0 {
+            self.acc -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fracs_are_within_range_and_deterministic() {
+        let a = Distiller::new(100, 7);
+        let b = Distiller::new(100, 7);
+        for i in 0..100 {
+            let f = a.elim_frac(BranchId::new(i));
+            assert!((Distiller::ELIM_RANGE.0..Distiller::ELIM_RANGE.1).contains(&f));
+            assert_eq!(f, b.elim_frac(BranchId::new(i)));
+        }
+    }
+
+    #[test]
+    fn out_of_range_branch_uses_floor() {
+        let d = Distiller::new(2, 7);
+        assert_eq!(d.elim_frac(BranchId::new(99)), Distiller::ELIM_RANGE.0);
+    }
+
+    #[test]
+    fn skip_accumulator_matches_fraction() {
+        let mut s = SkipAccumulator::new();
+        let skipped = (0..10_000).filter(|_| s.skip(0.4)).count();
+        assert_eq!(skipped, 4000);
+    }
+
+    #[test]
+    fn skip_zero_never_and_one_always() {
+        let mut s = SkipAccumulator::new();
+        assert!((0..100).filter(|_| s.skip(0.0)).count() == 0);
+        let mut s = SkipAccumulator::new();
+        assert_eq!((0..100).filter(|_| s.skip(1.0)).count(), 100);
+    }
+}

@@ -1,0 +1,41 @@
+//! # rsc-mssp — Master/Slave Speculative Parallelization substrate
+//!
+//! A deterministic timing simulation of the asymmetric chip multiprocessor
+//! the paper uses to validate its speculation-control model (its Section
+//! 4): one large leading core running the *distilled* (approximated,
+//! check-free) program, eight small trailing cores verifying tasks, a
+//! shared L2, and a dynamic optimizer whose speculation decisions come
+//! from an [`rsc_control`] controller.
+//!
+//! The machine reproduces the paper's two performance results:
+//!
+//! * removing the controller's eviction arc (open loop) costs double-digit
+//!   percent performance and can push MSSP below plain superscalar
+//!   execution (Figure 7);
+//! * re-optimization latencies of 0 / 100k / 1M cycles are almost
+//!   indistinguishable (Figure 8).
+//!
+//! ```
+//! use rsc_mssp::{run_mssp, MsspParams};
+//! use rsc_trace::{spec2000, InputId};
+//!
+//! let pop = spec2000::benchmark("vortex").unwrap().population(100_000);
+//! let r = run_mssp(&pop, InputId::Eval, 100_000, 1, &MsspParams::new());
+//! assert!(r.tasks > 0);
+//! assert!(r.distillation_ratio() > 0.0);
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod distill;
+pub mod machine;
+pub mod predictor;
+pub mod program;
+pub mod timing;
+
+pub use cache::Cache;
+pub use config::{CoreConfig, MachineConfig};
+pub use distill::Distiller;
+pub use machine::{run_baseline, run_mssp, run_mssp_only, MsspParams, MsspResult};
+pub use program::{Instr, MemoryModel, ProgramStream};
+pub use timing::{CoreModel, TimingStats};

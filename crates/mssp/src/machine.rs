@@ -1,0 +1,371 @@
+//! The MSSP machine: a master executing distilled tasks on the leading
+//! core, verified by trailing cores, with a dynamic optimizer driven by a
+//! speculation controller.
+//!
+//! The model is task-granular, as in the paper: any misspeculation inside a
+//! task prevents the whole task from committing; detection happens when the
+//! trailing execution finishes checking the task (hundreds of cycles after
+//! the fact), and recovery restarts the master from the checkpoint.
+
+use crate::cache::Cache;
+use crate::config::MachineConfig;
+use crate::distill::{Distiller, SkipAccumulator};
+use crate::program::{Instr, MemoryModel, ProgramStream};
+use crate::timing::CoreModel;
+use rsc_control::{ControllerParams, ReactiveController, SpecDecision};
+use rsc_trace::{InputId, Population};
+
+/// Parameters of one MSSP simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsspParams {
+    /// Hardware configuration.
+    pub machine: MachineConfig,
+    /// Speculation-control policy for the dynamic optimizer.
+    pub controller: ControllerParams,
+    /// Branch events per task (tasks span a few hundred instructions).
+    pub task_events: u64,
+    /// Cycles to restore the master from the trailing checkpoint after a
+    /// detected misspeculation (on top of the detection delay).
+    pub recovery_cycles: u64,
+    /// Fixed per-task master overhead (checkpoint/fork), in cycles.
+    pub task_overhead_cycles: u64,
+}
+
+impl MsspParams {
+    /// Defaults: Table 5 hardware, the scaled reactive controller, tasks of
+    /// 64 branch events (~400 instructions), 100-cycle restart.
+    pub fn new() -> Self {
+        MsspParams {
+            machine: MachineConfig::table5(),
+            controller: ControllerParams::scaled(),
+            task_events: 64,
+            recovery_cycles: 100,
+            task_overhead_cycles: 4,
+        }
+    }
+
+    /// Replaces the controller policy.
+    pub fn with_controller(mut self, controller: ControllerParams) -> Self {
+        self.controller = controller;
+        self
+    }
+}
+
+impl Default for MsspParams {
+    fn default() -> Self {
+        MsspParams::new()
+    }
+}
+
+/// Results of one MSSP simulation (plus its matching baseline).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsspResult {
+    /// Cycles for a plain superscalar run on the leading core.
+    pub baseline_cycles: u64,
+    /// Cycles for the MSSP execution (last task commit).
+    pub mssp_cycles: u64,
+    /// Dynamic instructions in the original program.
+    pub original_instructions: u64,
+    /// Dynamic instructions the master actually executed (distilled).
+    pub master_instructions: u64,
+    /// Tasks committed.
+    pub tasks: u64,
+    /// Tasks squashed by misspeculation.
+    pub task_misspecs: u64,
+    /// Dynamic branch misspeculations observed.
+    pub branch_misspecs: u64,
+}
+
+impl MsspResult {
+    /// Speedup of MSSP over the superscalar baseline (>1 is faster).
+    pub fn speedup(&self) -> f64 {
+        if self.mssp_cycles == 0 {
+            0.0
+        } else {
+            self.baseline_cycles as f64 / self.mssp_cycles as f64
+        }
+    }
+
+    /// Fraction of dynamic instructions the distiller removed.
+    pub fn distillation_ratio(&self) -> f64 {
+        if self.original_instructions == 0 {
+            0.0
+        } else {
+            1.0 - self.master_instructions as f64 / self.original_instructions as f64
+        }
+    }
+}
+
+/// Runs the plain superscalar baseline (the paper's `B` bars): the whole
+/// program on the leading core.
+pub fn run_baseline(
+    population: &Population,
+    input: InputId,
+    events: u64,
+    seed: u64,
+    machine: &MachineConfig,
+) -> u64 {
+    let mem = MemoryModel::for_benchmark(population.name());
+    let mut core = CoreModel::new(machine.leading, machine);
+    let mut l2 = Cache::new(machine.l2_kib, machine.l2_assoc, machine.block_bytes);
+    for instr in ProgramStream::new(population, input, events, seed, mem) {
+        core.step(&instr, &mut l2);
+    }
+    core.cycles()
+}
+
+/// Runs the MSSP machine with the given speculation-control policy and
+/// returns cycles for both MSSP and the baseline.
+///
+/// # Panics
+///
+/// Panics if the controller parameters are invalid or `task_events` is 0.
+pub fn run_mssp(
+    population: &Population,
+    input: InputId,
+    events: u64,
+    seed: u64,
+    params: &MsspParams,
+) -> MsspResult {
+    let baseline_cycles =
+        run_baseline(population, input, events, seed, &params.machine);
+    let mut r = run_mssp_only(population, input, events, seed, params);
+    r.baseline_cycles = baseline_cycles;
+    r
+}
+
+/// Runs only the MSSP side (no baseline), leaving
+/// [`MsspResult::baseline_cycles`] at zero. Use this with a separately
+/// computed [`run_baseline`] when sweeping several policies over the same
+/// workload.
+///
+/// # Panics
+///
+/// Panics if the controller parameters are invalid or `task_events` is 0.
+pub fn run_mssp_only(
+    population: &Population,
+    input: InputId,
+    events: u64,
+    seed: u64,
+    params: &MsspParams,
+) -> MsspResult {
+    assert!(params.task_events > 0, "tasks must contain at least one event");
+    let machine = &params.machine;
+    let mem = MemoryModel::for_benchmark(population.name());
+
+    let baseline_cycles = 0u64;
+
+    let mut controller = ReactiveController::new(params.controller)
+        .expect("controller parameters must be valid");
+    controller.set_record_transitions(false);
+    let distiller = Distiller::new(population.static_branches(), seed);
+
+    let mut master = CoreModel::new(machine.leading, machine);
+    let mut master_l2 = Cache::new(machine.l2_kib, machine.l2_assoc, machine.block_bytes);
+    // One trailing model stands in for the checking work; its cycle deltas
+    // price each task's verification.
+    let mut trail = CoreModel::new(machine.trailing, machine);
+    let mut trail_l2 = Cache::new(machine.l2_kib, machine.l2_assoc, machine.block_bytes);
+
+    let mut slave_free = vec![0u64; machine.trailing_count as usize];
+    let mut master_time = 0u64;
+    let mut last_commit = 0u64;
+
+    let mut tasks = 0u64;
+    let mut task_misspecs = 0u64;
+    let mut branch_misspecs = 0u64;
+    let mut original_instructions = 0u64;
+
+    let mut stream = ProgramStream::new(population, input, events, seed, mem).peekable();
+
+    let mut skip = SkipAccumulator::new();
+
+    while stream.peek().is_some() {
+        // ---- master executes one distilled task ----
+        let master_cycles_before = master.cycles();
+        let trail_cycles_before = trail.cycles();
+        let mut task_branches = 0u64;
+        let mut task_failed = false;
+        let mut task_orig_instr = 0u64;
+        let mut elim_frac = 0.0f64;
+
+        while task_branches < params.task_events {
+            let Some(instr) = stream.next() else { break };
+            task_orig_instr += 1;
+            original_instructions += 1;
+            // The trailing execution always checks the original program.
+            trail.step(&instr, &mut trail_l2);
+
+            match instr {
+                Instr::CondBranch { record, .. } => {
+                    task_branches += 1;
+                    match controller.observe(&record) {
+                        SpecDecision::Correct => {
+                            // Branch (and, downstream, part of its feeding
+                            // computation) vanishes from the master.
+                            elim_frac = distiller.elim_frac(record.branch);
+                        }
+                        SpecDecision::Incorrect => {
+                            branch_misspecs += 1;
+                            task_failed = true;
+                            elim_frac = 0.0;
+                            master.step(&instr, &mut master_l2);
+                        }
+                        SpecDecision::NotSpeculated => {
+                            elim_frac = 0.0;
+                            master.step(&instr, &mut master_l2);
+                        }
+                    }
+                }
+                other => {
+                    // Dead-code elimination from the most recent correct
+                    // speculation thins the surrounding block.
+                    if elim_frac > 0.0 && skip.skip(elim_frac) {
+                        continue;
+                    }
+                    master.step(&other, &mut master_l2);
+                }
+            }
+        }
+        if task_orig_instr == 0 {
+            break;
+        }
+        tasks += 1;
+        master_time +=
+            master.cycles() - master_cycles_before + params.task_overhead_cycles;
+
+        // ---- a trailing core verifies the task ----
+        let verify_cycles = trail.cycles() - trail_cycles_before;
+        let slave = slave_free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &free)| free)
+            .map(|(i, _)| i)
+            .expect("at least one trailing core");
+        let start =
+            master_time.max(slave_free[slave]) + u64::from(machine.coherence_hop);
+        let done = start + verify_cycles;
+        slave_free[slave] = done;
+
+        if task_failed {
+            task_misspecs += 1;
+            // Detection happens when the checker reaches the bad value;
+            // the master then restarts from the trailing state and redoes
+            // the task without the offending optimization.
+            let master_cpi = master_time as f64
+                / master.stats().instructions.max(1) as f64;
+            let reexec = (task_orig_instr as f64 * master_cpi.max(0.25)) as u64;
+            master_time = done + params.recovery_cycles + reexec;
+            last_commit = master_time;
+        } else {
+            last_commit = last_commit.max(done);
+        }
+    }
+
+    MsspResult {
+        baseline_cycles,
+        mssp_cycles: master_time.max(last_commit),
+        original_instructions,
+        master_instructions: master.stats().instructions,
+        tasks,
+        task_misspecs,
+        branch_misspecs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_trace::spec2000;
+
+    fn run(name: &str, events: u64, params: &MsspParams) -> MsspResult {
+        let pop = spec2000::benchmark(name).unwrap().population(events);
+        run_mssp(&pop, InputId::Eval, events, 11, params)
+    }
+
+    #[test]
+    fn mssp_beats_baseline_on_biased_benchmark() {
+        // vortex: ~80% of dynamic branches on stable highly-biased
+        // branches; distillation should win clearly once branches have had
+        // enough executions to classify.
+        let r = run("vortex", 2_000_000, &MsspParams::new());
+        assert!(
+            r.speedup() > 1.05,
+            "vortex speedup {} (distilled {:.2})",
+            r.speedup(),
+            r.distillation_ratio()
+        );
+        assert!(r.distillation_ratio() > 0.10, "distilled {}", r.distillation_ratio());
+    }
+
+    #[test]
+    fn open_loop_is_slower_than_closed_loop() {
+        let closed = MsspParams::new();
+        let open = MsspParams::new()
+            .with_controller(ControllerParams::scaled().without_eviction());
+        // mcf has many behavior-changing branches in our models.
+        let rc = run("mcf", 2_000_000, &closed);
+        let ro = run("mcf", 2_000_000, &open);
+        assert!(
+            ro.speedup() < rc.speedup(),
+            "open {} vs closed {}",
+            ro.speedup(),
+            rc.speedup()
+        );
+        assert!(ro.task_misspecs > rc.task_misspecs);
+    }
+
+    #[test]
+    fn misspecs_cluster_into_tasks() {
+        let r = run("mcf", 300_000, &MsspParams::new());
+        assert!(
+            r.task_misspecs <= r.branch_misspecs,
+            "task misspecs {} cannot exceed branch misspecs {}",
+            r.task_misspecs,
+            r.branch_misspecs
+        );
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let a = run("gzip", 200_000, &MsspParams::new());
+        let b = run("gzip", 200_000, &MsspParams::new());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn accounting_is_consistent() {
+        let r = run("gzip", 200_000, &MsspParams::new());
+        assert!(r.master_instructions <= r.original_instructions);
+        assert!(r.tasks > 0);
+        assert!(r.mssp_cycles > 0);
+        assert!(r.baseline_cycles > 0);
+        assert!(r.task_misspecs <= r.tasks);
+    }
+
+    #[test]
+    fn zero_latency_and_high_latency_are_close() {
+        // The paper's Figure 8 claim, smoke-tested at small scale.
+        let fast = MsspParams::new()
+            .with_controller(ControllerParams::scaled().with_latency(0));
+        let slow = MsspParams::new()
+            .with_controller(ControllerParams::scaled().with_latency(100_000));
+        let rf = run("twolf", 400_000, &fast);
+        let rs = run("twolf", 400_000, &slow);
+        let ratio = rs.speedup() / rf.speedup();
+        assert!(
+            (0.85..=1.05).contains(&ratio),
+            "latency sensitivity too high: {ratio} ({} vs {})",
+            rs.speedup(),
+            rf.speedup()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one event")]
+    fn zero_task_events_panics() {
+        let mut p = MsspParams::new();
+        p.task_events = 0;
+        run("gzip", 1_000, &p);
+    }
+}

@@ -1,0 +1,214 @@
+//! Branch predictors: gshare, return-address stack, and an indirect-target
+//! table (the paper's Table 5 front end).
+
+/// A gshare conditional-branch predictor: a table of 2-bit saturating
+/// counters indexed by `pc ^ global_history`.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_mssp::predictor::Gshare;
+/// let mut g = Gshare::new(4096);
+/// // Train on an always-taken branch until the history saturates.
+/// for _ in 0..32 {
+///     let _ = g.predict_and_update(0x40_0000, true);
+/// }
+/// assert!(g.predict_and_update(0x40_0000, true));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    counters: Vec<u8>,
+    history: u64,
+    history_mask: u64,
+    index_mask: u64,
+}
+
+impl Gshare {
+    /// Creates a predictor with `counters` 2-bit entries (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counters` is not a power of two or is zero.
+    pub fn new(counters: u32) -> Self {
+        assert!(counters.is_power_of_two() && counters > 0, "counter count must be a power of two");
+        let bits = counters.trailing_zeros() as u64;
+        Gshare {
+            counters: vec![1; counters as usize], // weakly not-taken
+            history: 0,
+            history_mask: (1 << bits.min(16)) - 1,
+            index_mask: (counters - 1) as u64,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ (self.history & self.history_mask)) & self.index_mask) as usize
+    }
+
+    /// Predicts the branch at `pc`, then updates the counter and history
+    /// with the actual outcome. Returns whether the prediction was correct.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let idx = self.index(pc);
+        let predicted_taken = self.counters[idx] >= 2;
+        let c = &mut self.counters[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.history = (self.history << 1) | u64::from(taken);
+        predicted_taken == taken
+    }
+}
+
+/// A return-address stack with a bounded depth.
+#[derive(Debug, Clone)]
+pub struct ReturnAddressStack {
+    stack: Vec<u64>,
+    capacity: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a RAS with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: u32) -> Self {
+        assert!(entries > 0, "RAS needs at least one entry");
+        ReturnAddressStack { stack: Vec::new(), capacity: entries as usize }
+    }
+
+    /// Records a call's return address; overflow discards the oldest entry.
+    pub fn push(&mut self, return_addr: u64) {
+        if self.stack.len() >= self.capacity {
+            self.stack.remove(0);
+        }
+        self.stack.push(return_addr);
+    }
+
+    /// Predicts a return target; returns whether it matched `actual`.
+    pub fn predict_return(&mut self, actual: u64) -> bool {
+        match self.stack.pop() {
+            Some(top) => top == actual,
+            None => false,
+        }
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+/// A direct-mapped indirect-target predictor (last-target table).
+#[derive(Debug, Clone)]
+pub struct IndirectPredictor {
+    targets: Vec<u64>,
+    mask: u64,
+}
+
+impl IndirectPredictor {
+    /// Creates a table with `entries` slots (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or is zero.
+    pub fn new(entries: u32) -> Self {
+        assert!(entries.is_power_of_two() && entries > 0, "entry count must be a power of two");
+        IndirectPredictor { targets: vec![0; entries as usize], mask: (entries - 1) as u64 }
+    }
+
+    /// Predicts the target of the indirect jump at `pc`, updates the table
+    /// with the actual target, and returns whether the prediction matched.
+    pub fn predict_and_update(&mut self, pc: u64, actual: u64) -> bool {
+        let idx = ((pc >> 2) & self.mask) as usize;
+        let correct = self.targets[idx] == actual;
+        self.targets[idx] = actual;
+        correct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gshare_learns_stable_bias() {
+        let mut g = Gshare::new(1024);
+        let mut correct = 0;
+        for i in 0..1000 {
+            if g.predict_and_update(0x1000, true) && i >= 10 {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 980, "correct: {correct}");
+    }
+
+    #[test]
+    fn gshare_struggles_on_random_pattern() {
+        let mut g = Gshare::new(1024);
+        // A pseudo-random but deterministic outcome stream.
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        let mut correct = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if g.predict_and_update(0x2000, x & 1 == 1) {
+                correct += 1;
+            }
+        }
+        let rate = correct as f64 / n as f64;
+        assert!(rate < 0.65, "accuracy on random stream: {rate}");
+    }
+
+    #[test]
+    fn gshare_uses_history_to_learn_alternation() {
+        let mut g = Gshare::new(4096);
+        let mut correct_late = 0;
+        for i in 0..2000u32 {
+            let taken = i % 2 == 0;
+            if g.predict_and_update(0x3000, taken) && i >= 1000 {
+                correct_late += 1;
+            }
+        }
+        assert!(correct_late >= 950, "late accuracy: {correct_late}/1000");
+    }
+
+    #[test]
+    fn ras_matches_nested_calls() {
+        let mut ras = ReturnAddressStack::new(4);
+        ras.push(100);
+        ras.push(200);
+        assert!(ras.predict_return(200));
+        assert!(ras.predict_return(100));
+        assert!(!ras.predict_return(100), "empty stack mispredicts");
+    }
+
+    #[test]
+    fn ras_overflow_drops_oldest() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3); // drops 1
+        assert!(ras.predict_return(3));
+        assert!(ras.predict_return(2));
+        assert!(!ras.predict_return(1));
+    }
+
+    #[test]
+    fn indirect_remembers_last_target() {
+        let mut ip = IndirectPredictor::new(16);
+        assert!(!ip.predict_and_update(0x100, 0xA));
+        assert!(ip.predict_and_update(0x100, 0xA));
+        assert!(!ip.predict_and_update(0x100, 0xB), "target changed");
+        assert!(ip.predict_and_update(0x100, 0xB));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn gshare_rejects_non_power_of_two() {
+        Gshare::new(1000);
+    }
+}

@@ -1,0 +1,280 @@
+//! Synthetic program model: wraps a branch trace in a full instruction
+//! stream (ALU ops, loads/stores with addresses, calls/returns, indirect
+//! jumps) so the timing models have caches and predictors to exercise.
+
+use rsc_trace::rng::Xoshiro256;
+use rsc_trace::{BranchRecord, InputId, Population, Trace};
+
+/// One dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Integer/FP computation.
+    Alu { pc: u64 },
+    /// Memory read.
+    Load { pc: u64, addr: u64 },
+    /// Memory write.
+    Store { pc: u64, addr: u64 },
+    /// Conditional branch carrying its trace record.
+    CondBranch { pc: u64, record: BranchRecord },
+    /// Call (pushes `return_addr`).
+    Call { pc: u64, return_addr: u64 },
+    /// Return (to `target`).
+    Return { pc: u64, target: u64 },
+    /// Indirect jump to `target`.
+    IndirectJump { pc: u64, target: u64 },
+}
+
+impl Instr {
+    /// The instruction's PC.
+    pub fn pc(&self) -> u64 {
+        match *self {
+            Instr::Alu { pc }
+            | Instr::Load { pc, .. }
+            | Instr::Store { pc, .. }
+            | Instr::CondBranch { pc, .. }
+            | Instr::Call { pc, .. }
+            | Instr::Return { pc, .. }
+            | Instr::IndirectJump { pc, .. } => pc,
+        }
+    }
+
+    /// Returns `true` for the conditional-branch variant.
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Instr::CondBranch { .. })
+    }
+}
+
+/// Memory-behavior parameters for a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryModel {
+    /// Total data working set in KiB.
+    pub working_set_kib: u32,
+    /// Fraction of accesses hitting the hot (stack-like) region.
+    pub hot_fraction: f64,
+    /// Hot region size in KiB.
+    pub hot_kib: u32,
+}
+
+impl MemoryModel {
+    /// A per-benchmark memory model. Sizes are chosen so relative cache
+    /// behavior matches the benchmarks' reputations (mcf and vortex are
+    /// memory-bound; gzip and eon are cache-friendly).
+    pub fn for_benchmark(name: &str) -> MemoryModel {
+        let (working_set_kib, hot_fraction) = match name {
+            "mcf" => (8192, 0.35),
+            "vortex" => (2048, 0.50),
+            "gcc" => (1024, 0.55),
+            "twolf" => (512, 0.60),
+            "gap" => (1024, 0.55),
+            "parser" => (512, 0.60),
+            "perl" => (512, 0.60),
+            "bzip2" => (1024, 0.55),
+            "crafty" => (256, 0.70),
+            "vpr" => (256, 0.65),
+            "gzip" => (256, 0.70),
+            "eon" => (128, 0.75),
+            _ => (512, 0.60),
+        };
+        MemoryModel { working_set_kib, hot_fraction, hot_kib: 16 }
+    }
+}
+
+/// Instruction-mix fractions (per non-branch slot).
+const LOAD_FRAC: f64 = 0.26;
+const STORE_FRAC: f64 = 0.12;
+const CALL_FRAC: f64 = 0.015;
+const INDIRECT_FRAC: f64 = 0.004;
+
+/// Streams [`Instr`]s for a population/input pair.
+///
+/// Every branch event from the underlying [`Trace`] becomes one
+/// [`Instr::CondBranch`]; the instruction-count gap before it is filled
+/// with ALU/memory/call instructions whose addresses follow the
+/// [`MemoryModel`]. The stream is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_mssp::program::{MemoryModel, ProgramStream};
+/// use rsc_trace::{spec2000, InputId};
+///
+/// let pop = spec2000::benchmark("gzip").unwrap().population(1_000);
+/// let mem = MemoryModel::for_benchmark("gzip");
+/// let n = ProgramStream::new(&pop, InputId::Eval, 1_000, 7, mem).count();
+/// assert!(n >= 1_000, "at least one instruction per branch event");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramStream<'a> {
+    trace: Trace<'a>,
+    pending_branch: Option<BranchRecord>,
+    block_left: u64,
+    last_instr_count: u64,
+    pc: u64,
+    call_stack: Vec<u64>,
+    mem: MemoryModel,
+    rng: Xoshiro256,
+}
+
+impl<'a> ProgramStream<'a> {
+    /// Creates a stream over `events` branch events.
+    pub fn new(
+        population: &'a Population,
+        input: InputId,
+        events: u64,
+        seed: u64,
+        mem: MemoryModel,
+    ) -> Self {
+        ProgramStream {
+            trace: population.trace(input, events, seed),
+            pending_branch: None,
+            block_left: 0,
+            last_instr_count: 0,
+            pc: 0x40_0000,
+            call_stack: Vec::new(),
+            mem,
+            rng: Xoshiro256::seed_from(seed).fork(0x70_72_67), // "prg"
+        }
+    }
+
+    fn data_addr(&mut self) -> u64 {
+        const DATA_BASE: u64 = 0x1000_0000;
+        if self.rng.gen_bool(self.mem.hot_fraction) {
+            DATA_BASE + self.rng.gen_range(self.mem.hot_kib as u64 * 1024)
+        } else {
+            DATA_BASE + self.rng.gen_range(self.mem.working_set_kib as u64 * 1024)
+        }
+    }
+
+    fn filler(&mut self) -> Instr {
+        let pc = self.pc;
+        self.pc += 4;
+        let u = self.rng.next_f64();
+        if u < LOAD_FRAC {
+            let addr = self.data_addr();
+            Instr::Load { pc, addr }
+        } else if u < LOAD_FRAC + STORE_FRAC {
+            let addr = self.data_addr();
+            Instr::Store { pc, addr }
+        } else if u < LOAD_FRAC + STORE_FRAC + CALL_FRAC {
+            // Alternate calls and returns to keep the stack bounded.
+            if self.call_stack.len() < 24 && self.rng.gen_bool(0.5) {
+                let ret = pc + 4;
+                self.call_stack.push(ret);
+                self.pc = 0x40_0000 + self.rng.gen_range(1 << 16) * 4;
+                Instr::Call { pc, return_addr: ret }
+            } else if let Some(target) = self.call_stack.pop() {
+                self.pc = target;
+                Instr::Return { pc, target }
+            } else {
+                Instr::Alu { pc }
+            }
+        } else if u < LOAD_FRAC + STORE_FRAC + CALL_FRAC + INDIRECT_FRAC {
+            let target = 0x40_0000 + self.rng.gen_range(1 << 12) * 4;
+            self.pc = target;
+            Instr::IndirectJump { pc, target }
+        } else {
+            Instr::Alu { pc }
+        }
+    }
+}
+
+impl Iterator for ProgramStream<'_> {
+    type Item = Instr;
+
+    fn next(&mut self) -> Option<Instr> {
+        if self.block_left > 0 {
+            self.block_left -= 1;
+            return Some(self.filler());
+        }
+        if let Some(record) = self.pending_branch.take() {
+            // Branch PC is a stable function of the static branch.
+            let pc = 0x40_0000 + record.branch.index() as u64 * 64;
+            self.pc = pc + 4;
+            return Some(Instr::CondBranch { pc, record });
+        }
+        let record = self.trace.next()?;
+        let gap = record.instr.saturating_sub(self.last_instr_count).max(1);
+        self.last_instr_count = record.instr;
+        self.pending_branch = Some(record);
+        self.block_left = gap - 1;
+        self.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_trace::spec2000;
+
+    fn stream(events: u64) -> Vec<Instr> {
+        let pop = spec2000::benchmark("gzip").unwrap().population(events);
+        let mem = MemoryModel::for_benchmark("gzip");
+        ProgramStream::new(&pop, InputId::Eval, events, 3, mem).collect()
+    }
+
+    #[test]
+    fn one_branch_per_trace_event() {
+        let pop = spec2000::benchmark("gzip").unwrap().population(5_000);
+        let mem = MemoryModel::for_benchmark("gzip");
+        let branches = ProgramStream::new(&pop, InputId::Eval, 5_000, 3, mem)
+            .filter(Instr::is_cond_branch)
+            .count();
+        assert_eq!(branches, 5_000);
+    }
+
+    #[test]
+    fn instruction_count_matches_trace_gap() {
+        let pop = spec2000::benchmark("gzip").unwrap().population(5_000);
+        let last_instr = pop.trace(InputId::Eval, 5_000, 3).last().unwrap().instr;
+        let mem = MemoryModel::for_benchmark("gzip");
+        let total = ProgramStream::new(&pop, InputId::Eval, 5_000, 3, mem).count() as u64;
+        assert_eq!(total, last_instr);
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        assert_eq!(stream(2_000), stream(2_000));
+    }
+
+    #[test]
+    fn mix_is_plausible() {
+        let instrs = stream(20_000);
+        let loads = instrs.iter().filter(|i| matches!(i, Instr::Load { .. })).count();
+        let stores = instrs.iter().filter(|i| matches!(i, Instr::Store { .. })).count();
+        let n = instrs.len() as f64;
+        assert!((loads as f64 / n - 0.22).abs() < 0.05, "load frac {}", loads as f64 / n);
+        assert!((stores as f64 / n - 0.10).abs() < 0.05, "store frac {}", stores as f64 / n);
+    }
+
+    #[test]
+    fn calls_and_returns_are_balanced_enough() {
+        let instrs = stream(50_000);
+        let calls = instrs.iter().filter(|i| matches!(i, Instr::Call { .. })).count() as i64;
+        let rets = instrs.iter().filter(|i| matches!(i, Instr::Return { .. })).count() as i64;
+        assert!(calls > 0);
+        assert!((calls - rets).abs() <= 24, "calls {calls} vs returns {rets}");
+    }
+
+    #[test]
+    fn memory_models_differ_by_benchmark() {
+        let mcf = MemoryModel::for_benchmark("mcf");
+        let eon = MemoryModel::for_benchmark("eon");
+        assert!(mcf.working_set_kib > eon.working_set_kib);
+        let unknown = MemoryModel::for_benchmark("unknown");
+        assert_eq!(unknown.working_set_kib, 512);
+    }
+
+    #[test]
+    fn branch_pcs_are_stable_per_static_branch() {
+        let instrs = stream(5_000);
+        let mut pc_of_branch = std::collections::HashMap::new();
+        for i in &instrs {
+            if let Instr::CondBranch { pc, record } = i {
+                let prev = pc_of_branch.insert(record.branch, *pc);
+                if let Some(prev) = prev {
+                    assert_eq!(prev, *pc);
+                }
+            }
+        }
+    }
+}

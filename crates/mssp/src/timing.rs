@@ -1,0 +1,253 @@
+//! Mechanistic core timing: a one-pass interval model over the instruction
+//! stream, driven by real cache and predictor state.
+//!
+//! Each instruction contributes `1/width` of a dispatch cycle; discrete
+//! penalties are added for branch mispredictions (pipeline depth) and
+//! memory misses (L2/memory latency divided by the core's achievable
+//! memory-level parallelism, a function of window size). This is the
+//! standard first-order mechanistic decomposition of superscalar
+//! performance, and it is deterministic and fast enough to simulate
+//! hundreds of millions of instructions.
+
+use crate::cache::{Access, Cache};
+use crate::config::{CoreConfig, MachineConfig};
+use crate::predictor::{Gshare, IndirectPredictor, ReturnAddressStack};
+use crate::program::Instr;
+
+/// Cycle accounting for one core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimingStats {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Penalty cycles from branch mispredictions.
+    pub branch_penalty: u64,
+    /// Penalty cycles from memory misses.
+    pub memory_penalty: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Conditional branches mispredicted.
+    pub mispredicts: u64,
+}
+
+/// A core timing model with private L1 and front-end predictors.
+///
+/// The shared L2 lives outside the core (pass it to [`CoreModel::step`]).
+#[derive(Debug, Clone)]
+pub struct CoreModel {
+    cfg: CoreConfig,
+    l1: Cache,
+    gshare: Gshare,
+    ras: ReturnAddressStack,
+    indirect: IndirectPredictor,
+    l2_latency: u32,
+    memory_latency: u32,
+    mlp: u64,
+    stats: TimingStats,
+}
+
+impl CoreModel {
+    /// Creates a core model from the machine config.
+    pub fn new(core: CoreConfig, machine: &MachineConfig) -> Self {
+        CoreModel {
+            cfg: core,
+            l1: Cache::new(core.l1_kib, core.l1_assoc, machine.block_bytes),
+            gshare: Gshare::new(machine.gshare_counters),
+            ras: ReturnAddressStack::new(machine.ras_entries),
+            indirect: IndirectPredictor::new(machine.indirect_entries),
+            l2_latency: machine.l2_latency,
+            memory_latency: machine.memory_latency,
+            // Achievable memory-level parallelism grows with the window.
+            mlp: u64::from(core.window / 32).max(1),
+            stats: TimingStats::default(),
+        }
+    }
+
+    /// Executes one instruction against this core's state, charging
+    /// penalties. `l2` is the shared second-level cache.
+    #[inline]
+    pub fn step(&mut self, instr: &Instr, l2: &mut Cache) {
+        self.stats.instructions += 1;
+        match *instr {
+            Instr::Alu { .. } => {}
+            Instr::Load { addr, .. } => {
+                if self.l1.access(addr) == Access::Miss {
+                    let penalty = if l2.access(addr) == Access::Miss {
+                        u64::from(self.l2_latency + self.memory_latency)
+                    } else {
+                        u64::from(self.l2_latency)
+                    };
+                    self.stats.memory_penalty += penalty / self.mlp;
+                }
+            }
+            Instr::Store { addr, .. } => {
+                // Stores retire through the store buffer; misses cost a
+                // fraction of the load penalty.
+                if self.l1.access(addr) == Access::Miss {
+                    let penalty = if l2.access(addr) == Access::Miss {
+                        u64::from(self.l2_latency + self.memory_latency)
+                    } else {
+                        u64::from(self.l2_latency)
+                    };
+                    self.stats.memory_penalty += penalty / (self.mlp * 4);
+                }
+            }
+            Instr::CondBranch { pc, record } => {
+                self.stats.branches += 1;
+                if !self.gshare.predict_and_update(pc, record.taken) {
+                    self.stats.mispredicts += 1;
+                    self.stats.branch_penalty += u64::from(self.cfg.pipeline_depth);
+                }
+            }
+            Instr::Call { return_addr, .. } => {
+                self.ras.push(return_addr);
+            }
+            Instr::Return { target, .. } => {
+                if !self.ras.predict_return(target) {
+                    self.stats.branch_penalty += u64::from(self.cfg.pipeline_depth);
+                }
+            }
+            Instr::IndirectJump { pc, target } => {
+                if !self.indirect.predict_and_update(pc, target) {
+                    self.stats.branch_penalty += u64::from(self.cfg.pipeline_depth);
+                }
+            }
+        }
+    }
+
+    /// Total cycles so far: dispatch-bound cycles plus penalties.
+    pub fn cycles(&self) -> u64 {
+        self.stats.instructions.div_ceil(u64::from(self.cfg.width))
+            + self.stats.branch_penalty
+            + self.stats.memory_penalty
+    }
+
+    /// Instructions per cycle so far.
+    pub fn ipc(&self) -> f64 {
+        let c = self.cycles();
+        if c == 0 {
+            0.0
+        } else {
+            self.stats.instructions as f64 / c as f64
+        }
+    }
+
+    /// Raw counters.
+    pub fn stats(&self) -> TimingStats {
+        self.stats
+    }
+
+    /// The core configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_trace::{BranchId, BranchRecord};
+
+    fn machine() -> MachineConfig {
+        MachineConfig::table5()
+    }
+
+    fn leading() -> (CoreModel, Cache) {
+        let m = machine();
+        (CoreModel::new(m.leading, &m), Cache::new(m.l2_kib, m.l2_assoc, m.block_bytes))
+    }
+
+    fn branch(pc: u64, taken: bool) -> Instr {
+        Instr::CondBranch {
+            pc,
+            record: BranchRecord { branch: BranchId::new(0), taken, instr: 0 },
+        }
+    }
+
+    #[test]
+    fn alu_only_reaches_full_width() {
+        let (mut core, mut l2) = leading();
+        for _ in 0..4000 {
+            core.step(&Instr::Alu { pc: 0 }, &mut l2);
+        }
+        assert_eq!(core.cycles(), 1000);
+        assert!((core.ipc() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predictable_branches_are_cheap() {
+        let (mut core, mut l2) = leading();
+        for _ in 0..1000 {
+            core.step(&branch(0x100, true), &mut l2);
+        }
+        let s = core.stats();
+        // Warm-up mispredicts only: each new history pattern trains its own
+        // counter until the history register saturates at all-taken.
+        assert!(s.mispredicts < 30, "mispredicts: {}", s.mispredicts);
+    }
+
+    #[test]
+    fn random_branches_pay_pipeline_penalty() {
+        let (mut core, mut l2) = leading();
+        let mut x = 12345u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            core.step(&branch(0x100, x & (1 << 33) != 0), &mut l2);
+        }
+        let s = core.stats();
+        assert!(s.mispredicts > 300);
+        assert_eq!(s.branch_penalty, s.mispredicts * 12);
+        assert!(core.ipc() < 0.5);
+    }
+
+    #[test]
+    fn cache_resident_loads_are_free_of_memory_penalty() {
+        let (mut core, mut l2) = leading();
+        // 8 KiB working set fits the 64 KiB L1 (after cold misses).
+        for i in 0..100_000u64 {
+            core.step(&Instr::Load { pc: 0, addr: (i % 128) * 64 }, &mut l2);
+        }
+        let s = core.stats();
+        // Only the 128 cold misses pay.
+        assert!(s.memory_penalty < 128 * 210, "penalty: {}", s.memory_penalty);
+    }
+
+    #[test]
+    fn streaming_loads_pay_memory_penalty() {
+        let (mut core, mut l2) = leading();
+        for i in 0..50_000u64 {
+            core.step(&Instr::Load { pc: 0, addr: i * 64 }, &mut l2);
+        }
+        assert!(core.ipc() < 1.0, "ipc: {}", core.ipc());
+        assert!(core.stats().memory_penalty > 50_000);
+    }
+
+    #[test]
+    fn trailing_core_is_slower_than_leading() {
+        let m = machine();
+        let mut lead = CoreModel::new(m.leading, &m);
+        let mut trail = CoreModel::new(m.trailing, &m);
+        let mut l2a = Cache::new(m.l2_kib, m.l2_assoc, m.block_bytes);
+        let mut l2b = Cache::new(m.l2_kib, m.l2_assoc, m.block_bytes);
+        // A mixed stream: ALU + streaming loads.
+        for i in 0..20_000u64 {
+            let instr = if i % 4 == 0 {
+                Instr::Load { pc: 0, addr: i * 64 }
+            } else {
+                Instr::Alu { pc: 0 }
+            };
+            lead.step(&instr, &mut l2a);
+            trail.step(&instr, &mut l2b);
+        }
+        assert!(lead.ipc() > trail.ipc());
+    }
+
+    #[test]
+    fn return_prediction_uses_ras() {
+        let (mut core, mut l2) = leading();
+        for i in 0..100u64 {
+            core.step(&Instr::Call { pc: i * 8, return_addr: i * 8 + 4 }, &mut l2);
+            core.step(&Instr::Return { pc: 0x9000, target: i * 8 + 4 }, &mut l2);
+        }
+        assert_eq!(core.stats().branch_penalty, 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests on the MSSP substrates.
+
+use proptest::prelude::*;
+use rsc_mssp::cache::{Access, Cache};
+use rsc_mssp::predictor::{Gshare, IndirectPredictor, ReturnAddressStack};
+use rsc_mssp::program::{MemoryModel, ProgramStream};
+use rsc_mssp::{machine, CoreModel, MachineConfig, MsspParams};
+use rsc_trace::{spec2000, InputId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cache accounting: hits + misses equals accesses; re-access of the
+    /// most recent block always hits.
+    #[test]
+    fn cache_accounting(
+        kib in prop::sample::select(vec![1u32, 8, 64]),
+        assoc in prop::sample::select(vec![1u32, 2, 8]),
+        addrs in prop::collection::vec(0u64..(1 << 22), 1..512),
+    ) {
+        let mut c = Cache::new(kib, assoc, 64);
+        for &a in &addrs {
+            let _ = c.access(a);
+            prop_assert_eq!(c.access(a), Access::Hit, "immediate re-access must hit");
+        }
+        prop_assert_eq!(c.hits() + c.misses(), 2 * addrs.len() as u64);
+        prop_assert!(c.misses() <= addrs.len() as u64);
+    }
+
+    /// An infinite-capacity-equivalent cache (huge) only takes cold misses.
+    #[test]
+    fn big_cache_only_cold_misses(addrs in prop::collection::vec(0u64..(1 << 16), 1..512)) {
+        let mut c = Cache::new(16 * 1024, 16, 64);
+        for &a in &addrs {
+            let _ = c.access(a);
+        }
+        let distinct_blocks: std::collections::HashSet<u64> =
+            addrs.iter().map(|a| a >> 6).collect();
+        prop_assert_eq!(c.misses(), distinct_blocks.len() as u64);
+    }
+
+    /// gshare beats a coin on strongly biased outcome streams.
+    #[test]
+    fn gshare_exploits_bias(seed in any::<u64>(), bias_num in 90u64..100) {
+        let mut g = Gshare::new(4096);
+        let mut x = seed | 1;
+        let n = 4_000u64;
+        let mut correct = 0;
+        for _ in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let taken = x % 100 < bias_num;
+            if g.predict_and_update(0x8000, taken) {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / n as f64;
+        prop_assert!(acc > 0.75, "accuracy {acc} at bias {bias_num}%");
+    }
+
+    /// The RAS predicts perfectly for any properly nested call tree that
+    /// fits its depth.
+    #[test]
+    fn ras_nested_calls(depth in 1usize..16) {
+        let mut ras = ReturnAddressStack::new(32);
+        let addrs: Vec<u64> = (0..depth as u64).map(|i| 0x1000 + i * 8).collect();
+        for &a in &addrs {
+            ras.push(a);
+        }
+        for &a in addrs.iter().rev() {
+            prop_assert!(ras.predict_return(a));
+        }
+        prop_assert_eq!(ras.depth(), 0);
+    }
+
+    /// The indirect predictor is exactly a last-target table. (Targets are
+    /// nonzero: the empty table slot is indistinguishable from target 0.)
+    #[test]
+    fn indirect_last_target(targets in prop::collection::vec(1u64..64, 1..64)) {
+        let mut ip = IndirectPredictor::new(64);
+        let mut last: Option<u64> = None;
+        for &t in &targets {
+            let correct = ip.predict_and_update(0x400, t);
+            prop_assert_eq!(correct, last == Some(t));
+            last = Some(t);
+        }
+    }
+
+    /// Core timing: cycles are at least dispatch-bound and IPC never
+    /// exceeds the width.
+    #[test]
+    fn core_timing_bounds(seed in any::<u64>(), events in 100u64..2_000) {
+        let pop = spec2000::benchmark("gzip").unwrap().population(events);
+        let mem = MemoryModel::for_benchmark("gzip");
+        let mcfg = MachineConfig::table5();
+        let mut core = CoreModel::new(mcfg.leading, &mcfg);
+        let mut l2 = Cache::new(mcfg.l2_kib, mcfg.l2_assoc, mcfg.block_bytes);
+        let mut instructions = 0u64;
+        for instr in ProgramStream::new(&pop, InputId::Eval, events, seed, mem) {
+            core.step(&instr, &mut l2);
+            instructions += 1;
+        }
+        let width = u64::from(mcfg.leading.width);
+        prop_assert!(core.cycles() >= instructions.div_ceil(width));
+        prop_assert!(core.ipc() <= width as f64 + 1e-9);
+        prop_assert_eq!(core.stats().instructions, instructions);
+    }
+
+    /// MSSP accounting invariants hold for arbitrary small runs.
+    #[test]
+    fn mssp_accounting(seed in any::<u64>(), events in 500u64..5_000) {
+        let pop = spec2000::benchmark("mcf").unwrap().population(events);
+        let r = machine::run_mssp(&pop, InputId::Eval, events, seed, &MsspParams::new());
+        prop_assert!(r.master_instructions <= r.original_instructions);
+        prop_assert!(r.task_misspecs <= r.tasks);
+        prop_assert!(r.task_misspecs <= r.branch_misspecs || r.branch_misspecs == 0);
+        prop_assert!(r.mssp_cycles > 0);
+        prop_assert!((0.0..=1.0).contains(&r.distillation_ratio()));
+    }
+
+    /// The program stream's branch count equals the trace event count and
+    /// PCs are 4-byte aligned.
+    #[test]
+    fn program_stream_structure(seed in any::<u64>(), events in 100u64..2_000) {
+        let pop = spec2000::benchmark("eon").unwrap().population(events);
+        let mem = MemoryModel::for_benchmark("eon");
+        let mut branches = 0u64;
+        for i in ProgramStream::new(&pop, InputId::Eval, events, seed, mem) {
+            prop_assert_eq!(i.pc() % 4, 0);
+            if i.is_cond_branch() {
+                branches += 1;
+            }
+        }
+        prop_assert_eq!(branches, events);
+    }
+}

@@ -1,0 +1,100 @@
+//! Initial-behavior training: predicting a branch's lifetime bias from its
+//! first N executions (the paper's Figure 2 "+" points).
+
+use crate::profile::BranchProfile;
+use rsc_trace::BranchRecord;
+
+/// Builds a profile from only the first `n` executions of each branch.
+///
+/// The rest of the trace is consumed (so instruction/event totals remain
+/// meaningful) but does not contribute to any branch's counts — exactly the
+/// information available to a system that trains on initial behavior.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_trace::{spec2000, InputId};
+/// use rsc_profile::initial;
+///
+/// let pop = spec2000::benchmark("gap").unwrap().population(30_000);
+/// let p = initial::initial_profile(pop.trace(InputId::Eval, 30_000, 1), 100);
+/// // No branch accumulates more than 100 profiled executions.
+/// for i in 0..p.len() {
+///     assert!(p.executions(i) <= 100);
+/// }
+/// ```
+pub fn initial_profile<I: IntoIterator<Item = BranchRecord>>(
+    trace: I,
+    n: u64,
+) -> BranchProfile {
+    let mut profile = BranchProfile::new();
+    let mut execs: Vec<u64> = Vec::new();
+    for r in trace {
+        let idx = r.branch.index();
+        if idx >= execs.len() {
+            execs.resize(idx + 1, 0);
+        }
+        if execs[idx] < n {
+            execs[idx] += 1;
+            profile.record(&r);
+        }
+    }
+    profile
+}
+
+/// The paper's five initial-training lengths (1k, 10k, 100k, 300k, 1M
+/// executions).
+pub const PAPER_TRAINING_LENGTHS: [u64; 5] = [1_000, 10_000, 100_000, 300_000, 1_000_000];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_trace::BranchId;
+
+    fn rec(b: u32, taken: bool, instr: u64) -> BranchRecord {
+        BranchRecord { branch: BranchId::new(b), taken, instr }
+    }
+
+    #[test]
+    fn caps_per_branch_executions() {
+        let trace: Vec<_> = (0..100).map(|i| rec(0, true, i)).collect();
+        let p = initial_profile(trace, 10);
+        assert_eq!(p.executions(0), 10);
+    }
+
+    #[test]
+    fn captures_initial_not_overall_bias() {
+        // Taken for first 10, then not-taken for 90: initial profile with
+        // n=10 sees a 100% taken-biased branch.
+        let trace: Vec<_> = (0..100).map(|i| rec(0, i < 10, i)).collect();
+        let p = initial_profile(trace, 10);
+        assert_eq!(p.bias(0), Some(1.0));
+        assert_eq!(p.taken(0), 10);
+    }
+
+    #[test]
+    fn independent_caps_per_branch() {
+        let mut trace = Vec::new();
+        for i in 0..20 {
+            trace.push(rec(0, true, 2 * i));
+            trace.push(rec(1, false, 2 * i + 1));
+        }
+        let p = initial_profile(trace, 5);
+        assert_eq!(p.executions(0), 5);
+        assert_eq!(p.executions(1), 5);
+    }
+
+    #[test]
+    fn zero_length_training_profiles_nothing() {
+        let trace = vec![rec(0, true, 1)];
+        let p = initial_profile(trace, 0);
+        assert_eq!(p.executions(0), 0);
+    }
+
+    #[test]
+    fn paper_training_lengths_are_increasing() {
+        for w in PAPER_TRAINING_LENGTHS.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # rsc-profile — offline profiling substrate
+//!
+//! Implements the *non-reactive* speculation-control techniques the paper
+//! uses as baselines (its Section 2):
+//!
+//! * [`BranchProfile`] — per-branch taken/not-taken accumulation;
+//! * [`pareto`] — the self-training correct/incorrect trade-off curve
+//!   (Figure 2's line) and bias-threshold points;
+//! * [`SpeculationSet`] + [`evaluate`] — one-shot (open-loop) selection and
+//!   its evaluation over a trace;
+//! * [`offline`] — cross-input profiling experiments (Figure 2 triangles);
+//! * [`initial`] — initial-behavior training (Figure 2 crosses).
+//!
+//! ```
+//! use rsc_trace::{spec2000, InputId};
+//! use rsc_profile::{pareto, BranchProfile};
+//!
+//! let pop = spec2000::benchmark("gcc").unwrap().population(50_000);
+//! let profile = BranchProfile::from_trace(pop.trace(InputId::Eval, 50_000, 1));
+//! let knee = pareto::threshold_point(&profile, 0.99);
+//! // gcc: most dynamic branches sit on highly biased static branches.
+//! assert!(knee.correct > 0.4);
+//! assert!(knee.incorrect < 0.01);
+//! ```
+
+pub mod evaluate;
+pub mod initial;
+pub mod offline;
+pub mod pareto;
+pub mod profile;
+pub mod select;
+
+pub use evaluate::{evaluate as evaluate_set, SpecOutcome};
+pub use pareto::ParetoPoint;
+pub use profile::BranchProfile;
+pub use select::SpeculationSet;

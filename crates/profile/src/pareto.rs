@@ -1,0 +1,191 @@
+//! The correct/incorrect speculation trade-off curve (the paper's Figure 2).
+//!
+//! With perfect knowledge of the whole run (self-training), the Pareto
+//! optimal set for any misspeculation budget speculates on branches in
+//! decreasing order of bias. Walking branches in that order and
+//! accumulating majority (correct) and minority (incorrect) counts yields
+//! the full trade-off curve.
+
+use crate::profile::BranchProfile;
+
+/// One point on the trade-off curve: fractions of *all dynamic branch
+/// events* speculated correctly and incorrectly.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ParetoPoint {
+    /// Fraction of dynamic branches misspeculated (x axis of Figure 2).
+    pub incorrect: f64,
+    /// Fraction of dynamic branches correctly speculated (y axis).
+    pub correct: f64,
+}
+
+/// Computes the self-training Pareto curve from a whole-run profile.
+///
+/// Points are cumulative, ordered from speculating on nothing toward
+/// speculating on everything (branches added in decreasing bias order).
+/// The returned vector has one point per touched branch plus an implicit
+/// origin (not included).
+///
+/// # Examples
+///
+/// ```
+/// use rsc_trace::{spec2000, InputId};
+/// use rsc_profile::{pareto, BranchProfile};
+///
+/// let pop = spec2000::benchmark("bzip2").unwrap().population(20_000);
+/// let profile = BranchProfile::from_trace(pop.trace(InputId::Eval, 20_000, 1));
+/// let curve = pareto::curve(&profile);
+/// assert!(!curve.is_empty());
+/// // The curve is monotone in both axes.
+/// assert!(curve.last().unwrap().correct >= curve[0].correct);
+/// ```
+pub fn curve(profile: &BranchProfile) -> Vec<ParetoPoint> {
+    let mut branches: Vec<(u64, u64)> = profile
+        .iter_touched()
+        .map(|(b, n, _)| {
+            let t = profile.taken(b.index());
+            let correct = t.max(n - t);
+            (correct, n - correct)
+        })
+        .collect();
+    // Sort by decreasing bias = correct/n; compare a.c*b.n vs b.c*a.n.
+    branches.sort_by(|a, b| {
+        let an = a.0 + a.1;
+        let bn = b.0 + b.1;
+        (b.0 as u128 * an as u128).cmp(&(a.0 as u128 * bn as u128))
+    });
+    let total = profile.events().max(1) as f64;
+    let mut correct_cum = 0u64;
+    let mut incorrect_cum = 0u64;
+    branches
+        .into_iter()
+        .map(|(c, i)| {
+            correct_cum += c;
+            incorrect_cum += i;
+            ParetoPoint {
+                incorrect: incorrect_cum as f64 / total,
+                correct: correct_cum as f64 / total,
+            }
+        })
+        .collect()
+}
+
+/// The point achieved by self-training with a bias threshold: speculate on
+/// exactly the branches whose whole-run bias meets `threshold` (the circle
+/// marker of Figure 2 uses 99%).
+///
+/// # Panics
+///
+/// Panics if `threshold` is not in `(0.5, 1.0]`.
+pub fn threshold_point(profile: &BranchProfile, threshold: f64) -> ParetoPoint {
+    assert!(
+        threshold > 0.5 && threshold <= 1.0,
+        "threshold must be in (0.5, 1.0], got {threshold}"
+    );
+    let total = profile.events().max(1) as f64;
+    let mut correct = 0u64;
+    let mut incorrect = 0u64;
+    for (b, n, bias) in profile.iter_touched() {
+        if bias >= threshold {
+            let t = profile.taken(b.index());
+            let c = t.max(n - t);
+            correct += c;
+            incorrect += n - c;
+        }
+    }
+    ParetoPoint { incorrect: incorrect as f64 / total, correct: correct as f64 / total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_trace::{BranchId, BranchRecord};
+
+    fn profile_of(events: &[(u32, bool)]) -> BranchProfile {
+        BranchProfile::from_trace(events.iter().enumerate().map(|(i, &(b, t))| BranchRecord {
+            branch: BranchId::new(b),
+            taken: t,
+            instr: i as u64,
+        }))
+    }
+
+    #[test]
+    fn empty_profile_gives_empty_curve() {
+        assert!(curve(&BranchProfile::new()).is_empty());
+    }
+
+    #[test]
+    fn curve_is_monotone_and_ends_at_totals() {
+        // Branch 0: 4/4 taken; branch 1: 3/4 taken; branch 2: 2/4 taken.
+        let mut evs = Vec::new();
+        for i in 0..4 {
+            evs.push((0, true));
+            evs.push((1, i < 3));
+            evs.push((2, i < 2));
+        }
+        let p = profile_of(&evs);
+        let c = curve(&p);
+        assert_eq!(c.len(), 3);
+        for w in c.windows(2) {
+            assert!(w[1].correct >= w[0].correct);
+            assert!(w[1].incorrect >= w[0].incorrect);
+        }
+        let last = c.last().unwrap();
+        // Total correct = 4 + 3 + 2 = 9 of 12; incorrect = 3 of 12.
+        assert!((last.correct - 9.0 / 12.0).abs() < 1e-12);
+        assert!((last.incorrect - 3.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_orders_by_bias() {
+        let mut evs = Vec::new();
+        // Branch 0 is 50/50 and hot; branch 1 is 100% and cold.
+        for _ in 0..50 {
+            evs.push((0, true));
+            evs.push((0, false));
+        }
+        for _ in 0..10 {
+            evs.push((1, true));
+        }
+        let c = curve(&profile_of(&evs));
+        // First point must be the perfectly biased branch: no misspecs yet.
+        assert_eq!(c[0].incorrect, 0.0);
+        assert!(c[0].correct > 0.0);
+    }
+
+    #[test]
+    fn threshold_point_matches_manual_sum() {
+        let mut evs = Vec::new();
+        for i in 0..100 {
+            evs.push((0, true)); // 100% biased
+            evs.push((1, i % 2 == 0)); // 50%
+        }
+        let p = profile_of(&evs);
+        let pt = threshold_point(&p, 0.99);
+        assert!((pt.correct - 0.5).abs() < 1e-12);
+        assert_eq!(pt.incorrect, 0.0);
+    }
+
+    #[test]
+    fn threshold_point_lies_on_curve() {
+        let mut evs = Vec::new();
+        for i in 0..200u32 {
+            evs.push((0, true));
+            evs.push((1, i % 100 != 0)); // 99% biased
+            evs.push((2, i % 4 != 0)); // 75%
+        }
+        let p = profile_of(&evs);
+        let pt = threshold_point(&p, 0.99);
+        let c = curve(&p);
+        // The threshold point must coincide with some cumulative prefix.
+        assert!(c
+            .iter()
+            .any(|q| (q.correct - pt.correct).abs() < 1e-12
+                && (q.incorrect - pt.incorrect).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in")]
+    fn threshold_point_rejects_half() {
+        threshold_point(&BranchProfile::new(), 0.5);
+    }
+}

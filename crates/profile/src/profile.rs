@@ -1,0 +1,246 @@
+//! Per-branch execution profiles.
+
+use rsc_trace::{BranchId, BranchRecord, Direction};
+
+/// Taken/not-taken counts for every static branch seen in a trace.
+///
+/// This is the raw material of every *offline* control technique the paper
+/// examines: self-training, cross-input profiling, and initial-behavior
+/// training all reduce to building a `BranchProfile` over some window and
+/// selecting branches from it.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_trace::{spec2000, InputId};
+/// use rsc_profile::BranchProfile;
+///
+/// let pop = spec2000::benchmark("mcf").unwrap().population(50_000);
+/// let profile = BranchProfile::from_trace(pop.trace(InputId::Eval, 50_000, 1));
+/// assert_eq!(profile.events(), 50_000);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BranchProfile {
+    taken: Vec<u64>,
+    not_taken: Vec<u64>,
+    events: u64,
+    instructions: u64,
+}
+
+impl BranchProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        BranchProfile::default()
+    }
+
+    /// Creates an empty profile pre-sized for `branches` static branches.
+    pub fn with_capacity(branches: usize) -> Self {
+        BranchProfile {
+            taken: vec![0; branches],
+            not_taken: vec![0; branches],
+            events: 0,
+            instructions: 0,
+        }
+    }
+
+    /// Accumulates an entire trace.
+    pub fn from_trace<I: IntoIterator<Item = BranchRecord>>(trace: I) -> Self {
+        let mut p = BranchProfile::new();
+        for r in trace {
+            p.record(&r);
+        }
+        p
+    }
+
+    /// Records one dynamic branch event.
+    pub fn record(&mut self, r: &BranchRecord) {
+        let idx = r.branch.index();
+        if idx >= self.taken.len() {
+            self.taken.resize(idx + 1, 0);
+            self.not_taken.resize(idx + 1, 0);
+        }
+        if r.taken {
+            self.taken[idx] += 1;
+        } else {
+            self.not_taken[idx] += 1;
+        }
+        self.events += 1;
+        self.instructions = self.instructions.max(r.instr);
+    }
+
+    /// Merges another profile into this one (used for profile averaging).
+    pub fn merge(&mut self, other: &BranchProfile) {
+        if other.taken.len() > self.taken.len() {
+            self.taken.resize(other.taken.len(), 0);
+            self.not_taken.resize(other.not_taken.len(), 0);
+        }
+        for i in 0..other.taken.len() {
+            self.taken[i] += other.taken[i];
+            self.not_taken[i] += other.not_taken[i];
+        }
+        self.events += other.events;
+        self.instructions = self.instructions.max(other.instructions);
+    }
+
+    /// Total dynamic branch events recorded.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Highest instruction count observed.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Number of branch slots (upper bound on touched branches).
+    pub fn len(&self) -> usize {
+        self.taken.len()
+    }
+
+    /// Returns `true` if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+    }
+
+    /// Executions of the branch at `idx`.
+    pub fn executions(&self, idx: usize) -> u64 {
+        if idx < self.taken.len() {
+            self.taken[idx] + self.not_taken[idx]
+        } else {
+            0
+        }
+    }
+
+    /// Taken count of the branch at `idx`.
+    pub fn taken(&self, idx: usize) -> u64 {
+        self.taken.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Not-taken count of the branch at `idx`.
+    pub fn not_taken(&self, idx: usize) -> u64 {
+        self.not_taken.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Bias (majority fraction) of the branch at `idx`, or `None` if it
+    /// never executed.
+    pub fn bias(&self, idx: usize) -> Option<f64> {
+        let n = self.executions(idx);
+        if n == 0 {
+            return None;
+        }
+        let t = self.taken(idx);
+        Some(t.max(n - t) as f64 / n as f64)
+    }
+
+    /// Majority direction of the branch at `idx` (ties break taken), or
+    /// `None` if it never executed.
+    pub fn majority(&self, idx: usize) -> Option<Direction> {
+        let n = self.executions(idx);
+        if n == 0 {
+            return None;
+        }
+        Some(if self.taken(idx) * 2 >= n {
+            Direction::Taken
+        } else {
+            Direction::NotTaken
+        })
+    }
+
+    /// Number of branches that executed at least once.
+    pub fn touched(&self) -> usize {
+        (0..self.taken.len()).filter(|&i| self.executions(i) > 0).count()
+    }
+
+    /// Iterates over `(BranchId, executions, bias)` of touched branches.
+    pub fn iter_touched(&self) -> impl Iterator<Item = (BranchId, u64, f64)> + '_ {
+        (0..self.taken.len()).filter_map(move |i| {
+            let n = self.executions(i);
+            if n == 0 {
+                None
+            } else {
+                Some((BranchId::new(i as u32), n, self.bias(i).expect("n > 0")))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(b: u32, taken: bool, instr: u64) -> BranchRecord {
+        BranchRecord { branch: BranchId::new(b), taken, instr }
+    }
+
+    #[test]
+    fn empty_profile_has_no_bias() {
+        let p = BranchProfile::new();
+        assert!(p.is_empty());
+        assert_eq!(p.bias(0), None);
+        assert_eq!(p.majority(0), None);
+        assert_eq!(p.touched(), 0);
+    }
+
+    #[test]
+    fn records_counts_and_majority() {
+        let p = BranchProfile::from_trace(vec![
+            rec(0, true, 1),
+            rec(0, true, 2),
+            rec(0, false, 3),
+            rec(2, false, 4),
+        ]);
+        assert_eq!(p.events(), 4);
+        assert_eq!(p.executions(0), 3);
+        assert_eq!(p.taken(0), 2);
+        assert_eq!(p.majority(0), Some(Direction::Taken));
+        assert_eq!(p.majority(2), Some(Direction::NotTaken));
+        assert_eq!(p.executions(1), 0);
+        assert_eq!(p.touched(), 2);
+        assert_eq!(p.instructions(), 4);
+    }
+
+    #[test]
+    fn tie_breaks_taken() {
+        let p = BranchProfile::from_trace(vec![rec(0, true, 1), rec(0, false, 2)]);
+        assert_eq!(p.majority(0), Some(Direction::Taken));
+        assert_eq!(p.bias(0), Some(0.5));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = BranchProfile::from_trace(vec![rec(0, true, 1), rec(1, false, 2)]);
+        let b = BranchProfile::from_trace(vec![rec(0, true, 3), rec(3, true, 4)]);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.events(), 4);
+        assert_eq!(m.executions(0), 2);
+        assert_eq!(m.executions(3), 1);
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn merge_smaller_into_larger_and_vice_versa() {
+        let small = BranchProfile::from_trace(vec![rec(0, true, 1)]);
+        let large = BranchProfile::from_trace(vec![rec(5, false, 1)]);
+        let mut a = small.clone();
+        a.merge(&large);
+        let mut b = large;
+        b.merge(&small);
+        assert_eq!(a.executions(5), 1);
+        assert_eq!(b.executions(0), 1);
+    }
+
+    #[test]
+    fn iter_touched_skips_unexecuted() {
+        let p = BranchProfile::from_trace(vec![rec(0, true, 1), rec(4, false, 2)]);
+        let ids: Vec<usize> = p.iter_touched().map(|(b, _, _)| b.index()).collect();
+        assert_eq!(ids, vec![0, 4]);
+    }
+
+    #[test]
+    fn with_capacity_presizes() {
+        let p = BranchProfile::with_capacity(16);
+        assert_eq!(p.len(), 16);
+        assert_eq!(p.touched(), 0);
+    }
+}

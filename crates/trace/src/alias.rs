@@ -1,0 +1,212 @@
+//! Walker's alias method for O(1) weighted sampling.
+//!
+//! Trace generation draws hundreds of millions of branch events from a
+//! skewed static-branch weight distribution; the alias method makes each
+//! draw two table lookups regardless of population size.
+
+use crate::rng::Xoshiro256;
+
+/// A prebuilt table for O(1) sampling from a discrete distribution.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_trace::alias::AliasTable;
+/// use rsc_trace::rng::Xoshiro256;
+///
+/// let table = AliasTable::new(&[1.0, 3.0]).unwrap();
+/// let mut rng = Xoshiro256::seed_from(1);
+/// let hits = (0..10_000).filter(|_| table.sample(&mut rng) == 1).count();
+/// assert!((hits as f64 / 10_000.0 - 0.75).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+/// Error returned when an [`AliasTable`] cannot be built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AliasError {
+    /// The weight slice was empty.
+    Empty,
+    /// A weight was negative, NaN, or infinite.
+    InvalidWeight { index: usize, weight: f64 },
+    /// All weights were zero.
+    ZeroTotal,
+}
+
+impl std::fmt::Display for AliasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AliasError::Empty => f.write_str("weight list is empty"),
+            AliasError::InvalidWeight { index, weight } => {
+                write!(f, "invalid weight {weight} at index {index}")
+            }
+            AliasError::ZeroTotal => f.write_str("all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for AliasError {}
+
+impl AliasTable {
+    /// Builds a table from nonnegative weights (not necessarily normalized).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `weights` is empty, contains a negative or
+    /// non-finite value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Result<Self, AliasError> {
+        if weights.is_empty() {
+            return Err(AliasError::Empty);
+        }
+        let mut total = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(AliasError::InvalidWeight { index: i, weight: w });
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(AliasError::ZeroTotal);
+        }
+
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+
+        // Standard two-worklist construction (Vose's variant).
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            let spill = prob[s as usize] + prob[l as usize] - 1.0;
+            prob[l as usize] = spill;
+            if spill < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers: both lists should drain together; anything
+        // remaining has probability ~1.
+        for s in small.into_iter().chain(large) {
+            prob[s as usize] = 1.0;
+        }
+
+        Ok(AliasTable { prob, alias })
+    }
+
+    /// Returns the number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Returns `true` if the table has no outcomes (never true for a
+    /// successfully constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index according to the weight distribution.
+    #[inline]
+    pub fn sample(&self, rng: &mut Xoshiro256) -> u32 {
+        let i = rng.gen_range(self.prob.len() as u64) as usize;
+        if rng.next_f64() < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical(table: &AliasTable, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut counts = vec![0u64; table.len()];
+        for _ in 0..n {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / n as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let table = AliasTable::new(&[1.0; 8]).unwrap();
+        for p in empirical(&table, 80_000, 1) {
+            assert!((p - 0.125).abs() < 0.01, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_distribution() {
+        let weights = [8.0, 4.0, 2.0, 1.0, 1.0];
+        let total: f64 = weights.iter().sum();
+        let table = AliasTable::new(&weights).unwrap();
+        let emp = empirical(&table, 200_000, 2);
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(
+                (emp[i] - w / total).abs() < 0.01,
+                "index {i}: expected {} got {}",
+                w / total,
+                emp[i]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_entries_are_never_drawn() {
+        let table = AliasTable::new(&[1.0, 0.0, 1.0]).unwrap();
+        let mut rng = Xoshiro256::seed_from(3);
+        for _ in 0..50_000 {
+            assert_ne!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_entry_always_drawn() {
+        let table = AliasTable::new(&[0.25]).unwrap();
+        let mut rng = Xoshiro256::seed_from(4);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(AliasTable::new(&[]).unwrap_err(), AliasError::Empty);
+        assert_eq!(
+            AliasTable::new(&[0.0, 0.0]).unwrap_err(),
+            AliasError::ZeroTotal
+        );
+        assert!(matches!(
+            AliasTable::new(&[1.0, -2.0]).unwrap_err(),
+            AliasError::InvalidWeight { index: 1, .. }
+        ));
+        assert!(matches!(
+            AliasTable::new(&[f64::NAN]).unwrap_err(),
+            AliasError::InvalidWeight { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn unnormalized_weights_are_accepted() {
+        let a = AliasTable::new(&[2.0, 6.0]).unwrap();
+        let b = AliasTable::new(&[0.25, 0.75]).unwrap();
+        let ea = empirical(&a, 100_000, 5);
+        let eb = empirical(&b, 100_000, 5);
+        assert!((ea[1] - eb[1]).abs() < 0.01);
+    }
+}

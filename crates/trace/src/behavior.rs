@@ -1,0 +1,278 @@
+//! Outcome-generating behaviors for static branches.
+//!
+//! Each static branch owns a [`Behavior`] that maps its *execution index*
+//! (how many times this branch has executed so far) to a probability of
+//! being taken. The archetypes cover every phenomenon the paper studies:
+//!
+//! * stationary bias of any strength ([`Behavior::Fixed`]),
+//! * branches that change behavior partway through the run, including the
+//!   paper's Figure 3 examples ([`Behavior::MultiPhase`]),
+//! * bias that gradually softens ([`Behavior::Drift`]),
+//! * the induction-variable branch that is false for its first 32,768
+//!   executions and true afterwards ([`Behavior::Induction`]),
+//! * periodic bursts of misspeculation ([`Behavior::PeriodicBurst`]),
+//! * branches whose behavior flips together with a correlated group, as in
+//!   the paper's Figure 9 ([`Behavior::Grouped`]).
+
+/// One stationary segment of a [`Behavior::MultiPhase`] branch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Number of executions this phase lasts. The final phase of a
+    /// `MultiPhase` behavior extends to the end of the run regardless.
+    pub len: u64,
+    /// Probability of the branch being taken during this phase.
+    pub p_taken: f64,
+}
+
+/// A generative model of one static branch's outcome stream.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_trace::behavior::Behavior;
+/// // The paper's induction-variable example: false for the first 32,768
+/// // executions, then true forever.
+/// let b = Behavior::Induction { flip_at: 32_768 };
+/// assert_eq!(b.p_taken(0, false), 0.0);
+/// assert_eq!(b.p_taken(32_768, false), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Behavior {
+    /// Stationary Bernoulli outcomes with probability `p_taken`.
+    Fixed {
+        /// Probability of being taken at every execution.
+        p_taken: f64,
+    },
+    /// Piecewise-stationary behavior: each phase has its own probability.
+    ///
+    /// Models branches that start biased and later flip, soften, or regain
+    /// bias (the paper's Figures 3 and 6 populations).
+    MultiPhase {
+        /// The phases, in order. Must be non-empty; the last phase extends
+        /// to the end of the run.
+        phases: Vec<Phase>,
+    },
+    /// Probability interpolates linearly from `start` to `end` over the
+    /// first `over` executions, then stays at `end`.
+    Drift {
+        /// Initial taken probability.
+        start: f64,
+        /// Final taken probability.
+        end: f64,
+        /// Number of executions over which the drift happens.
+        over: u64,
+    },
+    /// Deterministically not-taken until `flip_at` executions, then taken.
+    Induction {
+        /// The execution index at which the outcome flips.
+        flip_at: u64,
+    },
+    /// Mostly `base`, with windows of `burst` probability: each `period`
+    /// executions, the first `burst_len` positions (offset by `phase`) use
+    /// `burst`.
+    PeriodicBurst {
+        /// Probability outside bursts.
+        base: f64,
+        /// Probability inside bursts.
+        burst: f64,
+        /// Cycle length in executions.
+        period: u64,
+        /// Burst length in executions (clamped to `period`).
+        burst_len: u64,
+        /// Phase offset in executions: the first burst starts at execution
+        /// `period - phase` (mod `period`). Zero puts a burst at the very
+        /// first execution.
+        phase: u64,
+    },
+    /// Probability depends on the *group phase* the generator passes in:
+    /// `in_phase` while the group is active, `out_phase` otherwise.
+    ///
+    /// Used for the paper's Figure 9 correlated vortex branches.
+    Grouped {
+        /// Taken probability while the group is in its active phase.
+        in_phase: f64,
+        /// Taken probability otherwise.
+        out_phase: f64,
+    },
+}
+
+impl Behavior {
+    /// Returns the taken probability for the `exec`-th execution of this
+    /// branch. `group_active` only matters for [`Behavior::Grouped`].
+    #[inline]
+    pub fn p_taken(&self, exec: u64, group_active: bool) -> f64 {
+        match self {
+            Behavior::Fixed { p_taken } => *p_taken,
+            Behavior::MultiPhase { phases } => {
+                debug_assert!(!phases.is_empty());
+                let mut start = 0u64;
+                for phase in phases {
+                    let end = start.saturating_add(phase.len);
+                    if exec < end {
+                        return phase.p_taken;
+                    }
+                    start = end;
+                }
+                phases.last().map(|p| p.p_taken).unwrap_or(0.5)
+            }
+            Behavior::Drift { start, end, over } => {
+                if *over == 0 || exec >= *over {
+                    *end
+                } else {
+                    let t = exec as f64 / *over as f64;
+                    start + (end - start) * t
+                }
+            }
+            Behavior::Induction { flip_at } => {
+                if exec < *flip_at {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            Behavior::PeriodicBurst { base, burst, period, burst_len, phase } => {
+                if *period == 0 {
+                    return *base;
+                }
+                let pos = (exec + phase) % *period;
+                if pos < (*burst_len).min(*period) {
+                    *burst
+                } else {
+                    *base
+                }
+            }
+            Behavior::Grouped { in_phase, out_phase } => {
+                if group_active {
+                    *in_phase
+                } else {
+                    *out_phase
+                }
+            }
+        }
+    }
+
+    /// Returns a deterministic upper bound on phase structure changes, used
+    /// by tests and analysis to reason about a behavior's complexity.
+    pub fn phase_count(&self) -> usize {
+        match self {
+            Behavior::Fixed { .. } | Behavior::Grouped { .. } => 1,
+            Behavior::MultiPhase { phases } => phases.len(),
+            Behavior::Drift { .. } | Behavior::Induction { .. } => 2,
+            Behavior::PeriodicBurst { .. } => 2,
+        }
+    }
+
+    /// Convenience constructor for a two-phase flip behavior: probability
+    /// `before` for the first `flip_at` executions, `after` afterwards.
+    pub fn flip(before: f64, after: f64, flip_at: u64) -> Behavior {
+        Behavior::MultiPhase {
+            phases: vec![
+                Phase { len: flip_at, p_taken: before },
+                Phase { len: u64::MAX, p_taken: after },
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_stationary() {
+        let b = Behavior::Fixed { p_taken: 0.42 };
+        assert_eq!(b.p_taken(0, false), 0.42);
+        assert_eq!(b.p_taken(1 << 40, true), 0.42);
+    }
+
+    #[test]
+    fn multiphase_boundaries_are_half_open() {
+        let b = Behavior::MultiPhase {
+            phases: vec![
+                Phase { len: 10, p_taken: 1.0 },
+                Phase { len: 10, p_taken: 0.0 },
+                Phase { len: u64::MAX, p_taken: 0.5 },
+            ],
+        };
+        assert_eq!(b.p_taken(0, false), 1.0);
+        assert_eq!(b.p_taken(9, false), 1.0);
+        assert_eq!(b.p_taken(10, false), 0.0);
+        assert_eq!(b.p_taken(19, false), 0.0);
+        assert_eq!(b.p_taken(20, false), 0.5);
+        assert_eq!(b.p_taken(u64::MAX - 1, false), 0.5);
+    }
+
+    #[test]
+    fn multiphase_saturating_lengths_do_not_overflow() {
+        let b = Behavior::MultiPhase {
+            phases: vec![
+                Phase { len: u64::MAX, p_taken: 0.9 },
+                Phase { len: u64::MAX, p_taken: 0.1 },
+            ],
+        };
+        assert_eq!(b.p_taken(u64::MAX - 1, false), 0.9);
+    }
+
+    #[test]
+    fn flip_constructor_matches_manual_multiphase() {
+        let b = Behavior::flip(0.99, 0.01, 1000);
+        assert_eq!(b.p_taken(999, false), 0.99);
+        assert_eq!(b.p_taken(1000, false), 0.01);
+    }
+
+    #[test]
+    fn drift_interpolates_linearly() {
+        let b = Behavior::Drift { start: 1.0, end: 0.0, over: 100 };
+        assert_eq!(b.p_taken(0, false), 1.0);
+        assert!((b.p_taken(50, false) - 0.5).abs() < 1e-12);
+        assert_eq!(b.p_taken(100, false), 0.0);
+        assert_eq!(b.p_taken(1_000_000, false), 0.0);
+    }
+
+    #[test]
+    fn drift_zero_length_is_end_value() {
+        let b = Behavior::Drift { start: 0.9, end: 0.2, over: 0 };
+        assert_eq!(b.p_taken(0, false), 0.2);
+    }
+
+    #[test]
+    fn induction_flips_exactly_once() {
+        let b = Behavior::Induction { flip_at: 5 };
+        for e in 0..5 {
+            assert_eq!(b.p_taken(e, false), 0.0);
+        }
+        for e in 5..10 {
+            assert_eq!(b.p_taken(e, false), 1.0);
+        }
+    }
+
+    #[test]
+    fn periodic_burst_cycles() {
+        let b = Behavior::PeriodicBurst { base: 0.99, burst: 0.1, period: 10, burst_len: 2, phase: 0 };
+        assert_eq!(b.p_taken(0, false), 0.1);
+        assert_eq!(b.p_taken(1, false), 0.1);
+        assert_eq!(b.p_taken(2, false), 0.99);
+        assert_eq!(b.p_taken(10, false), 0.1);
+        assert_eq!(b.p_taken(12, false), 0.99);
+    }
+
+    #[test]
+    fn periodic_burst_degenerate_period() {
+        let b = Behavior::PeriodicBurst { base: 0.7, burst: 0.1, period: 0, burst_len: 5, phase: 0 };
+        assert_eq!(b.p_taken(3, false), 0.7);
+    }
+
+    #[test]
+    fn grouped_follows_group_phase() {
+        let b = Behavior::Grouped { in_phase: 0.99, out_phase: 0.3 };
+        assert_eq!(b.p_taken(0, true), 0.99);
+        assert_eq!(b.p_taken(0, false), 0.3);
+    }
+
+    #[test]
+    fn phase_counts() {
+        assert_eq!(Behavior::Fixed { p_taken: 0.5 }.phase_count(), 1);
+        assert_eq!(Behavior::flip(1.0, 0.0, 10).phase_count(), 2);
+        assert_eq!(Behavior::Induction { flip_at: 1 }.phase_count(), 2);
+    }
+}

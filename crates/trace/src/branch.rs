@@ -1,0 +1,95 @@
+//! Static branch specifications.
+
+use crate::behavior::Behavior;
+use crate::ids::{GroupId, InputId};
+
+/// The full generative specification of one static branch.
+///
+/// A branch has one [`Behavior`] (shared across inputs — program structure
+/// does not change with the data set) plus per-input execution weights and
+/// an optional input-dependent direction inversion. Together these model the
+/// two cross-input effects the paper identifies: predicates whose direction
+/// is a function of the input, and code regions exercised by only one input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticBranchSpec {
+    /// Outcome model as a function of execution index.
+    pub behavior: Behavior,
+    /// Relative execution weight on the evaluation input. Zero means the
+    /// branch never executes on that input.
+    pub eval_weight: f64,
+    /// Relative execution weight on the profile input.
+    pub profile_weight: f64,
+    /// If `true`, outcomes are inverted on the profile input: the branch is
+    /// biased one way for one data set and the other way for the other.
+    pub invert_on_profile: bool,
+    /// If `true`, the branch's baseline direction is inverted on *both*
+    /// inputs (so populations contain a mix of taken-biased and
+    /// not-taken-biased branches).
+    pub invert_direction: bool,
+    /// Correlated phase group, if any (Figure 9 behavior).
+    pub group: Option<GroupId>,
+}
+
+impl StaticBranchSpec {
+    /// Creates a plain branch with the same weight on both inputs.
+    pub fn new(behavior: Behavior, weight: f64) -> Self {
+        StaticBranchSpec {
+            behavior,
+            eval_weight: weight,
+            profile_weight: weight,
+            invert_on_profile: false,
+            invert_direction: false,
+            group: None,
+        }
+    }
+
+    /// Returns the execution weight on `input`.
+    pub fn weight(&self, input: InputId) -> f64 {
+        match input {
+            InputId::Profile => self.profile_weight,
+            InputId::Eval => self.eval_weight,
+        }
+    }
+
+    /// Returns `true` if raw outcomes should be inverted on `input`.
+    pub fn inverted(&self, input: InputId) -> bool {
+        let base = self.invert_direction;
+        match input {
+            InputId::Profile => base ^ self.invert_on_profile,
+            InputId::Eval => base,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_branch_has_symmetric_weights() {
+        let b = StaticBranchSpec::new(Behavior::Fixed { p_taken: 0.9 }, 2.0);
+        assert_eq!(b.weight(InputId::Profile), 2.0);
+        assert_eq!(b.weight(InputId::Eval), 2.0);
+        assert!(!b.inverted(InputId::Profile));
+        assert!(!b.inverted(InputId::Eval));
+    }
+
+    #[test]
+    fn profile_inversion_only_affects_profile_input() {
+        let mut b = StaticBranchSpec::new(Behavior::Fixed { p_taken: 0.99 }, 1.0);
+        b.invert_on_profile = true;
+        assert!(b.inverted(InputId::Profile));
+        assert!(!b.inverted(InputId::Eval));
+    }
+
+    #[test]
+    fn direction_inversion_composes_with_profile_inversion() {
+        let mut b = StaticBranchSpec::new(Behavior::Fixed { p_taken: 0.99 }, 1.0);
+        b.invert_direction = true;
+        b.invert_on_profile = true;
+        // Base direction inverted everywhere; profile inversion cancels it
+        // on the profile input.
+        assert!(!b.inverted(InputId::Profile));
+        assert!(b.inverted(InputId::Eval));
+    }
+}

@@ -1,0 +1,117 @@
+//! Correlated phase groups (the paper's Figure 9).
+//!
+//! In vortex (and, to a lesser extent, about half of SPEC2000int) the paper
+//! observes that static branches flip between biased and unbiased behavior
+//! *in groups*: one program-level phase change moves many branches at once.
+//! A [`GroupSchedule`] captures one such shared phase timeline.
+
+/// A shared phase timeline for a set of correlated branches.
+///
+/// The schedule is expressed in *fractions of the total event stream* so
+/// that workloads of any length exhibit the same macroscopic shape. The
+/// group starts in the inactive phase and toggles at each boundary.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_trace::group::GroupSchedule;
+/// let g = GroupSchedule::new(vec![0.25, 0.75]).unwrap();
+/// assert!(!g.active_at_fraction(0.1));
+/// assert!(g.active_at_fraction(0.5));
+/// assert!(!g.active_at_fraction(0.9));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSchedule {
+    boundaries: Vec<f64>,
+}
+
+/// Error returned for malformed group schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidScheduleError {
+    what: &'static str,
+}
+
+impl std::fmt::Display for InvalidScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid group schedule: {}", self.what)
+    }
+}
+
+impl std::error::Error for InvalidScheduleError {}
+
+impl GroupSchedule {
+    /// Creates a schedule from toggle boundaries in `(0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if boundaries are not strictly increasing or fall
+    /// outside `(0, 1)`.
+    pub fn new(boundaries: Vec<f64>) -> Result<Self, InvalidScheduleError> {
+        for pair in boundaries.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err(InvalidScheduleError { what: "boundaries must be strictly increasing" });
+            }
+        }
+        if boundaries.iter().any(|&b| !(0.0..1.0).contains(&b) || b == 0.0) {
+            return Err(InvalidScheduleError { what: "boundaries must lie in (0, 1)" });
+        }
+        Ok(GroupSchedule { boundaries })
+    }
+
+    /// Returns the toggle boundaries.
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
+    }
+
+    /// Returns whether the group is active at the given stream fraction.
+    pub fn active_at_fraction(&self, frac: f64) -> bool {
+        let passed = self.boundaries.iter().filter(|&&b| b <= frac).count();
+        passed % 2 == 1
+    }
+
+    /// Converts the fractional boundaries into absolute event indexes for a
+    /// run of `events` total events.
+    pub fn absolute_boundaries(&self, events: u64) -> Vec<u64> {
+        self.boundaries
+            .iter()
+            .map(|&b| (b * events as f64) as u64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_inactive_and_toggles() {
+        let g = GroupSchedule::new(vec![0.2, 0.4, 0.6]).unwrap();
+        assert!(!g.active_at_fraction(0.0));
+        assert!(g.active_at_fraction(0.3));
+        assert!(!g.active_at_fraction(0.5));
+        assert!(g.active_at_fraction(0.99));
+    }
+
+    #[test]
+    fn empty_schedule_is_always_inactive() {
+        let g = GroupSchedule::new(vec![]).unwrap();
+        assert!(!g.active_at_fraction(0.0));
+        assert!(!g.active_at_fraction(1.0));
+    }
+
+    #[test]
+    fn rejects_unsorted_and_out_of_range() {
+        assert!(GroupSchedule::new(vec![0.5, 0.3]).is_err());
+        assert!(GroupSchedule::new(vec![0.5, 0.5]).is_err());
+        assert!(GroupSchedule::new(vec![0.0]).is_err());
+        assert!(GroupSchedule::new(vec![1.0]).is_err());
+        assert!(GroupSchedule::new(vec![-0.1]).is_err());
+    }
+
+    #[test]
+    fn absolute_boundaries_scale_with_events() {
+        let g = GroupSchedule::new(vec![0.25, 0.5]).unwrap();
+        assert_eq!(g.absolute_boundaries(1000), vec![250, 500]);
+        assert_eq!(g.absolute_boundaries(4), vec![1, 2]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Identifier newtypes shared across the workspace.
+
+use std::fmt;
+
+/// Identifies one static conditional branch within a benchmark model.
+///
+/// Branch ids are dense indices (`0..model.static_branches()`), which lets
+/// consumers keep per-branch state in flat vectors.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_trace::BranchId;
+/// let b = BranchId::new(7);
+/// assert_eq!(b.index(), 7);
+/// assert_eq!(format!("{b}"), "br7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BranchId(u32);
+
+impl BranchId {
+    /// Creates a branch id from a dense index.
+    pub const fn new(index: u32) -> Self {
+        BranchId(index)
+    }
+
+    /// Returns the dense index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for BranchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "br{}", self.0)
+    }
+}
+
+impl From<u32> for BranchId {
+    fn from(v: u32) -> Self {
+        BranchId(v)
+    }
+}
+
+/// Identifies one program input (data set) of a benchmark.
+///
+/// The paper profiles on one input and evaluates on another (its Table 1);
+/// we model that with two inputs per benchmark. Input-dependent branches may
+/// reverse direction between inputs, and some code regions are exercised by
+/// only one input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InputId {
+    /// The training/profiling input (Table 1 "Profile Input").
+    Profile,
+    /// The evaluation input (Table 1 "Evaluation Input").
+    Eval,
+}
+
+impl InputId {
+    /// All inputs, in declaration order.
+    pub const ALL: [InputId; 2] = [InputId::Profile, InputId::Eval];
+
+    /// Returns a stable small integer for stream derivation.
+    pub const fn stream_id(self) -> u64 {
+        match self {
+            InputId::Profile => 1,
+            InputId::Eval => 2,
+        }
+    }
+}
+
+impl fmt::Display for InputId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InputId::Profile => f.write_str("profile"),
+            InputId::Eval => f.write_str("eval"),
+        }
+    }
+}
+
+/// Identifies a correlated phase group (Figure 9 of the paper).
+///
+/// Branches in the same group change their bias behavior together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GroupId(u16);
+
+impl GroupId {
+    /// Creates a group id from a dense index.
+    pub const fn new(index: u16) -> Self {
+        GroupId(index)
+    }
+
+    /// Returns the dense index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "grp{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn branch_id_roundtrip() {
+        let b = BranchId::new(41);
+        assert_eq!(b.index(), 41);
+        assert_eq!(b.as_u32(), 41);
+        assert_eq!(BranchId::from(41u32), b);
+    }
+
+    #[test]
+    fn branch_id_ordering_follows_index() {
+        assert!(BranchId::new(1) < BranchId::new(2));
+    }
+
+    #[test]
+    fn ids_are_hashable() {
+        let mut set = HashSet::new();
+        set.insert(BranchId::new(1));
+        set.insert(BranchId::new(1));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn input_stream_ids_are_distinct() {
+        assert_ne!(
+            InputId::Profile.stream_id(),
+            InputId::Eval.stream_id()
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(BranchId::new(3).to_string(), "br3");
+        assert_eq!(GroupId::new(2).to_string(), "grp2");
+        assert_eq!(InputId::Eval.to_string(), "eval");
+        assert_eq!(InputId::Profile.to_string(), "profile");
+    }
+}

@@ -1,0 +1,246 @@
+//! Compact binary serialization of branch traces.
+//!
+//! Lets a workload be generated once, stored, and replayed elsewhere
+//! (e.g., to feed the controller in another process, or to archive the
+//! exact trace behind a reported number). The format is a small
+//! delta/varint encoding:
+//!
+//! ```text
+//! magic "RSCT" | version u8 | event count varint |
+//! per event: branch-id varint | (instr-delta << 1 | taken) varint
+//! ```
+//!
+//! Instruction counts are strictly increasing in valid traces, so deltas
+//! are small and most events take 2–4 bytes.
+
+use crate::ids::BranchId;
+use crate::record::BranchRecord;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"RSCT";
+const VERSION: u8 = 1;
+
+/// Errors produced when decoding a trace file.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with the trace magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// A varint ran past its maximum length or the stream ended early.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceIoError::BadMagic => f.write_str("not a trace file (bad magic)"),
+            TraceIoError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceIoError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R) -> Result<u64, TraceIoError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        if shift >= 64 {
+            return Err(TraceIoError::Corrupt("varint too long"));
+        }
+        v |= u64::from(byte[0] & 0x7F) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Writes a trace to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_trace::io::{read_trace, write_trace};
+/// use rsc_trace::{spec2000, InputId};
+///
+/// let pop = spec2000::benchmark("gzip").unwrap().population(1_000);
+/// let events: Vec<_> = pop.trace(InputId::Eval, 1_000, 7).collect();
+/// let mut buf = Vec::new();
+/// write_trace(&mut buf, events.iter().copied()).unwrap();
+/// let back = read_trace(&mut buf.as_slice()).unwrap();
+/// assert_eq!(back, events);
+/// ```
+pub fn write_trace<W: Write, I: IntoIterator<Item = BranchRecord>>(
+    w: &mut W,
+    records: I,
+) -> io::Result<()> {
+    // Buffer the body so the count can go in the header without requiring
+    // an ExactSizeIterator.
+    let mut body = Vec::new();
+    let mut count = 0u64;
+    let mut last_instr = 0u64;
+    for r in records {
+        write_varint(&mut body, r.branch.index() as u64)?;
+        let delta = r.instr.saturating_sub(last_instr);
+        last_instr = r.instr;
+        write_varint(&mut body, (delta << 1) | u64::from(r.taken))?;
+        count += 1;
+    }
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION])?;
+    write_varint(w, count)?;
+    w.write_all(&body)
+}
+
+/// Reads a whole trace from `r`.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on malformed input or I/O failure.
+pub fn read_trace<R: Read>(r: &mut R) -> Result<Vec<BranchRecord>, TraceIoError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TraceIoError::BadMagic);
+    }
+    let mut version = [0u8; 1];
+    r.read_exact(&mut version)?;
+    if version[0] != VERSION {
+        return Err(TraceIoError::BadVersion(version[0]));
+    }
+    let count = read_varint(r)?;
+    let mut records = Vec::with_capacity(count.min(1 << 24) as usize);
+    let mut instr = 0u64;
+    for _ in 0..count {
+        let branch = read_varint(r)?;
+        if branch > u64::from(u32::MAX) {
+            return Err(TraceIoError::Corrupt("branch id exceeds u32"));
+        }
+        let packed = read_varint(r)?;
+        instr += packed >> 1;
+        records.push(BranchRecord {
+            branch: BranchId::new(branch as u32),
+            taken: packed & 1 == 1,
+            instr,
+        });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(b: u32, taken: bool, instr: u64) -> BranchRecord {
+        BranchRecord { branch: BranchId::new(b), taken, instr }
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let events = vec![rec(0, true, 5), rec(3, false, 11), rec(0, true, 12)];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, events.iter().copied()).unwrap();
+        assert_eq!(read_trace(&mut buf.as_slice()).unwrap(), events);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, std::iter::empty()).unwrap();
+        assert!(read_trace(&mut buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // 10k events with small deltas should take only a few bytes each.
+        let events: Vec<_> = (0..10_000u64).map(|i| rec((i % 64) as u32, i % 3 == 0, (i + 1) * 6)).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, events.iter().copied()).unwrap();
+        assert!(buf.len() < 10_000 * 4, "encoded size {} bytes", buf.len());
+        assert_eq!(read_trace(&mut buf.as_slice()).unwrap(), events);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let buf = b"NOPE\x01\x00".to_vec();
+        assert!(matches!(
+            read_trace(&mut buf.as_slice()),
+            Err(TraceIoError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"RSCT");
+        buf.push(99);
+        buf.push(0);
+        assert!(matches!(
+            read_trace(&mut buf.as_slice()),
+            Err(TraceIoError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let events = [rec(0, true, 5), rec(1, false, 9)];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, events.iter().copied()).unwrap();
+        buf.truncate(buf.len() - 1);
+        assert!(read_trace(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn roundtrip_large_values() {
+        let events = vec![
+            rec(u32::MAX, true, 1),
+            rec(0, false, u64::MAX / 4),
+        ];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, events.iter().copied()).unwrap();
+        assert_eq!(read_trace(&mut buf.as_slice()).unwrap(), events);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(TraceIoError::BadMagic.to_string().contains("magic"));
+        assert!(TraceIoError::BadVersion(3).to_string().contains('3'));
+        assert!(TraceIoError::Corrupt("x").to_string().contains('x'));
+    }
+}

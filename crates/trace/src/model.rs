@@ -1,0 +1,239 @@
+//! Benchmark models and their instantiation into populations.
+
+use crate::branch::StaticBranchSpec;
+use crate::group::GroupSchedule;
+use crate::ids::InputId;
+use crate::population::{instantiate_group, PopulationGroup};
+use crate::rng::Xoshiro256;
+use crate::workload::Trace;
+
+/// Reference numbers reported by the paper for one benchmark, used when
+/// printing paper-vs-measured comparisons (Tables 1 and 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaperReference {
+    /// Table 1 "Profile Input".
+    pub profile_input: &'static str,
+    /// Table 1 "Evaluation Input".
+    pub eval_input: &'static str,
+    /// Table 1 run length in billions of instructions.
+    pub run_len_billions: u32,
+    /// Table 3: static conditional branches touched.
+    pub touched: u32,
+    /// Table 3: branches that ever enter the biased state.
+    pub biased: u32,
+    /// Table 3: static branches evicted at least once.
+    pub evicted: u32,
+    /// Table 3: total evictions.
+    pub total_evicts: u32,
+    /// Table 3: percent of dynamic branches speculated correctly.
+    pub pct_spec: f64,
+    /// Table 3: average instructions between misspeculations.
+    pub misspec_dist: u64,
+}
+
+/// A complete generative model of one benchmark's conditional-branch
+/// behavior, described as population groups plus correlated phase groups.
+#[derive(Debug, Clone)]
+pub struct BenchmarkModel {
+    /// Benchmark name (e.g. `"gcc"`).
+    pub name: &'static str,
+    /// Model identity seed; all branch instantiation randomness derives
+    /// from this, so a model is a pure value.
+    pub seed: u64,
+    /// Mean dynamic instructions per conditional branch.
+    pub instr_per_branch: u32,
+    /// The population groups.
+    pub groups: Vec<PopulationGroup>,
+    /// Correlated phase-group schedules (Figure 9 behavior).
+    pub phase_groups: Vec<GroupSchedule>,
+    /// Paper-reported reference values for comparisons.
+    pub paper: PaperReference,
+}
+
+impl BenchmarkModel {
+    /// Total number of static branches across all groups.
+    pub fn static_branches(&self) -> u32 {
+        self.groups.iter().map(|g| g.count).sum()
+    }
+
+    /// Instantiates the model into a concrete [`Population`].
+    ///
+    /// `events_hint` should be the number of dynamic branch events the
+    /// evaluation run will contain; behavior phase thresholds scale with it.
+    /// Instantiation is deterministic: the same model yields the same
+    /// population for the same hint.
+    pub fn population(&self, events_hint: u64) -> Population {
+        let mut rng = Xoshiro256::seed_from(self.seed).fork(POP_STREAM);
+        let total_share: f64 = self.groups.iter().map(|g| g.weight_share).sum();
+        assert!(total_share > 0.0, "model has no dynamic weight");
+        let mut branches =
+            Vec::with_capacity(self.static_branches() as usize);
+        for group in &self.groups {
+            instantiate_group(
+                group,
+                &mut rng,
+                total_share,
+                events_hint,
+                self.phase_groups.len(),
+                &mut branches,
+            );
+        }
+        Population {
+            name: self.name,
+            instr_per_branch: self.instr_per_branch,
+            branches,
+            phase_groups: self.phase_groups.clone(),
+        }
+    }
+}
+
+/// RNG sub-stream used for population instantiation ("populate" in ASCII).
+const POP_STREAM: u64 = 0x706F_7075_6C61_7465;
+
+/// A concrete set of static branches plus shared phase schedules — the
+/// instantiated form of a [`BenchmarkModel`], ready to generate traces.
+#[derive(Debug, Clone)]
+pub struct Population {
+    name: &'static str,
+    instr_per_branch: u32,
+    branches: Vec<StaticBranchSpec>,
+    phase_groups: Vec<GroupSchedule>,
+}
+
+impl Population {
+    /// Creates a population directly from branch specs (mainly for tests
+    /// and custom workloads).
+    pub fn from_branches(
+        name: &'static str,
+        instr_per_branch: u32,
+        branches: Vec<StaticBranchSpec>,
+        phase_groups: Vec<GroupSchedule>,
+    ) -> Self {
+        assert!(!branches.is_empty(), "population needs at least one branch");
+        assert!(instr_per_branch >= 1, "instr_per_branch must be at least 1");
+        Population { name, instr_per_branch, branches, phase_groups }
+    }
+
+    /// Benchmark name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of static branches.
+    pub fn static_branches(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Mean dynamic instructions per branch event.
+    pub fn instr_per_branch(&self) -> u32 {
+        self.instr_per_branch
+    }
+
+    /// The branch specifications.
+    pub fn branches(&self) -> &[StaticBranchSpec] {
+        &self.branches
+    }
+
+    /// The phase-group schedules.
+    pub fn phase_groups(&self) -> &[GroupSchedule] {
+        &self.phase_groups
+    }
+
+    /// Returns the number of branches with nonzero weight on `input`.
+    pub fn touched_on(&self, input: InputId) -> usize {
+        self.branches.iter().filter(|b| b.weight(input) > 0.0).count()
+    }
+
+    /// Creates a deterministic trace of `events` branch events on `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population carries no weight on `input`.
+    pub fn trace(&self, input: InputId, events: u64, seed: u64) -> Trace<'_> {
+        Trace::new(self, input, events, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::Behavior;
+    use crate::population::Archetype;
+
+    fn tiny_model() -> BenchmarkModel {
+        BenchmarkModel {
+            name: "tiny",
+            seed: 7,
+            instr_per_branch: 6,
+            groups: vec![
+                PopulationGroup::new(
+                    "hot",
+                    4,
+                    0.8,
+                    1.0,
+                    Archetype::StableBiased { bias: (0.996, 1.0) },
+                ),
+                PopulationGroup::new(
+                    "cold",
+                    8,
+                    0.2,
+                    0.0,
+                    Archetype::Unbiased { bias: (0.5, 0.8) },
+                ),
+            ],
+            phase_groups: vec![],
+            paper: PaperReference {
+                profile_input: "a",
+                eval_input: "b",
+                run_len_billions: 1,
+                touched: 12,
+                biased: 4,
+                evicted: 0,
+                total_evicts: 0,
+                pct_spec: 50.0,
+                misspec_dist: 10_000,
+            },
+        }
+    }
+
+    #[test]
+    fn population_has_all_branches() {
+        let pop = tiny_model().population(100_000);
+        assert_eq!(pop.static_branches(), 12);
+        assert_eq!(pop.name(), "tiny");
+    }
+
+    #[test]
+    fn instantiation_is_deterministic() {
+        let m = tiny_model();
+        let a = m.population(100_000);
+        let b = m.population(100_000);
+        assert_eq!(a.branches(), b.branches());
+    }
+
+    #[test]
+    fn weights_are_normalized_across_groups() {
+        let pop = tiny_model().population(100_000);
+        let total: f64 = pop.branches().iter().map(|b| b.eval_weight).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total weight {total}");
+    }
+
+    #[test]
+    fn from_branches_roundtrip() {
+        let pop = Population::from_branches(
+            "custom",
+            5,
+            vec![StaticBranchSpec::new(Behavior::Fixed { p_taken: 1.0 }, 1.0)],
+            vec![],
+        );
+        assert_eq!(pop.static_branches(), 1);
+        assert_eq!(pop.instr_per_branch(), 5);
+        assert_eq!(pop.touched_on(InputId::Eval), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one branch")]
+    fn empty_population_panics() {
+        Population::from_branches("empty", 5, vec![], vec![]);
+    }
+}

@@ -1,0 +1,493 @@
+//! Population groups and archetype templates.
+//!
+//! A benchmark model is described as a small set of [`PopulationGroup`]s —
+//! "N branches of this archetype carrying this share of dynamic execution".
+//! Instantiation expands each group into concrete [`StaticBranchSpec`]s with
+//! per-branch randomized parameters, drawn deterministically from the model
+//! seed.
+
+use crate::behavior::{Behavior, Phase};
+use crate::branch::StaticBranchSpec;
+use crate::rng::Xoshiro256;
+
+/// Inclusive-exclusive parameter range used by archetype templates.
+pub type Range = (f64, f64);
+
+fn draw(rng: &mut Xoshiro256, r: Range) -> f64 {
+    rng.gen_range_f64(r.0, r.1)
+}
+
+/// What a [`Archetype::LateFlip`] branch does after its flip point.
+///
+/// The mixture mirrors the paper's Figure 6: when a branch leaves its biased
+/// behavior it most often *softens* (same direction, weaker bias) and in
+/// roughly 20% of cases becomes perfectly biased in the *other* direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AfterFlip {
+    /// Perfectly biased in the opposite direction.
+    Reverse,
+    /// Same direction, reduced bias drawn from the range.
+    Soften(Range),
+    /// Essentially random outcomes drawn from the range (around 0.5).
+    Unbiased(Range),
+}
+
+/// A parameterized branch-behavior template.
+///
+/// Ranges are taken-probabilities of the branch's *majority direction*;
+/// whether that direction is taken or not-taken is randomized separately.
+/// Execution-index thresholds are expressed as fractions of the branch's
+/// expected execution count so that models are scale-invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Archetype {
+    /// Stationary, highly biased (the speculation targets).
+    StableBiased {
+        /// Bias range, e.g. `(0.996, 1.0)`.
+        bias: Range,
+    },
+    /// Stationary, moderately biased — below any sane speculation threshold.
+    Moderate {
+        /// Bias range, e.g. `(0.90, 0.99)`.
+        bias: Range,
+    },
+    /// Stationary, unbiased.
+    Unbiased {
+        /// Bias range, e.g. `(0.5, 0.85)`.
+        bias: Range,
+    },
+    /// Biased for an initial period, then changes per [`AfterFlip`].
+    ///
+    /// These are the dangerous branches of the paper's Figure 3: nothing in
+    /// their initial outcome stream distinguishes them from truly biased
+    /// branches.
+    LateFlip {
+        /// Initial bias range.
+        initial: Range,
+        /// Flip point as a fraction of expected executions.
+        flip_frac: Range,
+        /// Post-flip behavior mixture; one entry is drawn uniformly.
+        after: Vec<AfterFlip>,
+    },
+    /// Biased, then a dip of unbiased behavior, then biased again.
+    ///
+    /// The middle branch of the paper's Figure 3 (average bias ~60% but two
+    /// exploitable highly-biased regions) is this shape. Only a reactive
+    /// controller with both eviction *and* revisit arcs can exploit both
+    /// regions.
+    Rebias {
+        /// Bias during the biased regions.
+        bias: Range,
+        /// Bias during the dip.
+        dip: Range,
+        /// End of the first biased region (fraction of expected execs).
+        first_end: Range,
+        /// Length of the dip (fraction of expected execs).
+        dip_len: Range,
+    },
+    /// Unbiased at first, becoming biased later — only the revisit arc
+    /// (unbiased → monitor) can harvest these.
+    LateBias {
+        /// Bias before the switch.
+        before: Range,
+        /// Switch point as a fraction of expected executions.
+        start_frac: Range,
+        /// Bias after the switch.
+        bias: Range,
+    },
+    /// The paper's induction-variable example: deterministically one
+    /// direction for the first 32,768 executions, then the other, forever.
+    Induction,
+    /// Alternates between biased and unbiased on a fixed period — the
+    /// pathological oscillators that motivate the oscillation cap.
+    Oscillator {
+        /// Period as a fraction of expected executions.
+        period_frac: Range,
+        /// Bias during the "good" half-period.
+        high: Range,
+        /// Bias during the "bad" half-period.
+        low: Range,
+    },
+    /// Biased with periodic short bursts of misbehavior — exercises the
+    /// eviction hysteresis (short bursts should *not* evict).
+    Bursty {
+        /// Bias outside bursts.
+        base: Range,
+        /// Taken-probability inside bursts.
+        burst: Range,
+        /// Burst period as a fraction of expected executions.
+        period_frac: Range,
+        /// Burst length as a fraction of the period.
+        burst_len_frac: Range,
+    },
+    /// Behavior tied to a correlated phase group: biased while the group is
+    /// inactive, degraded while active (Figure 9).
+    GroupFlip {
+        /// Bias while the group is inactive.
+        biased: Range,
+        /// Taken-probability of the majority direction while active.
+        degraded: Range,
+    },
+}
+
+impl Archetype {
+    /// Instantiates a concrete [`Behavior`] for one branch.
+    ///
+    /// `expected_execs` is the number of times the branch is expected to
+    /// execute on the evaluation input; fraction-based thresholds are scaled
+    /// by it.
+    pub fn instantiate(&self, rng: &mut Xoshiro256, expected_execs: u64) -> Behavior {
+        let execs = expected_execs.max(4) as f64;
+        match self {
+            Archetype::StableBiased { bias }
+            | Archetype::Moderate { bias }
+            | Archetype::Unbiased { bias } => Behavior::Fixed { p_taken: draw(rng, *bias) },
+            Archetype::LateFlip { initial, flip_frac, after } => {
+                let before = draw(rng, *initial);
+                let flip_at = (draw(rng, *flip_frac) * execs) as u64;
+                let choice = &after[rng.gen_range(after.len() as u64) as usize];
+                let post = match choice {
+                    AfterFlip::Reverse => 1.0 - draw(rng, (0.98, 1.0)),
+                    AfterFlip::Soften(r) => draw(rng, *r),
+                    AfterFlip::Unbiased(r) => draw(rng, *r),
+                };
+                Behavior::flip(before, post, flip_at.max(1))
+            }
+            Archetype::Rebias { bias, dip, first_end, dip_len } => {
+                let b1 = draw(rng, *bias);
+                let b2 = draw(rng, *bias);
+                let d = draw(rng, *dip);
+                let end1 = (draw(rng, *first_end) * execs) as u64;
+                let dlen = (draw(rng, *dip_len) * execs) as u64;
+                Behavior::MultiPhase {
+                    phases: vec![
+                        Phase { len: end1.max(1), p_taken: b1 },
+                        Phase { len: dlen.max(1), p_taken: d },
+                        Phase { len: u64::MAX, p_taken: b2 },
+                    ],
+                }
+            }
+            Archetype::LateBias { before, start_frac, bias } => {
+                let pre = draw(rng, *before);
+                let start = (draw(rng, *start_frac) * execs) as u64;
+                let post = draw(rng, *bias);
+                Behavior::flip(pre, post, start.max(1))
+            }
+            Archetype::Induction => {
+                // The paper's example flips at exactly 32,768 executions; for
+                // branches too cold to reach that, flip midway so the shape
+                // (deterministic single flip) is preserved.
+                let flip_at = if expected_execs > 65_536 {
+                    32_768
+                } else {
+                    (expected_execs / 2).max(1)
+                };
+                Behavior::Induction { flip_at }
+            }
+            Archetype::Oscillator { period_frac, high, low } => {
+                // The pathological oscillators re-enter the biased state
+                // quickly after every eviction: mostly-biased behavior with
+                // short recurring bursts of misbehavior. Each burst is long
+                // enough to trip the eviction counter, but the following
+                // monitor window lands back in biased behavior, so the
+                // branch cycles enter → evict → re-enter until capped.
+                let period = ((draw(rng, *period_frac) * execs) as u64).max(3_000);
+                let burst_len = (period / 80).clamp(30, 40);
+                Behavior::PeriodicBurst {
+                    base: draw(rng, *high),
+                    burst: draw(rng, *low),
+                    period,
+                    burst_len,
+                    // Keep the first classification window burst-free so the
+                    // branch is selected promptly and then oscillates.
+                    phase: burst_len,
+                }
+            }
+            Archetype::Bursty { base, burst, period_frac, burst_len_frac } => {
+                let period = ((draw(rng, *period_frac) * execs) as u64).max(4);
+                let burst_len = ((draw(rng, *burst_len_frac) * period as f64) as u64).max(1);
+                Behavior::PeriodicBurst {
+                    base: draw(rng, *base),
+                    burst: draw(rng, *burst),
+                    period,
+                    burst_len,
+                    phase: burst_len,
+                }
+            }
+            Archetype::GroupFlip { biased, degraded } => Behavior::Grouped {
+                in_phase: draw(rng, *degraded),
+                out_phase: draw(rng, *biased),
+            },
+        }
+    }
+}
+
+/// A set of branches sharing an archetype and a slice of dynamic execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationGroup {
+    /// Human-readable label (appears in diagnostics).
+    pub label: &'static str,
+    /// Number of static branches in the group.
+    pub count: u32,
+    /// Share of total dynamic events carried by the group (normalized
+    /// across all groups of the model at instantiation time).
+    pub weight_share: f64,
+    /// Zipf exponent for the within-group weight distribution (0 = flat).
+    pub zipf_exponent: f64,
+    /// Behavior template.
+    pub archetype: Archetype,
+    /// Fraction of branches whose direction inverts on the profile input.
+    pub input_dep_frac: f64,
+    /// Fraction of branches that never execute on the profile input.
+    pub eval_only_frac: f64,
+    /// Fraction of branches that never execute on the evaluation input.
+    pub profile_only_frac: f64,
+    /// Distribute branches round-robin over the model's phase groups
+    /// (required for [`Archetype::GroupFlip`]).
+    pub in_phase_groups: bool,
+}
+
+impl PopulationGroup {
+    /// Creates a group with no input sensitivity and flat defaults.
+    pub fn new(
+        label: &'static str,
+        count: u32,
+        weight_share: f64,
+        zipf_exponent: f64,
+        archetype: Archetype,
+    ) -> Self {
+        PopulationGroup {
+            label,
+            count,
+            weight_share,
+            zipf_exponent,
+            archetype,
+            input_dep_frac: 0.0,
+            eval_only_frac: 0.0,
+            profile_only_frac: 0.0,
+            in_phase_groups: false,
+        }
+    }
+
+    /// Sets the fraction of input-direction-dependent branches.
+    pub fn with_input_dep(mut self, frac: f64) -> Self {
+        self.input_dep_frac = frac;
+        self
+    }
+
+    /// Sets the fraction of branches missing from the profile input.
+    pub fn with_eval_only(mut self, frac: f64) -> Self {
+        self.eval_only_frac = frac;
+        self
+    }
+
+    /// Sets the fraction of branches missing from the evaluation input.
+    pub fn with_profile_only(mut self, frac: f64) -> Self {
+        self.profile_only_frac = frac;
+        self
+    }
+
+    /// Marks the group as participating in correlated phase groups.
+    pub fn with_phase_groups(mut self) -> Self {
+        self.in_phase_groups = true;
+        self
+    }
+}
+
+/// Expands a group into concrete branch specs.
+///
+/// `total_share` is the sum of `weight_share` across the model's groups
+/// (used for normalization); `events_hint` sizes fraction-based behavior
+/// thresholds; `phase_group_count` is the number of group schedules
+/// available for round-robin assignment.
+pub(crate) fn instantiate_group(
+    group: &PopulationGroup,
+    rng: &mut Xoshiro256,
+    total_share: f64,
+    events_hint: u64,
+    phase_group_count: usize,
+    out: &mut Vec<StaticBranchSpec>,
+) {
+    let weights = crate::zipf::zipf_weights(
+        group.count as usize,
+        group.zipf_exponent,
+        group.weight_share / total_share,
+    );
+    for (i, w) in weights.into_iter().enumerate() {
+        let expected = (w * events_hint as f64).max(1.0) as u64;
+        let behavior = group.archetype.instantiate(rng, expected);
+        let u = rng.next_f64();
+        // Mutually exclusive coverage classes drawn from one uniform.
+        let eval_only = u < group.eval_only_frac;
+        let profile_only =
+            !eval_only && u < group.eval_only_frac + group.profile_only_frac;
+        let spec = StaticBranchSpec {
+            behavior,
+            eval_weight: if profile_only { 0.0 } else { w },
+            profile_weight: if eval_only { 0.0 } else { w },
+            invert_on_profile: rng.gen_bool(group.input_dep_frac),
+            invert_direction: rng.gen_bool(0.5),
+            group: if group.in_phase_groups && phase_group_count > 0 {
+                Some(crate::ids::GroupId::new((i % phase_group_count) as u16))
+            } else {
+                None
+            },
+        };
+        out.push(spec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::InputId;
+
+    fn rng() -> Xoshiro256 {
+        Xoshiro256::seed_from(42)
+    }
+
+    #[test]
+    fn stable_biased_draws_within_range() {
+        let a = Archetype::StableBiased { bias: (0.996, 1.0) };
+        let mut r = rng();
+        for _ in 0..100 {
+            match a.instantiate(&mut r, 10_000) {
+                Behavior::Fixed { p_taken } => assert!((0.996..1.0).contains(&p_taken)),
+                other => panic!("unexpected behavior {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn late_flip_produces_two_phases() {
+        let a = Archetype::LateFlip {
+            initial: (0.999, 1.0),
+            flip_frac: (0.3, 0.5),
+            after: vec![AfterFlip::Reverse],
+        };
+        let b = a.instantiate(&mut rng(), 100_000);
+        match &b {
+            Behavior::MultiPhase { phases } => {
+                assert_eq!(phases.len(), 2);
+                assert!(phases[0].len >= 30_000 && phases[0].len <= 50_000);
+                assert!(phases[0].p_taken >= 0.999);
+                assert!(phases[1].p_taken <= 0.02, "reverse flip should invert bias");
+            }
+            other => panic!("unexpected behavior {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rebias_has_three_phases_with_dip() {
+        let a = Archetype::Rebias {
+            bias: (0.995, 1.0),
+            dip: (0.4, 0.6),
+            first_end: (0.2, 0.3),
+            dip_len: (0.2, 0.3),
+        };
+        match a.instantiate(&mut rng(), 1_000_000) {
+            Behavior::MultiPhase { phases } => {
+                assert_eq!(phases.len(), 3);
+                assert!(phases[1].p_taken < 0.7);
+                assert!(phases[2].p_taken > 0.99);
+            }
+            other => panic!("unexpected behavior {other:?}"),
+        }
+    }
+
+    #[test]
+    fn induction_uses_paper_constant_when_hot() {
+        assert_eq!(
+            Archetype::Induction.instantiate(&mut rng(), 1_000_000),
+            Behavior::Induction { flip_at: 32_768 }
+        );
+        // Cold branches flip midway instead.
+        assert_eq!(
+            Archetype::Induction.instantiate(&mut rng(), 1000),
+            Behavior::Induction { flip_at: 500 }
+        );
+    }
+
+    #[test]
+    fn group_instantiation_counts_and_normalization() {
+        let g = PopulationGroup::new(
+            "hot",
+            10,
+            0.5,
+            1.0,
+            Archetype::StableBiased { bias: (0.996, 1.0) },
+        );
+        let mut out = Vec::new();
+        instantiate_group(&g, &mut rng(), 1.0, 1_000_000, 0, &mut out);
+        assert_eq!(out.len(), 10);
+        let total: f64 = out.iter().map(|b| b.eval_weight).sum();
+        assert!((total - 0.5).abs() < 1e-9, "weights should sum to share, got {total}");
+        // Zipf: first branch hottest.
+        assert!(out[0].eval_weight > out[9].eval_weight);
+    }
+
+    #[test]
+    fn eval_only_branches_have_zero_profile_weight() {
+        let g = PopulationGroup::new(
+            "cov",
+            200,
+            0.2,
+            0.0,
+            Archetype::StableBiased { bias: (0.996, 1.0) },
+        )
+        .with_eval_only(1.0);
+        let mut out = Vec::new();
+        instantiate_group(&g, &mut rng(), 1.0, 100_000, 0, &mut out);
+        assert!(out.iter().all(|b| b.profile_weight == 0.0));
+        assert!(out.iter().all(|b| b.eval_weight > 0.0));
+    }
+
+    #[test]
+    fn input_dep_fraction_is_respected() {
+        let g = PopulationGroup::new(
+            "dep",
+            1000,
+            0.1,
+            0.0,
+            Archetype::StableBiased { bias: (0.996, 1.0) },
+        )
+        .with_input_dep(0.5);
+        let mut out = Vec::new();
+        instantiate_group(&g, &mut rng(), 1.0, 100_000, 0, &mut out);
+        let dep = out.iter().filter(|b| b.invert_on_profile).count();
+        assert!((400..600).contains(&dep), "got {dep}");
+        // Input-dependent branches behave differently per input.
+        let b = out.iter().find(|b| b.invert_on_profile).unwrap();
+        assert_ne!(b.inverted(InputId::Profile), b.inverted(InputId::Eval));
+    }
+
+    #[test]
+    fn phase_group_assignment_round_robins() {
+        let g = PopulationGroup::new(
+            "grp",
+            6,
+            0.1,
+            0.0,
+            Archetype::GroupFlip { biased: (0.996, 1.0), degraded: (0.2, 0.6) },
+        )
+        .with_phase_groups();
+        let mut out = Vec::new();
+        instantiate_group(&g, &mut rng(), 1.0, 100_000, 3, &mut out);
+        let ids: Vec<usize> = out.iter().map(|b| b.group.unwrap().index()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn direction_inversion_is_roughly_half() {
+        let g = PopulationGroup::new(
+            "dir",
+            2000,
+            0.1,
+            0.0,
+            Archetype::Unbiased { bias: (0.5, 0.85) },
+        );
+        let mut out = Vec::new();
+        instantiate_group(&g, &mut rng(), 1.0, 100_000, 0, &mut out);
+        let inv = out.iter().filter(|b| b.invert_direction).count();
+        assert!((900..1100).contains(&inv), "got {inv}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Dynamic branch events — the unit of everything downstream.
+
+use crate::ids::BranchId;
+
+/// One dynamic execution of a conditional branch.
+///
+/// This is the entire interface between the workload substrate and the
+/// speculation-control machinery: the paper's abstract model consumes only
+/// the identity of the static branch, its outcome, and the position in the
+/// dynamic instruction stream (used to model re-optimization latency).
+///
+/// # Examples
+///
+/// ```
+/// use rsc_trace::{BranchId, BranchRecord};
+/// let r = BranchRecord { branch: BranchId::new(0), taken: true, instr: 128 };
+/// assert!(r.taken);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchRecord {
+    /// The static branch that executed.
+    pub branch: BranchId,
+    /// Whether the branch was taken.
+    pub taken: bool,
+    /// Dynamic instruction count at which the branch retired.
+    pub instr: u64,
+}
+
+impl BranchRecord {
+    /// Returns the branch direction as a [`Direction`].
+    pub fn direction(&self) -> Direction {
+        if self.taken {
+            Direction::Taken
+        } else {
+            Direction::NotTaken
+        }
+    }
+}
+
+/// A branch direction, used when talking about the *predicted* or
+/// *speculated* direction rather than a concrete outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// The branch is taken.
+    Taken,
+    /// The branch falls through.
+    NotTaken,
+}
+
+impl Direction {
+    /// Returns the opposite direction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsc_trace::Direction;
+    /// assert_eq!(Direction::Taken.flip(), Direction::NotTaken);
+    /// ```
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::Taken => Direction::NotTaken,
+            Direction::NotTaken => Direction::Taken,
+        }
+    }
+
+    /// Converts a concrete outcome into a direction.
+    pub fn from_taken(taken: bool) -> Direction {
+        if taken {
+            Direction::Taken
+        } else {
+            Direction::NotTaken
+        }
+    }
+
+    /// Returns `true` if this direction matches the concrete outcome.
+    pub fn matches(self, taken: bool) -> bool {
+        matches!(
+            (self, taken),
+            (Direction::Taken, true) | (Direction::NotTaken, false)
+        )
+    }
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Direction::Taken => f.write_str("taken"),
+            Direction::NotTaken => f.write_str("not-taken"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_direction_matches_taken_flag() {
+        let r = BranchRecord { branch: BranchId::new(1), taken: true, instr: 0 };
+        assert_eq!(r.direction(), Direction::Taken);
+        let r = BranchRecord { branch: BranchId::new(1), taken: false, instr: 0 };
+        assert_eq!(r.direction(), Direction::NotTaken);
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        for d in [Direction::Taken, Direction::NotTaken] {
+            assert_eq!(d.flip().flip(), d);
+            assert_ne!(d.flip(), d);
+        }
+    }
+
+    #[test]
+    fn matches_agrees_with_from_taken() {
+        for taken in [true, false] {
+            assert!(Direction::from_taken(taken).matches(taken));
+            assert!(!Direction::from_taken(taken).flip().matches(taken));
+        }
+    }
+}

@@ -1,0 +1,593 @@
+//! Synthetic models of the twelve SPEC2000 integer benchmarks the paper
+//! evaluates.
+//!
+//! The paper runs `bzip2 … vpr` to completion (9–45 billion instructions)
+//! under functional simulation; we cannot use the proprietary binaries or
+//! inputs, so each benchmark is modeled as a branch *population*: counts of
+//! static branches per behavior archetype plus the share of dynamic
+//! execution each archetype carries. Counts of touched branches come
+//! directly from the paper's Table 3; archetype mixtures are calibrated so
+//! the reproduction harness lands near the paper's reported shapes
+//! (Figure 2 opportunity curves, Table 3 transition counts, Figure 9 group
+//! structure).
+//!
+//! Every model also records the paper's reported numbers
+//! ([`PaperReference`]) so experiment output can print paper-vs-measured
+//! side by side.
+
+use crate::group::GroupSchedule;
+use crate::model::{BenchmarkModel, PaperReference};
+use crate::population::{AfterFlip, Archetype, PopulationGroup};
+
+/// Post-flip mixture matching the paper's Figure 6: when a branch leaves
+/// its biased behavior, ~20% become perfectly biased the other way, about
+/// half end up strongly degraded, and the rest soften mildly.
+fn flip_mixture() -> Vec<AfterFlip> {
+    vec![
+        AfterFlip::Reverse,
+        AfterFlip::Reverse,
+        AfterFlip::Soften((0.02, 0.20)),
+        AfterFlip::Soften((0.05, 0.30)),
+        AfterFlip::Soften((0.30, 0.70)),
+        AfterFlip::Soften((0.70, 0.90)),
+    ]
+}
+
+/// Compact per-benchmark mixture description; expanded by [`build`].
+struct Mix {
+    name: &'static str,
+    seed: u64,
+    instr_per_branch: u32,
+    /// (count, dynamic share, bias_lo, bias_hi) for stable biased branches.
+    hot: (u32, f64, f64, f64),
+    /// (count, share): stationary 0.90–0.99 bias.
+    moderate: (u32, f64),
+    /// (count, share): stationary 0.50–0.88 bias.
+    unbiased: (u32, f64),
+    /// (count, share): rarely executed tail.
+    cold: (u32, f64),
+    /// (count, share): biased then changing (Figure 3 / Figure 6).
+    flip: (u32, f64),
+    /// (count, share): biased → dip → biased again.
+    rebias: (u32, f64),
+    /// (count, share): unbiased at first, biased later (needs revisit arc).
+    late: (u32, f64),
+    /// (count, share): deterministic induction-variable flip.
+    induction: (u32, f64),
+    /// (count, share): pathological oscillators (need the oscillation cap).
+    osc: (u32, f64),
+    /// (count, share): correlated group-flip branches (Figure 9).
+    group_flip: (u32, f64),
+    /// Phase-group toggle schedules, one per correlated group.
+    groups: Vec<Vec<f64>>,
+    /// Fraction of hot branches whose direction inverts on the profile
+    /// input (cross-input misspeculation sources).
+    input_dep: f64,
+    /// Fraction of hot branches absent from the profile input
+    /// (cross-input benefit loss).
+    eval_only: f64,
+    paper: PaperReference,
+}
+
+fn build(mix: Mix) -> BenchmarkModel {
+    let mut groups = Vec::new();
+    let (n, share, lo, hi) = mix.hot;
+    if n > 0 {
+        groups.push(
+            PopulationGroup::new(
+                "hot-biased",
+                n,
+                share,
+                0.6,
+                Archetype::StableBiased { bias: (lo, hi) },
+            )
+            .with_input_dep(mix.input_dep)
+            .with_eval_only(mix.eval_only),
+        );
+    }
+    let (n, share) = mix.moderate;
+    if n > 0 {
+        groups.push(
+            PopulationGroup::new(
+                "moderate",
+                n,
+                share,
+                0.6,
+                Archetype::Moderate { bias: (0.90, 0.985) },
+            )
+            .with_profile_only(0.05),
+        );
+    }
+    let (n, share) = mix.unbiased;
+    if n > 0 {
+        groups.push(
+            PopulationGroup::new(
+                "unbiased",
+                n,
+                share,
+                0.5,
+                Archetype::Unbiased { bias: (0.50, 0.88) },
+            )
+            .with_profile_only(0.05),
+        );
+    }
+    let (n, share) = mix.cold;
+    if n > 0 {
+        groups.push(PopulationGroup::new(
+            "cold",
+            n,
+            share,
+            0.3,
+            Archetype::Unbiased { bias: (0.50, 0.95) },
+        ));
+    }
+    let (n, share) = mix.flip;
+    if n > 0 {
+        groups.push(PopulationGroup::new(
+            "flip",
+            n,
+            share,
+            0.4,
+            Archetype::LateFlip {
+                initial: (0.998, 1.0),
+                flip_frac: (0.25, 0.80),
+                after: flip_mixture(),
+            },
+        ));
+    }
+    let (n, share) = mix.rebias;
+    if n > 0 {
+        groups.push(PopulationGroup::new(
+            "rebias",
+            n,
+            share,
+            0.2,
+            Archetype::Rebias {
+                bias: (0.997, 1.0),
+                dip: (0.35, 0.65),
+                first_end: (0.20, 0.40),
+                dip_len: (0.15, 0.30),
+            },
+        ));
+    }
+    let (n, share) = mix.late;
+    if n > 0 {
+        groups.push(PopulationGroup::new(
+            "late-bias",
+            n,
+            share,
+            0.2,
+            Archetype::LateBias {
+                before: (0.55, 0.85),
+                start_frac: (0.10, 0.30),
+                bias: (0.997, 1.0),
+            },
+        ));
+    }
+    let (n, share) = mix.induction;
+    if n > 0 {
+        groups.push(PopulationGroup::new(
+            "induction",
+            n,
+            share,
+            0.0,
+            Archetype::Induction,
+        ));
+    }
+    let (n, share) = mix.osc;
+    if n > 0 {
+        groups.push(PopulationGroup::new(
+            "oscillator",
+            n,
+            share,
+            0.2,
+            Archetype::Oscillator {
+                period_frac: (0.02, 0.10),
+                high: (0.997, 1.0),
+                low: (0.02, 0.15),
+            },
+        ));
+    }
+    let (n, share) = mix.group_flip;
+    if n > 0 {
+        groups.push(
+            PopulationGroup::new(
+                "group-flip",
+                n,
+                share,
+                0.3,
+                Archetype::GroupFlip { biased: (0.997, 1.0), degraded: (0.25, 0.70) },
+            )
+            .with_phase_groups(),
+        );
+    }
+
+    let phase_groups = mix
+        .groups
+        .into_iter()
+        .map(|b| GroupSchedule::new(b).expect("model phase schedules are valid"))
+        .collect();
+
+    BenchmarkModel {
+        name: mix.name,
+        seed: mix.seed,
+        instr_per_branch: mix.instr_per_branch,
+        groups,
+        phase_groups,
+        paper: mix.paper,
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the paper's table columns
+fn paper(
+    profile_input: &'static str,
+    eval_input: &'static str,
+    run_len_billions: u32,
+    touched: u32,
+    biased: u32,
+    evicted: u32,
+    total_evicts: u32,
+    pct_spec: f64,
+    misspec_dist: u64,
+) -> PaperReference {
+    PaperReference {
+        profile_input,
+        eval_input,
+        run_len_billions,
+        touched,
+        biased,
+        evicted,
+        total_evicts,
+        pct_spec,
+        misspec_dist,
+    }
+}
+
+/// Returns the model for `name`, or `None` if unknown.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_trace::spec2000;
+/// assert!(spec2000::benchmark("gcc").is_some());
+/// assert!(spec2000::benchmark("nope").is_none());
+/// ```
+pub fn benchmark(name: &str) -> Option<BenchmarkModel> {
+    all().into_iter().find(|m| m.name == name)
+}
+
+/// Names of all twelve benchmarks, in the paper's order.
+pub const NAMES: [&str; 12] = [
+    "bzip2", "crafty", "eon", "gap", "gcc", "gzip", "mcf", "parser", "perl",
+    "twolf", "vortex", "vpr",
+];
+
+/// Returns all twelve benchmark models, in the paper's order.
+pub fn all() -> Vec<BenchmarkModel> {
+    vec![
+        build(Mix {
+            name: "bzip2",
+            seed: 0xB21F_0001,
+            instr_per_branch: 6,
+            hot: (93, 0.41, 0.9992, 1.0),
+            moderate: (40, 0.19),
+            unbiased: (80, 0.27),
+            cold: (53, 0.034),
+            flip: (4, 0.010),
+            rebias: (2, 0.020),
+            late: (2, 0.045),
+            induction: (1, 0.005),
+            osc: (1, 0.004),
+            group_flip: (6, 0.012),
+            groups: vec![vec![0.45, 0.80]],
+            input_dep: 0.004,
+            eval_only: 0.55,
+            paper: paper("input.compressed", "input.source 10", 19, 282, 109, 6, 15, 44.1, 26_400),
+        }),
+        build(Mix {
+            name: "crafty",
+            seed: 0xC4AF_0002,
+            instr_per_branch: 7,
+            hot: (250, 0.205, 0.9995, 1.0),
+            moderate: (150, 0.23),
+            unbiased: (370, 0.42),
+            cold: (210, 0.036),
+            flip: (80, 0.030),
+            rebias: (10, 0.012),
+            late: (4, 0.030),
+            induction: (0, 0.0),
+            osc: (3, 0.005),
+            group_flip: (47, 0.022),
+            groups: vec![vec![0.30], vec![0.01, 0.60, 0.85]],
+            input_dep: 0.02,
+            eval_only: 0.55,
+            paper: paper("ponder=on ver 0", "ponder=off ver 5 sd=12", 45, 1124, 396, 138, 276, 25.1, 109_366),
+        }),
+        build(Mix {
+            name: "eon",
+            seed: 0xE0E0_0003,
+            instr_per_branch: 8,
+            hot: (87, 0.36, 0.9997, 1.0),
+            moderate: (60, 0.24),
+            unbiased: (120, 0.32),
+            cold: (128, 0.031),
+            flip: (2, 0.006),
+            rebias: (1, 0.008),
+            late: (1, 0.025),
+            induction: (0, 0.0),
+            osc: (0, 0.0),
+            group_flip: (4, 0.010),
+            groups: vec![vec![0.55]],
+            input_dep: 0.002,
+            eval_only: 0.50,
+            paper: paper("rushmeier input", "kajiya input", 9, 403, 95, 3, 3, 38.3, 105_552),
+        }),
+        build(Mix {
+            name: "gap",
+            seed: 0x9A90_0004,
+            instr_per_branch: 6,
+            hot: (870, 0.46, 0.9994, 1.0),
+            moderate: (420, 0.16),
+            unbiased: (700, 0.25),
+            cold: (849, 0.025),
+            flip: (100, 0.030),
+            rebias: (15, 0.015),
+            late: (4, 0.035),
+            induction: (2, 0.004),
+            osc: (3, 0.005),
+            group_flip: (48, 0.016),
+            groups: vec![vec![0.25, 0.60], vec![0.01, 0.50]],
+            input_dep: 0.007,
+            eval_only: 0.55,
+            paper: paper("(test input)", "(train input)", 10, 3011, 1045, 167, 201, 52.5, 36_728),
+        }),
+        build(Mix {
+            name: "gcc",
+            seed: 0x9CC0_0005,
+            instr_per_branch: 6,
+            hot: (2040, 0.60, 0.9990, 1.0),
+            moderate: (800, 0.12),
+            unbiased: (1230, 0.19),
+            cold: (3846, 0.024),
+            flip: (8, 0.008),
+            rebias: (2, 0.010),
+            late: (3, 0.030),
+            induction: (1, 0.002),
+            osc: (1, 0.002),
+            group_flip: (12, 0.014),
+            groups: vec![vec![0.40]],
+            input_dep: 0.005,
+            eval_only: 0.65,
+            paper: paper("-O0 cp-decl.i", "-O3 integrate.i", 13, 7943, 2068, 11, 12, 66.3, 20_802),
+        }),
+        build(Mix {
+            name: "gzip",
+            seed: 0x92F0_0006,
+            instr_per_branch: 6,
+            hot: (50, 0.30, 0.9994, 1.0),
+            moderate: (55, 0.24),
+            unbiased: (110, 0.35),
+            cold: (83, 0.030),
+            flip: (5, 0.010),
+            rebias: (4, 0.028),
+            late: (2, 0.028),
+            induction: (1, 0.004),
+            osc: (1, 0.003),
+            group_flip: (3, 0.007),
+            groups: vec![vec![0.50]],
+            input_dep: 0.004,
+            eval_only: 0.50,
+            paper: paper("input.compressed 4", "input.source 10", 14, 314, 66, 7, 12, 35.4, 43_043),
+        }),
+        build(Mix {
+            name: "mcf",
+            seed: 0x3CF0_0007,
+            instr_per_branch: 6,
+            hot: (165, 0.28, 0.9980, 1.0),
+            moderate: (40, 0.21),
+            unbiased: (90, 0.39),
+            cold: (27, 0.020),
+            flip: (15, 0.015),
+            rebias: (8, 0.025),
+            late: (3, 0.030),
+            induction: (1, 0.004),
+            osc: (2, 0.004),
+            group_flip: (15, 0.012),
+            groups: vec![vec![0.35, 0.70]],
+            input_dep: 0.004,
+            eval_only: 0.45,
+            paper: paper("(test input)", "(train input)", 9, 366, 210, 22, 47, 33.6, 12_896),
+        }),
+        build(Mix {
+            name: "parser",
+            seed: 0xFA45_0008,
+            instr_per_branch: 6,
+            hot: (205, 0.215, 0.9995, 1.0),
+            moderate: (230, 0.23),
+            unbiased: (560, 0.45),
+            cold: (479, 0.040),
+            flip: (40, 0.018),
+            rebias: (8, 0.010),
+            late: (3, 0.022),
+            induction: (0, 0.0),
+            osc: (2, 0.003),
+            group_flip: (25, 0.012),
+            groups: vec![vec![0.45]],
+            input_dep: 0.015,
+            eval_only: 0.55,
+            paper: paper("(test input)", "(train input)", 13, 1552, 284, 53, 124, 26.3, 50_643),
+        }),
+        build(Mix {
+            name: "perl",
+            seed: 0xFE41_0009,
+            instr_per_branch: 6,
+            hot: (990, 0.565, 0.9996, 1.0),
+            moderate: (230, 0.13),
+            unbiased: (420, 0.20),
+            cold: (244, 0.019),
+            flip: (35, 0.015),
+            rebias: (8, 0.012),
+            late: (4, 0.035),
+            induction: (0, 0.0),
+            osc: (2, 0.003),
+            group_flip: (35, 0.016),
+            groups: vec![vec![0.30, 0.65], vec![0.01, 0.45]],
+            input_dep: 0.015,
+            eval_only: 0.62,
+            paper: paper("scrabbl.pl", "diffmail.pl", 35, 1968, 1075, 58, 64, 63.4, 55_382),
+        }),
+        build(Mix {
+            name: "twolf",
+            seed: 0x7820_000A,
+            instr_per_branch: 7,
+            hot: (410, 0.29, 0.9998, 1.0),
+            moderate: (250, 0.25),
+            unbiased: (520, 0.38),
+            cold: (333, 0.030),
+            flip: (10, 0.008),
+            rebias: (3, 0.010),
+            late: (2, 0.020),
+            induction: (0, 0.0),
+            osc: (1, 0.002),
+            group_flip: (13, 0.010),
+            groups: vec![vec![0.50]],
+            input_dep: 0.004,
+            eval_only: 0.50,
+            paper: paper("(train input) fast 3", "(ref input) fast 1", 36, 1542, 440, 19, 22, 32.1, 165_711),
+        }),
+        build(Mix {
+            name: "vortex",
+            seed: 0x604E_000B,
+            instr_per_branch: 6,
+            hot: (1480, 0.80, 0.9997, 1.0),
+            moderate: (430, 0.045),
+            unbiased: (800, 0.045),
+            cold: (593, 0.014),
+            flip: (30, 0.012),
+            rebias: (5, 0.008),
+            late: (4, 0.030),
+            induction: (1, 0.002),
+            osc: (2, 0.003),
+            group_flip: (139, 0.030),
+            groups: vec![
+                vec![0.01, 0.18],
+                vec![0.18, 0.55],
+                vec![0.01, 0.35, 0.70],
+                vec![0.35, 0.70],
+                vec![0.01, 0.55],
+                vec![0.70, 0.90],
+            ],
+            input_dep: 0.004,
+            eval_only: 0.50,
+            paper: paper("(train input)", "(reduced ref input)", 32, 3484, 1671, 67, 104, 88.5, 92_163),
+        }),
+        build(Mix {
+            name: "vpr",
+            seed: 0x6F40_000C,
+            instr_per_branch: 7,
+            hot: (290, 0.285, 0.9995, 1.0),
+            moderate: (120, 0.26),
+            unbiased: (220, 0.38),
+            cold: (79, 0.025),
+            flip: (15, 0.010),
+            rebias: (5, 0.010),
+            late: (2, 0.018),
+            induction: (0, 0.0),
+            osc: (1, 0.002),
+            group_flip: (26, 0.012),
+            groups: vec![vec![0.40], vec![0.01, 0.65]],
+            input_dep: 0.015,
+            eval_only: 0.50,
+            paper: paper("-bend_cost 2.0", "-bend_cost 1.0", 21, 758, 340, 16, 38, 31.6, 65_588),
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::InputId;
+
+    #[test]
+    fn twelve_benchmarks_in_paper_order() {
+        let models = all();
+        assert_eq!(models.len(), 12);
+        for (m, n) in models.iter().zip(NAMES) {
+            assert_eq!(m.name, n);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(benchmark("vortex").unwrap().name, "vortex");
+        assert!(benchmark("spice").is_none());
+    }
+
+    #[test]
+    fn static_branch_counts_match_paper_touch_counts() {
+        for m in all() {
+            assert_eq!(
+                m.static_branches(),
+                m.paper.touched,
+                "{}: static branches should equal the paper's touch count",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn weight_shares_are_near_one() {
+        for m in all() {
+            let total: f64 = m.groups.iter().map(|g| g.weight_share).sum();
+            assert!(
+                (0.95..=1.05).contains(&total),
+                "{}: shares sum to {total}",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn group_flip_models_have_schedules() {
+        for m in all() {
+            let has_gf = m.groups.iter().any(|g| g.in_phase_groups);
+            if has_gf {
+                assert!(
+                    !m.phase_groups.is_empty(),
+                    "{}: group-flip branches need phase schedules",
+                    m.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vortex_has_139_group_flip_branches_in_six_groups() {
+        let v = benchmark("vortex").unwrap();
+        let gf = v.groups.iter().find(|g| g.label == "group-flip").unwrap();
+        assert_eq!(gf.count, 139);
+        assert_eq!(v.phase_groups.len(), 6);
+    }
+
+    #[test]
+    fn populations_instantiate_and_trace() {
+        for m in all() {
+            let pop = m.population(100_000);
+            assert_eq!(pop.static_branches() as u32, m.paper.touched);
+            let n = pop.trace(InputId::Eval, 1000, 1).count();
+            assert_eq!(n, 1000, "{}", m.name);
+            let n = pop.trace(InputId::Profile, 1000, 1).count();
+            assert_eq!(n, 1000, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn seeds_are_unique() {
+        let models = all();
+        for i in 0..models.len() {
+            for j in i + 1..models.len() {
+                assert_ne!(models[i].seed, models[j].seed);
+            }
+        }
+    }
+}

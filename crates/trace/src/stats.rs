@@ -1,0 +1,176 @@
+//! Aggregate statistics over a trace, used for validation and reporting.
+
+use crate::record::BranchRecord;
+
+/// Per-branch and aggregate counts accumulated from a stream of
+/// [`BranchRecord`]s.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_trace::{spec2000, InputId, TraceStats};
+/// let model = spec2000::benchmark("mcf").unwrap();
+/// let pop = model.population(50_000);
+/// let stats = TraceStats::from_trace(pop.trace(InputId::Eval, 50_000, 1));
+/// assert_eq!(stats.total_events(), 50_000);
+/// assert!(stats.touched() > 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceStats {
+    taken: Vec<u64>,
+    not_taken: Vec<u64>,
+    total: u64,
+    last_instr: u64,
+}
+
+impl TraceStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        TraceStats::default()
+    }
+
+    /// Accumulates a whole trace.
+    pub fn from_trace<I: IntoIterator<Item = BranchRecord>>(trace: I) -> Self {
+        let mut stats = TraceStats::new();
+        for r in trace {
+            stats.record(&r);
+        }
+        stats
+    }
+
+    /// Records one event.
+    pub fn record(&mut self, r: &BranchRecord) {
+        let idx = r.branch.index();
+        if idx >= self.taken.len() {
+            self.taken.resize(idx + 1, 0);
+            self.not_taken.resize(idx + 1, 0);
+        }
+        if r.taken {
+            self.taken[idx] += 1;
+        } else {
+            self.not_taken[idx] += 1;
+        }
+        self.total += 1;
+        self.last_instr = self.last_instr.max(r.instr);
+    }
+
+    /// Total events recorded.
+    pub fn total_events(&self) -> u64 {
+        self.total
+    }
+
+    /// Highest instruction count observed.
+    pub fn instructions(&self) -> u64 {
+        self.last_instr
+    }
+
+    /// Number of distinct static branches that executed at least once.
+    pub fn touched(&self) -> usize {
+        (0..self.taken.len())
+            .filter(|&i| self.taken[i] + self.not_taken[i] > 0)
+            .count()
+    }
+
+    /// Executions of branch `idx`.
+    pub fn executions(&self, idx: usize) -> u64 {
+        if idx < self.taken.len() {
+            self.taken[idx] + self.not_taken[idx]
+        } else {
+            0
+        }
+    }
+
+    /// Bias of branch `idx`: the fraction of executions in the majority
+    /// direction, or `None` if the branch never executed.
+    pub fn bias(&self, idx: usize) -> Option<f64> {
+        let n = self.executions(idx);
+        if n == 0 {
+            return None;
+        }
+        let t = self.taken[idx];
+        Some(t.max(n - t) as f64 / n as f64)
+    }
+
+    /// Number of branches whose bias is at least `threshold`.
+    pub fn branches_with_bias_at_least(&self, threshold: f64) -> usize {
+        (0..self.taken.len())
+            .filter(|&i| self.bias(i).is_some_and(|b| b >= threshold))
+            .count()
+    }
+
+    /// Fraction of *dynamic* events belonging to branches whose whole-run
+    /// bias is at least `threshold` (the quantity behind the paper's
+    /// Figure 2 opportunity claim).
+    pub fn dynamic_coverage_at_bias(&self, threshold: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let covered: u64 = (0..self.taken.len())
+            .filter(|&i| self.bias(i).is_some_and(|b| b >= threshold))
+            .map(|i| self.executions(i))
+            .sum();
+        covered as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::BranchId;
+
+    fn rec(branch: u32, taken: bool, instr: u64) -> BranchRecord {
+        BranchRecord { branch: BranchId::new(branch), taken, instr }
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = TraceStats::new();
+        assert_eq!(s.total_events(), 0);
+        assert_eq!(s.touched(), 0);
+        assert_eq!(s.bias(0), None);
+        assert_eq!(s.dynamic_coverage_at_bias(0.99), 0.0);
+    }
+
+    #[test]
+    fn counts_and_bias() {
+        let s = TraceStats::from_trace(vec![
+            rec(0, true, 5),
+            rec(0, true, 10),
+            rec(0, false, 15),
+            rec(1, false, 20),
+        ]);
+        assert_eq!(s.total_events(), 4);
+        assert_eq!(s.touched(), 2);
+        assert_eq!(s.executions(0), 3);
+        assert!((s.bias(0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.bias(1), Some(1.0));
+        assert_eq!(s.instructions(), 20);
+    }
+
+    #[test]
+    fn bias_uses_majority_direction() {
+        // 1 taken, 3 not-taken: bias is 0.75 even though p(taken) = 0.25.
+        let s = TraceStats::from_trace(vec![
+            rec(0, true, 1),
+            rec(0, false, 2),
+            rec(0, false, 3),
+            rec(0, false, 4),
+        ]);
+        assert_eq!(s.bias(0), Some(0.75));
+    }
+
+    #[test]
+    fn coverage_weights_by_execution() {
+        let mut evs = Vec::new();
+        // Branch 0: 90 biased executions; branch 1: 10 unbiased ones.
+        for i in 0..90 {
+            evs.push(rec(0, true, i));
+        }
+        for i in 0..10 {
+            evs.push(rec(1, i % 2 == 0, 100 + i));
+        }
+        let s = TraceStats::from_trace(evs);
+        assert!((s.dynamic_coverage_at_bias(0.99) - 0.9).abs() < 1e-12);
+        assert_eq!(s.branches_with_bias_at_least(0.99), 1);
+    }
+}

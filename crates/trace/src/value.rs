@@ -1,0 +1,164 @@
+//! Value-speculation workloads.
+//!
+//! The paper concentrates on conditional branches but notes that its
+//! results are "qualitatively consistent with other program behaviors
+//! (e.g., loads that produce invariant values and memory dependences)".
+//! This module models that claim: a *load site* that usually produces the
+//! same value is a speculation unit exactly like a biased branch — the
+//! event's `taken` flag means "the loaded value matched the predicted
+//! (invariant) value". The reactive controller consumes these events
+//! unchanged.
+
+use crate::behavior::{Behavior, Phase};
+use crate::branch::StaticBranchSpec;
+use crate::model::Population;
+use crate::rng::Xoshiro256;
+use crate::zipf::zipf_weights;
+
+/// Parameters of a synthetic value-speculation workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueWorkloadSpec {
+    /// Load sites whose value is effectively constant for the whole run
+    /// (e.g., configuration globals, type tags of monomorphic objects).
+    pub invariant_sites: u32,
+    /// Sites whose value is *usually* the same (e.g., a default-heavy
+    /// enum field).
+    pub mostly_invariant_sites: u32,
+    /// Sites whose constant changes once mid-run (e.g., a reloaded
+    /// configuration value) — the value-speculation analogue of a bias
+    /// flip.
+    pub phase_change_sites: u32,
+    /// Sites with genuinely varying values (pointer chasing, induction
+    /// values).
+    pub varying_sites: u32,
+    /// Seed for deterministic instantiation.
+    pub seed: u64,
+}
+
+impl ValueWorkloadSpec {
+    /// A representative mixture.
+    pub fn new() -> Self {
+        ValueWorkloadSpec {
+            invariant_sites: 120,
+            mostly_invariant_sites: 80,
+            phase_change_sites: 12,
+            varying_sites: 200,
+            seed: 0x10AD_5EED,
+        }
+    }
+
+    /// Total load sites.
+    pub fn total_sites(&self) -> u32 {
+        self.invariant_sites
+            + self.mostly_invariant_sites
+            + self.phase_change_sites
+            + self.varying_sites
+    }
+
+    /// Instantiates the workload as a [`Population`] whose events read as
+    /// "load produced the predicted value" (`taken = true`) or not.
+    ///
+    /// `events_hint` scales phase-change points, as for branch models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no sites.
+    pub fn population(&self, events_hint: u64) -> Population {
+        assert!(self.total_sites() > 0, "value workload needs at least one site");
+        let mut rng = Xoshiro256::seed_from(self.seed);
+        let mut branches = Vec::with_capacity(self.total_sites() as usize);
+        type MakeBehavior = fn(&mut Xoshiro256, u64) -> Behavior;
+        let groups: [(u32, f64, MakeBehavior); 4] = [
+            (self.invariant_sites, 0.45, |rng, _| Behavior::Fixed {
+                p_taken: rng.gen_range_f64(0.998, 1.0),
+            }),
+            (self.mostly_invariant_sites, 0.20, |rng, _| Behavior::Fixed {
+                p_taken: rng.gen_range_f64(0.95, 0.995),
+            }),
+            (self.phase_change_sites, 0.10, |rng, execs| {
+                let flip = (rng.gen_range_f64(0.2, 0.7) * execs.max(4) as f64) as u64;
+                Behavior::MultiPhase {
+                    phases: vec![
+                        Phase { len: flip.max(1), p_taken: rng.gen_range_f64(0.998, 1.0) },
+                        // After the change the *old* prediction misses until
+                        // re-learned; a last-value predictor then conforms
+                        // again, so post-flip conformance is high but the
+                        // transition is a hard break.
+                        Phase { len: u64::MAX, p_taken: rng.gen_range_f64(0.0, 0.05) },
+                    ],
+                }
+            }),
+            (self.varying_sites, 0.25, |rng, _| Behavior::Fixed {
+                p_taken: rng.gen_range_f64(0.1, 0.7),
+            }),
+        ];
+        for (count, share, make) in groups {
+            if count == 0 {
+                continue;
+            }
+            let weights = zipf_weights(count as usize, 0.7, share);
+            for w in weights {
+                let execs = (w * events_hint as f64) as u64;
+                branches.push(StaticBranchSpec::new(make(&mut rng, execs), w));
+            }
+        }
+        Population::from_branches("value-speculation", 6, branches, vec![])
+    }
+}
+
+impl Default for ValueWorkloadSpec {
+    fn default() -> Self {
+        ValueWorkloadSpec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::InputId;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn population_has_all_sites() {
+        let spec = ValueWorkloadSpec::new();
+        let pop = spec.population(100_000);
+        assert_eq!(pop.static_branches() as u32, spec.total_sites());
+        assert_eq!(pop.name(), "value-speculation");
+    }
+
+    #[test]
+    fn invariant_sites_dominate_conformance() {
+        let spec = ValueWorkloadSpec::new();
+        let pop = spec.population(200_000);
+        let stats = TraceStats::from_trace(pop.trace(InputId::Eval, 200_000, 1));
+        // A large fraction of dynamic loads sit on highly conformant sites,
+        // as with branch bias in Figure 2.
+        let coverage = stats.dynamic_coverage_at_bias(0.99);
+        assert!(
+            coverage > 0.3,
+            "invariant-value coverage {coverage:.2}"
+        );
+    }
+
+    #[test]
+    fn instantiation_is_deterministic() {
+        let spec = ValueWorkloadSpec::new();
+        assert_eq!(
+            spec.population(50_000).branches(),
+            spec.population(50_000).branches()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn empty_spec_panics() {
+        let spec = ValueWorkloadSpec {
+            invariant_sites: 0,
+            mostly_invariant_sites: 0,
+            phase_change_sites: 0,
+            varying_sites: 0,
+            seed: 1,
+        };
+        spec.population(1_000);
+    }
+}

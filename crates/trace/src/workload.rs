@@ -1,0 +1,307 @@
+//! Trace generation: turning a [`Population`] into a dynamic event stream.
+
+use crate::alias::AliasTable;
+use crate::ids::{BranchId, InputId};
+use crate::model::Population;
+use crate::record::BranchRecord;
+use crate::rng::Xoshiro256;
+
+/// A deterministic iterator over [`BranchRecord`]s.
+///
+/// The stream interleaves static branches according to their per-input
+/// weights (alias-method sampling), tracks each branch's execution index so
+/// its [`Behavior`](crate::behavior::Behavior) can be evaluated, advances a
+/// dynamic instruction counter with a small random gap per event, and keeps
+/// correlated phase groups in sync with global stream position.
+///
+/// Two traces constructed with identical `(population, input, events, seed)`
+/// produce identical streams.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_trace::{spec2000, InputId};
+/// let model = spec2000::benchmark("gzip").unwrap();
+/// let pop = model.population(10_000);
+/// let n = pop.trace(InputId::Eval, 10_000, 1).count();
+/// assert_eq!(n, 10_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trace<'a> {
+    population: &'a Population,
+    sampler: AliasTable,
+    /// Maps sampler indexes back to branch ids (branches with zero weight on
+    /// this input are excluded from the sampler).
+    index_map: Vec<u32>,
+    exec_counts: Vec<u64>,
+    group_active: Vec<bool>,
+    /// Sorted (event_index, group) toggle points.
+    group_toggles: Vec<(u64, u16)>,
+    toggle_cursor: usize,
+    inverted: Vec<bool>,
+    events: u64,
+    emitted: u64,
+    instr: u64,
+    gap_base: u64,
+    gap_spread: u64,
+    rng: Xoshiro256,
+}
+
+impl<'a> Trace<'a> {
+    /// Creates a trace over `events` branch events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no branch has positive weight on `input`.
+    pub(crate) fn new(
+        population: &'a Population,
+        input: InputId,
+        events: u64,
+        seed: u64,
+    ) -> Self {
+        let mut weights = Vec::new();
+        let mut index_map = Vec::new();
+        for (i, b) in population.branches().iter().enumerate() {
+            let w = b.weight(input);
+            if w > 0.0 {
+                weights.push(w);
+                index_map.push(i as u32);
+            }
+        }
+        let sampler = AliasTable::new(&weights)
+            .expect("population must carry weight on the selected input");
+
+        let mut group_toggles = Vec::new();
+        for (g, schedule) in population.phase_groups().iter().enumerate() {
+            for b in schedule.absolute_boundaries(events) {
+                group_toggles.push((b, g as u16));
+            }
+        }
+        group_toggles.sort_unstable();
+
+        let inverted = population
+            .branches()
+            .iter()
+            .map(|b| b.inverted(input))
+            .collect();
+
+        let ipb = population.instr_per_branch().max(1) as u64;
+        let rng = Xoshiro256::seed_from(seed)
+            .fork(input.stream_id())
+            .fork(events);
+
+        Trace {
+            population,
+            sampler,
+            index_map,
+            exec_counts: vec![0; population.static_branches()],
+            group_active: vec![false; population.phase_groups().len()],
+            group_toggles,
+            toggle_cursor: 0,
+            inverted,
+            events,
+            emitted: 0,
+            instr: 0,
+            // Gap in [ceil(ipb/2), ceil(ipb/2) + ipb) has mean ~ipb.
+            gap_base: ipb.div_ceil(2),
+            gap_spread: ipb,
+            rng,
+        }
+    }
+
+    /// Total number of events this trace will produce.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Events produced so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// The population this trace draws from.
+    pub fn population(&self) -> &Population {
+        self.population
+    }
+}
+
+impl Iterator for Trace<'_> {
+    type Item = BranchRecord;
+
+    #[inline]
+    fn next(&mut self) -> Option<BranchRecord> {
+        if self.emitted >= self.events {
+            return None;
+        }
+        // Advance correlated group phases that toggle at this position.
+        while self.toggle_cursor < self.group_toggles.len()
+            && self.group_toggles[self.toggle_cursor].0 <= self.emitted
+        {
+            let (_, g) = self.group_toggles[self.toggle_cursor];
+            self.group_active[g as usize] = !self.group_active[g as usize];
+            self.toggle_cursor += 1;
+        }
+
+        let slot = self.sampler.sample(&mut self.rng) as usize;
+        let idx = self.index_map[slot] as usize;
+        let branch = &self.population.branches()[idx];
+        let exec = self.exec_counts[idx];
+        self.exec_counts[idx] += 1;
+
+        let group_active = branch
+            .group
+            .map(|g| self.group_active[g.index()])
+            .unwrap_or(false);
+        let p = branch.behavior.p_taken(exec, group_active);
+        let mut taken = self.rng.gen_bool(p);
+        if self.inverted[idx] {
+            taken = !taken;
+        }
+
+        self.instr += self.gap_base + self.rng.gen_range(self.gap_spread);
+        self.emitted += 1;
+
+        Some(BranchRecord { branch: BranchId::new(idx as u32), taken, instr: self.instr })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.events - self.emitted) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for Trace<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::Behavior;
+    use crate::branch::StaticBranchSpec;
+    use crate::group::GroupSchedule;
+    use crate::ids::GroupId;
+    use crate::model::Population;
+
+    fn two_branch_pop() -> Population {
+        Population::from_branches(
+            "test",
+            6,
+            vec![
+                StaticBranchSpec::new(Behavior::Fixed { p_taken: 1.0 }, 3.0),
+                StaticBranchSpec::new(Behavior::Fixed { p_taken: 0.0 }, 1.0),
+            ],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn produces_exactly_n_events() {
+        let pop = two_branch_pop();
+        let trace = pop.trace(InputId::Eval, 1000, 1);
+        assert_eq!(trace.events(), 1000);
+        assert_eq!(trace.count(), 1000);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let pop = two_branch_pop();
+        let a: Vec<_> = pop.trace(InputId::Eval, 500, 9).collect();
+        let b: Vec<_> = pop.trace(InputId::Eval, 500, 9).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let pop = two_branch_pop();
+        let a: Vec<_> = pop.trace(InputId::Eval, 500, 1).collect();
+        let b: Vec<_> = pop.trace(InputId::Eval, 500, 2).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn weights_control_interleaving() {
+        let pop = two_branch_pop();
+        let hot = pop
+            .trace(InputId::Eval, 40_000, 3)
+            .filter(|r| r.branch.index() == 0)
+            .count();
+        let frac = hot as f64 / 40_000.0;
+        assert!((frac - 0.75).abs() < 0.02, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn outcomes_follow_behavior() {
+        let pop = two_branch_pop();
+        for r in pop.trace(InputId::Eval, 5000, 4) {
+            if r.branch.index() == 0 {
+                assert!(r.taken);
+            } else {
+                assert!(!r.taken);
+            }
+        }
+    }
+
+    #[test]
+    fn instruction_counter_is_monotone_with_plausible_mean() {
+        let pop = two_branch_pop();
+        let recs: Vec<_> = pop.trace(InputId::Eval, 10_000, 5).collect();
+        let mut last = 0;
+        for r in &recs {
+            assert!(r.instr > last);
+            last = r.instr;
+        }
+        let mean = last as f64 / 10_000.0;
+        assert!((5.0..9.0).contains(&mean), "mean gap {mean}");
+    }
+
+    #[test]
+    fn inverted_branch_flips_outcomes_on_profile_input() {
+        let mut spec = StaticBranchSpec::new(Behavior::Fixed { p_taken: 1.0 }, 1.0);
+        spec.invert_on_profile = true;
+        let pop = Population::from_branches("inv", 6, vec![spec], vec![]);
+        assert!(pop.trace(InputId::Eval, 100, 1).all(|r| r.taken));
+        assert!(pop.trace(InputId::Profile, 100, 1).all(|r| !r.taken));
+    }
+
+    #[test]
+    fn zero_weight_branches_are_skipped_per_input() {
+        let mut a = StaticBranchSpec::new(Behavior::Fixed { p_taken: 1.0 }, 1.0);
+        a.profile_weight = 0.0;
+        let b = StaticBranchSpec::new(Behavior::Fixed { p_taken: 0.5 }, 1.0);
+        let pop = Population::from_branches("cov", 6, vec![a, b], vec![]);
+        assert!(pop
+            .trace(InputId::Profile, 2000, 2)
+            .all(|r| r.branch.index() == 1));
+        let eval_zero = pop
+            .trace(InputId::Eval, 2000, 2)
+            .filter(|r| r.branch.index() == 0)
+            .count();
+        assert!(eval_zero > 0);
+    }
+
+    #[test]
+    fn group_phase_toggles_mid_trace() {
+        let mut spec = StaticBranchSpec::new(
+            Behavior::Grouped { in_phase: 0.0, out_phase: 1.0 },
+            1.0,
+        );
+        spec.group = Some(GroupId::new(0));
+        let pop = Population::from_branches(
+            "grp",
+            6,
+            vec![spec],
+            vec![GroupSchedule::new(vec![0.5]).unwrap()],
+        );
+        let recs: Vec<_> = pop.trace(InputId::Eval, 1000, 7).collect();
+        assert!(recs[..500].iter().all(|r| r.taken));
+        assert!(recs[500..].iter().all(|r| !r.taken));
+    }
+
+    #[test]
+    fn exact_size_iterator_contract() {
+        let pop = two_branch_pop();
+        let mut t = pop.trace(InputId::Eval, 10, 1);
+        assert_eq!(t.len(), 10);
+        t.next();
+        assert_eq!(t.len(), 9);
+    }
+}

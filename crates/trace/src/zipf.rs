@@ -1,0 +1,93 @@
+//! Zipf-like weight generation for static-branch execution frequencies.
+//!
+//! Real programs execute a few static branches very often and most branches
+//! rarely; a Zipf distribution over rank is the standard first-order model.
+
+/// Returns `n` weights following `w(rank) = 1 / (rank + 1)^exponent`,
+/// normalized to sum to `total`.
+///
+/// Rank 0 is the hottest. `exponent` around 1.0 gives classic Zipf;
+/// smaller exponents flatten the distribution.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `total <= 0`, or `exponent` is not finite.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_trace::zipf::zipf_weights;
+/// let w = zipf_weights(4, 1.0, 1.0);
+/// assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// assert!(w[0] > w[3]);
+/// ```
+pub fn zipf_weights(n: usize, exponent: f64, total: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one weight");
+    assert!(total > 0.0, "total must be positive");
+    assert!(exponent.is_finite(), "exponent must be finite");
+    let raw: Vec<f64> = (0..n)
+        .map(|rank| 1.0 / ((rank + 1) as f64).powf(exponent))
+        .collect();
+    let sum: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w * total / sum).collect()
+}
+
+/// Returns `n` equal weights summing to `total`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `total < 0`.
+pub fn flat_weights(n: usize, total: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one weight");
+    assert!(total >= 0.0, "total must be nonnegative");
+    vec![total / n as f64; n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_monotone_decreasing() {
+        let w = zipf_weights(100, 1.0, 1.0);
+        for pair in w.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+    }
+
+    #[test]
+    fn zipf_normalizes_to_total() {
+        for total in [1.0, 0.25, 42.0] {
+            let w = zipf_weights(17, 0.8, total);
+            assert!((w.iter().sum::<f64>() - total).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_exponent_is_flat() {
+        let w = zipf_weights(10, 0.0, 1.0);
+        for &x in &w {
+            assert!((x - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn flat_weights_are_equal() {
+        let w = flat_weights(5, 2.0);
+        assert_eq!(w, vec![0.4; 5]);
+    }
+
+    #[test]
+    fn higher_exponent_concentrates_head() {
+        let shallow = zipf_weights(50, 0.5, 1.0);
+        let steep = zipf_weights(50, 1.5, 1.0);
+        assert!(steep[0] > shallow[0]);
+        assert!(steep[49] < shallow[49]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one weight")]
+    fn zipf_empty_panics() {
+        zipf_weights(0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests on the workload substrate.
+
+use proptest::prelude::*;
+use rsc_trace::alias::AliasTable;
+use rsc_trace::behavior::{Behavior, Phase};
+use rsc_trace::branch::StaticBranchSpec;
+use rsc_trace::group::GroupSchedule;
+use rsc_trace::model::Population;
+use rsc_trace::rng::Xoshiro256;
+use rsc_trace::zipf::zipf_weights;
+use rsc_trace::{InputId, TraceStats};
+
+/// Strategy for small but valid branch populations.
+fn population() -> impl Strategy<Value = Population> {
+    prop::collection::vec(
+        (0.5f64..=1.0, 0.01f64..10.0, any::<bool>(), any::<bool>()),
+        1..24,
+    )
+    .prop_map(|branches| {
+        let specs: Vec<StaticBranchSpec> = branches
+            .into_iter()
+            .map(|(p, w, inv_dir, inv_prof)| {
+                let mut s = StaticBranchSpec::new(Behavior::Fixed { p_taken: p }, w);
+                s.invert_direction = inv_dir;
+                s.invert_on_profile = inv_prof;
+                s
+            })
+            .collect();
+        Population::from_branches("prop", 6, specs, vec![])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A trace emits exactly the requested number of events, touches only
+    /// valid branches, and advances instructions strictly monotonically.
+    #[test]
+    fn trace_shape_invariants(pop in population(), events in 1u64..4_000, seed in any::<u64>()) {
+        let n_branches = pop.static_branches();
+        let mut last_instr = 0;
+        let mut count = 0;
+        for r in pop.trace(InputId::Eval, events, seed) {
+            prop_assert!(r.branch.index() < n_branches);
+            prop_assert!(r.instr > last_instr);
+            last_instr = r.instr;
+            count += 1;
+        }
+        prop_assert_eq!(count, events);
+    }
+
+    /// Traces are deterministic in the seed and differ across seeds (for
+    /// nontrivial lengths).
+    #[test]
+    fn trace_determinism(pop in population(), seed in any::<u64>()) {
+        let a: Vec<_> = pop.trace(InputId::Eval, 256, seed).collect();
+        let b: Vec<_> = pop.trace(InputId::Eval, 256, seed).collect();
+        prop_assert_eq!(&a, &b);
+        let c: Vec<_> = pop.trace(InputId::Eval, 256, seed.wrapping_add(1)).collect();
+        prop_assert_ne!(&a, &c);
+    }
+
+    /// Empirical branch frequencies follow the weights (chebyshev-loose).
+    #[test]
+    fn weights_drive_frequencies(seed in any::<u64>()) {
+        let specs = vec![
+            StaticBranchSpec::new(Behavior::Fixed { p_taken: 1.0 }, 9.0),
+            StaticBranchSpec::new(Behavior::Fixed { p_taken: 1.0 }, 1.0),
+        ];
+        let pop = Population::from_branches("w", 6, specs, vec![]);
+        let events = 20_000;
+        let hot = pop
+            .trace(InputId::Eval, events, seed)
+            .filter(|r| r.branch.index() == 0)
+            .count() as f64;
+        let frac = hot / events as f64;
+        prop_assert!((frac - 0.9).abs() < 0.03, "hot fraction {frac}");
+    }
+
+    /// Alias tables never produce indexes for zero-weight entries.
+    #[test]
+    fn alias_respects_zero_weights(
+        weights in prop::collection::vec(0.0f64..10.0, 2..32),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = Xoshiro256::seed_from(seed);
+        for _ in 0..512 {
+            let i = table.sample(&mut rng) as usize;
+            prop_assert!(weights[i] > 0.0, "drew zero-weight index {i}");
+        }
+    }
+
+    /// Zipf weights are positive, decreasing, and normalized.
+    #[test]
+    fn zipf_properties(n in 1usize..200, exp in 0.0f64..2.0, total in 0.1f64..10.0) {
+        let w = zipf_weights(n, exp, total);
+        prop_assert_eq!(w.len(), n);
+        prop_assert!((w.iter().sum::<f64>() - total).abs() < 1e-6);
+        for pair in w.windows(2) {
+            prop_assert!(pair[0] >= pair[1] - 1e-12);
+        }
+        prop_assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    /// Group schedules partition the run: activity at any fraction equals
+    /// the parity of passed boundaries.
+    #[test]
+    fn group_schedule_parity(bounds in prop::collection::vec(0.01f64..0.99, 0..6)) {
+        let mut sorted = bounds.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        let g = GroupSchedule::new(sorted.clone()).unwrap();
+        for i in 0..20 {
+            let frac = i as f64 / 20.0;
+            let expected = sorted.iter().filter(|&&b| b <= frac).count() % 2 == 1;
+            prop_assert_eq!(g.active_at_fraction(frac), expected);
+        }
+    }
+
+    /// Outcome frequencies track the behavior's probability.
+    #[test]
+    fn outcomes_track_probability(p in 0.0f64..=1.0, seed in any::<u64>()) {
+        let specs = vec![StaticBranchSpec::new(Behavior::Fixed { p_taken: p }, 1.0)];
+        let pop = Population::from_branches("p", 6, specs, vec![]);
+        let events = 8_000;
+        let stats = TraceStats::from_trace(pop.trace(InputId::Eval, events, seed));
+        let taken = (0..1)
+            .map(|_| stats.executions(0))
+            .map(|n| n as f64)
+            .next()
+            .unwrap();
+        prop_assert_eq!(taken as u64, events);
+        let bias = stats.bias(0).unwrap();
+        let expected = p.max(1.0 - p);
+        prop_assert!((bias - expected).abs() < 0.05, "bias {bias} vs {expected}");
+    }
+
+    /// Serialization round-trips any generated trace exactly.
+    #[test]
+    fn trace_io_roundtrip(pop in population(), events in 1u64..2_000, seed in any::<u64>()) {
+        let original: Vec<_> = pop.trace(InputId::Eval, events, seed).collect();
+        let mut buf = Vec::new();
+        rsc_trace::io::write_trace(&mut buf, original.iter().copied()).unwrap();
+        let back = rsc_trace::io::read_trace(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back, original);
+    }
+
+    /// Multi-phase behaviors respect phase boundaries exactly.
+    #[test]
+    fn multiphase_boundary_exactness(len1 in 1u64..500, p1 in 0u8..2, p2 in 0u8..2) {
+        let b = Behavior::MultiPhase {
+            phases: vec![
+                Phase { len: len1, p_taken: p1 as f64 },
+                Phase { len: u64::MAX, p_taken: p2 as f64 },
+            ],
+        };
+        prop_assert_eq!(b.p_taken(len1 - 1, false), p1 as f64);
+        prop_assert_eq!(b.p_taken(len1, false), p2 as f64);
+    }
+}

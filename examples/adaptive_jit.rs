@@ -1,0 +1,115 @@
+//! A JIT-style scenario: guard conditions in compiled fast paths.
+//!
+//! A tracing JIT compiles a fast path under a *guard* (e.g., "receiver is
+//! a `Point`", "array index in bounds"). Guards are exactly software
+//! speculation: cheap when they hold, expensive deoptimization when they
+//! fail. This example wires the paper's reactive controller into a mock
+//! JIT runtime and shows how it (a) promotes stable guards to fast paths,
+//! (b) deoptimizes the one whose behavior flips mid-run, and (c) refuses
+//! to keep recompiling a pathologically oscillating guard.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_jit
+//! ```
+
+use reactive_speculation::control::{
+    ControllerParams, EvictionMode, MonitorPolicy, ReactiveController, Revisit,
+    SpecDecision,
+};
+use reactive_speculation::trace::rng::Xoshiro256;
+use reactive_speculation::trace::{BranchId, BranchRecord};
+
+/// One guard site in the mock JIT.
+struct Guard {
+    name: &'static str,
+    /// Probability the guard holds, as a function of execution index.
+    holds: Box<dyn Fn(u64) -> f64>,
+}
+
+fn main() {
+    let guards = [
+        Guard { name: "monomorphic-receiver", holds: Box::new(|_| 0.9999) },
+        Guard { name: "bounds-check", holds: Box::new(|_| 0.9997) },
+        Guard {
+            name: "phase-change-type",
+            // Holds until the program switches data representations.
+            holds: Box::new(|i| if i < 25_000 { 0.9999 } else { 0.02 }),
+        },
+        Guard { name: "polymorphic-callsite", holds: Box::new(|_| 0.80) },
+        Guard {
+            name: "oscillating-shape",
+            holds: Box::new(|i| if (i / 6_000) % 2 == 0 { 0.9999 } else { 0.35 }),
+        },
+    ];
+
+    // Small-scale parameters: the runtime monitors 300 executions before
+    // compiling a fast path, deoptimizes via the +50/−1 hysteresis, and
+    // refuses a 4th recompilation.
+    let params = ControllerParams {
+        monitor_period: 300,
+        monitor_policy: MonitorPolicy::FixedWindow,
+        monitor_sample_rate: 1,
+        selection_threshold: 0.995,
+        eviction: EvictionMode::Counter { up: 50, down: 1, threshold: 500 },
+        revisit: Revisit::After(5_000),
+        oscillation_limit: Some(3),
+        optimization_latency: 2_000,
+    };
+    let mut jit = ReactiveController::new(params).expect("valid params");
+    let mut rng = Xoshiro256::seed_from(7);
+
+    let mut fast = vec![0u64; guards.len()];
+    let mut deopt = vec![0u64; guards.len()];
+    let mut slow = vec![0u64; guards.len()];
+    let mut execs = vec![0u64; guards.len()];
+    let mut instr = 0u64;
+
+    for round in 0..300_000u64 {
+        let g = (round % guards.len() as u64) as usize;
+        let i = execs[g];
+        execs[g] += 1;
+        let holds = rng.gen_bool((guards[g].holds)(i));
+        instr += 20;
+        let record = BranchRecord {
+            branch: BranchId::new(g as u32),
+            // Map "guard holds" to a branch outcome.
+            taken: holds,
+            instr,
+        };
+        match jit.observe(&record) {
+            SpecDecision::Correct => fast[g] += 1,
+            SpecDecision::Incorrect => deopt[g] += 1,
+            SpecDecision::NotSpeculated => slow[g] += 1,
+        }
+    }
+
+    println!("guard site              fast-path   deopts  interpreted  recompiles  state");
+    println!("{}", "-".repeat(86));
+    for (g, guard) in guards.iter().enumerate() {
+        let id = BranchId::new(g as u32);
+        let state = if jit.is_disabled(id) {
+            "blacklisted (oscillation cap)"
+        } else if jit.is_speculating(id) {
+            "fast path active"
+        } else {
+            "interpreting / monitoring"
+        };
+        println!(
+            "{:22}  {:>9}  {:>7}  {:>11}  {:>10}  {}",
+            guard.name,
+            fast[g],
+            deopt[g],
+            slow[g],
+            jit.entries(id),
+            state
+        );
+    }
+
+    let stats = jit.stats();
+    println!(
+        "\noverall: {:.1}% of guard executions took the fast path, \
+         {:.3}% deoptimized",
+        stats.correct_frac() * 100.0,
+        stats.incorrect_frac() * 100.0
+    );
+}

@@ -1,0 +1,61 @@
+//! Quickstart: run the reactive speculation controller over a synthetic
+//! gcc-like workload and compare it with static self-training.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use reactive_speculation::control::{engine, ControllerParams};
+use reactive_speculation::profile::{pareto, BranchProfile};
+use reactive_speculation::trace::{spec2000, InputId};
+
+fn main() {
+    let events = 16_000_000;
+    let seed = 42;
+
+    let model = spec2000::benchmark("gcc").expect("gcc is built in");
+    let population = model.population(events);
+    println!(
+        "benchmark: {} ({} static branches)",
+        population.name(),
+        population.static_branches()
+    );
+
+    // Reference: what a perfect offline profile (self-training) achieves
+    // with a 99% bias threshold.
+    let profile =
+        BranchProfile::from_trace(population.trace(InputId::Eval, events, seed));
+    let knee = pareto::threshold_point(&profile, 0.99);
+    println!(
+        "self-training @99%:  correct {:5.1}%  incorrect {:.3}%",
+        knee.correct * 100.0,
+        knee.incorrect * 100.0
+    );
+
+    // The reactive controller learns the same set online, with no profile,
+    // and keeps misspeculation low even when branches change behavior.
+    let result = engine::run_population(
+        ControllerParams::scaled(),
+        &population,
+        InputId::Eval,
+        events,
+        seed,
+    )
+    .expect("scaled parameters are valid");
+    println!(
+        "reactive controller: correct {:5.1}%  incorrect {:.3}%",
+        result.stats.correct_frac() * 100.0,
+        result.stats.incorrect_frac() * 100.0
+    );
+    println!(
+        "  {} of {} touched branches entered the biased state; {} evictions; \
+         one misspeculation every {} instructions",
+        result.stats.entered_biased,
+        result.stats.touched,
+        result.stats.total_evictions,
+        result
+            .stats
+            .misspec_distance()
+            .map_or_else(|| "∞".to_string(), |d| d.to_string())
+    );
+}

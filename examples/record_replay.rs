@@ -1,0 +1,50 @@
+//! Record/replay: serialize a workload to a compact binary trace and drive
+//! the controller from the file, decoupling workload generation from
+//! policy evaluation (e.g., to archive the exact trace behind a reported
+//! number, or to evaluate policies on traces captured elsewhere).
+//!
+//! ```sh
+//! cargo run --release --example record_replay
+//! ```
+
+use reactive_speculation::control::{engine, ControllerParams};
+use reactive_speculation::trace::io::{read_trace, write_trace};
+use reactive_speculation::trace::{spec2000, InputId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let events = 1_000_000;
+    let pop = spec2000::benchmark("twolf").expect("twolf is built in").population(events);
+
+    // Record.
+    let path = std::env::temp_dir().join("twolf.rsct");
+    let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    write_trace(&mut file, pop.trace(InputId::Eval, events, 42))?;
+    drop(file);
+    let bytes = std::fs::metadata(&path)?.len();
+    println!(
+        "recorded {events} events to {} ({bytes} bytes, {:.2} B/event)",
+        path.display(),
+        bytes as f64 / events as f64
+    );
+
+    // Replay from the file and from the generator; results must agree.
+    let mut file = std::io::BufReader::new(std::fs::File::open(&path)?);
+    let replayed = read_trace(&mut file)?;
+    let from_file =
+        engine::run_trace(ControllerParams::scaled(), replayed)?;
+    let from_generator = engine::run_population(
+        ControllerParams::scaled(),
+        &pop,
+        InputId::Eval,
+        events,
+        42,
+    )?;
+    assert_eq!(from_file.stats, from_generator.stats);
+    println!(
+        "replayed run matches generated run exactly: correct {:.1}%, incorrect {:.3}%",
+        from_file.stats.correct_frac() * 100.0,
+        from_file.stats.incorrect_frac() * 100.0
+    );
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

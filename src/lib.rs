@@ -1,0 +1,47 @@
+//! # reactive-speculation
+//!
+//! A production-quality reproduction of *Reactive Techniques for
+//! Controlling Software Speculation* (Craig Zilles and Naveen Neelakantam,
+//! CGO 2005), built as a Rust workspace:
+//!
+//! * [`trace`] (`rsc-trace`) — deterministic synthetic branch-trace
+//!   workloads modeling the twelve SPEC2000 integer benchmarks;
+//! * [`profile`] (`rsc-profile`) — offline profiling baselines:
+//!   self-training Pareto curves, cross-input profiles, initial-behavior
+//!   training;
+//! * [`control`] (`rsc-control`) — the paper's contribution: the
+//!   three-state reactive speculation controller with eviction and revisit
+//!   arcs, hysteresis, oscillation cap, and latency modeling;
+//! * [`mssp`] (`rsc-mssp`) — a timing-simulated Master/Slave Speculative
+//!   Parallelization machine on an asymmetric CMP, used to validate the
+//!   controller's performance impact.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use reactive_speculation::control::{engine, ControllerParams};
+//! use reactive_speculation::trace::{spec2000, InputId};
+//!
+//! let pop = spec2000::benchmark("gzip").unwrap().population(100_000);
+//! let result = engine::run_population(
+//!     ControllerParams::scaled(),
+//!     &pop,
+//!     InputId::Eval,
+//!     100_000,
+//!     42,
+//! )?;
+//! println!(
+//!     "correct {:.1}% / incorrect {:.3}%",
+//!     result.stats.correct_frac() * 100.0,
+//!     result.stats.incorrect_frac() * 100.0,
+//! );
+//! # Ok::<(), reactive_speculation::control::InvalidParamsError>(())
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use rsc_control as control;
+pub use rsc_mssp as mssp;
+pub use rsc_profile as profile;
+pub use rsc_trace as trace;

@@ -1,0 +1,77 @@
+//! Reproducibility guarantees: every layer of the stack is a pure function
+//! of its seeds.
+
+use reactive_speculation::control::{engine, ControllerParams};
+use reactive_speculation::mssp::{machine, MsspParams};
+use reactive_speculation::trace::{spec2000, InputId};
+
+#[test]
+fn traces_are_bit_identical_across_runs() {
+    let pop = spec2000::benchmark("parser").unwrap().population(200_000);
+    let a: Vec<_> = pop.trace(InputId::Eval, 200_000, 123).collect();
+    let b: Vec<_> = pop.trace(InputId::Eval, 200_000, 123).collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn populations_are_identical_across_instantiations() {
+    let m = spec2000::benchmark("twolf").unwrap();
+    assert_eq!(
+        m.population(1_000_000).branches(),
+        m.population(1_000_000).branches()
+    );
+}
+
+#[test]
+fn controller_runs_are_identical() {
+    let pop = spec2000::benchmark("gap").unwrap().population(500_000);
+    let run = |seed| {
+        engine::run_population(
+            ControllerParams::scaled(),
+            &pop,
+            InputId::Eval,
+            500_000,
+            seed,
+        )
+        .unwrap()
+    };
+    let a = run(7);
+    let b = run(7);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.transitions, b.transitions);
+    // And a different seed changes the outcome.
+    let c = run(8);
+    assert_ne!(a.stats, c.stats);
+}
+
+#[test]
+fn mssp_runs_are_identical() {
+    let pop = spec2000::benchmark("gzip").unwrap().population(300_000);
+    let a = machine::run_mssp(&pop, InputId::Eval, 300_000, 5, &MsspParams::new());
+    let b = machine::run_mssp(&pop, InputId::Eval, 300_000, 5, &MsspParams::new());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_inputs_share_branch_identities_but_differ_in_behavior() {
+    let pop = spec2000::benchmark("perl").unwrap().population(400_000);
+    let eval: Vec<_> = pop.trace(InputId::Eval, 400_000, 1).collect();
+    let prof: Vec<_> = pop.trace(InputId::Profile, 400_000, 1).collect();
+    assert_ne!(eval, prof);
+    // All branch ids in both streams index the same population.
+    let max_eval = eval.iter().map(|r| r.branch.index()).max().unwrap();
+    let max_prof = prof.iter().map(|r| r.branch.index()).max().unwrap();
+    assert!(max_eval < pop.static_branches());
+    assert!(max_prof < pop.static_branches());
+}
+
+#[test]
+fn event_hint_changes_population_deterministically() {
+    // Different hints scale phase thresholds, so populations differ — but
+    // each is still reproducible.
+    let m = spec2000::benchmark("bzip2").unwrap();
+    let small = m.population(100_000);
+    let large = m.population(10_000_000);
+    assert_eq!(small.static_branches(), large.static_branches());
+    assert_ne!(small.branches(), large.branches());
+}

@@ -1,0 +1,141 @@
+//! Cross-crate pipelines: trace → profile → controller → MSSP machine.
+
+use reactive_speculation::control::{engine, ControllerParams, TransitionKind};
+use reactive_speculation::control::analysis::{intervals, transition};
+use reactive_speculation::mssp::{machine, MsspParams};
+use reactive_speculation::profile::{evaluate, BranchProfile, SpeculationSet};
+use reactive_speculation::trace::{spec2000, InputId, TraceStats};
+
+#[test]
+fn trace_profile_and_controller_agree_on_event_counts() {
+    let events = 1_000_000;
+    let pop = spec2000::benchmark("vpr").unwrap().population(events);
+
+    let stats = TraceStats::from_trace(pop.trace(InputId::Eval, events, 1));
+    let profile = BranchProfile::from_trace(pop.trace(InputId::Eval, events, 1));
+    let run = engine::run_population(
+        ControllerParams::scaled(),
+        &pop,
+        InputId::Eval,
+        events,
+        1,
+    )
+    .unwrap();
+
+    assert_eq!(stats.total_events(), events);
+    assert_eq!(profile.events(), events);
+    assert_eq!(run.stats.events, events);
+    assert_eq!(stats.touched(), profile.touched());
+    assert_eq!(stats.touched(), run.stats.touched);
+    assert_eq!(stats.instructions(), profile.instructions());
+    assert_eq!(stats.instructions(), run.stats.instructions);
+}
+
+#[test]
+fn static_selection_and_controller_find_overlapping_sets() {
+    let events = 2_000_000;
+    let pop = spec2000::benchmark("eon").unwrap().population(events);
+    let profile = BranchProfile::from_trace(pop.trace(InputId::Eval, events, 5));
+    let set = SpeculationSet::from_profile(&profile, 0.995, 1_000);
+
+    let run = engine::run_population(
+        ControllerParams::scaled(),
+        &pop,
+        InputId::Eval,
+        events,
+        5,
+    )
+    .unwrap();
+    // Every branch the controller classified biased should (mostly) also
+    // pass the static filter; the sets cannot be disjoint.
+    let controller_biased: Vec<_> = run
+        .transitions
+        .iter()
+        .filter(|t| t.kind == TransitionKind::EnterBiased)
+        .map(|t| t.branch)
+        .collect();
+    assert!(!controller_biased.is_empty());
+    let overlap = controller_biased
+        .iter()
+        .filter(|b| set.decision(**b).is_some())
+        .count();
+    let frac = overlap as f64 / controller_biased.len() as f64;
+    assert!(frac > 0.7, "overlap fraction {frac:.2}");
+}
+
+#[test]
+fn static_evaluation_matches_oracle_profile_counts() {
+    // Evaluating the self-trained set on its own trace must produce
+    // exactly the profile's majority/minority totals for selected branches.
+    let events = 300_000;
+    let pop = spec2000::benchmark("gzip").unwrap().population(events);
+    let profile = BranchProfile::from_trace(pop.trace(InputId::Eval, events, 3));
+    let set = SpeculationSet::from_profile(&profile, 0.99, 1);
+    let out = evaluate::evaluate(&set, pop.trace(InputId::Eval, events, 3));
+
+    let mut expect_correct = 0u64;
+    let mut expect_incorrect = 0u64;
+    for (b, _) in set.iter() {
+        let n = profile.executions(b.index());
+        let t = profile.taken(b.index());
+        expect_correct += t.max(n - t);
+        expect_incorrect += n.min(n - t.max(n - t));
+    }
+    assert_eq!(out.correct, expect_correct);
+    assert_eq!(out.incorrect, expect_incorrect);
+}
+
+#[test]
+fn transition_analyses_are_consistent_with_run() {
+    let events = 3_000_000;
+    let pop = spec2000::benchmark("mcf").unwrap().population(events);
+    let params = ControllerParams::scaled();
+    let run =
+        engine::run_population(params, &pop, InputId::Eval, events, 7).unwrap();
+
+    // Interval extraction closes exactly the branches that entered biased.
+    let ivs = intervals::biased_intervals(&run.transitions, events);
+    assert_eq!(ivs.len(), run.stats.entered_biased);
+
+    // Eviction windows: one per eviction (modulo windows still open when a
+    // branch is re-evicted immediately — never more than evictions).
+    let windows = transition::eviction_windows(
+        params,
+        pop.trace(InputId::Eval, events, 7),
+        32,
+    )
+    .unwrap();
+    assert!(windows.len() as u64 <= run.stats.total_evictions);
+    assert!(!windows.is_empty());
+}
+
+#[test]
+fn mssp_pipeline_runs_and_improves_with_control() {
+    let events = 1_000_000;
+    let pop = spec2000::benchmark("vortex").unwrap().population(events);
+    let r = machine::run_mssp(&pop, InputId::Eval, events, 3, &MsspParams::new());
+    assert!(r.tasks > 1000);
+    assert!(r.master_instructions < r.original_instructions);
+    assert!(r.speedup() > 0.5, "speedup {:.3}", r.speedup());
+}
+
+#[test]
+fn profile_input_differs_from_eval_input() {
+    // perl has the most input-direction-dependent hot branches in our
+    // models (as in the paper's scrabbl vs diffmail pairing).
+    let events = 2_000_000;
+    let pop = spec2000::benchmark("perl").unwrap().population(events);
+    let eval = BranchProfile::from_trace(pop.trace(InputId::Eval, events, 9));
+    let prof = BranchProfile::from_trace(pop.trace(InputId::Profile, events, 9));
+    // Coverage differs (eval-only / profile-only code).
+    assert_ne!(eval.touched(), prof.touched());
+    // At least one hot branch reverses direction across inputs.
+    let reversed = (0..eval.len().min(prof.len()))
+        .filter(|&i| {
+            eval.executions(i) > 500
+                && prof.executions(i) > 500
+                && eval.majority(i) != prof.majority(i)
+        })
+        .count();
+    assert!(reversed > 0, "no input-dependent branches found");
+}

@@ -1,0 +1,156 @@
+//! Integration tests asserting the paper's headline claims end-to-end,
+//! across all four crates, at reduced (but meaningful) scale.
+
+use reactive_speculation::control::{engine, ControllerParams};
+use reactive_speculation::profile::{offline, pareto, BranchProfile};
+use reactive_speculation::trace::{spec2000, InputId};
+
+const EVENTS: u64 = 4_000_000;
+const SEED: u64 = 42;
+
+fn reactive(name: &str, params: ControllerParams) -> reactive_speculation::control::ControlStats {
+    let pop = spec2000::benchmark(name).unwrap().population(EVENTS);
+    engine::run_population(params, &pop, InputId::Eval, EVENTS, SEED)
+        .unwrap()
+        .stats
+}
+
+/// Section 2.1: speculating on all branches with ≥99% bias covers a large
+/// fraction of dynamic branches at a tiny misspeculation rate.
+#[test]
+fn opportunity_at_99_percent_threshold() {
+    for name in ["gcc", "vortex", "perl"] {
+        let pop = spec2000::benchmark(name).unwrap().population(EVENTS);
+        let profile =
+            BranchProfile::from_trace(pop.trace(InputId::Eval, EVENTS, SEED));
+        let knee = pareto::threshold_point(&profile, 0.99);
+        assert!(knee.correct > 0.40, "{name}: correct {:.3}", knee.correct);
+        assert!(knee.incorrect < 0.005, "{name}: incorrect {:.4}", knee.incorrect);
+    }
+}
+
+/// Section 2.2: cross-input profiling loses benefit and multiplies
+/// misspeculation (the paper: ~3× and ~10× on average).
+#[test]
+fn cross_input_profiling_is_fragile() {
+    let pop = spec2000::benchmark("crafty").unwrap().population(EVENTS);
+    let r = offline::cross_input_experiment(&pop, EVENTS, SEED, 0.99, 32);
+    assert!(
+        r.benefit_loss_factor() > 1.3,
+        "benefit loss {:.2}",
+        r.benefit_loss_factor()
+    );
+    assert!(
+        r.misspec_gain_factor() > 5.0,
+        "misspec gain {:.2}",
+        r.misspec_gain_factor()
+    );
+}
+
+/// Section 3.2: the reactive controller's misspeculation rate stays well
+/// below half a percent — the level the paper calls conducive to
+/// speculation with 100× penalties.
+#[test]
+fn reactive_misspeculation_is_tiny() {
+    for name in spec2000::NAMES {
+        let stats = reactive(name, ControllerParams::scaled());
+        assert!(
+            stats.incorrect_frac() < 0.005,
+            "{name}: incorrect {:.4}%",
+            stats.incorrect_frac() * 100.0
+        );
+    }
+}
+
+/// Section 3.2: the reactive controller is competitive with static
+/// self-training.
+#[test]
+fn reactive_is_competitive_with_self_training() {
+    for name in ["gzip", "mcf", "bzip2"] {
+        let pop = spec2000::benchmark(name).unwrap().population(EVENTS);
+        let profile =
+            BranchProfile::from_trace(pop.trace(InputId::Eval, EVENTS, SEED));
+        let knee = pareto::threshold_point(&profile, 0.99);
+        let stats = reactive(name, ControllerParams::scaled());
+        assert!(
+            stats.correct_frac() > knee.correct * 0.60,
+            "{name}: reactive {:.3} vs self-training {:.3}",
+            stats.correct_frac(),
+            knee.correct
+        );
+    }
+}
+
+/// Table 4: removing the eviction arc raises misspeculation by well over
+/// an order of magnitude.
+#[test]
+fn no_eviction_explodes_misspeculation() {
+    let base = reactive("mcf", ControllerParams::scaled());
+    let open = reactive("mcf", ControllerParams::scaled().without_eviction());
+    assert!(
+        open.incorrect_frac() > base.incorrect_frac() * 10.0,
+        "open {:.4}% vs closed {:.4}%",
+        open.incorrect_frac() * 100.0,
+        base.incorrect_frac() * 100.0
+    );
+}
+
+/// Table 4: removing the revisit arc forfeits part of the benefit.
+#[test]
+fn no_revisit_loses_benefit() {
+    let mut base_total = 0.0;
+    let mut nr_total = 0.0;
+    for name in ["bzip2", "gap", "perl"] {
+        base_total += reactive(name, ControllerParams::scaled()).correct_frac();
+        nr_total +=
+            reactive(name, ControllerParams::scaled().without_revisit()).correct_frac();
+    }
+    assert!(
+        nr_total < base_total * 0.97,
+        "no-revisit {:.3} vs baseline {:.3}",
+        nr_total,
+        base_total
+    );
+}
+
+/// Section 3.3: the model tolerates large optimization latencies.
+#[test]
+fn latency_tolerance() {
+    let fast = reactive("twolf", ControllerParams::scaled().with_latency(0));
+    let slow = reactive("twolf", ControllerParams::scaled().with_latency(200_000));
+    let ratio = slow.correct_frac() / fast.correct_frac();
+    assert!(
+        ratio > 0.95,
+        "latency cut correct speculations: {:.3} vs {:.3}",
+        slow.correct_frac(),
+        fast.correct_frac()
+    );
+    assert!(
+        slow.incorrect_frac() < fast.incorrect_frac() * 3.0 + 1e-4,
+        "latency exploded misspecs: {:.4}% vs {:.4}%",
+        slow.incorrect_frac() * 100.0,
+        fast.incorrect_frac() * 100.0
+    );
+}
+
+/// Table 3: roughly a third of touched branches go biased; only a small
+/// fraction is ever evicted.
+#[test]
+fn transition_shape_matches_table3() {
+    let mut biased = 0.0;
+    let mut evicted = 0.0;
+    let mut n = 0.0;
+    for name in spec2000::NAMES {
+        let stats = reactive(name, ControllerParams::scaled());
+        biased += stats.biased_frac();
+        evicted += stats.evicted_frac();
+        n += 1.0;
+    }
+    let biased = biased / n;
+    let evicted = evicted / n;
+    assert!(
+        (0.15..0.60).contains(&biased),
+        "mean biased fraction {biased:.3} (paper: 0.34)"
+    );
+    assert!(evicted < 0.10, "mean evicted fraction {evicted:.3} (paper: 0.02)");
+}

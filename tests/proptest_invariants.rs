@@ -1,0 +1,247 @@
+//! Property-based tests on cross-crate invariants.
+
+use proptest::prelude::*;
+use reactive_speculation::control::{
+    engine, ControllerParams, EvictionMode, MonitorPolicy, ReactiveController,
+    Revisit, TransitionKind,
+};
+use reactive_speculation::profile::{pareto, BranchProfile, SpeculationSet};
+use reactive_speculation::trace::behavior::{Behavior, Phase};
+use reactive_speculation::trace::rng::Xoshiro256;
+use reactive_speculation::trace::{BranchId, BranchRecord};
+
+/// Arbitrary record streams over a handful of branches.
+fn records(max_len: usize) -> impl Strategy<Value = Vec<BranchRecord>> {
+    prop::collection::vec((0u32..8, any::<bool>(), 1u64..12), 1..max_len).prop_map(
+        |entries| {
+            let mut instr = 0;
+            entries
+                .into_iter()
+                .map(|(b, taken, gap)| {
+                    instr += gap;
+                    BranchRecord { branch: BranchId::new(b), taken, instr }
+                })
+                .collect()
+        },
+    )
+}
+
+/// Small but structurally valid controller parameterizations.
+fn params() -> impl Strategy<Value = ControllerParams> {
+    (
+        1u64..64,                    // monitor period
+        1u64..4,                     // sample rate
+        prop::sample::select(vec![0.95, 0.99, 0.995, 1.0]),
+        1u32..8,                     // up multiplier (x25)
+        prop::sample::select(vec![
+            EvictionModeKind::Counter,
+            EvictionModeKind::Sampling,
+            EvictionModeKind::Never,
+        ]),
+        prop::option::of(1u32..6),   // oscillation limit
+        0u64..5_000,                 // latency
+        prop::option::of(1u64..500), // revisit
+    )
+        .prop_map(
+            |(monitor, rate, threshold, up_mul, kind, osc, latency, revisit)| {
+                let up = up_mul * 25;
+                ControllerParams {
+                    monitor_period: monitor,
+                    monitor_policy: MonitorPolicy::FixedWindow,
+                    monitor_sample_rate: rate,
+                    selection_threshold: threshold,
+                    eviction: match kind {
+                        EvictionModeKind::Counter => EvictionMode::Counter {
+                            up,
+                            down: 1,
+                            threshold: up * 4,
+                        },
+                        EvictionModeKind::Sampling => EvictionMode::Sampling {
+                            period: monitor.max(2),
+                            samples: (monitor / 2).max(1),
+                            bias_threshold: 0.98,
+                        },
+                        EvictionModeKind::Never => EvictionMode::Never,
+                    },
+                    revisit: match revisit {
+                        Some(n) => Revisit::After(n),
+                        None => Revisit::Never,
+                    },
+                    oscillation_limit: osc,
+                    optimization_latency: latency,
+                }
+            },
+        )
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EvictionModeKind {
+    Counter,
+    Sampling,
+    Never,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The controller never loses or invents events, and its decision
+    /// counts are consistent.
+    #[test]
+    fn controller_accounting_is_consistent(
+        recs in records(2_000),
+        p in params(),
+    ) {
+        let result = engine::run_trace(p, recs.clone()).unwrap();
+        let s = result.stats;
+        prop_assert_eq!(s.events, recs.len() as u64);
+        prop_assert!(s.correct + s.incorrect <= s.events);
+        prop_assert!(s.evicted_branches <= s.entered_biased);
+        prop_assert!(s.total_evictions <= s.total_entries);
+        prop_assert_eq!(s.reopt_requests, s.total_entries + s.total_evictions);
+        prop_assert!(s.touched <= 8);
+    }
+
+    /// Per-branch transitions alternate: a branch cannot exit the biased
+    /// state more often than it entered it, and the oscillation cap bounds
+    /// entries.
+    #[test]
+    fn transitions_alternate_and_respect_cap(
+        recs in records(2_000),
+        p in params(),
+    ) {
+        let result = engine::run_trace(p, recs).unwrap();
+        for b in 0..8u32 {
+            let branch = BranchId::new(b);
+            let mut entries = 0u32;
+            let mut exits = 0u32;
+            for t in result.transitions.iter().filter(|t| t.branch == branch) {
+                match t.kind {
+                    TransitionKind::EnterBiased => {
+                        entries += 1;
+                        prop_assert!(entries == exits + 1, "double entry");
+                    }
+                    TransitionKind::ExitBiased => {
+                        exits += 1;
+                        prop_assert!(exits == entries, "exit without entry");
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(limit) = p.oscillation_limit {
+                prop_assert!(entries <= limit);
+            }
+        }
+    }
+
+    /// With eviction disabled, no evictions ever happen; with revisit
+    /// disabled, a branch classified unbiased is never reconsidered.
+    #[test]
+    fn structural_variants_hold(recs in records(2_000)) {
+        let p = ControllerParams::scaled()
+            .with_monitor_period(16)
+            .without_eviction();
+        let result = engine::run_trace(p, recs.clone()).unwrap();
+        prop_assert_eq!(result.stats.total_evictions, 0);
+
+        let p = ControllerParams {
+            monitor_period: 16,
+            ..ControllerParams::scaled()
+        }
+        .without_revisit();
+        let result = engine::run_trace(p, recs).unwrap();
+        let revisits = result
+            .transitions
+            .iter()
+            .filter(|t| t.kind == TransitionKind::RevisitMonitor)
+            .count();
+        prop_assert_eq!(revisits, 0);
+    }
+
+    /// A Pareto curve is monotone in both coordinates and ends at the
+    /// total majority/minority split.
+    #[test]
+    fn pareto_curve_is_monotone(recs in records(3_000)) {
+        let profile = BranchProfile::from_trace(recs);
+        let curve = pareto::curve(&profile);
+        let mut prev = pareto::ParetoPoint { incorrect: 0.0, correct: 0.0 };
+        for pt in &curve {
+            prop_assert!(pt.correct + 1e-12 >= prev.correct);
+            prop_assert!(pt.incorrect + 1e-12 >= prev.incorrect);
+            prop_assert!(pt.correct >= pt.incorrect - 1e-12,
+                "majority can never be the minority");
+            prev = *pt;
+        }
+        if let Some(last) = curve.last() {
+            prop_assert!((last.correct + last.incorrect - 1.0).abs() < 1e-9,
+                "curve must end at 100% of events");
+        }
+    }
+
+    /// A speculation set built at a threshold only selects branches whose
+    /// profile bias meets it.
+    #[test]
+    fn selection_respects_threshold(
+        recs in records(3_000),
+        threshold in prop::sample::select(vec![0.6, 0.9, 0.99]),
+    ) {
+        let profile = BranchProfile::from_trace(recs);
+        let set = SpeculationSet::from_profile(&profile, threshold, 4);
+        for (b, dir) in set.iter() {
+            let bias = profile.bias(b.index()).unwrap();
+            prop_assert!(bias >= threshold);
+            prop_assert_eq!(Some(dir), profile.majority(b.index()));
+            prop_assert!(profile.executions(b.index()) >= 4);
+        }
+    }
+
+    /// Behaviors always produce probabilities in [0, 1].
+    #[test]
+    fn behavior_probabilities_are_valid(
+        exec in 0u64..1_000_000,
+        p1 in 0.0f64..=1.0,
+        p2 in 0.0f64..=1.0,
+        len in 1u64..100_000,
+        group_active in any::<bool>(),
+    ) {
+        let behaviors = vec![
+            Behavior::Fixed { p_taken: p1 },
+            Behavior::MultiPhase {
+                phases: vec![
+                    Phase { len, p_taken: p1 },
+                    Phase { len: u64::MAX, p_taken: p2 },
+                ],
+            },
+            Behavior::Drift { start: p1, end: p2, over: len },
+            Behavior::Induction { flip_at: len },
+            Behavior::PeriodicBurst { base: p1, burst: p2, period: len, burst_len: len / 2, phase: len / 3 },
+            Behavior::Grouped { in_phase: p1, out_phase: p2 },
+        ];
+        for b in behaviors {
+            let p = b.p_taken(exec, group_active);
+            prop_assert!((0.0..=1.0).contains(&p), "{b:?} gave {p}");
+        }
+    }
+
+    /// The deterministic RNG's uniform helpers respect their bounds.
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.gen_range(n) < n);
+            let f = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    /// Observing a stream twice through identically configured controllers
+    /// yields identical stats (the controller is deterministic).
+    #[test]
+    fn controller_is_pure(recs in records(1_000), p in params()) {
+        let mut a = ReactiveController::new(p).unwrap();
+        let mut b = ReactiveController::new(p).unwrap();
+        for r in &recs {
+            prop_assert_eq!(a.observe(r), b.observe(r));
+        }
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+}

@@ -17,7 +17,11 @@ fn bench_ablations(c: &mut Criterion) {
         ("steep_+200_-1", 200, 4_000),
     ] {
         let params = ControllerParams {
-            eviction: EvictionMode::Counter { up, down: 1, threshold },
+            eviction: EvictionMode::Counter {
+                up,
+                down: 1,
+                threshold,
+            },
             ..ControllerParams::scaled()
         };
         g.bench_function(name, |b| {
@@ -32,7 +36,11 @@ fn bench_ablations(c: &mut Criterion) {
     g.finish();
 
     let mut g = c.benchmark_group("ablations/wait_period");
-    for (name, wait) in [("wait_5k", 5_000u64), ("wait_25k", 25_000), ("wait_100k", 100_000)] {
+    for (name, wait) in [
+        ("wait_5k", 5_000u64),
+        ("wait_25k", 25_000),
+        ("wait_100k", 100_000),
+    ] {
         let params = ControllerParams {
             revisit: Revisit::After(wait),
             ..ControllerParams::scaled()

@@ -15,10 +15,7 @@ fn bench_fig3(c: &mut Criterion) {
     });
 
     c.bench_function("fig3/block_bias_series", |b| {
-        b.iter(|| {
-            blocks::block_bias_series(pop.trace(InputId::Eval, events, 1), &ids, 1000)
-                .len()
-        })
+        b.iter(|| blocks::block_bias_series(pop.trace(InputId::Eval, events, 1), &ids, 1000).len())
     });
 }
 

@@ -14,7 +14,10 @@ fn bench_fig5(c: &mut Criterion) {
         ("baseline", ControllerParams::scaled()),
         ("no_eviction", ControllerParams::scaled().without_eviction()),
         ("no_revisit", ControllerParams::scaled().without_revisit()),
-        ("sampling_monitor", ControllerParams::scaled().with_monitor_sampling(8)),
+        (
+            "sampling_monitor",
+            ControllerParams::scaled().with_monitor_sampling(8),
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {

@@ -13,28 +13,17 @@ fn bench_fig7(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig7");
     g.sample_size(10);
     g.bench_function("superscalar_baseline", |b| {
-        b.iter(|| {
-            machine::run_baseline(
-                &pop,
-                InputId::Eval,
-                events,
-                1,
-                &MsspParams::new().machine,
-            )
-        })
+        b.iter(|| machine::run_baseline(&pop, InputId::Eval, events, 1, &MsspParams::new().machine))
     });
     g.bench_function("mssp_closed_loop", |b| {
         b.iter(|| {
-            machine::run_mssp_only(&pop, InputId::Eval, events, 1, &MsspParams::new())
-                .mssp_cycles
+            machine::run_mssp_only(&pop, InputId::Eval, events, 1, &MsspParams::new()).mssp_cycles
         })
     });
     g.bench_function("mssp_open_loop", |b| {
-        let params = MsspParams::new()
-            .with_controller(ControllerParams::scaled().without_eviction());
-        b.iter(|| {
-            machine::run_mssp_only(&pop, InputId::Eval, events, 1, &params).mssp_cycles
-        })
+        let params =
+            MsspParams::new().with_controller(ControllerParams::scaled().without_eviction());
+        b.iter(|| machine::run_mssp_only(&pop, InputId::Eval, events, 1, &params).mssp_cycles)
     });
     g.finish();
 }

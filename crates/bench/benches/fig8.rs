@@ -13,13 +13,10 @@ fn bench_fig8(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8");
     g.sample_size(10);
     for lat in [0u64, 10_000, 100_000] {
-        let params = MsspParams::new()
-            .with_controller(ControllerParams::scaled().with_latency(lat));
-        g.bench_function(format!("latency_{lat}"), |b| {
-            b.iter(|| {
-                machine::run_mssp_only(&pop, InputId::Eval, events, 1, &params)
-                    .mssp_cycles
-            })
+        let params =
+            MsspParams::new().with_controller(ControllerParams::scaled().with_latency(lat));
+        g.bench_function(&format!("latency_{lat}"), |b| {
+            b.iter(|| machine::run_mssp_only(&pop, InputId::Eval, events, 1, &params).mssp_cycles)
         });
     }
     g.finish();

@@ -9,14 +9,8 @@ use rsc_trace::{spec2000, InputId};
 fn bench_fig9(c: &mut Criterion) {
     let events = 500_000;
     let pop = spec2000::benchmark("vortex").unwrap().population(events);
-    let run = engine::run_population(
-        ControllerParams::scaled(),
-        &pop,
-        InputId::Eval,
-        events,
-        1,
-    )
-    .unwrap();
+    let run =
+        engine::run_population(ControllerParams::scaled(), &pop, InputId::Eval, events, 1).unwrap();
 
     c.bench_function("fig9/interval_extraction", |b| {
         b.iter(|| intervals::biased_intervals(&run.transitions, events).len())

@@ -19,8 +19,7 @@ fn bench_substrates(c: &mut Criterion) {
     });
     g.bench_function("controller_observe_1M_events", |b| {
         b.iter(|| {
-            let mut ctl =
-                ReactiveController::new(ControllerParams::scaled()).unwrap();
+            let mut ctl = ReactiveController::new(ControllerParams::scaled()).unwrap();
             ctl.set_record_transitions(false);
             for r in pop.trace(InputId::Eval, events, 1) {
                 ctl.observe(&r);

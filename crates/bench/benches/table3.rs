@@ -13,15 +13,9 @@ fn bench_table3(c: &mut Criterion) {
         let pop = spec2000::benchmark(name).unwrap().population(events);
         g.bench_function(name, |b| {
             b.iter(|| {
-                engine::run_population(
-                    ControllerParams::scaled(),
-                    &pop,
-                    InputId::Eval,
-                    events,
-                    1,
-                )
-                .unwrap()
-                .stats
+                engine::run_population(ControllerParams::scaled(), &pop, InputId::Eval, events, 1)
+                    .unwrap()
+                    .stats
             })
         });
     }

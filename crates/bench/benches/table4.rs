@@ -13,7 +13,7 @@ fn bench_table4(c: &mut Criterion) {
     let mut g = c.benchmark_group("table4");
     for name in table4::CONFIG_NAMES {
         let params = table4::config(ControllerParams::scaled(), name);
-        g.bench_function(name.replace(' ', "_"), |b| {
+        g.bench_function(&name.replace(' ', "_"), |b| {
             b.iter(|| {
                 engine::run_population(params, &pop, InputId::Eval, events, 1)
                     .unwrap()

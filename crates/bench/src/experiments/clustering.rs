@@ -45,17 +45,14 @@ pub fn run_subset(opts: &ExpOptions, names: &[&str]) -> Vec<Row> {
                 .map(|&task_events| {
                     let mut params = MsspParams::new();
                     params.task_events = task_events;
-                    let r = machine::run_mssp_only(
-                        &pop,
-                        InputId::Eval,
-                        events,
-                        opts.seed,
-                        &params,
-                    );
+                    let r = machine::run_mssp_only(&pop, InputId::Eval, events, opts.seed, &params);
                     (task_events, r.branch_misspecs, r.task_misspecs)
                 })
                 .collect();
-            Row { name: model.name, sweeps }
+            Row {
+                name: model.name,
+                sweeps,
+            }
         })
         .collect()
 }

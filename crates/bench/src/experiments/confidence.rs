@@ -89,7 +89,11 @@ pub fn render(rows: &[Row]) -> String {
         gain += g;
         t.row(vec![
             r.name.to_string(),
-            format!("{} / {}", pct(r.fixed.correct_frac(), 1), pct(r.fixed.incorrect_frac(), 3)),
+            format!(
+                "{} / {}",
+                pct(r.fixed.correct_frac(), 1),
+                pct(r.fixed.incorrect_frac(), 3)
+            ),
             format!(
                 "{} / {}",
                 pct(r.confidence.correct_frac(), 1),

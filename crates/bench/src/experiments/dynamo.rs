@@ -36,7 +36,9 @@ pub fn run_flush_policy(
     assert!(flush_every > 0, "flush period must be positive");
     // Dynamo has no per-branch reactivity: no eviction arc; unbiased
     // fragments are reconsidered only via the flush.
-    let params = ControllerParams::scaled().without_eviction().without_revisit();
+    let params = ControllerParams::scaled()
+        .without_eviction()
+        .without_revisit();
     let mut ctl = ReactiveController::new(params).expect("valid params");
     ctl.set_record_transitions(false);
     let mut next_flush = flush_every;
@@ -70,7 +72,9 @@ pub fn run_subset(opts: &ExpOptions, names: &[&str]) -> Vec<Row> {
             .expect("valid params")
             .stats;
             let open = rsc_control::engine::run_population(
-                ControllerParams::scaled().without_eviction().without_revisit(),
+                ControllerParams::scaled()
+                    .without_eviction()
+                    .without_revisit(),
                 &pop,
                 InputId::Eval,
                 opts.events,
@@ -79,7 +83,12 @@ pub fn run_subset(opts: &ExpOptions, names: &[&str]) -> Vec<Row> {
             .expect("valid params")
             .stats;
             let flush = run_flush_policy(&pop, opts.events, opts.seed, opts.events / 3);
-            Row { name: model.name, closed, flush, open }
+            Row {
+                name: model.name,
+                closed,
+                flush,
+                open,
+            }
         })
         .collect()
 }

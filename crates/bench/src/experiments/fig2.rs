@@ -43,53 +43,42 @@ pub fn training_lengths(events: u64) -> Vec<u64> {
 /// Runs the Figure 2 experiment for all benchmarks.
 pub fn run(opts: &ExpOptions) -> Vec<Row> {
     crate::parallel::par_map(spec2000::all(), |model| {
-            let pop = model.population(opts.events);
-            let eval_profile = BranchProfile::from_trace(pop.trace(
-                InputId::Eval,
-                opts.events,
-                opts.seed,
-            ));
+        let pop = model.population(opts.events);
+        let eval_profile =
+            BranchProfile::from_trace(pop.trace(InputId::Eval, opts.events, opts.seed));
 
-            // Self-training curve and knee.
-            let full_curve = pareto::curve(&eval_profile);
-            let stride = (full_curve.len() / 16).max(1);
-            let curve: Vec<(f64, f64)> = full_curve
-                .iter()
-                .step_by(stride)
-                .map(|p| (p.incorrect, p.correct))
-                .collect();
-            let knee_pt = pareto::threshold_point(&eval_profile, 0.99);
+        // Self-training curve and knee.
+        let full_curve = pareto::curve(&eval_profile);
+        let stride = (full_curve.len() / 16).max(1);
+        let curve: Vec<(f64, f64)> = full_curve
+            .iter()
+            .step_by(stride)
+            .map(|p| (p.incorrect, p.correct))
+            .collect();
+        let knee_pt = pareto::threshold_point(&eval_profile, 0.99);
 
-            // Cross-input profile (the paper's Table 1 pairings).
-            let cross = offline::cross_input_experiment(
-                &pop,
-                opts.events,
-                opts.seed,
-                0.99,
-                32,
-            );
-            let cross_input = (
-                cross.cross_trained.incorrect_frac(),
-                cross.cross_trained.correct_frac(),
-            );
+        // Cross-input profile (the paper's Table 1 pairings).
+        let cross = offline::cross_input_experiment(&pop, opts.events, opts.seed, 0.99, 32);
+        let cross_input = (
+            cross.cross_trained.incorrect_frac(),
+            cross.cross_trained.correct_frac(),
+        );
 
-            // Initial-behavior training at several lengths.
-            let initial_pts = training_lengths(opts.events)
-                .into_iter()
-                .map(|n| {
-                    let p = initial::initial_profile(
-                        pop.trace(InputId::Eval, opts.events, opts.seed),
-                        n,
-                    );
-                    let set = SpeculationSet::from_profile(&p, 0.99, n.min(100));
-                    let out = evaluate::evaluate_after_training(
-                        &set,
-                        pop.trace(InputId::Eval, opts.events, opts.seed),
-                        n,
-                    );
-                    (n, out.incorrect_frac(), out.correct_frac())
-                })
-                .collect();
+        // Initial-behavior training at several lengths.
+        let initial_pts = training_lengths(opts.events)
+            .into_iter()
+            .map(|n| {
+                let p =
+                    initial::initial_profile(pop.trace(InputId::Eval, opts.events, opts.seed), n);
+                let set = SpeculationSet::from_profile(&p, 0.99, n.min(100));
+                let out = evaluate::evaluate_after_training(
+                    &set,
+                    pop.trace(InputId::Eval, opts.events, opts.seed),
+                    n,
+                );
+                (n, out.incorrect_frac(), out.correct_frac())
+            })
+            .collect();
 
         Row {
             name: model.name,

@@ -98,13 +98,19 @@ mod tests {
                 continue;
             }
             let head = s.initially_biased_blocks(0.95);
-            let min_later =
-                bias.iter().skip(head.max(1)).cloned().fold(1.0_f64, f64::min);
+            let min_later = bias
+                .iter()
+                .skip(head.max(1))
+                .cloned()
+                .fold(1.0_f64, f64::min);
             if head >= 1 && min_later < 0.9 {
                 changed += 1;
             }
         }
-        assert!(changed >= 3, "only {changed} of 5 branches show the pattern");
+        assert!(
+            changed >= 3,
+            "only {changed} of 5 branches show the pattern"
+        );
     }
 
     #[test]

@@ -28,29 +28,29 @@ pub struct Row {
 /// Runs the experiment.
 pub fn run(opts: &ExpOptions) -> Vec<Row> {
     crate::parallel::par_map(spec2000::all(), |model| {
-            let pop = model.population(opts.events);
-            let profile = BranchProfile::from_trace(pop.trace(
-                InputId::Eval,
-                opts.events,
-                opts.seed,
-            ));
-            let st = pareto::threshold_point(&profile, 0.99);
-            let reactive = table4::CONFIG_NAMES
-                .iter()
-                .map(|&name| {
-                    let params = table4::config(ControllerParams::scaled(), name);
-                    let r = rsc_control::engine::run_population(
-                        params,
-                        &pop,
-                        InputId::Eval,
-                        opts.events,
-                        opts.seed,
-                    )
-                    .expect("valid params");
-                    (name, r.stats.incorrect_frac(), r.stats.correct_frac())
-                })
-                .collect();
-        Row { name: model.name, self_training: (st.incorrect, st.correct), reactive }
+        let pop = model.population(opts.events);
+        let profile = BranchProfile::from_trace(pop.trace(InputId::Eval, opts.events, opts.seed));
+        let st = pareto::threshold_point(&profile, 0.99);
+        let reactive = table4::CONFIG_NAMES
+            .iter()
+            .map(|&name| {
+                let params = table4::config(ControllerParams::scaled(), name);
+                let r = rsc_control::engine::run_population(
+                    params,
+                    &pop,
+                    InputId::Eval,
+                    opts.events,
+                    opts.seed,
+                )
+                .expect("valid params");
+                (name, r.stats.incorrect_frac(), r.stats.correct_frac())
+            })
+            .collect();
+        Row {
+            name: model.name,
+            self_training: (st.incorrect, st.correct),
+            reactive,
+        }
     })
 }
 
@@ -83,12 +83,11 @@ mod tests {
     fn one_benchmark(events: u64) -> Row {
         let model = spec2000::benchmark("gzip").unwrap();
         let pop = model.population(events);
-        let profile =
-            BranchProfile::from_trace(pop.trace(InputId::Eval, events, 42));
+        let profile = BranchProfile::from_trace(pop.trace(InputId::Eval, events, 42));
         let st = pareto::threshold_point(&profile, 0.99);
         let params = ControllerParams::scaled();
-        let r = rsc_control::engine::run_population(params, &pop, InputId::Eval, events, 42)
-            .unwrap();
+        let r =
+            rsc_control::engine::run_population(params, &pop, InputId::Eval, events, 42).unwrap();
         Row {
             name: "gzip",
             self_training: (st.incorrect, st.correct),

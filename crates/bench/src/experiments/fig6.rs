@@ -7,9 +7,7 @@
 
 use crate::options::ExpOptions;
 use crate::table::{pct, TextTable};
-use rsc_control::analysis::transition::{
-    self, EvictionWindow, ExitBehaviorSummary,
-};
+use rsc_control::analysis::transition::{self, EvictionWindow, ExitBehaviorSummary};
 use rsc_control::ControllerParams;
 use rsc_trace::{spec2000, InputId};
 
@@ -42,7 +40,11 @@ pub fn run(opts: &ExpOptions) -> Fig6Data {
     }
     let by_offset = transition::mean_misprediction_by_offset(&windows, WINDOW);
     let summary = transition::summarize_exits(&windows);
-    Fig6Data { windows, by_offset, summary }
+    Fig6Data {
+        windows,
+        by_offset,
+        summary,
+    }
 }
 
 /// Renders the offset series and the summary fractions.
@@ -80,8 +82,7 @@ mod tests {
         assert!(data.summary.reversed_frac > 0.0);
         assert!(data.summary.softened_frac > 0.0);
         // The transition window shows elevated misprediction.
-        let mean: f64 =
-            data.by_offset.iter().sum::<f64>() / data.by_offset.len() as f64;
+        let mean: f64 = data.by_offset.iter().sum::<f64>() / data.by_offset.len() as f64;
         assert!(mean > 0.2, "mean transition misprediction {mean}");
     }
 

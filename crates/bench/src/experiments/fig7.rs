@@ -58,41 +58,39 @@ pub fn run_subset(opts: &ExpOptions, names: &[&str]) -> Vec<Row> {
     let configs: [(ControllerParams, Assign); 4] = [
         (base_ctl, |r, v| r.closed = v),
         (base_ctl.without_eviction(), |r, v| r.open = v),
-        (base_ctl.with_monitor_period(long_monitor), |r, v| r.closed_long = v),
+        (base_ctl.with_monitor_period(long_monitor), |r, v| {
+            r.closed_long = v
+        }),
         (
-            base_ctl.without_eviction().with_monitor_period(long_monitor),
+            base_ctl
+                .without_eviction()
+                .with_monitor_period(long_monitor),
             |r, v| r.open_long = v,
         ),
     ];
     crate::parallel::par_map(names.to_vec(), |name| {
-            let model = spec2000::benchmark(name).expect("known benchmark");
-            let pop = model.population(events);
-            let baseline = machine::run_baseline(
-                &pop,
-                InputId::Eval,
-                events,
-                opts.seed,
-                &MsspParams::new().machine,
-            );
-            let mut row = Row {
-                name: model.name,
-                closed: 0.0,
-                open: 0.0,
-                closed_long: 0.0,
-                open_long: 0.0,
-            };
-            for (ctl, set) in configs {
-                let params = MsspParams::new().with_controller(ctl);
-                let r = machine::run_mssp_only(
-                    &pop,
-                    InputId::Eval,
-                    events,
-                    opts.seed,
-                    &params,
-                );
-                set(&mut row, baseline as f64 / r.mssp_cycles as f64);
-            }
-            row
+        let model = spec2000::benchmark(name).expect("known benchmark");
+        let pop = model.population(events);
+        let baseline = machine::run_baseline(
+            &pop,
+            InputId::Eval,
+            events,
+            opts.seed,
+            &MsspParams::new().machine,
+        );
+        let mut row = Row {
+            name: model.name,
+            closed: 0.0,
+            open: 0.0,
+            closed_long: 0.0,
+            open_long: 0.0,
+        };
+        for (ctl, set) in configs {
+            let params = MsspParams::new().with_controller(ctl);
+            let r = machine::run_mssp_only(&pop, InputId::Eval, events, opts.seed, &params);
+            set(&mut row, baseline as f64 / r.mssp_cycles as f64);
+        }
+        row
     })
 }
 
@@ -100,8 +98,11 @@ pub fn run_subset(opts: &ExpOptions, names: &[&str]) -> Vec<Row> {
 pub fn gaps(rows: &[Row]) -> (f64, f64) {
     let n = rows.len().max(1) as f64;
     let short: f64 = rows.iter().map(|r| 1.0 - r.open / r.closed).sum::<f64>() / n;
-    let long: f64 =
-        rows.iter().map(|r| 1.0 - r.open_long / r.closed_long).sum::<f64>() / n;
+    let long: f64 = rows
+        .iter()
+        .map(|r| 1.0 - r.open_long / r.closed_long)
+        .sum::<f64>()
+        / n;
     (short, long)
 }
 
@@ -152,8 +153,7 @@ mod tests {
 
     #[test]
     fn closed_loop_beats_superscalar_baseline() {
-        let rows =
-            run_subset(&ExpOptions::small().with_events(16_000_000), &["vortex"]);
+        let rows = run_subset(&ExpOptions::small().with_events(16_000_000), &["vortex"]);
         assert!(rows[0].closed > 1.0, "closed loop {}", rows[0].closed);
     }
 

@@ -35,36 +35,37 @@ pub fn run(opts: &ExpOptions) -> Vec<Row> {
 pub fn run_subset(opts: &ExpOptions, names: &[&str]) -> Vec<Row> {
     let events = mssp_events(opts);
     crate::parallel::par_map(names.to_vec(), |name| {
-            let model = spec2000::benchmark(name).expect("known benchmark");
-            let pop = model.population(events);
-            let baseline = machine::run_baseline(
-                &pop,
-                InputId::Eval,
-                events,
-                opts.seed,
-                &MsspParams::new().machine,
-            );
-            let mut perf = [0.0; 3];
-            for (i, &lat) in LATENCIES.iter().enumerate() {
-                let params = MsspParams::new()
-                    .with_controller(ControllerParams::scaled().with_latency(lat));
-                let r = machine::run_mssp_only(
-                    &pop,
-                    InputId::Eval,
-                    events,
-                    opts.seed,
-                    &params,
-                );
-                perf[i] = baseline as f64 / r.mssp_cycles as f64;
-            }
-            Row { name: model.name, perf }
+        let model = spec2000::benchmark(name).expect("known benchmark");
+        let pop = model.population(events);
+        let baseline = machine::run_baseline(
+            &pop,
+            InputId::Eval,
+            events,
+            opts.seed,
+            &MsspParams::new().machine,
+        );
+        let mut perf = [0.0; 3];
+        for (i, &lat) in LATENCIES.iter().enumerate() {
+            let params =
+                MsspParams::new().with_controller(ControllerParams::scaled().with_latency(lat));
+            let r = machine::run_mssp_only(&pop, InputId::Eval, events, opts.seed, &params);
+            perf[i] = baseline as f64 / r.mssp_cycles as f64;
+        }
+        Row {
+            name: model.name,
+            perf,
+        }
     })
 }
 
 /// The worst relative deviation from the zero-latency configuration.
 pub fn max_sensitivity(rows: &[Row]) -> f64 {
     rows.iter()
-        .flat_map(|r| r.perf[1..].iter().map(move |&p| (1.0 - p / r.perf[0]).abs()))
+        .flat_map(|r| {
+            r.perf[1..]
+                .iter()
+                .map(move |&p| (1.0 - p / r.perf[0]).abs())
+        })
         .fold(0.0, f64::max)
 }
 

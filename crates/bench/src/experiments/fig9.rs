@@ -45,7 +45,11 @@ pub fn run_on(benchmark: &str, opts: &ExpOptions) -> Fig9Data {
     // Tolerance: transitions within 2% of the run length count as
     // simultaneous — the same granularity the paper's plot resolves.
     let clusters = intervals::correlated_clusters(&refs, opts.events / 50);
-    Fig9Data { total_events: opts.events, flipping, clusters }
+    Fig9Data {
+        total_events: opts.events,
+        flipping,
+        clusters,
+    }
 }
 
 /// Renders one track per flipping branch (like the paper's horizontal

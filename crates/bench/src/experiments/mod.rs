@@ -1,16 +1,17 @@
 //! One module per table/figure of the paper.
 
+pub mod clustering;
+pub mod confidence;
+pub mod dynamo;
 pub mod fig2;
 pub mod fig3;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
-pub mod clustering;
-pub mod confidence;
-pub mod dynamo;
 pub mod fig9;
 pub mod oscillation;
+pub mod perf;
 pub mod regions;
 pub mod table1;
 pub mod table2;

@@ -34,7 +34,10 @@ pub fn run(opts: &ExpOptions) -> Vec<Row> {
 /// Runs both configurations over selected benchmarks.
 pub fn run_subset(opts: &ExpOptions, names: &[&str]) -> Vec<Row> {
     let capped = ControllerParams::scaled();
-    let uncapped = ControllerParams { oscillation_limit: None, ..capped };
+    let uncapped = ControllerParams {
+        oscillation_limit: None,
+        ..capped
+    };
     names
         .iter()
         .map(|n| spec2000::benchmark(n).expect("known benchmark"))

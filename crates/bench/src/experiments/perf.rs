@@ -1,0 +1,390 @@
+//! `repro perf` — events/sec per pipeline stage, per-event vs chunked.
+//!
+//! Measures the simulation pipeline's throughput stage by stage: trace
+//! generation, the trace→controller loop, offline profile accumulation,
+//! and one MSSP machine step pass. For each stage with both code paths,
+//! the per-event baseline (the `Iterator`/`observe`/`record` path, full
+//! transition logging) and the chunked hot path
+//! ([`rsc_trace::Trace::fill`] into a reusable buffer feeding
+//! `observe_chunk`/`record_chunk`, counts-only logging) are timed in the
+//! same run so the speedup column compares like with like.
+
+use crate::options::ExpOptions;
+use crate::table::TextTable;
+use rsc_control::{ControllerParams, ReactiveController, TransitionLogPolicy};
+use rsc_mssp::{machine, MachineConfig};
+use rsc_profile::BranchProfile;
+use rsc_trace::{spec2000, BranchId, BranchRecord, InputId, Population};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The benchmark model driving the measurement (mid-sized branch
+/// population, both stationary and phased behaviors).
+const BENCHMARK: &str = "gcc";
+
+/// Chunk size for the chunked paths (matches the engine default).
+const CHUNK: usize = 4096;
+
+/// One timed code path: how many events it processed and the best
+/// wall-clock time over the measurement repetitions.
+#[derive(Debug, Clone, Copy)]
+pub struct Throughput {
+    /// Events processed per repetition.
+    pub events: u64,
+    /// Best-of-reps wall-clock seconds.
+    pub secs: f64,
+}
+
+impl Throughput {
+    /// Events per second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.events as f64 / self.secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// One pipeline stage: the per-event baseline and, where a chunked path
+/// exists, its chunked counterpart.
+#[derive(Debug, Clone, Copy)]
+pub struct StageRow {
+    /// Stage name (`trace_gen`, `trace_to_controller`, …).
+    pub stage: &'static str,
+    /// The per-event reference path.
+    pub per_event: Throughput,
+    /// The chunked hot path (`None` for stages without one).
+    pub chunked: Option<Throughput>,
+}
+
+impl StageRow {
+    /// Chunked speedup over the per-event path, if both were measured.
+    pub fn speedup(&self) -> Option<f64> {
+        self.chunked
+            .map(|c| c.events_per_sec() / self.per_event.events_per_sec())
+    }
+}
+
+/// Times `f` (which returns the number of events it processed) and keeps
+/// the best of `reps` repetitions after one untimed warmup.
+fn time<F: FnMut() -> u64>(mut f: F, reps: u32) -> Throughput {
+    black_box(f());
+    let mut events = 0;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        events = black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    Throughput { events, secs: best }
+}
+
+/// Times two code paths with interleaved repetitions (a, b, a, b, …) so
+/// both sample the same machine conditions; background interference then
+/// perturbs the two best-of times together instead of skewing their ratio.
+fn time_pair<A, B>(mut a: A, mut b: B, reps: u32) -> (Throughput, Throughput)
+where
+    A: FnMut() -> u64,
+    B: FnMut() -> u64,
+{
+    black_box(a());
+    black_box(b());
+    let (mut events_a, mut events_b) = (0, 0);
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let t = Instant::now();
+        events_a = black_box(a());
+        best_a = best_a.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        events_b = black_box(b());
+        best_b = best_b.min(t.elapsed().as_secs_f64());
+    }
+    (
+        Throughput {
+            events: events_a,
+            secs: best_a,
+        },
+        Throughput {
+            events: events_b,
+            secs: best_b,
+        },
+    )
+}
+
+fn record_buf() -> Vec<BranchRecord> {
+    vec![
+        BranchRecord {
+            branch: BranchId::new(0),
+            taken: false,
+            instr: 0
+        };
+        CHUNK
+    ]
+}
+
+fn trace_gen(pop: &Population, events: u64, seed: u64, reps: u32) -> StageRow {
+    let mut buf = record_buf();
+    let (per_event, chunked) = time_pair(
+        || {
+            let mut sink = 0u64;
+            for r in pop.trace(InputId::Eval, events, seed) {
+                sink = sink.wrapping_add(r.instr) ^ u64::from(r.taken);
+            }
+            black_box(sink);
+            events
+        },
+        || {
+            let mut sink = 0u64;
+            let mut trace = pop.trace(InputId::Eval, events, seed);
+            loop {
+                let n = trace.fill(&mut buf);
+                if n == 0 {
+                    break;
+                }
+                for r in &buf[..n] {
+                    sink = sink.wrapping_add(r.instr) ^ u64::from(r.taken);
+                }
+            }
+            black_box(sink);
+            events
+        },
+        reps,
+    );
+    StageRow {
+        stage: "trace_gen",
+        per_event,
+        chunked: Some(chunked),
+    }
+}
+
+fn trace_to_controller(pop: &Population, events: u64, seed: u64, reps: u32) -> StageRow {
+    let params = ControllerParams::scaled();
+    let mut buf = record_buf();
+    let (per_event, chunked) = time_pair(
+        || {
+            let mut ctl = ReactiveController::new(params).expect("valid params");
+            for r in pop.trace(InputId::Eval, events, seed) {
+                ctl.observe(&r);
+            }
+            black_box(ctl.stats().correct);
+            events
+        },
+        || {
+            let mut ctl = ReactiveController::new(params).expect("valid params");
+            ctl.set_transition_log_policy(TransitionLogPolicy::CountsOnly);
+            let mut trace = pop.trace(InputId::Eval, events, seed);
+            loop {
+                let n = trace.fill(&mut buf);
+                if n == 0 {
+                    break;
+                }
+                ctl.observe_chunk(&buf[..n]);
+            }
+            black_box(ctl.stats().correct);
+            events
+        },
+        reps,
+    );
+    StageRow {
+        stage: "trace_to_controller",
+        per_event,
+        chunked: Some(chunked),
+    }
+}
+
+fn offline_profile(pop: &Population, events: u64, seed: u64, reps: u32) -> StageRow {
+    let (per_event, chunked) = time_pair(
+        || {
+            let p = BranchProfile::from_trace(pop.trace(InputId::Profile, events, seed));
+            black_box(p.events());
+            events
+        },
+        || {
+            let p =
+                BranchProfile::from_trace_chunked(&mut pop.trace(InputId::Profile, events, seed));
+            black_box(p.events());
+            events
+        },
+        reps,
+    );
+    StageRow {
+        stage: "offline_profile",
+        per_event,
+        chunked: Some(chunked),
+    }
+}
+
+fn mssp_step(pop: &Population, events: u64, seed: u64, reps: u32) -> StageRow {
+    // The cycle-level machine is ~20× more work per event than the
+    // controller; a smaller slice keeps `repro perf` interactive while the
+    // events/sec figure stays representative.
+    let events = (events / 8).max(50_000);
+    let machine_cfg = MachineConfig::table5();
+    let per_event = time(
+        || {
+            let cycles = machine::run_baseline(pop, InputId::Eval, events, seed, &machine_cfg);
+            black_box(cycles);
+            events
+        },
+        reps,
+    );
+    StageRow {
+        stage: "mssp_step",
+        per_event,
+        chunked: None,
+    }
+}
+
+/// Runs every stage measurement. `opts.events` sets the per-repetition
+/// event count; the MSSP stage runs a smaller slice (see its row's
+/// `events` field).
+pub fn run(opts: &ExpOptions) -> Vec<StageRow> {
+    let pop = spec2000::benchmark(BENCHMARK)
+        .expect("benchmark exists")
+        .population(opts.events);
+    let reps = 4;
+    vec![
+        trace_gen(&pop, opts.events, opts.seed, reps),
+        trace_to_controller(&pop, opts.events, opts.seed, reps),
+        offline_profile(&pop, opts.events, opts.seed, reps),
+        mssp_step(&pop, opts.events, opts.seed, reps),
+    ]
+}
+
+/// Renders the throughput table.
+pub fn render(rows: &[StageRow]) -> String {
+    let mut t = TextTable::new(vec![
+        "stage",
+        "events",
+        "per-event ev/s",
+        "chunked ev/s",
+        "speedup",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.stage.into(),
+            r.per_event.events.to_string(),
+            format!("{:.3e}", r.per_event.events_per_sec()),
+            r.chunked
+                .map(|c| format!("{:.3e}", c.events_per_sec()))
+                .unwrap_or_default(),
+            r.speedup().map(|s| format!("{s:.2}x")).unwrap_or_default(),
+        ]);
+    }
+    t.render()
+}
+
+/// Serializes the rows as JSON (the `BENCH_pipeline.json` payload).
+pub fn to_json(rows: &[StageRow], opts: &ExpOptions) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"benchmark\": \"{BENCHMARK}\",\n"));
+    out.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    out.push_str(&format!("  \"chunk_events\": {CHUNK},\n"));
+    out.push_str("  \"stages\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"stage\": \"{}\",\n", r.stage));
+        out.push_str(&format!("      \"events\": {},\n", r.per_event.events));
+        out.push_str(&format!(
+            "      \"per_event_events_per_sec\": {:.1},\n",
+            r.per_event.events_per_sec()
+        ));
+        match r.chunked {
+            Some(c) => {
+                out.push_str(&format!(
+                    "      \"chunked_events_per_sec\": {:.1},\n",
+                    c.events_per_sec()
+                ));
+                out.push_str(&format!(
+                    "      \"speedup\": {:.3}\n",
+                    r.speedup().expect("chunked implies speedup")
+                ));
+            }
+            None => {
+                out.push_str("      \"chunked_events_per_sec\": null,\n");
+                out.push_str("      \"speedup\": null\n");
+            }
+        }
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_report_positive_throughput() {
+        let rows = run(&ExpOptions::small().with_events(60_000));
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.per_event.events_per_sec() > 0.0, "{}", r.stage);
+            assert!(r.per_event.events > 0, "{}", r.stage);
+        }
+        let names: Vec<&str> = rows.iter().map(|r| r.stage).collect();
+        assert_eq!(
+            names,
+            vec![
+                "trace_gen",
+                "trace_to_controller",
+                "offline_profile",
+                "mssp_step"
+            ]
+        );
+        // Stages with a chunked path report a speedup; MSSP does not.
+        assert!(rows[1].speedup().is_some());
+        assert!(rows[3].speedup().is_none());
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let rows = vec![
+            StageRow {
+                stage: "trace_gen",
+                per_event: Throughput {
+                    events: 1000,
+                    secs: 0.5,
+                },
+                chunked: Some(Throughput {
+                    events: 1000,
+                    secs: 0.25,
+                }),
+            },
+            StageRow {
+                stage: "mssp_step",
+                per_event: Throughput {
+                    events: 100,
+                    secs: 0.5,
+                },
+                chunked: None,
+            },
+        ];
+        let json = to_json(&rows, &ExpOptions::small());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"speedup\": 2.000"));
+        assert!(json.contains("\"speedup\": null"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn throughput_math() {
+        let t = Throughput {
+            events: 1_000,
+            secs: 0.5,
+        };
+        assert_eq!(t.events_per_sec(), 2_000.0);
+        let z = Throughput {
+            events: 1_000,
+            secs: 0.0,
+        };
+        assert!(z.events_per_sec().is_infinite());
+    }
+}

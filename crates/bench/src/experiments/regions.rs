@@ -62,8 +62,7 @@ pub fn run_subset(opts: &ExpOptions, names: &[&str]) -> Vec<Row> {
                 std::collections::HashMap::new();
             let mut reoptimizations = 0u64;
             let mut changes = 0u64;
-            let mut batched: std::collections::HashMap<u32, u64> =
-                std::collections::HashMap::new();
+            let mut batched: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
             let mut multi = 0u64;
             for t in &result.transitions {
                 let needs_regen = matches!(
@@ -144,10 +143,7 @@ mod tests {
     #[test]
     fn some_reoptimizations_batch_multiple_changes() {
         // vortex: the Figure 9 benchmark with strongly correlated changes.
-        let rows = run_subset(
-            &ExpOptions::small().with_events(8_000_000),
-            &["vortex"],
-        );
+        let rows = run_subset(&ExpOptions::small().with_events(8_000_000), &["vortex"]);
         let r = &rows[0];
         assert!(r.changes > 0);
         assert!(r.reoptimizations > 0);

@@ -6,17 +6,28 @@ use rsc_control::{ControllerParams, EvictionMode, Revisit};
 
 fn describe(p: &ControllerParams) -> Vec<(String, String)> {
     let mut rows = Vec::new();
-    rows.push(("Monitor period".into(), format!("{} executions", p.monitor_period)));
+    rows.push((
+        "Monitor period".into(),
+        format!("{} executions", p.monitor_period),
+    ));
     rows.push((
         "Selection threshold".into(),
         format!("{:.1} percent", p.selection_threshold * 100.0),
     ));
     match p.eviction {
-        EvictionMode::Counter { up, down, threshold } => rows.push((
+        EvictionMode::Counter {
+            up,
+            down,
+            threshold,
+        } => rows.push((
             "Misspeculation threshold".into(),
             format!("{threshold} (+{up} on misp., -{down} otherwise)"),
         )),
-        EvictionMode::Sampling { period, samples, bias_threshold } => rows.push((
+        EvictionMode::Sampling {
+            period,
+            samples,
+            bias_threshold,
+        } => rows.push((
             "Eviction".into(),
             format!("sample {samples}/{period}, bias floor {bias_threshold}"),
         )),

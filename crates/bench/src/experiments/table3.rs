@@ -26,16 +26,14 @@ pub fn run(opts: &ExpOptions) -> Vec<Row> {
 /// Runs a specific configuration over all benchmarks.
 pub fn run_with(opts: &ExpOptions, params: ControllerParams) -> Vec<Row> {
     crate::parallel::par_map(spec2000::all(), |model| {
-            let pop = model.population(opts.events);
-            let result = engine::run_population(
-                params,
-                &pop,
-                InputId::Eval,
-                opts.events,
-                opts.seed,
-            )
+        let pop = model.population(opts.events);
+        let result = engine::run_population(params, &pop, InputId::Eval, opts.events, opts.seed)
             .expect("experiment parameters are valid");
-        Row { name: model.name, stats: result.stats, paper: model.paper.clone() }
+        Row {
+            name: model.name,
+            stats: result.stats,
+            paper: model.paper.clone(),
+        }
     })
 }
 
@@ -51,8 +49,18 @@ pub fn average(rows: &[Row]) -> ControlStats {
 /// Renders the paper-vs-measured comparison table.
 pub fn render(rows: &[Row]) -> String {
     let mut t = TextTable::new(vec![
-        "bmark", "touch", "bias(p)", "bias(m)", "evict(p)", "evict(m)", "evicts(p)",
-        "evicts(m)", "%spec(p)", "%spec(m)", "dist(p)", "dist(m)",
+        "bmark",
+        "touch",
+        "bias(p)",
+        "bias(m)",
+        "evict(p)",
+        "evict(m)",
+        "evicts(p)",
+        "evicts(m)",
+        "%spec(p)",
+        "%spec(m)",
+        "dist(p)",
+        "dist(m)",
     ]);
     let mut bias_frac = 0.0;
     let mut evict_frac = 0.0;
@@ -91,11 +99,21 @@ pub fn render(rows: &[Row]) -> String {
         "2%".to_string(),
         pct(evict_frac / n, 1),
         "76".to_string(),
-        format!("{:.0}", rows.iter().map(|r| r.stats.total_evictions).sum::<u64>() as f64 / n),
+        format!(
+            "{:.0}",
+            rows.iter().map(|r| r.stats.total_evictions).sum::<u64>() as f64 / n
+        ),
         "44.8%".to_string(),
         pct(spec / n, 1),
         "65000".to_string(),
-        format!("{:.0}", if dist_n == 0 { 0.0 } else { dist / dist_n as f64 }),
+        format!(
+            "{:.0}",
+            if dist_n == 0 {
+                0.0
+            } else {
+                dist / dist_n as f64
+            }
+        ),
     ]);
     t.render()
 }
@@ -126,9 +144,6 @@ mod tests {
     fn average_accumulates() {
         let rows = run(&ExpOptions::small());
         let avg = average(&rows);
-        assert_eq!(
-            avg.events,
-            rows.iter().map(|r| r.stats.events).sum::<u64>()
-        );
+        assert_eq!(avg.events, rows.iter().map(|r| r.stats.events).sum::<u64>());
     }
 }

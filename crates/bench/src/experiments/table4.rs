@@ -81,24 +81,26 @@ pub fn run_subset(opts: &ExpOptions, names: &[&str]) -> Vec<Row> {
         .zip(PAPER_RESULTS)
         .map(|(&name, paper)| {
             let params = config(ControllerParams::scaled(), name);
-            let fracs = crate::parallel::par_map(
-                populations.iter().collect::<Vec<_>>(),
-                |pop| {
-                    let r = rsc_control::engine::run_population(
-                        params,
-                        pop,
-                        InputId::Eval,
-                        opts.events,
-                        opts.seed,
-                    )
-                    .expect("valid params");
-                    (r.stats.correct_frac(), r.stats.incorrect_frac())
-                },
-            );
+            let fracs = crate::parallel::par_map(populations.iter().collect::<Vec<_>>(), |pop| {
+                let r = rsc_control::engine::run_population(
+                    params,
+                    pop,
+                    InputId::Eval,
+                    opts.events,
+                    opts.seed,
+                )
+                .expect("valid params");
+                (r.stats.correct_frac(), r.stats.incorrect_frac())
+            });
             let n = fracs.len() as f64;
             let correct: f64 = fracs.iter().map(|f| f.0).sum::<f64>() / n;
             let incorrect: f64 = fracs.iter().map(|f| f.1).sum::<f64>() / n;
-            Row { name, correct, incorrect, paper }
+            Row {
+                name,
+                correct,
+                incorrect,
+                paper,
+            }
         })
         .collect()
 }

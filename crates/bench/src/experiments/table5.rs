@@ -9,8 +9,14 @@ pub fn render() -> String {
     let mut t = TextTable::new(vec!["parameter", "leading core", "trailing cores"]);
     t.row(vec![
         "Pipeline".into(),
-        format!("{}-wide, {}-stage", m.leading.width, m.leading.pipeline_depth),
-        format!("{}-wide, {}-stage", m.trailing.width, m.trailing.pipeline_depth),
+        format!(
+            "{}-wide, {}-stage",
+            m.leading.width, m.leading.pipeline_depth
+        ),
+        format!(
+            "{}-wide, {}-stage",
+            m.trailing.width, m.trailing.pipeline_depth
+        ),
     ]);
     t.row(vec![
         "Window".into(),
@@ -23,7 +29,10 @@ pub fn render() -> String {
             "{}KB {}-way SA {}B blocks, {} cycle",
             m.leading.l1_kib, m.leading.l1_assoc, m.block_bytes, m.leading.l1_latency
         ),
-        format!("{}KB {}-way, {}B", m.trailing.l1_kib, m.trailing.l1_assoc, m.block_bytes),
+        format!(
+            "{}KB {}-way, {}B",
+            m.trailing.l1_kib, m.trailing.l1_assoc, m.block_bytes
+        ),
     ]);
     t.row(vec![
         "Br. Pred.".into(),

@@ -67,7 +67,11 @@ pub fn run(opts: &ExpOptions) -> Vec<Row> {
 
 /// Renders the seed-variance table.
 pub fn render(rows: &[Row]) -> String {
-    let mut t = TextTable::new(vec!["bmark", "correct (mean ± sd)", "incorrect (mean ± sd)"]);
+    let mut t = TextTable::new(vec![
+        "bmark",
+        "correct (mean ± sd)",
+        "incorrect (mean ± sd)",
+    ]);
     for r in rows {
         t.row(vec![
             r.name.to_string(),

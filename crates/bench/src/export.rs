@@ -18,7 +18,13 @@ pub fn write(dir: &Path, name: &str, csv: &str) -> io::Result<()> {
 
 /// Figure 2: one row per mark per benchmark.
 pub fn fig2_csv(rows: &[fig2::Row]) -> String {
-    let mut t = TextTable::new(vec!["benchmark", "mark", "training_execs", "incorrect", "correct"]);
+    let mut t = TextTable::new(vec![
+        "benchmark",
+        "mark",
+        "training_execs",
+        "incorrect",
+        "correct",
+    ]);
     for r in rows {
         t.row(vec![
             r.name.into(),
@@ -99,7 +105,10 @@ pub fn table3_csv(rows: &[table3::Row]) -> String {
             r.stats.total_evictions.to_string(),
             r.stats.correct_frac().to_string(),
             r.stats.incorrect_frac().to_string(),
-            r.stats.misspec_distance().map(|d| d.to_string()).unwrap_or_default(),
+            r.stats
+                .misspec_distance()
+                .map(|d| d.to_string())
+                .unwrap_or_default(),
         ]);
     }
     t.to_csv()
@@ -109,7 +118,11 @@ pub fn table3_csv(rows: &[table3::Row]) -> String {
 pub fn table4_csv(rows: &[table4::Row]) -> String {
     let mut t = TextTable::new(vec!["configuration", "correct_frac", "incorrect_frac"]);
     for r in rows {
-        t.row(vec![r.name.into(), r.correct.to_string(), r.incorrect.to_string()]);
+        t.row(vec![
+            r.name.into(),
+            r.correct.to_string(),
+            r.incorrect.to_string(),
+        ]);
     }
     t.to_csv()
 }
@@ -182,9 +195,11 @@ pub fn dynamo_csv(rows: &[dynamo::Row]) -> String {
         "utility",
     ]);
     for r in rows {
-        for (policy, s) in
-            [("closed", &r.closed), ("flush", &r.flush), ("open", &r.open)]
-        {
+        for (policy, s) in [
+            ("closed", &r.closed),
+            ("flush", &r.flush),
+            ("open", &r.open),
+        ] {
             t.row(vec![
                 r.name.into(),
                 policy.into(),

@@ -23,6 +23,11 @@ fn main() {
             "--full" => {
                 opts.events = 40_000_000;
             }
+            "--threads" => {
+                let v = it.next().expect("--threads needs a value");
+                let n: usize = v.parse().expect("--threads must be an integer");
+                rsc_bench::parallel::set_max_threads(n);
+            }
             "--csv" => {
                 let v = it.next().expect("--csv needs a directory");
                 csv_dir = Some(PathBuf::from(v));
@@ -139,6 +144,20 @@ fn dispatch(which: &str, opts: &ExpOptions, csv_dir: Option<&std::path::Path>) {
             println!("{}", experiments::dynamo::render(&rows));
             save("dynamo", export::dynamo_csv(&rows));
         }
+        "perf" => {
+            println!("== Pipeline throughput: per-event vs chunked hot path ==");
+            let rows = experiments::perf::run(opts);
+            println!("{}", experiments::perf::render(&rows));
+            let json = experiments::perf::to_json(&rows, opts);
+            let path = csv_dir
+                .map(|d| d.join("BENCH_pipeline.json"))
+                .unwrap_or_else(|| PathBuf::from("BENCH_pipeline.json"));
+            if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(dir).expect("failed to create output directory");
+            }
+            std::fs::write(&path, json).expect("failed to write BENCH_pipeline.json");
+            println!("wrote {}", path.display());
+        }
         "oscillation" => {
             println!("== Oscillation cap: re-optimization load ==");
             let rows = experiments::oscillation::run(opts);
@@ -147,9 +166,24 @@ fn dispatch(which: &str, opts: &ExpOptions, csv_dir: Option<&std::path::Path>) {
         }
         "all" => {
             for w in [
-                "table1", "table2", "fig2", "fig3", "fig5", "table3", "table4",
-                "fig6", "fig9", "oscillation", "dynamo", "confidence", "regions",
-                "variance", "table5", "fig7", "fig8", "clustering",
+                "table1",
+                "table2",
+                "fig2",
+                "fig3",
+                "fig5",
+                "table3",
+                "table4",
+                "fig6",
+                "fig9",
+                "oscillation",
+                "dynamo",
+                "confidence",
+                "regions",
+                "variance",
+                "table5",
+                "fig7",
+                "fig8",
+                "clustering",
             ] {
                 dispatch(w, opts, csv_dir);
             }

@@ -17,7 +17,10 @@ pub struct ExpOptions {
 impl ExpOptions {
     /// Default options used by the `repro` harness.
     pub fn new() -> Self {
-        ExpOptions { events: 16_000_000, seed: 42 }
+        ExpOptions {
+            events: 16_000_000,
+            seed: 42,
+        }
     }
 
     /// Sets the event count.
@@ -34,7 +37,10 @@ impl ExpOptions {
 
     /// A small configuration for unit tests and Criterion benches.
     pub fn small() -> Self {
-        ExpOptions { events: 300_000, seed: 42 }
+        ExpOptions {
+            events: 300_000,
+            seed: 42,
+        }
     }
 }
 

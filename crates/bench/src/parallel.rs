@@ -1,101 +1,16 @@
-//! Tiny order-preserving parallel map for experiment fan-out.
+//! Order-preserving parallel map for experiment fan-out.
 //!
-//! Every reproduction experiment maps independently over benchmarks; this
-//! runs those closures on `available_parallelism` threads with scoped
-//! borrows (no `'static` bound, no external dependencies) while keeping
-//! result order.
+//! The implementation lives in [`rsc_util::parallel`] so the offline
+//! profiler can share it; this module re-exports it for the experiment
+//! code. The global thread cap ([`set_max_threads`], driven by the
+//! `repro --threads N` flag) applies to every caller.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsc_bench::parallel::par_map;
+//! let squares = par_map(vec![1, 2, 3, 4], |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Applies `f` to every item in parallel, preserving input order.
-///
-/// `f` may borrow from the environment (threads are scoped). Panics in `f`
-/// propagate.
-///
-/// # Examples
-///
-/// ```
-/// use rsc_bench::parallel::par_map;
-/// let squares = par_map(vec![1, 2, 3, 4], |x| x * x);
-/// assert_eq!(squares, vec![1, 4, 9, 16]);
-/// ```
-pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    if n <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
-
-    let work: Vec<Mutex<Option<T>>> =
-        items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = work[i]
-                    .lock()
-                    .expect("work slot poisoned")
-                    .take()
-                    .expect("each slot is taken once");
-                let r = f(item);
-                *results[i].lock().expect("result slot poisoned") = Some(r);
-            });
-        }
-    });
-
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("result slot poisoned").expect("all slots filled"))
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_order() {
-        let out = par_map((0..100).collect(), |x: i32| x * 2);
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn empty_and_single() {
-        let out: Vec<i32> = par_map(Vec::<i32>::new(), |x| x);
-        assert!(out.is_empty());
-        assert_eq!(par_map(vec![7], |x: i32| x + 1), vec![8]);
-    }
-
-    #[test]
-    fn borrows_environment() {
-        let base = 10;
-        let out = par_map(vec![1, 2, 3], |x| x + base);
-        assert_eq!(out, vec![11, 12, 13]);
-    }
-
-    #[test]
-    #[should_panic]
-    fn propagates_panics() {
-        let _ = par_map(vec![1, 2, 3], |x: i32| {
-            if x == 2 {
-                panic!("boom");
-            }
-            x
-        });
-    }
-}
+pub use rsc_util::parallel::{max_threads, par_map, set_max_threads};

@@ -80,7 +80,11 @@ pub fn block_bias_series<I: IntoIterator<Item = BranchRecord>>(
             if seen > 0 {
                 blocks.push(taken as f64 / seen as f64);
             }
-            BlockBiasSeries { branch: b, taken_frac: blocks, block_len }
+            BlockBiasSeries {
+                branch: b,
+                taken_frac: blocks,
+                block_len,
+            }
         })
         .collect()
 }
@@ -98,10 +102,7 @@ pub fn changing_branches(population: &Population, count: usize) -> Vec<BranchId>
             let initial_p = spec.behavior.p_taken(0, false);
             // Figure 3 plots one-time behavior changes; periodic bursts are
             // a different (oscillating) population.
-            let periodic = matches!(
-                spec.behavior,
-                rsc_trace::Behavior::PeriodicBurst { .. }
-            );
+            let periodic = matches!(spec.behavior, rsc_trace::Behavior::PeriodicBurst { .. });
             spec.behavior.phase_count() > 1
                 && !periodic
                 && spec.eval_weight > 0.0
@@ -123,13 +124,22 @@ mod tests {
     use rsc_trace::spec2000;
 
     fn rec(b: u32, taken: bool, instr: u64) -> BranchRecord {
-        BranchRecord { branch: BranchId::new(b), taken, instr }
+        BranchRecord {
+            branch: BranchId::new(b),
+            taken,
+            instr,
+        }
     }
 
     #[test]
     fn blocks_average_correctly() {
         // 4 executions in blocks of 2: [T, T], [F, T] → 1.0, 0.5.
-        let trace = vec![rec(0, true, 1), rec(0, true, 2), rec(0, false, 3), rec(0, true, 4)];
+        let trace = vec![
+            rec(0, true, 1),
+            rec(0, true, 2),
+            rec(0, false, 3),
+            rec(0, true, 4),
+        ];
         let s = block_bias_series(trace, &[BranchId::new(0)], 2);
         assert_eq!(s[0].taken_frac, vec![1.0, 0.5]);
     }

@@ -55,7 +55,10 @@ pub fn biased_intervals(
             }
             TransitionKind::ExitBiased => {
                 if let Some(start) = open.remove(&t.branch) {
-                    by_branch.entry(t.branch).or_default().push((start, t.event_index));
+                    by_branch
+                        .entry(t.branch)
+                        .or_default()
+                        .push((start, t.event_index));
                     *exits.entry(t.branch).or_insert(0) += 1;
                 }
             }
@@ -66,7 +69,10 @@ pub fn biased_intervals(
         }
     }
     for (branch, start) in open {
-        by_branch.entry(branch).or_default().push((start, total_events));
+        by_branch
+            .entry(branch)
+            .or_default()
+            .push((start, total_events));
     }
     by_branch
         .into_iter()
@@ -85,7 +91,10 @@ pub fn flipping_branches(
     intervals: &[BiasedIntervals],
     total_events: u64,
 ) -> Vec<&BiasedIntervals> {
-    intervals.iter().filter(|iv| iv.flips(total_events)).collect()
+    intervals
+        .iter()
+        .filter(|iv| iv.flips(total_events))
+        .collect()
 }
 
 /// Clusters flipping branches by their transition-time signatures: two
@@ -95,10 +104,7 @@ pub fn flipping_branches(
 ///
 /// Returns clusters sorted by decreasing size; each cluster lists branch
 /// ids. A cluster of size > 1 is a correlated group in the Figure 9 sense.
-pub fn correlated_clusters(
-    intervals: &[&BiasedIntervals],
-    tolerance: u64,
-) -> Vec<Vec<BranchId>> {
+pub fn correlated_clusters(intervals: &[&BiasedIntervals], tolerance: u64) -> Vec<Vec<BranchId>> {
     type Cluster = (Vec<(u64, u64)>, Vec<BranchId>);
     let mut clusters: Vec<Cluster> = Vec::new();
     for iv in intervals {
@@ -162,7 +168,12 @@ mod tests {
     }
 
     fn iv(branch: u32, spans: Vec<(u64, u64)>, exits: u32, was_unbiased: bool) -> BiasedIntervals {
-        BiasedIntervals { branch: BranchId::new(branch), spans, exits, was_unbiased }
+        BiasedIntervals {
+            branch: BranchId::new(branch),
+            spans,
+            exits,
+            was_unbiased,
+        }
     }
 
     #[test]

@@ -82,8 +82,8 @@ pub fn eviction_windows<I: IntoIterator<Item = BranchRecord>>(
             if let Some(w) = open[idx].take() {
                 finished.push(w);
             }
-            let dir = last_speculated_direction(&ctl, r.branch)
-                .unwrap_or(Direction::from_taken(r.taken));
+            let dir =
+                last_speculated_direction(&ctl, r.branch).unwrap_or(Direction::from_taken(r.taken));
             open[idx] = Some(EvictionWindow {
                 branch: r.branch,
                 direction: dir,
@@ -91,7 +91,11 @@ pub fn eviction_windows<I: IntoIterator<Item = BranchRecord>>(
             });
         }
     }
-    finished.extend(open.into_iter().flatten().filter(|w| !w.mispredictions.is_empty()));
+    finished.extend(
+        open.into_iter()
+            .flatten()
+            .filter(|w| !w.mispredictions.is_empty()),
+    );
     Ok(finished)
 }
 
@@ -188,7 +192,11 @@ mod tests {
     use rsc_trace::BranchId;
 
     fn rec(b: u32, taken: bool, instr: u64) -> BranchRecord {
-        BranchRecord { branch: BranchId::new(b), taken, instr }
+        BranchRecord {
+            branch: BranchId::new(b),
+            taken,
+            instr,
+        }
     }
 
     fn tiny() -> ControllerParams {
@@ -197,7 +205,11 @@ mod tests {
             monitor_policy: MonitorPolicy::FixedWindow,
             monitor_sample_rate: 1,
             selection_threshold: 0.995,
-            eviction: EvictionMode::Counter { up: 50, down: 1, threshold: 100 },
+            eviction: EvictionMode::Counter {
+                up: 50,
+                down: 1,
+                threshold: 100,
+            },
             revisit: crate::params::Revisit::After(1_000_000),
             oscillation_limit: Some(50),
             optimization_latency: 0,

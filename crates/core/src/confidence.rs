@@ -77,7 +77,12 @@ impl BiasClassifier {
             "target must be in (0.5, 1.0], got {target}"
         );
         assert!(z.is_finite() && z > 0.0, "z must be positive and finite");
-        BiasClassifier { taken: 0, n: 0, target, z }
+        BiasClassifier {
+            taken: 0,
+            n: 0,
+            target,
+            z,
+        }
     }
 
     /// Records one outcome.
@@ -194,6 +199,10 @@ mod tests {
         for _ in 0..500 {
             c.record(false);
         }
-        assert_eq!(c.verdict(), BiasVerdict::Biased, "not-taken bias counts too");
+        assert_eq!(
+            c.verdict(),
+            BiasVerdict::Biased,
+            "not-taken bias counts too"
+        );
     }
 }

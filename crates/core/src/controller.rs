@@ -22,6 +22,7 @@
 use crate::counter::HysteresisCounter;
 use crate::params::{ControllerParams, EvictionMode, InvalidParamsError, MonitorPolicy, Revisit};
 use crate::stats::ControlStats;
+use crate::translog::{TransitionLog, TransitionLogPolicy};
 use rsc_trace::{BranchId, BranchRecord, Direction};
 
 /// What the controller did with one dynamic branch execution.
@@ -59,6 +60,28 @@ pub enum TransitionKind {
     Disabled,
 }
 
+impl TransitionKind {
+    /// Every kind, in `index` order (used by counter arrays).
+    pub const ALL: [TransitionKind; 5] = [
+        TransitionKind::EnterBiased,
+        TransitionKind::ExitBiased,
+        TransitionKind::EnterUnbiased,
+        TransitionKind::RevisitMonitor,
+        TransitionKind::Disabled,
+    ];
+
+    /// Dense index of this kind within [`TransitionKind::ALL`].
+    pub const fn index(self) -> usize {
+        match self {
+            TransitionKind::EnterBiased => 0,
+            TransitionKind::ExitBiased => 1,
+            TransitionKind::EnterUnbiased => 2,
+            TransitionKind::RevisitMonitor => 3,
+            TransitionKind::Disabled => 4,
+        }
+    }
+}
+
 /// One logged transition.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransitionEvent {
@@ -78,24 +101,47 @@ pub struct TransitionEvent {
 #[derive(Debug, Clone)]
 enum EvictTracker {
     Counter(HysteresisCounter),
-    Sampling { pos: u64, matched: u64, sampled: u64 },
+    Sampling {
+        pos: u64,
+        matched: u64,
+        sampled: u64,
+    },
     Never,
 }
 
 /// Per-branch controller state.
 #[derive(Debug, Clone)]
 enum State {
-    Monitor { execs: u64, samples: u64, taken: u64 },
-    PendingBiased { deadline: u64, dir: Direction },
-    Biased { dir: Direction, tracker: EvictTracker },
-    PendingMonitor { deadline: u64, dir: Direction },
-    Unbiased { remaining: Option<u64> },
+    Monitor {
+        execs: u64,
+        samples: u64,
+        taken: u64,
+    },
+    PendingBiased {
+        deadline: u64,
+        dir: Direction,
+    },
+    Biased {
+        dir: Direction,
+        tracker: EvictTracker,
+    },
+    PendingMonitor {
+        deadline: u64,
+        dir: Direction,
+    },
+    Unbiased {
+        remaining: Option<u64>,
+    },
     Disabled,
 }
 
 impl State {
     fn fresh_monitor() -> State {
-        State::Monitor { execs: 0, samples: 0, taken: 0 }
+        State::Monitor {
+            execs: 0,
+            samples: 0,
+            taken: 0,
+        }
     }
 }
 
@@ -144,12 +190,24 @@ impl BranchCtl {
 pub struct ReactiveController {
     params: ControllerParams,
     branches: Vec<BranchCtl>,
-    transitions: Vec<TransitionEvent>,
-    record_transitions: bool,
+    log: TransitionLog,
     events: u64,
     instructions: u64,
     correct: u64,
     incorrect: u64,
+}
+
+/// What a call to [`ReactiveController::observe_chunk`] did, in aggregate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChunkSummary {
+    /// Events processed (the chunk length).
+    pub events: u64,
+    /// Events that were speculated (correct or incorrect).
+    pub speculated: u64,
+    /// Correct speculations in this chunk.
+    pub correct: u64,
+    /// Misspeculations in this chunk.
+    pub incorrect: u64,
 }
 
 impl ReactiveController {
@@ -163,8 +221,7 @@ impl ReactiveController {
         Ok(ReactiveController {
             params,
             branches: Vec::new(),
-            transitions: Vec::new(),
-            record_transitions: true,
+            log: TransitionLog::default(),
             events: 0,
             instructions: 0,
             correct: 0,
@@ -172,9 +229,30 @@ impl ReactiveController {
         })
     }
 
-    /// Disables the transition log (saves memory on very long runs).
+    /// Disables (or re-enables) transition *event storage*.
+    ///
+    /// Shorthand for [`set_transition_log_policy`]
+    /// (`Full` when `record` is `true`, `CountsOnly` otherwise); per-kind
+    /// counters keep counting either way.
+    ///
+    /// [`set_transition_log_policy`]: ReactiveController::set_transition_log_policy
     pub fn set_record_transitions(&mut self, record: bool) {
-        self.record_transitions = record;
+        self.log.set_policy(if record {
+            TransitionLogPolicy::Full
+        } else {
+            TransitionLogPolicy::CountsOnly
+        });
+    }
+
+    /// Sets the transition-log retention policy (see [`TransitionLogPolicy`]).
+    pub fn set_transition_log_policy(&mut self, policy: TransitionLogPolicy) {
+        self.log.set_policy(policy);
+    }
+
+    /// The transition log, with its retention policy and exact per-kind
+    /// counters.
+    pub fn transition_log(&self) -> &TransitionLog {
+        &self.log
     }
 
     /// The controller's parameters.
@@ -184,32 +262,34 @@ impl ReactiveController {
 
     fn fresh_tracker(&self) -> EvictTracker {
         match self.params.eviction {
-            EvictionMode::Counter { up, down, threshold } => {
-                EvictTracker::Counter(HysteresisCounter::new(up, down, threshold))
-            }
-            EvictionMode::Sampling { .. } => {
-                EvictTracker::Sampling { pos: 0, matched: 0, sampled: 0 }
-            }
+            EvictionMode::Counter {
+                up,
+                down,
+                threshold,
+            } => EvictTracker::Counter(HysteresisCounter::new(up, down, threshold)),
+            EvictionMode::Sampling { .. } => EvictTracker::Sampling {
+                pos: 0,
+                matched: 0,
+                sampled: 0,
+            },
             EvictionMode::Never => EvictTracker::Never,
         }
     }
 
-    fn log(
+    fn log_transition(
         &mut self,
         branch: BranchId,
         kind: TransitionKind,
         instr: u64,
         direction: Option<Direction>,
     ) {
-        if self.record_transitions {
-            self.transitions.push(TransitionEvent {
-                branch,
-                kind,
-                event_index: self.events,
-                instr,
-                direction,
-            });
-        }
+        self.log.push(TransitionEvent {
+            branch,
+            kind,
+            event_index: self.events,
+            instr,
+            direction,
+        });
     }
 
     /// Forgets every classification, returning all touched branches to a
@@ -249,7 +329,11 @@ impl ReactiveController {
                     self.branches[idx].state = State::Disabled;
                     return SpecDecision::NotSpeculated;
                 }
-                State::Monitor { mut execs, mut samples, mut taken } => {
+                State::Monitor {
+                    mut execs,
+                    mut samples,
+                    mut taken,
+                } => {
                     if execs % self.params.monitor_sample_rate == 0 {
                         samples += 1;
                         taken += u64::from(r.taken);
@@ -272,7 +356,11 @@ impl ReactiveController {
                                 None
                             }
                         }
-                        MonitorPolicy::Confidence { z, min_execs, max_execs } => {
+                        MonitorPolicy::Confidence {
+                            z,
+                            min_execs,
+                            max_execs,
+                        } => {
                             if samples < min_execs {
                                 None
                             } else {
@@ -291,7 +379,11 @@ impl ReactiveController {
                         }
                     };
                     let Some(is_biased) = outcome else {
-                        self.branches[idx].state = State::Monitor { execs, samples, taken };
+                        self.branches[idx].state = State::Monitor {
+                            execs,
+                            samples,
+                            taken,
+                        };
                         return SpecDecision::NotSpeculated;
                     };
                     if is_biased {
@@ -304,21 +396,28 @@ impl ReactiveController {
                         if let Some(limit) = self.params.oscillation_limit {
                             if self.branches[idx].entries_since_flush >= limit {
                                 self.branches[idx].state = State::Disabled;
-                                self.log(r.branch, TransitionKind::Disabled, r.instr, None);
+                                self.log_transition(
+                                    r.branch,
+                                    TransitionKind::Disabled,
+                                    r.instr,
+                                    None,
+                                );
                                 return SpecDecision::NotSpeculated;
                             }
                         }
                         self.branches[idx].entries += 1;
                         self.branches[idx].entries_since_flush += 1;
-                        self.log(
+                        self.log_transition(
                             r.branch,
                             TransitionKind::EnterBiased,
                             r.instr,
                             Some(dir),
                         );
                         if self.params.optimization_latency == 0 {
-                            self.branches[idx].state =
-                                State::Biased { dir, tracker: self.fresh_tracker() };
+                            self.branches[idx].state = State::Biased {
+                                dir,
+                                tracker: self.fresh_tracker(),
+                            };
                         } else {
                             self.branches[idx].state = State::PendingBiased {
                                 deadline: r.instr + self.params.optimization_latency,
@@ -331,7 +430,7 @@ impl ReactiveController {
                             Revisit::Never => None,
                         };
                         self.branches[idx].state = State::Unbiased { remaining };
-                        self.log(r.branch, TransitionKind::EnterUnbiased, r.instr, None);
+                        self.log_transition(r.branch, TransitionKind::EnterUnbiased, r.instr, None);
                     }
                     return SpecDecision::NotSpeculated;
                 }
@@ -339,8 +438,10 @@ impl ReactiveController {
                     if r.instr >= deadline {
                         // New code deployed; reprocess this execution as
                         // biased.
-                        self.branches[idx].state =
-                            State::Biased { dir, tracker: self.fresh_tracker() };
+                        self.branches[idx].state = State::Biased {
+                            dir,
+                            tracker: self.fresh_tracker(),
+                        };
                         continue;
                     }
                     self.branches[idx].state = State::PendingBiased { deadline, dir };
@@ -364,11 +465,17 @@ impl ReactiveController {
                             }
                             c.should_evict()
                         }
-                        EvictTracker::Sampling { pos, matched, sampled } => {
+                        EvictTracker::Sampling {
+                            pos,
+                            matched,
+                            sampled,
+                        } => {
                             let (period, samples, bias_threshold) = match self.params.eviction {
-                                EvictionMode::Sampling { period, samples, bias_threshold } => {
-                                    (period, samples, bias_threshold)
-                                }
+                                EvictionMode::Sampling {
+                                    period,
+                                    samples,
+                                    bias_threshold,
+                                } => (period, samples, bias_threshold),
                                 _ => unreachable!("tracker matches eviction mode"),
                             };
                             let mut fire = false;
@@ -392,7 +499,12 @@ impl ReactiveController {
                     };
                     if evict {
                         self.branches[idx].evictions += 1;
-                        self.log(r.branch, TransitionKind::ExitBiased, r.instr, Some(dir));
+                        self.log_transition(
+                            r.branch,
+                            TransitionKind::ExitBiased,
+                            r.instr,
+                            Some(dir),
+                        );
                         if self.params.optimization_latency == 0 {
                             self.branches[idx].state = State::fresh_monitor();
                         } else {
@@ -427,10 +539,17 @@ impl ReactiveController {
                     match remaining {
                         Some(n) if n <= 1 => {
                             self.branches[idx].state = State::fresh_monitor();
-                            self.log(r.branch, TransitionKind::RevisitMonitor, r.instr, None);
+                            self.log_transition(
+                                r.branch,
+                                TransitionKind::RevisitMonitor,
+                                r.instr,
+                                None,
+                            );
                         }
                         Some(n) => {
-                            self.branches[idx].state = State::Unbiased { remaining: Some(n - 1) };
+                            self.branches[idx].state = State::Unbiased {
+                                remaining: Some(n - 1),
+                            };
                         }
                         None => {
                             self.branches[idx].state = State::Unbiased { remaining: None };
@@ -439,6 +558,173 @@ impl ReactiveController {
                     return SpecDecision::NotSpeculated;
                 }
             }
+        }
+    }
+
+    /// Feeds a chunk of dynamic branch executions through the controller.
+    ///
+    /// Semantically identical to calling [`observe`](Self::observe) on each
+    /// record in order — statistics, per-branch state, and the transition
+    /// log come out bit-identical — but the steady-state FSM arms
+    /// (disabled, unbiased waiting, mid-window monitoring, biased with a
+    /// hysteresis counter) are handled inline without the per-event
+    /// state-swap machinery, and the branch table is resized at most once
+    /// per chunk. Rare arms (classification decisions, deployment
+    /// deadlines, sampled eviction) fall back to `observe`.
+    pub fn observe_chunk(&mut self, records: &[BranchRecord]) -> ChunkSummary {
+        // One resize covers every record in the chunk.
+        let max_idx = records.iter().map(|r| r.branch.index()).max();
+        if let Some(max_idx) = max_idx {
+            if max_idx >= self.branches.len() {
+                self.branches.resize_with(max_idx + 1, BranchCtl::new);
+            }
+        }
+
+        let monitor_period = self.params.monitor_period;
+        let monitor_sample_rate = self.params.monitor_sample_rate;
+        let sample_every_exec = monitor_sample_rate == 1;
+        let fixed_window = matches!(self.params.monitor_policy, MonitorPolicy::FixedWindow);
+        let optimization_latency = self.params.optimization_latency;
+
+        // The summary falls out of the counter deltas, and the counters
+        // live in locals so the hot loop keeps them in registers; they sync
+        // with `self` only around slow-path fallbacks.
+        let start_events = self.events;
+        let start_correct = self.correct;
+        let start_incorrect = self.incorrect;
+        let mut events = self.events;
+        let mut instructions = self.instructions;
+        let mut correct = self.correct;
+        let mut incorrect = self.incorrect;
+
+        for r in records {
+            let idx = r.branch.index();
+            let b = &mut self.branches[idx];
+            // A fast arm either fully handles the event or backs out
+            // without mutating anything, so the `observe` fallback never
+            // double-counts. Eviction needs a state swap, which cannot
+            // happen while the match borrows the state: it is deferred.
+            let mut evict: Option<Direction> = None;
+            let mut slow = false;
+            match &mut b.state {
+                State::Disabled => {
+                    b.execs += 1;
+                    events += 1;
+                    instructions = instructions.max(r.instr);
+                }
+                State::Unbiased { remaining } => match remaining {
+                    // The revisit arc logs a transition: slow path.
+                    Some(n) if *n <= 1 => slow = true,
+                    Some(n) => {
+                        *n -= 1;
+                        b.execs += 1;
+                        events += 1;
+                        instructions = instructions.max(r.instr);
+                    }
+                    None => {
+                        b.execs += 1;
+                        events += 1;
+                        instructions = instructions.max(r.instr);
+                    }
+                },
+                State::Monitor {
+                    execs,
+                    samples,
+                    taken,
+                } => {
+                    // Inline only mid-window fixed-period monitoring; any
+                    // event that could classify goes through `observe`.
+                    if fixed_window && *execs + 1 < monitor_period {
+                        if sample_every_exec || *execs % monitor_sample_rate == 0 {
+                            *samples += 1;
+                            *taken += u64::from(r.taken);
+                        }
+                        *execs += 1;
+                        b.execs += 1;
+                        events += 1;
+                        instructions = instructions.max(r.instr);
+                    } else {
+                        slow = true;
+                    }
+                }
+                State::Biased { dir, tracker } => match tracker {
+                    EvictTracker::Counter(c) => {
+                        let matched = dir.matches(r.taken);
+                        if matched {
+                            c.correct();
+                            correct += 1;
+                        } else {
+                            c.misspeculation();
+                            incorrect += 1;
+                        }
+                        b.execs += 1;
+                        events += 1;
+                        instructions = instructions.max(r.instr);
+                        if c.should_evict() {
+                            evict = Some(*dir);
+                        }
+                    }
+                    EvictTracker::Never => {
+                        if dir.matches(r.taken) {
+                            correct += 1;
+                        } else {
+                            incorrect += 1;
+                        }
+                        b.execs += 1;
+                        events += 1;
+                        instructions = instructions.max(r.instr);
+                    }
+                    EvictTracker::Sampling { .. } => slow = true,
+                },
+                // Deployment deadlines can cascade through several states:
+                // slow path.
+                State::PendingBiased { .. } | State::PendingMonitor { .. } => slow = true,
+            }
+
+            if let Some(dir) = evict {
+                b.evictions += 1;
+                self.log.push(TransitionEvent {
+                    branch: r.branch,
+                    kind: TransitionKind::ExitBiased,
+                    event_index: events,
+                    instr: r.instr,
+                    direction: Some(dir),
+                });
+                b.state = if optimization_latency == 0 {
+                    State::fresh_monitor()
+                } else {
+                    State::PendingMonitor {
+                        deadline: r.instr + optimization_latency,
+                        dir,
+                    }
+                };
+            }
+
+            if slow {
+                self.events = events;
+                self.instructions = instructions;
+                self.correct = correct;
+                self.incorrect = incorrect;
+                self.observe(r);
+                events = self.events;
+                instructions = self.instructions;
+                correct = self.correct;
+                incorrect = self.incorrect;
+            }
+        }
+
+        self.events = events;
+        self.instructions = instructions;
+        self.correct = correct;
+        self.incorrect = incorrect;
+
+        let chunk_correct = correct - start_correct;
+        let chunk_incorrect = incorrect - start_incorrect;
+        ChunkSummary {
+            events: events - start_events,
+            speculated: chunk_correct + chunk_incorrect,
+            correct: chunk_correct,
+            incorrect: chunk_incorrect,
         }
     }
 
@@ -474,7 +760,7 @@ impl ReactiveController {
 
     /// The transition log (empty if recording is disabled).
     pub fn transitions(&self) -> &[TransitionEvent] {
-        &self.transitions
+        self.log.as_slice()
     }
 
     /// Times `branch` entered the biased state.
@@ -511,7 +797,11 @@ mod tests {
     use super::*;
 
     fn rec(b: u32, taken: bool, instr: u64) -> BranchRecord {
-        BranchRecord { branch: BranchId::new(b), taken, instr }
+        BranchRecord {
+            branch: BranchId::new(b),
+            taken,
+            instr,
+        }
     }
 
     /// Tiny parameters that make hand-reasoning easy.
@@ -521,7 +811,11 @@ mod tests {
             monitor_policy: MonitorPolicy::FixedWindow,
             monitor_sample_rate: 1,
             selection_threshold: 0.995,
-            eviction: EvictionMode::Counter { up: 50, down: 1, threshold: 100 },
+            eviction: EvictionMode::Counter {
+                up: 50,
+                down: 1,
+                threshold: 100,
+            },
             revisit: Revisit::After(20),
             oscillation_limit: Some(5),
             optimization_latency: 0,
@@ -575,7 +869,7 @@ mod tests {
         let mut ctl = ReactiveController::new(tiny()).unwrap();
         let mut instr = 0;
         drive(&mut ctl, 0, true, 10, &mut instr); // select taken
-        // Reverse the behavior: 100/50 = 2 misspecs to reach threshold 100.
+                                                  // Reverse the behavior: 100/50 = 2 misspecs to reach threshold 100.
         drive(&mut ctl, 0, false, 2, &mut instr);
         assert_eq!(ctl.evictions(BranchId::new(0)), 1);
         assert!(!ctl.is_speculating(BranchId::new(0)));
@@ -671,7 +965,7 @@ mod tests {
         let mut ctl = ReactiveController::new(params).unwrap();
         let mut instr = 0;
         drive(&mut ctl, 0, true, 10, &mut instr); // decision at instr=50
-        // Still within latency window: not speculated.
+                                                  // Still within latency window: not speculated.
         let d = ctl.observe(&rec(0, true, 900));
         assert_eq!(d, SpecDecision::NotSpeculated);
         // Past the deadline (50 + 1000): speculated.
@@ -706,7 +1000,10 @@ mod tests {
         drive(&mut ctl, 0, true, 10, &mut instr);
         drive(&mut ctl, 0, false, 2, &mut instr);
         let kinds: Vec<TransitionKind> = ctl.transitions().iter().map(|t| t.kind).collect();
-        assert_eq!(kinds, vec![TransitionKind::EnterBiased, TransitionKind::ExitBiased]);
+        assert_eq!(
+            kinds,
+            vec![TransitionKind::EnterBiased, TransitionKind::ExitBiased]
+        );
         assert_eq!(ctl.transitions()[0].direction, Some(Direction::Taken));
     }
 
@@ -718,6 +1015,83 @@ mod tests {
         drive(&mut ctl, 0, true, 10, &mut instr);
         assert!(ctl.transitions().is_empty());
         assert_eq!(ctl.entries(BranchId::new(0)), 1);
+    }
+
+    /// A synthetic stream that drives one branch through selection,
+    /// eviction, oscillation disable, and a second branch through the
+    /// unbiased/revisit arc — covering every `observe_chunk` arm.
+    fn lifecycle_stream() -> Vec<BranchRecord> {
+        let mut v = Vec::new();
+        let mut instr = 0u64;
+        for round in 0..7u64 {
+            for _ in 0..10 {
+                instr += 5;
+                v.push(rec(0, true, instr));
+            }
+            for _ in 0..3 {
+                instr += 5;
+                v.push(rec(0, false, instr));
+            }
+            for i in 0..25u64 {
+                instr += 5;
+                v.push(rec(1, (i + round) % 2 == 0, instr));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn observe_chunk_matches_observe_across_lifecycle() {
+        let stream = lifecycle_stream();
+        for params in [tiny(), tiny().with_latency(40), tiny().without_eviction()] {
+            let mut per_event = ReactiveController::new(params).unwrap();
+            for r in &stream {
+                per_event.observe(r);
+            }
+            for chunk_len in [1usize, 3, 16, 1000] {
+                let mut chunked = ReactiveController::new(params).unwrap();
+                let mut total = ChunkSummary::default();
+                for chunk in stream.chunks(chunk_len) {
+                    let s = chunked.observe_chunk(chunk);
+                    total.events += s.events;
+                    total.speculated += s.speculated;
+                    total.correct += s.correct;
+                    total.incorrect += s.incorrect;
+                }
+                assert_eq!(per_event.stats(), chunked.stats(), "chunk {chunk_len}");
+                assert_eq!(
+                    per_event.transitions(),
+                    chunked.transitions(),
+                    "chunk {chunk_len}"
+                );
+                assert_eq!(total.events, stream.len() as u64);
+                assert_eq!(total.correct, chunked.stats().correct);
+                assert_eq!(total.incorrect, chunked.stats().incorrect);
+                assert_eq!(total.speculated, total.correct + total.incorrect);
+            }
+        }
+    }
+
+    #[test]
+    fn observe_chunk_respects_ring_buffer_policy() {
+        let stream = lifecycle_stream();
+        let mut full = ReactiveController::new(tiny()).unwrap();
+        let mut ring = ReactiveController::new(tiny()).unwrap();
+        ring.set_transition_log_policy(crate::translog::TransitionLogPolicy::RingBuffer(3));
+        for chunk in stream.chunks(64) {
+            full.observe_chunk(chunk);
+            ring.observe_chunk(chunk);
+        }
+        let all = full.transitions();
+        assert!(all.len() > 3);
+        assert_eq!(ring.transitions(), &all[all.len() - 3..]);
+        for kind in TransitionKind::ALL {
+            assert_eq!(
+                ring.transition_log().count(kind),
+                full.transition_log().count(kind),
+                "{kind:?}"
+            );
+        }
     }
 
     #[test]
@@ -738,12 +1112,15 @@ mod tests {
     #[test]
     fn sampled_eviction_fires_on_degraded_bias() {
         let mut params = tiny();
-        params.eviction =
-            EvictionMode::Sampling { period: 20, samples: 10, bias_threshold: 0.98 };
+        params.eviction = EvictionMode::Sampling {
+            period: 20,
+            samples: 10,
+            bias_threshold: 0.98,
+        };
         let mut ctl = ReactiveController::new(params).unwrap();
         let mut instr = 0;
         drive(&mut ctl, 0, true, 10, &mut instr); // select
-        // Degrade to ~50%: the first full sampling window must evict.
+                                                  // Degrade to ~50%: the first full sampling window must evict.
         for i in 0..40u64 {
             instr += 5;
             ctl.observe(&rec(0, i % 2 == 0, instr));
@@ -757,8 +1134,11 @@ mod tests {
     #[test]
     fn sampled_eviction_keeps_healthy_branch() {
         let mut params = tiny();
-        params.eviction =
-            EvictionMode::Sampling { period: 20, samples: 10, bias_threshold: 0.98 };
+        params.eviction = EvictionMode::Sampling {
+            period: 20,
+            samples: 10,
+            bias_threshold: 0.98,
+        };
         let mut ctl = ReactiveController::new(params).unwrap();
         let mut instr = 0;
         drive(&mut ctl, 0, true, 10, &mut instr);

@@ -40,7 +40,12 @@ impl HysteresisCounter {
         assert!(up > 0, "up increment must be positive");
         assert!(down > 0, "down decrement must be positive");
         assert!(threshold >= up, "threshold must be at least up");
-        HysteresisCounter { value: 0, up, down, threshold }
+        HysteresisCounter {
+            value: 0,
+            up,
+            down,
+            threshold,
+        }
     }
 
     /// Records a misspeculation; saturates at the threshold.

@@ -3,7 +3,12 @@
 use crate::controller::{ReactiveController, TransitionEvent};
 use crate::params::{ControllerParams, InvalidParamsError};
 use crate::stats::ControlStats;
-use rsc_trace::{BranchRecord, InputId, Population};
+use crate::translog::TransitionLogPolicy;
+use rsc_trace::{BranchId, BranchRecord, InputId, Population};
+
+/// Chunk size used by the chunked drivers: large enough to amortize
+/// dispatch, small enough that a chunk of [`BranchRecord`]s stays in L1/L2.
+pub const DEFAULT_CHUNK_EVENTS: usize = 4096;
 
 /// The outcome of one controller run.
 #[derive(Debug, Clone)]
@@ -62,6 +67,50 @@ pub fn run_population(
     run_trace(params, population.trace(input, events, seed))
 }
 
+/// Runs a controller over one benchmark population through the chunked
+/// hot path ([`rsc_trace::Trace::fill`] into a reusable buffer, then
+/// [`ReactiveController::observe_chunk`]).
+///
+/// Produces bit-identical `stats` and `transitions` to [`run_population`]
+/// for the same inputs; it is simply faster. `log_policy` selects how much
+/// of the transition stream to retain — pass
+/// [`TransitionLogPolicy::Full`] to match `run_population` exactly, or
+/// [`TransitionLogPolicy::CountsOnly`] for maximum throughput.
+///
+/// # Errors
+///
+/// Returns an error if `params` are inconsistent.
+pub fn run_population_chunked(
+    params: ControllerParams,
+    population: &Population,
+    input: InputId,
+    events: u64,
+    seed: u64,
+    log_policy: TransitionLogPolicy,
+) -> Result<RunResult, InvalidParamsError> {
+    let mut ctl = ReactiveController::new(params)?;
+    ctl.set_transition_log_policy(log_policy);
+    let mut trace = population.trace(input, events, seed);
+    let mut buf = vec![
+        BranchRecord {
+            branch: BranchId::new(0),
+            taken: false,
+            instr: 0
+        };
+        DEFAULT_CHUNK_EVENTS
+    ];
+    loop {
+        let n = trace.fill(&mut buf);
+        if n == 0 {
+            break;
+        }
+        ctl.observe_chunk(&buf[..n]);
+    }
+    let stats = ctl.stats();
+    let transitions = ctl.transitions().to_vec();
+    Ok(RunResult { stats, transitions })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,14 +119,7 @@ mod tests {
     #[test]
     fn run_population_produces_consistent_stats() {
         let pop = spec2000::benchmark("gzip").unwrap().population(50_000);
-        let r = run_population(
-            ControllerParams::scaled(),
-            &pop,
-            InputId::Eval,
-            50_000,
-            3,
-        )
-        .unwrap();
+        let r = run_population(ControllerParams::scaled(), &pop, InputId::Eval, 50_000, 3).unwrap();
         assert_eq!(r.stats.events, 50_000);
         assert!(r.stats.touched > 0);
         assert!(r.stats.correct + r.stats.incorrect <= r.stats.events);
@@ -86,12 +128,45 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let pop = spec2000::benchmark("vpr").unwrap().population(30_000);
-        let a = run_population(ControllerParams::scaled(), &pop, InputId::Eval, 30_000, 5)
-            .unwrap();
-        let b = run_population(ControllerParams::scaled(), &pop, InputId::Eval, 30_000, 5)
-            .unwrap();
+        let a = run_population(ControllerParams::scaled(), &pop, InputId::Eval, 30_000, 5).unwrap();
+        let b = run_population(ControllerParams::scaled(), &pop, InputId::Eval, 30_000, 5).unwrap();
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.transitions.len(), b.transitions.len());
+    }
+
+    #[test]
+    fn chunked_run_is_bit_identical_to_per_event() {
+        let pop = spec2000::benchmark("gcc").unwrap().population(60_000);
+        let a =
+            run_population(ControllerParams::scaled(), &pop, InputId::Eval, 60_000, 11).unwrap();
+        let b = run_population_chunked(
+            ControllerParams::scaled(),
+            &pop,
+            InputId::Eval,
+            60_000,
+            11,
+            TransitionLogPolicy::Full,
+        )
+        .unwrap();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.transitions, b.transitions);
+    }
+
+    #[test]
+    fn chunked_counts_only_matches_stats() {
+        let pop = spec2000::benchmark("gzip").unwrap().population(40_000);
+        let a = run_population(ControllerParams::scaled(), &pop, InputId::Eval, 40_000, 2).unwrap();
+        let b = run_population_chunked(
+            ControllerParams::scaled(),
+            &pop,
+            InputId::Eval,
+            40_000,
+            2,
+            TransitionLogPolicy::CountsOnly,
+        )
+        .unwrap();
+        assert_eq!(a.stats, b.stats);
+        assert!(b.transitions.is_empty());
     }
 
     #[test]

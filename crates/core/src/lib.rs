@@ -45,10 +45,12 @@ pub mod counter;
 pub mod engine;
 pub mod params;
 pub mod stats;
+pub mod translog;
 
 pub use controller::{
-    ReactiveController, SpecDecision, TransitionEvent, TransitionKind,
+    ChunkSummary, ReactiveController, SpecDecision, TransitionEvent, TransitionKind,
 };
-pub use engine::{run_population, run_trace, RunResult};
+pub use engine::{run_population, run_population_chunked, run_trace, RunResult};
 pub use params::{ControllerParams, EvictionMode, InvalidParamsError, MonitorPolicy, Revisit};
 pub use stats::ControlStats;
+pub use translog::{TransitionLog, TransitionLogPolicy};

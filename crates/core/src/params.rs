@@ -115,7 +115,11 @@ impl ControllerParams {
             monitor_policy: MonitorPolicy::FixedWindow,
             monitor_sample_rate: 1,
             selection_threshold: 0.995,
-            eviction: EvictionMode::Counter { up: 50, down: 1, threshold: 10_000 },
+            eviction: EvictionMode::Counter {
+                up: 50,
+                down: 1,
+                threshold: 10_000,
+            },
             revisit: Revisit::After(1_000_000),
             oscillation_limit: Some(5),
             optimization_latency: 1_000_000,
@@ -138,7 +142,11 @@ impl ControllerParams {
             monitor_policy: MonitorPolicy::FixedWindow,
             monitor_sample_rate: 1,
             selection_threshold: 0.995,
-            eviction: EvictionMode::Counter { up: 50, down: 1, threshold: 1_000 },
+            eviction: EvictionMode::Counter {
+                up: 50,
+                down: 1,
+                threshold: 1_000,
+            },
             revisit: Revisit::After(25_000),
             oscillation_limit: Some(5),
             optimization_latency: 100_000,
@@ -163,9 +171,17 @@ impl ControllerParams {
     /// Divides the counter eviction threshold by 10 (the paper's "lower
     /// eviction threshold" variant). No-op for non-counter modes.
     pub fn with_lower_eviction_threshold(mut self) -> Self {
-        if let EvictionMode::Counter { up, down, threshold } = self.eviction {
-            self.eviction =
-                EvictionMode::Counter { up, down, threshold: (threshold / 10).max(up) };
+        if let EvictionMode::Counter {
+            up,
+            down,
+            threshold,
+        } = self.eviction
+        {
+            self.eviction = EvictionMode::Counter {
+                up,
+                down,
+                threshold: (threshold / 10).max(up),
+            };
         }
         self
     }
@@ -215,7 +231,11 @@ impl ControllerParams {
     /// Switches the monitor to confidence-bound classification (an
     /// extension of the paper's fixed window).
     pub fn with_confidence_monitor(mut self, z: f64, min_execs: u64, max_execs: u64) -> Self {
-        self.monitor_policy = MonitorPolicy::Confidence { z, min_execs, max_execs };
+        self.monitor_policy = MonitorPolicy::Confidence {
+            z,
+            min_execs,
+            max_execs,
+        };
         self
     }
 
@@ -232,12 +252,20 @@ impl ControllerParams {
             return Err(InvalidParamsError("monitor_sample_rate must be positive"));
         }
         if !(self.selection_threshold > 0.5 && self.selection_threshold <= 1.0) {
-            return Err(InvalidParamsError("selection_threshold must be in (0.5, 1.0]"));
+            return Err(InvalidParamsError(
+                "selection_threshold must be in (0.5, 1.0]",
+            ));
         }
         match self.eviction {
-            EvictionMode::Counter { up, down, threshold } => {
+            EvictionMode::Counter {
+                up,
+                down,
+                threshold,
+            } => {
                 if up == 0 || threshold == 0 {
-                    return Err(InvalidParamsError("counter up and threshold must be positive"));
+                    return Err(InvalidParamsError(
+                        "counter up and threshold must be positive",
+                    ));
                 }
                 if down == 0 {
                     return Err(InvalidParamsError("counter down must be positive"));
@@ -246,19 +274,32 @@ impl ControllerParams {
                     return Err(InvalidParamsError("counter threshold must be at least up"));
                 }
             }
-            EvictionMode::Sampling { period, samples, bias_threshold } => {
+            EvictionMode::Sampling {
+                period,
+                samples,
+                bias_threshold,
+            } => {
                 if samples == 0 || period == 0 || samples > period {
                     return Err(InvalidParamsError("sampling needs 0 < samples <= period"));
                 }
                 if !(bias_threshold > 0.5 && bias_threshold <= 1.0) {
-                    return Err(InvalidParamsError("sampling bias threshold must be in (0.5, 1.0]"));
+                    return Err(InvalidParamsError(
+                        "sampling bias threshold must be in (0.5, 1.0]",
+                    ));
                 }
             }
             EvictionMode::Never => {}
         }
-        if let MonitorPolicy::Confidence { z, min_execs, max_execs } = self.monitor_policy {
+        if let MonitorPolicy::Confidence {
+            z,
+            min_execs,
+            max_execs,
+        } = self.monitor_policy
+        {
             if !(z.is_finite() && z > 0.0) {
-                return Err(InvalidParamsError("confidence z must be positive and finite"));
+                return Err(InvalidParamsError(
+                    "confidence z must be positive and finite",
+                ));
             }
             if min_execs == 0 || max_execs < min_execs {
                 return Err(InvalidParamsError(
@@ -305,7 +346,11 @@ mod tests {
         assert_eq!(p.selection_threshold, 0.995);
         assert_eq!(
             p.eviction,
-            EvictionMode::Counter { up: 50, down: 1, threshold: 10_000 }
+            EvictionMode::Counter {
+                up: 50,
+                down: 1,
+                threshold: 10_000
+            }
         );
         assert_eq!(p.revisit, Revisit::After(1_000_000));
         assert_eq!(p.oscillation_limit, Some(5));
@@ -317,7 +362,14 @@ mod tests {
     fn scaled_preserves_structure() {
         let p = ControllerParams::scaled();
         assert!(p.validate().is_ok());
-        assert!(matches!(p.eviction, EvictionMode::Counter { up: 50, down: 1, .. }));
+        assert!(matches!(
+            p.eviction,
+            EvictionMode::Counter {
+                up: 50,
+                down: 1,
+                ..
+            }
+        ));
         assert_eq!(p.selection_threshold, 0.995);
         assert_eq!(p.oscillation_limit, Some(5));
     }
@@ -329,10 +381,17 @@ mod tests {
         assert_eq!(base.without_revisit().revisit, Revisit::Never);
         assert_eq!(
             base.with_lower_eviction_threshold().eviction,
-            EvictionMode::Counter { up: 50, down: 1, threshold: 1_000 }
+            EvictionMode::Counter {
+                up: 50,
+                down: 1,
+                threshold: 1_000
+            }
         );
         assert_eq!(base.with_monitor_sampling(8).monitor_sample_rate, 8);
-        assert_eq!(base.with_frequent_revisit().revisit, Revisit::After(100_000));
+        assert_eq!(
+            base.with_frequent_revisit().revisit,
+            Revisit::After(100_000)
+        );
         assert_eq!(base.with_latency(0).optimization_latency, 0);
         assert_eq!(base.with_monitor_period(1_000).monitor_period, 1_000);
     }
@@ -342,7 +401,11 @@ mod tests {
         let p = ControllerParams::table2().with_sampled_eviction();
         assert_eq!(
             p.eviction,
-            EvictionMode::Sampling { period: 10_000, samples: 1_000, bias_threshold: 0.98 }
+            EvictionMode::Sampling {
+                period: 10_000,
+                samples: 1_000,
+                bias_threshold: 0.98
+            }
         );
         assert!(p.validate().is_ok());
     }
@@ -369,11 +432,19 @@ mod tests {
         assert!(p.validate().is_err());
 
         let mut p = ControllerParams::table2();
-        p.eviction = EvictionMode::Counter { up: 0, down: 1, threshold: 10 };
+        p.eviction = EvictionMode::Counter {
+            up: 0,
+            down: 1,
+            threshold: 10,
+        };
         assert!(p.validate().is_err());
 
         let mut p = ControllerParams::table2();
-        p.eviction = EvictionMode::Sampling { period: 10, samples: 20, bias_threshold: 0.98 };
+        p.eviction = EvictionMode::Sampling {
+            period: 10,
+            samples: 20,
+            bias_threshold: 0.98,
+        };
         assert!(p.validate().is_err());
 
         let mut p = ControllerParams::table2();
@@ -388,11 +459,19 @@ mod tests {
     #[test]
     fn lower_threshold_never_drops_below_up() {
         let mut p = ControllerParams::table2();
-        p.eviction = EvictionMode::Counter { up: 50, down: 1, threshold: 100 };
+        p.eviction = EvictionMode::Counter {
+            up: 50,
+            down: 1,
+            threshold: 100,
+        };
         let lowered = p.with_lower_eviction_threshold();
         assert_eq!(
             lowered.eviction,
-            EvictionMode::Counter { up: 50, down: 1, threshold: 50 }
+            EvictionMode::Counter {
+                up: 50,
+                down: 1,
+                threshold: 50
+            }
         );
         assert!(lowered.validate().is_ok());
     }

@@ -1,0 +1,227 @@
+//! Bounded-memory transition logging.
+//!
+//! The controller historically pushed every [`TransitionEvent`] into an
+//! unbounded `Vec`, which is fine for 16M-event experiments but grows
+//! without limit on runs scaled toward the paper's 9–45B-instruction
+//! regime. [`TransitionLog`] keeps the per-kind counters exact under every
+//! policy while letting long runs cap (or drop) event storage.
+
+use crate::controller::{TransitionEvent, TransitionKind};
+
+/// How much of the transition stream a controller retains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionLogPolicy {
+    /// Keep every transition event (the historical default).
+    Full,
+    /// Keep no events, only the per-kind counters — O(1) memory, the right
+    /// choice for throughput runs.
+    CountsOnly,
+    /// Keep the most recent `n` events plus the counters — bounded memory
+    /// with a tail window for post-mortem analysis.
+    RingBuffer(usize),
+}
+
+/// A transition log with a retention policy and exact per-kind counters.
+///
+/// Counters are maintained under every policy, so
+/// [`count`](TransitionLog::count) is always the true number of
+/// transitions regardless of how many events are retained.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_control::translog::{TransitionLog, TransitionLogPolicy};
+/// use rsc_control::TransitionKind;
+///
+/// let log = TransitionLog::new(TransitionLogPolicy::CountsOnly);
+/// assert_eq!(log.count(TransitionKind::EnterBiased), 0);
+/// assert!(log.as_slice().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransitionLog {
+    policy: TransitionLogPolicy,
+    events: Vec<TransitionEvent>,
+    counts: [u64; TransitionKind::ALL.len()],
+}
+
+impl TransitionLog {
+    /// Creates an empty log with the given retention policy.
+    pub fn new(policy: TransitionLogPolicy) -> Self {
+        let capacity = match policy {
+            TransitionLogPolicy::Full => 0,
+            TransitionLogPolicy::CountsOnly => 0,
+            // Amortized ring: compact from 2n back to n (see `push`).
+            TransitionLogPolicy::RingBuffer(n) => 2 * n,
+        };
+        TransitionLog {
+            policy,
+            events: Vec::with_capacity(capacity),
+            counts: [0; TransitionKind::ALL.len()],
+        }
+    }
+
+    /// The active retention policy.
+    pub fn policy(&self) -> TransitionLogPolicy {
+        self.policy
+    }
+
+    /// Switches the retention policy. Tightening the policy drops already
+    /// retained events as needed; loosening it cannot recover dropped ones.
+    pub fn set_policy(&mut self, policy: TransitionLogPolicy) {
+        self.policy = policy;
+        match policy {
+            TransitionLogPolicy::Full => {}
+            TransitionLogPolicy::CountsOnly => self.events.clear(),
+            TransitionLogPolicy::RingBuffer(n) => {
+                let len = self.events.len();
+                if len > n {
+                    self.events.copy_within(len - n.., 0);
+                    self.events.truncate(n);
+                }
+            }
+        }
+    }
+
+    /// Records one transition (counters always; storage per policy).
+    #[inline]
+    pub fn push(&mut self, ev: TransitionEvent) {
+        self.counts[ev.kind.index()] += 1;
+        match self.policy {
+            TransitionLogPolicy::Full => self.events.push(ev),
+            TransitionLogPolicy::CountsOnly => {}
+            TransitionLogPolicy::RingBuffer(0) => {}
+            TransitionLogPolicy::RingBuffer(n) => {
+                // Amortized O(1): let the vec grow to 2n, then slide the
+                // most recent n back to the front.
+                if self.events.len() == 2 * n {
+                    self.events.copy_within(n.., 0);
+                    self.events.truncate(n);
+                }
+                self.events.push(ev);
+            }
+        }
+    }
+
+    /// The retained events, oldest first. `Full` returns everything,
+    /// `RingBuffer(n)` at most the last `n`, `CountsOnly` nothing.
+    pub fn as_slice(&self) -> &[TransitionEvent] {
+        match self.policy {
+            TransitionLogPolicy::RingBuffer(n) => {
+                &self.events[self.events.len().saturating_sub(n)..]
+            }
+            _ => &self.events,
+        }
+    }
+
+    /// Exact number of transitions of `kind` seen so far (independent of
+    /// retention).
+    pub fn count(&self, kind: TransitionKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Exact total number of transitions seen so far.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Returns `true` if no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+impl Default for TransitionLog {
+    fn default() -> Self {
+        TransitionLog::new(TransitionLogPolicy::Full)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_trace::BranchId;
+
+    fn ev(i: u64, kind: TransitionKind) -> TransitionEvent {
+        TransitionEvent {
+            branch: BranchId::new(0),
+            kind,
+            event_index: i,
+            instr: i * 10,
+            direction: None,
+        }
+    }
+
+    #[test]
+    fn full_retains_everything_in_order() {
+        let mut log = TransitionLog::new(TransitionLogPolicy::Full);
+        for i in 0..100 {
+            log.push(ev(i, TransitionKind::EnterBiased));
+        }
+        assert_eq!(log.len(), 100);
+        assert_eq!(log.as_slice()[0].event_index, 0);
+        assert_eq!(log.as_slice()[99].event_index, 99);
+        assert_eq!(log.count(TransitionKind::EnterBiased), 100);
+    }
+
+    #[test]
+    fn counts_only_counts_without_storing() {
+        let mut log = TransitionLog::new(TransitionLogPolicy::CountsOnly);
+        for i in 0..50 {
+            let kind = if i % 2 == 0 {
+                TransitionKind::EnterBiased
+            } else {
+                TransitionKind::ExitBiased
+            };
+            log.push(ev(i, kind));
+        }
+        assert!(log.is_empty());
+        assert_eq!(log.count(TransitionKind::EnterBiased), 25);
+        assert_eq!(log.count(TransitionKind::ExitBiased), 25);
+        assert_eq!(log.total(), 50);
+    }
+
+    #[test]
+    fn ring_buffer_keeps_exactly_the_tail() {
+        let mut log = TransitionLog::new(TransitionLogPolicy::RingBuffer(8));
+        for i in 0..1000 {
+            log.push(ev(i, TransitionKind::RevisitMonitor));
+            // Invariant at every step: the retained slice is the suffix.
+            let s = log.as_slice();
+            assert!(s.len() <= 8);
+            let lo = (i + 1).saturating_sub(8);
+            let expect: Vec<u64> = (lo..=i).collect();
+            let got: Vec<u64> = s.iter().map(|e| e.event_index).collect();
+            assert_eq!(got, expect, "after push {i}");
+        }
+        assert_eq!(log.count(TransitionKind::RevisitMonitor), 1000);
+    }
+
+    #[test]
+    fn ring_buffer_of_zero_stores_nothing() {
+        let mut log = TransitionLog::new(TransitionLogPolicy::RingBuffer(0));
+        for i in 0..10 {
+            log.push(ev(i, TransitionKind::Disabled));
+        }
+        assert!(log.is_empty());
+        assert_eq!(log.count(TransitionKind::Disabled), 10);
+    }
+
+    #[test]
+    fn set_policy_tightens_and_preserves_counts() {
+        let mut log = TransitionLog::new(TransitionLogPolicy::Full);
+        for i in 0..20 {
+            log.push(ev(i, TransitionKind::EnterUnbiased));
+        }
+        log.set_policy(TransitionLogPolicy::RingBuffer(5));
+        let got: Vec<u64> = log.as_slice().iter().map(|e| e.event_index).collect();
+        assert_eq!(got, vec![15, 16, 17, 18, 19]);
+        log.set_policy(TransitionLogPolicy::CountsOnly);
+        assert!(log.is_empty());
+        assert_eq!(log.count(TransitionKind::EnterUnbiased), 20);
+    }
+}

@@ -2,8 +2,7 @@
 //! speculation controller, and the defenses the paper builds in.
 
 use rsc_control::{
-    ControllerParams, EvictionMode, MonitorPolicy, ReactiveController, Revisit,
-    SpecDecision,
+    ControllerParams, EvictionMode, MonitorPolicy, ReactiveController, Revisit, SpecDecision,
 };
 use rsc_trace::{BranchId, BranchRecord};
 
@@ -13,7 +12,11 @@ fn tiny_params() -> ControllerParams {
         monitor_policy: MonitorPolicy::FixedWindow,
         monitor_sample_rate: 1,
         selection_threshold: 0.995,
-        eviction: EvictionMode::Counter { up: 50, down: 1, threshold: 500 },
+        eviction: EvictionMode::Counter {
+            up: 50,
+            down: 1,
+            threshold: 500,
+        },
         revisit: Revisit::After(1_000),
         oscillation_limit: Some(5),
         optimization_latency: 0,
@@ -30,7 +33,11 @@ fn drive(
     let mut incorrect = 0;
     for taken in outcomes {
         *instr += 5;
-        match ctl.observe(&BranchRecord { branch: BranchId::new(branch), taken, instr: *instr }) {
+        match ctl.observe(&BranchRecord {
+            branch: BranchId::new(branch),
+            taken,
+            instr: *instr,
+        }) {
             SpecDecision::Correct => correct += 1,
             SpecDecision::Incorrect => incorrect += 1,
             SpecDecision::NotSpeculated => {}
@@ -65,7 +72,10 @@ fn oscillation_storm_is_bounded() {
 /// Without the cap, the same storm generates unbounded re-optimization.
 #[test]
 fn oscillation_storm_without_cap_keeps_reoptimizing() {
-    let params = ControllerParams { oscillation_limit: None, ..tiny_params() };
+    let params = ControllerParams {
+        oscillation_limit: None,
+        ..tiny_params()
+    };
     let mut ctl = ReactiveController::new(params).unwrap();
     let mut instr = 0;
     for cycle in 0..100 {
@@ -76,7 +86,10 @@ fn oscillation_storm_without_cap_keeps_reoptimizing() {
     let evictions = ctl.evictions(BranchId::new(0));
     assert!(entries > 10, "entries {entries}");
     // Every entry except possibly the still-open last one gets evicted.
-    assert!(entries - evictions <= 1, "entries {entries} vs evictions {evictions}");
+    assert!(
+        entries - evictions <= 1,
+        "entries {entries} vs evictions {evictions}"
+    );
 }
 
 /// A branch that stays just under the eviction engagement rate: the
@@ -132,7 +145,11 @@ fn cold_branch_flood() {
     let mut instr = 0;
     for b in 0..50_000u32 {
         instr += 5;
-        let d = ctl.observe(&BranchRecord { branch: BranchId::new(b), taken: true, instr });
+        let d = ctl.observe(&BranchRecord {
+            branch: BranchId::new(b),
+            taken: true,
+            instr,
+        });
         assert_eq!(d, SpecDecision::NotSpeculated);
     }
     let s = ctl.stats();
@@ -146,7 +163,10 @@ fn cold_branch_flood() {
 /// normal eviction path rather than wedging.
 #[test]
 fn reversal_during_deployment_latency() {
-    let params = ControllerParams { optimization_latency: 10_000, ..tiny_params() };
+    let params = ControllerParams {
+        optimization_latency: 10_000,
+        ..tiny_params()
+    };
     let mut ctl = ReactiveController::new(params).unwrap();
     let mut instr = 0;
     // Selected as taken at instr ~500.
@@ -155,15 +175,16 @@ fn reversal_during_deployment_latency() {
     drive(&mut ctl, 0, std::iter::repeat_n(false, 1_000), &mut instr);
     // Deployment has happened by now (instr >> deadline); the stale code
     // misspeculates, the counter trips, and the branch is evicted.
-    let (_, incorrect) =
-        drive(&mut ctl, 0, std::iter::repeat_n(false, 2_000), &mut instr);
+    let (_, incorrect) = drive(&mut ctl, 0, std::iter::repeat_n(false, 2_000), &mut instr);
     assert!(incorrect > 0, "stale speculation must be observed");
     assert_eq!(ctl.evictions(BranchId::new(0)), 1);
     // Re-monitored and re-selected in the new direction.
     drive(&mut ctl, 0, std::iter::repeat_n(false, 3_000), &mut instr);
-    let (correct, _) =
-        drive(&mut ctl, 0, std::iter::repeat_n(false, 1_000), &mut instr);
-    assert!(correct > 0, "controller must re-learn the reversed direction");
+    let (correct, _) = drive(&mut ctl, 0, std::iter::repeat_n(false, 1_000), &mut instr);
+    assert!(
+        correct > 0,
+        "controller must re-learn the reversed direction"
+    );
 }
 
 /// Interleaving many branches does not leak state across them.
@@ -175,9 +196,17 @@ fn no_cross_branch_interference() {
     // random-ish; interleaved.
     for i in 0..30_000u64 {
         instr += 5;
-        ctl.observe(&BranchRecord { branch: BranchId::new(0), taken: true, instr });
+        ctl.observe(&BranchRecord {
+            branch: BranchId::new(0),
+            taken: true,
+            instr,
+        });
         instr += 5;
-        ctl.observe(&BranchRecord { branch: BranchId::new(1), taken: false, instr });
+        ctl.observe(&BranchRecord {
+            branch: BranchId::new(1),
+            taken: false,
+            instr,
+        });
         instr += 5;
         ctl.observe(&BranchRecord {
             branch: BranchId::new(2),

@@ -40,8 +40,14 @@ impl Cache {
     /// Panics if the geometry is degenerate (zero sizes, non-power-of-two
     /// block size, or fewer than one set).
     pub fn new(kib: u32, assoc: u32, block_bytes: u32) -> Self {
-        assert!(kib > 0 && assoc > 0 && block_bytes > 0, "cache geometry must be positive");
-        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            kib > 0 && assoc > 0 && block_bytes > 0,
+            "cache geometry must be positive"
+        );
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         let blocks = kib as u64 * 1024 / block_bytes as u64;
         let sets = (blocks / assoc as u64).max(1);
         assert!(sets.is_power_of_two(), "set count must be a power of two");

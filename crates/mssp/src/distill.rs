@@ -35,7 +35,10 @@ impl Distiller {
     /// The fraction of the feeding block removed when `branch` is
     /// speculated correctly.
     pub fn elim_frac(&self, branch: BranchId) -> f64 {
-        self.fracs.get(branch.index()).copied().unwrap_or(Self::ELIM_RANGE.0)
+        self.fracs
+            .get(branch.index())
+            .copied()
+            .unwrap_or(Self::ELIM_RANGE.0)
     }
 
     /// Number of branches covered.

@@ -127,8 +127,7 @@ pub fn run_mssp(
     seed: u64,
     params: &MsspParams,
 ) -> MsspResult {
-    let baseline_cycles =
-        run_baseline(population, input, events, seed, &params.machine);
+    let baseline_cycles = run_baseline(population, input, events, seed, &params.machine);
     let mut r = run_mssp_only(population, input, events, seed, params);
     r.baseline_cycles = baseline_cycles;
     r
@@ -149,14 +148,17 @@ pub fn run_mssp_only(
     seed: u64,
     params: &MsspParams,
 ) -> MsspResult {
-    assert!(params.task_events > 0, "tasks must contain at least one event");
+    assert!(
+        params.task_events > 0,
+        "tasks must contain at least one event"
+    );
     let machine = &params.machine;
     let mem = MemoryModel::for_benchmark(population.name());
 
     let baseline_cycles = 0u64;
 
-    let mut controller = ReactiveController::new(params.controller)
-        .expect("controller parameters must be valid");
+    let mut controller =
+        ReactiveController::new(params.controller).expect("controller parameters must be valid");
     controller.set_record_transitions(false);
     let distiller = Distiller::new(population.static_branches(), seed);
 
@@ -231,8 +233,7 @@ pub fn run_mssp_only(
             break;
         }
         tasks += 1;
-        master_time +=
-            master.cycles() - master_cycles_before + params.task_overhead_cycles;
+        master_time += master.cycles() - master_cycles_before + params.task_overhead_cycles;
 
         // ---- a trailing core verifies the task ----
         let verify_cycles = trail.cycles() - trail_cycles_before;
@@ -242,8 +243,7 @@ pub fn run_mssp_only(
             .min_by_key(|(_, &free)| free)
             .map(|(i, _)| i)
             .expect("at least one trailing core");
-        let start =
-            master_time.max(slave_free[slave]) + u64::from(machine.coherence_hop);
+        let start = master_time.max(slave_free[slave]) + u64::from(machine.coherence_hop);
         let done = start + verify_cycles;
         slave_free[slave] = done;
 
@@ -252,8 +252,7 @@ pub fn run_mssp_only(
             // Detection happens when the checker reaches the bad value;
             // the master then restarts from the trailing state and redoes
             // the task without the offending optimization.
-            let master_cpi = master_time as f64
-                / master.stats().instructions.max(1) as f64;
+            let master_cpi = master_time as f64 / master.stats().instructions.max(1) as f64;
             let reexec = (task_orig_instr as f64 * master_cpi.max(0.25)) as u64;
             master_time = done + params.recovery_cycles + reexec;
             last_commit = master_time;
@@ -295,14 +294,17 @@ mod tests {
             r.speedup(),
             r.distillation_ratio()
         );
-        assert!(r.distillation_ratio() > 0.10, "distilled {}", r.distillation_ratio());
+        assert!(
+            r.distillation_ratio() > 0.10,
+            "distilled {}",
+            r.distillation_ratio()
+        );
     }
 
     #[test]
     fn open_loop_is_slower_than_closed_loop() {
         let closed = MsspParams::new();
-        let open = MsspParams::new()
-            .with_controller(ControllerParams::scaled().without_eviction());
+        let open = MsspParams::new().with_controller(ControllerParams::scaled().without_eviction());
         // mcf has many behavior-changing branches in our models.
         let rc = run("mcf", 2_000_000, &closed);
         let ro = run("mcf", 2_000_000, &open);
@@ -346,10 +348,9 @@ mod tests {
     #[test]
     fn zero_latency_and_high_latency_are_close() {
         // The paper's Figure 8 claim, smoke-tested at small scale.
-        let fast = MsspParams::new()
-            .with_controller(ControllerParams::scaled().with_latency(0));
-        let slow = MsspParams::new()
-            .with_controller(ControllerParams::scaled().with_latency(100_000));
+        let fast = MsspParams::new().with_controller(ControllerParams::scaled().with_latency(0));
+        let slow =
+            MsspParams::new().with_controller(ControllerParams::scaled().with_latency(100_000));
         let rf = run("twolf", 400_000, &fast);
         let rs = run("twolf", 400_000, &slow);
         let ratio = rs.speedup() / rf.speedup();

@@ -30,7 +30,10 @@ impl Gshare {
     ///
     /// Panics if `counters` is not a power of two or is zero.
     pub fn new(counters: u32) -> Self {
-        assert!(counters.is_power_of_two() && counters > 0, "counter count must be a power of two");
+        assert!(
+            counters.is_power_of_two() && counters > 0,
+            "counter count must be a power of two"
+        );
         let bits = counters.trailing_zeros() as u64;
         Gshare {
             counters: vec![1; counters as usize], // weakly not-taken
@@ -75,7 +78,10 @@ impl ReturnAddressStack {
     /// Panics if `entries` is zero.
     pub fn new(entries: u32) -> Self {
         assert!(entries > 0, "RAS needs at least one entry");
-        ReturnAddressStack { stack: Vec::new(), capacity: entries as usize }
+        ReturnAddressStack {
+            stack: Vec::new(),
+            capacity: entries as usize,
+        }
     }
 
     /// Records a call's return address; overflow discards the oldest entry.
@@ -114,8 +120,14 @@ impl IndirectPredictor {
     ///
     /// Panics if `entries` is not a power of two or is zero.
     pub fn new(entries: u32) -> Self {
-        assert!(entries.is_power_of_two() && entries > 0, "entry count must be a power of two");
-        IndirectPredictor { targets: vec![0; entries as usize], mask: (entries - 1) as u64 }
+        assert!(
+            entries.is_power_of_two() && entries > 0,
+            "entry count must be a power of two"
+        );
+        IndirectPredictor {
+            targets: vec![0; entries as usize],
+            mask: (entries - 1) as u64,
+        }
     }
 
     /// Predicts the target of the indirect jump at `pc`, updates the table

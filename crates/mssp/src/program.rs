@@ -75,7 +75,11 @@ impl MemoryModel {
             "eon" => (128, 0.75),
             _ => (512, 0.60),
         };
-        MemoryModel { working_set_kib, hot_fraction, hot_kib: 16 }
+        MemoryModel {
+            working_set_kib,
+            hot_fraction,
+            hot_kib: 16,
+        }
     }
 }
 
@@ -161,7 +165,10 @@ impl<'a> ProgramStream<'a> {
                 let ret = pc + 4;
                 self.call_stack.push(ret);
                 self.pc = 0x40_0000 + self.rng.gen_range(1 << 16) * 4;
-                Instr::Call { pc, return_addr: ret }
+                Instr::Call {
+                    pc,
+                    return_addr: ret,
+                }
             } else if let Some(target) = self.call_stack.pop() {
                 self.pc = target;
                 Instr::Return { pc, target }
@@ -239,20 +246,43 @@ mod tests {
     #[test]
     fn mix_is_plausible() {
         let instrs = stream(20_000);
-        let loads = instrs.iter().filter(|i| matches!(i, Instr::Load { .. })).count();
-        let stores = instrs.iter().filter(|i| matches!(i, Instr::Store { .. })).count();
+        let loads = instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Load { .. }))
+            .count();
+        let stores = instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Store { .. }))
+            .count();
         let n = instrs.len() as f64;
-        assert!((loads as f64 / n - 0.22).abs() < 0.05, "load frac {}", loads as f64 / n);
-        assert!((stores as f64 / n - 0.10).abs() < 0.05, "store frac {}", stores as f64 / n);
+        assert!(
+            (loads as f64 / n - 0.22).abs() < 0.05,
+            "load frac {}",
+            loads as f64 / n
+        );
+        assert!(
+            (stores as f64 / n - 0.10).abs() < 0.05,
+            "store frac {}",
+            stores as f64 / n
+        );
     }
 
     #[test]
     fn calls_and_returns_are_balanced_enough() {
         let instrs = stream(50_000);
-        let calls = instrs.iter().filter(|i| matches!(i, Instr::Call { .. })).count() as i64;
-        let rets = instrs.iter().filter(|i| matches!(i, Instr::Return { .. })).count() as i64;
+        let calls = instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Call { .. }))
+            .count() as i64;
+        let rets = instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Return { .. }))
+            .count() as i64;
         assert!(calls > 0);
-        assert!((calls - rets).abs() <= 24, "calls {calls} vs returns {rets}");
+        assert!(
+            (calls - rets).abs() <= 24,
+            "calls {calls} vs returns {rets}"
+        );
     }
 
     #[test]

@@ -153,13 +153,20 @@ mod tests {
 
     fn leading() -> (CoreModel, Cache) {
         let m = machine();
-        (CoreModel::new(m.leading, &m), Cache::new(m.l2_kib, m.l2_assoc, m.block_bytes))
+        (
+            CoreModel::new(m.leading, &m),
+            Cache::new(m.l2_kib, m.l2_assoc, m.block_bytes),
+        )
     }
 
     fn branch(pc: u64, taken: bool) -> Instr {
         Instr::CondBranch {
             pc,
-            record: BranchRecord { branch: BranchId::new(0), taken, instr: 0 },
+            record: BranchRecord {
+                branch: BranchId::new(0),
+                taken,
+                instr: 0,
+            },
         }
     }
 
@@ -204,18 +211,34 @@ mod tests {
         let (mut core, mut l2) = leading();
         // 8 KiB working set fits the 64 KiB L1 (after cold misses).
         for i in 0..100_000u64 {
-            core.step(&Instr::Load { pc: 0, addr: (i % 128) * 64 }, &mut l2);
+            core.step(
+                &Instr::Load {
+                    pc: 0,
+                    addr: (i % 128) * 64,
+                },
+                &mut l2,
+            );
         }
         let s = core.stats();
         // Only the 128 cold misses pay.
-        assert!(s.memory_penalty < 128 * 210, "penalty: {}", s.memory_penalty);
+        assert!(
+            s.memory_penalty < 128 * 210,
+            "penalty: {}",
+            s.memory_penalty
+        );
     }
 
     #[test]
     fn streaming_loads_pay_memory_penalty() {
         let (mut core, mut l2) = leading();
         for i in 0..50_000u64 {
-            core.step(&Instr::Load { pc: 0, addr: i * 64 }, &mut l2);
+            core.step(
+                &Instr::Load {
+                    pc: 0,
+                    addr: i * 64,
+                },
+                &mut l2,
+            );
         }
         assert!(core.ipc() < 1.0, "ipc: {}", core.ipc());
         assert!(core.stats().memory_penalty > 50_000);
@@ -231,7 +254,10 @@ mod tests {
         // A mixed stream: ALU + streaming loads.
         for i in 0..20_000u64 {
             let instr = if i % 4 == 0 {
-                Instr::Load { pc: 0, addr: i * 64 }
+                Instr::Load {
+                    pc: 0,
+                    addr: i * 64,
+                }
             } else {
                 Instr::Alu { pc: 0 }
             };
@@ -245,8 +271,20 @@ mod tests {
     fn return_prediction_uses_ras() {
         let (mut core, mut l2) = leading();
         for i in 0..100u64 {
-            core.step(&Instr::Call { pc: i * 8, return_addr: i * 8 + 4 }, &mut l2);
-            core.step(&Instr::Return { pc: 0x9000, target: i * 8 + 4 }, &mut l2);
+            core.step(
+                &Instr::Call {
+                    pc: i * 8,
+                    return_addr: i * 8 + 4,
+                },
+                &mut l2,
+            );
+            core.step(
+                &Instr::Return {
+                    pc: 0x9000,
+                    target: i * 8 + 4,
+                },
+                &mut l2,
+            );
         }
         assert_eq!(core.stats().branch_penalty, 0);
     }

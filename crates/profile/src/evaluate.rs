@@ -131,7 +131,11 @@ mod tests {
     use rsc_trace::{BranchId, Direction};
 
     fn rec(b: u32, taken: bool, instr: u64) -> BranchRecord {
-        BranchRecord { branch: BranchId::new(b), taken, instr }
+        BranchRecord {
+            branch: BranchId::new(b),
+            taken,
+            instr,
+        }
     }
 
     #[test]
@@ -160,10 +164,7 @@ mod tests {
     fn fractions_and_distance() {
         let mut set = SpeculationSet::new();
         set.set(BranchId::new(0), Some(Direction::NotTaken));
-        let out = evaluate(
-            &set,
-            (0..10).map(|i| rec(0, i == 0, (i + 1) * 100)),
-        );
+        let out = evaluate(&set, (0..10).map(|i| rec(0, i == 0, (i + 1) * 100)));
         assert!((out.correct_frac() - 0.9).abs() < 1e-12);
         assert!((out.incorrect_frac() - 0.1).abs() < 1e-12);
         assert_eq!(out.misspec_distance(), Some(1000));
@@ -171,7 +172,12 @@ mod tests {
 
     #[test]
     fn no_misspecs_means_no_distance() {
-        let out = SpecOutcome { correct: 5, incorrect: 0, events: 5, instructions: 100 };
+        let out = SpecOutcome {
+            correct: 5,
+            incorrect: 0,
+            events: 5,
+            instructions: 100,
+        };
         assert_eq!(out.misspec_distance(), None);
     }
 
@@ -187,11 +193,7 @@ mod tests {
         let mut set = SpeculationSet::new();
         set.set(BranchId::new(0), Some(Direction::Taken));
         // 5 executions; first 3 are training.
-        let out = evaluate_after_training(
-            &set,
-            (0..5).map(|i| rec(0, true, i + 1)),
-            3,
-        );
+        let out = evaluate_after_training(&set, (0..5).map(|i| rec(0, true, i + 1)), 3);
         assert_eq!(out.correct, 2);
         assert_eq!(out.events, 5);
     }
@@ -213,8 +215,26 @@ mod tests {
 
     #[test]
     fn accumulate_sums_fields() {
-        let mut a = SpecOutcome { correct: 1, incorrect: 2, events: 3, instructions: 4 };
-        a.accumulate(&SpecOutcome { correct: 10, incorrect: 20, events: 30, instructions: 40 });
-        assert_eq!(a, SpecOutcome { correct: 11, incorrect: 22, events: 33, instructions: 44 });
+        let mut a = SpecOutcome {
+            correct: 1,
+            incorrect: 2,
+            events: 3,
+            instructions: 4,
+        };
+        a.accumulate(&SpecOutcome {
+            correct: 10,
+            incorrect: 20,
+            events: 30,
+            instructions: 40,
+        });
+        assert_eq!(
+            a,
+            SpecOutcome {
+                correct: 11,
+                incorrect: 22,
+                events: 33,
+                instructions: 44
+            }
+        );
     }
 }

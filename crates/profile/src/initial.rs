@@ -23,10 +23,7 @@ use rsc_trace::BranchRecord;
 ///     assert!(p.executions(i) <= 100);
 /// }
 /// ```
-pub fn initial_profile<I: IntoIterator<Item = BranchRecord>>(
-    trace: I,
-    n: u64,
-) -> BranchProfile {
+pub fn initial_profile<I: IntoIterator<Item = BranchRecord>>(trace: I, n: u64) -> BranchProfile {
     let mut profile = BranchProfile::new();
     let mut execs: Vec<u64> = Vec::new();
     for r in trace {
@@ -52,7 +49,11 @@ mod tests {
     use rsc_trace::BranchId;
 
     fn rec(b: u32, taken: bool, instr: u64) -> BranchRecord {
-        BranchRecord { branch: BranchId::new(b), taken, instr }
+        BranchRecord {
+            branch: BranchId::new(b),
+            taken,
+            instr,
+        }
     }
 
     #[test]

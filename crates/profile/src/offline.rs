@@ -58,8 +58,7 @@ pub fn cross_input_experiment(
     threshold: f64,
     min_execs: u64,
 ) -> CrossInputResult {
-    let eval_profile =
-        BranchProfile::from_trace(population.trace(InputId::Eval, events, seed));
+    let eval_profile = BranchProfile::from_trace(population.trace(InputId::Eval, events, seed));
     let train_profile =
         BranchProfile::from_trace(population.trace(InputId::Profile, events, seed + 1));
 
@@ -76,6 +75,13 @@ pub fn cross_input_experiment(
 /// one, modeling the "average together a number of profiles" mitigation the
 /// paper mentions: misspeculation drops, but input-dependent branches drop
 /// out of the speculation set, reducing opportunity.
+///
+/// The `k` shards are independent traces, so they are accumulated on up to
+/// [`rsc_util::parallel::max_threads`] worker threads (each through the
+/// chunked hot path) and merged in seed order. Because
+/// [`BranchProfile::merge`] only adds counts and takes maxima, the result
+/// is bit-identical to the sequential accumulation regardless of thread
+/// count.
 pub fn averaged_profile(
     population: &Population,
     events: u64,
@@ -83,14 +89,13 @@ pub fn averaged_profile(
     k: u32,
 ) -> BranchProfile {
     assert!(k > 0, "need at least one profile");
+    let seeds: Vec<u64> = (0..k).map(|i| base_seed + u64::from(i)).collect();
+    let shards = rsc_util::parallel::par_map(seeds, |seed| {
+        BranchProfile::from_trace_chunked(&mut population.trace(InputId::Profile, events, seed))
+    });
     let mut merged = BranchProfile::new();
-    for i in 0..k {
-        let p = BranchProfile::from_trace(population.trace(
-            InputId::Profile,
-            events,
-            base_seed + i as u64,
-        ));
-        merged.merge(&p);
+    for p in &shards {
+        merged.merge(p);
     }
     merged
 }
@@ -130,6 +135,30 @@ mod tests {
         let pop = spec2000::benchmark("gzip").unwrap().population(10_000);
         let p = averaged_profile(&pop, 10_000, 1, 3);
         assert_eq!(p.events(), 30_000);
+    }
+
+    #[test]
+    fn sharded_averaging_matches_sequential_reference() {
+        let pop = spec2000::benchmark("vortex").unwrap().population(20_000);
+        let reference = {
+            let mut merged = BranchProfile::new();
+            for i in 0..4u64 {
+                merged.merge(&BranchProfile::from_trace(pop.trace(
+                    InputId::Profile,
+                    20_000,
+                    9 + i,
+                )));
+            }
+            merged
+        };
+        let parallel = averaged_profile(&pop, 20_000, 9, 4);
+        assert_eq!(parallel, reference);
+
+        // And independent of the thread cap.
+        rsc_util::parallel::set_max_threads(1);
+        let capped = averaged_profile(&pop, 20_000, 9, 4);
+        rsc_util::parallel::set_max_threads(0);
+        assert_eq!(capped, reference);
     }
 
     #[test]

@@ -92,7 +92,10 @@ pub fn threshold_point(profile: &BranchProfile, threshold: f64) -> ParetoPoint {
             incorrect += n - c;
         }
     }
-    ParetoPoint { incorrect: incorrect as f64 / total, correct: correct as f64 / total }
+    ParetoPoint {
+        incorrect: incorrect as f64 / total,
+        correct: correct as f64 / total,
+    }
 }
 
 #[cfg(test)]
@@ -177,10 +180,8 @@ mod tests {
         let pt = threshold_point(&p, 0.99);
         let c = curve(&p);
         // The threshold point must coincide with some cumulative prefix.
-        assert!(c
-            .iter()
-            .any(|q| (q.correct - pt.correct).abs() < 1e-12
-                && (q.incorrect - pt.incorrect).abs() < 1e-12));
+        assert!(c.iter().any(|q| (q.correct - pt.correct).abs() < 1e-12
+            && (q.incorrect - pt.incorrect).abs() < 1e-12));
     }
 
     #[test]

@@ -52,6 +52,32 @@ impl BranchProfile {
         p
     }
 
+    /// Accumulates an entire trace through the chunked hot path
+    /// ([`rsc_trace::Trace::fill`] into a reusable buffer, then
+    /// [`record_chunk`](Self::record_chunk)).
+    ///
+    /// Bit-identical to [`from_trace`](Self::from_trace) on the same
+    /// trace; it is simply faster.
+    pub fn from_trace_chunked(trace: &mut rsc_trace::Trace<'_>) -> Self {
+        let mut p = BranchProfile::new();
+        let mut buf = vec![
+            BranchRecord {
+                branch: BranchId::new(0),
+                taken: false,
+                instr: 0
+            };
+            4096
+        ];
+        loop {
+            let n = trace.fill(&mut buf);
+            if n == 0 {
+                break;
+            }
+            p.record_chunk(&buf[..n]);
+        }
+        p
+    }
+
     /// Records one dynamic branch event.
     pub fn record(&mut self, r: &BranchRecord) {
         let idx = r.branch.index();
@@ -66,6 +92,32 @@ impl BranchProfile {
         }
         self.events += 1;
         self.instructions = self.instructions.max(r.instr);
+    }
+
+    /// Records a chunk of dynamic branch events.
+    ///
+    /// Equivalent to calling [`record`](Self::record) on each record in
+    /// order, but the count vectors are resized at most once per chunk and
+    /// the accumulation loop touches no capacity checks.
+    pub fn record_chunk(&mut self, records: &[BranchRecord]) {
+        let max_idx = records.iter().map(|r| r.branch.index()).max();
+        let Some(max_idx) = max_idx else { return };
+        if max_idx >= self.taken.len() {
+            self.taken.resize(max_idx + 1, 0);
+            self.not_taken.resize(max_idx + 1, 0);
+        }
+        let mut instructions = self.instructions;
+        for r in records {
+            let idx = r.branch.index();
+            if r.taken {
+                self.taken[idx] += 1;
+            } else {
+                self.not_taken[idx] += 1;
+            }
+            instructions = instructions.max(r.instr);
+        }
+        self.instructions = instructions;
+        self.events += records.len() as u64;
     }
 
     /// Merges another profile into this one (used for profile averaging).
@@ -148,7 +200,9 @@ impl BranchProfile {
 
     /// Number of branches that executed at least once.
     pub fn touched(&self) -> usize {
-        (0..self.taken.len()).filter(|&i| self.executions(i) > 0).count()
+        (0..self.taken.len())
+            .filter(|&i| self.executions(i) > 0)
+            .count()
     }
 
     /// Iterates over `(BranchId, executions, bias)` of touched branches.
@@ -169,7 +223,11 @@ mod tests {
     use super::*;
 
     fn rec(b: u32, taken: bool, instr: u64) -> BranchRecord {
-        BranchRecord { branch: BranchId::new(b), taken, instr }
+        BranchRecord {
+            branch: BranchId::new(b),
+            taken,
+            instr,
+        }
     }
 
     #[test]
@@ -235,6 +293,37 @@ mod tests {
         let p = BranchProfile::from_trace(vec![rec(0, true, 1), rec(4, false, 2)]);
         let ids: Vec<usize> = p.iter_touched().map(|(b, _, _)| b.index()).collect();
         assert_eq!(ids, vec![0, 4]);
+    }
+
+    #[test]
+    fn record_chunk_matches_per_record() {
+        let records: Vec<BranchRecord> = (0..500u64)
+            .map(|i| rec((i % 37) as u32, i % 3 == 0, i * 7))
+            .collect();
+        let mut per_record = BranchProfile::new();
+        for r in &records {
+            per_record.record(r);
+        }
+        for chunk_len in [1usize, 7, 64, 1000] {
+            let mut chunked = BranchProfile::new();
+            for chunk in records.chunks(chunk_len) {
+                chunked.record_chunk(chunk);
+            }
+            assert_eq!(chunked, per_record, "chunk {chunk_len}");
+        }
+        // Empty chunks are no-ops.
+        let mut p = per_record.clone();
+        p.record_chunk(&[]);
+        assert_eq!(p, per_record);
+    }
+
+    #[test]
+    fn from_trace_chunked_matches_from_trace() {
+        use rsc_trace::{spec2000, InputId};
+        let pop = spec2000::benchmark("twolf").unwrap().population(30_000);
+        let a = BranchProfile::from_trace(pop.trace(InputId::Eval, 30_000, 4));
+        let b = BranchProfile::from_trace_chunked(&mut pop.trace(InputId::Eval, 30_000, 4));
+        assert_eq!(a, b);
     }
 
     #[test]

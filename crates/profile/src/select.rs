@@ -113,7 +113,14 @@ mod tests {
     #[test]
     fn selects_only_biased_branches() {
         // Branch 0: 100% taken (4 execs). Branch 1: 50/50.
-        let p = profile_of(&[(0, true), (0, true), (0, true), (0, true), (1, true), (1, false)]);
+        let p = profile_of(&[
+            (0, true),
+            (0, true),
+            (0, true),
+            (0, true),
+            (1, true),
+            (1, false),
+        ]);
         let set = SpeculationSet::from_profile(&p, 0.99, 1);
         assert_eq!(set.decision(BranchId::new(0)), Some(Direction::Taken));
         assert_eq!(set.decision(BranchId::new(1)), None);

@@ -21,8 +21,15 @@ use crate::rng::Xoshiro256;
 /// ```
 #[derive(Debug, Clone)]
 pub struct AliasTable {
-    prob: Vec<f64>,
-    alias: Vec<u32>,
+    cells: Vec<AliasCell>,
+}
+
+/// One slot of the table: acceptance probability plus the alias target,
+/// kept together so a draw touches a single cache line.
+#[derive(Debug, Clone, Copy)]
+struct AliasCell {
+    prob: f64,
+    alias: u32,
 }
 
 /// Error returned when an [`AliasTable`] cannot be built.
@@ -64,7 +71,10 @@ impl AliasTable {
         let mut total = 0.0;
         for (i, &w) in weights.iter().enumerate() {
             if !w.is_finite() || w < 0.0 {
-                return Err(AliasError::InvalidWeight { index: i, weight: w });
+                return Err(AliasError::InvalidWeight {
+                    index: i,
+                    weight: w,
+                });
             }
             total += w;
         }
@@ -103,28 +113,34 @@ impl AliasTable {
             prob[s as usize] = 1.0;
         }
 
-        Ok(AliasTable { prob, alias })
+        let cells = prob
+            .into_iter()
+            .zip(alias)
+            .map(|(prob, alias)| AliasCell { prob, alias })
+            .collect();
+        Ok(AliasTable { cells })
     }
 
     /// Returns the number of outcomes.
     pub fn len(&self) -> usize {
-        self.prob.len()
+        self.cells.len()
     }
 
     /// Returns `true` if the table has no outcomes (never true for a
     /// successfully constructed table).
     pub fn is_empty(&self) -> bool {
-        self.prob.is_empty()
+        self.cells.is_empty()
     }
 
     /// Draws one index according to the weight distribution.
     #[inline]
     pub fn sample(&self, rng: &mut Xoshiro256) -> u32 {
-        let i = rng.gen_range(self.prob.len() as u64) as usize;
-        if rng.next_f64() < self.prob[i] {
+        let i = rng.gen_range(self.cells.len() as u64) as usize;
+        let c = self.cells[i];
+        if rng.next_f64() < c.prob {
             i as u32
         } else {
-            self.alias[i]
+            c.alias
         }
     }
 }

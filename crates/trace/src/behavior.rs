@@ -130,7 +130,13 @@ impl Behavior {
                     1.0
                 }
             }
-            Behavior::PeriodicBurst { base, burst, period, burst_len, phase } => {
+            Behavior::PeriodicBurst {
+                base,
+                burst,
+                period,
+                burst_len,
+                phase,
+            } => {
                 if *period == 0 {
                     return *base;
                 }
@@ -141,7 +147,10 @@ impl Behavior {
                     *base
                 }
             }
-            Behavior::Grouped { in_phase, out_phase } => {
+            Behavior::Grouped {
+                in_phase,
+                out_phase,
+            } => {
                 if group_active {
                     *in_phase
                 } else {
@@ -167,8 +176,14 @@ impl Behavior {
     pub fn flip(before: f64, after: f64, flip_at: u64) -> Behavior {
         Behavior::MultiPhase {
             phases: vec![
-                Phase { len: flip_at, p_taken: before },
-                Phase { len: u64::MAX, p_taken: after },
+                Phase {
+                    len: flip_at,
+                    p_taken: before,
+                },
+                Phase {
+                    len: u64::MAX,
+                    p_taken: after,
+                },
             ],
         }
     }
@@ -189,9 +204,18 @@ mod tests {
     fn multiphase_boundaries_are_half_open() {
         let b = Behavior::MultiPhase {
             phases: vec![
-                Phase { len: 10, p_taken: 1.0 },
-                Phase { len: 10, p_taken: 0.0 },
-                Phase { len: u64::MAX, p_taken: 0.5 },
+                Phase {
+                    len: 10,
+                    p_taken: 1.0,
+                },
+                Phase {
+                    len: 10,
+                    p_taken: 0.0,
+                },
+                Phase {
+                    len: u64::MAX,
+                    p_taken: 0.5,
+                },
             ],
         };
         assert_eq!(b.p_taken(0, false), 1.0);
@@ -206,8 +230,14 @@ mod tests {
     fn multiphase_saturating_lengths_do_not_overflow() {
         let b = Behavior::MultiPhase {
             phases: vec![
-                Phase { len: u64::MAX, p_taken: 0.9 },
-                Phase { len: u64::MAX, p_taken: 0.1 },
+                Phase {
+                    len: u64::MAX,
+                    p_taken: 0.9,
+                },
+                Phase {
+                    len: u64::MAX,
+                    p_taken: 0.1,
+                },
             ],
         };
         assert_eq!(b.p_taken(u64::MAX - 1, false), 0.9);
@@ -222,7 +252,11 @@ mod tests {
 
     #[test]
     fn drift_interpolates_linearly() {
-        let b = Behavior::Drift { start: 1.0, end: 0.0, over: 100 };
+        let b = Behavior::Drift {
+            start: 1.0,
+            end: 0.0,
+            over: 100,
+        };
         assert_eq!(b.p_taken(0, false), 1.0);
         assert!((b.p_taken(50, false) - 0.5).abs() < 1e-12);
         assert_eq!(b.p_taken(100, false), 0.0);
@@ -231,7 +265,11 @@ mod tests {
 
     #[test]
     fn drift_zero_length_is_end_value() {
-        let b = Behavior::Drift { start: 0.9, end: 0.2, over: 0 };
+        let b = Behavior::Drift {
+            start: 0.9,
+            end: 0.2,
+            over: 0,
+        };
         assert_eq!(b.p_taken(0, false), 0.2);
     }
 
@@ -248,7 +286,13 @@ mod tests {
 
     #[test]
     fn periodic_burst_cycles() {
-        let b = Behavior::PeriodicBurst { base: 0.99, burst: 0.1, period: 10, burst_len: 2, phase: 0 };
+        let b = Behavior::PeriodicBurst {
+            base: 0.99,
+            burst: 0.1,
+            period: 10,
+            burst_len: 2,
+            phase: 0,
+        };
         assert_eq!(b.p_taken(0, false), 0.1);
         assert_eq!(b.p_taken(1, false), 0.1);
         assert_eq!(b.p_taken(2, false), 0.99);
@@ -258,13 +302,22 @@ mod tests {
 
     #[test]
     fn periodic_burst_degenerate_period() {
-        let b = Behavior::PeriodicBurst { base: 0.7, burst: 0.1, period: 0, burst_len: 5, phase: 0 };
+        let b = Behavior::PeriodicBurst {
+            base: 0.7,
+            burst: 0.1,
+            period: 0,
+            burst_len: 5,
+            phase: 0,
+        };
         assert_eq!(b.p_taken(3, false), 0.7);
     }
 
     #[test]
     fn grouped_follows_group_phase() {
-        let b = Behavior::Grouped { in_phase: 0.99, out_phase: 0.3 };
+        let b = Behavior::Grouped {
+            in_phase: 0.99,
+            out_phase: 0.3,
+        };
         assert_eq!(b.p_taken(0, true), 0.99);
         assert_eq!(b.p_taken(0, false), 0.3);
     }

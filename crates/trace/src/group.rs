@@ -49,11 +49,18 @@ impl GroupSchedule {
     pub fn new(boundaries: Vec<f64>) -> Result<Self, InvalidScheduleError> {
         for pair in boundaries.windows(2) {
             if pair[0] >= pair[1] {
-                return Err(InvalidScheduleError { what: "boundaries must be strictly increasing" });
+                return Err(InvalidScheduleError {
+                    what: "boundaries must be strictly increasing",
+                });
             }
         }
-        if boundaries.iter().any(|&b| !(0.0..1.0).contains(&b) || b == 0.0) {
-            return Err(InvalidScheduleError { what: "boundaries must lie in (0, 1)" });
+        if boundaries
+            .iter()
+            .any(|&b| !(0.0..1.0).contains(&b) || b == 0.0)
+        {
+            return Err(InvalidScheduleError {
+                what: "boundaries must lie in (0, 1)",
+            });
         }
         Ok(GroupSchedule { boundaries })
     }

@@ -135,10 +135,7 @@ mod tests {
 
     #[test]
     fn input_stream_ids_are_distinct() {
-        assert_ne!(
-            InputId::Profile.stream_id(),
-            InputId::Eval.stream_id()
-        );
+        assert_ne!(InputId::Profile.stream_id(), InputId::Eval.stream_id());
     }
 
     #[test]

@@ -168,7 +168,11 @@ mod tests {
     use super::*;
 
     fn rec(b: u32, taken: bool, instr: u64) -> BranchRecord {
-        BranchRecord { branch: BranchId::new(b), taken, instr }
+        BranchRecord {
+            branch: BranchId::new(b),
+            taken,
+            instr,
+        }
     }
 
     #[test]
@@ -189,7 +193,9 @@ mod tests {
     #[test]
     fn encoding_is_compact() {
         // 10k events with small deltas should take only a few bytes each.
-        let events: Vec<_> = (0..10_000u64).map(|i| rec((i % 64) as u32, i % 3 == 0, (i + 1) * 6)).collect();
+        let events: Vec<_> = (0..10_000u64)
+            .map(|i| rec((i % 64) as u32, i % 3 == 0, (i + 1) * 6))
+            .collect();
         let mut buf = Vec::new();
         write_trace(&mut buf, events.iter().copied()).unwrap();
         assert!(buf.len() < 10_000 * 4, "encoded size {} bytes", buf.len());
@@ -228,10 +234,7 @@ mod tests {
 
     #[test]
     fn roundtrip_large_values() {
-        let events = vec![
-            rec(u32::MAX, true, 1),
-            rec(0, false, u64::MAX / 4),
-        ];
+        let events = vec![rec(u32::MAX, true, 1), rec(0, false, u64::MAX / 4)];
         let mut buf = Vec::new();
         write_trace(&mut buf, events.iter().copied()).unwrap();
         assert_eq!(read_trace(&mut buf.as_slice()).unwrap(), events);

@@ -66,8 +66,7 @@ impl BenchmarkModel {
         let mut rng = Xoshiro256::seed_from(self.seed).fork(POP_STREAM);
         let total_share: f64 = self.groups.iter().map(|g| g.weight_share).sum();
         assert!(total_share > 0.0, "model has no dynamic weight");
-        let mut branches =
-            Vec::with_capacity(self.static_branches() as usize);
+        let mut branches = Vec::with_capacity(self.static_branches() as usize);
         for group in &self.groups {
             instantiate_group(
                 group,
@@ -111,7 +110,12 @@ impl Population {
     ) -> Self {
         assert!(!branches.is_empty(), "population needs at least one branch");
         assert!(instr_per_branch >= 1, "instr_per_branch must be at least 1");
-        Population { name, instr_per_branch, branches, phase_groups }
+        Population {
+            name,
+            instr_per_branch,
+            branches,
+            phase_groups,
+        }
     }
 
     /// Benchmark name.
@@ -141,7 +145,10 @@ impl Population {
 
     /// Returns the number of branches with nonzero weight on `input`.
     pub fn touched_on(&self, input: InputId) -> usize {
-        self.branches.iter().filter(|b| b.weight(input) > 0.0).count()
+        self.branches
+            .iter()
+            .filter(|b| b.weight(input) > 0.0)
+            .count()
     }
 
     /// Creates a deterministic trace of `events` branch events on `input`.

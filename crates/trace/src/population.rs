@@ -140,8 +140,14 @@ impl Archetype {
         match self {
             Archetype::StableBiased { bias }
             | Archetype::Moderate { bias }
-            | Archetype::Unbiased { bias } => Behavior::Fixed { p_taken: draw(rng, *bias) },
-            Archetype::LateFlip { initial, flip_frac, after } => {
+            | Archetype::Unbiased { bias } => Behavior::Fixed {
+                p_taken: draw(rng, *bias),
+            },
+            Archetype::LateFlip {
+                initial,
+                flip_frac,
+                after,
+            } => {
                 let before = draw(rng, *initial);
                 let flip_at = (draw(rng, *flip_frac) * execs) as u64;
                 let choice = &after[rng.gen_range(after.len() as u64) as usize];
@@ -152,7 +158,12 @@ impl Archetype {
                 };
                 Behavior::flip(before, post, flip_at.max(1))
             }
-            Archetype::Rebias { bias, dip, first_end, dip_len } => {
+            Archetype::Rebias {
+                bias,
+                dip,
+                first_end,
+                dip_len,
+            } => {
                 let b1 = draw(rng, *bias);
                 let b2 = draw(rng, *bias);
                 let d = draw(rng, *dip);
@@ -160,13 +171,26 @@ impl Archetype {
                 let dlen = (draw(rng, *dip_len) * execs) as u64;
                 Behavior::MultiPhase {
                     phases: vec![
-                        Phase { len: end1.max(1), p_taken: b1 },
-                        Phase { len: dlen.max(1), p_taken: d },
-                        Phase { len: u64::MAX, p_taken: b2 },
+                        Phase {
+                            len: end1.max(1),
+                            p_taken: b1,
+                        },
+                        Phase {
+                            len: dlen.max(1),
+                            p_taken: d,
+                        },
+                        Phase {
+                            len: u64::MAX,
+                            p_taken: b2,
+                        },
                     ],
                 }
             }
-            Archetype::LateBias { before, start_frac, bias } => {
+            Archetype::LateBias {
+                before,
+                start_frac,
+                bias,
+            } => {
                 let pre = draw(rng, *before);
                 let start = (draw(rng, *start_frac) * execs) as u64;
                 let post = draw(rng, *bias);
@@ -183,7 +207,11 @@ impl Archetype {
                 };
                 Behavior::Induction { flip_at }
             }
-            Archetype::Oscillator { period_frac, high, low } => {
+            Archetype::Oscillator {
+                period_frac,
+                high,
+                low,
+            } => {
                 // The pathological oscillators re-enter the biased state
                 // quickly after every eviction: mostly-biased behavior with
                 // short recurring bursts of misbehavior. Each burst is long
@@ -202,7 +230,12 @@ impl Archetype {
                     phase: burst_len,
                 }
             }
-            Archetype::Bursty { base, burst, period_frac, burst_len_frac } => {
+            Archetype::Bursty {
+                base,
+                burst,
+                period_frac,
+                burst_len_frac,
+            } => {
                 let period = ((draw(rng, *period_frac) * execs) as u64).max(4);
                 let burst_len = ((draw(rng, *burst_len_frac) * period as f64) as u64).max(1);
                 Behavior::PeriodicBurst {
@@ -318,8 +351,7 @@ pub(crate) fn instantiate_group(
         let u = rng.next_f64();
         // Mutually exclusive coverage classes drawn from one uniform.
         let eval_only = u < group.eval_only_frac;
-        let profile_only =
-            !eval_only && u < group.eval_only_frac + group.profile_only_frac;
+        let profile_only = !eval_only && u < group.eval_only_frac + group.profile_only_frac;
         let spec = StaticBranchSpec {
             behavior,
             eval_weight: if profile_only { 0.0 } else { w },
@@ -420,7 +452,10 @@ mod tests {
         instantiate_group(&g, &mut rng(), 1.0, 1_000_000, 0, &mut out);
         assert_eq!(out.len(), 10);
         let total: f64 = out.iter().map(|b| b.eval_weight).sum();
-        assert!((total - 0.5).abs() < 1e-9, "weights should sum to share, got {total}");
+        assert!(
+            (total - 0.5).abs() < 1e-9,
+            "weights should sum to share, got {total}"
+        );
         // Zipf: first branch hottest.
         assert!(out[0].eval_weight > out[9].eval_weight);
     }
@@ -467,7 +502,10 @@ mod tests {
             6,
             0.1,
             0.0,
-            Archetype::GroupFlip { biased: (0.996, 1.0), degraded: (0.2, 0.6) },
+            Archetype::GroupFlip {
+                biased: (0.996, 1.0),
+                degraded: (0.2, 0.6),
+            },
         )
         .with_phase_groups();
         let mut out = Vec::new();

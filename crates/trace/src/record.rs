@@ -96,9 +96,17 @@ mod tests {
 
     #[test]
     fn record_direction_matches_taken_flag() {
-        let r = BranchRecord { branch: BranchId::new(1), taken: true, instr: 0 };
+        let r = BranchRecord {
+            branch: BranchId::new(1),
+            taken: true,
+            instr: 0,
+        };
         assert_eq!(r.direction(), Direction::Taken);
-        let r = BranchRecord { branch: BranchId::new(1), taken: false, instr: 0 };
+        let r = BranchRecord {
+            branch: BranchId::new(1),
+            taken: false,
+            instr: 0,
+        };
         assert_eq!(r.direction(), Direction::NotTaken);
     }
 

@@ -93,7 +93,9 @@ fn build(mix: Mix) -> BenchmarkModel {
                 n,
                 share,
                 0.6,
-                Archetype::Moderate { bias: (0.90, 0.985) },
+                Archetype::Moderate {
+                    bias: (0.90, 0.985),
+                },
             )
             .with_profile_only(0.05),
         );
@@ -196,7 +198,10 @@ fn build(mix: Mix) -> BenchmarkModel {
                 n,
                 share,
                 0.3,
-                Archetype::GroupFlip { biased: (0.997, 1.0), degraded: (0.25, 0.70) },
+                Archetype::GroupFlip {
+                    biased: (0.997, 1.0),
+                    degraded: (0.25, 0.70),
+                },
             )
             .with_phase_groups(),
         );
@@ -258,8 +263,8 @@ pub fn benchmark(name: &str) -> Option<BenchmarkModel> {
 
 /// Names of all twelve benchmarks, in the paper's order.
 pub const NAMES: [&str; 12] = [
-    "bzip2", "crafty", "eon", "gap", "gcc", "gzip", "mcf", "parser", "perl",
-    "twolf", "vortex", "vpr",
+    "bzip2", "crafty", "eon", "gap", "gcc", "gzip", "mcf", "parser", "perl", "twolf", "vortex",
+    "vpr",
 ];
 
 /// Returns all twelve benchmark models, in the paper's order.
@@ -282,7 +287,17 @@ pub fn all() -> Vec<BenchmarkModel> {
             groups: vec![vec![0.45, 0.80]],
             input_dep: 0.004,
             eval_only: 0.55,
-            paper: paper("input.compressed", "input.source 10", 19, 282, 109, 6, 15, 44.1, 26_400),
+            paper: paper(
+                "input.compressed",
+                "input.source 10",
+                19,
+                282,
+                109,
+                6,
+                15,
+                44.1,
+                26_400,
+            ),
         }),
         build(Mix {
             name: "crafty",
@@ -301,7 +316,17 @@ pub fn all() -> Vec<BenchmarkModel> {
             groups: vec![vec![0.30], vec![0.01, 0.60, 0.85]],
             input_dep: 0.02,
             eval_only: 0.55,
-            paper: paper("ponder=on ver 0", "ponder=off ver 5 sd=12", 45, 1124, 396, 138, 276, 25.1, 109_366),
+            paper: paper(
+                "ponder=on ver 0",
+                "ponder=off ver 5 sd=12",
+                45,
+                1124,
+                396,
+                138,
+                276,
+                25.1,
+                109_366,
+            ),
         }),
         build(Mix {
             name: "eon",
@@ -320,7 +345,17 @@ pub fn all() -> Vec<BenchmarkModel> {
             groups: vec![vec![0.55]],
             input_dep: 0.002,
             eval_only: 0.50,
-            paper: paper("rushmeier input", "kajiya input", 9, 403, 95, 3, 3, 38.3, 105_552),
+            paper: paper(
+                "rushmeier input",
+                "kajiya input",
+                9,
+                403,
+                95,
+                3,
+                3,
+                38.3,
+                105_552,
+            ),
         }),
         build(Mix {
             name: "gap",
@@ -339,7 +374,17 @@ pub fn all() -> Vec<BenchmarkModel> {
             groups: vec![vec![0.25, 0.60], vec![0.01, 0.50]],
             input_dep: 0.007,
             eval_only: 0.55,
-            paper: paper("(test input)", "(train input)", 10, 3011, 1045, 167, 201, 52.5, 36_728),
+            paper: paper(
+                "(test input)",
+                "(train input)",
+                10,
+                3011,
+                1045,
+                167,
+                201,
+                52.5,
+                36_728,
+            ),
         }),
         build(Mix {
             name: "gcc",
@@ -358,7 +403,17 @@ pub fn all() -> Vec<BenchmarkModel> {
             groups: vec![vec![0.40]],
             input_dep: 0.005,
             eval_only: 0.65,
-            paper: paper("-O0 cp-decl.i", "-O3 integrate.i", 13, 7943, 2068, 11, 12, 66.3, 20_802),
+            paper: paper(
+                "-O0 cp-decl.i",
+                "-O3 integrate.i",
+                13,
+                7943,
+                2068,
+                11,
+                12,
+                66.3,
+                20_802,
+            ),
         }),
         build(Mix {
             name: "gzip",
@@ -377,7 +432,17 @@ pub fn all() -> Vec<BenchmarkModel> {
             groups: vec![vec![0.50]],
             input_dep: 0.004,
             eval_only: 0.50,
-            paper: paper("input.compressed 4", "input.source 10", 14, 314, 66, 7, 12, 35.4, 43_043),
+            paper: paper(
+                "input.compressed 4",
+                "input.source 10",
+                14,
+                314,
+                66,
+                7,
+                12,
+                35.4,
+                43_043,
+            ),
         }),
         build(Mix {
             name: "mcf",
@@ -396,7 +461,17 @@ pub fn all() -> Vec<BenchmarkModel> {
             groups: vec![vec![0.35, 0.70]],
             input_dep: 0.004,
             eval_only: 0.45,
-            paper: paper("(test input)", "(train input)", 9, 366, 210, 22, 47, 33.6, 12_896),
+            paper: paper(
+                "(test input)",
+                "(train input)",
+                9,
+                366,
+                210,
+                22,
+                47,
+                33.6,
+                12_896,
+            ),
         }),
         build(Mix {
             name: "parser",
@@ -415,7 +490,17 @@ pub fn all() -> Vec<BenchmarkModel> {
             groups: vec![vec![0.45]],
             input_dep: 0.015,
             eval_only: 0.55,
-            paper: paper("(test input)", "(train input)", 13, 1552, 284, 53, 124, 26.3, 50_643),
+            paper: paper(
+                "(test input)",
+                "(train input)",
+                13,
+                1552,
+                284,
+                53,
+                124,
+                26.3,
+                50_643,
+            ),
         }),
         build(Mix {
             name: "perl",
@@ -434,7 +519,17 @@ pub fn all() -> Vec<BenchmarkModel> {
             groups: vec![vec![0.30, 0.65], vec![0.01, 0.45]],
             input_dep: 0.015,
             eval_only: 0.62,
-            paper: paper("scrabbl.pl", "diffmail.pl", 35, 1968, 1075, 58, 64, 63.4, 55_382),
+            paper: paper(
+                "scrabbl.pl",
+                "diffmail.pl",
+                35,
+                1968,
+                1075,
+                58,
+                64,
+                63.4,
+                55_382,
+            ),
         }),
         build(Mix {
             name: "twolf",
@@ -453,7 +548,17 @@ pub fn all() -> Vec<BenchmarkModel> {
             groups: vec![vec![0.50]],
             input_dep: 0.004,
             eval_only: 0.50,
-            paper: paper("(train input) fast 3", "(ref input) fast 1", 36, 1542, 440, 19, 22, 32.1, 165_711),
+            paper: paper(
+                "(train input) fast 3",
+                "(ref input) fast 1",
+                36,
+                1542,
+                440,
+                19,
+                22,
+                32.1,
+                165_711,
+            ),
         }),
         build(Mix {
             name: "vortex",
@@ -479,7 +584,17 @@ pub fn all() -> Vec<BenchmarkModel> {
             ],
             input_dep: 0.004,
             eval_only: 0.50,
-            paper: paper("(train input)", "(reduced ref input)", 32, 3484, 1671, 67, 104, 88.5, 92_163),
+            paper: paper(
+                "(train input)",
+                "(reduced ref input)",
+                32,
+                3484,
+                1671,
+                67,
+                104,
+                88.5,
+                92_163,
+            ),
         }),
         build(Mix {
             name: "vpr",
@@ -498,7 +613,17 @@ pub fn all() -> Vec<BenchmarkModel> {
             groups: vec![vec![0.40], vec![0.01, 0.65]],
             input_dep: 0.015,
             eval_only: 0.50,
-            paper: paper("-bend_cost 2.0", "-bend_cost 1.0", 21, 758, 340, 16, 38, 31.6, 65_588),
+            paper: paper(
+                "-bend_cost 2.0",
+                "-bend_cost 1.0",
+                21,
+                758,
+                340,
+                16,
+                38,
+                31.6,
+                65_588,
+            ),
         }),
     ]
 }

@@ -119,7 +119,11 @@ mod tests {
     use crate::ids::BranchId;
 
     fn rec(branch: u32, taken: bool, instr: u64) -> BranchRecord {
-        BranchRecord { branch: BranchId::new(branch), taken, instr }
+        BranchRecord {
+            branch: BranchId::new(branch),
+            taken,
+            instr,
+        }
     }
 
     #[test]

@@ -64,7 +64,10 @@ impl ValueWorkloadSpec {
     ///
     /// Panics if the spec has no sites.
     pub fn population(&self, events_hint: u64) -> Population {
-        assert!(self.total_sites() > 0, "value workload needs at least one site");
+        assert!(
+            self.total_sites() > 0,
+            "value workload needs at least one site"
+        );
         let mut rng = Xoshiro256::seed_from(self.seed);
         let mut branches = Vec::with_capacity(self.total_sites() as usize);
         type MakeBehavior = fn(&mut Xoshiro256, u64) -> Behavior;
@@ -72,19 +75,27 @@ impl ValueWorkloadSpec {
             (self.invariant_sites, 0.45, |rng, _| Behavior::Fixed {
                 p_taken: rng.gen_range_f64(0.998, 1.0),
             }),
-            (self.mostly_invariant_sites, 0.20, |rng, _| Behavior::Fixed {
-                p_taken: rng.gen_range_f64(0.95, 0.995),
+            (self.mostly_invariant_sites, 0.20, |rng, _| {
+                Behavior::Fixed {
+                    p_taken: rng.gen_range_f64(0.95, 0.995),
+                }
             }),
             (self.phase_change_sites, 0.10, |rng, execs| {
                 let flip = (rng.gen_range_f64(0.2, 0.7) * execs.max(4) as f64) as u64;
                 Behavior::MultiPhase {
                     phases: vec![
-                        Phase { len: flip.max(1), p_taken: rng.gen_range_f64(0.998, 1.0) },
+                        Phase {
+                            len: flip.max(1),
+                            p_taken: rng.gen_range_f64(0.998, 1.0),
+                        },
                         // After the change the *old* prediction misses until
                         // re-learned; a last-value predictor then conforms
                         // again, so post-flip conformance is high but the
                         // transition is a hard break.
-                        Phase { len: u64::MAX, p_taken: rng.gen_range_f64(0.0, 0.05) },
+                        Phase {
+                            len: u64::MAX,
+                            p_taken: rng.gen_range_f64(0.0, 0.05),
+                        },
                     ],
                 }
             }),
@@ -134,10 +145,7 @@ mod tests {
         // A large fraction of dynamic loads sit on highly conformant sites,
         // as with branch bias in Figure 2.
         let coverage = stats.dynamic_coverage_at_bias(0.99);
-        assert!(
-            coverage > 0.3,
-            "invariant-value coverage {coverage:.2}"
-        );
+        assert!(coverage > 0.3, "invariant-value coverage {coverage:.2}");
     }
 
     #[test]

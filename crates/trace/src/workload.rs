@@ -1,10 +1,31 @@
 //! Trace generation: turning a [`Population`] into a dynamic event stream.
 
 use crate::alias::AliasTable;
+use crate::behavior::Behavior;
 use crate::ids::{BranchId, InputId};
 use crate::model::Population;
 use crate::record::BranchRecord;
 use crate::rng::Xoshiro256;
+
+/// Per-branch fast-path dispatch, precomputed at trace construction so the
+/// per-event loop does not re-match the full [`Behavior`] enum for the
+/// overwhelmingly common stationary branches.
+#[derive(Debug, Clone, Copy)]
+enum OutcomeDispatch {
+    /// Stationary probability: no execution-index or group dependence.
+    Fixed(f64),
+    /// Anything else: evaluate the behavior per event.
+    General,
+}
+
+/// Hot per-branch state, merged into one record so the per-event loop does
+/// a single indexed load instead of walking three parallel arrays.
+#[derive(Debug, Clone, Copy)]
+struct HotBranch {
+    exec: u64,
+    dispatch: OutcomeDispatch,
+    inverted: bool,
+}
 
 /// A deterministic iterator over [`BranchRecord`]s.
 ///
@@ -33,12 +54,11 @@ pub struct Trace<'a> {
     /// Maps sampler indexes back to branch ids (branches with zero weight on
     /// this input are excluded from the sampler).
     index_map: Vec<u32>,
-    exec_counts: Vec<u64>,
+    hot: Vec<HotBranch>,
     group_active: Vec<bool>,
     /// Sorted (event_index, group) toggle points.
     group_toggles: Vec<(u64, u16)>,
     toggle_cursor: usize,
-    inverted: Vec<bool>,
     events: u64,
     emitted: u64,
     instr: u64,
@@ -53,12 +73,7 @@ impl<'a> Trace<'a> {
     /// # Panics
     ///
     /// Panics if no branch has positive weight on `input`.
-    pub(crate) fn new(
-        population: &'a Population,
-        input: InputId,
-        events: u64,
-        seed: u64,
-    ) -> Self {
+    pub(crate) fn new(population: &'a Population, input: InputId, events: u64, seed: u64) -> Self {
         let mut weights = Vec::new();
         let mut index_map = Vec::new();
         for (i, b) in population.branches().iter().enumerate() {
@@ -68,8 +83,8 @@ impl<'a> Trace<'a> {
                 index_map.push(i as u32);
             }
         }
-        let sampler = AliasTable::new(&weights)
-            .expect("population must carry weight on the selected input");
+        let sampler =
+            AliasTable::new(&weights).expect("population must carry weight on the selected input");
 
         let mut group_toggles = Vec::new();
         for (g, schedule) in population.phase_groups().iter().enumerate() {
@@ -79,10 +94,17 @@ impl<'a> Trace<'a> {
         }
         group_toggles.sort_unstable();
 
-        let inverted = population
+        let hot = population
             .branches()
             .iter()
-            .map(|b| b.inverted(input))
+            .map(|b| HotBranch {
+                exec: 0,
+                dispatch: match b.behavior {
+                    Behavior::Fixed { p_taken } => OutcomeDispatch::Fixed(p_taken),
+                    _ => OutcomeDispatch::General,
+                },
+                inverted: b.inverted(input),
+            })
             .collect();
 
         let ipb = population.instr_per_branch().max(1) as u64;
@@ -94,11 +116,10 @@ impl<'a> Trace<'a> {
             population,
             sampler,
             index_map,
-            exec_counts: vec![0; population.static_branches()],
+            hot,
             group_active: vec![false; population.phase_groups().len()],
             group_toggles,
             toggle_cursor: 0,
-            inverted,
             events,
             emitted: 0,
             instr: 0,
@@ -123,45 +144,128 @@ impl<'a> Trace<'a> {
     pub fn population(&self) -> &Population {
         self.population
     }
+
+    /// Fills `buf` with the next events of the stream, returning how many
+    /// were written (less than `buf.len()` only at end of trace).
+    ///
+    /// This is the allocation-free hot path: the caller owns and reuses the
+    /// buffer, hot loop state lives in locals, and the behavior dispatch
+    /// for stationary branches is precomputed. The stream is **bit
+    /// identical** to consuming the [`Iterator`] one event at a time — the
+    /// per-event path is a thin wrapper over this method — so chunk size
+    /// never changes any downstream result.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsc_trace::{spec2000, BranchId, BranchRecord, InputId};
+    /// let pop = spec2000::benchmark("gzip").unwrap().population(10_000);
+    /// let mut trace = pop.trace(InputId::Eval, 10_000, 1);
+    /// let mut buf =
+    ///     [BranchRecord { branch: BranchId::new(0), taken: false, instr: 0 }; 256];
+    /// let mut total = 0;
+    /// loop {
+    ///     let n = trace.fill(&mut buf);
+    ///     if n == 0 {
+    ///         break;
+    ///     }
+    ///     total += n;
+    /// }
+    /// assert_eq!(total, 10_000);
+    /// ```
+    pub fn fill(&mut self, buf: &mut [BranchRecord]) -> usize {
+        let remaining = self.events - self.emitted;
+        let n = (buf.len() as u64).min(remaining) as usize;
+        if n == 0 {
+            return 0;
+        }
+
+        // Split the borrow of `self` into per-field borrows and hoist the
+        // scalar loop state into locals.
+        let Trace {
+            population,
+            sampler,
+            index_map,
+            hot,
+            group_active,
+            group_toggles,
+            toggle_cursor,
+            emitted,
+            instr,
+            gap_base,
+            gap_spread,
+            rng,
+            ..
+        } = self;
+        let branches = population.branches();
+        let (gap_base, gap_spread) = (*gap_base, *gap_spread);
+        let mut cursor = *toggle_cursor;
+        let mut emit = *emitted;
+        let mut pos = *instr;
+
+        for out in &mut buf[..n] {
+            // Advance correlated group phases that toggle at this position.
+            while cursor < group_toggles.len() && group_toggles[cursor].0 <= emit {
+                let (_, g) = group_toggles[cursor];
+                group_active[g as usize] = !group_active[g as usize];
+                cursor += 1;
+            }
+
+            let slot = sampler.sample(rng) as usize;
+            let idx = index_map[slot] as usize;
+            let h = &mut hot[idx];
+            let exec = h.exec;
+            h.exec = exec + 1;
+            let inv = h.inverted;
+
+            let p = match h.dispatch {
+                OutcomeDispatch::Fixed(p) => p,
+                OutcomeDispatch::General => {
+                    let branch = &branches[idx];
+                    let active = branch
+                        .group
+                        .map(|g| group_active[g.index()])
+                        .unwrap_or(false);
+                    branch.behavior.p_taken(exec, active)
+                }
+            };
+            let taken = rng.gen_bool(p) != inv;
+
+            pos += gap_base + rng.gen_range(gap_spread);
+            emit += 1;
+
+            *out = BranchRecord {
+                branch: BranchId::new(idx as u32),
+                taken,
+                instr: pos,
+            };
+        }
+
+        *toggle_cursor = cursor;
+        *emitted = emit;
+        *instr = pos;
+        n
+    }
 }
 
 impl Iterator for Trace<'_> {
     type Item = BranchRecord;
 
+    /// Thin wrapper over [`Trace::fill`] with a one-event buffer, so the
+    /// per-event and chunked paths share a single generation routine (and
+    /// therefore cannot diverge).
     #[inline]
     fn next(&mut self) -> Option<BranchRecord> {
-        if self.emitted >= self.events {
-            return None;
+        let mut buf = [BranchRecord {
+            branch: BranchId::new(0),
+            taken: false,
+            instr: 0,
+        }];
+        if self.fill(&mut buf) == 1 {
+            Some(buf[0])
+        } else {
+            None
         }
-        // Advance correlated group phases that toggle at this position.
-        while self.toggle_cursor < self.group_toggles.len()
-            && self.group_toggles[self.toggle_cursor].0 <= self.emitted
-        {
-            let (_, g) = self.group_toggles[self.toggle_cursor];
-            self.group_active[g as usize] = !self.group_active[g as usize];
-            self.toggle_cursor += 1;
-        }
-
-        let slot = self.sampler.sample(&mut self.rng) as usize;
-        let idx = self.index_map[slot] as usize;
-        let branch = &self.population.branches()[idx];
-        let exec = self.exec_counts[idx];
-        self.exec_counts[idx] += 1;
-
-        let group_active = branch
-            .group
-            .map(|g| self.group_active[g.index()])
-            .unwrap_or(false);
-        let p = branch.behavior.p_taken(exec, group_active);
-        let mut taken = self.rng.gen_bool(p);
-        if self.inverted[idx] {
-            taken = !taken;
-        }
-
-        self.instr += self.gap_base + self.rng.gen_range(self.gap_spread);
-        self.emitted += 1;
-
-        Some(BranchRecord { branch: BranchId::new(idx as u32), taken, instr: self.instr })
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -281,7 +385,10 @@ mod tests {
     #[test]
     fn group_phase_toggles_mid_trace() {
         let mut spec = StaticBranchSpec::new(
-            Behavior::Grouped { in_phase: 0.0, out_phase: 1.0 },
+            Behavior::Grouped {
+                in_phase: 0.0,
+                out_phase: 1.0,
+            },
             1.0,
         );
         spec.group = Some(GroupId::new(0));
@@ -303,5 +410,93 @@ mod tests {
         assert_eq!(t.len(), 10);
         t.next();
         assert_eq!(t.len(), 9);
+    }
+
+    fn zero_rec() -> BranchRecord {
+        BranchRecord {
+            branch: BranchId::new(0),
+            taken: false,
+            instr: 0,
+        }
+    }
+
+    #[test]
+    fn fill_is_bit_identical_to_iterator() {
+        let pop = two_branch_pop();
+        let reference: Vec<_> = pop.trace(InputId::Eval, 5_000, 11).collect();
+        for chunk in [1usize, 7, 64, 1000, 8192] {
+            let mut t = pop.trace(InputId::Eval, 5_000, 11);
+            let mut buf = vec![zero_rec(); chunk];
+            let mut got = Vec::new();
+            loop {
+                let n = t.fill(&mut buf);
+                if n == 0 {
+                    break;
+                }
+                got.extend_from_slice(&buf[..n]);
+            }
+            assert_eq!(got, reference, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn fill_interleaves_with_iterator_consumption() {
+        let pop = two_branch_pop();
+        let reference: Vec<_> = pop.trace(InputId::Eval, 1_000, 13).collect();
+        let mut t = pop.trace(InputId::Eval, 1_000, 13);
+        let mut got = Vec::new();
+        let mut buf = vec![zero_rec(); 97];
+        while got.len() < 1_000 {
+            if got.len() % 2 == 0 {
+                let n = t.fill(&mut buf);
+                got.extend_from_slice(&buf[..n]);
+            } else if let Some(r) = t.next() {
+                got.push(r);
+            }
+        }
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn fill_handles_empty_buffer_and_exhaustion() {
+        let pop = two_branch_pop();
+        let mut t = pop.trace(InputId::Eval, 10, 1);
+        assert_eq!(t.fill(&mut []), 0);
+        let mut buf = vec![zero_rec(); 64];
+        assert_eq!(t.fill(&mut buf), 10);
+        assert_eq!(t.fill(&mut buf), 0);
+        assert_eq!(t.next(), None);
+        assert_eq!(t.emitted(), 10);
+    }
+
+    #[test]
+    fn fill_respects_group_toggles_across_chunk_boundaries() {
+        let mut spec = StaticBranchSpec::new(
+            Behavior::Grouped {
+                in_phase: 0.0,
+                out_phase: 1.0,
+            },
+            1.0,
+        );
+        spec.group = Some(GroupId::new(0));
+        let pop = Population::from_branches(
+            "grp",
+            6,
+            vec![spec],
+            vec![GroupSchedule::new(vec![0.5]).unwrap()],
+        );
+        // Chunk size 333 straddles the toggle at event 500.
+        let mut t = pop.trace(InputId::Eval, 1000, 7);
+        let mut buf = vec![zero_rec(); 333];
+        let mut recs = Vec::new();
+        loop {
+            let n = t.fill(&mut buf);
+            if n == 0 {
+                break;
+            }
+            recs.extend_from_slice(&buf[..n]);
+        }
+        assert!(recs[..500].iter().all(|r| r.taken));
+        assert!(recs[500..].iter().all(|r| !r.taken));
     }
 }

@@ -147,6 +147,74 @@ proptest! {
         prop_assert_eq!(back, original);
     }
 
+    /// `Trace::fill` with any chunk size reproduces the iterator stream
+    /// exactly, reports accurate fill counts, and leaves the tail of the
+    /// buffer untouched on the final short chunk.
+    #[test]
+    fn fill_matches_iterator_for_any_chunk_size(
+        pop in population(),
+        events in 1u64..3_000,
+        chunk in 1usize..700,
+        seed in any::<u64>(),
+    ) {
+        let expected: Vec<_> = pop.trace(InputId::Eval, events, seed).collect();
+        let mut trace = pop.trace(InputId::Eval, events, seed);
+        let mut buf = vec![
+            rsc_trace::BranchRecord {
+                branch: rsc_trace::BranchId::new(0),
+                taken: false,
+                instr: 0,
+            };
+            chunk
+        ];
+        let mut got = Vec::with_capacity(expected.len());
+        loop {
+            let n = trace.fill(&mut buf);
+            prop_assert!(n <= chunk);
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+        }
+        prop_assert_eq!(&got, &expected);
+        // Exhausted traces keep returning 0.
+        prop_assert_eq!(trace.fill(&mut buf), 0);
+    }
+
+    /// Interleaving `fill` chunks with single-record `next` calls still
+    /// reproduces the stream: the two entry points share one cursor.
+    #[test]
+    fn fill_and_next_interleave_consistently(
+        pop in population(),
+        events in 1u64..2_000,
+        chunk in 1usize..100,
+        seed in any::<u64>(),
+    ) {
+        let expected: Vec<_> = pop.trace(InputId::Eval, events, seed).collect();
+        let mut trace = pop.trace(InputId::Eval, events, seed);
+        let mut buf = vec![
+            rsc_trace::BranchRecord {
+                branch: rsc_trace::BranchId::new(0),
+                taken: false,
+                instr: 0,
+            };
+            chunk
+        ];
+        let mut got = Vec::with_capacity(expected.len());
+        let mut use_fill = seed % 2 == 0;
+        while got.len() < expected.len() {
+            if use_fill {
+                let n = trace.fill(&mut buf);
+                got.extend_from_slice(&buf[..n]);
+            } else if let Some(r) = trace.next() {
+                got.push(r);
+            }
+            use_fill = !use_fill;
+        }
+        prop_assert_eq!(&got, &expected);
+        prop_assert_eq!(trace.next(), None);
+    }
+
     /// Multi-phase behaviors respect phase boundaries exactly.
     #[test]
     fn multiphase_boundary_exactness(len1 in 1u64..500, p1 in 0u8..2, p2 in 0u8..2) {

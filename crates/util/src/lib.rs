@@ -1,0 +1,11 @@
+//! # rsc-util — shared infrastructure
+//!
+//! Small dependency-free helpers used by more than one crate in the
+//! workspace. Currently: [`parallel`], the scoped order-preserving parallel
+//! map (promoted out of `rsc-bench` so the library crates — offline profile
+//! sharding in `rsc-profile`, experiment fan-out in `rsc-bench` — share one
+//! implementation and one global thread cap).
+
+pub mod parallel;
+
+pub use parallel::{max_threads, par_map, set_max_threads};

@@ -1,0 +1,131 @@
+//! Tiny order-preserving parallel map for independent work items.
+//!
+//! Every reproduction experiment maps independently over benchmarks, and
+//! the sharded offline profiler maps over trace shards; this runs those
+//! closures on up to [`max_threads`] threads with scoped borrows (no
+//! `'static` bound, no external dependencies) while keeping result order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Global cap on `par_map` fan-out. Zero means "use
+/// `available_parallelism`".
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps the number of worker threads `par_map` spawns. `0` restores the
+/// default (`available_parallelism`). The `repro --threads N` flag routes
+/// here.
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The current effective thread cap.
+pub fn max_threads() -> usize {
+    let cap = MAX_THREADS.load(Ordering::Relaxed);
+    if cap > 0 {
+        return cap;
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+}
+
+/// Applies `f` to every item in parallel, preserving input order.
+///
+/// `f` may borrow from the environment (threads are scoped). Panics in `f`
+/// propagate.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_util::parallel::par_map;
+/// let squares = par_map(vec![1, 2, 3, 4], |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = max_threads().min(n);
+    if n <= 1 || threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("each slot is taken once");
+                let r = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("all slots filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = par_map((0..100).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let out: Vec<i32> = par_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+        assert_eq!(par_map(vec![7], |x: i32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn borrows_environment() {
+        let base = 10;
+        let out = par_map(vec![1, 2, 3], |x| x + base);
+        assert_eq!(out, vec![11, 12, 13]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn propagates_panics() {
+        let _ = par_map(vec![1, 2, 3], |x: i32| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn thread_cap_of_one_is_sequential_and_correct() {
+        set_max_threads(1);
+        let out = par_map((0..32).collect(), |x: i32| x + 1);
+        set_max_threads(0);
+        assert_eq!(out, (1..33).collect::<Vec<_>>());
+    }
+}

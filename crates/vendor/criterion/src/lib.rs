@@ -1,0 +1,206 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The container building this workspace has no crates.io access, so the
+//! bench targets link against this minimal vendored implementation instead
+//! of the real criterion. It preserves the API shape the benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups, `Bencher::iter`/`iter_batched`, `Throughput`,
+//! `BatchSize`) and reports median wall-clock time per iteration — no
+//! statistical analysis, plots, or HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. All variants behave the same
+/// here: setup runs once per measured batch and is excluded from timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Optional throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    fn new(target_samples: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            target_samples,
+        }
+    }
+
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.samples.sort_unstable();
+        Some(self.samples[self.samples.len() / 2])
+    }
+}
+
+fn report(name: &str, median: Option<Duration>, throughput: Option<Throughput>) {
+    match median {
+        None => println!("bench {name:<40} (no samples)"),
+        Some(m) => {
+            let per = match throughput {
+                Some(Throughput::Elements(n)) if m.as_secs_f64() > 0.0 => {
+                    format!("  {:.2e} elem/s", n as f64 / m.as_secs_f64())
+                }
+                Some(Throughput::Bytes(n)) if m.as_secs_f64() > 0.0 => {
+                    format!("  {:.2e} B/s", n as f64 / m.as_secs_f64())
+                }
+                _ => String::new(),
+            };
+            println!("bench {name:<40} median {m:?}{per}");
+        }
+    }
+}
+
+/// Benchmark driver. `sample_size` bounds the number of timed iterations.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // The real criterion defaults to 100 samples plus warm-up; keep the
+        // vendored loop short so `cargo bench` stays usable on big inputs.
+        Criterion { sample_size: 12 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(name, b.median(), None);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates benches in this group with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, name),
+            b.median(),
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

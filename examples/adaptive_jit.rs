@@ -13,8 +13,7 @@
 //! ```
 
 use reactive_speculation::control::{
-    ControllerParams, EvictionMode, MonitorPolicy, ReactiveController, Revisit,
-    SpecDecision,
+    ControllerParams, EvictionMode, MonitorPolicy, ReactiveController, Revisit, SpecDecision,
 };
 use reactive_speculation::trace::rng::Xoshiro256;
 use reactive_speculation::trace::{BranchId, BranchRecord};
@@ -28,14 +27,23 @@ struct Guard {
 
 fn main() {
     let guards = [
-        Guard { name: "monomorphic-receiver", holds: Box::new(|_| 0.9999) },
-        Guard { name: "bounds-check", holds: Box::new(|_| 0.9997) },
+        Guard {
+            name: "monomorphic-receiver",
+            holds: Box::new(|_| 0.9999),
+        },
+        Guard {
+            name: "bounds-check",
+            holds: Box::new(|_| 0.9997),
+        },
         Guard {
             name: "phase-change-type",
             // Holds until the program switches data representations.
             holds: Box::new(|i| if i < 25_000 { 0.9999 } else { 0.02 }),
         },
-        Guard { name: "polymorphic-callsite", holds: Box::new(|_| 0.80) },
+        Guard {
+            name: "polymorphic-callsite",
+            holds: Box::new(|_| 0.80),
+        },
         Guard {
             name: "oscillating-shape",
             holds: Box::new(|i| if (i / 6_000) % 2 == 0 { 0.9999 } else { 0.35 }),
@@ -50,7 +58,11 @@ fn main() {
         monitor_policy: MonitorPolicy::FixedWindow,
         monitor_sample_rate: 1,
         selection_threshold: 0.995,
-        eviction: EvictionMode::Counter { up: 50, down: 1, threshold: 500 },
+        eviction: EvictionMode::Counter {
+            up: 50,
+            down: 1,
+            threshold: 500,
+        },
         revisit: Revisit::After(5_000),
         oscillation_limit: Some(3),
         optimization_latency: 2_000,

@@ -27,14 +27,12 @@ fn main() {
     );
 
     // Offline: profile on the training input, select biased branches once.
-    let train_profile =
-        BranchProfile::from_trace(population.trace(InputId::Profile, events, seed));
+    let train_profile = BranchProfile::from_trace(population.trace(InputId::Profile, events, seed));
     let static_set = SpeculationSet::from_profile(&train_profile, 0.99, 32);
 
     // Deploy on the evaluation input: input-dependent predicates reverse,
     // unprofiled code appears.
-    let static_out =
-        evaluate::evaluate(&static_set, population.trace(InputId::Eval, events, seed));
+    let static_out = evaluate::evaluate(&static_set, population.trace(InputId::Eval, events, seed));
     println!(
         "static profile-guided:  correct {:5.1}%  incorrect {:.3}%  ({} branches selected)",
         static_out.correct_frac() * 100.0,
@@ -43,11 +41,9 @@ fn main() {
     );
 
     // Self-training upper bound (profile the evaluation input itself).
-    let eval_profile =
-        BranchProfile::from_trace(population.trace(InputId::Eval, events, seed));
+    let eval_profile = BranchProfile::from_trace(population.trace(InputId::Eval, events, seed));
     let oracle_set = SpeculationSet::from_profile(&eval_profile, 0.99, 32);
-    let oracle_out =
-        evaluate::evaluate(&oracle_set, population.trace(InputId::Eval, events, seed));
+    let oracle_out = evaluate::evaluate(&oracle_set, population.trace(InputId::Eval, events, seed));
     println!(
         "self-training (oracle): correct {:5.1}%  incorrect {:.3}%",
         oracle_out.correct_frac() * 100.0,

@@ -23,8 +23,7 @@ fn main() {
 
     // Reference: what a perfect offline profile (self-training) achieves
     // with a 99% bias threshold.
-    let profile =
-        BranchProfile::from_trace(population.trace(InputId::Eval, events, seed));
+    let profile = BranchProfile::from_trace(population.trace(InputId::Eval, events, seed));
     let knee = pareto::threshold_point(&profile, 0.99);
     println!(
         "self-training @99%:  correct {:5.1}%  incorrect {:.3}%",

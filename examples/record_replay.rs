@@ -13,7 +13,9 @@ use reactive_speculation::trace::{spec2000, InputId};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let events = 1_000_000;
-    let pop = spec2000::benchmark("twolf").expect("twolf is built in").population(events);
+    let pop = spec2000::benchmark("twolf")
+        .expect("twolf is built in")
+        .population(events);
 
     // Record.
     let path = std::env::temp_dir().join("twolf.rsct");
@@ -30,15 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Replay from the file and from the generator; results must agree.
     let mut file = std::io::BufReader::new(std::fs::File::open(&path)?);
     let replayed = read_trace(&mut file)?;
-    let from_file =
-        engine::run_trace(ControllerParams::scaled(), replayed)?;
-    let from_generator = engine::run_population(
-        ControllerParams::scaled(),
-        &pop,
-        InputId::Eval,
-        events,
-        42,
-    )?;
+    let from_file = engine::run_trace(ControllerParams::scaled(), replayed)?;
+    let from_generator =
+        engine::run_population(ControllerParams::scaled(), &pop, InputId::Eval, events, 42)?;
     assert_eq!(from_file.stats, from_generator.stats);
     println!(
         "replayed run matches generated run exactly: correct {:.1}%, incorrect {:.3}%",

@@ -32,7 +32,10 @@ fn main() {
 
     for (label, params) in [
         ("reactive (closed loop)", ControllerParams::scaled()),
-        ("open loop (no eviction)", ControllerParams::scaled().without_eviction()),
+        (
+            "open loop (no eviction)",
+            ControllerParams::scaled().without_eviction(),
+        ),
     ] {
         let r = engine::run_population(params, &population, InputId::Eval, events, 3)
             .expect("valid params");

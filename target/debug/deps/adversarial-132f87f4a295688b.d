@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adversarial-132f87f4a295688b.d: crates/core/tests/adversarial.rs
+
+/root/repo/target/debug/deps/adversarial-132f87f4a295688b: crates/core/tests/adversarial.rs
+
+crates/core/tests/adversarial.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adversarial-13ad8961ac46cc33.d: crates/core/tests/adversarial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadversarial-13ad8961ac46cc33.rmeta: crates/core/tests/adversarial.rs Cargo.toml
+
+crates/core/tests/adversarial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chunk_equivalence-30a2d7d6d23109f1.d: tests/chunk_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchunk_equivalence-30a2d7d6d23109f1.rmeta: tests/chunk_equivalence.rs Cargo.toml
+
+tests/chunk_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chunk_equivalence-e969efd7c42dcb7c.d: tests/chunk_equivalence.rs
+
+/root/repo/target/debug/deps/chunk_equivalence-e969efd7c42dcb7c: tests/chunk_equivalence.rs
+
+tests/chunk_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-77a017fd00e70dfc.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-77a017fd00e70dfc: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-678004731f9da014.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-678004731f9da014: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8-93a57eea4272229d.d: crates/bench/benches/fig8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8-93a57eea4272229d.rmeta: crates/bench/benches/fig8.rs Cargo.toml
+
+crates/bench/benches/fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/machine_properties-11eb70d5d2ce53c2.d: crates/mssp/tests/machine_properties.rs
+
+/root/repo/target/debug/deps/machine_properties-11eb70d5d2ce53c2: crates/mssp/tests/machine_properties.rs
+
+crates/mssp/tests/machine_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machine_properties-7924cabb343aea56.d: crates/mssp/tests/machine_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachine_properties-7924cabb343aea56.rmeta: crates/mssp/tests/machine_properties.rs Cargo.toml
+
+crates/mssp/tests/machine_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

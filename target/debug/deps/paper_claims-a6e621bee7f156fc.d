@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-a6e621bee7f156fc.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-a6e621bee7f156fc: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/proptest-692c911273392a3d.d: crates/vendor/proptest/src/lib.rs crates/vendor/proptest/src/strategy.rs crates/vendor/proptest/src/test_runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-692c911273392a3d.rmeta: crates/vendor/proptest/src/lib.rs crates/vendor/proptest/src/strategy.rs crates/vendor/proptest/src/test_runner.rs Cargo.toml
+
+crates/vendor/proptest/src/lib.rs:
+crates/vendor/proptest/src/strategy.rs:
+crates/vendor/proptest/src/test_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-ac69be931f587929.d: crates/vendor/proptest/src/lib.rs crates/vendor/proptest/src/strategy.rs crates/vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/proptest-ac69be931f587929: crates/vendor/proptest/src/lib.rs crates/vendor/proptest/src/strategy.rs crates/vendor/proptest/src/test_runner.rs
+
+crates/vendor/proptest/src/lib.rs:
+crates/vendor/proptest/src/strategy.rs:
+crates/vendor/proptest/src/test_runner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-ef946e19070c0aa2.d: crates/vendor/proptest/src/lib.rs crates/vendor/proptest/src/strategy.rs crates/vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-ef946e19070c0aa2.rlib: crates/vendor/proptest/src/lib.rs crates/vendor/proptest/src/strategy.rs crates/vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-ef946e19070c0aa2.rmeta: crates/vendor/proptest/src/lib.rs crates/vendor/proptest/src/strategy.rs crates/vendor/proptest/src/test_runner.rs
+
+crates/vendor/proptest/src/lib.rs:
+crates/vendor/proptest/src/strategy.rs:
+crates/vendor/proptest/src/test_runner.rs:

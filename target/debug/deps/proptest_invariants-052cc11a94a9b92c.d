@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-052cc11a94a9b92c.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-052cc11a94a9b92c: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

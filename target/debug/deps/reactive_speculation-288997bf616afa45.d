@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reactive_speculation-288997bf616afa45.d: src/lib.rs
+
+/root/repo/target/debug/deps/reactive_speculation-288997bf616afa45: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/reactive_speculation-aa9a1caa4c302781.d: src/lib.rs
+
+/root/repo/target/debug/deps/libreactive_speculation-aa9a1caa4c302781.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libreactive_speculation-aa9a1caa4c302781.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-106d81bbe6cae8b2.d: crates/bench/src/main.rs
+
+/root/repo/target/debug/deps/repro-106d81bbe6cae8b2: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rsc_mssp-2564a93dc6a0ee0f.d: crates/mssp/src/lib.rs crates/mssp/src/cache.rs crates/mssp/src/config.rs crates/mssp/src/distill.rs crates/mssp/src/machine.rs crates/mssp/src/predictor.rs crates/mssp/src/program.rs crates/mssp/src/timing.rs
+
+/root/repo/target/debug/deps/librsc_mssp-2564a93dc6a0ee0f.rlib: crates/mssp/src/lib.rs crates/mssp/src/cache.rs crates/mssp/src/config.rs crates/mssp/src/distill.rs crates/mssp/src/machine.rs crates/mssp/src/predictor.rs crates/mssp/src/program.rs crates/mssp/src/timing.rs
+
+/root/repo/target/debug/deps/librsc_mssp-2564a93dc6a0ee0f.rmeta: crates/mssp/src/lib.rs crates/mssp/src/cache.rs crates/mssp/src/config.rs crates/mssp/src/distill.rs crates/mssp/src/machine.rs crates/mssp/src/predictor.rs crates/mssp/src/program.rs crates/mssp/src/timing.rs
+
+crates/mssp/src/lib.rs:
+crates/mssp/src/cache.rs:
+crates/mssp/src/config.rs:
+crates/mssp/src/distill.rs:
+crates/mssp/src/machine.rs:
+crates/mssp/src/predictor.rs:
+crates/mssp/src/program.rs:
+crates/mssp/src/timing.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rsc_mssp-82c9a94ed9f8c4a1.d: crates/mssp/src/lib.rs crates/mssp/src/cache.rs crates/mssp/src/config.rs crates/mssp/src/distill.rs crates/mssp/src/machine.rs crates/mssp/src/predictor.rs crates/mssp/src/program.rs crates/mssp/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/librsc_mssp-82c9a94ed9f8c4a1.rmeta: crates/mssp/src/lib.rs crates/mssp/src/cache.rs crates/mssp/src/config.rs crates/mssp/src/distill.rs crates/mssp/src/machine.rs crates/mssp/src/predictor.rs crates/mssp/src/program.rs crates/mssp/src/timing.rs Cargo.toml
+
+crates/mssp/src/lib.rs:
+crates/mssp/src/cache.rs:
+crates/mssp/src/config.rs:
+crates/mssp/src/distill.rs:
+crates/mssp/src/machine.rs:
+crates/mssp/src/predictor.rs:
+crates/mssp/src/program.rs:
+crates/mssp/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

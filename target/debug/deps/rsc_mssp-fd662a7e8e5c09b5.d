@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rsc_mssp-fd662a7e8e5c09b5.d: crates/mssp/src/lib.rs crates/mssp/src/cache.rs crates/mssp/src/config.rs crates/mssp/src/distill.rs crates/mssp/src/machine.rs crates/mssp/src/predictor.rs crates/mssp/src/program.rs crates/mssp/src/timing.rs
+
+/root/repo/target/debug/deps/rsc_mssp-fd662a7e8e5c09b5: crates/mssp/src/lib.rs crates/mssp/src/cache.rs crates/mssp/src/config.rs crates/mssp/src/distill.rs crates/mssp/src/machine.rs crates/mssp/src/predictor.rs crates/mssp/src/program.rs crates/mssp/src/timing.rs
+
+crates/mssp/src/lib.rs:
+crates/mssp/src/cache.rs:
+crates/mssp/src/config.rs:
+crates/mssp/src/distill.rs:
+crates/mssp/src/machine.rs:
+crates/mssp/src/predictor.rs:
+crates/mssp/src/program.rs:
+crates/mssp/src/timing.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rsc_profile-7d080922d6962f59.d: crates/profile/src/lib.rs crates/profile/src/evaluate.rs crates/profile/src/initial.rs crates/profile/src/offline.rs crates/profile/src/pareto.rs crates/profile/src/profile.rs crates/profile/src/select.rs
+
+/root/repo/target/debug/deps/librsc_profile-7d080922d6962f59.rlib: crates/profile/src/lib.rs crates/profile/src/evaluate.rs crates/profile/src/initial.rs crates/profile/src/offline.rs crates/profile/src/pareto.rs crates/profile/src/profile.rs crates/profile/src/select.rs
+
+/root/repo/target/debug/deps/librsc_profile-7d080922d6962f59.rmeta: crates/profile/src/lib.rs crates/profile/src/evaluate.rs crates/profile/src/initial.rs crates/profile/src/offline.rs crates/profile/src/pareto.rs crates/profile/src/profile.rs crates/profile/src/select.rs
+
+crates/profile/src/lib.rs:
+crates/profile/src/evaluate.rs:
+crates/profile/src/initial.rs:
+crates/profile/src/offline.rs:
+crates/profile/src/pareto.rs:
+crates/profile/src/profile.rs:
+crates/profile/src/select.rs:

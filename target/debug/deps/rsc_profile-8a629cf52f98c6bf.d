@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rsc_profile-8a629cf52f98c6bf.d: crates/profile/src/lib.rs crates/profile/src/evaluate.rs crates/profile/src/initial.rs crates/profile/src/offline.rs crates/profile/src/pareto.rs crates/profile/src/profile.rs crates/profile/src/select.rs
+
+/root/repo/target/debug/deps/rsc_profile-8a629cf52f98c6bf: crates/profile/src/lib.rs crates/profile/src/evaluate.rs crates/profile/src/initial.rs crates/profile/src/offline.rs crates/profile/src/pareto.rs crates/profile/src/profile.rs crates/profile/src/select.rs
+
+crates/profile/src/lib.rs:
+crates/profile/src/evaluate.rs:
+crates/profile/src/initial.rs:
+crates/profile/src/offline.rs:
+crates/profile/src/pareto.rs:
+crates/profile/src/profile.rs:
+crates/profile/src/select.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rsc_profile-a51f2b7a3072bca6.d: crates/profile/src/lib.rs crates/profile/src/evaluate.rs crates/profile/src/initial.rs crates/profile/src/offline.rs crates/profile/src/pareto.rs crates/profile/src/profile.rs crates/profile/src/select.rs Cargo.toml
+
+/root/repo/target/debug/deps/librsc_profile-a51f2b7a3072bca6.rmeta: crates/profile/src/lib.rs crates/profile/src/evaluate.rs crates/profile/src/initial.rs crates/profile/src/offline.rs crates/profile/src/pareto.rs crates/profile/src/profile.rs crates/profile/src/select.rs Cargo.toml
+
+crates/profile/src/lib.rs:
+crates/profile/src/evaluate.rs:
+crates/profile/src/initial.rs:
+crates/profile/src/offline.rs:
+crates/profile/src/pareto.rs:
+crates/profile/src/profile.rs:
+crates/profile/src/select.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

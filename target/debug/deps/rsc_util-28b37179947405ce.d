@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rsc_util-28b37179947405ce.d: crates/util/src/lib.rs crates/util/src/parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/librsc_util-28b37179947405ce.rmeta: crates/util/src/lib.rs crates/util/src/parallel.rs Cargo.toml
+
+crates/util/src/lib.rs:
+crates/util/src/parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

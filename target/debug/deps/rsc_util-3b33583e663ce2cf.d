@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rsc_util-3b33583e663ce2cf.d: crates/util/src/lib.rs crates/util/src/parallel.rs
+
+/root/repo/target/debug/deps/librsc_util-3b33583e663ce2cf.rlib: crates/util/src/lib.rs crates/util/src/parallel.rs
+
+/root/repo/target/debug/deps/librsc_util-3b33583e663ce2cf.rmeta: crates/util/src/lib.rs crates/util/src/parallel.rs
+
+crates/util/src/lib.rs:
+crates/util/src/parallel.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rsc_util-586af2b579978489.d: crates/util/src/lib.rs crates/util/src/parallel.rs
+
+/root/repo/target/debug/deps/rsc_util-586af2b579978489: crates/util/src/lib.rs crates/util/src/parallel.rs
+
+crates/util/src/lib.rs:
+crates/util/src/parallel.rs:

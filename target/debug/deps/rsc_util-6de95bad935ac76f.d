@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rsc_util-6de95bad935ac76f.d: crates/util/src/lib.rs crates/util/src/parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/librsc_util-6de95bad935ac76f.rmeta: crates/util/src/lib.rs crates/util/src/parallel.rs Cargo.toml
+
+crates/util/src/lib.rs:
+crates/util/src/parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

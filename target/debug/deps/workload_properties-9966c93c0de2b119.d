@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_properties-9966c93c0de2b119.d: crates/trace/tests/workload_properties.rs
+
+/root/repo/target/debug/deps/workload_properties-9966c93c0de2b119: crates/trace/tests/workload_properties.rs
+
+crates/trace/tests/workload_properties.rs:

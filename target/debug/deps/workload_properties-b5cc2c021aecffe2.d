@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload_properties-b5cc2c021aecffe2.d: crates/trace/tests/workload_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload_properties-b5cc2c021aecffe2.rmeta: crates/trace/tests/workload_properties.rs Cargo.toml
+
+crates/trace/tests/workload_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_jit-01cf1d739291b0cd.d: examples/adaptive_jit.rs
+
+/root/repo/target/debug/examples/adaptive_jit-01cf1d739291b0cd: examples/adaptive_jit.rs
+
+examples/adaptive_jit.rs:

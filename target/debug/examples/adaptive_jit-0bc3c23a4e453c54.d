@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_jit-0bc3c23a4e453c54.d: examples/adaptive_jit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_jit-0bc3c23a4e453c54.rmeta: examples/adaptive_jit.rs Cargo.toml
+
+examples/adaptive_jit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

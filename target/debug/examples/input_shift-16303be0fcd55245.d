@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/input_shift-16303be0fcd55245.d: examples/input_shift.rs
+
+/root/repo/target/debug/examples/input_shift-16303be0fcd55245: examples/input_shift.rs
+
+examples/input_shift.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/input_shift-e4509453c435aa57.d: examples/input_shift.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinput_shift-e4509453c435aa57.rmeta: examples/input_shift.rs Cargo.toml
+
+examples/input_shift.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mssp_speedup-09c55e31c234b3ac.d: examples/mssp_speedup.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmssp_speedup-09c55e31c234b3ac.rmeta: examples/mssp_speedup.rs Cargo.toml
+
+examples/mssp_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mssp_speedup-eae217462e51e00a.d: examples/mssp_speedup.rs
+
+/root/repo/target/debug/examples/mssp_speedup-eae217462e51e00a: examples/mssp_speedup.rs
+
+examples/mssp_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-28d3999607772be8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-28d3999607772be8: examples/quickstart.rs
+
+examples/quickstart.rs:

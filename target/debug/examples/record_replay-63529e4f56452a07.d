@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/record_replay-63529e4f56452a07.d: examples/record_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/librecord_replay-63529e4f56452a07.rmeta: examples/record_replay.rs Cargo.toml
+
+examples/record_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

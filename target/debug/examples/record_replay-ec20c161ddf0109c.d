@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/record_replay-ec20c161ddf0109c.d: examples/record_replay.rs
+
+/root/repo/target/debug/examples/record_replay-ec20c161ddf0109c: examples/record_replay.rs
+
+examples/record_replay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/value_speculation-2172b05bde9c7950.d: examples/value_speculation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvalue_speculation-2172b05bde9c7950.rmeta: examples/value_speculation.rs Cargo.toml
+
+examples/value_speculation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

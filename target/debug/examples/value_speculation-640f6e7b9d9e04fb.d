@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/value_speculation-640f6e7b9d9e04fb.d: examples/value_speculation.rs
+
+/root/repo/target/debug/examples/value_speculation-640f6e7b9d9e04fb: examples/value_speculation.rs
+
+examples/value_speculation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/reactive_speculation-66f4930fd8767582.d: src/lib.rs
+
+/root/repo/target/release/deps/libreactive_speculation-66f4930fd8767582.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libreactive_speculation-66f4930fd8767582.rmeta: src/lib.rs
+
+src/lib.rs:

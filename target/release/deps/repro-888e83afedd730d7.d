@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-888e83afedd730d7.d: crates/bench/src/main.rs
+
+/root/repo/target/release/deps/repro-888e83afedd730d7: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

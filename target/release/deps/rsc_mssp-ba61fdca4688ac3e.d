@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rsc_mssp-ba61fdca4688ac3e.d: crates/mssp/src/lib.rs crates/mssp/src/cache.rs crates/mssp/src/config.rs crates/mssp/src/distill.rs crates/mssp/src/machine.rs crates/mssp/src/predictor.rs crates/mssp/src/program.rs crates/mssp/src/timing.rs
+
+/root/repo/target/release/deps/librsc_mssp-ba61fdca4688ac3e.rlib: crates/mssp/src/lib.rs crates/mssp/src/cache.rs crates/mssp/src/config.rs crates/mssp/src/distill.rs crates/mssp/src/machine.rs crates/mssp/src/predictor.rs crates/mssp/src/program.rs crates/mssp/src/timing.rs
+
+/root/repo/target/release/deps/librsc_mssp-ba61fdca4688ac3e.rmeta: crates/mssp/src/lib.rs crates/mssp/src/cache.rs crates/mssp/src/config.rs crates/mssp/src/distill.rs crates/mssp/src/machine.rs crates/mssp/src/predictor.rs crates/mssp/src/program.rs crates/mssp/src/timing.rs
+
+crates/mssp/src/lib.rs:
+crates/mssp/src/cache.rs:
+crates/mssp/src/config.rs:
+crates/mssp/src/distill.rs:
+crates/mssp/src/machine.rs:
+crates/mssp/src/predictor.rs:
+crates/mssp/src/program.rs:
+crates/mssp/src/timing.rs:

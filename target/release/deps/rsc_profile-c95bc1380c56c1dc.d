@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rsc_profile-c95bc1380c56c1dc.d: crates/profile/src/lib.rs crates/profile/src/evaluate.rs crates/profile/src/initial.rs crates/profile/src/offline.rs crates/profile/src/pareto.rs crates/profile/src/profile.rs crates/profile/src/select.rs
+
+/root/repo/target/release/deps/librsc_profile-c95bc1380c56c1dc.rlib: crates/profile/src/lib.rs crates/profile/src/evaluate.rs crates/profile/src/initial.rs crates/profile/src/offline.rs crates/profile/src/pareto.rs crates/profile/src/profile.rs crates/profile/src/select.rs
+
+/root/repo/target/release/deps/librsc_profile-c95bc1380c56c1dc.rmeta: crates/profile/src/lib.rs crates/profile/src/evaluate.rs crates/profile/src/initial.rs crates/profile/src/offline.rs crates/profile/src/pareto.rs crates/profile/src/profile.rs crates/profile/src/select.rs
+
+crates/profile/src/lib.rs:
+crates/profile/src/evaluate.rs:
+crates/profile/src/initial.rs:
+crates/profile/src/offline.rs:
+crates/profile/src/pareto.rs:
+crates/profile/src/profile.rs:
+crates/profile/src/select.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/rsc_util-8558d8b42320571a.d: crates/util/src/lib.rs crates/util/src/parallel.rs
+
+/root/repo/target/release/deps/librsc_util-8558d8b42320571a.rlib: crates/util/src/lib.rs crates/util/src/parallel.rs
+
+/root/repo/target/release/deps/librsc_util-8558d8b42320571a.rmeta: crates/util/src/lib.rs crates/util/src/parallel.rs
+
+crates/util/src/lib.rs:
+crates/util/src/parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-1892f8e33e4a650e.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-1892f8e33e4a650e: examples/quickstart.rs
+
+examples/quickstart.rs:

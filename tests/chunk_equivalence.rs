@@ -1,0 +1,163 @@
+//! The chunked hot path is an *optimization*, not a semantic change: for
+//! any benchmark and seed, driving the pipeline through
+//! `Trace::fill`/`observe_chunk`/`record_chunk` must produce bit-identical
+//! results to the per-event `Iterator`/`observe`/`record` path.
+
+use rsc_control::{
+    engine, ChunkSummary, ControllerParams, ReactiveController, TransitionLogPolicy,
+};
+use rsc_profile::BranchProfile;
+use rsc_trace::{spec2000, BranchId, BranchRecord, InputId};
+
+const BENCHMARKS: [&str; 4] = ["gzip", "gcc", "crafty", "vortex"];
+const SEEDS: [u64; 2] = [7, 1234];
+const EVENTS: u64 = 60_000;
+
+fn empty_buf(n: usize) -> Vec<BranchRecord> {
+    vec![
+        BranchRecord {
+            branch: BranchId::new(0),
+            taken: false,
+            instr: 0
+        };
+        n
+    ]
+}
+
+#[test]
+fn chunked_controller_run_matches_per_event_run() {
+    for name in BENCHMARKS {
+        let pop = spec2000::benchmark(name).unwrap().population(EVENTS);
+        for seed in SEEDS {
+            let per_event = engine::run_population(
+                ControllerParams::scaled(),
+                &pop,
+                InputId::Eval,
+                EVENTS,
+                seed,
+            )
+            .unwrap();
+            let chunked = engine::run_population_chunked(
+                ControllerParams::scaled(),
+                &pop,
+                InputId::Eval,
+                EVENTS,
+                seed,
+                TransitionLogPolicy::Full,
+            )
+            .unwrap();
+            assert_eq!(per_event.stats, chunked.stats, "{name} seed {seed}: stats");
+            assert_eq!(
+                per_event.transitions, chunked.transitions,
+                "{name} seed {seed}: transition log"
+            );
+        }
+    }
+}
+
+#[test]
+fn chunk_size_does_not_change_controller_results() {
+    let pop = spec2000::benchmark("crafty").unwrap().population(EVENTS);
+    let reference = engine::run_population(
+        ControllerParams::scaled(),
+        &pop,
+        InputId::Eval,
+        EVENTS,
+        SEEDS[0],
+    )
+    .unwrap();
+    for chunk in [1usize, 13, 256, 4096, 100_000] {
+        let mut ctl = ReactiveController::new(ControllerParams::scaled()).unwrap();
+        let mut trace = pop.trace(InputId::Eval, EVENTS, SEEDS[0]);
+        let mut buf = empty_buf(chunk);
+        let mut total = ChunkSummary::default();
+        loop {
+            let n = trace.fill(&mut buf);
+            if n == 0 {
+                break;
+            }
+            let s = ctl.observe_chunk(&buf[..n]);
+            total.events += s.events;
+            total.correct += s.correct;
+            total.incorrect += s.incorrect;
+        }
+        assert_eq!(reference.stats, ctl.stats(), "chunk {chunk}: stats");
+        assert_eq!(
+            &reference.transitions[..],
+            ctl.transitions(),
+            "chunk {chunk}: log"
+        );
+        assert_eq!(total.events, EVENTS, "chunk {chunk}: summary events");
+        assert_eq!(
+            total.correct,
+            ctl.stats().correct,
+            "chunk {chunk}: summary correct"
+        );
+        assert_eq!(
+            total.incorrect,
+            ctl.stats().incorrect,
+            "chunk {chunk}: summary incorrect"
+        );
+    }
+}
+
+#[test]
+fn counts_only_policy_preserves_stats_and_transition_counts() {
+    let pop = spec2000::benchmark("gcc").unwrap().population(EVENTS);
+    for seed in SEEDS {
+        let full = engine::run_population_chunked(
+            ControllerParams::scaled(),
+            &pop,
+            InputId::Eval,
+            EVENTS,
+            seed,
+            TransitionLogPolicy::Full,
+        )
+        .unwrap();
+        let counts_only = engine::run_population_chunked(
+            ControllerParams::scaled(),
+            &pop,
+            InputId::Eval,
+            EVENTS,
+            seed,
+            TransitionLogPolicy::CountsOnly,
+        )
+        .unwrap();
+        assert_eq!(full.stats, counts_only.stats, "seed {seed}");
+        assert!(counts_only.transitions.is_empty());
+    }
+}
+
+#[test]
+fn chunked_profile_matches_per_event_profile() {
+    for name in BENCHMARKS {
+        let pop = spec2000::benchmark(name).unwrap().population(EVENTS);
+        for seed in SEEDS {
+            let per_event = BranchProfile::from_trace(pop.trace(InputId::Profile, EVENTS, seed));
+            let chunked =
+                BranchProfile::from_trace_chunked(&mut pop.trace(InputId::Profile, EVENTS, seed));
+            assert_eq!(per_event, chunked, "{name} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn fill_matches_iterator_for_every_benchmark_and_seed() {
+    for name in BENCHMARKS {
+        let pop = spec2000::benchmark(name).unwrap().population(20_000);
+        for seed in SEEDS {
+            let expected: Vec<BranchRecord> = pop.trace(InputId::Eval, 20_000, seed).collect();
+            let mut got = Vec::with_capacity(expected.len());
+            let mut trace = pop.trace(InputId::Eval, 20_000, seed);
+            let mut buf = empty_buf(777);
+            loop {
+                let n = trace.fill(&mut buf);
+                if n == 0 {
+                    break;
+                }
+                got.extend_from_slice(&buf[..n]);
+            }
+            assert_eq!(expected, got, "{name} seed {seed}");
+        }
+    }
+}

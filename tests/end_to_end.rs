@@ -1,7 +1,7 @@
 //! Cross-crate pipelines: trace → profile → controller → MSSP machine.
 
-use reactive_speculation::control::{engine, ControllerParams, TransitionKind};
 use reactive_speculation::control::analysis::{intervals, transition};
+use reactive_speculation::control::{engine, ControllerParams, TransitionKind};
 use reactive_speculation::mssp::{machine, MsspParams};
 use reactive_speculation::profile::{evaluate, BranchProfile, SpeculationSet};
 use reactive_speculation::trace::{spec2000, InputId, TraceStats};
@@ -13,14 +13,8 @@ fn trace_profile_and_controller_agree_on_event_counts() {
 
     let stats = TraceStats::from_trace(pop.trace(InputId::Eval, events, 1));
     let profile = BranchProfile::from_trace(pop.trace(InputId::Eval, events, 1));
-    let run = engine::run_population(
-        ControllerParams::scaled(),
-        &pop,
-        InputId::Eval,
-        events,
-        1,
-    )
-    .unwrap();
+    let run =
+        engine::run_population(ControllerParams::scaled(), &pop, InputId::Eval, events, 1).unwrap();
 
     assert_eq!(stats.total_events(), events);
     assert_eq!(profile.events(), events);
@@ -38,14 +32,8 @@ fn static_selection_and_controller_find_overlapping_sets() {
     let profile = BranchProfile::from_trace(pop.trace(InputId::Eval, events, 5));
     let set = SpeculationSet::from_profile(&profile, 0.995, 1_000);
 
-    let run = engine::run_population(
-        ControllerParams::scaled(),
-        &pop,
-        InputId::Eval,
-        events,
-        5,
-    )
-    .unwrap();
+    let run =
+        engine::run_population(ControllerParams::scaled(), &pop, InputId::Eval, events, 5).unwrap();
     // Every branch the controller classified biased should (mostly) also
     // pass the static filter; the sets cannot be disjoint.
     let controller_biased: Vec<_> = run
@@ -90,8 +78,7 @@ fn transition_analyses_are_consistent_with_run() {
     let events = 3_000_000;
     let pop = spec2000::benchmark("mcf").unwrap().population(events);
     let params = ControllerParams::scaled();
-    let run =
-        engine::run_population(params, &pop, InputId::Eval, events, 7).unwrap();
+    let run = engine::run_population(params, &pop, InputId::Eval, events, 7).unwrap();
 
     // Interval extraction closes exactly the branches that entered biased.
     let ivs = intervals::biased_intervals(&run.transitions, events);
@@ -99,12 +86,8 @@ fn transition_analyses_are_consistent_with_run() {
 
     // Eviction windows: one per eviction (modulo windows still open when a
     // branch is re-evicted immediately — never more than evictions).
-    let windows = transition::eviction_windows(
-        params,
-        pop.trace(InputId::Eval, events, 7),
-        32,
-    )
-    .unwrap();
+    let windows =
+        transition::eviction_windows(params, pop.trace(InputId::Eval, events, 7), 32).unwrap();
     assert!(windows.len() as u64 <= run.stats.total_evictions);
     assert!(!windows.is_empty());
 }

@@ -21,11 +21,14 @@ fn reactive(name: &str, params: ControllerParams) -> reactive_speculation::contr
 fn opportunity_at_99_percent_threshold() {
     for name in ["gcc", "vortex", "perl"] {
         let pop = spec2000::benchmark(name).unwrap().population(EVENTS);
-        let profile =
-            BranchProfile::from_trace(pop.trace(InputId::Eval, EVENTS, SEED));
+        let profile = BranchProfile::from_trace(pop.trace(InputId::Eval, EVENTS, SEED));
         let knee = pareto::threshold_point(&profile, 0.99);
         assert!(knee.correct > 0.40, "{name}: correct {:.3}", knee.correct);
-        assert!(knee.incorrect < 0.005, "{name}: incorrect {:.4}", knee.incorrect);
+        assert!(
+            knee.incorrect < 0.005,
+            "{name}: incorrect {:.4}",
+            knee.incorrect
+        );
     }
 }
 
@@ -68,8 +71,7 @@ fn reactive_misspeculation_is_tiny() {
 fn reactive_is_competitive_with_self_training() {
     for name in ["gzip", "mcf", "bzip2"] {
         let pop = spec2000::benchmark(name).unwrap().population(EVENTS);
-        let profile =
-            BranchProfile::from_trace(pop.trace(InputId::Eval, EVENTS, SEED));
+        let profile = BranchProfile::from_trace(pop.trace(InputId::Eval, EVENTS, SEED));
         let knee = pareto::threshold_point(&profile, 0.99);
         let stats = reactive(name, ControllerParams::scaled());
         assert!(
@@ -102,8 +104,7 @@ fn no_revisit_loses_benefit() {
     let mut nr_total = 0.0;
     for name in ["bzip2", "gap", "perl"] {
         base_total += reactive(name, ControllerParams::scaled()).correct_frac();
-        nr_total +=
-            reactive(name, ControllerParams::scaled().without_revisit()).correct_frac();
+        nr_total += reactive(name, ControllerParams::scaled().without_revisit()).correct_frac();
     }
     assert!(
         nr_total < base_total * 0.97,
@@ -152,5 +153,8 @@ fn transition_shape_matches_table3() {
         (0.15..0.60).contains(&biased),
         "mean biased fraction {biased:.3} (paper: 0.34)"
     );
-    assert!(evicted < 0.10, "mean evicted fraction {evicted:.3} (paper: 0.02)");
+    assert!(
+        evicted < 0.10,
+        "mean evicted fraction {evicted:.3} (paper: 0.02)"
+    );
 }

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use reactive_speculation::control::{
-    engine, ControllerParams, EvictionMode, MonitorPolicy, ReactiveController,
-    Revisit, TransitionKind,
+    engine, ControllerParams, EvictionMode, MonitorPolicy, ReactiveController, Revisit,
+    TransitionKind,
 };
 use reactive_speculation::profile::{pareto, BranchProfile, SpeculationSet};
 use reactive_speculation::trace::behavior::{Behavior, Phase};
@@ -12,27 +12,29 @@ use reactive_speculation::trace::{BranchId, BranchRecord};
 
 /// Arbitrary record streams over a handful of branches.
 fn records(max_len: usize) -> impl Strategy<Value = Vec<BranchRecord>> {
-    prop::collection::vec((0u32..8, any::<bool>(), 1u64..12), 1..max_len).prop_map(
-        |entries| {
-            let mut instr = 0;
-            entries
-                .into_iter()
-                .map(|(b, taken, gap)| {
-                    instr += gap;
-                    BranchRecord { branch: BranchId::new(b), taken, instr }
-                })
-                .collect()
-        },
-    )
+    prop::collection::vec((0u32..8, any::<bool>(), 1u64..12), 1..max_len).prop_map(|entries| {
+        let mut instr = 0;
+        entries
+            .into_iter()
+            .map(|(b, taken, gap)| {
+                instr += gap;
+                BranchRecord {
+                    branch: BranchId::new(b),
+                    taken,
+                    instr,
+                }
+            })
+            .collect()
+    })
 }
 
 /// Small but structurally valid controller parameterizations.
 fn params() -> impl Strategy<Value = ControllerParams> {
     (
-        1u64..64,                    // monitor period
-        1u64..4,                     // sample rate
+        1u64..64, // monitor period
+        1u64..4,  // sample rate
         prop::sample::select(vec![0.95, 0.99, 0.995, 1.0]),
-        1u32..8,                     // up multiplier (x25)
+        1u32..8, // up multiplier (x25)
         prop::sample::select(vec![
             EvictionModeKind::Counter,
             EvictionModeKind::Sampling,

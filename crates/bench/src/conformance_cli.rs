@@ -1,0 +1,211 @@
+//! The `repro conformance` subcommand: differential fuzzing of the
+//! optimized controller against the golden reference, plus replay of
+//! saved counterexample artifacts.
+//!
+//! Exit status encodes the verdict for CI:
+//!
+//! * plain campaign — `0` when no divergence is found, `1` when one is
+//!   (the shrunk counterexample is written to the artifact directory);
+//! * `--inject-fault` self-test — inverted: `0` when the fault IS
+//!   caught, `1` when the harness misses it;
+//! * `--replay` — `1` while the stored divergence still reproduces, `0`
+//!   once it no longer does.
+
+use rsc_conformance::{campaign, CampaignConfig, Counterexample, Fault};
+use std::path::PathBuf;
+
+/// Runs the subcommand with its own argument list (everything after the
+/// literal `conformance`). Returns the process exit code.
+pub fn run(args: &[String]) -> i32 {
+    let mut config = CampaignConfig::default();
+    let mut replay: Option<PathBuf> = None;
+    let mut artifact_dir = PathBuf::from("conformance-artifacts");
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => {
+                let v = it.next().expect("--seeds needs a value (N or A..B)");
+                let (start, end) = parse_seeds(v).expect("--seeds must be N or A..B");
+                config.seed_start = start;
+                config.seed_end = end;
+            }
+            "--events" => {
+                let v = it.next().expect("--events needs a value");
+                config.events = v.parse().expect("--events must be an integer");
+            }
+            "--inject-fault" => {
+                let v = it.next().expect("--inject-fault needs a fault name");
+                let fault = Fault::from_name(v).unwrap_or_else(|| {
+                    let names: Vec<&str> = Fault::ALL.iter().map(|f| f.name()).collect();
+                    panic!("unknown fault {v:?}; known faults: {}", names.join(", "))
+                });
+                config.fault = Some(fault);
+            }
+            "--replay" => {
+                let v = it.next().expect("--replay needs a file path");
+                replay = Some(PathBuf::from(v));
+            }
+            "--artifact-dir" => {
+                let v = it.next().expect("--artifact-dir needs a directory");
+                artifact_dir = PathBuf::from(v);
+            }
+            other => {
+                eprintln!("unknown conformance option: {other}");
+                return 2;
+            }
+        }
+    }
+
+    if let Some(path) = replay {
+        return run_replay(&path);
+    }
+    run_campaign(&config, &artifact_dir)
+}
+
+fn run_replay(path: &std::path::Path) -> i32 {
+    let cx = match Counterexample::load(path) {
+        Ok(cx) => cx,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    println!(
+        "replaying {}: scenario {}, seed {}, mode {}, {} events{}",
+        path.display(),
+        cx.scenario,
+        cx.seed,
+        cx.mode.name(),
+        cx.trace.len(),
+        match cx.fault {
+            Some(f) => format!(", injected fault {f}"),
+            None => String::new(),
+        },
+    );
+    match cx.replay() {
+        Err(div) => {
+            println!("divergence reproduces: {div}");
+            1
+        }
+        Ok(()) => {
+            println!("divergence no longer reproduces (fixed?)");
+            0
+        }
+    }
+}
+
+fn run_campaign(config: &CampaignConfig, artifact_dir: &std::path::Path) -> i32 {
+    println!(
+        "conformance campaign: seeds {}..{}, {} events/trace{}",
+        config.seed_start,
+        config.seed_end,
+        config.events,
+        match config.fault {
+            Some(f) => format!(", injected fault {f}"),
+            None => String::new(),
+        },
+    );
+    let report = campaign::run(config);
+    println!(
+        "ran {} differential cases ({} events per controller)",
+        report.cases, report.events_fed
+    );
+
+    match (report.counterexample, config.fault) {
+        (None, None) => {
+            println!("no divergences: optimized controller conforms to the reference");
+            0
+        }
+        (None, Some(fault)) => {
+            println!("FAIL: injected fault {fault} was NOT caught");
+            1
+        }
+        (Some(cx), fault) => {
+            let path =
+                artifact_dir.join(format!("counterexample-{}-{}.json", cx.scenario, cx.seed));
+            println!(
+                "divergence found ({} events after shrinking): {}",
+                cx.trace.len(),
+                cx.detail
+            );
+            match cx.save(&path) {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("failed to write artifact: {e}"),
+            }
+            if fault.is_some() {
+                println!("injected fault caught and minimized: harness self-test passed");
+                0
+            } else {
+                println!("replay with: repro conformance --replay {}", path.display());
+                1
+            }
+        }
+    }
+}
+
+fn parse_seeds(v: &str) -> Option<(u64, u64)> {
+    if let Some((a, b)) = v.split_once("..") {
+        let start = a.parse().ok()?;
+        let end = b.parse().ok()?;
+        (start < end).then_some((start, end))
+    } else {
+        let n: u64 = v.parse().ok()?;
+        (n > 0).then_some((0, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_ranges_parse() {
+        assert_eq!(parse_seeds("64"), Some((0, 64)));
+        assert_eq!(parse_seeds("3..9"), Some((3, 9)));
+        assert_eq!(parse_seeds("9..3"), None);
+        assert_eq!(parse_seeds("0"), None);
+        assert_eq!(parse_seeds("x"), None);
+    }
+
+    #[test]
+    fn self_test_catches_fault_and_writes_artifact() {
+        let dir = std::env::temp_dir().join("rsc_conformance_cli_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let code = run(&[
+            "--seeds".into(),
+            "0..2".into(),
+            "--events".into(),
+            "1500".into(),
+            "--inject-fault".into(),
+            "hysteresis-off-by-one".into(),
+            "--artifact-dir".into(),
+            dir.to_string_lossy().into_owned(),
+        ]);
+        assert_eq!(code, 0, "self-test should catch the fault");
+        let artifacts: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(artifacts.len(), 1, "exactly one artifact expected");
+        let path = artifacts[0].as_ref().unwrap().path();
+        assert_eq!(
+            run(&["--replay".into(), path.to_string_lossy().into_owned()]),
+            1
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clean_smoke_campaign_exits_zero() {
+        let code = run(&[
+            "--seeds".into(),
+            "0..1".into(),
+            "--events".into(),
+            "1000".into(),
+        ]);
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn unknown_flag_is_a_usage_error() {
+        assert_eq!(run(&["--bogus".into()]), 2);
+    }
+}

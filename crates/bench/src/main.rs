@@ -6,6 +6,11 @@ use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `conformance` owns its argument list (its --events default differs
+    // from the experiments'), so dispatch before the generic flag loop.
+    if args.first().map(String::as_str) == Some("conformance") {
+        std::process::exit(rsc_bench::conformance_cli::run(&args[1..]));
+    }
     let mut opts = ExpOptions::new();
     let mut csv_dir: Option<PathBuf> = None;
     let mut which: Vec<String> = Vec::new();

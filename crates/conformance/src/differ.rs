@@ -1,0 +1,274 @@
+//! Lockstep differential execution of the optimized controller against
+//! the golden reference.
+//!
+//! A [`CaseSpec`] names the subject's parameters, the reference's
+//! parameters (identical unless a [`Fault`](crate::fault::Fault) was
+//! injected), and the execution [`Mode`]. [`run_case`] then feeds one
+//! trace to both controllers and checks, in order:
+//!
+//! 1. the per-event [`SpecDecision`] stream (per-event mode) or the
+//!    per-chunk [`ChunkSummary`] against the sum of the reference's
+//!    per-event decisions (chunked mode);
+//! 2. final [`ControlStats`];
+//! 3. exact per-kind transition counts and the full transition event log;
+//! 4. a [`BranchSnapshot`] for every branch the trace touched.
+//!
+//! The first mismatch aborts the run with a [`Divergence`] carrying the
+//! event index (for the shrinker) and a human-readable detail string
+//! (for the artifact).
+
+use rsc_control::{
+    ChunkSummary, ControllerParams, ReactiveController, ReferenceController, SpecDecision,
+    TransitionKind,
+};
+use rsc_trace::rng::Xoshiro256;
+use rsc_trace::{BranchId, BranchRecord};
+
+/// Largest chunk the chunked mode will slice off a trace. Small enough
+/// that boundaries land inside monitoring windows, pending-deployment
+/// intervals, and eviction bursts many times per trace.
+pub const MAX_CHUNK: u64 = 13;
+
+/// How the subject controller consumes the trace. The reference always
+/// consumes it one event at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// `ReactiveController::observe`, one record at a time.
+    PerEvent,
+    /// `ReactiveController::observe_chunk` over chunks of random length
+    /// `1..=MAX_CHUNK`, derived deterministically from `seed`.
+    Chunked {
+        /// Seed for the chunk-length stream.
+        seed: u64,
+    },
+}
+
+impl Mode {
+    /// Stable name for artifacts and progress output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mode::PerEvent => "per-event",
+            Mode::Chunked { .. } => "chunked",
+        }
+    }
+}
+
+/// One differential test case: who runs against whom, and how.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaseSpec {
+    /// Parameters of the optimized controller under test.
+    pub subject: ControllerParams,
+    /// Parameters of the golden reference (the truth).
+    pub reference: ControllerParams,
+    /// How the subject consumes the trace.
+    pub mode: Mode,
+}
+
+/// A detected behavioral difference between subject and reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index of the first event at (or by) which the difference was
+    /// observable; `trace.len()` for end-of-trace state differences. The
+    /// shrinker uses this to truncate.
+    pub index: usize,
+    /// Human-readable description of what differed.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "divergence at event {}: {}", self.index, self.detail)
+    }
+}
+
+/// Runs one differential case over `trace`.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found.
+///
+/// # Panics
+///
+/// Panics if either parameter set fails validation — campaign parameters
+/// are constructed from validated presets.
+pub fn run_case(spec: &CaseSpec, trace: &[BranchRecord]) -> Result<(), Divergence> {
+    let mut subject = ReactiveController::new(spec.subject).expect("subject params validate");
+    let mut reference =
+        ReferenceController::new(spec.reference).expect("reference params validate");
+
+    match spec.mode {
+        Mode::PerEvent => {
+            for (i, r) in trace.iter().enumerate() {
+                let got = subject.observe(r);
+                let want = reference.observe(r);
+                if got != want {
+                    return Err(Divergence {
+                        index: i,
+                        detail: format!(
+                            "decision mismatch on branch {}: subject {got:?}, reference {want:?}",
+                            r.branch.index()
+                        ),
+                    });
+                }
+            }
+        }
+        Mode::Chunked { seed } => {
+            let mut sizes = Xoshiro256::seed_from(seed);
+            let mut start = 0usize;
+            while start < trace.len() {
+                let len = (1 + sizes.gen_range(MAX_CHUNK)) as usize;
+                let end = (start + len).min(trace.len());
+                let got = subject.observe_chunk(&trace[start..end]);
+                let mut want = ChunkSummary::default();
+                for r in &trace[start..end] {
+                    let d = reference.observe(r);
+                    want.events += 1;
+                    want.speculated += u64::from(d.speculated());
+                    want.correct += u64::from(d == SpecDecision::Correct);
+                    want.incorrect += u64::from(d == SpecDecision::Incorrect);
+                }
+                if got != want {
+                    return Err(Divergence {
+                        index: end - 1,
+                        detail: format!(
+                            "chunk summary mismatch over events {start}..{end}: \
+                             subject {got:?}, reference {want:?}"
+                        ),
+                    });
+                }
+                start = end;
+            }
+        }
+    }
+
+    compare_final_state(&subject, &reference, trace).map_err(|detail| Divergence {
+        index: trace.len(),
+        detail,
+    })
+}
+
+/// Compares everything that should be identical once the trace is fully
+/// consumed. Returns a description of the first mismatch.
+fn compare_final_state(
+    subject: &ReactiveController,
+    reference: &ReferenceController,
+    trace: &[BranchRecord],
+) -> Result<(), String> {
+    let got = subject.stats();
+    let want = reference.stats();
+    if got != want {
+        return Err(format!(
+            "final stats mismatch: subject {got:?}, reference {want:?}"
+        ));
+    }
+
+    for kind in TransitionKind::ALL {
+        let got = subject.transition_log().count(kind);
+        let want = reference.transition_count(kind);
+        if got != want {
+            return Err(format!(
+                "transition count mismatch for {kind:?}: subject {got}, reference {want}"
+            ));
+        }
+    }
+    if subject.transitions() != reference.transitions() {
+        let (got, want) = (subject.transitions(), reference.transitions());
+        let i = got
+            .iter()
+            .zip(want)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| got.len().min(want.len()));
+        return Err(format!(
+            "transition log mismatch at entry {i}: subject {:?}, reference {:?}",
+            got.get(i),
+            want.get(i)
+        ));
+    }
+
+    let max_branch = trace.iter().map(|r| r.branch.index()).max().unwrap_or(0);
+    for b in 0..=max_branch {
+        let id = BranchId::new(b as u32);
+        let got = subject.branch_snapshot(id);
+        let want = reference.branch_snapshot(id);
+        if got != want {
+            return Err(format!(
+                "branch {b} snapshot mismatch: subject {got:?}, reference {want:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::Fault;
+    use rsc_trace::Scenario;
+
+    fn tiny() -> ControllerParams {
+        let mut p = ControllerParams::scaled();
+        p.monitor_period = 10;
+        p.eviction = rsc_control::EvictionMode::Counter {
+            up: 50,
+            down: 1,
+            threshold: 100,
+        };
+        p.revisit = rsc_control::Revisit::After(20);
+        p.oscillation_limit = Some(3);
+        p.optimization_latency = 0;
+        p
+    }
+
+    fn conforming(mode: Mode) -> CaseSpec {
+        CaseSpec {
+            subject: tiny(),
+            reference: tiny(),
+            mode,
+        }
+    }
+
+    #[test]
+    fn identical_params_never_diverge() {
+        let trace = Scenario::PhaseFlip {
+            branches: 3,
+            flip_after: 40,
+        }
+        .generate(4_000, 17);
+        run_case(&conforming(Mode::PerEvent), &trace).unwrap();
+        run_case(&conforming(Mode::Chunked { seed: 9 }), &trace).unwrap();
+    }
+
+    #[test]
+    fn hysteresis_fault_diverges_per_event() {
+        let spec = CaseSpec {
+            subject: Fault::HysteresisOffByOne.apply(tiny()),
+            reference: tiny(),
+            mode: Mode::PerEvent,
+        };
+        let trace = Scenario::HysteresisStraddle {
+            warmup: 10,
+            period: 2,
+        }
+        .generate(4_000, 3);
+        let div = run_case(&spec, &trace).unwrap_err();
+        assert!(div.index < trace.len(), "should diverge mid-stream");
+    }
+
+    #[test]
+    fn monitor_fault_diverges_chunked() {
+        let spec = CaseSpec {
+            subject: Fault::MonitorWindowOffByOne.apply(tiny()),
+            reference: tiny(),
+            mode: Mode::Chunked { seed: 5 },
+        };
+        let trace = Scenario::ThresholdOscillator { window: 10 }.generate(4_000, 3);
+        run_case(&spec, &trace).unwrap_err();
+    }
+
+    #[test]
+    fn chunk_layout_is_a_pure_function_of_the_seed() {
+        let trace = Scenario::UniformRandom { branches: 6 }.generate(2_000, 8);
+        let spec = conforming(Mode::Chunked { seed: 77 });
+        assert_eq!(run_case(&spec, &trace), run_case(&spec, &trace));
+    }
+}

@@ -1,0 +1,128 @@
+//! Seeded faults for validating the harness itself.
+//!
+//! A differential oracle that has never caught anything is untrustworthy,
+//! so the campaign can deliberately perturb the *subject* controller's
+//! parameters while the golden reference keeps the true ones. Each fault
+//! is a classic off-by-one in one FSM arc; the acceptance suite asserts
+//! the fuzzer catches every one of them and shrinks the evidence to a
+//! replayable counterexample.
+//!
+//! The perturbation happens entirely inside this test harness — the
+//! production controller carries no fault-injection hooks.
+
+use rsc_control::{ControllerParams, EvictionMode, Revisit};
+
+/// A deliberate off-by-one misconfiguration of the subject controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Hysteresis counter evicts one step early (`threshold − 1`).
+    HysteresisOffByOne,
+    /// Unbiased branches wait one extra execution before re-monitoring.
+    RevisitOffByOne,
+    /// The monitor classifies after one extra execution.
+    MonitorWindowOffByOne,
+    /// The oscillation cap allows one extra entry before disabling.
+    OscillationCapOffByOne,
+}
+
+impl Fault {
+    /// Every known fault, in a stable order.
+    pub const ALL: [Fault; 4] = [
+        Fault::HysteresisOffByOne,
+        Fault::RevisitOffByOne,
+        Fault::MonitorWindowOffByOne,
+        Fault::OscillationCapOffByOne,
+    ];
+
+    /// Stable name used on the CLI and in artifacts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::HysteresisOffByOne => "hysteresis-off-by-one",
+            Fault::RevisitOffByOne => "revisit-off-by-one",
+            Fault::MonitorWindowOffByOne => "monitor-window-off-by-one",
+            Fault::OscillationCapOffByOne => "oscillation-cap-off-by-one",
+        }
+    }
+
+    /// Parses a fault name.
+    pub fn from_name(name: &str) -> Option<Fault> {
+        Fault::ALL.into_iter().find(|f| f.name() == name)
+    }
+
+    /// Applies the perturbation to the subject's parameters. Returns the
+    /// parameters unchanged when the targeted knob is not in play (e.g.
+    /// the hysteresis fault under `EvictionMode::Never`).
+    pub fn apply(&self, mut p: ControllerParams) -> ControllerParams {
+        match self {
+            Fault::HysteresisOffByOne => {
+                if let EvictionMode::Counter {
+                    up,
+                    down,
+                    threshold,
+                } = p.eviction
+                {
+                    p.eviction = EvictionMode::Counter {
+                        up,
+                        down,
+                        threshold: (threshold - 1).max(up),
+                    };
+                }
+            }
+            Fault::RevisitOffByOne => {
+                if let Revisit::After(n) = p.revisit {
+                    p.revisit = Revisit::After(n + 1);
+                }
+            }
+            Fault::MonitorWindowOffByOne => {
+                p.monitor_period += 1;
+            }
+            Fault::OscillationCapOffByOne => {
+                if let Some(limit) = p.oscillation_limit {
+                    p.oscillation_limit = Some(limit + 1);
+                }
+            }
+        }
+        p
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for f in Fault::ALL {
+            assert_eq!(Fault::from_name(f.name()), Some(f));
+        }
+        assert_eq!(Fault::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn every_fault_changes_the_baseline_params() {
+        let base = ControllerParams::scaled();
+        for f in Fault::ALL {
+            let perturbed = f.apply(base);
+            assert_ne!(perturbed, base, "{f} must perturb the baseline");
+            assert!(perturbed.validate().is_ok(), "{f} must stay valid");
+        }
+    }
+
+    #[test]
+    fn faults_are_noops_when_knob_is_absent() {
+        let p = ControllerParams::scaled()
+            .without_eviction()
+            .without_revisit();
+        assert_eq!(Fault::HysteresisOffByOne.apply(p), p);
+        assert_eq!(Fault::RevisitOffByOne.apply(p), p);
+        let mut p = ControllerParams::scaled();
+        p.oscillation_limit = None;
+        assert_eq!(Fault::OscillationCapOffByOne.apply(p), p);
+    }
+}

@@ -97,6 +97,110 @@ pub struct TransitionEvent {
     pub direction: Option<Direction>,
 }
 
+/// Externally comparable view of the eviction bookkeeping inside the
+/// biased state (see [`BranchStateView`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackerView {
+    /// Hysteresis-counter eviction: the current counter value.
+    Counter {
+        /// Saturating counter value in `[0, threshold]`.
+        value: u32,
+    },
+    /// Sampled eviction: position within the current period.
+    Sampling {
+        /// Executions into the current sampling period.
+        pos: u64,
+        /// Sampled executions that matched the speculated direction.
+        matched: u64,
+        /// Executions sampled so far this period.
+        sampled: u64,
+    },
+    /// Eviction disabled.
+    Never,
+}
+
+/// Externally comparable view of one branch's FSM state.
+///
+/// This is the observable content of the controller's per-branch state:
+/// two controller implementations agree on a branch exactly when their
+/// views are equal. The differential conformance harness
+/// (`rsc-conformance`) compares these between [`ReactiveController`] and
+/// the golden [`ReferenceController`](crate::reference::ReferenceController).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchStateView {
+    /// Monitoring: the window counters accumulated so far.
+    Monitor {
+        /// Executions observed in this monitor window.
+        execs: u64,
+        /// Executions sampled (equal to `execs` at sample rate 1).
+        samples: u64,
+        /// Sampled executions that were taken.
+        taken: u64,
+    },
+    /// Selected, waiting for the optimized code to deploy.
+    PendingBiased {
+        /// Instruction count at which the new code goes live.
+        deadline: u64,
+        /// The speculated direction.
+        dir: Direction,
+    },
+    /// Speculating.
+    Biased {
+        /// The speculated direction.
+        dir: Direction,
+        /// Eviction bookkeeping.
+        tracker: TrackerView,
+    },
+    /// Evicted, stale speculative code still running until the deadline.
+    PendingMonitor {
+        /// Instruction count at which the repaired code goes live.
+        deadline: u64,
+        /// The direction the stale code still speculates.
+        dir: Direction,
+    },
+    /// Classified unbiased; counting down to the revisit (if any).
+    Unbiased {
+        /// Executions left before re-monitoring (`None` = never).
+        remaining: Option<u64>,
+    },
+    /// Permanently disabled by the oscillation cap.
+    Disabled,
+}
+
+/// Full externally comparable snapshot of one branch: FSM state plus the
+/// lifetime counters that feed [`ControlStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchSnapshot {
+    /// The FSM state.
+    pub state: BranchStateView,
+    /// Lifetime entries into the biased state.
+    pub entries: u32,
+    /// Entries since the last flush (what the oscillation cap counts).
+    pub entries_since_flush: u32,
+    /// Lifetime evictions from the biased state.
+    pub evictions: u32,
+    /// Dynamic executions observed.
+    pub execs: u64,
+}
+
+impl BranchSnapshot {
+    /// The snapshot of a branch that has never executed: a fresh monitor
+    /// state with zeroed counters.
+    pub fn untouched() -> Self {
+        BranchSnapshot {
+            state: BranchStateView::Monitor {
+                execs: 0,
+                samples: 0,
+                taken: 0,
+            },
+            entries: 0,
+            entries_since_flush: 0,
+            evictions: 0,
+            execs: 0,
+        }
+    }
+}
+
 /// Eviction bookkeeping inside the biased state.
 #[derive(Debug, Clone)]
 enum EvictTracker {
@@ -789,6 +893,62 @@ impl ReactiveController {
             self.branches.get(branch.index()).map(|b| &b.state),
             Some(State::Disabled)
         )
+    }
+
+    /// Externally comparable snapshot of `branch`'s FSM state and
+    /// counters. Branches that were never observed report
+    /// [`BranchSnapshot::untouched`] (every branch conceptually starts in
+    /// a fresh monitor state).
+    pub fn branch_snapshot(&self, branch: BranchId) -> BranchSnapshot {
+        let Some(b) = self.branches.get(branch.index()) else {
+            return BranchSnapshot::untouched();
+        };
+        let state = match &b.state {
+            State::Monitor {
+                execs,
+                samples,
+                taken,
+            } => BranchStateView::Monitor {
+                execs: *execs,
+                samples: *samples,
+                taken: *taken,
+            },
+            State::PendingBiased { deadline, dir } => BranchStateView::PendingBiased {
+                deadline: *deadline,
+                dir: *dir,
+            },
+            State::Biased { dir, tracker } => BranchStateView::Biased {
+                dir: *dir,
+                tracker: match tracker {
+                    EvictTracker::Counter(c) => TrackerView::Counter { value: c.value() },
+                    EvictTracker::Sampling {
+                        pos,
+                        matched,
+                        sampled,
+                    } => TrackerView::Sampling {
+                        pos: *pos,
+                        matched: *matched,
+                        sampled: *sampled,
+                    },
+                    EvictTracker::Never => TrackerView::Never,
+                },
+            },
+            State::PendingMonitor { deadline, dir } => BranchStateView::PendingMonitor {
+                deadline: *deadline,
+                dir: *dir,
+            },
+            State::Unbiased { remaining } => BranchStateView::Unbiased {
+                remaining: *remaining,
+            },
+            State::Disabled => BranchStateView::Disabled,
+        };
+        BranchSnapshot {
+            state,
+            entries: b.entries,
+            entries_since_flush: b.entries_since_flush,
+            evictions: b.evictions,
+            execs: b.execs,
+        }
     }
 }
 

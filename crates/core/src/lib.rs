@@ -44,13 +44,16 @@ pub mod controller;
 pub mod counter;
 pub mod engine;
 pub mod params;
+pub mod reference;
 pub mod stats;
 pub mod translog;
 
 pub use controller::{
-    ChunkSummary, ReactiveController, SpecDecision, TransitionEvent, TransitionKind,
+    BranchSnapshot, BranchStateView, ChunkSummary, ReactiveController, SpecDecision, TrackerView,
+    TransitionEvent, TransitionKind,
 };
 pub use engine::{run_population, run_population_chunked, run_trace, RunResult};
 pub use params::{ControllerParams, EvictionMode, InvalidParamsError, MonitorPolicy, Revisit};
+pub use reference::ReferenceController;
 pub use stats::ControlStats;
 pub use translog::{TransitionLog, TransitionLogPolicy};

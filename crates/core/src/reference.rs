@@ -1,0 +1,784 @@
+//! The golden reference controller: a deliberately naive, obviously
+//! correct transliteration of the paper's three-state FSM.
+//!
+//! [`ReferenceController`] is the *normative specification* of controller
+//! behavior (see DESIGN.md §9). It trades every performance concern for
+//! legibility: one `HashMap` entry per branch, owned state values cloned
+//! on every event, a freshly allocated decision path per execution, and a
+//! full unbounded transition log. Nothing here is shared with the
+//! optimized [`ReactiveController`](crate::ReactiveController) except the
+//! parameter types, the public event/stat types, and the Wilson-bound
+//! arithmetic in [`crate::confidence`] (a pure math primitive, shared so
+//! the two implementations cannot drift on floating-point evaluation
+//! order).
+//!
+//! Every future optimization of `ReactiveController` must stay
+//! bit-identical to this implementation; the `rsc-conformance` crate
+//! enforces that with differential fuzzing over adversarial traces.
+//!
+//! # The FSM, normatively
+//!
+//! ```text
+//!              bias >= threshold            misspec counter trips
+//!   Monitor ─────────────────────► Biased ──────────────────────┐
+//!      ▲  │                                                      │
+//!      │  │ bias < threshold                 (eviction arc)      │
+//!      │  ▼                                                      │
+//!   Unbiased ◄───────────────────────────────────────────────────┘
+//!      │        revisit arc: after the wait period,
+//!      └──────► back to Monitor
+//! ```
+//!
+//! Deployment latency splits both optimization arcs: selection passes
+//! through `PendingBiased` (old, unspeculated code still running) and
+//! eviction through `PendingMonitor` (stale speculative code still
+//! running — and still misspeculating) until the deadline instruction
+//! count is reached. The oscillation cap refuses the `(limit+1)`-th entry
+//! into the biased state and disables the branch permanently.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsc_control::reference::ReferenceController;
+//! use rsc_control::{ControllerParams, ReactiveController};
+//! use rsc_trace::{spec2000, InputId};
+//!
+//! let pop = spec2000::benchmark("gzip").unwrap().population(20_000);
+//! let mut golden = ReferenceController::new(ControllerParams::scaled())?;
+//! let mut fast = ReactiveController::new(ControllerParams::scaled())?;
+//! for r in pop.trace(InputId::Eval, 20_000, 1) {
+//!     assert_eq!(golden.observe(&r), fast.observe(&r));
+//! }
+//! assert_eq!(golden.stats(), fast.stats());
+//! assert_eq!(golden.transitions(), fast.transitions());
+//! # Ok::<(), rsc_control::InvalidParamsError>(())
+//! ```
+
+use crate::controller::{
+    BranchSnapshot, BranchStateView, SpecDecision, TrackerView, TransitionEvent, TransitionKind,
+};
+use crate::params::{ControllerParams, EvictionMode, InvalidParamsError, MonitorPolicy, Revisit};
+use crate::stats::ControlStats;
+use rsc_trace::{BranchId, BranchRecord, Direction};
+use std::collections::HashMap;
+
+/// Per-branch state, written as plain owned data. Identical in content to
+/// the optimized controller's private state; independent in code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RefState {
+    Monitor {
+        execs: u64,
+        samples: u64,
+        taken: u64,
+    },
+    PendingBiased {
+        deadline: u64,
+        dir: Direction,
+    },
+    Biased {
+        dir: Direction,
+        tracker: RefTracker,
+    },
+    PendingMonitor {
+        deadline: u64,
+        dir: Direction,
+    },
+    Unbiased {
+        remaining: Option<u64>,
+    },
+    Disabled,
+}
+
+/// Eviction bookkeeping, re-implemented from the spec (not from
+/// [`crate::counter`]): the counter saturates in `[0, threshold]`, adding
+/// `up` per misspeculation and subtracting `down` per correct
+/// speculation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RefTracker {
+    Counter {
+        value: u32,
+    },
+    Sampling {
+        pos: u64,
+        matched: u64,
+        sampled: u64,
+    },
+    Never,
+}
+
+#[derive(Debug, Clone)]
+struct RefBranch {
+    state: RefState,
+    entries: u32,
+    entries_since_flush: u32,
+    evictions: u32,
+    execs: u64,
+}
+
+impl RefBranch {
+    fn fresh() -> Self {
+        RefBranch {
+            state: RefState::Monitor {
+                execs: 0,
+                samples: 0,
+                taken: 0,
+            },
+            entries: 0,
+            entries_since_flush: 0,
+            evictions: 0,
+            execs: 0,
+        }
+    }
+}
+
+/// The golden oracle: semantically identical to
+/// [`ReactiveController`](crate::ReactiveController), structurally as
+/// simple as possible.
+#[derive(Debug, Clone)]
+pub struct ReferenceController {
+    params: ControllerParams,
+    branches: HashMap<u32, RefBranch>,
+    transitions: Vec<TransitionEvent>,
+    events: u64,
+    instructions: u64,
+    correct: u64,
+    incorrect: u64,
+}
+
+impl ReferenceController {
+    /// Creates a reference controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the parameters are inconsistent.
+    pub fn new(params: ControllerParams) -> Result<Self, InvalidParamsError> {
+        params.validate()?;
+        Ok(ReferenceController {
+            params,
+            branches: HashMap::new(),
+            transitions: Vec::new(),
+            events: 0,
+            instructions: 0,
+            correct: 0,
+            incorrect: 0,
+        })
+    }
+
+    /// The controller's parameters.
+    pub fn params(&self) -> &ControllerParams {
+        &self.params
+    }
+
+    /// Feeds one dynamic branch execution through the FSM.
+    ///
+    /// Step order is normative: the event counter increments first (so
+    /// transitions logged during event *i* carry `event_index == i + 1`),
+    /// the instruction high-water mark and per-branch execution count
+    /// update next, and only then does the state machine run. Deployment
+    /// deadlines are checked *before* processing, so the first
+    /// post-deadline execution already runs the newly deployed code.
+    pub fn observe(&mut self, r: &BranchRecord) -> SpecDecision {
+        self.events += 1;
+        self.instructions = self.instructions.max(r.instr);
+        self.branches
+            .entry(r.branch.index() as u32)
+            .or_insert_with(RefBranch::fresh)
+            .execs += 1;
+
+        // Resolve deployment deadlines first: a reached deadline swaps the
+        // state and the event is reprocessed under the new state.
+        loop {
+            let state = self.branches[&(r.branch.index() as u32)].state.clone();
+            match state {
+                RefState::PendingBiased { deadline, dir } if r.instr >= deadline => {
+                    self.set_state(
+                        r.branch,
+                        RefState::Biased {
+                            dir,
+                            tracker: self.fresh_tracker(),
+                        },
+                    );
+                }
+                RefState::PendingMonitor { deadline, .. } if r.instr >= deadline => {
+                    self.set_state(
+                        r.branch,
+                        RefState::Monitor {
+                            execs: 0,
+                            samples: 0,
+                            taken: 0,
+                        },
+                    );
+                }
+                state => return self.step(r, state),
+            }
+        }
+    }
+
+    /// One FSM step under a settled (non-deadline) state.
+    fn step(&mut self, r: &BranchRecord, state: RefState) -> SpecDecision {
+        match state {
+            RefState::Disabled => SpecDecision::NotSpeculated,
+
+            RefState::Monitor {
+                execs,
+                samples,
+                taken,
+            } => {
+                // Sample every `monitor_sample_rate`-th execution,
+                // starting with the first.
+                let sampled = execs % self.params.monitor_sample_rate == 0;
+                let samples = samples + u64::from(sampled);
+                let taken = taken + u64::from(sampled && r.taken);
+                let execs = execs + 1;
+                match self.classify(execs, samples, taken) {
+                    None => {
+                        self.set_state(
+                            r.branch,
+                            RefState::Monitor {
+                                execs,
+                                samples,
+                                taken,
+                            },
+                        );
+                    }
+                    Some(true) => self.select(r, samples, taken),
+                    Some(false) => {
+                        let remaining = match self.params.revisit {
+                            Revisit::After(n) => Some(n),
+                            Revisit::Never => None,
+                        };
+                        self.set_state(r.branch, RefState::Unbiased { remaining });
+                        self.log(r.branch, TransitionKind::EnterUnbiased, r.instr, None);
+                    }
+                }
+                SpecDecision::NotSpeculated
+            }
+
+            RefState::PendingBiased { .. } => SpecDecision::NotSpeculated,
+
+            RefState::Biased { dir, tracker } => {
+                let decision = self.speculate(dir, r.taken);
+                let (tracker, evict) = self.track(tracker, dir.matches(r.taken));
+                if evict {
+                    self.branch_mut(r.branch).evictions += 1;
+                    self.log(r.branch, TransitionKind::ExitBiased, r.instr, Some(dir));
+                    if self.params.optimization_latency == 0 {
+                        self.set_state(
+                            r.branch,
+                            RefState::Monitor {
+                                execs: 0,
+                                samples: 0,
+                                taken: 0,
+                            },
+                        );
+                    } else {
+                        self.set_state(
+                            r.branch,
+                            RefState::PendingMonitor {
+                                deadline: r.instr + self.params.optimization_latency,
+                                dir,
+                            },
+                        );
+                    }
+                } else {
+                    self.set_state(r.branch, RefState::Biased { dir, tracker });
+                }
+                decision
+            }
+
+            // Stale speculative code runs (and misspeculates) until the
+            // repaired code deploys.
+            RefState::PendingMonitor { dir, .. } => self.speculate(dir, r.taken),
+
+            RefState::Unbiased { remaining } => {
+                match remaining {
+                    Some(n) if n <= 1 => {
+                        self.set_state(
+                            r.branch,
+                            RefState::Monitor {
+                                execs: 0,
+                                samples: 0,
+                                taken: 0,
+                            },
+                        );
+                        self.log(r.branch, TransitionKind::RevisitMonitor, r.instr, None);
+                    }
+                    Some(n) => {
+                        self.set_state(
+                            r.branch,
+                            RefState::Unbiased {
+                                remaining: Some(n - 1),
+                            },
+                        );
+                    }
+                    None => {}
+                }
+                SpecDecision::NotSpeculated
+            }
+        }
+    }
+
+    /// `Some(true)` = classify biased, `Some(false)` = classify unbiased,
+    /// `None` = keep monitoring.
+    fn classify(&self, execs: u64, samples: u64, taken: u64) -> Option<bool> {
+        let majority = taken.max(samples - taken);
+        let point_bias = if samples == 0 {
+            0.0
+        } else {
+            majority as f64 / samples as f64
+        };
+        let threshold = self.params.selection_threshold;
+        match self.params.monitor_policy {
+            MonitorPolicy::FixedWindow => {
+                if execs >= self.params.monitor_period {
+                    Some(point_bias >= threshold)
+                } else {
+                    None
+                }
+            }
+            MonitorPolicy::Confidence {
+                z,
+                min_execs,
+                max_execs,
+            } => {
+                if samples < min_execs {
+                    None
+                } else {
+                    let (lo, hi) = crate::confidence::wilson_bounds(majority, samples, z);
+                    if lo >= threshold {
+                        Some(true)
+                    } else if hi < threshold {
+                        Some(false)
+                    } else if samples >= max_execs {
+                        Some(point_bias >= threshold)
+                    } else {
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    /// The monitor classified the branch biased: enter (or refuse, under
+    /// the oscillation cap) the biased state.
+    fn select(&mut self, r: &BranchRecord, samples: u64, taken: u64) {
+        let dir = if taken * 2 >= samples {
+            Direction::Taken
+        } else {
+            Direction::NotTaken
+        };
+        if let Some(limit) = self.params.oscillation_limit {
+            if self.branches[&(r.branch.index() as u32)].entries_since_flush >= limit {
+                self.set_state(r.branch, RefState::Disabled);
+                self.log(r.branch, TransitionKind::Disabled, r.instr, None);
+                return;
+            }
+        }
+        let b = self.branch_mut(r.branch);
+        b.entries += 1;
+        b.entries_since_flush += 1;
+        self.log(r.branch, TransitionKind::EnterBiased, r.instr, Some(dir));
+        if self.params.optimization_latency == 0 {
+            self.set_state(
+                r.branch,
+                RefState::Biased {
+                    dir,
+                    tracker: self.fresh_tracker(),
+                },
+            );
+        } else {
+            self.set_state(
+                r.branch,
+                RefState::PendingBiased {
+                    deadline: r.instr + self.params.optimization_latency,
+                    dir,
+                },
+            );
+        }
+    }
+
+    /// Scores one speculated execution and updates the global counters.
+    fn speculate(&mut self, dir: Direction, taken: bool) -> SpecDecision {
+        if dir.matches(taken) {
+            self.correct += 1;
+            SpecDecision::Correct
+        } else {
+            self.incorrect += 1;
+            SpecDecision::Incorrect
+        }
+    }
+
+    /// Advances the eviction tracker by one execution; returns the updated
+    /// tracker and whether the eviction policy fired.
+    fn track(&self, tracker: RefTracker, correct: bool) -> (RefTracker, bool) {
+        match tracker {
+            RefTracker::Counter { value } => {
+                let (up, down, threshold) = match self.params.eviction {
+                    EvictionMode::Counter {
+                        up,
+                        down,
+                        threshold,
+                    } => (up, down, threshold),
+                    _ => unreachable!("tracker matches eviction mode"),
+                };
+                let value = if correct {
+                    value.saturating_sub(down)
+                } else {
+                    value.saturating_add(up).min(threshold)
+                };
+                (RefTracker::Counter { value }, value >= threshold)
+            }
+            RefTracker::Sampling {
+                pos,
+                matched,
+                sampled,
+            } => {
+                let (period, samples, bias_threshold) = match self.params.eviction {
+                    EvictionMode::Sampling {
+                        period,
+                        samples,
+                        bias_threshold,
+                    } => (period, samples, bias_threshold),
+                    _ => unreachable!("tracker matches eviction mode"),
+                };
+                let mut fire = false;
+                let (mut pos, mut matched, mut sampled) = (pos, matched, sampled);
+                if pos < samples {
+                    sampled += 1;
+                    matched += u64::from(correct);
+                    if sampled == samples {
+                        let bias = matched as f64 / sampled as f64;
+                        fire = bias < bias_threshold;
+                    }
+                }
+                pos += 1;
+                if pos >= period {
+                    pos = 0;
+                    matched = 0;
+                    sampled = 0;
+                }
+                (
+                    RefTracker::Sampling {
+                        pos,
+                        matched,
+                        sampled,
+                    },
+                    fire,
+                )
+            }
+            RefTracker::Never => (RefTracker::Never, false),
+        }
+    }
+
+    fn fresh_tracker(&self) -> RefTracker {
+        match self.params.eviction {
+            EvictionMode::Counter { .. } => RefTracker::Counter { value: 0 },
+            EvictionMode::Sampling { .. } => RefTracker::Sampling {
+                pos: 0,
+                matched: 0,
+                sampled: 0,
+            },
+            EvictionMode::Never => RefTracker::Never,
+        }
+    }
+
+    fn branch_mut(&mut self, branch: BranchId) -> &mut RefBranch {
+        self.branches
+            .get_mut(&(branch.index() as u32))
+            .expect("branch inserted at observe entry")
+    }
+
+    fn set_state(&mut self, branch: BranchId, state: RefState) {
+        self.branch_mut(branch).state = state;
+    }
+
+    fn log(
+        &mut self,
+        branch: BranchId,
+        kind: TransitionKind,
+        instr: u64,
+        direction: Option<Direction>,
+    ) {
+        self.transitions.push(TransitionEvent {
+            branch,
+            kind,
+            event_index: self.events,
+            instr,
+            direction,
+        });
+    }
+
+    /// Forgets every classification (fragment-cache flush), mirroring
+    /// [`ReactiveController::flush_all`](crate::ReactiveController::flush_all).
+    pub fn flush_all(&mut self) {
+        for b in self.branches.values_mut() {
+            b.state = RefState::Monitor {
+                execs: 0,
+                samples: 0,
+                taken: 0,
+            };
+            b.entries_since_flush = 0;
+        }
+    }
+
+    /// The full transition log (the reference always retains everything).
+    pub fn transitions(&self) -> &[TransitionEvent] {
+        &self.transitions
+    }
+
+    /// Exact number of transitions of `kind`, recomputed naively from the
+    /// full log.
+    pub fn transition_count(&self, kind: TransitionKind) -> u64 {
+        self.transitions.iter().filter(|t| t.kind == kind).count() as u64
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> ControlStats {
+        let mut s = ControlStats {
+            events: self.events,
+            instructions: self.instructions,
+            correct: self.correct,
+            incorrect: self.incorrect,
+            ..ControlStats::default()
+        };
+        for b in self.branches.values() {
+            if b.execs == 0 {
+                continue;
+            }
+            s.touched += 1;
+            if b.entries > 0 {
+                s.entered_biased += 1;
+                s.total_entries += u64::from(b.entries);
+            }
+            if b.evictions > 0 {
+                s.evicted_branches += 1;
+                s.total_evictions += u64::from(b.evictions);
+            }
+            if matches!(b.state, RefState::Disabled) {
+                s.disabled_branches += 1;
+            }
+        }
+        s.reopt_requests = s.total_entries + s.total_evictions;
+        s
+    }
+
+    /// Externally comparable snapshot of `branch` (see
+    /// [`ReactiveController::branch_snapshot`](crate::ReactiveController::branch_snapshot)).
+    pub fn branch_snapshot(&self, branch: BranchId) -> BranchSnapshot {
+        let Some(b) = self.branches.get(&(branch.index() as u32)) else {
+            return BranchSnapshot::untouched();
+        };
+        let state = match &b.state {
+            RefState::Monitor {
+                execs,
+                samples,
+                taken,
+            } => BranchStateView::Monitor {
+                execs: *execs,
+                samples: *samples,
+                taken: *taken,
+            },
+            RefState::PendingBiased { deadline, dir } => BranchStateView::PendingBiased {
+                deadline: *deadline,
+                dir: *dir,
+            },
+            RefState::Biased { dir, tracker } => BranchStateView::Biased {
+                dir: *dir,
+                tracker: match tracker {
+                    RefTracker::Counter { value } => TrackerView::Counter { value: *value },
+                    RefTracker::Sampling {
+                        pos,
+                        matched,
+                        sampled,
+                    } => TrackerView::Sampling {
+                        pos: *pos,
+                        matched: *matched,
+                        sampled: *sampled,
+                    },
+                    RefTracker::Never => TrackerView::Never,
+                },
+            },
+            RefState::PendingMonitor { deadline, dir } => BranchStateView::PendingMonitor {
+                deadline: *deadline,
+                dir: *dir,
+            },
+            RefState::Unbiased { remaining } => BranchStateView::Unbiased {
+                remaining: *remaining,
+            },
+            RefState::Disabled => BranchStateView::Disabled,
+        };
+        BranchSnapshot {
+            state,
+            entries: b.entries,
+            entries_since_flush: b.entries_since_flush,
+            evictions: b.evictions,
+            execs: b.execs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReactiveController;
+
+    fn rec(b: u32, taken: bool, instr: u64) -> BranchRecord {
+        BranchRecord {
+            branch: BranchId::new(b),
+            taken,
+            instr,
+        }
+    }
+
+    fn tiny() -> ControllerParams {
+        ControllerParams {
+            monitor_period: 10,
+            monitor_policy: MonitorPolicy::FixedWindow,
+            monitor_sample_rate: 1,
+            selection_threshold: 0.995,
+            eviction: EvictionMode::Counter {
+                up: 50,
+                down: 1,
+                threshold: 100,
+            },
+            revisit: Revisit::After(20),
+            oscillation_limit: Some(5),
+            optimization_latency: 0,
+        }
+    }
+
+    /// A stream exercising selection, eviction, oscillation disable, the
+    /// unbiased/revisit arc, and deployment latency cascades.
+    fn lifecycle_stream() -> Vec<BranchRecord> {
+        let mut v = Vec::new();
+        let mut instr = 0u64;
+        for round in 0..8u64 {
+            for _ in 0..10 {
+                instr += 5;
+                v.push(rec(0, true, instr));
+            }
+            for _ in 0..3 {
+                instr += 5;
+                v.push(rec(0, false, instr));
+            }
+            for i in 0..25u64 {
+                instr += 5;
+                v.push(rec(1, (i + round) % 2 == 0, instr));
+            }
+            // A long gap so pending deadlines resolve under latency
+            // parameterizations.
+            instr += 60;
+        }
+        v
+    }
+
+    fn assert_lockstep(params: ControllerParams) {
+        let mut golden = ReferenceController::new(params).unwrap();
+        let mut fast = ReactiveController::new(params).unwrap();
+        for (i, r) in lifecycle_stream().iter().enumerate() {
+            let a = golden.observe(r);
+            let b = fast.observe(r);
+            assert_eq!(a, b, "decision diverged at event {i}");
+        }
+        assert_eq!(golden.stats(), fast.stats());
+        assert_eq!(golden.transitions(), fast.transitions());
+        for b in 0..3u32 {
+            assert_eq!(
+                golden.branch_snapshot(BranchId::new(b)),
+                fast.branch_snapshot(BranchId::new(b)),
+                "branch {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_optimized_controller_across_lifecycle() {
+        assert_lockstep(tiny());
+    }
+
+    #[test]
+    fn matches_optimized_controller_with_latency() {
+        assert_lockstep(tiny().with_latency(40));
+    }
+
+    #[test]
+    fn matches_optimized_controller_without_eviction() {
+        assert_lockstep(tiny().without_eviction());
+    }
+
+    #[test]
+    fn matches_optimized_controller_with_sampled_eviction() {
+        let mut p = tiny();
+        p.eviction = EvictionMode::Sampling {
+            period: 20,
+            samples: 10,
+            bias_threshold: 0.98,
+        };
+        assert_lockstep(p);
+    }
+
+    #[test]
+    fn matches_optimized_controller_with_confidence_monitor() {
+        assert_lockstep(tiny().with_confidence_monitor(2.58, 4, 32));
+    }
+
+    #[test]
+    fn matches_optimized_controller_with_monitor_sampling() {
+        assert_lockstep(tiny().with_monitor_sampling(3));
+    }
+
+    #[test]
+    fn untouched_branch_reports_fresh_snapshot() {
+        let golden = ReferenceController::new(tiny()).unwrap();
+        assert_eq!(
+            golden.branch_snapshot(BranchId::new(99)),
+            BranchSnapshot::untouched()
+        );
+    }
+
+    #[test]
+    fn flush_matches_optimized_flush() {
+        let params = tiny();
+        let mut golden = ReferenceController::new(params).unwrap();
+        let mut fast = ReactiveController::new(params).unwrap();
+        let stream = lifecycle_stream();
+        let (head, tail) = stream.split_at(stream.len() / 2);
+        for r in head {
+            golden.observe(r);
+            fast.observe(r);
+        }
+        golden.flush_all();
+        fast.flush_all();
+        for r in tail {
+            assert_eq!(golden.observe(r), fast.observe(r));
+        }
+        assert_eq!(golden.stats(), fast.stats());
+        for b in 0..3u32 {
+            assert_eq!(
+                golden.branch_snapshot(BranchId::new(b)),
+                fast.branch_snapshot(BranchId::new(b))
+            );
+        }
+    }
+
+    #[test]
+    fn transition_counts_match_log() {
+        let mut golden = ReferenceController::new(tiny()).unwrap();
+        for r in lifecycle_stream() {
+            golden.observe(&r);
+        }
+        let total: u64 = TransitionKind::ALL
+            .iter()
+            .map(|&k| golden.transition_count(k))
+            .sum();
+        assert_eq!(total, golden.transitions().len() as u64);
+        assert!(golden.transition_count(TransitionKind::EnterBiased) > 0);
+    }
+
+    #[test]
+    fn rejects_invalid_params() {
+        let mut p = tiny();
+        p.monitor_period = 0;
+        assert!(ReferenceController::new(p).is_err());
+    }
+}

@@ -212,6 +212,64 @@ mod tests {
     }
 
     #[test]
+    fn ring_buffer_of_one_keeps_only_the_newest() {
+        let mut log = TransitionLog::new(TransitionLogPolicy::RingBuffer(1));
+        for i in 0..10 {
+            log.push(ev(i, TransitionKind::EnterBiased));
+            let got: Vec<u64> = log.as_slice().iter().map(|e| e.event_index).collect();
+            assert_eq!(got, vec![i], "after push {i}");
+        }
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.count(TransitionKind::EnterBiased), 10);
+    }
+
+    #[test]
+    fn ring_buffer_wrap_exactly_at_capacity() {
+        // n pushes fill the window without evicting; push n+1 is the
+        // first eviction. Check the boundary on both sides, including the
+        // internal 2n compaction point.
+        let n = 4;
+        let mut log = TransitionLog::new(TransitionLogPolicy::RingBuffer(n));
+        for i in 0..n as u64 {
+            log.push(ev(i, TransitionKind::EnterBiased));
+        }
+        let got: Vec<u64> = log.as_slice().iter().map(|e| e.event_index).collect();
+        assert_eq!(got, vec![0, 1, 2, 3], "full window, nothing evicted");
+
+        log.push(ev(n as u64, TransitionKind::EnterBiased));
+        let got: Vec<u64> = log.as_slice().iter().map(|e| e.event_index).collect();
+        assert_eq!(got, vec![1, 2, 3, 4], "oldest evicted on push n+1");
+
+        // Drive through the 2n amortization boundary (push 2n triggers
+        // the internal compaction) and verify the visible window is
+        // unaffected.
+        for i in (n as u64 + 1)..(2 * n as u64 + 2) {
+            log.push(ev(i, TransitionKind::EnterBiased));
+        }
+        let got: Vec<u64> = log.as_slice().iter().map(|e| e.event_index).collect();
+        assert_eq!(got, vec![6, 7, 8, 9]);
+        assert_eq!(log.count(TransitionKind::EnterBiased), 2 * n as u64 + 2);
+    }
+
+    #[test]
+    fn per_kind_counts_stay_exact_after_wrap() {
+        // A window far smaller than the stream, fed a mix of kinds; the
+        // retained slice forgets, the counters must not.
+        let mut log = TransitionLog::new(TransitionLogPolicy::RingBuffer(3));
+        let mut expect = [0u64; TransitionKind::ALL.len()];
+        for i in 0..500u64 {
+            let kind = TransitionKind::ALL[(i % 5) as usize];
+            expect[kind.index()] += 1;
+            log.push(ev(i, kind));
+        }
+        assert_eq!(log.len(), 3);
+        for kind in TransitionKind::ALL {
+            assert_eq!(log.count(kind), expect[kind.index()], "{kind:?}");
+        }
+        assert_eq!(log.total(), 500);
+    }
+
+    #[test]
     fn set_policy_tightens_and_preserves_counts() {
         let mut log = TransitionLog::new(TransitionLogPolicy::Full);
         for i in 0..20 {

@@ -1,0 +1,327 @@
+//! Adversarial trace synthesis for differential conformance testing.
+//!
+//! The spec2000 models (see [`crate::spec2000`]) are tuned to look like
+//! real programs; the generators here are tuned to *hurt controllers*.
+//! Each [`Scenario`] targets one arc of the reactive FSM with behavior
+//! the paper identifies as worst-case, or with periodicities chosen to
+//! alias against the controller's own time constants:
+//!
+//! * [`Scenario::PhaseFlip`] — the Fig. 3 pathology: branches that are
+//!   100% biased for a long stretch, then flip direction completely.
+//!   Maximizes pressure on the eviction arc.
+//! * [`Scenario::HysteresisStraddle`] — a misspeculation rate dialed to
+//!   sit at the equilibrium of the asymmetric saturating counter, so the
+//!   counter hovers just below its eviction threshold.
+//! * [`Scenario::RevisitAlias`] — bias phases whose period matches the
+//!   monitor-plus-revisit cycle, so classification keeps happening at
+//!   phase boundaries.
+//! * [`Scenario::ThresholdOscillator`] — bias alternating between just
+//!   above and just below the selection threshold every monitoring
+//!   window, driving enter/exit oscillation toward the disable cap.
+//! * [`Scenario::BurstyHotSet`] — a small aliased hot set executing in
+//!   exclusive bursts, each burst with a freshly drawn bias.
+//! * [`Scenario::UniformRandom`] — an unstructured baseline that keeps
+//!   the fuzzer honest about coverage it did not design for.
+//!
+//! All generation is a pure function of `(scenario, events, seed)` via
+//! [`Xoshiro256`] forks, so any failure found by the conformance fuzzer
+//! is replayable from three numbers.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsc_trace::adversary::Scenario;
+//!
+//! let s = Scenario::PhaseFlip { branches: 4, flip_after: 500 };
+//! let a = s.generate(10_000, 7);
+//! let b = s.generate(10_000, 7);
+//! assert_eq!(a, b, "generation is deterministic");
+//! assert_eq!(a.len(), 10_000);
+//! ```
+
+use crate::ids::BranchId;
+use crate::record::BranchRecord;
+use crate::rng::Xoshiro256;
+
+/// One adversarial workload shape. Fields are the time constants the
+/// scenario aliases against; the conformance campaign picks them to match
+/// the controller parameters under test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scenario {
+    /// `branches` round-robin branches, each perfectly biased taken until
+    /// it has executed `flip_after (+ its index)` times, then perfectly
+    /// biased the other way, flipping again every period thereafter.
+    PhaseFlip {
+        /// Number of static branches.
+        branches: u32,
+        /// Executions per branch between direction flips.
+        flip_after: u64,
+    },
+    /// One dominant branch: perfectly taken for `warmup` executions (so
+    /// the monitor classifies it biased), then misspeculating exactly
+    /// once every `period` executions. Small periods walk the paper's
+    /// asymmetric counter up to its eviction threshold in steps that
+    /// straddle it — e.g. at +50/−1 a period of 2 visits `threshold − 1`
+    /// exactly.
+    HysteresisStraddle {
+        /// Purely biased executions before the misses start; pick the
+        /// monitoring period so classification happens first.
+        warmup: u64,
+        /// Executions between deliberate wrong-way outcomes.
+        period: u64,
+    },
+    /// One branch alternating between a perfectly biased phase and a
+    /// coin-flip phase, each `period` executions long. Matching `period`
+    /// to `monitor_period + revisit_wait` lands every re-classification
+    /// on a phase boundary.
+    RevisitAlias {
+        /// Length of each bias phase in executions.
+        period: u64,
+    },
+    /// One branch alternating each `window` executions between fully
+    /// biased and `9/10` biased — straddling any selection threshold in
+    /// `(0.9, 1.0]` so consecutive monitoring windows disagree.
+    ThresholdOscillator {
+        /// Executions per bias regime (ideally the monitoring period).
+        window: u64,
+    },
+    /// `hot` branches executing in exclusive bursts of `burst` events;
+    /// each burst picks one branch and draws it a fresh bias from
+    /// `{1.0, 0.99, 0.9, 0.5, 0.0}`.
+    BurstyHotSet {
+        /// Size of the hot set.
+        hot: u32,
+        /// Events per burst.
+        burst: u64,
+    },
+    /// Unstructured baseline: uniform branch choice, one static bias per
+    /// branch drawn from a U-shaped distribution.
+    UniformRandom {
+        /// Number of static branches.
+        branches: u32,
+    },
+}
+
+impl Scenario {
+    /// Short stable name, used in artifacts and progress output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::PhaseFlip { .. } => "phase_flip",
+            Scenario::HysteresisStraddle { .. } => "hysteresis_straddle",
+            Scenario::RevisitAlias { .. } => "revisit_alias",
+            Scenario::ThresholdOscillator { .. } => "threshold_oscillator",
+            Scenario::BurstyHotSet { .. } => "bursty_hot_set",
+            Scenario::UniformRandom { .. } => "uniform_random",
+        }
+    }
+
+    /// Generates `events` branch records deterministically from `seed`.
+    ///
+    /// The dynamic instruction counter advances by a random stride in
+    /// `1..=8` per event (from its own RNG fork), so re-optimization
+    /// deadlines land at irregular offsets relative to branch executions.
+    pub fn generate(&self, events: u64, seed: u64) -> Vec<BranchRecord> {
+        let root = Xoshiro256::seed_from(seed);
+        let mut instr_rng = root.fork(0);
+        let mut outcome_rng = root.fork(1);
+        let mut mix_rng = root.fork(2);
+        let mut instr = 0u64;
+        let mut out = Vec::with_capacity(events as usize);
+        let mut execs: Vec<u64> = Vec::new();
+        let mut burst_state: Option<(u32, f64)> = None;
+        let mut biases: Vec<f64> = Vec::new();
+
+        for i in 0..events {
+            instr += 1 + instr_rng.gen_range(8);
+            let (branch, taken) = match *self {
+                Scenario::PhaseFlip {
+                    branches,
+                    flip_after,
+                } => {
+                    let b = (i % u64::from(branches.max(1))) as u32;
+                    grow(&mut execs, b);
+                    let n = execs[b as usize];
+                    execs[b as usize] += 1;
+                    // Stagger flip points so branches don't move in
+                    // lockstep with each other.
+                    let period = flip_after.max(1) + u64::from(b);
+                    (b, (n / period).is_multiple_of(2))
+                }
+                Scenario::HysteresisStraddle { warmup, period } => {
+                    grow(&mut execs, 0);
+                    let n = execs[0];
+                    execs[0] += 1;
+                    (0, n < warmup || !(n - warmup).is_multiple_of(period.max(1)))
+                }
+                Scenario::RevisitAlias { period } => {
+                    grow(&mut execs, 0);
+                    let n = execs[0];
+                    execs[0] += 1;
+                    let biased_phase = (n / period.max(1)).is_multiple_of(2);
+                    (0, biased_phase || outcome_rng.gen_bool(0.5))
+                }
+                Scenario::ThresholdOscillator { window } => {
+                    grow(&mut execs, 0);
+                    let n = execs[0];
+                    execs[0] += 1;
+                    let pure = (n / window.max(1)).is_multiple_of(2);
+                    // In the impure regime exactly every 10th execution
+                    // goes the other way: point bias 0.9.
+                    (0, pure || !n.is_multiple_of(10))
+                }
+                Scenario::BurstyHotSet { hot, burst } => {
+                    if i % burst.max(1) == 0 || burst_state.is_none() {
+                        let b = mix_rng.gen_range(u64::from(hot.max(1))) as u32;
+                        let bias = [1.0, 0.99, 0.9, 0.5, 0.0][mix_rng.gen_range(5) as usize];
+                        burst_state = Some((b, bias));
+                    }
+                    let (b, bias) = burst_state.unwrap();
+                    (b, outcome_rng.gen_bool(bias))
+                }
+                Scenario::UniformRandom { branches } => {
+                    let b = mix_rng.gen_range(u64::from(branches.max(1))) as u32;
+                    grow(&mut biases, b);
+                    if biases[b as usize].is_nan() {
+                        // U-shaped: mostly near-deterministic branches
+                        // with a mixed-behavior minority.
+                        let u = mix_rng.next_f64();
+                        biases[b as usize] = if u < 0.4 {
+                            0.995 + 0.005 * mix_rng.next_f64()
+                        } else if u < 0.8 {
+                            0.005 * mix_rng.next_f64()
+                        } else {
+                            mix_rng.next_f64()
+                        };
+                    }
+                    (b, outcome_rng.gen_bool(biases[b as usize]))
+                }
+            };
+            out.push(BranchRecord {
+                branch: BranchId::new(branch),
+                taken,
+                instr,
+            });
+        }
+        out
+    }
+}
+
+/// Grows per-branch storage on demand. `u64` slots start at 0; `f64`
+/// slots start at NaN ("bias not yet drawn").
+fn grow<T: GrowDefault>(v: &mut Vec<T>, branch: u32) {
+    let need = branch as usize + 1;
+    if v.len() < need {
+        v.resize(need, T::EMPTY);
+    }
+}
+
+trait GrowDefault: Copy {
+    const EMPTY: Self;
+}
+
+impl GrowDefault for u64 {
+    const EMPTY: Self = 0;
+}
+
+impl GrowDefault for f64 {
+    const EMPTY: Self = f64::NAN;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Scenario; 6] = [
+        Scenario::PhaseFlip {
+            branches: 4,
+            flip_after: 100,
+        },
+        Scenario::HysteresisStraddle {
+            warmup: 10,
+            period: 3,
+        },
+        Scenario::RevisitAlias { period: 30 },
+        Scenario::ThresholdOscillator { window: 10 },
+        Scenario::BurstyHotSet { hot: 3, burst: 64 },
+        Scenario::UniformRandom { branches: 8 },
+    ];
+
+    #[test]
+    fn generation_is_deterministic_and_sized() {
+        for s in ALL {
+            let a = s.generate(5_000, 11);
+            let b = s.generate(5_000, 11);
+            assert_eq!(a, b, "{}", s.name());
+            assert_eq!(a.len(), 5_000, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        for s in ALL {
+            if matches!(
+                s,
+                Scenario::PhaseFlip { .. } | Scenario::ThresholdOscillator { .. }
+            ) {
+                continue; // fully deterministic in outcomes, only instr varies
+            }
+            let a = s.generate(5_000, 1);
+            let b = s.generate(5_000, 2);
+            assert_ne!(a, b, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn instruction_counter_is_strictly_increasing() {
+        for s in ALL {
+            let t = s.generate(2_000, 5);
+            for w in t.windows(2) {
+                assert!(w[0].instr < w[1].instr, "{}", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn phase_flip_is_perfectly_biased_then_flips() {
+        let s = Scenario::PhaseFlip {
+            branches: 1,
+            flip_after: 100,
+        };
+        let t = s.generate(250, 9);
+        assert!(t[..100].iter().all(|r| r.taken));
+        assert!(t[100..200].iter().all(|r| !r.taken));
+        assert!(t[200..250].iter().all(|r| r.taken));
+    }
+
+    #[test]
+    fn hysteresis_straddle_misses_on_schedule_after_warmup() {
+        let s = Scenario::HysteresisStraddle {
+            warmup: 20,
+            period: 5,
+        };
+        let t = s.generate(100, 3);
+        assert!(t[..20].iter().all(|r| r.taken));
+        for (i, r) in t[20..].iter().enumerate() {
+            assert_eq!(r.taken, i % 5 != 0);
+        }
+    }
+
+    #[test]
+    fn threshold_oscillator_alternates_window_bias() {
+        let s = Scenario::ThresholdOscillator { window: 10 };
+        let t = s.generate(40, 1);
+        assert!(t[..10].iter().all(|r| r.taken));
+        let second: Vec<bool> = t[10..20].iter().map(|r| r.taken).collect();
+        assert_eq!(second.iter().filter(|&&x| !x).count(), 1);
+    }
+
+    #[test]
+    fn bursty_hot_set_runs_one_branch_per_burst() {
+        let s = Scenario::BurstyHotSet { hot: 4, burst: 32 };
+        let t = s.generate(320, 21);
+        for chunk in t.chunks(32) {
+            let b = chunk[0].branch;
+            assert!(chunk.iter().all(|r| r.branch == b));
+        }
+    }
+}

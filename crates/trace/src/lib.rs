@@ -24,6 +24,7 @@
 //! assert!(stats.dynamic_coverage_at_bias(0.99) > 0.4);
 //! ```
 
+pub mod adversary;
 pub mod alias;
 pub mod behavior;
 pub mod branch;
@@ -40,6 +41,7 @@ pub mod value;
 pub mod workload;
 pub mod zipf;
 
+pub use adversary::Scenario;
 pub use behavior::{Behavior, Phase};
 pub use branch::StaticBranchSpec;
 pub use group::GroupSchedule;

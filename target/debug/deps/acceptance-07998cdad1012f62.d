@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/acceptance-07998cdad1012f62.d: crates/conformance/tests/acceptance.rs
+
+/root/repo/target/debug/deps/acceptance-07998cdad1012f62: crates/conformance/tests/acceptance.rs
+
+crates/conformance/tests/acceptance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/acceptance-af0810b37432e77a.d: crates/conformance/tests/acceptance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libacceptance-af0810b37432e77a.rmeta: crates/conformance/tests/acceptance.rs Cargo.toml
+
+crates/conformance/tests/acceptance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

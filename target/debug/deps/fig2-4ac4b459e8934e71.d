@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2-4ac4b459e8934e71.d: crates/bench/benches/fig2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2-4ac4b459e8934e71.rmeta: crates/bench/benches/fig2.rs Cargo.toml
+
+crates/bench/benches/fig2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3-8fb3b915a1383a31.d: crates/bench/benches/fig3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3-8fb3b915a1383a31.rmeta: crates/bench/benches/fig3.rs Cargo.toml
+
+crates/bench/benches/fig3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5-10fe128b232cd3f8.d: crates/bench/benches/fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5-10fe128b232cd3f8.rmeta: crates/bench/benches/fig5.rs Cargo.toml
+
+crates/bench/benches/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9-b5f8ec7c0bd6109a.d: crates/bench/benches/fig9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9-b5f8ec7c0bd6109a.rmeta: crates/bench/benches/fig9.rs Cargo.toml
+
+crates/bench/benches/fig9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-0d4a7a3bd8e0240a.d: crates/bench/src/main.rs
+
+/root/repo/target/debug/deps/repro-0d4a7a3bd8e0240a: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

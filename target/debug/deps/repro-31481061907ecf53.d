@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-31481061907ecf53.d: crates/bench/src/main.rs
+
+/root/repo/target/debug/deps/repro-31481061907ecf53: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

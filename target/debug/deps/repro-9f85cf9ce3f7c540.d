@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-9f85cf9ce3f7c540.d: crates/bench/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-9f85cf9ce3f7c540.rmeta: crates/bench/src/main.rs Cargo.toml
+
+crates/bench/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-dfd30dc8fe19e26a.d: crates/bench/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-dfd30dc8fe19e26a.rmeta: crates/bench/src/main.rs Cargo.toml
+
+crates/bench/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,34 @@
+/root/repo/target/debug/deps/rsc_bench-bfadd99ecffd9337.d: crates/bench/src/lib.rs crates/bench/src/conformance_cli.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/clustering.rs crates/bench/src/experiments/confidence.rs crates/bench/src/experiments/dynamo.rs crates/bench/src/experiments/fig2.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/oscillation.rs crates/bench/src/experiments/perf.rs crates/bench/src/experiments/regions.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/table4.rs crates/bench/src/experiments/table5.rs crates/bench/src/experiments/variance.rs crates/bench/src/export.rs crates/bench/src/options.rs crates/bench/src/parallel.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/librsc_bench-bfadd99ecffd9337.rmeta: crates/bench/src/lib.rs crates/bench/src/conformance_cli.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/clustering.rs crates/bench/src/experiments/confidence.rs crates/bench/src/experiments/dynamo.rs crates/bench/src/experiments/fig2.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/oscillation.rs crates/bench/src/experiments/perf.rs crates/bench/src/experiments/regions.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/table4.rs crates/bench/src/experiments/table5.rs crates/bench/src/experiments/variance.rs crates/bench/src/export.rs crates/bench/src/options.rs crates/bench/src/parallel.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/conformance_cli.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/clustering.rs:
+crates/bench/src/experiments/confidence.rs:
+crates/bench/src/experiments/dynamo.rs:
+crates/bench/src/experiments/fig2.rs:
+crates/bench/src/experiments/fig3.rs:
+crates/bench/src/experiments/fig5.rs:
+crates/bench/src/experiments/fig6.rs:
+crates/bench/src/experiments/fig7.rs:
+crates/bench/src/experiments/fig8.rs:
+crates/bench/src/experiments/fig9.rs:
+crates/bench/src/experiments/oscillation.rs:
+crates/bench/src/experiments/perf.rs:
+crates/bench/src/experiments/regions.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/experiments/table2.rs:
+crates/bench/src/experiments/table3.rs:
+crates/bench/src/experiments/table4.rs:
+crates/bench/src/experiments/table5.rs:
+crates/bench/src/experiments/variance.rs:
+crates/bench/src/export.rs:
+crates/bench/src/options.rs:
+crates/bench/src/parallel.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

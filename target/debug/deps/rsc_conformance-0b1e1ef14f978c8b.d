@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rsc_conformance-0b1e1ef14f978c8b.d: crates/conformance/src/lib.rs crates/conformance/src/artifact.rs crates/conformance/src/campaign.rs crates/conformance/src/differ.rs crates/conformance/src/fault.rs crates/conformance/src/json.rs crates/conformance/src/shrink.rs Cargo.toml
+
+/root/repo/target/debug/deps/librsc_conformance-0b1e1ef14f978c8b.rmeta: crates/conformance/src/lib.rs crates/conformance/src/artifact.rs crates/conformance/src/campaign.rs crates/conformance/src/differ.rs crates/conformance/src/fault.rs crates/conformance/src/json.rs crates/conformance/src/shrink.rs Cargo.toml
+
+crates/conformance/src/lib.rs:
+crates/conformance/src/artifact.rs:
+crates/conformance/src/campaign.rs:
+crates/conformance/src/differ.rs:
+crates/conformance/src/fault.rs:
+crates/conformance/src/json.rs:
+crates/conformance/src/shrink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

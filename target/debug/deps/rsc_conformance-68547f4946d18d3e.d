@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rsc_conformance-68547f4946d18d3e.d: crates/conformance/src/lib.rs crates/conformance/src/artifact.rs crates/conformance/src/campaign.rs crates/conformance/src/differ.rs crates/conformance/src/fault.rs crates/conformance/src/json.rs crates/conformance/src/shrink.rs
+
+/root/repo/target/debug/deps/librsc_conformance-68547f4946d18d3e.rlib: crates/conformance/src/lib.rs crates/conformance/src/artifact.rs crates/conformance/src/campaign.rs crates/conformance/src/differ.rs crates/conformance/src/fault.rs crates/conformance/src/json.rs crates/conformance/src/shrink.rs
+
+/root/repo/target/debug/deps/librsc_conformance-68547f4946d18d3e.rmeta: crates/conformance/src/lib.rs crates/conformance/src/artifact.rs crates/conformance/src/campaign.rs crates/conformance/src/differ.rs crates/conformance/src/fault.rs crates/conformance/src/json.rs crates/conformance/src/shrink.rs
+
+crates/conformance/src/lib.rs:
+crates/conformance/src/artifact.rs:
+crates/conformance/src/campaign.rs:
+crates/conformance/src/differ.rs:
+crates/conformance/src/fault.rs:
+crates/conformance/src/json.rs:
+crates/conformance/src/shrink.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rsc_conformance-fb7fa997535d6fae.d: crates/conformance/src/lib.rs crates/conformance/src/artifact.rs crates/conformance/src/campaign.rs crates/conformance/src/differ.rs crates/conformance/src/fault.rs crates/conformance/src/json.rs crates/conformance/src/shrink.rs
+
+/root/repo/target/debug/deps/rsc_conformance-fb7fa997535d6fae: crates/conformance/src/lib.rs crates/conformance/src/artifact.rs crates/conformance/src/campaign.rs crates/conformance/src/differ.rs crates/conformance/src/fault.rs crates/conformance/src/json.rs crates/conformance/src/shrink.rs
+
+crates/conformance/src/lib.rs:
+crates/conformance/src/artifact.rs:
+crates/conformance/src/campaign.rs:
+crates/conformance/src/differ.rs:
+crates/conformance/src/fault.rs:
+crates/conformance/src/json.rs:
+crates/conformance/src/shrink.rs:

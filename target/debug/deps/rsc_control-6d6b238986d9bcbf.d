@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/rsc_control-6d6b238986d9bcbf.d: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/blocks.rs crates/core/src/analysis/intervals.rs crates/core/src/analysis/transition.rs crates/core/src/confidence.rs crates/core/src/controller.rs crates/core/src/counter.rs crates/core/src/engine.rs crates/core/src/params.rs crates/core/src/stats.rs crates/core/src/translog.rs Cargo.toml
+/root/repo/target/debug/deps/rsc_control-6d6b238986d9bcbf.d: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/blocks.rs crates/core/src/analysis/intervals.rs crates/core/src/analysis/transition.rs crates/core/src/confidence.rs crates/core/src/controller.rs crates/core/src/counter.rs crates/core/src/engine.rs crates/core/src/params.rs crates/core/src/reference.rs crates/core/src/stats.rs crates/core/src/translog.rs Cargo.toml
 
-/root/repo/target/debug/deps/librsc_control-6d6b238986d9bcbf.rmeta: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/blocks.rs crates/core/src/analysis/intervals.rs crates/core/src/analysis/transition.rs crates/core/src/confidence.rs crates/core/src/controller.rs crates/core/src/counter.rs crates/core/src/engine.rs crates/core/src/params.rs crates/core/src/stats.rs crates/core/src/translog.rs Cargo.toml
+/root/repo/target/debug/deps/librsc_control-6d6b238986d9bcbf.rmeta: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/blocks.rs crates/core/src/analysis/intervals.rs crates/core/src/analysis/transition.rs crates/core/src/confidence.rs crates/core/src/controller.rs crates/core/src/counter.rs crates/core/src/engine.rs crates/core/src/params.rs crates/core/src/reference.rs crates/core/src/stats.rs crates/core/src/translog.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/analysis/mod.rs:
@@ -12,9 +12,10 @@ crates/core/src/controller.rs:
 crates/core/src/counter.rs:
 crates/core/src/engine.rs:
 crates/core/src/params.rs:
+crates/core/src/reference.rs:
 crates/core/src/stats.rs:
 crates/core/src/translog.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/rsc_control-807e57070506078d.d: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/blocks.rs crates/core/src/analysis/intervals.rs crates/core/src/analysis/transition.rs crates/core/src/confidence.rs crates/core/src/controller.rs crates/core/src/counter.rs crates/core/src/engine.rs crates/core/src/params.rs crates/core/src/stats.rs crates/core/src/translog.rs
+/root/repo/target/debug/deps/rsc_control-807e57070506078d.d: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/blocks.rs crates/core/src/analysis/intervals.rs crates/core/src/analysis/transition.rs crates/core/src/confidence.rs crates/core/src/controller.rs crates/core/src/counter.rs crates/core/src/engine.rs crates/core/src/params.rs crates/core/src/reference.rs crates/core/src/stats.rs crates/core/src/translog.rs
 
-/root/repo/target/debug/deps/librsc_control-807e57070506078d.rlib: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/blocks.rs crates/core/src/analysis/intervals.rs crates/core/src/analysis/transition.rs crates/core/src/confidence.rs crates/core/src/controller.rs crates/core/src/counter.rs crates/core/src/engine.rs crates/core/src/params.rs crates/core/src/stats.rs crates/core/src/translog.rs
+/root/repo/target/debug/deps/librsc_control-807e57070506078d.rlib: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/blocks.rs crates/core/src/analysis/intervals.rs crates/core/src/analysis/transition.rs crates/core/src/confidence.rs crates/core/src/controller.rs crates/core/src/counter.rs crates/core/src/engine.rs crates/core/src/params.rs crates/core/src/reference.rs crates/core/src/stats.rs crates/core/src/translog.rs
 
-/root/repo/target/debug/deps/librsc_control-807e57070506078d.rmeta: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/blocks.rs crates/core/src/analysis/intervals.rs crates/core/src/analysis/transition.rs crates/core/src/confidence.rs crates/core/src/controller.rs crates/core/src/counter.rs crates/core/src/engine.rs crates/core/src/params.rs crates/core/src/stats.rs crates/core/src/translog.rs
+/root/repo/target/debug/deps/librsc_control-807e57070506078d.rmeta: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/blocks.rs crates/core/src/analysis/intervals.rs crates/core/src/analysis/transition.rs crates/core/src/confidence.rs crates/core/src/controller.rs crates/core/src/counter.rs crates/core/src/engine.rs crates/core/src/params.rs crates/core/src/reference.rs crates/core/src/stats.rs crates/core/src/translog.rs
 
 crates/core/src/lib.rs:
 crates/core/src/analysis/mod.rs:
@@ -14,5 +14,6 @@ crates/core/src/controller.rs:
 crates/core/src/counter.rs:
 crates/core/src/engine.rs:
 crates/core/src/params.rs:
+crates/core/src/reference.rs:
 crates/core/src/stats.rs:
 crates/core/src/translog.rs:

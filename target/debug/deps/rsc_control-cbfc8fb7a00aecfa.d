@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/rsc_control-cbfc8fb7a00aecfa.d: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/blocks.rs crates/core/src/analysis/intervals.rs crates/core/src/analysis/transition.rs crates/core/src/confidence.rs crates/core/src/controller.rs crates/core/src/counter.rs crates/core/src/engine.rs crates/core/src/params.rs crates/core/src/stats.rs crates/core/src/translog.rs
+/root/repo/target/debug/deps/rsc_control-cbfc8fb7a00aecfa.d: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/blocks.rs crates/core/src/analysis/intervals.rs crates/core/src/analysis/transition.rs crates/core/src/confidence.rs crates/core/src/controller.rs crates/core/src/counter.rs crates/core/src/engine.rs crates/core/src/params.rs crates/core/src/reference.rs crates/core/src/stats.rs crates/core/src/translog.rs
 
-/root/repo/target/debug/deps/rsc_control-cbfc8fb7a00aecfa: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/blocks.rs crates/core/src/analysis/intervals.rs crates/core/src/analysis/transition.rs crates/core/src/confidence.rs crates/core/src/controller.rs crates/core/src/counter.rs crates/core/src/engine.rs crates/core/src/params.rs crates/core/src/stats.rs crates/core/src/translog.rs
+/root/repo/target/debug/deps/rsc_control-cbfc8fb7a00aecfa: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/blocks.rs crates/core/src/analysis/intervals.rs crates/core/src/analysis/transition.rs crates/core/src/confidence.rs crates/core/src/controller.rs crates/core/src/counter.rs crates/core/src/engine.rs crates/core/src/params.rs crates/core/src/reference.rs crates/core/src/stats.rs crates/core/src/translog.rs
 
 crates/core/src/lib.rs:
 crates/core/src/analysis/mod.rs:
@@ -12,5 +12,6 @@ crates/core/src/controller.rs:
 crates/core/src/counter.rs:
 crates/core/src/engine.rs:
 crates/core/src/params.rs:
+crates/core/src/reference.rs:
 crates/core/src/stats.rs:
 crates/core/src/translog.rs:

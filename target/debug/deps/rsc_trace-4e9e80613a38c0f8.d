@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/rsc_trace-4e9e80613a38c0f8.d: crates/trace/src/lib.rs crates/trace/src/alias.rs crates/trace/src/behavior.rs crates/trace/src/branch.rs crates/trace/src/group.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/model.rs crates/trace/src/population.rs crates/trace/src/record.rs crates/trace/src/rng.rs crates/trace/src/spec2000.rs crates/trace/src/stats.rs crates/trace/src/value.rs crates/trace/src/workload.rs crates/trace/src/zipf.rs Cargo.toml
+/root/repo/target/debug/deps/rsc_trace-4e9e80613a38c0f8.d: crates/trace/src/lib.rs crates/trace/src/adversary.rs crates/trace/src/alias.rs crates/trace/src/behavior.rs crates/trace/src/branch.rs crates/trace/src/group.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/model.rs crates/trace/src/population.rs crates/trace/src/record.rs crates/trace/src/rng.rs crates/trace/src/spec2000.rs crates/trace/src/stats.rs crates/trace/src/value.rs crates/trace/src/workload.rs crates/trace/src/zipf.rs Cargo.toml
 
-/root/repo/target/debug/deps/librsc_trace-4e9e80613a38c0f8.rmeta: crates/trace/src/lib.rs crates/trace/src/alias.rs crates/trace/src/behavior.rs crates/trace/src/branch.rs crates/trace/src/group.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/model.rs crates/trace/src/population.rs crates/trace/src/record.rs crates/trace/src/rng.rs crates/trace/src/spec2000.rs crates/trace/src/stats.rs crates/trace/src/value.rs crates/trace/src/workload.rs crates/trace/src/zipf.rs Cargo.toml
+/root/repo/target/debug/deps/librsc_trace-4e9e80613a38c0f8.rmeta: crates/trace/src/lib.rs crates/trace/src/adversary.rs crates/trace/src/alias.rs crates/trace/src/behavior.rs crates/trace/src/branch.rs crates/trace/src/group.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/model.rs crates/trace/src/population.rs crates/trace/src/record.rs crates/trace/src/rng.rs crates/trace/src/spec2000.rs crates/trace/src/stats.rs crates/trace/src/value.rs crates/trace/src/workload.rs crates/trace/src/zipf.rs Cargo.toml
 
 crates/trace/src/lib.rs:
+crates/trace/src/adversary.rs:
 crates/trace/src/alias.rs:
 crates/trace/src/behavior.rs:
 crates/trace/src/branch.rs:
@@ -20,5 +21,5 @@ crates/trace/src/workload.rs:
 crates/trace/src/zipf.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

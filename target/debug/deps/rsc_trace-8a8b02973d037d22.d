@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/rsc_trace-8a8b02973d037d22.d: crates/trace/src/lib.rs crates/trace/src/alias.rs crates/trace/src/behavior.rs crates/trace/src/branch.rs crates/trace/src/group.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/model.rs crates/trace/src/population.rs crates/trace/src/record.rs crates/trace/src/rng.rs crates/trace/src/spec2000.rs crates/trace/src/stats.rs crates/trace/src/value.rs crates/trace/src/workload.rs crates/trace/src/zipf.rs
+/root/repo/target/debug/deps/rsc_trace-8a8b02973d037d22.d: crates/trace/src/lib.rs crates/trace/src/adversary.rs crates/trace/src/alias.rs crates/trace/src/behavior.rs crates/trace/src/branch.rs crates/trace/src/group.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/model.rs crates/trace/src/population.rs crates/trace/src/record.rs crates/trace/src/rng.rs crates/trace/src/spec2000.rs crates/trace/src/stats.rs crates/trace/src/value.rs crates/trace/src/workload.rs crates/trace/src/zipf.rs
 
-/root/repo/target/debug/deps/rsc_trace-8a8b02973d037d22: crates/trace/src/lib.rs crates/trace/src/alias.rs crates/trace/src/behavior.rs crates/trace/src/branch.rs crates/trace/src/group.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/model.rs crates/trace/src/population.rs crates/trace/src/record.rs crates/trace/src/rng.rs crates/trace/src/spec2000.rs crates/trace/src/stats.rs crates/trace/src/value.rs crates/trace/src/workload.rs crates/trace/src/zipf.rs
+/root/repo/target/debug/deps/rsc_trace-8a8b02973d037d22: crates/trace/src/lib.rs crates/trace/src/adversary.rs crates/trace/src/alias.rs crates/trace/src/behavior.rs crates/trace/src/branch.rs crates/trace/src/group.rs crates/trace/src/ids.rs crates/trace/src/io.rs crates/trace/src/model.rs crates/trace/src/population.rs crates/trace/src/record.rs crates/trace/src/rng.rs crates/trace/src/spec2000.rs crates/trace/src/stats.rs crates/trace/src/value.rs crates/trace/src/workload.rs crates/trace/src/zipf.rs
 
 crates/trace/src/lib.rs:
+crates/trace/src/adversary.rs:
 crates/trace/src/alias.rs:
 crates/trace/src/behavior.rs:
 crates/trace/src/branch.rs:

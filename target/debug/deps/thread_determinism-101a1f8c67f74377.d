@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thread_determinism-101a1f8c67f74377.d: crates/bench/tests/thread_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthread_determinism-101a1f8c67f74377.rmeta: crates/bench/tests/thread_determinism.rs Cargo.toml
+
+crates/bench/tests/thread_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thread_determinism-98de20ae459b1d64.d: crates/bench/tests/thread_determinism.rs
+
+/root/repo/target/debug/deps/thread_determinism-98de20ae459b1d64: crates/bench/tests/thread_determinism.rs
+
+crates/bench/tests/thread_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chunk_equivalence-e12ab3e66e92035e.d: tests/chunk_equivalence.rs
+
+/root/repo/target/release/deps/chunk_equivalence-e12ab3e66e92035e: tests/chunk_equivalence.rs
+
+tests/chunk_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-9ca5a74162e74882.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-9ca5a74162e74882: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-87324d07a2c7dbcb.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-87324d07a2c7dbcb: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-188cf3bf41a6d166.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-188cf3bf41a6d166: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_invariants-509d85cb7aa2de4e.d: tests/proptest_invariants.rs
+
+/root/repo/target/release/deps/proptest_invariants-509d85cb7aa2de4e: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

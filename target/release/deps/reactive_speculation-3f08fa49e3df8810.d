@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reactive_speculation-3f08fa49e3df8810.d: src/lib.rs
+
+/root/repo/target/release/deps/reactive_speculation-3f08fa49e3df8810: src/lib.rs
+
+src/lib.rs:

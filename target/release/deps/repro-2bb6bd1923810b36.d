@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-2bb6bd1923810b36.d: crates/bench/src/main.rs
+
+/root/repo/target/release/deps/repro-2bb6bd1923810b36: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

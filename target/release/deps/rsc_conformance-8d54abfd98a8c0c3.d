@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rsc_conformance-8d54abfd98a8c0c3.d: crates/conformance/src/lib.rs crates/conformance/src/artifact.rs crates/conformance/src/campaign.rs crates/conformance/src/differ.rs crates/conformance/src/fault.rs crates/conformance/src/json.rs crates/conformance/src/shrink.rs
+
+/root/repo/target/release/deps/librsc_conformance-8d54abfd98a8c0c3.rlib: crates/conformance/src/lib.rs crates/conformance/src/artifact.rs crates/conformance/src/campaign.rs crates/conformance/src/differ.rs crates/conformance/src/fault.rs crates/conformance/src/json.rs crates/conformance/src/shrink.rs
+
+/root/repo/target/release/deps/librsc_conformance-8d54abfd98a8c0c3.rmeta: crates/conformance/src/lib.rs crates/conformance/src/artifact.rs crates/conformance/src/campaign.rs crates/conformance/src/differ.rs crates/conformance/src/fault.rs crates/conformance/src/json.rs crates/conformance/src/shrink.rs
+
+crates/conformance/src/lib.rs:
+crates/conformance/src/artifact.rs:
+crates/conformance/src/campaign.rs:
+crates/conformance/src/differ.rs:
+crates/conformance/src/fault.rs:
+crates/conformance/src/json.rs:
+crates/conformance/src/shrink.rs:

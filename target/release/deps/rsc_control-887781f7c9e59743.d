@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/rsc_control-887781f7c9e59743.d: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/blocks.rs crates/core/src/analysis/intervals.rs crates/core/src/analysis/transition.rs crates/core/src/confidence.rs crates/core/src/controller.rs crates/core/src/counter.rs crates/core/src/engine.rs crates/core/src/params.rs crates/core/src/stats.rs crates/core/src/translog.rs
+/root/repo/target/release/deps/rsc_control-887781f7c9e59743.d: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/blocks.rs crates/core/src/analysis/intervals.rs crates/core/src/analysis/transition.rs crates/core/src/confidence.rs crates/core/src/controller.rs crates/core/src/counter.rs crates/core/src/engine.rs crates/core/src/params.rs crates/core/src/reference.rs crates/core/src/stats.rs crates/core/src/translog.rs
 
-/root/repo/target/release/deps/librsc_control-887781f7c9e59743.rlib: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/blocks.rs crates/core/src/analysis/intervals.rs crates/core/src/analysis/transition.rs crates/core/src/confidence.rs crates/core/src/controller.rs crates/core/src/counter.rs crates/core/src/engine.rs crates/core/src/params.rs crates/core/src/stats.rs crates/core/src/translog.rs
+/root/repo/target/release/deps/librsc_control-887781f7c9e59743.rlib: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/blocks.rs crates/core/src/analysis/intervals.rs crates/core/src/analysis/transition.rs crates/core/src/confidence.rs crates/core/src/controller.rs crates/core/src/counter.rs crates/core/src/engine.rs crates/core/src/params.rs crates/core/src/reference.rs crates/core/src/stats.rs crates/core/src/translog.rs
 
-/root/repo/target/release/deps/librsc_control-887781f7c9e59743.rmeta: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/blocks.rs crates/core/src/analysis/intervals.rs crates/core/src/analysis/transition.rs crates/core/src/confidence.rs crates/core/src/controller.rs crates/core/src/counter.rs crates/core/src/engine.rs crates/core/src/params.rs crates/core/src/stats.rs crates/core/src/translog.rs
+/root/repo/target/release/deps/librsc_control-887781f7c9e59743.rmeta: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/blocks.rs crates/core/src/analysis/intervals.rs crates/core/src/analysis/transition.rs crates/core/src/confidence.rs crates/core/src/controller.rs crates/core/src/counter.rs crates/core/src/engine.rs crates/core/src/params.rs crates/core/src/reference.rs crates/core/src/stats.rs crates/core/src/translog.rs
 
 crates/core/src/lib.rs:
 crates/core/src/analysis/mod.rs:
@@ -14,5 +14,6 @@ crates/core/src/controller.rs:
 crates/core/src/counter.rs:
 crates/core/src/engine.rs:
 crates/core/src/params.rs:
+crates/core/src/reference.rs:
 crates/core/src/stats.rs:
 crates/core/src/translog.rs:

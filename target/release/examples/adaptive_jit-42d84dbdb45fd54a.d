@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adaptive_jit-42d84dbdb45fd54a.d: examples/adaptive_jit.rs
+
+/root/repo/target/release/examples/adaptive_jit-42d84dbdb45fd54a: examples/adaptive_jit.rs
+
+examples/adaptive_jit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/input_shift-ab10e7812ed616e0.d: examples/input_shift.rs
+
+/root/repo/target/release/examples/input_shift-ab10e7812ed616e0: examples/input_shift.rs
+
+examples/input_shift.rs:

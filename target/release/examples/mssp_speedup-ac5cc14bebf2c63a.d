@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mssp_speedup-ac5cc14bebf2c63a.d: examples/mssp_speedup.rs
+
+/root/repo/target/release/examples/mssp_speedup-ac5cc14bebf2c63a: examples/mssp_speedup.rs
+
+examples/mssp_speedup.rs:

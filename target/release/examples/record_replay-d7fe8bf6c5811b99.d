@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/record_replay-d7fe8bf6c5811b99.d: examples/record_replay.rs
+
+/root/repo/target/release/examples/record_replay-d7fe8bf6c5811b99: examples/record_replay.rs
+
+examples/record_replay.rs:

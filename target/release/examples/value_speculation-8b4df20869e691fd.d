@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/value_speculation-8b4df20869e691fd.d: examples/value_speculation.rs
+
+/root/repo/target/release/examples/value_speculation-8b4df20869e691fd: examples/value_speculation.rs
+
+examples/value_speculation.rs:

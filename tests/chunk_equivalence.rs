@@ -3,6 +3,7 @@
 //! `Trace::fill`/`observe_chunk`/`record_chunk` must produce bit-identical
 //! results to the per-event `Iterator`/`observe`/`record` path.
 
+use proptest::prelude::*;
 use rsc_control::{
     engine, ChunkSummary, ControllerParams, ReactiveController, TransitionLogPolicy,
 };
@@ -138,6 +139,74 @@ fn chunked_profile_matches_per_event_profile() {
                 BranchProfile::from_trace_chunked(&mut pop.trace(InputId::Profile, EVENTS, seed));
             assert_eq!(per_event, chunked, "{name} seed {seed}");
         }
+    }
+}
+
+/// Oscillating traces for the property test below: each branch runs
+/// perfectly taken for `flip` executions, then perfectly not-taken, and
+/// so on — the worst case for chunk boundaries, because every flip drags
+/// the branch through classification, eviction, and re-monitoring, and
+/// small chunks are guaranteed to split those transitions mid-flight.
+fn oscillating_trace(branches: u32, flip: u64, events: u64) -> Vec<BranchRecord> {
+    let mut out = Vec::with_capacity(events as usize);
+    let mut execs = vec![0u64; branches as usize];
+    for i in 0..events {
+        let b = (i % u64::from(branches)) as usize;
+        let n = execs[b];
+        execs[b] += 1;
+        out.push(BranchRecord {
+            branch: BranchId::new(b as u32),
+            taken: (n / flip).is_multiple_of(2),
+            instr: 3 * i + 1,
+        });
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For chunk sizes 1..=7 — all smaller than any transition-relevant
+    /// time constant — every per-chunk `ChunkSummary` must equal the sum
+    /// of the per-event decisions over exactly that chunk, and the final
+    /// controller states must be identical.
+    #[test]
+    fn tiny_chunk_summaries_equal_summed_per_event_decisions(
+        chunk in 1usize..=7,
+        flip in 4u64..60,
+        branches in 1u32..4,
+        monitor in prop::sample::select(vec![5u64, 10, 16]),
+        latency in prop::sample::select(vec![0u64, 25]),
+    ) {
+        let mut params = ControllerParams::scaled()
+            .with_monitor_period(monitor)
+            .with_latency(latency);
+        params.eviction = rsc_control::EvictionMode::Counter {
+            up: 50,
+            down: 1,
+            threshold: 100,
+        };
+        params.revisit = rsc_control::Revisit::After(2 * monitor);
+
+        let trace = oscillating_trace(branches, flip, 3_000);
+        let mut per_event = ReactiveController::new(params).unwrap();
+        let mut chunked = ReactiveController::new(params).unwrap();
+
+        for window in trace.chunks(chunk) {
+            let mut expect = ChunkSummary::default();
+            for r in window {
+                let d = per_event.observe(r);
+                expect.events += 1;
+                expect.speculated += u64::from(d.speculated());
+                expect.correct += u64::from(d == rsc_control::SpecDecision::Correct);
+                expect.incorrect += u64::from(d == rsc_control::SpecDecision::Incorrect);
+            }
+            let got = chunked.observe_chunk(window);
+            prop_assert_eq!(got, expect, "chunk size {}", chunk);
+        }
+
+        prop_assert_eq!(per_event.stats(), chunked.stats());
+        prop_assert_eq!(per_event.transitions(), chunked.transitions());
     }
 }
 

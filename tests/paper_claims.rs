@@ -1,18 +1,69 @@
 //! Integration tests asserting the paper's headline claims end-to-end,
 //! across all four crates, at reduced (but meaningful) scale.
+//!
+//! Populations, profiles, and baseline controller runs are built once and
+//! shared across tests (they are pure functions of `(name, events, seed)`),
+//! which cuts the suite's wall clock severalfold. Set `RSC_TEST_EVENTS` to
+//! run at a different scale, e.g. `RSC_TEST_EVENTS=3000000 cargo test`. The
+//! quantitative thresholds are tuned for the 4M default and still hold at
+//! 3M; below that, statistical noise starts tripping the tighter bounds.
 
-use reactive_speculation::control::{engine, ControllerParams};
+use reactive_speculation::control::{engine, ControlStats, ControllerParams};
 use reactive_speculation::profile::{offline, pareto, BranchProfile};
-use reactive_speculation::trace::{spec2000, InputId};
+use reactive_speculation::trace::{spec2000, InputId, Population};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
-const EVENTS: u64 = 4_000_000;
 const SEED: u64 = 42;
 
-fn reactive(name: &str, params: ControllerParams) -> reactive_speculation::control::ControlStats {
-    let pop = spec2000::benchmark(name).unwrap().population(EVENTS);
-    engine::run_population(params, &pop, InputId::Eval, EVENTS, SEED)
+/// Events per trace; override with `RSC_TEST_EVENTS`.
+fn events() -> u64 {
+    static EVENTS: OnceLock<u64> = OnceLock::new();
+    *EVENTS.get_or_init(|| {
+        std::env::var("RSC_TEST_EVENTS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4_000_000)
+    })
+}
+
+/// The benchmark's population, built once per process.
+fn population(name: &str) -> Arc<Population> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Arc<Population>>>> = OnceLock::new();
+    let mut map = CACHE.get_or_init(Default::default).lock().unwrap();
+    map.entry(name.to_string())
+        .or_insert_with(|| Arc::new(spec2000::benchmark(name).unwrap().population(events())))
+        .clone()
+}
+
+/// The benchmark's eval-input branch profile, built once per process.
+fn profile(name: &str) -> Arc<BranchProfile> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Arc<BranchProfile>>>> = OnceLock::new();
+    let mut map = CACHE.get_or_init(Default::default).lock().unwrap();
+    map.entry(name.to_string())
+        .or_insert_with(|| {
+            Arc::new(BranchProfile::from_trace(population(name).trace(
+                InputId::Eval,
+                events(),
+                SEED,
+            )))
+        })
+        .clone()
+}
+
+fn reactive(name: &str, params: ControllerParams) -> ControlStats {
+    engine::run_population(params, &population(name), InputId::Eval, events(), SEED)
         .unwrap()
         .stats
+}
+
+/// The baseline (scaled-parameter) controller run, shared by every test
+/// that only needs the default configuration.
+fn scaled_stats(name: &str) -> ControlStats {
+    static CACHE: OnceLock<Mutex<HashMap<String, ControlStats>>> = OnceLock::new();
+    let mut map = CACHE.get_or_init(Default::default).lock().unwrap();
+    *map.entry(name.to_string())
+        .or_insert_with(|| reactive(name, ControllerParams::scaled()))
 }
 
 /// Section 2.1: speculating on all branches with ≥99% bias covers a large
@@ -20,9 +71,7 @@ fn reactive(name: &str, params: ControllerParams) -> reactive_speculation::contr
 #[test]
 fn opportunity_at_99_percent_threshold() {
     for name in ["gcc", "vortex", "perl"] {
-        let pop = spec2000::benchmark(name).unwrap().population(EVENTS);
-        let profile = BranchProfile::from_trace(pop.trace(InputId::Eval, EVENTS, SEED));
-        let knee = pareto::threshold_point(&profile, 0.99);
+        let knee = pareto::threshold_point(&profile(name), 0.99);
         assert!(knee.correct > 0.40, "{name}: correct {:.3}", knee.correct);
         assert!(
             knee.incorrect < 0.005,
@@ -36,8 +85,8 @@ fn opportunity_at_99_percent_threshold() {
 /// misspeculation (the paper: ~3× and ~10× on average).
 #[test]
 fn cross_input_profiling_is_fragile() {
-    let pop = spec2000::benchmark("crafty").unwrap().population(EVENTS);
-    let r = offline::cross_input_experiment(&pop, EVENTS, SEED, 0.99, 32);
+    let pop = population("crafty");
+    let r = offline::cross_input_experiment(&pop, events(), SEED, 0.99, 32);
     assert!(
         r.benefit_loss_factor() > 1.3,
         "benefit loss {:.2}",
@@ -56,7 +105,7 @@ fn cross_input_profiling_is_fragile() {
 #[test]
 fn reactive_misspeculation_is_tiny() {
     for name in spec2000::NAMES {
-        let stats = reactive(name, ControllerParams::scaled());
+        let stats = scaled_stats(name);
         assert!(
             stats.incorrect_frac() < 0.005,
             "{name}: incorrect {:.4}%",
@@ -70,10 +119,8 @@ fn reactive_misspeculation_is_tiny() {
 #[test]
 fn reactive_is_competitive_with_self_training() {
     for name in ["gzip", "mcf", "bzip2"] {
-        let pop = spec2000::benchmark(name).unwrap().population(EVENTS);
-        let profile = BranchProfile::from_trace(pop.trace(InputId::Eval, EVENTS, SEED));
-        let knee = pareto::threshold_point(&profile, 0.99);
-        let stats = reactive(name, ControllerParams::scaled());
+        let knee = pareto::threshold_point(&profile(name), 0.99);
+        let stats = scaled_stats(name);
         assert!(
             stats.correct_frac() > knee.correct * 0.60,
             "{name}: reactive {:.3} vs self-training {:.3}",
@@ -87,7 +134,7 @@ fn reactive_is_competitive_with_self_training() {
 /// an order of magnitude.
 #[test]
 fn no_eviction_explodes_misspeculation() {
-    let base = reactive("mcf", ControllerParams::scaled());
+    let base = scaled_stats("mcf");
     let open = reactive("mcf", ControllerParams::scaled().without_eviction());
     assert!(
         open.incorrect_frac() > base.incorrect_frac() * 10.0,
@@ -103,7 +150,7 @@ fn no_revisit_loses_benefit() {
     let mut base_total = 0.0;
     let mut nr_total = 0.0;
     for name in ["bzip2", "gap", "perl"] {
-        base_total += reactive(name, ControllerParams::scaled()).correct_frac();
+        base_total += scaled_stats(name).correct_frac();
         nr_total += reactive(name, ControllerParams::scaled().without_revisit()).correct_frac();
     }
     assert!(
@@ -142,7 +189,7 @@ fn transition_shape_matches_table3() {
     let mut evicted = 0.0;
     let mut n = 0.0;
     for name in spec2000::NAMES {
-        let stats = reactive(name, ControllerParams::scaled());
+        let stats = scaled_stats(name);
         biased += stats.biased_frac();
         evicted += stats.evicted_frac();
         n += 1.0;

@@ -20,6 +20,13 @@ use std::io::{self, Read, Write};
 const MAGIC: &[u8; 4] = b"RSCT";
 const VERSION: u8 = 1;
 
+/// Hard ceiling on the event count [`read_trace`] will accept from an
+/// untrusted length header. Every event costs at least two body bytes, so
+/// any genuine trace at this limit is multiple gigabytes; headers beyond
+/// it are rejected *before* any allocation is sized from them. Use
+/// [`read_trace_with_limit`] to tighten the bound further.
+pub const MAX_TRACE_EVENTS: u64 = 1 << 32;
+
 /// Errors produced when decoding a trace file.
 #[derive(Debug)]
 pub enum TraceIoError {
@@ -29,6 +36,14 @@ pub enum TraceIoError {
     BadMagic,
     /// Unsupported format version.
     BadVersion(u8),
+    /// The length header claims more events than the reader's limit; the
+    /// header is rejected before any allocation is sized from it.
+    TooLong {
+        /// Event count claimed by the header.
+        count: u64,
+        /// The reader's limit ([`MAX_TRACE_EVENTS`] by default).
+        limit: u64,
+    },
     /// A varint ran past its maximum length or the stream ended early.
     Corrupt(&'static str),
 }
@@ -39,6 +54,9 @@ impl std::fmt::Display for TraceIoError {
             TraceIoError::Io(e) => write!(f, "i/o error: {e}"),
             TraceIoError::BadMagic => f.write_str("not a trace file (bad magic)"),
             TraceIoError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceIoError::TooLong { count, limit } => {
+                write!(f, "length header claims {count} events (limit {limit})")
+            }
             TraceIoError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
         }
     }
@@ -128,12 +146,27 @@ pub fn write_trace<W: Write, I: IntoIterator<Item = BranchRecord>>(
     w.write_all(&body)
 }
 
-/// Reads a whole trace from `r`.
+/// Reads a whole trace from `r`, accepting at most [`MAX_TRACE_EVENTS`]
+/// events.
 ///
 /// # Errors
 ///
 /// Returns [`TraceIoError`] on malformed input or I/O failure.
 pub fn read_trace<R: Read>(r: &mut R) -> Result<Vec<BranchRecord>, TraceIoError> {
+    read_trace_with_limit(r, MAX_TRACE_EVENTS)
+}
+
+/// Reads a whole trace from `r`, rejecting length headers above
+/// `max_events` before sizing any allocation from them.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on malformed input, an over-limit header, or
+/// I/O failure.
+pub fn read_trace_with_limit<R: Read>(
+    r: &mut R,
+    max_events: u64,
+) -> Result<Vec<BranchRecord>, TraceIoError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -145,6 +178,15 @@ pub fn read_trace<R: Read>(r: &mut R) -> Result<Vec<BranchRecord>, TraceIoError>
         return Err(TraceIoError::BadVersion(version[0]));
     }
     let count = read_varint(r)?;
+    if count > max_events {
+        return Err(TraceIoError::TooLong {
+            count,
+            limit: max_events,
+        });
+    }
+    // The header has passed the bound check but is still untrusted: cap
+    // the initial reservation so a lying count inside the limit cannot
+    // reserve gigabytes for a stream that ends after three bytes.
     let mut records = Vec::with_capacity(count.min(1 << 24) as usize);
     let mut instr = 0u64;
     for _ in 0..count {
@@ -230,6 +272,39 @@ mod tests {
         write_trace(&mut buf, events.iter().copied()).unwrap();
         buf.truncate(buf.len() - 1);
         assert!(read_trace(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_absurd_length_header_before_allocating() {
+        // A syntactically valid header claiming 2^60 events. Decoding must
+        // fail fast on the bound check, not attempt a 2^60-slot read loop
+        // (or any allocation sized from the header).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"RSCT");
+        buf.push(VERSION);
+        write_varint(&mut buf, 1u64 << 60).unwrap();
+        match read_trace(&mut buf.as_slice()) {
+            Err(TraceIoError::TooLong { count, limit }) => {
+                assert_eq!(count, 1 << 60);
+                assert_eq!(limit, MAX_TRACE_EVENTS);
+            }
+            other => panic!("expected TooLong, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_limit_is_enforced() {
+        let events = vec![rec(0, true, 5), rec(1, false, 9), rec(2, true, 14)];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, events.iter().copied()).unwrap();
+        assert!(matches!(
+            read_trace_with_limit(&mut buf.as_slice(), 2),
+            Err(TraceIoError::TooLong { count: 3, limit: 2 })
+        ));
+        assert_eq!(
+            read_trace_with_limit(&mut buf.as_slice(), 3).unwrap(),
+            events
+        );
     }
 
     #[test]

@@ -7,18 +7,37 @@
 //!
 //! ```text
 //! magic "RSCT" | version u8 | event count varint |
-//! per event: branch-id varint | (instr-delta << 1 | taken) varint
+//! per event: branch-id varint | (instr-delta << 1 | taken) varint |
+//! checksum u64 LE (version >= 2)
 //! ```
 //!
 //! Instruction counts are strictly increasing in valid traces, so deltas
 //! are small and most events take 2–4 bytes.
+//!
+//! The checksum footer is FNV-1a over every preceding byte of the file
+//! (header included), updated record by record as the stream is written,
+//! so any bit flip in the body is caught even when the damaged varints
+//! still decode. Version-1 streams (no footer) remain readable. Decode
+//! errors carry the byte offset at which the stream went bad.
 
 use crate::ids::BranchId;
 use crate::record::BranchRecord;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"RSCT";
-const VERSION: u8 = 1;
+/// Newest format version; what [`write_trace`] emits.
+const VERSION: u8 = 2;
+/// Oldest version [`read_trace`] still accepts (pre-checksum streams).
+const MIN_VERSION: u8 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(hash, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+}
 
 /// Hard ceiling on the event count [`read_trace`] will accept from an
 /// untrusted length header. Every event costs at least two body bytes, so
@@ -44,8 +63,24 @@ pub enum TraceIoError {
         /// The reader's limit ([`MAX_TRACE_EVENTS`] by default).
         limit: u64,
     },
-    /// A varint ran past its maximum length or the stream ended early.
-    Corrupt(&'static str),
+    /// The body is structurally malformed: a varint ran past its maximum
+    /// length, a field exceeded its domain, or the stream ended early.
+    Corrupt {
+        /// What was being decoded when the stream went bad.
+        what: &'static str,
+        /// Byte offset (from the start of the stream) of the failure.
+        offset: u64,
+    },
+    /// Every field decoded, but the footer checksum does not match the
+    /// bytes that were read: the stream was altered in transit.
+    ChecksumMismatch {
+        /// Checksum recomputed over the bytes actually read.
+        computed: u64,
+        /// Checksum stored in the footer.
+        stored: u64,
+        /// Byte offset of the footer.
+        offset: u64,
+    },
 }
 
 impl std::fmt::Display for TraceIoError {
@@ -57,7 +92,17 @@ impl std::fmt::Display for TraceIoError {
             TraceIoError::TooLong { count, limit } => {
                 write!(f, "length header claims {count} events (limit {limit})")
             }
-            TraceIoError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+            TraceIoError::Corrupt { what, offset } => {
+                write!(f, "corrupt trace at byte {offset}: {what}")
+            }
+            TraceIoError::ChecksumMismatch {
+                computed,
+                stored,
+                offset,
+            } => write!(
+                f,
+                "checksum mismatch at byte {offset}: computed {computed:#018x}, stored {stored:#018x}"
+            ),
         }
     }
 }
@@ -88,20 +133,60 @@ fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     }
 }
 
-fn read_varint<R: Read>(r: &mut R) -> Result<u64, TraceIoError> {
-    let mut v = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let mut byte = [0u8; 1];
-        r.read_exact(&mut byte)?;
-        if shift >= 64 {
-            return Err(TraceIoError::Corrupt("varint too long"));
+/// Reader wrapper that tracks the byte offset (for error reporting) and
+/// a running FNV-1a hash (for the version-2 footer check) of everything
+/// read through it.
+struct HashingReader<R> {
+    inner: R,
+    offset: u64,
+    fnv: u64,
+}
+
+impl<R: Read> HashingReader<R> {
+    fn new(inner: R) -> Self {
+        HashingReader {
+            inner,
+            offset: 0,
+            fnv: FNV_OFFSET,
         }
-        v |= u64::from(byte[0] & 0x7F) << shift;
-        if byte[0] & 0x80 == 0 {
-            return Ok(v);
+    }
+
+    /// Like `read_exact`, but a short read becomes a typed corruption
+    /// error naming `what` was being decoded and where the stream ended.
+    fn fill(&mut self, buf: &mut [u8], what: &'static str) -> Result<(), TraceIoError> {
+        match self.inner.read_exact(buf) {
+            Ok(()) => {
+                self.fnv = fnv1a(self.fnv, buf);
+                self.offset += buf.len() as u64;
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(TraceIoError::Corrupt {
+                what,
+                offset: self.offset,
+            }),
+            Err(e) => Err(TraceIoError::Io(e)),
         }
-        shift += 7;
+    }
+
+    fn read_varint(&mut self, what: &'static str) -> Result<u64, TraceIoError> {
+        let start = self.offset;
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let mut byte = [0u8; 1];
+            self.fill(&mut byte, what)?;
+            if shift >= 64 {
+                return Err(TraceIoError::Corrupt {
+                    what: "varint too long",
+                    offset: start,
+                });
+            }
+            v |= u64::from(byte[0] & 0x7F) << shift;
+            if byte[0] & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
     }
 }
 
@@ -140,10 +225,14 @@ pub fn write_trace<W: Write, I: IntoIterator<Item = BranchRecord>>(
         write_varint(&mut body, (delta << 1) | u64::from(r.taken))?;
         count += 1;
     }
-    w.write_all(MAGIC)?;
-    w.write_all(&[VERSION])?;
-    write_varint(w, count)?;
-    w.write_all(&body)
+    let mut header = Vec::with_capacity(16);
+    header.extend_from_slice(MAGIC);
+    header.push(VERSION);
+    write_varint(&mut header, count)?;
+    let checksum = fnv1a(fnv1a(FNV_OFFSET, &header), &body);
+    w.write_all(&header)?;
+    w.write_all(&body)?;
+    w.write_all(&checksum.to_le_bytes())
 }
 
 /// Reads a whole trace from `r`, accepting at most [`MAX_TRACE_EVENTS`]
@@ -167,17 +256,18 @@ pub fn read_trace_with_limit<R: Read>(
     r: &mut R,
     max_events: u64,
 ) -> Result<Vec<BranchRecord>, TraceIoError> {
+    let mut r = HashingReader::new(r);
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
+    r.fill(&mut magic, "magic")?;
     if &magic != MAGIC {
         return Err(TraceIoError::BadMagic);
     }
     let mut version = [0u8; 1];
-    r.read_exact(&mut version)?;
-    if version[0] != VERSION {
+    r.fill(&mut version, "version")?;
+    if !(MIN_VERSION..=VERSION).contains(&version[0]) {
         return Err(TraceIoError::BadVersion(version[0]));
     }
-    let count = read_varint(r)?;
+    let count = r.read_varint("event count")?;
     if count > max_events {
         return Err(TraceIoError::TooLong {
             count,
@@ -190,17 +280,37 @@ pub fn read_trace_with_limit<R: Read>(
     let mut records = Vec::with_capacity(count.min(1 << 24) as usize);
     let mut instr = 0u64;
     for _ in 0..count {
-        let branch = read_varint(r)?;
+        let at = r.offset;
+        let branch = r.read_varint("branch id")?;
         if branch > u64::from(u32::MAX) {
-            return Err(TraceIoError::Corrupt("branch id exceeds u32"));
+            return Err(TraceIoError::Corrupt {
+                what: "branch id exceeds u32",
+                offset: at,
+            });
         }
-        let packed = read_varint(r)?;
+        let packed = r.read_varint("event payload")?;
         instr += packed >> 1;
         records.push(BranchRecord {
             branch: BranchId::new(branch as u32),
             taken: packed & 1 == 1,
             instr,
         });
+    }
+    if version[0] >= 2 {
+        // Snapshot the running hash before the footer bytes pass through
+        // the reader: the footer covers everything before itself.
+        let computed = r.fnv;
+        let offset = r.offset;
+        let mut footer = [0u8; 8];
+        r.fill(&mut footer, "checksum footer")?;
+        let stored = u64::from_le_bytes(footer);
+        if stored != computed {
+            return Err(TraceIoError::ChecksumMismatch {
+                computed,
+                stored,
+                offset,
+            });
+        }
     }
     Ok(records)
 }
@@ -319,6 +429,91 @@ mod tests {
     fn error_display_is_informative() {
         assert!(TraceIoError::BadMagic.to_string().contains("magic"));
         assert!(TraceIoError::BadVersion(3).to_string().contains('3'));
-        assert!(TraceIoError::Corrupt("x").to_string().contains('x'));
+        let corrupt = TraceIoError::Corrupt {
+            what: "branch id",
+            offset: 17,
+        };
+        assert!(corrupt.to_string().contains("branch id"));
+        assert!(corrupt.to_string().contains("17"));
+        let mismatch = TraceIoError::ChecksumMismatch {
+            computed: 1,
+            stored: 2,
+            offset: 33,
+        };
+        assert!(mismatch.to_string().contains("33"));
+    }
+
+    /// Encodes `events` in the version-1 layout (no checksum footer).
+    fn write_v1(events: &[BranchRecord]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"RSCT");
+        buf.push(1);
+        write_varint(&mut buf, events.len() as u64).unwrap();
+        let mut last = 0u64;
+        for r in events {
+            write_varint(&mut buf, u64::from(r.branch.index() as u32)).unwrap();
+            let delta = r.instr - last;
+            last = r.instr;
+            write_varint(&mut buf, (delta << 1) | u64::from(r.taken)).unwrap();
+        }
+        buf
+    }
+
+    #[test]
+    fn reads_version_1_streams_without_footer() {
+        let events = vec![rec(0, true, 5), rec(3, false, 11), rec(0, true, 12)];
+        let buf = write_v1(&events);
+        assert_eq!(read_trace(&mut buf.as_slice()).unwrap(), events);
+    }
+
+    #[test]
+    fn detects_body_bit_flip_via_checksum() {
+        // Flip the taken bit of the second event. The varints still
+        // decode — only the checksum can tell this stream was altered.
+        let events = [rec(0, true, 5), rec(1, true, 9), rec(2, true, 14)];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, events.iter().copied()).unwrap();
+        let footer_at = (buf.len() - 8) as u64;
+        let mid = buf.len() - 10;
+        buf[mid] ^= 1;
+        match read_trace(&mut buf.as_slice()) {
+            Err(TraceIoError::ChecksumMismatch {
+                computed,
+                stored,
+                offset,
+            }) => {
+                assert_ne!(computed, stored);
+                assert_eq!(offset, footer_at);
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_footer_is_typed_with_offset() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, [rec(0, true, 5)]).unwrap();
+        let body_end = (buf.len() - 8) as u64;
+        buf.truncate(buf.len() - 5);
+        match read_trace(&mut buf.as_slice()) {
+            Err(TraceIoError::Corrupt { what, offset }) => {
+                assert_eq!(what, "checksum footer");
+                assert_eq!(offset, body_end);
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_body_reports_byte_offset() {
+        let events = [rec(0, true, 5), rec(1, false, 9)];
+        let buf = write_v1(&events);
+        let cut = buf.len() - 1;
+        let mut short = buf;
+        short.truncate(cut);
+        match read_trace(&mut short.as_slice()) {
+            Err(TraceIoError::Corrupt { offset, .. }) => assert_eq!(offset, cut as u64),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 }

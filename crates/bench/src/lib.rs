@@ -9,4 +9,5 @@ pub mod experiments;
 pub mod export;
 pub mod options;
 pub mod parallel;
+pub mod resilience_cli;
 pub mod table;

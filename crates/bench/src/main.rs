@@ -11,6 +11,9 @@ fn main() {
     if args.first().map(String::as_str) == Some("conformance") {
         std::process::exit(rsc_bench::conformance_cli::run(&args[1..]));
     }
+    if args.first().map(String::as_str) == Some("resilience") {
+        std::process::exit(rsc_bench::resilience_cli::run(&args[1..]));
+    }
     let mut opts = ExpOptions::new();
     let mut csv_dir: Option<PathBuf> = None;
     let mut which: Vec<String> = Vec::new();

@@ -43,6 +43,7 @@ impl Counterexample {
             },
             reference: self.params,
             mode: self.mode,
+            resilience: None,
         }
     }
 

@@ -156,6 +156,9 @@ pub fn run(config: &CampaignConfig) -> CampaignReport {
                         subject,
                         reference: *params,
                         mode,
+                        // The campaign pins the legacy layerless behavior;
+                        // resilient lockstep has its own differ tests.
+                        resilience: None,
                     };
                     cases += 1;
                     events_fed += trace.len() as u64;

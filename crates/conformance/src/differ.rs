@@ -18,8 +18,8 @@
 //! (for the artifact).
 
 use rsc_control::{
-    ChunkSummary, ControllerParams, ReactiveController, ReferenceController, SpecDecision,
-    TransitionKind,
+    ChunkSummary, ControllerParams, ReactiveController, ReferenceController, ResilienceConfig,
+    SpecDecision, TransitionKind,
 };
 use rsc_trace::rng::Xoshiro256;
 use rsc_trace::{BranchId, BranchRecord};
@@ -62,6 +62,10 @@ pub struct CaseSpec {
     pub reference: ControllerParams,
     /// How the subject consumes the trace.
     pub mode: Mode,
+    /// Resilience layer attached to *both* controllers (each gets its own
+    /// instance; the layer is deterministic, so identical configs keep
+    /// the pair in lockstep). `None` runs the layerless legacy path.
+    pub resilience: Option<ResilienceConfig>,
 }
 
 /// A detected behavioral difference between subject and reference.
@@ -92,9 +96,17 @@ impl std::fmt::Display for Divergence {
 /// Panics if either parameter set fails validation — campaign parameters
 /// are constructed from validated presets.
 pub fn run_case(spec: &CaseSpec, trace: &[BranchRecord]) -> Result<(), Divergence> {
-    let mut subject = ReactiveController::new(spec.subject).expect("subject params validate");
-    let mut reference =
-        ReferenceController::new(spec.reference).expect("reference params validate");
+    let mut subject = match spec.resilience {
+        None => ReactiveController::new(spec.subject).expect("subject params validate"),
+        Some(c) => {
+            ReactiveController::with_resilience(spec.subject, c).expect("subject params validate")
+        }
+    };
+    let mut reference = match spec.resilience {
+        None => ReferenceController::new(spec.reference).expect("reference params validate"),
+        Some(c) => ReferenceController::with_resilience(spec.reference, c)
+            .expect("reference params validate"),
+    };
 
     match spec.mode {
         Mode::PerEvent => {
@@ -224,6 +236,35 @@ mod tests {
             subject: tiny(),
             reference: tiny(),
             mode,
+            resilience: None,
+        }
+    }
+
+    fn storm_config() -> ResilienceConfig {
+        use rsc_control::resilience::{
+            BreakerConfig, DeployerSpec, FaultMode, FaultScope, FaultSpec, RetryPolicy,
+        };
+        ResilienceConfig {
+            deployer: DeployerSpec::Faulty(FaultSpec {
+                seed: 23,
+                mode: FaultMode::FixedRate { per_mille: 400 },
+                scope: FaultScope::All,
+                wasted: 12,
+            }),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff: 20,
+                max_backoff: 80,
+            },
+            breaker: Some(BreakerConfig {
+                bucket_events: 40,
+                buckets: 3,
+                open_threshold: 0.12,
+                close_threshold: 0.04,
+                cooldown_events: 80,
+                probe_events: 50,
+                mass_evict_top_k: 2,
+            }),
         }
     }
 
@@ -244,6 +285,7 @@ mod tests {
             subject: Fault::HysteresisOffByOne.apply(tiny()),
             reference: tiny(),
             mode: Mode::PerEvent,
+            resilience: None,
         };
         let trace = Scenario::HysteresisStraddle {
             warmup: 10,
@@ -260,8 +302,47 @@ mod tests {
             subject: Fault::MonitorWindowOffByOne.apply(tiny()),
             reference: tiny(),
             mode: Mode::Chunked { seed: 5 },
+            resilience: None,
         };
         let trace = Scenario::ThresholdOscillator { window: 10 }.generate(4_000, 3);
+        run_case(&spec, &trace).unwrap_err();
+    }
+
+    #[test]
+    fn resilient_pair_never_diverges() {
+        // Faults, retries, force-disables, breaker trips, and mass
+        // evictions all fire on this workload; the optimized and
+        // reference controllers must stay in lockstep through all of it,
+        // in both consumption modes.
+        let trace = Scenario::PhaseFlip {
+            branches: 4,
+            flip_after: 60,
+        }
+        .generate(6_000, 29);
+        for mode in [Mode::PerEvent, Mode::Chunked { seed: 3 }] {
+            let spec = CaseSpec {
+                resilience: Some(storm_config()),
+                ..conforming(mode)
+            };
+            run_case(&spec, &trace).unwrap();
+        }
+    }
+
+    #[test]
+    fn resilient_faulty_subject_still_diverges() {
+        // The layer must not mask real controller bugs: an injected
+        // off-by-one still produces a divergence under resilience.
+        let spec = CaseSpec {
+            subject: Fault::HysteresisOffByOne.apply(tiny()),
+            reference: tiny(),
+            mode: Mode::PerEvent,
+            resilience: Some(storm_config()),
+        };
+        let trace = Scenario::HysteresisStraddle {
+            warmup: 10,
+            period: 2,
+        }
+        .generate(4_000, 3);
         run_case(&spec, &trace).unwrap_err();
     }
 

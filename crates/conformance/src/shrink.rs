@@ -146,6 +146,7 @@ mod tests {
             subject: fault.apply(tiny()),
             reference: tiny(),
             mode,
+            resilience: None,
         }
     }
 
@@ -201,6 +202,7 @@ mod tests {
             subject: tiny(),
             reference: tiny(),
             mode: Mode::PerEvent,
+            resilience: None,
         };
         let trace = Scenario::UniformRandom { branches: 4 }.generate(500, 1);
         shrink(&spec, &trace);

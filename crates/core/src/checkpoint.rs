@@ -1,0 +1,1109 @@
+//! Controller checkpoint/restore.
+//!
+//! [`ReactiveController::snapshot`] serializes the *entire* controller —
+//! parameters, resilience configuration and runtime (deployer ordinal,
+//! breaker window), global counters, the transition log including its
+//! ring-buffer amortization state, and every per-branch FSM — into a
+//! versioned, self-contained binary blob. [`ReactiveController::restore`]
+//! rebuilds a controller from the blob such that feeding the restored
+//! controller the remainder of a trace produces **bit-identical** results
+//! (decisions, [`ControlStats`](crate::ControlStats), transition log) to a
+//! controller that ran the whole trace without interruption. That
+//! resume-equals-straight-run property is what makes checkpointing safe to
+//! use for long-running deployments, and it is pinned by differential
+//! tests (`tests/checkpoint_restore.rs`).
+//!
+//! # Format
+//!
+//! The encoding (`RSCK` magic, version byte, then sections) is
+//! hand-rolled: integers are LEB128 varints, floats are their IEEE-754
+//! bit patterns in 8 little-endian bytes, enums are one-byte tags.
+//! Nothing about the layout is exposed; treat [`ControllerCheckpoint`] as
+//! an opaque byte container. Decoding is strict — trailing bytes, unknown
+//! tags, and out-of-range values all fail with a typed
+//! [`CheckpointError`] carrying the byte offset, mirroring the hardened
+//! trace reader.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsc_control::{ControllerParams, ReactiveController};
+//! use rsc_trace::{BranchId, BranchRecord};
+//!
+//! let mut ctl = ReactiveController::new(ControllerParams::scaled()).unwrap();
+//! for i in 0..500 {
+//!     ctl.observe(&BranchRecord {
+//!         branch: BranchId::new(0),
+//!         taken: true,
+//!         instr: i * 10,
+//!     });
+//! }
+//! let cp = ctl.snapshot();
+//! let restored = ReactiveController::restore(&cp).unwrap();
+//! assert_eq!(restored.stats(), ctl.stats());
+//! ```
+
+use crate::controller::{
+    BranchCtl, EvictTracker, ReactiveController, State, TransitionEvent, TransitionKind,
+};
+use crate::counter::HysteresisCounter;
+use crate::params::{ControllerParams, EvictionMode, InvalidParamsError, MonitorPolicy, Revisit};
+use crate::resilience::breaker::{BreakerConfig, BreakerPhase, StormBreaker};
+use crate::resilience::deployer::{DeployerSpec, FaultMode, FaultScope, FaultSpec, RetryPolicy};
+use crate::resilience::{ResilienceConfig, ResilienceState};
+use crate::translog::{TransitionLog, TransitionLogPolicy};
+use rsc_trace::{BranchId, Direction};
+use std::fmt;
+
+/// Magic bytes opening every checkpoint.
+const MAGIC: [u8; 4] = *b"RSCK";
+/// Current (and only) format version.
+const VERSION: u8 = 1;
+
+/// An opaque serialized controller state.
+///
+/// Produced by [`ReactiveController::snapshot`], consumed by
+/// [`ReactiveController::restore`]. The bytes are self-contained: they
+/// embed the controller parameters and resilience configuration, so
+/// restoring needs no out-of-band state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControllerCheckpoint {
+    bytes: Vec<u8>,
+}
+
+impl ControllerCheckpoint {
+    /// The serialized bytes (e.g. for writing to a file).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Wraps bytes read back from storage. No validation happens here;
+    /// [`ReactiveController::restore`] performs the full strict decode.
+    pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
+        ControllerCheckpoint {
+            bytes: bytes.into(),
+        }
+    }
+
+    /// Consumes the checkpoint, returning the serialized bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Serialized size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Returns `true` if the checkpoint holds no bytes (never produced by
+    /// [`ReactiveController::snapshot`]; only possible via
+    /// [`ControllerCheckpoint::from_bytes`]).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// Why a checkpoint failed to decode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// The blob does not start with the `RSCK` magic.
+    BadMagic,
+    /// The format version is newer than this build understands.
+    UnsupportedVersion(u8),
+    /// The blob ended before the structure was complete.
+    Truncated {
+        /// Byte offset at which more input was needed.
+        offset: usize,
+    },
+    /// A structurally invalid encoding: unknown tag, out-of-range value,
+    /// or trailing garbage.
+    Corrupt {
+        /// Byte offset of the offending value.
+        offset: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// The decoded parameters or resilience configuration failed their
+    /// own validation (the checkpoint was produced by an incompatible or
+    /// tampered source).
+    Invalid(InvalidParamsError),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a controller checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v} (max {VERSION})")
+            }
+            CheckpointError::Truncated { offset } => {
+                write!(f, "checkpoint truncated at byte {offset}")
+            }
+            CheckpointError::Corrupt { offset, what } => {
+                write!(f, "corrupt checkpoint at byte {offset}: {what}")
+            }
+            CheckpointError::Invalid(e) => write!(f, "checkpoint carries invalid config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<InvalidParamsError> for CheckpointError {
+    fn from(e: InvalidParamsError) -> Self {
+        CheckpointError::Invalid(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        let mut buf = Vec::with_capacity(256);
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION);
+        Writer { buf }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// LEB128 varint.
+    fn u64(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.u64(u64::from(v));
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// IEEE-754 bit pattern, 8 bytes little-endian (varints would mangle
+    /// the high-entropy mantissa into 10 bytes for no benefit).
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+        }
+    }
+
+    fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u32(x);
+            }
+        }
+    }
+
+    fn dir(&mut self, d: Direction) {
+        self.u8(match d {
+            Direction::Taken => 0,
+            Direction::NotTaken => 1,
+        });
+    }
+
+    fn opt_dir(&mut self, d: Option<Direction>) {
+        self.u8(match d {
+            None => 0,
+            Some(Direction::Taken) => 1,
+            Some(Direction::NotTaken) => 2,
+        });
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn truncated(&self) -> CheckpointError {
+        CheckpointError::Truncated { offset: self.pos }
+    }
+
+    fn corrupt(&self, what: &'static str) -> CheckpointError {
+        CheckpointError::Corrupt {
+            offset: self.pos,
+            what,
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        let b = *self.buf.get(self.pos).ok_or_else(|| self.truncated())?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let start = self.pos;
+        let mut v: u64 = 0;
+        for shift in (0..).step_by(7) {
+            if shift >= 64 {
+                self.pos = start;
+                return Err(self.corrupt("varint longer than 64 bits"));
+            }
+            let byte = self.u8()?;
+            let payload = u64::from(byte & 0x7f);
+            if shift == 63 && payload > 1 {
+                self.pos = start;
+                return Err(self.corrupt("varint overflows u64"));
+            }
+            v |= payload << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        unreachable!()
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        let v = self.u64()?;
+        u32::try_from(v).map_err(|_| self.corrupt("value exceeds u32"))
+    }
+
+    fn usize(&mut self) -> Result<usize, CheckpointError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| self.corrupt("value exceeds usize"))
+    }
+
+    /// Bounded length prefix: lengths are additionally sanity-capped by
+    /// the bytes remaining, so a corrupt length cannot drive a huge
+    /// allocation (each element costs at least one byte).
+    fn len_prefix(&mut self) -> Result<usize, CheckpointError> {
+        let n = self.usize()?;
+        if n > self.buf.len() - self.pos {
+            return Err(self.corrupt("length prefix exceeds remaining bytes"));
+        }
+        Ok(n)
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        let end = self.pos.checked_add(8).ok_or_else(|| self.truncated())?;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| self.truncated())?;
+        self.pos = end;
+        Ok(f64::from_bits(u64::from_le_bytes(
+            bytes.try_into().unwrap(),
+        )))
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, CheckpointError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            _ => Err(self.corrupt("bad option tag")),
+        }
+    }
+
+    fn opt_u32(&mut self) -> Result<Option<u32>, CheckpointError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u32()?)),
+            _ => Err(self.corrupt("bad option tag")),
+        }
+    }
+
+    fn dir(&mut self) -> Result<Direction, CheckpointError> {
+        match self.u8()? {
+            0 => Ok(Direction::Taken),
+            1 => Ok(Direction::NotTaken),
+            _ => Err(self.corrupt("bad direction tag")),
+        }
+    }
+
+    fn opt_dir(&mut self) -> Result<Option<Direction>, CheckpointError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(Direction::Taken)),
+            2 => Ok(Some(Direction::NotTaken)),
+            _ => Err(self.corrupt("bad optional-direction tag")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sections
+// ---------------------------------------------------------------------------
+
+fn write_params(w: &mut Writer, p: &ControllerParams) {
+    w.u64(p.monitor_period);
+    match p.monitor_policy {
+        MonitorPolicy::FixedWindow => w.u8(0),
+        MonitorPolicy::Confidence {
+            z,
+            min_execs,
+            max_execs,
+        } => {
+            w.u8(1);
+            w.f64(z);
+            w.u64(min_execs);
+            w.u64(max_execs);
+        }
+    }
+    w.u64(p.monitor_sample_rate);
+    w.f64(p.selection_threshold);
+    match p.eviction {
+        EvictionMode::Counter {
+            up,
+            down,
+            threshold,
+        } => {
+            w.u8(0);
+            w.u32(up);
+            w.u32(down);
+            w.u32(threshold);
+        }
+        EvictionMode::Sampling {
+            period,
+            samples,
+            bias_threshold,
+        } => {
+            w.u8(1);
+            w.u64(period);
+            w.u64(samples);
+            w.f64(bias_threshold);
+        }
+        EvictionMode::Never => w.u8(2),
+    }
+    match p.revisit {
+        Revisit::After(n) => {
+            w.u8(0);
+            w.u64(n);
+        }
+        Revisit::Never => w.u8(1),
+    }
+    w.opt_u32(p.oscillation_limit);
+    w.u64(p.optimization_latency);
+}
+
+fn read_params(r: &mut Reader<'_>) -> Result<ControllerParams, CheckpointError> {
+    let monitor_period = r.u64()?;
+    let monitor_policy = match r.u8()? {
+        0 => MonitorPolicy::FixedWindow,
+        1 => MonitorPolicy::Confidence {
+            z: r.f64()?,
+            min_execs: r.u64()?,
+            max_execs: r.u64()?,
+        },
+        _ => return Err(r.corrupt("bad monitor-policy tag")),
+    };
+    let monitor_sample_rate = r.u64()?;
+    let selection_threshold = r.f64()?;
+    let eviction = match r.u8()? {
+        0 => EvictionMode::Counter {
+            up: r.u32()?,
+            down: r.u32()?,
+            threshold: r.u32()?,
+        },
+        1 => EvictionMode::Sampling {
+            period: r.u64()?,
+            samples: r.u64()?,
+            bias_threshold: r.f64()?,
+        },
+        2 => EvictionMode::Never,
+        _ => return Err(r.corrupt("bad eviction-mode tag")),
+    };
+    let revisit = match r.u8()? {
+        0 => Revisit::After(r.u64()?),
+        1 => Revisit::Never,
+        _ => return Err(r.corrupt("bad revisit tag")),
+    };
+    let oscillation_limit = r.opt_u32()?;
+    let optimization_latency = r.u64()?;
+    Ok(ControllerParams {
+        monitor_period,
+        monitor_policy,
+        monitor_sample_rate,
+        selection_threshold,
+        eviction,
+        revisit,
+        oscillation_limit,
+        optimization_latency,
+    })
+}
+
+fn write_resilience(w: &mut Writer, rs: &ResilienceState) {
+    // Static configuration.
+    match rs.config.deployer {
+        DeployerSpec::Instant => w.u8(0),
+        DeployerSpec::Faulty(spec) => {
+            w.u8(1);
+            w.u64(spec.seed);
+            match spec.mode {
+                FaultMode::FixedRate { per_mille } => {
+                    w.u8(0);
+                    w.u32(u32::from(per_mille));
+                }
+                FaultMode::Burst { period, len } => {
+                    w.u8(1);
+                    w.u64(period);
+                    w.u64(len);
+                }
+                FaultMode::TargetedBranch { branch } => {
+                    w.u8(2);
+                    w.u32(branch);
+                }
+            }
+            w.u8(match spec.scope {
+                FaultScope::All => 0,
+                FaultScope::OptimizeOnly => 1,
+                FaultScope::RepairOnly => 2,
+            });
+            w.u64(spec.wasted);
+        }
+    }
+    w.u32(rs.config.retry.max_attempts);
+    w.u64(rs.config.retry.base_backoff);
+    w.u64(rs.config.retry.max_backoff);
+    match &rs.config.breaker {
+        None => w.u8(0),
+        Some(b) => {
+            w.u8(1);
+            w.u64(b.bucket_events);
+            w.usize(b.buckets);
+            w.f64(b.open_threshold);
+            w.f64(b.close_threshold);
+            w.u64(b.cooldown_events);
+            w.u64(b.probe_events);
+            w.usize(b.mass_evict_top_k);
+        }
+    }
+    // Runtime state.
+    w.u64(rs.deployer.requests());
+    if let Some(b) = &rs.breaker {
+        match b.phase() {
+            BreakerPhase::Closed => w.u8(0),
+            BreakerPhase::Open { since } => {
+                w.u8(1);
+                w.u64(since);
+            }
+            BreakerPhase::HalfOpen { since } => {
+                w.u8(2);
+                w.u64(since);
+            }
+        }
+        let (window, cur, warm, probe_seen, probe_misses) = b.raw_parts();
+        w.usize(window.len());
+        for &(events, misses) in window {
+            w.u64(events);
+            w.u64(misses);
+        }
+        w.usize(cur);
+        w.usize(warm);
+        w.u64(probe_seen);
+        w.u64(probe_misses);
+    }
+    w.u64(rs.deploy_failures);
+    w.u64(rs.deploy_retries);
+    w.u64(rs.forced_disables);
+    w.u64(rs.suppressed_enters);
+}
+
+fn read_resilience(r: &mut Reader<'_>) -> Result<ResilienceState, CheckpointError> {
+    let deployer = match r.u8()? {
+        0 => DeployerSpec::Instant,
+        1 => {
+            let seed = r.u64()?;
+            let mode = match r.u8()? {
+                0 => {
+                    let pm = r.u32()?;
+                    let per_mille =
+                        u16::try_from(pm).map_err(|_| r.corrupt("per_mille exceeds u16"))?;
+                    FaultMode::FixedRate { per_mille }
+                }
+                1 => FaultMode::Burst {
+                    period: r.u64()?,
+                    len: r.u64()?,
+                },
+                2 => FaultMode::TargetedBranch { branch: r.u32()? },
+                _ => return Err(r.corrupt("bad fault-mode tag")),
+            };
+            let scope = match r.u8()? {
+                0 => FaultScope::All,
+                1 => FaultScope::OptimizeOnly,
+                2 => FaultScope::RepairOnly,
+                _ => return Err(r.corrupt("bad fault-scope tag")),
+            };
+            let wasted = r.u64()?;
+            DeployerSpec::Faulty(FaultSpec {
+                seed,
+                mode,
+                scope,
+                wasted,
+            })
+        }
+        _ => return Err(r.corrupt("bad deployer tag")),
+    };
+    let retry = RetryPolicy {
+        max_attempts: r.u32()?,
+        base_backoff: r.u64()?,
+        max_backoff: r.u64()?,
+    };
+    let breaker_config = match r.u8()? {
+        0 => None,
+        1 => Some(BreakerConfig {
+            bucket_events: r.u64()?,
+            buckets: r.usize()?,
+            open_threshold: r.f64()?,
+            close_threshold: r.f64()?,
+            cooldown_events: r.u64()?,
+            probe_events: r.u64()?,
+            mass_evict_top_k: r.usize()?,
+        }),
+        _ => return Err(r.corrupt("bad breaker-config tag")),
+    };
+    let config = ResilienceConfig {
+        deployer,
+        retry,
+        breaker: breaker_config,
+    };
+    // Validates the config (including the breaker config) before any
+    // runtime state is trusted.
+    let mut rs = ResilienceState::new(config)?;
+    rs.deployer.set_requests(r.u64()?);
+    if let Some(bc) = breaker_config {
+        let phase = match r.u8()? {
+            0 => BreakerPhase::Closed,
+            1 => BreakerPhase::Open { since: r.u64()? },
+            2 => BreakerPhase::HalfOpen { since: r.u64()? },
+            _ => return Err(r.corrupt("bad breaker-phase tag")),
+        };
+        let n = r.len_prefix()?;
+        if n != bc.buckets {
+            return Err(r.corrupt("breaker window length disagrees with config"));
+        }
+        let mut window = Vec::with_capacity(n);
+        for _ in 0..n {
+            let events = r.u64()?;
+            let misses = r.u64()?;
+            window.push((events, misses));
+        }
+        let cur = r.usize()?;
+        if cur >= n {
+            return Err(r.corrupt("breaker cursor outside window"));
+        }
+        let warm = r.usize()?;
+        if warm > n {
+            return Err(r.corrupt("breaker warm count exceeds window"));
+        }
+        let probe_seen = r.u64()?;
+        let probe_misses = r.u64()?;
+        rs.breaker = Some(StormBreaker::restore(
+            bc,
+            phase,
+            window,
+            cur,
+            warm,
+            probe_seen,
+            probe_misses,
+        ));
+    }
+    rs.deploy_failures = r.u64()?;
+    rs.deploy_retries = r.u64()?;
+    rs.forced_disables = r.u64()?;
+    rs.suppressed_enters = r.u64()?;
+    Ok(rs)
+}
+
+fn write_log(w: &mut Writer, log: &TransitionLog) {
+    match log.policy() {
+        TransitionLogPolicy::Full => w.u8(0),
+        TransitionLogPolicy::CountsOnly => w.u8(1),
+        TransitionLogPolicy::RingBuffer(n) => {
+            w.u8(2);
+            w.usize(n);
+        }
+    }
+    let (events, counts) = log.raw_storage();
+    w.usize(counts.len());
+    for &c in counts {
+        w.u64(c);
+    }
+    // The raw vector, not `as_slice()`: a ring log holds up to `2n`
+    // events between compactions and resume must land on the same
+    // amortization boundary to stay bit-identical.
+    w.usize(events.len());
+    for ev in events {
+        w.u32(ev.branch.index() as u32);
+        w.u8(ev.kind.index() as u8);
+        w.u64(ev.event_index);
+        w.u64(ev.instr);
+        w.opt_dir(ev.direction);
+    }
+}
+
+fn read_log(r: &mut Reader<'_>) -> Result<TransitionLog, CheckpointError> {
+    let policy = match r.u8()? {
+        0 => TransitionLogPolicy::Full,
+        1 => TransitionLogPolicy::CountsOnly,
+        2 => TransitionLogPolicy::RingBuffer(r.usize()?),
+        _ => return Err(r.corrupt("bad log-policy tag")),
+    };
+    let n_counts = r.len_prefix()?;
+    if n_counts != TransitionKind::ALL.len() {
+        return Err(r.corrupt("transition-kind count disagrees with this build"));
+    }
+    let mut counts = [0u64; TransitionKind::ALL.len()];
+    for c in counts.iter_mut() {
+        *c = r.u64()?;
+    }
+    let n_events = r.len_prefix()?;
+    if let TransitionLogPolicy::RingBuffer(n) = policy {
+        if n_events > 2 * n {
+            return Err(r.corrupt("ring log holds more than 2n events"));
+        }
+    }
+    let mut events = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        let branch = BranchId::new(r.u32()?);
+        let kind_idx = r.u8()? as usize;
+        let kind = *TransitionKind::ALL
+            .get(kind_idx)
+            .ok_or_else(|| r.corrupt("bad transition-kind index"))?;
+        let event_index = r.u64()?;
+        let instr = r.u64()?;
+        let direction = r.opt_dir()?;
+        events.push(TransitionEvent {
+            branch,
+            kind,
+            event_index,
+            instr,
+            direction,
+        });
+    }
+    Ok(TransitionLog::from_raw_storage(policy, events, counts))
+}
+
+fn write_branch(w: &mut Writer, b: &BranchCtl) {
+    match &b.state {
+        State::Monitor {
+            execs,
+            samples,
+            taken,
+        } => {
+            w.u8(0);
+            w.u64(*execs);
+            w.u64(*samples);
+            w.u64(*taken);
+        }
+        State::PendingBiased { deadline, dir } => {
+            w.u8(1);
+            w.u64(*deadline);
+            w.dir(*dir);
+        }
+        State::Biased { dir, tracker } => {
+            w.u8(2);
+            w.dir(*dir);
+            match tracker {
+                EvictTracker::Counter(c) => {
+                    w.u8(0);
+                    w.u32(c.value());
+                }
+                EvictTracker::Sampling {
+                    pos,
+                    matched,
+                    sampled,
+                } => {
+                    w.u8(1);
+                    w.u64(*pos);
+                    w.u64(*matched);
+                    w.u64(*sampled);
+                }
+                EvictTracker::Never => w.u8(2),
+            }
+        }
+        State::PendingMonitor { deadline, dir } => {
+            w.u8(3);
+            w.u64(*deadline);
+            w.dir(*dir);
+        }
+        State::Unbiased { remaining } => {
+            w.u8(4);
+            w.opt_u64(*remaining);
+        }
+        State::Disabled => w.u8(5),
+        State::RetryBiased { next, dir, attempt } => {
+            w.u8(6);
+            w.u64(*next);
+            w.dir(*dir);
+            w.u32(*attempt);
+        }
+        State::RetryMonitor { next, dir, attempt } => {
+            w.u8(7);
+            w.u64(*next);
+            w.dir(*dir);
+            w.u32(*attempt);
+        }
+    }
+    w.u32(b.entries);
+    w.u32(b.entries_since_flush);
+    w.u32(b.evictions);
+    w.u64(b.execs);
+    w.u64(b.recent_misses);
+}
+
+fn read_branch(
+    r: &mut Reader<'_>,
+    params: &ControllerParams,
+) -> Result<BranchCtl, CheckpointError> {
+    let state = match r.u8()? {
+        0 => State::Monitor {
+            execs: r.u64()?,
+            samples: r.u64()?,
+            taken: r.u64()?,
+        },
+        1 => State::PendingBiased {
+            deadline: r.u64()?,
+            dir: r.dir()?,
+        },
+        2 => {
+            let dir = r.dir()?;
+            let tracker = match r.u8()? {
+                0 => {
+                    // The counter's shape lives in the params; only its
+                    // value is serialized. A tracker kind that disagrees
+                    // with the eviction mode means the blob was not
+                    // produced against these params.
+                    let EvictionMode::Counter {
+                        up,
+                        down,
+                        threshold,
+                    } = params.eviction
+                    else {
+                        return Err(r.corrupt("counter tracker under non-counter eviction mode"));
+                    };
+                    let value = r.u32()?;
+                    let mut c = HysteresisCounter::new(up, down, threshold);
+                    c.set_value(value);
+                    EvictTracker::Counter(c)
+                }
+                1 => EvictTracker::Sampling {
+                    pos: r.u64()?,
+                    matched: r.u64()?,
+                    sampled: r.u64()?,
+                },
+                2 => EvictTracker::Never,
+                _ => return Err(r.corrupt("bad evict-tracker tag")),
+            };
+            State::Biased { dir, tracker }
+        }
+        3 => State::PendingMonitor {
+            deadline: r.u64()?,
+            dir: r.dir()?,
+        },
+        4 => State::Unbiased {
+            remaining: r.opt_u64()?,
+        },
+        5 => State::Disabled,
+        6 => State::RetryBiased {
+            next: r.u64()?,
+            dir: r.dir()?,
+            attempt: r.u32()?,
+        },
+        7 => State::RetryMonitor {
+            next: r.u64()?,
+            dir: r.dir()?,
+            attempt: r.u32()?,
+        },
+        _ => return Err(r.corrupt("bad branch-state tag")),
+    };
+    Ok(BranchCtl {
+        state,
+        entries: r.u32()?,
+        entries_since_flush: r.u32()?,
+        evictions: r.u32()?,
+        execs: r.u64()?,
+        recent_misses: r.u64()?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+impl ReactiveController {
+    /// Serializes the complete controller state into a self-contained,
+    /// versioned checkpoint.
+    ///
+    /// The checkpoint captures everything that affects future behavior:
+    /// parameters, the resilience configuration and its runtime state
+    /// (deployer request ordinal, breaker phase and window), global
+    /// counters, the transition log (including the ring buffer's internal
+    /// amortization state), and every per-branch FSM. Restoring and
+    /// replaying the rest of a trace is bit-identical to never having
+    /// checkpointed.
+    pub fn snapshot(&self) -> ControllerCheckpoint {
+        let mut w = Writer::new();
+        write_params(&mut w, &self.params);
+        match &self.resilience {
+            None => w.u8(0),
+            Some(rs) => {
+                w.u8(1);
+                write_resilience(&mut w, rs);
+            }
+        }
+        w.u64(self.events);
+        w.u64(self.instructions);
+        w.u64(self.correct);
+        w.u64(self.incorrect);
+        write_log(&mut w, &self.log);
+        w.usize(self.branches.len());
+        for b in &self.branches {
+            write_branch(&mut w, b);
+        }
+        ControllerCheckpoint { bytes: w.buf }
+    }
+
+    /// Rebuilds a controller from a checkpoint produced by
+    /// [`snapshot`](ReactiveController::snapshot).
+    ///
+    /// Decoding is strict: the magic and version are checked, every tag
+    /// and length is validated, the embedded parameters and resilience
+    /// configuration are re-validated, and trailing bytes are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] describing the first problem found,
+    /// with the byte offset for structural corruption.
+    pub fn restore(cp: &ControllerCheckpoint) -> Result<Self, CheckpointError> {
+        let bytes = cp.as_bytes();
+        if bytes.len() < MAGIC.len() + 1 {
+            return Err(CheckpointError::Truncated {
+                offset: bytes.len(),
+            });
+        }
+        if bytes[..MAGIC.len()] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = bytes[MAGIC.len()];
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let mut r = Reader::new(bytes);
+        r.pos = MAGIC.len() + 1;
+
+        let params = read_params(&mut r)?;
+        params.validate()?;
+        let resilience = match r.u8()? {
+            0 => None,
+            1 => Some(read_resilience(&mut r)?),
+            _ => return Err(r.corrupt("bad resilience tag")),
+        };
+        let events = r.u64()?;
+        let instructions = r.u64()?;
+        let correct = r.u64()?;
+        let incorrect = r.u64()?;
+        let log = read_log(&mut r)?;
+        let n_branches = r.len_prefix()?;
+        let mut branches = Vec::with_capacity(n_branches);
+        for _ in 0..n_branches {
+            branches.push(read_branch(&mut r, &params)?);
+        }
+        if r.pos != bytes.len() {
+            return Err(r.corrupt("trailing bytes after checkpoint"));
+        }
+        Ok(ReactiveController {
+            params,
+            branches,
+            log,
+            events,
+            instructions,
+            correct,
+            incorrect,
+            resilience,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resilience::DeployOutcome;
+    use rsc_trace::BranchRecord;
+
+    fn drive(ctl: &mut ReactiveController, n: u64) {
+        // Two branches: one strongly biased, one alternating (keeps the
+        // eviction machinery and misspeculation counters busy).
+        for i in 0..n {
+            let (branch, taken) = if i % 3 == 0 {
+                (BranchId::new(1), i % 2 == 0)
+            } else {
+                (BranchId::new(0), true)
+            };
+            ctl.observe(&BranchRecord {
+                branch,
+                taken,
+                instr: i * 10,
+            });
+        }
+    }
+
+    #[test]
+    fn round_trips_a_plain_controller() {
+        let mut ctl = ReactiveController::new(ControllerParams::scaled()).unwrap();
+        drive(&mut ctl, 5_000);
+        let cp = ctl.snapshot();
+        let restored = ReactiveController::restore(&cp).unwrap();
+        assert_eq!(restored.stats(), ctl.stats());
+        assert_eq!(
+            restored.transition_log().as_slice(),
+            ctl.transition_log().as_slice()
+        );
+        assert_eq!(restored.params(), ctl.params());
+    }
+
+    #[test]
+    fn round_trips_resilience_runtime_state() {
+        let config = ResilienceConfig {
+            deployer: DeployerSpec::Faulty(FaultSpec {
+                seed: 42,
+                mode: FaultMode::FixedRate { per_mille: 400 },
+                scope: FaultScope::All,
+                wasted: 25,
+            }),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff: 50,
+                max_backoff: 200,
+            },
+            breaker: Some(BreakerConfig {
+                bucket_events: 64,
+                buckets: 4,
+                open_threshold: 0.3,
+                close_threshold: 0.1,
+                cooldown_events: 128,
+                probe_events: 64,
+                mass_evict_top_k: 2,
+            }),
+        };
+        let mut ctl =
+            ReactiveController::with_resilience(ControllerParams::scaled(), config).unwrap();
+        drive(&mut ctl, 5_000);
+        let cp = ctl.snapshot();
+        let restored = ReactiveController::restore(&cp).unwrap();
+        assert_eq!(restored.stats(), ctl.stats());
+        assert_eq!(restored.resilience_config(), ctl.resilience_config());
+        // The deployer ordinal must survive: the next fault decision
+        // depends on it.
+        let (a, b) = (
+            ctl.resilience.as_ref().unwrap(),
+            restored.resilience.as_ref().unwrap(),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn checkpoint_is_deterministic() {
+        let mut ctl = ReactiveController::new(ControllerParams::scaled()).unwrap();
+        drive(&mut ctl, 2_000);
+        assert_eq!(ctl.snapshot(), ctl.snapshot());
+        assert_eq!(ctl.snapshot(), ctl.clone().snapshot());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let ctl = ReactiveController::new(ControllerParams::scaled()).unwrap();
+        let mut bytes = ctl.snapshot().into_bytes();
+        bytes[0] = b'X';
+        let err = ReactiveController::restore(&ControllerCheckpoint::from_bytes(bytes.clone()))
+            .unwrap_err();
+        assert_eq!(err, CheckpointError::BadMagic);
+        bytes[0] = b'R';
+        bytes[4] = 99;
+        let err =
+            ReactiveController::restore(&ControllerCheckpoint::from_bytes(bytes)).unwrap_err();
+        assert_eq!(err, CheckpointError::UnsupportedVersion(99));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let mut ctl = ReactiveController::new(ControllerParams::scaled()).unwrap();
+        drive(&mut ctl, 1_000);
+        let bytes = ctl.snapshot().into_bytes();
+        for cut in 0..bytes.len() {
+            let cp = ControllerCheckpoint::from_bytes(bytes[..cut].to_vec());
+            assert!(
+                ReactiveController::restore(&cp).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let ctl = ReactiveController::new(ControllerParams::scaled()).unwrap();
+        let mut bytes = ctl.snapshot().into_bytes();
+        bytes.push(0);
+        let err =
+            ReactiveController::restore(&ControllerCheckpoint::from_bytes(bytes)).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt { what, .. }
+            if what == "trailing bytes after checkpoint"));
+    }
+
+    #[test]
+    fn restored_deployer_continues_the_fault_schedule() {
+        // Drive a faulty controller, checkpoint, then compare the *next*
+        // deployment outcomes between the original and a restored copy —
+        // they must consult the same ordinal.
+        use crate::resilience::deployer::{DeployKind, DeployRequest};
+        let config = ResilienceConfig {
+            deployer: DeployerSpec::Faulty(FaultSpec {
+                seed: 9,
+                mode: FaultMode::FixedRate { per_mille: 500 },
+                scope: FaultScope::All,
+                wasted: 10,
+            }),
+            retry: RetryPolicy::default_policy(),
+            breaker: None,
+        };
+        let mut ctl =
+            ReactiveController::with_resilience(ControllerParams::scaled(), config).unwrap();
+        drive(&mut ctl, 3_000);
+        let mut restored = ReactiveController::restore(&ctl.snapshot()).unwrap();
+        let req = DeployRequest {
+            branch: BranchId::new(5),
+            kind: DeployKind::Optimize,
+            instr: 999_999,
+            attempt: 0,
+        };
+        for _ in 0..32 {
+            let a = ctl.resilience.as_mut().unwrap().deployer.request(&req);
+            let b = restored.resilience.as_mut().unwrap().deployer.request(&req);
+            assert_eq!(a, b);
+            let _ = matches!(a, DeployOutcome::Deployed);
+        }
+    }
+}

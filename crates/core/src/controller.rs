@@ -21,6 +21,9 @@
 
 use crate::counter::HysteresisCounter;
 use crate::params::{ControllerParams, EvictionMode, InvalidParamsError, MonitorPolicy, Revisit};
+use crate::resilience::breaker::BreakerSignal;
+use crate::resilience::deployer::{DeployKind, DeployOutcome, DeployRequest};
+use crate::resilience::{ResilienceConfig, ResilienceState, BREAKER_BRANCH};
 use crate::stats::ControlStats;
 use crate::translog::{TransitionLog, TransitionLogPolicy};
 use rsc_trace::{BranchId, BranchRecord, Direction};
@@ -58,16 +61,38 @@ pub enum TransitionKind {
     RevisitMonitor,
     /// The oscillation cap fired; the branch was permanently disabled.
     Disabled,
+    /// A deployment request failed (resilience layer; logged per failed
+    /// attempt, first tries and retries alike).
+    DeployFailed,
+    /// Repair retries ran out; the branch was force-disabled so it is
+    /// never left speculating a stale assumption (resilience layer).
+    ForcedDisable,
+    /// Optimize retries ran out; the enter decision was abandoned and
+    /// the branch returned to the unbiased state (resilience layer).
+    EnterAbandoned,
+    /// The storm breaker opened (global; branch is the
+    /// [`BREAKER_BRANCH`](crate::resilience::BREAKER_BRANCH) sentinel).
+    BreakerOpened,
+    /// The storm breaker half-opened to probe recovery (global).
+    BreakerHalfOpen,
+    /// The storm breaker closed after a healthy probe (global).
+    BreakerClosed,
 }
 
 impl TransitionKind {
     /// Every kind, in `index` order (used by counter arrays).
-    pub const ALL: [TransitionKind; 5] = [
+    pub const ALL: [TransitionKind; 11] = [
         TransitionKind::EnterBiased,
         TransitionKind::ExitBiased,
         TransitionKind::EnterUnbiased,
         TransitionKind::RevisitMonitor,
         TransitionKind::Disabled,
+        TransitionKind::DeployFailed,
+        TransitionKind::ForcedDisable,
+        TransitionKind::EnterAbandoned,
+        TransitionKind::BreakerOpened,
+        TransitionKind::BreakerHalfOpen,
+        TransitionKind::BreakerClosed,
     ];
 
     /// Dense index of this kind within [`TransitionKind::ALL`].
@@ -78,6 +103,12 @@ impl TransitionKind {
             TransitionKind::EnterUnbiased => 2,
             TransitionKind::RevisitMonitor => 3,
             TransitionKind::Disabled => 4,
+            TransitionKind::DeployFailed => 5,
+            TransitionKind::ForcedDisable => 6,
+            TransitionKind::EnterAbandoned => 7,
+            TransitionKind::BreakerOpened => 8,
+            TransitionKind::BreakerHalfOpen => 9,
+            TransitionKind::BreakerClosed => 10,
         }
     }
 }
@@ -165,6 +196,28 @@ pub enum BranchStateView {
     },
     /// Permanently disabled by the oscillation cap.
     Disabled,
+    /// Selected, but the optimize deployment failed; waiting out the
+    /// backoff before retrying. The branch runs unoptimized code
+    /// (resilience layer).
+    RetryBiased {
+        /// Instruction count at which the next attempt is issued.
+        next: u64,
+        /// The direction the optimized code will speculate.
+        dir: Direction,
+        /// Failed attempts so far.
+        attempt: u32,
+    },
+    /// Evicted, but the repair deployment failed; the stale speculative
+    /// code keeps running (and misspeculating) until a retry lands or
+    /// the branch is force-disabled (resilience layer).
+    RetryMonitor {
+        /// Instruction count at which the next attempt is issued.
+        next: u64,
+        /// The direction the stale code still speculates.
+        dir: Direction,
+        /// Failed attempts so far.
+        attempt: u32,
+    },
 }
 
 /// Full externally comparable snapshot of one branch: FSM state plus the
@@ -203,7 +256,7 @@ impl BranchSnapshot {
 
 /// Eviction bookkeeping inside the biased state.
 #[derive(Debug, Clone)]
-enum EvictTracker {
+pub(crate) enum EvictTracker {
     Counter(HysteresisCounter),
     Sampling {
         pos: u64,
@@ -215,7 +268,7 @@ enum EvictTracker {
 
 /// Per-branch controller state.
 #[derive(Debug, Clone)]
-enum State {
+pub(crate) enum State {
     Monitor {
         execs: u64,
         samples: u64,
@@ -237,10 +290,20 @@ enum State {
         remaining: Option<u64>,
     },
     Disabled,
+    RetryBiased {
+        next: u64,
+        dir: Direction,
+        attempt: u32,
+    },
+    RetryMonitor {
+        next: u64,
+        dir: Direction,
+        attempt: u32,
+    },
 }
 
 impl State {
-    fn fresh_monitor() -> State {
+    pub(crate) fn fresh_monitor() -> State {
         State::Monitor {
             execs: 0,
             samples: 0,
@@ -250,24 +313,29 @@ impl State {
 }
 
 #[derive(Debug, Clone)]
-struct BranchCtl {
-    state: State,
+pub(crate) struct BranchCtl {
+    pub(crate) state: State,
     /// Lifetime entries into the biased state (statistics).
-    entries: u32,
+    pub(crate) entries: u32,
     /// Entries since the last flush (what the oscillation cap counts).
-    entries_since_flush: u32,
-    evictions: u32,
-    execs: u64,
+    pub(crate) entries_since_flush: u32,
+    pub(crate) evictions: u32,
+    pub(crate) execs: u64,
+    /// Misspeculations since the storm breaker last opened; ranks the
+    /// mass-eviction candidates. Only maintained when a breaker is
+    /// configured, and never part of the comparable snapshot.
+    pub(crate) recent_misses: u64,
 }
 
 impl BranchCtl {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         BranchCtl {
             state: State::fresh_monitor(),
             entries: 0,
             entries_since_flush: 0,
             evictions: 0,
             execs: 0,
+            recent_misses: 0,
         }
     }
 }
@@ -292,13 +360,17 @@ impl BranchCtl {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ReactiveController {
-    params: ControllerParams,
-    branches: Vec<BranchCtl>,
-    log: TransitionLog,
-    events: u64,
-    instructions: u64,
-    correct: u64,
-    incorrect: u64,
+    pub(crate) params: ControllerParams,
+    pub(crate) branches: Vec<BranchCtl>,
+    pub(crate) log: TransitionLog,
+    pub(crate) events: u64,
+    pub(crate) instructions: u64,
+    pub(crate) correct: u64,
+    pub(crate) incorrect: u64,
+    /// Opt-in resilience layer. `None` keeps the controller bit-identical
+    /// to the pre-resilience implementation (and on the allocation-free
+    /// chunked fast path).
+    pub(crate) resilience: Option<ResilienceState>,
 }
 
 /// What a call to [`ReactiveController::observe_chunk`] did, in aggregate.
@@ -330,7 +402,30 @@ impl ReactiveController {
             instructions: 0,
             correct: 0,
             incorrect: 0,
+            resilience: None,
         })
+    }
+
+    /// Creates a controller with the resilience layer attached: deployments
+    /// go through the configured pipeline (and can fail), and the optional
+    /// storm breaker monitors the global misspeculation rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the controller parameters or the resilience
+    /// configuration are inconsistent.
+    pub fn with_resilience(
+        params: ControllerParams,
+        config: ResilienceConfig,
+    ) -> Result<Self, InvalidParamsError> {
+        let mut ctl = Self::new(params)?;
+        ctl.resilience = Some(ResilienceState::new(config)?);
+        Ok(ctl)
+    }
+
+    /// The resilience configuration, if the layer is attached.
+    pub fn resilience_config(&self) -> Option<&ResilienceConfig> {
+        self.resilience.as_ref().map(|rs| &rs.config)
     }
 
     /// Disables (or re-enables) transition *event storage*.
@@ -413,9 +508,127 @@ impl ReactiveController {
         }
     }
 
+    /// Routes a deployment request through the resilience layer; without
+    /// one, deployment is infallible (the paper's model).
+    fn deploy(
+        &mut self,
+        branch: BranchId,
+        kind: DeployKind,
+        instr: u64,
+        attempt: u32,
+    ) -> DeployOutcome {
+        match &mut self.resilience {
+            Some(rs) => rs.deployer.request(&DeployRequest {
+                branch,
+                kind,
+                instr,
+                attempt,
+            }),
+            None => DeployOutcome::Deployed,
+        }
+    }
+
+    /// The unbiased parking state per the revisit policy.
+    fn fresh_unbiased(&self) -> State {
+        State::Unbiased {
+            remaining: match self.params.revisit {
+                Revisit::After(n) => Some(n),
+                Revisit::Never => None,
+            },
+        }
+    }
+
+    /// Mass-evicts the `k` currently-biased branches with the most recent
+    /// misspeculations (ties broken by branch index, so the order is
+    /// deterministic). Modeled as a fragment-cache invalidation — reliable
+    /// and immediate, bypassing the deployment pipeline.
+    fn mass_evict(&mut self, k: usize, instr: u64) {
+        let mut candidates: Vec<(u64, usize)> = self
+            .branches
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| matches!(b.state, State::Biased { .. }))
+            .map(|(i, b)| (b.recent_misses, i))
+            .collect();
+        candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        candidates.truncate(k);
+        for (_, i) in candidates {
+            let dir = match &self.branches[i].state {
+                State::Biased { dir, .. } => *dir,
+                _ => unreachable!("candidates are biased"),
+            };
+            self.branches[i].evictions += 1;
+            self.log_transition(
+                BranchId::new(i as u32),
+                TransitionKind::ExitBiased,
+                instr,
+                Some(dir),
+            );
+            self.branches[i].state = State::fresh_monitor();
+        }
+    }
+
+    /// Advances the storm breaker by one observed event and reacts to any
+    /// phase change. Only called when a breaker is configured.
+    fn breaker_tick(&mut self, r: &BranchRecord, decision: SpecDecision) {
+        let miss = decision == SpecDecision::Incorrect;
+        if miss {
+            self.branches[r.branch.index()].recent_misses += 1;
+        }
+        let events = self.events;
+        let signal = {
+            let rs = self.resilience.as_mut().expect("breaker_tick gated");
+            rs.breaker
+                .as_mut()
+                .expect("breaker_tick gated")
+                .tick(events, miss)
+        };
+        match signal {
+            BreakerSignal::None => {}
+            BreakerSignal::Opened | BreakerSignal::Reopened => {
+                self.log_transition(BREAKER_BRANCH, TransitionKind::BreakerOpened, r.instr, None);
+                let top_k = self
+                    .resilience
+                    .as_ref()
+                    .and_then(|rs| rs.config.breaker)
+                    .map_or(0, |b| b.mass_evict_top_k);
+                if top_k > 0 {
+                    self.mass_evict(top_k, r.instr);
+                }
+                // Each storm ranks offenders afresh.
+                for b in &mut self.branches {
+                    b.recent_misses = 0;
+                }
+            }
+            BreakerSignal::HalfOpened => {
+                self.log_transition(
+                    BREAKER_BRANCH,
+                    TransitionKind::BreakerHalfOpen,
+                    r.instr,
+                    None,
+                );
+            }
+            BreakerSignal::Closed => {
+                self.log_transition(BREAKER_BRANCH, TransitionKind::BreakerClosed, r.instr, None);
+            }
+        }
+    }
+
     /// Feeds one dynamic branch execution through the branch's FSM and
     /// returns what the speculation system did with it.
     pub fn observe(&mut self, r: &BranchRecord) -> SpecDecision {
+        let decision = self.observe_inner(r);
+        let has_breaker = self
+            .resilience
+            .as_ref()
+            .is_some_and(|rs| rs.breaker.is_some());
+        if has_breaker {
+            self.breaker_tick(r, decision);
+        }
+        decision
+    }
+
+    fn observe_inner(&mut self, r: &BranchRecord) -> SpecDecision {
         let idx = r.branch.index();
         if idx >= self.branches.len() {
             self.branches.resize_with(idx + 1, BranchCtl::new);
@@ -496,6 +709,21 @@ impl ReactiveController {
                         } else {
                             Direction::NotTaken
                         };
+                        // An open storm breaker suppresses the deployment:
+                        // the branch parks as unbiased (no entry, no log)
+                        // and the revisit arc re-monitors it after the
+                        // storm.
+                        if self
+                            .resilience
+                            .as_ref()
+                            .is_some_and(|rs| rs.breaker.as_ref().is_some_and(|b| b.suppressing()))
+                        {
+                            if let Some(rs) = &mut self.resilience {
+                                rs.suppressed_enters += 1;
+                            }
+                            self.branches[idx].state = self.fresh_unbiased();
+                            return SpecDecision::NotSpeculated;
+                        }
                         // Oscillation cap: refuse the (limit+1)-th entry.
                         if let Some(limit) = self.params.oscillation_limit {
                             if self.branches[idx].entries_since_flush >= limit {
@@ -517,23 +745,53 @@ impl ReactiveController {
                             r.instr,
                             Some(dir),
                         );
-                        if self.params.optimization_latency == 0 {
-                            self.branches[idx].state = State::Biased {
-                                dir,
-                                tracker: self.fresh_tracker(),
-                            };
-                        } else {
-                            self.branches[idx].state = State::PendingBiased {
-                                deadline: r.instr + self.params.optimization_latency,
-                                dir,
-                            };
+                        match self.deploy(r.branch, DeployKind::Optimize, r.instr, 0) {
+                            DeployOutcome::Deployed => {
+                                if self.params.optimization_latency == 0 {
+                                    self.branches[idx].state = State::Biased {
+                                        dir,
+                                        tracker: self.fresh_tracker(),
+                                    };
+                                } else {
+                                    self.branches[idx].state = State::PendingBiased {
+                                        deadline: r.instr + self.params.optimization_latency,
+                                        dir,
+                                    };
+                                }
+                            }
+                            DeployOutcome::Failed { wasted } => {
+                                let retry = self
+                                    .resilience
+                                    .as_ref()
+                                    .expect("faults need a layer")
+                                    .config
+                                    .retry;
+                                self.resilience.as_mut().expect("checked").deploy_failures += 1;
+                                self.log_transition(
+                                    r.branch,
+                                    TransitionKind::DeployFailed,
+                                    r.instr,
+                                    Some(dir),
+                                );
+                                if retry.max_attempts <= 1 {
+                                    self.log_transition(
+                                        r.branch,
+                                        TransitionKind::EnterAbandoned,
+                                        r.instr,
+                                        None,
+                                    );
+                                    self.branches[idx].state = self.fresh_unbiased();
+                                } else {
+                                    self.branches[idx].state = State::RetryBiased {
+                                        next: r.instr + wasted + retry.backoff(1),
+                                        dir,
+                                        attempt: 1,
+                                    };
+                                }
+                            }
                         }
                     } else {
-                        let remaining = match self.params.revisit {
-                            Revisit::After(n) => Some(n),
-                            Revisit::Never => None,
-                        };
-                        self.branches[idx].state = State::Unbiased { remaining };
+                        self.branches[idx].state = self.fresh_unbiased();
                         self.log_transition(r.branch, TransitionKind::EnterUnbiased, r.instr, None);
                     }
                     return SpecDecision::NotSpeculated;
@@ -609,13 +867,50 @@ impl ReactiveController {
                             r.instr,
                             Some(dir),
                         );
-                        if self.params.optimization_latency == 0 {
-                            self.branches[idx].state = State::fresh_monitor();
-                        } else {
-                            self.branches[idx].state = State::PendingMonitor {
-                                deadline: r.instr + self.params.optimization_latency,
-                                dir,
-                            };
+                        match self.deploy(r.branch, DeployKind::Repair, r.instr, 0) {
+                            DeployOutcome::Deployed => {
+                                if self.params.optimization_latency == 0 {
+                                    self.branches[idx].state = State::fresh_monitor();
+                                } else {
+                                    self.branches[idx].state = State::PendingMonitor {
+                                        deadline: r.instr + self.params.optimization_latency,
+                                        dir,
+                                    };
+                                }
+                            }
+                            DeployOutcome::Failed { wasted } => {
+                                let retry = self
+                                    .resilience
+                                    .as_ref()
+                                    .expect("faults need a layer")
+                                    .config
+                                    .retry;
+                                self.resilience.as_mut().expect("checked").deploy_failures += 1;
+                                self.log_transition(
+                                    r.branch,
+                                    TransitionKind::DeployFailed,
+                                    r.instr,
+                                    Some(dir),
+                                );
+                                if retry.max_attempts <= 1 {
+                                    // Fail safe: never leave the branch
+                                    // speculating a stale assumption.
+                                    self.log_transition(
+                                        r.branch,
+                                        TransitionKind::ForcedDisable,
+                                        r.instr,
+                                        None,
+                                    );
+                                    self.resilience.as_mut().expect("checked").forced_disables += 1;
+                                    self.branches[idx].state = State::Disabled;
+                                } else {
+                                    self.branches[idx].state = State::RetryMonitor {
+                                        next: r.instr + wasted + retry.backoff(1),
+                                        dir,
+                                        attempt: 1,
+                                    };
+                                }
+                            }
                         }
                     } else {
                         self.branches[idx].state = State::Biased { dir, tracker };
@@ -661,6 +956,130 @@ impl ReactiveController {
                     }
                     return SpecDecision::NotSpeculated;
                 }
+                State::RetryBiased { next, dir, attempt } => {
+                    // The optimize deployment failed earlier; the branch
+                    // runs unoptimized code while waiting out the backoff.
+                    if r.instr < next {
+                        self.branches[idx].state = State::RetryBiased { next, dir, attempt };
+                        return SpecDecision::NotSpeculated;
+                    }
+                    self.resilience
+                        .as_mut()
+                        .expect("retry needs a layer")
+                        .deploy_retries += 1;
+                    match self.deploy(r.branch, DeployKind::Optimize, r.instr, attempt) {
+                        DeployOutcome::Deployed => {
+                            self.branches[idx].state = if self.params.optimization_latency == 0 {
+                                State::Biased {
+                                    dir,
+                                    tracker: self.fresh_tracker(),
+                                }
+                            } else {
+                                State::PendingBiased {
+                                    deadline: r.instr + self.params.optimization_latency,
+                                    dir,
+                                }
+                            };
+                            // Reprocess: the first post-deploy execution
+                            // already runs the new code.
+                            continue;
+                        }
+                        DeployOutcome::Failed { wasted } => {
+                            let retry = self.resilience.as_ref().expect("checked").config.retry;
+                            self.resilience.as_mut().expect("checked").deploy_failures += 1;
+                            self.log_transition(
+                                r.branch,
+                                TransitionKind::DeployFailed,
+                                r.instr,
+                                Some(dir),
+                            );
+                            let failures = attempt + 1;
+                            if failures >= retry.max_attempts {
+                                self.log_transition(
+                                    r.branch,
+                                    TransitionKind::EnterAbandoned,
+                                    r.instr,
+                                    None,
+                                );
+                                self.branches[idx].state = self.fresh_unbiased();
+                            } else {
+                                self.branches[idx].state = State::RetryBiased {
+                                    next: r.instr + wasted + retry.backoff(failures),
+                                    dir,
+                                    attempt: failures,
+                                };
+                            }
+                            return SpecDecision::NotSpeculated;
+                        }
+                    }
+                }
+                State::RetryMonitor { next, dir, attempt } => {
+                    // The repair deployment failed earlier: the stale
+                    // speculative code is still running (and possibly
+                    // misspeculating) while the backoff elapses.
+                    if r.instr >= next {
+                        self.resilience
+                            .as_mut()
+                            .expect("retry needs a layer")
+                            .deploy_retries += 1;
+                        match self.deploy(r.branch, DeployKind::Repair, r.instr, attempt) {
+                            DeployOutcome::Deployed => {
+                                self.branches[idx].state = if self.params.optimization_latency == 0
+                                {
+                                    State::fresh_monitor()
+                                } else {
+                                    State::PendingMonitor {
+                                        deadline: r.instr + self.params.optimization_latency,
+                                        dir,
+                                    }
+                                };
+                                // Reprocess under the repaired (or still
+                                // pending) code.
+                                continue;
+                            }
+                            DeployOutcome::Failed { wasted } => {
+                                let retry = self.resilience.as_ref().expect("checked").config.retry;
+                                self.resilience.as_mut().expect("checked").deploy_failures += 1;
+                                self.log_transition(
+                                    r.branch,
+                                    TransitionKind::DeployFailed,
+                                    r.instr,
+                                    Some(dir),
+                                );
+                                let failures = attempt + 1;
+                                if failures >= retry.max_attempts {
+                                    // Fail safe: repair is unreachable, so
+                                    // the branch is disabled rather than
+                                    // left speculating stale.
+                                    self.log_transition(
+                                        r.branch,
+                                        TransitionKind::ForcedDisable,
+                                        r.instr,
+                                        None,
+                                    );
+                                    self.resilience.as_mut().expect("checked").forced_disables += 1;
+                                    self.branches[idx].state = State::Disabled;
+                                    return SpecDecision::NotSpeculated;
+                                }
+                                self.branches[idx].state = State::RetryMonitor {
+                                    next: r.instr + wasted + retry.backoff(failures),
+                                    dir,
+                                    attempt: failures,
+                                };
+                            }
+                        }
+                    } else {
+                        self.branches[idx].state = State::RetryMonitor { next, dir, attempt };
+                    }
+                    // The stale speculative code is still running.
+                    return if dir.matches(r.taken) {
+                        self.correct += 1;
+                        SpecDecision::Correct
+                    } else {
+                        self.incorrect += 1;
+                        SpecDecision::Incorrect
+                    };
+                }
             }
         }
     }
@@ -676,6 +1095,27 @@ impl ReactiveController {
     /// per chunk. Rare arms (classification decisions, deployment
     /// deadlines, sampled eviction) fall back to `observe`.
     pub fn observe_chunk(&mut self, records: &[BranchRecord]) -> ChunkSummary {
+        // The resilience layer adds rare-arm states and a global breaker
+        // that the fast arms do not model: delegate to the per-event path
+        // (still allocation-free — the summary falls out of counter
+        // deltas) and keep the fast path exact for the common case.
+        if self.resilience.is_some() {
+            let start_events = self.events;
+            let start_correct = self.correct;
+            let start_incorrect = self.incorrect;
+            for r in records {
+                self.observe(r);
+            }
+            let correct = self.correct - start_correct;
+            let incorrect = self.incorrect - start_incorrect;
+            return ChunkSummary {
+                events: self.events - start_events,
+                speculated: correct + incorrect,
+                correct,
+                incorrect,
+            };
+        }
+
         // One resize covers every record in the chunk.
         let max_idx = records.iter().map(|r| r.branch.index()).max();
         if let Some(max_idx) = max_idx {
@@ -781,8 +1221,12 @@ impl ReactiveController {
                     EvictTracker::Sampling { .. } => slow = true,
                 },
                 // Deployment deadlines can cascade through several states:
-                // slow path.
-                State::PendingBiased { .. } | State::PendingMonitor { .. } => slow = true,
+                // slow path. Retry states only exist with the resilience
+                // layer, which already took the per-event path above.
+                State::PendingBiased { .. }
+                | State::PendingMonitor { .. }
+                | State::RetryBiased { .. }
+                | State::RetryMonitor { .. } => slow = true,
             }
 
             if let Some(dir) = evict {
@@ -859,6 +1303,12 @@ impl ReactiveController {
             }
         }
         s.reopt_requests = s.total_entries + s.total_evictions;
+        if let Some(rs) = &self.resilience {
+            s.deploy_failures = rs.deploy_failures;
+            s.deploy_retries = rs.deploy_retries;
+            s.forced_disables = rs.forced_disables;
+            s.suppressed_enters = rs.suppressed_enters;
+        }
         s
     }
 
@@ -877,12 +1327,14 @@ impl ReactiveController {
         self.branches.get(branch.index()).map_or(0, |b| b.evictions)
     }
 
-    /// Returns `true` if `branch` is currently speculated (biased state, or
-    /// eviction pending deployment).
+    /// Returns `true` if `branch` is currently speculated (biased state,
+    /// eviction pending deployment, or a repair retry outstanding).
     pub fn is_speculating(&self, branch: BranchId) -> bool {
         matches!(
             self.branches.get(branch.index()).map(|b| &b.state),
-            Some(State::Biased { .. }) | Some(State::PendingMonitor { .. })
+            Some(State::Biased { .. })
+                | Some(State::PendingMonitor { .. })
+                | Some(State::RetryMonitor { .. })
         )
     }
 
@@ -941,6 +1393,16 @@ impl ReactiveController {
                 remaining: *remaining,
             },
             State::Disabled => BranchStateView::Disabled,
+            State::RetryBiased { next, dir, attempt } => BranchStateView::RetryBiased {
+                next: *next,
+                dir: *dir,
+                attempt: *attempt,
+            },
+            State::RetryMonitor { next, dir, attempt } => BranchStateView::RetryMonitor {
+                next: *next,
+                dir: *dir,
+                attempt: *attempt,
+            },
         };
         BranchSnapshot {
             state,
@@ -1397,6 +1859,371 @@ mod tests {
         drive(&mut ctl, 0, true, 10, &mut instr);
         assert!(ctl.is_speculating(BranchId::new(0)));
         assert_eq!(ctl.entries(BranchId::new(0)), 2);
+    }
+
+    mod resilience {
+        use super::*;
+        use crate::resilience::{
+            BreakerConfig, DeployerSpec, FaultMode, FaultScope, FaultSpec, ResilienceConfig,
+            RetryPolicy, BREAKER_BRANCH,
+        };
+
+        fn faulty(mode: FaultMode, scope: FaultScope, max_attempts: u32) -> ResilienceConfig {
+            ResilienceConfig {
+                deployer: DeployerSpec::Faulty(FaultSpec {
+                    seed: 7,
+                    mode,
+                    scope,
+                    wasted: 10,
+                }),
+                retry: RetryPolicy {
+                    max_attempts,
+                    base_backoff: 20,
+                    max_backoff: 80,
+                },
+                breaker: None,
+            }
+        }
+
+        fn always_fail(scope: FaultScope, max_attempts: u32) -> ResilienceConfig {
+            faulty(
+                FaultMode::FixedRate { per_mille: 1000 },
+                scope,
+                max_attempts,
+            )
+        }
+
+        #[test]
+        fn reliable_layer_is_transparent() {
+            let mut plain = ReactiveController::new(tiny()).unwrap();
+            let mut layered =
+                ReactiveController::with_resilience(tiny(), ResilienceConfig::reliable()).unwrap();
+            let mut instr = 0;
+            for _ in 0..5 {
+                drive(&mut plain, 0, true, 10, &mut instr);
+                drive(&mut plain, 0, false, 2, &mut instr);
+            }
+            let mut instr = 0;
+            for _ in 0..5 {
+                drive(&mut layered, 0, true, 10, &mut instr);
+                drive(&mut layered, 0, false, 2, &mut instr);
+            }
+            assert_eq!(plain.stats(), layered.stats());
+            assert_eq!(plain.transitions(), layered.transitions());
+            assert_eq!(
+                plain.branch_snapshot(BranchId::new(0)),
+                layered.branch_snapshot(BranchId::new(0))
+            );
+        }
+
+        #[test]
+        fn failed_optimize_retries_then_succeeds() {
+            // The first request (ordinal 0) fails; everything after
+            // deploys. One failure, one successful retry.
+            let config = faulty(
+                FaultMode::Burst {
+                    period: 1_000_000,
+                    len: 1,
+                },
+                FaultScope::OptimizeOnly,
+                4,
+            );
+            let mut ctl = ReactiveController::with_resilience(tiny(), config).unwrap();
+            let mut instr = 0;
+            drive(&mut ctl, 0, true, 10, &mut instr); // decision at instr 50, deploy fails
+            assert!(!ctl.is_speculating(BranchId::new(0)));
+            // Backoff is wasted (10) + base (20): the retry fires at the
+            // first event with instr >= 80 and deploys; that same event is
+            // already speculated.
+            let d = ctl.observe(&rec(0, true, 80));
+            assert_eq!(d, SpecDecision::Correct);
+            assert!(ctl.is_speculating(BranchId::new(0)));
+            let s = ctl.stats();
+            assert_eq!(s.deploy_failures, 1);
+            assert_eq!(s.deploy_retries, 1);
+            assert_eq!(s.forced_disables, 0);
+            let kinds: Vec<TransitionKind> = ctl.transitions().iter().map(|t| t.kind).collect();
+            assert_eq!(
+                kinds,
+                vec![TransitionKind::EnterBiased, TransitionKind::DeployFailed]
+            );
+        }
+
+        #[test]
+        fn optimize_abandoned_after_retries_run_out() {
+            let config = always_fail(FaultScope::OptimizeOnly, 4);
+            let mut ctl = ReactiveController::with_resilience(tiny(), config).unwrap();
+            let mut instr = 0;
+            // Selection at instr 50; retries at >= 80, >= 130 (backoff 40),
+            // >= 220 (backoff 80) all fail; the enter is then abandoned.
+            // (50 events keeps instr short of the revisit re-entry.)
+            drive(&mut ctl, 0, true, 50, &mut instr);
+            let s = ctl.stats();
+            assert_eq!(s.deploy_failures, 4, "first try plus three retries");
+            assert_eq!(s.deploy_retries, 3);
+            assert_eq!(s.correct, 0, "never actually speculated");
+            assert!(!ctl.is_speculating(BranchId::new(0)));
+            let kinds: Vec<TransitionKind> = ctl.transitions().iter().map(|t| t.kind).collect();
+            assert_eq!(
+                kinds,
+                vec![
+                    TransitionKind::EnterBiased,
+                    TransitionKind::DeployFailed,
+                    TransitionKind::DeployFailed,
+                    TransitionKind::DeployFailed,
+                    TransitionKind::DeployFailed,
+                    TransitionKind::EnterAbandoned,
+                ]
+            );
+            // Abandonment parks the branch as unbiased: the revisit arc
+            // eventually re-monitors (and fails again, bounded).
+            assert!(matches!(
+                ctl.branch_snapshot(BranchId::new(0)).state,
+                BranchStateView::Unbiased { .. }
+            ));
+        }
+
+        #[test]
+        fn failed_repair_keeps_stale_code_speculating_then_force_disables() {
+            let config = always_fail(FaultScope::RepairOnly, 2);
+            let mut ctl = ReactiveController::with_resilience(tiny(), config).unwrap();
+            let mut instr = 0;
+            drive(&mut ctl, 0, true, 10, &mut instr); // optimize succeeds
+            assert!(ctl.is_speculating(BranchId::new(0)));
+            // Two misses trip the eviction counter at instr 60; the repair
+            // fails, so the stale code keeps misspeculating.
+            drive(&mut ctl, 0, false, 2, &mut instr);
+            assert!(
+                ctl.is_speculating(BranchId::new(0)),
+                "stale code still live"
+            );
+            let d = ctl.observe(&rec(0, false, instr + 5));
+            assert_eq!(d, SpecDecision::Incorrect, "stale code misspeculates");
+            // Retry due at 60 + 10 + 20 = 90; it fails and retries are
+            // exhausted: force-disable, never left speculating stale.
+            let d = ctl.observe(&rec(0, false, 95));
+            assert_eq!(d, SpecDecision::NotSpeculated);
+            assert!(ctl.is_disabled(BranchId::new(0)));
+            let s = ctl.stats();
+            assert_eq!(s.forced_disables, 1);
+            assert_eq!(s.deploy_failures, 2);
+            assert_eq!(s.deploy_retries, 1);
+            assert_eq!(s.disabled_branches, 1);
+            let kinds: Vec<TransitionKind> = ctl.transitions().iter().map(|t| t.kind).collect();
+            assert_eq!(
+                kinds,
+                vec![
+                    TransitionKind::EnterBiased,
+                    TransitionKind::ExitBiased,
+                    TransitionKind::DeployFailed,
+                    TransitionKind::DeployFailed,
+                    TransitionKind::ForcedDisable,
+                ]
+            );
+        }
+
+        fn small_breaker(top_k: usize) -> ResilienceConfig {
+            ResilienceConfig {
+                deployer: DeployerSpec::Instant,
+                retry: RetryPolicy::default_policy(),
+                breaker: Some(BreakerConfig {
+                    bucket_events: 10,
+                    buckets: 2,
+                    open_threshold: 0.5,
+                    close_threshold: 0.1,
+                    cooldown_events: 30,
+                    probe_events: 20,
+                    mass_evict_top_k: top_k,
+                }),
+            }
+        }
+
+        #[test]
+        fn open_breaker_suppresses_new_deployments() {
+            let params = tiny().without_eviction();
+            let mut ctl = ReactiveController::with_resilience(params, small_breaker(0)).unwrap();
+            let mut instr = 0;
+            drive(&mut ctl, 0, true, 10, &mut instr); // branch 0 biased
+            drive(&mut ctl, 0, false, 10, &mut instr); // storm: 100% misses
+            assert!(ctl
+                .transitions()
+                .iter()
+                .any(|t| t.kind == TransitionKind::BreakerOpened && t.branch == BREAKER_BRANCH));
+            // Branch 1 classifies biased while the breaker is open: the
+            // deployment is suppressed and the branch parks as unbiased.
+            drive(&mut ctl, 1, true, 10, &mut instr);
+            assert!(!ctl.is_speculating(BranchId::new(1)));
+            assert_eq!(ctl.entries(BranchId::new(1)), 0);
+            assert_eq!(ctl.stats().suppressed_enters, 1);
+            assert!(matches!(
+                ctl.branch_snapshot(BranchId::new(1)).state,
+                BranchStateView::Unbiased { .. }
+            ));
+        }
+
+        #[test]
+        fn breaker_mass_evicts_worst_offender_on_open() {
+            let params = tiny().without_eviction();
+            let mut ctl = ReactiveController::with_resilience(params, small_breaker(1)).unwrap();
+            let mut instr = 0;
+            drive(&mut ctl, 0, true, 10, &mut instr);
+            assert!(ctl.is_speculating(BranchId::new(0)));
+            drive(&mut ctl, 0, false, 10, &mut instr);
+            // Eviction is off, so only the breaker can have evicted it.
+            assert_eq!(ctl.evictions(BranchId::new(0)), 1);
+            assert!(!ctl.is_speculating(BranchId::new(0)));
+            let kinds: Vec<TransitionKind> = ctl.transitions().iter().map(|t| t.kind).collect();
+            assert_eq!(
+                kinds,
+                vec![
+                    TransitionKind::EnterBiased,
+                    TransitionKind::BreakerOpened,
+                    TransitionKind::ExitBiased,
+                ]
+            );
+        }
+
+        #[test]
+        fn breaker_half_opens_then_closes_on_recovery() {
+            let params = tiny().without_eviction();
+            let mut ctl = ReactiveController::with_resilience(params, small_breaker(1)).unwrap();
+            let mut instr = 0;
+            drive(&mut ctl, 0, true, 10, &mut instr);
+            drive(&mut ctl, 0, false, 10, &mut instr); // opens + mass-evicts
+                                                       // Healthy traffic through the cool-down (30 events) and probe
+                                                       // (20 events): the breaker half-opens then closes.
+            drive(&mut ctl, 2, true, 60, &mut instr);
+            let kinds: Vec<TransitionKind> = ctl.transitions().iter().map(|t| t.kind).collect();
+            assert!(kinds.contains(&TransitionKind::BreakerHalfOpen));
+            assert!(kinds.contains(&TransitionKind::BreakerClosed));
+        }
+
+        #[test]
+        fn observe_chunk_matches_observe_with_resilience() {
+            let stream = lifecycle_stream();
+            let config = ResilienceConfig {
+                deployer: DeployerSpec::Faulty(FaultSpec {
+                    seed: 3,
+                    mode: FaultMode::FixedRate { per_mille: 400 },
+                    scope: FaultScope::All,
+                    wasted: 7,
+                }),
+                retry: RetryPolicy {
+                    max_attempts: 3,
+                    base_backoff: 15,
+                    max_backoff: 60,
+                },
+                breaker: Some(BreakerConfig {
+                    bucket_events: 8,
+                    buckets: 2,
+                    open_threshold: 0.1,
+                    close_threshold: 0.05,
+                    cooldown_events: 16,
+                    probe_events: 8,
+                    mass_evict_top_k: 2,
+                }),
+            };
+            let mut per_event = ReactiveController::with_resilience(tiny(), config).unwrap();
+            for r in &stream {
+                per_event.observe(r);
+            }
+            for chunk_len in [1usize, 7, 64, 1000] {
+                let mut chunked = ReactiveController::with_resilience(tiny(), config).unwrap();
+                let mut total = ChunkSummary::default();
+                for chunk in stream.chunks(chunk_len) {
+                    let s = chunked.observe_chunk(chunk);
+                    total.events += s.events;
+                    total.correct += s.correct;
+                    total.incorrect += s.incorrect;
+                }
+                assert_eq!(per_event.stats(), chunked.stats(), "chunk {chunk_len}");
+                assert_eq!(per_event.transitions(), chunked.transitions());
+                assert_eq!(total.events, stream.len() as u64);
+                assert_eq!(total.correct, chunked.stats().correct);
+                assert_eq!(total.incorrect, chunked.stats().incorrect);
+            }
+        }
+
+        /// Replays one workload under two log policies and demands exact
+        /// per-kind counter agreement plus the ring retention bound.
+        fn assert_ring_counts_exact(
+            params: ControllerParams,
+            config: ResilienceConfig,
+            ring: usize,
+            workload: impl Fn(&mut ReactiveController),
+        ) {
+            let mut full = ReactiveController::with_resilience(params, config).unwrap();
+            workload(&mut full);
+            let mut ringed = ReactiveController::with_resilience(params, config).unwrap();
+            ringed.set_transition_log_policy(TransitionLogPolicy::RingBuffer(ring));
+            workload(&mut ringed);
+
+            assert!(
+                ringed.transition_log().total() > ring as u64,
+                "workload too small to wrap the ring"
+            );
+            assert!(ringed.transitions().len() <= ring);
+            for kind in TransitionKind::ALL {
+                assert_eq!(
+                    ringed.transition_log().count(kind),
+                    full.transition_log().count(kind),
+                    "{kind:?} count must survive the wrap"
+                );
+            }
+            assert_eq!(ringed.stats(), full.stats());
+        }
+
+        #[test]
+        fn ring_buffer_counts_survive_wrap_under_forced_disables() {
+            // Every repair fails: branches 0..3 each enter biased, get
+            // evicted, exhaust their retries, and are force-disabled —
+            // far more transitions than the 2-slot ring retains.
+            assert_ring_counts_exact(tiny(), always_fail(FaultScope::RepairOnly, 2), 2, |ctl| {
+                let mut instr = 0;
+                for b in 0..4 {
+                    drive(ctl, b, true, 10, &mut instr);
+                    drive(ctl, b, false, 2, &mut instr);
+                    drive(ctl, b, false, 30, &mut instr); // retry fails, force-disable
+                }
+                let s = ctl.stats();
+                assert_eq!(s.forced_disables, 4);
+                // No double counting on the retry path: every failed
+                // request is one DeployFailed, whether it was the first
+                // try or a retry.
+                assert_eq!(
+                    ctl.transition_log().count(TransitionKind::DeployFailed),
+                    s.deploy_failures
+                );
+                assert_eq!(
+                    ctl.transition_log().count(TransitionKind::ForcedDisable),
+                    s.forced_disables
+                );
+            });
+        }
+
+        #[test]
+        fn ring_buffer_counts_survive_wrap_under_mass_evictions() {
+            // Repeated storms: each opens the breaker and mass-evicts the
+            // offender, then healthy traffic closes it again. The 1-slot
+            // ring forgets almost everything; the counters must not.
+            assert_ring_counts_exact(tiny().without_eviction(), small_breaker(1), 1, |ctl| {
+                let mut instr = 0;
+                for _ in 0..3 {
+                    drive(ctl, 0, true, 10, &mut instr);
+                    drive(ctl, 0, false, 10, &mut instr); // storm: open + mass-evict
+                    drive(ctl, 2, true, 60, &mut instr); // recover: half-open + close
+                }
+                let log = ctl.transition_log();
+                assert_eq!(log.count(TransitionKind::BreakerOpened), 3);
+                assert_eq!(log.count(TransitionKind::BreakerClosed), 3);
+                // One mass eviction per opening, and mass evictions are
+                // ordinary ExitBiased transitions (counted once).
+                assert_eq!(
+                    log.count(TransitionKind::ExitBiased),
+                    ctl.stats().total_evictions
+                );
+            });
+        }
     }
 
     #[test]

@@ -73,6 +73,11 @@ impl HysteresisCounter {
         self.value = 0;
     }
 
+    /// Restores a checkpointed value (clamped to the saturation range).
+    pub(crate) fn set_value(&mut self, value: u32) {
+        self.value = value.min(self.threshold);
+    }
+
     /// The misspeculation rate above which the counter drifts upward:
     /// `down / (up + down)`.
     pub fn engagement_rate(&self) -> f64 {

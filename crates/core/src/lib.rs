@@ -39,15 +39,18 @@
 //! ```
 
 pub mod analysis;
+pub mod checkpoint;
 pub mod confidence;
 pub mod controller;
 pub mod counter;
 pub mod engine;
 pub mod params;
 pub mod reference;
+pub mod resilience;
 pub mod stats;
 pub mod translog;
 
+pub use checkpoint::{CheckpointError, ControllerCheckpoint};
 pub use controller::{
     BranchSnapshot, BranchStateView, ChunkSummary, ReactiveController, SpecDecision, TrackerView,
     TransitionEvent, TransitionKind,
@@ -55,5 +58,6 @@ pub use controller::{
 pub use engine::{run_population, run_population_chunked, run_trace, RunResult};
 pub use params::{ControllerParams, EvictionMode, InvalidParamsError, MonitorPolicy, Revisit};
 pub use reference::ReferenceController;
+pub use resilience::ResilienceConfig;
 pub use stats::ControlStats;
 pub use translog::{TransitionLog, TransitionLogPolicy};

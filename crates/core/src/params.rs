@@ -327,6 +327,14 @@ impl Default for ControllerParams {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InvalidParamsError(&'static str);
 
+impl InvalidParamsError {
+    /// Crate-internal constructor (the resilience configs reuse this
+    /// error type for their own validation).
+    pub(crate) fn new(msg: &'static str) -> Self {
+        InvalidParamsError(msg)
+    }
+}
+
 impl std::fmt::Display for InvalidParamsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "invalid controller parameters: {}", self.0)

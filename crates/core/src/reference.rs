@@ -58,6 +58,9 @@ use crate::controller::{
     BranchSnapshot, BranchStateView, SpecDecision, TrackerView, TransitionEvent, TransitionKind,
 };
 use crate::params::{ControllerParams, EvictionMode, InvalidParamsError, MonitorPolicy, Revisit};
+use crate::resilience::breaker::BreakerSignal;
+use crate::resilience::deployer::{DeployKind, DeployOutcome, DeployRequest};
+use crate::resilience::{ResilienceConfig, ResilienceState, BREAKER_BRANCH};
 use crate::stats::ControlStats;
 use rsc_trace::{BranchId, BranchRecord, Direction};
 use std::collections::HashMap;
@@ -87,6 +90,16 @@ enum RefState {
         remaining: Option<u64>,
     },
     Disabled,
+    RetryBiased {
+        next: u64,
+        dir: Direction,
+        attempt: u32,
+    },
+    RetryMonitor {
+        next: u64,
+        dir: Direction,
+        attempt: u32,
+    },
 }
 
 /// Eviction bookkeeping, re-implemented from the spec (not from
@@ -113,6 +126,9 @@ struct RefBranch {
     entries_since_flush: u32,
     evictions: u32,
     execs: u64,
+    /// Misspeculations since the storm breaker last opened (mass-eviction
+    /// ranking; maintained only with a breaker, never compared).
+    recent_misses: u64,
 }
 
 impl RefBranch {
@@ -127,6 +143,7 @@ impl RefBranch {
             entries_since_flush: 0,
             evictions: 0,
             execs: 0,
+            recent_misses: 0,
         }
     }
 }
@@ -143,6 +160,8 @@ pub struct ReferenceController {
     instructions: u64,
     correct: u64,
     incorrect: u64,
+    /// Opt-in resilience layer, mirroring the optimized controller's.
+    resilience: Option<ResilienceState>,
 }
 
 impl ReferenceController {
@@ -161,12 +180,72 @@ impl ReferenceController {
             instructions: 0,
             correct: 0,
             incorrect: 0,
+            resilience: None,
         })
+    }
+
+    /// Creates a reference controller with the resilience layer attached,
+    /// mirroring
+    /// [`ReactiveController::with_resilience`](crate::ReactiveController::with_resilience).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the controller parameters or the resilience
+    /// configuration are inconsistent.
+    pub fn with_resilience(
+        params: ControllerParams,
+        config: ResilienceConfig,
+    ) -> Result<Self, InvalidParamsError> {
+        let mut ctl = Self::new(params)?;
+        ctl.resilience = Some(ResilienceState::new(config)?);
+        Ok(ctl)
+    }
+
+    /// The resilience configuration, if the layer is attached.
+    pub fn resilience_config(&self) -> Option<&ResilienceConfig> {
+        self.resilience.as_ref().map(|rs| &rs.config)
     }
 
     /// The controller's parameters.
     pub fn params(&self) -> &ControllerParams {
         &self.params
+    }
+
+    /// Routes a deployment request through the resilience layer; without
+    /// one, deployment is infallible (the paper's model).
+    fn deploy(
+        &mut self,
+        branch: BranchId,
+        kind: DeployKind,
+        instr: u64,
+        attempt: u32,
+    ) -> DeployOutcome {
+        match &mut self.resilience {
+            Some(rs) => rs.deployer.request(&DeployRequest {
+                branch,
+                kind,
+                instr,
+                attempt,
+            }),
+            None => DeployOutcome::Deployed,
+        }
+    }
+
+    fn fresh_unbiased(&self) -> RefState {
+        RefState::Unbiased {
+            remaining: match self.params.revisit {
+                Revisit::After(n) => Some(n),
+                Revisit::Never => None,
+            },
+        }
+    }
+
+    fn retry_config(&self) -> crate::resilience::RetryPolicy {
+        self.resilience
+            .as_ref()
+            .expect("deployment failures imply a resilience layer")
+            .config
+            .retry
     }
 
     /// Feeds one dynamic branch execution through the FSM.
@@ -178,6 +257,18 @@ impl ReferenceController {
     /// deadlines are checked *before* processing, so the first
     /// post-deadline execution already runs the newly deployed code.
     pub fn observe(&mut self, r: &BranchRecord) -> SpecDecision {
+        let decision = self.observe_inner(r);
+        let has_breaker = self
+            .resilience
+            .as_ref()
+            .is_some_and(|rs| rs.breaker.is_some());
+        if has_breaker {
+            self.breaker_tick(r, decision);
+        }
+        decision
+    }
+
+    fn observe_inner(&mut self, r: &BranchRecord) -> SpecDecision {
         self.events += 1;
         self.instructions = self.instructions.max(r.instr);
         self.branches
@@ -185,8 +276,10 @@ impl ReferenceController {
             .or_insert_with(RefBranch::fresh)
             .execs += 1;
 
-        // Resolve deployment deadlines first: a reached deadline swaps the
-        // state and the event is reprocessed under the new state.
+        // Resolve deployment deadlines (and due retries) first: a reached
+        // deadline swaps the state and the event is reprocessed under the
+        // new state. At most one retry is issued per event, and a *failed*
+        // retry returns directly — it never re-enters this loop.
         loop {
             let state = self.branches[&(r.branch.index() as u32)].state.clone();
             match state {
@@ -209,8 +302,186 @@ impl ReferenceController {
                         },
                     );
                 }
+                RefState::RetryBiased { next, dir, attempt } if r.instr >= next => {
+                    self.resilience
+                        .as_mut()
+                        .expect("retry states imply a resilience layer")
+                        .deploy_retries += 1;
+                    match self.deploy(r.branch, DeployKind::Optimize, r.instr, attempt) {
+                        DeployOutcome::Deployed => {
+                            if self.params.optimization_latency == 0 {
+                                self.set_state(
+                                    r.branch,
+                                    RefState::Biased {
+                                        dir,
+                                        tracker: self.fresh_tracker(),
+                                    },
+                                );
+                            } else {
+                                self.set_state(
+                                    r.branch,
+                                    RefState::PendingBiased {
+                                        deadline: r.instr + self.params.optimization_latency,
+                                        dir,
+                                    },
+                                );
+                            }
+                        }
+                        DeployOutcome::Failed { wasted } => {
+                            let retry = self.retry_config();
+                            self.resilience.as_mut().expect("checked").deploy_failures += 1;
+                            self.log(r.branch, TransitionKind::DeployFailed, r.instr, Some(dir));
+                            let failures = attempt + 1;
+                            if failures >= retry.max_attempts {
+                                self.log(r.branch, TransitionKind::EnterAbandoned, r.instr, None);
+                                let parked = self.fresh_unbiased();
+                                self.set_state(r.branch, parked);
+                            } else {
+                                self.set_state(
+                                    r.branch,
+                                    RefState::RetryBiased {
+                                        next: r.instr + wasted + retry.backoff(failures),
+                                        dir,
+                                        attempt: failures,
+                                    },
+                                );
+                            }
+                            return SpecDecision::NotSpeculated;
+                        }
+                    }
+                }
+                RefState::RetryMonitor { next, dir, attempt } if r.instr >= next => {
+                    self.resilience
+                        .as_mut()
+                        .expect("retry states imply a resilience layer")
+                        .deploy_retries += 1;
+                    match self.deploy(r.branch, DeployKind::Repair, r.instr, attempt) {
+                        DeployOutcome::Deployed => {
+                            if self.params.optimization_latency == 0 {
+                                self.set_state(
+                                    r.branch,
+                                    RefState::Monitor {
+                                        execs: 0,
+                                        samples: 0,
+                                        taken: 0,
+                                    },
+                                );
+                            } else {
+                                self.set_state(
+                                    r.branch,
+                                    RefState::PendingMonitor {
+                                        deadline: r.instr + self.params.optimization_latency,
+                                        dir,
+                                    },
+                                );
+                            }
+                        }
+                        DeployOutcome::Failed { wasted } => {
+                            let retry = self.retry_config();
+                            self.resilience.as_mut().expect("checked").deploy_failures += 1;
+                            self.log(r.branch, TransitionKind::DeployFailed, r.instr, Some(dir));
+                            let failures = attempt + 1;
+                            if failures >= retry.max_attempts {
+                                // Fail safe: repair is unreachable, so the
+                                // branch is disabled rather than left
+                                // speculating stale.
+                                self.log(r.branch, TransitionKind::ForcedDisable, r.instr, None);
+                                self.resilience.as_mut().expect("checked").forced_disables += 1;
+                                self.set_state(r.branch, RefState::Disabled);
+                                return SpecDecision::NotSpeculated;
+                            }
+                            self.set_state(
+                                r.branch,
+                                RefState::RetryMonitor {
+                                    next: r.instr + wasted + retry.backoff(failures),
+                                    dir,
+                                    attempt: failures,
+                                },
+                            );
+                            // The stale speculative code is still running.
+                            return self.speculate(dir, r.taken);
+                        }
+                    }
+                }
                 state => return self.step(r, state),
             }
+        }
+    }
+
+    /// Advances the storm breaker by one observed event and reacts to any
+    /// phase change. Only called when a breaker is configured.
+    fn breaker_tick(&mut self, r: &BranchRecord, decision: SpecDecision) {
+        let miss = decision == SpecDecision::Incorrect;
+        if miss {
+            self.branch_mut(r.branch).recent_misses += 1;
+        }
+        let events = self.events;
+        let signal = {
+            let rs = self.resilience.as_mut().expect("breaker_tick gated");
+            rs.breaker
+                .as_mut()
+                .expect("breaker_tick gated")
+                .tick(events, miss)
+        };
+        match signal {
+            BreakerSignal::None => {}
+            BreakerSignal::Opened | BreakerSignal::Reopened => {
+                self.log(BREAKER_BRANCH, TransitionKind::BreakerOpened, r.instr, None);
+                let top_k = self
+                    .resilience
+                    .as_ref()
+                    .and_then(|rs| rs.config.breaker)
+                    .map_or(0, |b| b.mass_evict_top_k);
+                if top_k > 0 {
+                    self.mass_evict(top_k, r.instr);
+                }
+                for b in self.branches.values_mut() {
+                    b.recent_misses = 0;
+                }
+            }
+            BreakerSignal::HalfOpened => {
+                self.log(
+                    BREAKER_BRANCH,
+                    TransitionKind::BreakerHalfOpen,
+                    r.instr,
+                    None,
+                );
+            }
+            BreakerSignal::Closed => {
+                self.log(BREAKER_BRANCH, TransitionKind::BreakerClosed, r.instr, None);
+            }
+        }
+    }
+
+    /// Mass-evicts the `k` currently-biased branches with the most recent
+    /// misspeculations, ties broken by branch index — the same
+    /// deterministic order as the optimized controller despite the
+    /// `HashMap` storage.
+    fn mass_evict(&mut self, k: usize, instr: u64) {
+        let mut candidates: Vec<(u64, u32)> = self
+            .branches
+            .iter()
+            .filter(|(_, b)| matches!(b.state, RefState::Biased { .. }))
+            .map(|(&i, b)| (b.recent_misses, i))
+            .collect();
+        candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        candidates.truncate(k);
+        for (_, i) in candidates {
+            let branch = BranchId::new(i);
+            let dir = match &self.branches[&i].state {
+                RefState::Biased { dir, .. } => *dir,
+                _ => unreachable!("candidates are biased"),
+            };
+            self.branch_mut(branch).evictions += 1;
+            self.log(branch, TransitionKind::ExitBiased, instr, Some(dir));
+            self.set_state(
+                branch,
+                RefState::Monitor {
+                    execs: 0,
+                    samples: 0,
+                    taken: 0,
+                },
+            );
         }
     }
 
@@ -262,23 +533,46 @@ impl ReferenceController {
                 if evict {
                     self.branch_mut(r.branch).evictions += 1;
                     self.log(r.branch, TransitionKind::ExitBiased, r.instr, Some(dir));
-                    if self.params.optimization_latency == 0 {
-                        self.set_state(
-                            r.branch,
-                            RefState::Monitor {
-                                execs: 0,
-                                samples: 0,
-                                taken: 0,
-                            },
-                        );
-                    } else {
-                        self.set_state(
-                            r.branch,
-                            RefState::PendingMonitor {
-                                deadline: r.instr + self.params.optimization_latency,
-                                dir,
-                            },
-                        );
+                    match self.deploy(r.branch, DeployKind::Repair, r.instr, 0) {
+                        DeployOutcome::Deployed => {
+                            if self.params.optimization_latency == 0 {
+                                self.set_state(
+                                    r.branch,
+                                    RefState::Monitor {
+                                        execs: 0,
+                                        samples: 0,
+                                        taken: 0,
+                                    },
+                                );
+                            } else {
+                                self.set_state(
+                                    r.branch,
+                                    RefState::PendingMonitor {
+                                        deadline: r.instr + self.params.optimization_latency,
+                                        dir,
+                                    },
+                                );
+                            }
+                        }
+                        DeployOutcome::Failed { wasted } => {
+                            let retry = self.retry_config();
+                            self.resilience.as_mut().expect("checked").deploy_failures += 1;
+                            self.log(r.branch, TransitionKind::DeployFailed, r.instr, Some(dir));
+                            if retry.max_attempts <= 1 {
+                                self.log(r.branch, TransitionKind::ForcedDisable, r.instr, None);
+                                self.resilience.as_mut().expect("checked").forced_disables += 1;
+                                self.set_state(r.branch, RefState::Disabled);
+                            } else {
+                                self.set_state(
+                                    r.branch,
+                                    RefState::RetryMonitor {
+                                        next: r.instr + wasted + retry.backoff(1),
+                                        dir,
+                                        attempt: 1,
+                                    },
+                                );
+                            }
+                        }
                     }
                 } else {
                     self.set_state(r.branch, RefState::Biased { dir, tracker });
@@ -315,6 +609,13 @@ impl ReferenceController {
                 }
                 SpecDecision::NotSpeculated
             }
+
+            // Backoff not yet elapsed (due retries were resolved in the
+            // observe pre-loop): unoptimized code runs.
+            RefState::RetryBiased { .. } => SpecDecision::NotSpeculated,
+
+            // Backoff not yet elapsed: the stale speculative code runs.
+            RefState::RetryMonitor { dir, .. } => self.speculate(dir, r.taken),
         }
     }
 
@@ -367,6 +668,21 @@ impl ReferenceController {
         } else {
             Direction::NotTaken
         };
+        // An open storm breaker suppresses the deployment: the branch
+        // parks as unbiased (no entry, no log) and the revisit arc
+        // re-monitors it after the storm.
+        if self
+            .resilience
+            .as_ref()
+            .is_some_and(|rs| rs.breaker.as_ref().is_some_and(|b| b.suppressing()))
+        {
+            if let Some(rs) = &mut self.resilience {
+                rs.suppressed_enters += 1;
+            }
+            let parked = self.fresh_unbiased();
+            self.set_state(r.branch, parked);
+            return;
+        }
         if let Some(limit) = self.params.oscillation_limit {
             if self.branches[&(r.branch.index() as u32)].entries_since_flush >= limit {
                 self.set_state(r.branch, RefState::Disabled);
@@ -378,22 +694,45 @@ impl ReferenceController {
         b.entries += 1;
         b.entries_since_flush += 1;
         self.log(r.branch, TransitionKind::EnterBiased, r.instr, Some(dir));
-        if self.params.optimization_latency == 0 {
-            self.set_state(
-                r.branch,
-                RefState::Biased {
-                    dir,
-                    tracker: self.fresh_tracker(),
-                },
-            );
-        } else {
-            self.set_state(
-                r.branch,
-                RefState::PendingBiased {
-                    deadline: r.instr + self.params.optimization_latency,
-                    dir,
-                },
-            );
+        match self.deploy(r.branch, DeployKind::Optimize, r.instr, 0) {
+            DeployOutcome::Deployed => {
+                if self.params.optimization_latency == 0 {
+                    self.set_state(
+                        r.branch,
+                        RefState::Biased {
+                            dir,
+                            tracker: self.fresh_tracker(),
+                        },
+                    );
+                } else {
+                    self.set_state(
+                        r.branch,
+                        RefState::PendingBiased {
+                            deadline: r.instr + self.params.optimization_latency,
+                            dir,
+                        },
+                    );
+                }
+            }
+            DeployOutcome::Failed { wasted } => {
+                let retry = self.retry_config();
+                self.resilience.as_mut().expect("checked").deploy_failures += 1;
+                self.log(r.branch, TransitionKind::DeployFailed, r.instr, Some(dir));
+                if retry.max_attempts <= 1 {
+                    self.log(r.branch, TransitionKind::EnterAbandoned, r.instr, None);
+                    let parked = self.fresh_unbiased();
+                    self.set_state(r.branch, parked);
+                } else {
+                    self.set_state(
+                        r.branch,
+                        RefState::RetryBiased {
+                            next: r.instr + wasted + retry.backoff(1),
+                            dir,
+                            attempt: 1,
+                        },
+                    );
+                }
+            }
         }
     }
 
@@ -559,6 +898,12 @@ impl ReferenceController {
             }
         }
         s.reopt_requests = s.total_entries + s.total_evictions;
+        if let Some(rs) = &self.resilience {
+            s.deploy_failures = rs.deploy_failures;
+            s.deploy_retries = rs.deploy_retries;
+            s.forced_disables = rs.forced_disables;
+            s.suppressed_enters = rs.suppressed_enters;
+        }
         s
     }
 
@@ -606,6 +951,16 @@ impl ReferenceController {
                 remaining: *remaining,
             },
             RefState::Disabled => BranchStateView::Disabled,
+            RefState::RetryBiased { next, dir, attempt } => BranchStateView::RetryBiased {
+                next: *next,
+                dir: *dir,
+                attempt: *attempt,
+            },
+            RefState::RetryMonitor { next, dir, attempt } => BranchStateView::RetryMonitor {
+                next: *next,
+                dir: *dir,
+                attempt: *attempt,
+            },
         };
         BranchSnapshot {
             state,
@@ -725,6 +1080,154 @@ mod tests {
     #[test]
     fn matches_optimized_controller_with_monitor_sampling() {
         assert_lockstep(tiny().with_monitor_sampling(3));
+    }
+
+    mod resilient_lockstep {
+        use super::*;
+        use crate::resilience::{
+            BreakerConfig, DeployerSpec, FaultMode, FaultScope, FaultSpec, ResilienceConfig,
+            RetryPolicy,
+        };
+
+        fn assert_lockstep_resilient(params: ControllerParams, config: ResilienceConfig) {
+            let mut golden = ReferenceController::with_resilience(params, config).unwrap();
+            let mut fast = ReactiveController::with_resilience(params, config).unwrap();
+            for (i, r) in lifecycle_stream().iter().enumerate() {
+                let a = golden.observe(r);
+                let b = fast.observe(r);
+                assert_eq!(a, b, "decision diverged at event {i}");
+            }
+            assert_eq!(golden.stats(), fast.stats());
+            assert_eq!(golden.transitions(), fast.transitions());
+            for b in 0..3u32 {
+                assert_eq!(
+                    golden.branch_snapshot(BranchId::new(b)),
+                    fast.branch_snapshot(BranchId::new(b)),
+                    "branch {b}"
+                );
+            }
+        }
+
+        fn faulty(mode: FaultMode, scope: FaultScope) -> ResilienceConfig {
+            ResilienceConfig {
+                deployer: DeployerSpec::Faulty(FaultSpec {
+                    seed: 11,
+                    mode,
+                    scope,
+                    wasted: 7,
+                }),
+                retry: RetryPolicy {
+                    max_attempts: 3,
+                    base_backoff: 15,
+                    max_backoff: 60,
+                },
+                breaker: None,
+            }
+        }
+
+        #[test]
+        fn reliable_layer_matches_layerless_reference() {
+            let params = tiny();
+            let mut golden = ReferenceController::new(params).unwrap();
+            let mut fast =
+                ReactiveController::with_resilience(params, ResilienceConfig::reliable()).unwrap();
+            for r in lifecycle_stream() {
+                assert_eq!(golden.observe(&r), fast.observe(&r));
+            }
+            assert_eq!(golden.stats(), fast.stats());
+            assert_eq!(golden.transitions(), fast.transitions());
+        }
+
+        #[test]
+        fn matches_under_random_faults() {
+            assert_lockstep_resilient(
+                tiny(),
+                faulty(FaultMode::FixedRate { per_mille: 500 }, FaultScope::All),
+            );
+        }
+
+        #[test]
+        fn matches_under_random_faults_with_latency() {
+            assert_lockstep_resilient(
+                tiny().with_latency(40),
+                faulty(FaultMode::FixedRate { per_mille: 500 }, FaultScope::All),
+            );
+        }
+
+        #[test]
+        fn matches_under_burst_outages() {
+            assert_lockstep_resilient(
+                tiny(),
+                faulty(FaultMode::Burst { period: 3, len: 1 }, FaultScope::All),
+            );
+        }
+
+        #[test]
+        fn matches_under_total_repair_outage() {
+            // 100% repair failure exercises RetryMonitor and the
+            // forced-disable fail-safe in both implementations.
+            assert_lockstep_resilient(
+                tiny(),
+                faulty(
+                    FaultMode::FixedRate { per_mille: 1000 },
+                    FaultScope::RepairOnly,
+                ),
+            );
+        }
+
+        #[test]
+        fn matches_under_targeted_branch_outage() {
+            assert_lockstep_resilient(
+                tiny(),
+                faulty(FaultMode::TargetedBranch { branch: 0 }, FaultScope::All),
+            );
+        }
+
+        #[test]
+        fn matches_with_storm_breaker_and_mass_eviction() {
+            let config = ResilienceConfig {
+                deployer: DeployerSpec::Instant,
+                retry: RetryPolicy::default_policy(),
+                breaker: Some(BreakerConfig {
+                    bucket_events: 8,
+                    buckets: 2,
+                    open_threshold: 0.1,
+                    close_threshold: 0.05,
+                    cooldown_events: 16,
+                    probe_events: 8,
+                    mass_evict_top_k: 2,
+                }),
+            };
+            assert_lockstep_resilient(tiny(), config);
+        }
+
+        #[test]
+        fn matches_with_faults_and_breaker_combined() {
+            let config = ResilienceConfig {
+                deployer: DeployerSpec::Faulty(FaultSpec {
+                    seed: 5,
+                    mode: FaultMode::FixedRate { per_mille: 300 },
+                    scope: FaultScope::All,
+                    wasted: 12,
+                }),
+                retry: RetryPolicy {
+                    max_attempts: 4,
+                    base_backoff: 10,
+                    max_backoff: 40,
+                },
+                breaker: Some(BreakerConfig {
+                    bucket_events: 8,
+                    buckets: 2,
+                    open_threshold: 0.1,
+                    close_threshold: 0.05,
+                    cooldown_events: 16,
+                    probe_events: 8,
+                    mass_evict_top_k: 1,
+                }),
+            };
+            assert_lockstep_resilient(tiny(), config);
+            assert_lockstep_resilient(tiny().with_latency(40), config);
+        }
     }
 
     #[test]

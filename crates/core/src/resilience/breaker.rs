@@ -1,0 +1,401 @@
+//! The misspeculation-storm circuit breaker: the paper's eviction arc
+//! lifted to the population level.
+//!
+//! Per-branch eviction bounds the damage a *single* degraded branch can
+//! do, but an adversarial trace can keep the whole population churning —
+//! every branch individually below its eviction threshold while the
+//! aggregate misspeculation rate is pathological. [`StormBreaker`]
+//! watches the global rate over a sliding window of recent events and,
+//! past a threshold, **opens**: new `EnterBiased` deployments are
+//! suppressed (and optionally the top-K offending branches are
+//! mass-evicted) until a cool-down passes, then the breaker
+//! **half-opens** to probe recovery before fully closing again.
+//!
+//! Hysteresis comes from three places so the breaker cannot oscillate:
+//! the close threshold sits below the open threshold, the cool-down
+//! enforces a minimum open dwell, and the probe window enforces a
+//! minimum half-open observation before any phase change.
+//!
+//! The breaker is a shared primitive between the optimized and reference
+//! controllers — like the Wilson-bound arithmetic in
+//! [`crate::confidence`], it is pure bookkeeping the two implementations
+//! must evaluate identically, while each controller independently
+//! implements its *reaction* (suppression, mass eviction, logging).
+
+use crate::params::InvalidParamsError;
+
+/// Configuration of the [`StormBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Events per sliding-window bucket.
+    pub bucket_events: u64,
+    /// Number of buckets; the window spans `bucket_events * buckets`
+    /// events and advances with bucket granularity.
+    pub buckets: usize,
+    /// Misspeculation rate (over a full window) at which the breaker
+    /// opens.
+    pub open_threshold: f64,
+    /// Rate at or below which a half-open probe closes the breaker. Must
+    /// not exceed `open_threshold` (this gap is the rate hysteresis).
+    pub close_threshold: f64,
+    /// Events the breaker stays open before half-opening.
+    pub cooldown_events: u64,
+    /// Events observed in the half-open phase before deciding to close
+    /// or re-open.
+    pub probe_events: u64,
+    /// On open, mass-evict this many of the worst currently-speculating
+    /// branches (0 disables mass eviction).
+    pub mass_evict_top_k: usize,
+}
+
+impl BreakerConfig {
+    /// A permissive default for experimentation: a 4×256-event window,
+    /// open at 20% misspeculation, close at 5%, cool down for 2,048
+    /// events, probe for 1,024, and mass-evict the 4 worst branches.
+    pub fn default_config() -> Self {
+        BreakerConfig {
+            bucket_events: 256,
+            buckets: 4,
+            open_threshold: 0.20,
+            close_threshold: 0.05,
+            cooldown_events: 2_048,
+            probe_events: 1_024,
+            mass_evict_top_k: 4,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), InvalidParamsError> {
+        if self.bucket_events == 0 || self.buckets == 0 {
+            return Err(InvalidParamsError::new(
+                "breaker window needs positive bucket_events and buckets",
+            ));
+        }
+        if !(self.open_threshold > 0.0 && self.open_threshold <= 1.0) {
+            return Err(InvalidParamsError::new(
+                "breaker open_threshold must be in (0, 1]",
+            ));
+        }
+        if !(self.close_threshold >= 0.0 && self.close_threshold <= self.open_threshold) {
+            return Err(InvalidParamsError::new(
+                "breaker close_threshold must be in [0, open_threshold]",
+            ));
+        }
+        if self.cooldown_events == 0 || self.probe_events == 0 {
+            return Err(InvalidParamsError::new(
+                "breaker cooldown and probe periods must be positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The breaker's phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerPhase {
+    /// Normal operation; the window is armed.
+    Closed,
+    /// Storm detected at event `since`: new deployments suppressed.
+    Open {
+        /// Global event index at which the breaker opened.
+        since: u64,
+    },
+    /// Probing recovery since event `since`: deployments allowed, rate
+    /// re-measured.
+    HalfOpen {
+        /// Global event index at which the probe began.
+        since: u64,
+    },
+}
+
+/// What a call to [`StormBreaker::tick`] decided (the controller turns
+/// these into transitions, suppression, and mass eviction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerSignal {
+    /// No phase change.
+    None,
+    /// Closed → Open: a storm crossed the open threshold.
+    Opened,
+    /// Open → HalfOpen: the cool-down elapsed.
+    HalfOpened,
+    /// HalfOpen → Closed: the probe measured a healthy rate.
+    Closed,
+    /// HalfOpen → Open: the probe still measured a storm.
+    Reopened,
+}
+
+/// Sliding-window misspeculation-rate monitor with open/half-open/closed
+/// phases (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StormBreaker {
+    config: BreakerConfig,
+    phase: BreakerPhase,
+    /// Ring of (events, misses) buckets; `cur` is the bucket being
+    /// filled. Only armed while Closed.
+    window: Vec<(u64, u64)>,
+    cur: usize,
+    /// Buckets filled since the window was last reset (saturates at
+    /// `buckets`); the breaker never opens on a partial window.
+    warm: usize,
+    /// Probe accumulators while HalfOpen.
+    probe_seen: u64,
+    probe_misses: u64,
+}
+
+impl StormBreaker {
+    /// Creates a closed breaker with an empty window.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is inconsistent.
+    pub fn new(config: BreakerConfig) -> Result<Self, InvalidParamsError> {
+        config.validate()?;
+        Ok(StormBreaker {
+            config,
+            phase: BreakerPhase::Closed,
+            window: vec![(0, 0); config.buckets],
+            cur: 0,
+            warm: 0,
+            probe_seen: 0,
+            probe_misses: 0,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.config
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> BreakerPhase {
+        self.phase
+    }
+
+    /// Returns `true` while new `EnterBiased` deployments must be
+    /// suppressed.
+    pub fn suppressing(&self) -> bool {
+        matches!(self.phase, BreakerPhase::Open { .. })
+    }
+
+    fn reset_window(&mut self) {
+        self.window.fill((0, 0));
+        self.cur = 0;
+        self.warm = 0;
+    }
+
+    /// Misspeculation rate over the armed window.
+    fn window_rate(&self) -> f64 {
+        let (events, misses) = self
+            .window
+            .iter()
+            .fold((0u64, 0u64), |(e, m), &(be, bm)| (e + be, m + bm));
+        if events == 0 {
+            0.0
+        } else {
+            misses as f64 / events as f64
+        }
+    }
+
+    /// Advances the breaker by one observed event.
+    ///
+    /// `events` is the controller's post-increment global event counter
+    /// and `misspeculated` whether this event was a misspeculation. The
+    /// returned signal is the phase change (if any) the caller must
+    /// react to.
+    pub fn tick(&mut self, events: u64, misspeculated: bool) -> BreakerSignal {
+        match self.phase {
+            BreakerPhase::Closed => {
+                let bucket = &mut self.window[self.cur];
+                bucket.0 += 1;
+                bucket.1 += u64::from(misspeculated);
+                if bucket.0 >= self.config.bucket_events {
+                    self.warm = (self.warm + 1).min(self.config.buckets);
+                    self.cur = (self.cur + 1) % self.config.buckets;
+                    self.window[self.cur] = (0, 0);
+                }
+                if self.warm >= self.config.buckets
+                    && self.window_rate() >= self.config.open_threshold
+                {
+                    self.phase = BreakerPhase::Open { since: events };
+                    self.reset_window();
+                    return BreakerSignal::Opened;
+                }
+                BreakerSignal::None
+            }
+            BreakerPhase::Open { since } => {
+                if events.saturating_sub(since) >= self.config.cooldown_events {
+                    self.phase = BreakerPhase::HalfOpen { since: events };
+                    self.probe_seen = 0;
+                    self.probe_misses = 0;
+                    return BreakerSignal::HalfOpened;
+                }
+                BreakerSignal::None
+            }
+            BreakerPhase::HalfOpen { .. } => {
+                self.probe_seen += 1;
+                self.probe_misses += u64::from(misspeculated);
+                if self.probe_seen >= self.config.probe_events {
+                    let rate = self.probe_misses as f64 / self.probe_seen as f64;
+                    if rate <= self.config.close_threshold {
+                        self.phase = BreakerPhase::Closed;
+                        self.reset_window();
+                        return BreakerSignal::Closed;
+                    }
+                    self.phase = BreakerPhase::Open { since: events };
+                    return BreakerSignal::Reopened;
+                }
+                BreakerSignal::None
+            }
+        }
+    }
+
+    pub(crate) fn restore(
+        config: BreakerConfig,
+        phase: BreakerPhase,
+        window: Vec<(u64, u64)>,
+        cur: usize,
+        warm: usize,
+        probe_seen: u64,
+        probe_misses: u64,
+    ) -> Self {
+        StormBreaker {
+            config,
+            phase,
+            window,
+            cur,
+            warm,
+            probe_seen,
+            probe_misses,
+        }
+    }
+
+    pub(crate) fn raw_parts(&self) -> (&[(u64, u64)], usize, usize, u64, u64) {
+        (
+            &self.window,
+            self.cur,
+            self.warm,
+            self.probe_seen,
+            self.probe_misses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            bucket_events: 10,
+            buckets: 2,
+            open_threshold: 0.5,
+            close_threshold: 0.1,
+            cooldown_events: 30,
+            probe_events: 20,
+            mass_evict_top_k: 0,
+        }
+    }
+
+    /// Drives `n` events at the given miss pattern, returning the first
+    /// non-None signal (and the event index it fired at).
+    fn drive(
+        b: &mut StormBreaker,
+        events: &mut u64,
+        n: u64,
+        miss: impl Fn(u64) -> bool,
+    ) -> Option<(BreakerSignal, u64)> {
+        for i in 0..n {
+            *events += 1;
+            let s = b.tick(*events, miss(i));
+            if s != BreakerSignal::None {
+                return Some((s, *events));
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn stays_closed_under_healthy_rate() {
+        let mut b = StormBreaker::new(cfg()).unwrap();
+        let mut events = 0;
+        assert_eq!(drive(&mut b, &mut events, 500, |i| i % 20 == 0), None);
+        assert_eq!(b.phase(), BreakerPhase::Closed);
+    }
+
+    #[test]
+    fn opens_on_storm_but_only_with_a_full_window() {
+        let mut b = StormBreaker::new(cfg()).unwrap();
+        let mut events = 0;
+        // All misses: the window is full after 2 buckets = 20 events; the
+        // breaker must not open before that.
+        let (sig, at) = drive(&mut b, &mut events, 100, |_| true).unwrap();
+        assert_eq!(sig, BreakerSignal::Opened);
+        assert!(at >= 20, "opened at {at} before the window was warm");
+        assert!(b.suppressing());
+    }
+
+    #[test]
+    fn half_opens_after_cooldown_then_closes_on_recovery() {
+        let mut b = StormBreaker::new(cfg()).unwrap();
+        let mut events = 0;
+        drive(&mut b, &mut events, 100, |_| true).unwrap();
+        let (sig, _) = drive(&mut b, &mut events, 100, |_| false).unwrap();
+        assert_eq!(sig, BreakerSignal::HalfOpened);
+        assert!(!b.suppressing(), "half-open probes, it does not suppress");
+        let (sig, _) = drive(&mut b, &mut events, 100, |_| false).unwrap();
+        assert_eq!(sig, BreakerSignal::Closed);
+        assert_eq!(b.phase(), BreakerPhase::Closed);
+    }
+
+    #[test]
+    fn reopens_when_probe_still_storms() {
+        let mut b = StormBreaker::new(cfg()).unwrap();
+        let mut events = 0;
+        drive(&mut b, &mut events, 100, |_| true).unwrap();
+        drive(&mut b, &mut events, 100, |_| true).unwrap(); // half-open
+        let (sig, _) = drive(&mut b, &mut events, 100, |_| true).unwrap();
+        assert_eq!(sig, BreakerSignal::Reopened);
+        assert!(b.suppressing());
+    }
+
+    #[test]
+    fn hysteresis_band_keeps_marginal_rate_open() {
+        // 30% misses: above close (10%), below open (50%). A probe at
+        // this rate must re-open, not close — the hysteresis band.
+        let mut b = StormBreaker::new(cfg()).unwrap();
+        let mut events = 0;
+        drive(&mut b, &mut events, 100, |_| true).unwrap();
+        drive(&mut b, &mut events, 100, |_| false).unwrap(); // half-open
+        let (sig, _) = drive(&mut b, &mut events, 100, |i| i % 10 < 3).unwrap();
+        assert_eq!(sig, BreakerSignal::Reopened);
+    }
+
+    #[test]
+    fn tick_sequence_is_deterministic() {
+        let run = || {
+            let mut b = StormBreaker::new(cfg()).unwrap();
+            (1..=400).map(|e| b.tick(e, e % 3 != 0)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn validates_config() {
+        let mut c = cfg();
+        c.buckets = 0;
+        assert!(StormBreaker::new(c).is_err());
+        let mut c = cfg();
+        c.close_threshold = 0.9;
+        assert!(StormBreaker::new(c).is_err(), "close above open");
+        let mut c = cfg();
+        c.open_threshold = 0.0;
+        assert!(StormBreaker::new(c).is_err());
+        let mut c = cfg();
+        c.probe_events = 0;
+        assert!(StormBreaker::new(c).is_err());
+    }
+}

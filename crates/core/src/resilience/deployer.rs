@@ -1,0 +1,466 @@
+//! The deployment seam: re-optimization as a request that can fail.
+//!
+//! The paper models code deployment as infallible — a selection or
+//! eviction decision always lands after the optimization latency. A real
+//! runtime's re-optimization pipeline can reject a request (compile
+//! queue full, code-cache pressure, transient JIT failure), and the
+//! controller must stay fail-safe when it does. [`Deployer`] is that
+//! seam: `EnterBiased`/`ExitBiased` become [`DeployRequest`]s answered
+//! with a [`DeployOutcome`], and the controller owns the retry schedule
+//! ([`RetryPolicy`]) and the fail-safe reaction when retries run out.
+//!
+//! Two deployers ship: [`InstantDeployer`] (always succeeds — the
+//! paper's model, and the default) and [`FaultyDeployer`] (seeded,
+//! deterministic failure injection for resilience campaigns). Fault
+//! decisions are a pure function of `(seed, request ordinal, request)`,
+//! so a campaign replays bit-identically from its seed.
+
+use rsc_trace::rng::SplitMix64;
+use rsc_trace::BranchId;
+
+/// Which optimization arc a deployment request serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeployKind {
+    /// Deploy speculative code after an `EnterBiased` decision.
+    Optimize,
+    /// Deploy repaired (non-speculative) code after an `ExitBiased`
+    /// decision. While this is outstanding the stale code keeps
+    /// misspeculating, so repair failures are the dangerous ones.
+    Repair,
+}
+
+/// One deployment request issued by the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeployRequest {
+    /// The branch whose code is being replaced.
+    pub branch: BranchId,
+    /// Which arc the request serves.
+    pub kind: DeployKind,
+    /// Dynamic instruction count at the request.
+    pub instr: u64,
+    /// Failed attempts so far for this transition (0 = first try).
+    pub attempt: u32,
+}
+
+/// The pipeline's answer to a [`DeployRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeployOutcome {
+    /// Accepted: the new code goes live after the controller's
+    /// optimization latency.
+    Deployed,
+    /// Transient failure (a timed-out request is a failure that wasted
+    /// longer): nothing was deployed, and `wasted` instructions burn
+    /// before a retry can even be issued.
+    Failed {
+        /// Instructions consumed by the failed attempt.
+        wasted: u64,
+    },
+}
+
+/// The deployment pipeline interface.
+pub trait Deployer {
+    /// Answers one deployment request. Implementations may keep internal
+    /// state (the fault injector counts requests), but must be
+    /// deterministic: the same request sequence yields the same outcome
+    /// sequence.
+    fn request(&mut self, req: &DeployRequest) -> DeployOutcome;
+}
+
+/// The infallible pipeline of the paper's model: every request deploys.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstantDeployer;
+
+impl Deployer for InstantDeployer {
+    fn request(&mut self, _req: &DeployRequest) -> DeployOutcome {
+        DeployOutcome::Deployed
+    }
+}
+
+/// When the fault injector's failure pattern applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultScope {
+    /// Fail requests of either kind.
+    All,
+    /// Fail only [`DeployKind::Optimize`] requests.
+    OptimizeOnly,
+    /// Fail only [`DeployKind::Repair`] requests — the adversarial case:
+    /// the branch is left speculating a stale assumption.
+    RepairOnly,
+}
+
+impl FaultScope {
+    fn covers(self, kind: DeployKind) -> bool {
+        match self {
+            FaultScope::All => true,
+            FaultScope::OptimizeOnly => kind == DeployKind::Optimize,
+            FaultScope::RepairOnly => kind == DeployKind::Repair,
+        }
+    }
+}
+
+/// Failure pattern of the fault injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Each in-scope request fails independently with probability
+    /// `per_mille / 1000`, decided by hashing the request ordinal with
+    /// the seed. `1000` fails everything.
+    FixedRate {
+        /// Failure probability in thousandths.
+        per_mille: u16,
+    },
+    /// The first `len` of every `period` in-scope requests fail —
+    /// an outage window followed by recovery, repeating.
+    Burst {
+        /// Requests per cycle.
+        period: u64,
+        /// Failing requests at the start of each cycle.
+        len: u64,
+    },
+    /// Every request for one specific branch fails; all others succeed.
+    TargetedBranch {
+        /// Index of the doomed branch.
+        branch: u32,
+    },
+}
+
+/// Full fault-injection specification: deterministic given the seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Seed for the per-request failure hash.
+    pub seed: u64,
+    /// Failure pattern.
+    pub mode: FaultMode,
+    /// Which request kinds the pattern applies to.
+    pub scope: FaultScope,
+    /// Instructions a failed attempt wastes before a retry can start.
+    pub wasted: u64,
+}
+
+/// Seeded deterministic failure injection (see [`FaultSpec`]).
+///
+/// The only mutable state is the request ordinal, so the injector can be
+/// checkpointed as a single integer and two independent controllers fed
+/// the same request sequence observe the same outcomes.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_control::resilience::{
+///     Deployer, DeployKind, DeployOutcome, DeployRequest, FaultMode, FaultScope, FaultSpec,
+///     FaultyDeployer,
+/// };
+/// use rsc_trace::BranchId;
+///
+/// let spec = FaultSpec {
+///     seed: 7,
+///     mode: FaultMode::FixedRate { per_mille: 1000 },
+///     scope: FaultScope::RepairOnly,
+///     wasted: 50,
+/// };
+/// let mut d = FaultyDeployer::new(spec);
+/// let optimize = DeployRequest {
+///     branch: BranchId::new(0),
+///     kind: DeployKind::Optimize,
+///     instr: 100,
+///     attempt: 0,
+/// };
+/// assert_eq!(d.request(&optimize), DeployOutcome::Deployed);
+/// let repair = DeployRequest { kind: DeployKind::Repair, ..optimize };
+/// assert_eq!(d.request(&repair), DeployOutcome::Failed { wasted: 50 });
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultyDeployer {
+    spec: FaultSpec,
+    requests: u64,
+}
+
+impl FaultyDeployer {
+    /// Creates a fault injector at request ordinal zero.
+    pub fn new(spec: FaultSpec) -> Self {
+        FaultyDeployer { spec, requests: 0 }
+    }
+
+    /// The fault specification.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Requests answered so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+}
+
+impl Deployer for FaultyDeployer {
+    fn request(&mut self, req: &DeployRequest) -> DeployOutcome {
+        let ordinal = self.requests;
+        self.requests += 1;
+        if !self.spec.scope.covers(req.kind) {
+            return DeployOutcome::Deployed;
+        }
+        let fail = match self.spec.mode {
+            FaultMode::FixedRate { per_mille } => {
+                // SplitMix64 is designed to decorrelate sequential seeds,
+                // so hashing the ordinal directly gives an unbiased
+                // per-request coin.
+                SplitMix64::new(self.spec.seed ^ ordinal).next_u64() % 1000 < u64::from(per_mille)
+            }
+            FaultMode::Burst { period, len } => ordinal % period.max(1) < len,
+            FaultMode::TargetedBranch { branch } => req.branch.index() as u32 == branch,
+        };
+        if fail {
+            DeployOutcome::Failed {
+                wasted: self.spec.wasted,
+            }
+        } else {
+            DeployOutcome::Deployed
+        }
+    }
+}
+
+/// Which deployer a controller runs (the serializable configuration
+/// counterpart of the runtime [`Deployer`] objects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeployerSpec {
+    /// [`InstantDeployer`]: the paper's infallible pipeline.
+    Instant,
+    /// [`FaultyDeployer`] with the given fault specification.
+    Faulty(FaultSpec),
+}
+
+/// Concrete deployer storage inside a controller. Keeping this an enum
+/// (rather than a boxed trait object) preserves `Clone`, equality-based
+/// conformance checks, and single-integer checkpointing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DeployerImpl {
+    Instant(InstantDeployer),
+    Faulty(FaultyDeployer),
+}
+
+impl DeployerImpl {
+    pub(crate) fn from_spec(spec: DeployerSpec) -> Self {
+        match spec {
+            DeployerSpec::Instant => DeployerImpl::Instant(InstantDeployer),
+            DeployerSpec::Faulty(f) => DeployerImpl::Faulty(FaultyDeployer::new(f)),
+        }
+    }
+
+    pub(crate) fn request(&mut self, req: &DeployRequest) -> DeployOutcome {
+        match self {
+            DeployerImpl::Instant(d) => d.request(req),
+            DeployerImpl::Faulty(d) => d.request(req),
+        }
+    }
+
+    /// Request ordinal (0 for the stateless instant deployer).
+    pub(crate) fn requests(&self) -> u64 {
+        match self {
+            DeployerImpl::Instant(_) => 0,
+            DeployerImpl::Faulty(d) => d.requests,
+        }
+    }
+
+    pub(crate) fn set_requests(&mut self, requests: u64) {
+        if let DeployerImpl::Faulty(d) = self {
+            d.requests = requests;
+        }
+    }
+}
+
+/// Bounded deterministic retry schedule for failed deployments.
+///
+/// After the `n`-th failure of one transition, the next attempt is
+/// issued `wasted + backoff(n)` instructions later, where
+/// `backoff(n) = min(base_backoff << (n − 1), max_backoff)` — exponential
+/// growth, no jitter (determinism is load-bearing for conformance and
+/// checkpoint replay). Once `max_attempts` attempts have failed the
+/// controller takes its fail-safe action: an unfinished *optimize* is
+/// abandoned back to the unbiased state; an unfinished *repair* force-
+/// disables the branch so it can never be left speculating a stale
+/// assumption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included) before the fail-safe fires.
+    pub max_attempts: u32,
+    /// Backoff after the first failure, in instructions.
+    pub base_backoff: u64,
+    /// Backoff ceiling, in instructions.
+    pub max_backoff: u64,
+}
+
+impl RetryPolicy {
+    /// A small default: 4 attempts, backoff 1,000 doubling to 8,000.
+    pub fn default_policy() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: 1_000,
+            max_backoff: 8_000,
+        }
+    }
+
+    /// Instructions to wait after `failures` attempts have failed
+    /// (`failures >= 1`).
+    pub fn backoff(&self, failures: u32) -> u64 {
+        let shift = failures.saturating_sub(1);
+        if shift >= 64 {
+            return self.max_backoff;
+        }
+        // checked_shl only guards the shift count, not overflow.
+        self.base_backoff
+            .checked_mul(1u64 << shift)
+            .unwrap_or(self.max_backoff)
+            .min(self.max_backoff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(branch: u32, kind: DeployKind, attempt: u32) -> DeployRequest {
+        DeployRequest {
+            branch: BranchId::new(branch),
+            kind,
+            instr: 1000,
+            attempt,
+        }
+    }
+
+    #[test]
+    fn instant_always_deploys() {
+        let mut d = InstantDeployer;
+        for i in 0..10 {
+            assert_eq!(
+                d.request(&req(i, DeployKind::Repair, 0)),
+                DeployOutcome::Deployed
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_rate_is_deterministic_and_roughly_calibrated() {
+        let spec = FaultSpec {
+            seed: 42,
+            mode: FaultMode::FixedRate { per_mille: 250 },
+            scope: FaultScope::All,
+            wasted: 10,
+        };
+        let outcomes = |spec| {
+            let mut d = FaultyDeployer::new(spec);
+            (0..4000)
+                .map(|i| d.request(&req(i % 7, DeployKind::Optimize, 0)))
+                .collect::<Vec<_>>()
+        };
+        let a = outcomes(spec);
+        assert_eq!(a, outcomes(spec), "same seed, same outcomes");
+        let failures = a
+            .iter()
+            .filter(|o| matches!(o, DeployOutcome::Failed { .. }))
+            .count();
+        // 25% nominal over 4000 trials: allow a generous band.
+        assert!((800..1200).contains(&failures), "failures {failures}");
+    }
+
+    #[test]
+    fn per_mille_extremes() {
+        let mut never = FaultyDeployer::new(FaultSpec {
+            seed: 1,
+            mode: FaultMode::FixedRate { per_mille: 0 },
+            scope: FaultScope::All,
+            wasted: 0,
+        });
+        let mut always = FaultyDeployer::new(FaultSpec {
+            seed: 1,
+            mode: FaultMode::FixedRate { per_mille: 1000 },
+            scope: FaultScope::All,
+            wasted: 5,
+        });
+        for i in 0..100 {
+            assert_eq!(
+                never.request(&req(i, DeployKind::Repair, 0)),
+                DeployOutcome::Deployed
+            );
+            assert_eq!(
+                always.request(&req(i, DeployKind::Repair, 0)),
+                DeployOutcome::Failed { wasted: 5 }
+            );
+        }
+    }
+
+    #[test]
+    fn burst_mode_fails_a_prefix_of_each_cycle() {
+        let mut d = FaultyDeployer::new(FaultSpec {
+            seed: 0,
+            mode: FaultMode::Burst { period: 5, len: 2 },
+            scope: FaultScope::All,
+            wasted: 1,
+        });
+        let got: Vec<bool> = (0..10)
+            .map(|i| {
+                matches!(
+                    d.request(&req(i, DeployKind::Optimize, 0)),
+                    DeployOutcome::Failed { .. }
+                )
+            })
+            .collect();
+        assert_eq!(
+            got,
+            vec![true, true, false, false, false, true, true, false, false, false]
+        );
+    }
+
+    #[test]
+    fn targeted_branch_only_fails_its_target() {
+        let mut d = FaultyDeployer::new(FaultSpec {
+            seed: 0,
+            mode: FaultMode::TargetedBranch { branch: 3 },
+            scope: FaultScope::All,
+            wasted: 9,
+        });
+        assert_eq!(
+            d.request(&req(2, DeployKind::Repair, 0)),
+            DeployOutcome::Deployed
+        );
+        assert_eq!(
+            d.request(&req(3, DeployKind::Repair, 0)),
+            DeployOutcome::Failed { wasted: 9 }
+        );
+    }
+
+    #[test]
+    fn scope_filters_request_kinds() {
+        let spec = FaultSpec {
+            seed: 0,
+            mode: FaultMode::FixedRate { per_mille: 1000 },
+            scope: FaultScope::RepairOnly,
+            wasted: 1,
+        };
+        let mut d = FaultyDeployer::new(spec);
+        assert_eq!(
+            d.request(&req(0, DeployKind::Optimize, 0)),
+            DeployOutcome::Deployed
+        );
+        assert_eq!(
+            d.request(&req(0, DeployKind::Repair, 0)),
+            DeployOutcome::Failed { wasted: 1 }
+        );
+        // Out-of-scope requests still advance the ordinal (the ordinal is
+        // the whole checkpointable state, so it must count everything).
+        assert_eq!(d.requests(), 2);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: 100,
+            max_backoff: 450,
+        };
+        assert_eq!(p.backoff(1), 100);
+        assert_eq!(p.backoff(2), 200);
+        assert_eq!(p.backoff(3), 400);
+        assert_eq!(p.backoff(4), 450);
+        assert_eq!(p.backoff(63), 450);
+        assert_eq!(p.backoff(200), 450, "shift clamps instead of panicking");
+    }
+}

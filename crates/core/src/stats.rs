@@ -26,6 +26,16 @@ pub struct ControlStats {
     pub disabled_branches: usize,
     /// Re-optimization requests issued (entries plus evictions).
     pub reopt_requests: u64,
+    /// Deployment requests that failed (resilience layer; 0 without it).
+    pub deploy_failures: u64,
+    /// Deployment retries issued after failures (resilience layer).
+    pub deploy_retries: u64,
+    /// Branches force-disabled because repair retries ran out
+    /// (resilience layer).
+    pub forced_disables: u64,
+    /// `EnterBiased` decisions suppressed by an open storm breaker
+    /// (resilience layer).
+    pub suppressed_enters: u64,
 }
 
 impl ControlStats {
@@ -96,6 +106,10 @@ impl ControlStats {
         self.total_entries += other.total_entries;
         self.disabled_branches += other.disabled_branches;
         self.reopt_requests += other.reopt_requests;
+        self.deploy_failures += other.deploy_failures;
+        self.deploy_retries += other.deploy_retries;
+        self.forced_disables += other.forced_disables;
+        self.suppressed_enters += other.suppressed_enters;
     }
 }
 
@@ -116,6 +130,10 @@ mod tests {
             total_entries: 37,
             disabled_branches: 1,
             reopt_requests: 40,
+            deploy_failures: 4,
+            deploy_retries: 3,
+            forced_disables: 1,
+            suppressed_enters: 2,
         }
     }
 

@@ -135,6 +135,28 @@ impl TransitionLog {
     }
 }
 
+impl TransitionLog {
+    /// Raw internal storage for checkpointing: the *full* retained vector
+    /// (a `RingBuffer(n)` log may hold up to `2n` events between
+    /// compactions, and resume must reproduce that amortization state
+    /// bit-identically) plus the exact per-kind counters.
+    pub(crate) fn raw_storage(&self) -> (&[TransitionEvent], &[u64; TransitionKind::ALL.len()]) {
+        (&self.events, &self.counts)
+    }
+
+    pub(crate) fn from_raw_storage(
+        policy: TransitionLogPolicy,
+        events: Vec<TransitionEvent>,
+        counts: [u64; TransitionKind::ALL.len()],
+    ) -> Self {
+        TransitionLog {
+            policy,
+            events,
+            counts,
+        }
+    }
+}
+
 impl Default for TransitionLog {
     fn default() -> Self {
         TransitionLog::new(TransitionLogPolicy::Full)

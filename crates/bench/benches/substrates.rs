@@ -2,7 +2,7 @@
 //! controller observe throughput, cache and predictor operations.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use rsc_control::{ControllerParams, ReactiveController};
+use rsc_control::{ControllerParams, ReactiveController, TransitionLogPolicy};
 use rsc_mssp::cache::Cache;
 use rsc_mssp::predictor::Gshare;
 use rsc_trace::{spec2000, InputId};
@@ -19,8 +19,10 @@ fn bench_substrates(c: &mut Criterion) {
     });
     g.bench_function("controller_observe_1M_events", |b| {
         b.iter(|| {
-            let mut ctl = ReactiveController::new(ControllerParams::scaled()).unwrap();
-            ctl.set_record_transitions(false);
+            let mut ctl = ReactiveController::builder(ControllerParams::scaled())
+                .log_policy(TransitionLogPolicy::CountsOnly)
+                .build()
+                .unwrap();
             for r in pop.trace(InputId::Eval, events, 1) {
                 ctl.observe(&r);
             }

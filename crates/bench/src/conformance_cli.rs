@@ -20,6 +20,7 @@ pub fn run(args: &[String]) -> i32 {
     let mut config = CampaignConfig::default();
     let mut replay: Option<PathBuf> = None;
     let mut artifact_dir = PathBuf::from("conformance-artifacts");
+    let mut metrics_out: Option<PathBuf> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -50,6 +51,10 @@ pub fn run(args: &[String]) -> i32 {
                 let v = it.next().expect("--artifact-dir needs a directory");
                 artifact_dir = PathBuf::from(v);
             }
+            "--metrics-out" => {
+                let v = it.next().expect("--metrics-out needs a file path");
+                metrics_out = Some(PathBuf::from(v));
+            }
             other => {
                 eprintln!("unknown conformance option: {other}");
                 return 2;
@@ -60,7 +65,38 @@ pub fn run(args: &[String]) -> i32 {
     if let Some(path) = replay {
         return run_replay(&path);
     }
-    run_campaign(&config, &artifact_dir)
+    let code = run_campaign(&config, &artifact_dir);
+    if let Some(mpath) = &metrics_out {
+        export_campaign_metrics(&config, mpath);
+    }
+    code
+}
+
+/// The `--metrics-out` payload: one instrumented controller run over the
+/// campaign's first parameter set and first seed, so the exported
+/// families describe a representative adversarial case rather than the
+/// whole (multi-controller) campaign.
+fn export_campaign_metrics(config: &CampaignConfig, path: &std::path::Path) {
+    use rsc_conformance::campaign::{param_matrix, scenarios_for};
+    use rsc_control::{ReactiveController, TransitionLogPolicy};
+
+    let (name, params) = param_matrix()[0];
+    let scenario = scenarios_for(&params)[0];
+    let trace = scenario.generate(config.events, config.seed_start);
+    let mut ctl = ReactiveController::builder(params)
+        .log_policy(TransitionLogPolicy::CountsOnly)
+        .metrics()
+        .build()
+        .expect("campaign params validate");
+    for r in &trace {
+        ctl.observe(r);
+    }
+    let registry = ctl.metrics().expect("metrics were enabled");
+    crate::observe_cli::export_metrics(&registry, path);
+    println!(
+        "wrote {} (param set {name:?}, scenario {scenario:?})",
+        path.display()
+    );
 }
 
 fn run_replay(path: &std::path::Path) -> i32 {

@@ -10,7 +10,7 @@
 
 use crate::options::ExpOptions;
 use crate::table::{pct, TextTable};
-use rsc_control::{ControlStats, ControllerParams, ReactiveController};
+use rsc_control::{ControlStats, ControllerParams, ReactiveController, TransitionLogPolicy};
 use rsc_trace::{spec2000, InputId, Population};
 
 /// Misspeculation rates for the three policies on one benchmark.
@@ -39,8 +39,10 @@ pub fn run_flush_policy(
     let params = ControllerParams::scaled()
         .without_eviction()
         .without_revisit();
-    let mut ctl = ReactiveController::new(params).expect("valid params");
-    ctl.set_record_transitions(false);
+    let mut ctl = ReactiveController::builder(params)
+        .log_policy(TransitionLogPolicy::CountsOnly)
+        .build()
+        .expect("valid params");
     let mut next_flush = flush_every;
     for (i, r) in population.trace(InputId::Eval, events, seed).enumerate() {
         if i as u64 >= next_flush {

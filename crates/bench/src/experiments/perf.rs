@@ -163,7 +163,9 @@ fn trace_to_controller(pop: &Population, events: u64, seed: u64, reps: u32) -> S
     let mut buf = record_buf();
     let (per_event, chunked) = time_pair(
         || {
-            let mut ctl = ReactiveController::new(params).expect("valid params");
+            let mut ctl = ReactiveController::builder(params)
+                .build()
+                .expect("valid params");
             for r in pop.trace(InputId::Eval, events, seed) {
                 ctl.observe(&r);
             }
@@ -171,8 +173,10 @@ fn trace_to_controller(pop: &Population, events: u64, seed: u64, reps: u32) -> S
             events
         },
         || {
-            let mut ctl = ReactiveController::new(params).expect("valid params");
-            ctl.set_transition_log_policy(TransitionLogPolicy::CountsOnly);
+            let mut ctl = ReactiveController::builder(params)
+                .log_policy(TransitionLogPolicy::CountsOnly)
+                .build()
+                .expect("valid params");
             let mut trace = pop.trace(InputId::Eval, events, seed);
             loop {
                 let n = trace.fill(&mut buf);
@@ -250,6 +254,28 @@ pub fn run(opts: &ExpOptions) -> Vec<StageRow> {
         offline_profile(&pop, opts.events, opts.seed, reps),
         mssp_step(&pop, opts.events, opts.seed, reps),
     ]
+}
+
+/// Runs the perf workload once more with the metrics registry attached
+/// and returns it — the payload behind `repro perf --metrics-out`. Uses
+/// the same benchmark, event count, and seed as the timed rows so the
+/// exported counters describe the measured run.
+pub fn instrumented_registry(opts: &ExpOptions) -> rsc_control::MetricsRegistry {
+    let pop = spec2000::benchmark(BENCHMARK)
+        .expect("benchmark exists")
+        .population(opts.events);
+    let builder = ReactiveController::builder(ControllerParams::scaled())
+        .log_policy(TransitionLogPolicy::CountsOnly)
+        .metrics();
+    let (_, ctl) = rsc_control::run_population_chunked_with(
+        builder,
+        &pop,
+        InputId::Eval,
+        opts.events,
+        opts.seed,
+    )
+    .expect("valid params");
+    ctl.metrics().expect("metrics were enabled")
 }
 
 /// Renders the throughput table.

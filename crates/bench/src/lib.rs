@@ -7,6 +7,7 @@
 pub mod conformance_cli;
 pub mod experiments;
 pub mod export;
+pub mod observe_cli;
 pub mod options;
 pub mod parallel;
 pub mod resilience_cli;

@@ -14,8 +14,12 @@ fn main() {
     if args.first().map(String::as_str) == Some("resilience") {
         std::process::exit(rsc_bench::resilience_cli::run(&args[1..]));
     }
+    if args.first().map(String::as_str) == Some("observe") {
+        std::process::exit(rsc_bench::observe_cli::run(&args[1..]));
+    }
     let mut opts = ExpOptions::new();
     let mut csv_dir: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
     let mut which: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -40,6 +44,10 @@ fn main() {
                 let v = it.next().expect("--csv needs a directory");
                 csv_dir = Some(PathBuf::from(v));
             }
+            "--metrics-out" => {
+                let v = it.next().expect("--metrics-out needs a file path");
+                metrics_out = Some(PathBuf::from(v));
+            }
             other => which.push(other.to_string()),
         }
     }
@@ -47,11 +55,16 @@ fn main() {
         which.push("all".to_string());
     }
     for w in which {
-        dispatch(&w, &opts, csv_dir.as_deref());
+        dispatch(&w, &opts, csv_dir.as_deref(), metrics_out.as_deref());
     }
 }
 
-fn dispatch(which: &str, opts: &ExpOptions, csv_dir: Option<&std::path::Path>) {
+fn dispatch(
+    which: &str,
+    opts: &ExpOptions,
+    csv_dir: Option<&std::path::Path>,
+    metrics_out: Option<&std::path::Path>,
+) {
     let save = |name: &str, csv: String| {
         if let Some(dir) = csv_dir {
             export::write(dir, name, &csv).expect("failed to write CSV");
@@ -165,6 +178,11 @@ fn dispatch(which: &str, opts: &ExpOptions, csv_dir: Option<&std::path::Path>) {
             }
             std::fs::write(&path, json).expect("failed to write BENCH_pipeline.json");
             println!("wrote {}", path.display());
+            if let Some(mpath) = metrics_out {
+                let registry = experiments::perf::instrumented_registry(opts);
+                rsc_bench::observe_cli::export_metrics(&registry, mpath);
+                println!("wrote {}", mpath.display());
+            }
         }
         "oscillation" => {
             println!("== Oscillation cap: re-optimization load ==");
@@ -193,7 +211,7 @@ fn dispatch(which: &str, opts: &ExpOptions, csv_dir: Option<&std::path::Path>) {
                 "fig8",
                 "clustering",
             ] {
-                dispatch(w, opts, csv_dir);
+                dispatch(w, opts, csv_dir, metrics_out);
             }
         }
         other => {

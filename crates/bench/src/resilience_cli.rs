@@ -34,6 +34,7 @@ pub fn run(args: &[String]) -> i32 {
     let mut events: u64 = 200_000;
     let mut seed: u64 = 42;
     let mut out = PathBuf::from("resilience-artifacts/RESILIENCE_report.json");
+    let mut metrics_out: Option<PathBuf> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -49,6 +50,10 @@ pub fn run(args: &[String]) -> i32 {
             "--out" => {
                 let v = it.next().expect("--out needs a file path");
                 out = PathBuf::from(v);
+            }
+            "--metrics-out" => {
+                let v = it.next().expect("--metrics-out needs a file path");
+                metrics_out = Some(PathBuf::from(v));
             }
             other => {
                 eprintln!("unknown resilience option: {other}");
@@ -67,10 +72,14 @@ pub fn run(args: &[String]) -> i32 {
     let mut scenarios = Vec::new();
     let mut failures = Vec::new();
     let mut baseline_incorrect = 0u64;
+    let mut storm_registry = None;
     for (name, config) in scenario_matrix(seed) {
-        let outcome = run_scenario(name, config, &trace);
+        let outcome = run_scenario(name, config, &trace, metrics_out.is_some());
         if name == "fault-free" {
             baseline_incorrect = outcome.stats.incorrect;
+        }
+        if name == "storm-breaker" {
+            storm_registry = outcome.registry.clone();
         }
         for inv in outcome.check(baseline_incorrect) {
             failures.push(format!("{name}: {inv}"));
@@ -111,6 +120,14 @@ pub fn run(args: &[String]) -> i32 {
     }
     std::fs::write(&out, report.to_string()).expect("write report");
     println!("wrote {}", out.display());
+
+    if let Some(mpath) = &metrics_out {
+        // The storm-breaker scenario is the metric-richest run (deploy
+        // faults, retries, and breaker phase changes all fire).
+        let registry = storm_registry.expect("storm-breaker scenario always runs");
+        crate::observe_cli::export_metrics(&registry, mpath);
+        println!("wrote {}", mpath.display());
+    }
 
     if verdict {
         println!("all resilience invariants hold");
@@ -205,6 +222,9 @@ struct ScenarioOutcome {
     breaker_openings: u64,
     checkpoint_ok: bool,
     checkpoint_bytes: usize,
+    /// The scenario's metrics registry, when telemetry was requested
+    /// (`--metrics-out`). Not part of the JSON report.
+    registry: Option<rsc_control::MetricsRegistry>,
 }
 
 impl ScenarioOutcome {
@@ -283,15 +303,25 @@ fn run_scenario(
     name: &'static str,
     config: ResilienceConfig,
     trace: &[BranchRecord],
+    metrics: bool,
 ) -> ScenarioOutcome {
-    let mut ctl = ReactiveController::with_resilience(params(), config).expect("config validates");
+    let builder = |config: ResilienceConfig| {
+        let mut b = ReactiveController::builder(params()).resilience(config);
+        if metrics {
+            b = b.metrics();
+        }
+        b
+    };
+    let mut ctl = builder(config).build().expect("config validates");
     for r in trace {
         ctl.observe(r);
     }
 
     // Checkpoint pillar: snapshot halfway, restore, replay the tail, and
     // demand bit-identical end state (byte equality of the re-snapshot).
-    let mut first = ReactiveController::with_resilience(params(), config).expect("validated");
+    // With `metrics` on, the telemetry section rides along, so this also
+    // proves histogram state replays identically after a restore.
+    let mut first = builder(config).build().expect("validated");
     for r in &trace[..trace.len() / 2] {
         first.observe(r);
     }
@@ -309,6 +339,7 @@ fn run_scenario(
         breaker_openings: ctl.transition_log().count(TransitionKind::BreakerOpened),
         checkpoint_ok,
         checkpoint_bytes,
+        registry: ctl.metrics(),
     }
 }
 
@@ -329,7 +360,7 @@ mod tests {
         let render = || {
             let mut out = Vec::new();
             for (name, config) in scenario_matrix(9) {
-                let o = run_scenario(name, config, &trace);
+                let o = run_scenario(name, config, &trace, true);
                 assert!(o.checkpoint_ok, "{name} checkpoint replay diverged");
                 out.push(o.to_json().to_string());
             }
@@ -346,8 +377,8 @@ mod tests {
         }
         .generate(60_000, 42);
         let matrix = scenario_matrix(42);
-        let baseline = run_scenario(matrix[0].0, matrix[0].1, &trace);
-        let outage = run_scenario(matrix[2].0, matrix[2].1, &trace);
+        let baseline = run_scenario(matrix[0].0, matrix[0].1, &trace, false);
+        let outage = run_scenario(matrix[2].0, matrix[2].1, &trace, false);
         assert_eq!(outage.name, "repair-outage");
         assert!(outage.stats.forced_disables > 0, "fail-safe must fire");
         assert!(

@@ -97,10 +97,13 @@ impl std::fmt::Display for Divergence {
 /// are constructed from validated presets.
 pub fn run_case(spec: &CaseSpec, trace: &[BranchRecord]) -> Result<(), Divergence> {
     let mut subject = match spec.resilience {
-        None => ReactiveController::new(spec.subject).expect("subject params validate"),
-        Some(c) => {
-            ReactiveController::with_resilience(spec.subject, c).expect("subject params validate")
-        }
+        None => ReactiveController::builder(spec.subject)
+            .build()
+            .expect("subject params validate"),
+        Some(c) => ReactiveController::builder(spec.subject)
+            .resilience(c)
+            .build()
+            .expect("subject params validate"),
     };
     let mut reference = match spec.resilience {
         None => ReferenceController::new(spec.reference).expect("reference params validate"),

@@ -52,7 +52,7 @@ pub fn eviction_windows<I: IntoIterator<Item = BranchRecord>>(
     trace: I,
     window: usize,
 ) -> Result<Vec<EvictionWindow>, InvalidParamsError> {
-    let mut ctl = ReactiveController::new(params)?;
+    let mut ctl = ReactiveController::builder(params).build()?;
     let mut finished: Vec<EvictionWindow> = Vec::new();
     // At most one open window per branch; a re-eviction inside the window
     // closes the old one.

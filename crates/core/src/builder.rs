@@ -1,0 +1,221 @@
+//! [`ControllerBuilder`]: the single construction path for
+//! [`ReactiveController`].
+//!
+//! The controller's configuration surface grew one seam at a time —
+//! `new`, then `with_resilience`, then post-construction
+//! `set_record_transitions`/`set_transition_log_policy` — and the
+//! observability layer would have added two more. The builder collapses
+//! all of it into one fluent assembly step; the legacy constructors and
+//! setters remain as `#[deprecated]` shims for one release.
+//!
+//! | Legacy | Builder |
+//! |---|---|
+//! | `ReactiveController::new(p)` | `ReactiveController::builder(p).build()` |
+//! | `ReactiveController::with_resilience(p, cfg)` | `ReactiveController::builder(p).resilience(cfg).build()` |
+//! | `ctl.set_transition_log_policy(pol)` | `.log_policy(pol)` before `build()` |
+//! | `ctl.set_record_transitions(false)` | `.log_policy(TransitionLogPolicy::CountsOnly)` |
+//! | — | `.metrics()` / `.event_sink(sink)` (new) |
+//!
+//! # Examples
+//!
+//! ```
+//! use rsc_control::prelude::*;
+//!
+//! let ctl = ReactiveController::builder(ControllerParams::scaled())
+//!     .resilience(ResilienceConfig::reliable())
+//!     .log_policy(TransitionLogPolicy::RingBuffer(1024))
+//!     .metrics()
+//!     .build()?;
+//! assert!(ctl.metrics().is_some());
+//! # Ok::<(), InvalidParamsError>(())
+//! ```
+
+use crate::controller::ReactiveController;
+use crate::observe::{ControllerMetrics, EventSink, Telemetry};
+use crate::params::{ControllerParams, InvalidParamsError};
+use crate::resilience::{ResilienceConfig, ResilienceState};
+use crate::translog::{TransitionLog, TransitionLogPolicy};
+use std::sync::Arc;
+
+/// Assembles a [`ReactiveController`] from parameters, an optional
+/// resilience layer, a transition-log policy, and optional telemetry.
+///
+/// Created by [`ReactiveController::builder`]. Nothing is validated until
+/// [`build`](ControllerBuilder::build), which checks the parameters and
+/// resilience configuration together and reports the first offending
+/// field.
+#[derive(Clone)]
+pub struct ControllerBuilder {
+    params: ControllerParams,
+    resilience: Option<ResilienceConfig>,
+    log_policy: TransitionLogPolicy,
+    metrics: bool,
+    sink: Option<Arc<dyn EventSink>>,
+}
+
+impl std::fmt::Debug for ControllerBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControllerBuilder")
+            .field("params", &self.params)
+            .field("resilience", &self.resilience)
+            .field("log_policy", &self.log_policy)
+            .field("metrics", &self.metrics)
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl ControllerBuilder {
+    pub(crate) fn new(params: ControllerParams) -> Self {
+        ControllerBuilder {
+            params,
+            resilience: None,
+            log_policy: TransitionLogPolicy::Full,
+            metrics: false,
+            sink: None,
+        }
+    }
+
+    /// Attaches the resilience layer: deployments go through the
+    /// configured pipeline (and can fail), and the optional storm breaker
+    /// monitors the global misspeculation rate.
+    #[must_use]
+    pub fn resilience(mut self, config: ResilienceConfig) -> Self {
+        self.resilience = Some(config);
+        self
+    }
+
+    /// Sets the transition-log retention policy (default:
+    /// [`TransitionLogPolicy::Full`]). Per-kind counters stay exact under
+    /// every policy.
+    #[must_use]
+    pub fn log_policy(mut self, policy: TransitionLogPolicy) -> Self {
+        self.log_policy = policy;
+        self
+    }
+
+    /// Enables the metrics registry: counters, gauges, and histograms
+    /// retrievable via [`ReactiveController::metrics`]. Without this (and
+    /// without a sink) the controller carries no telemetry and keeps the
+    /// allocation-free chunked fast path.
+    #[must_use]
+    pub fn metrics(mut self) -> Self {
+        self.metrics = true;
+        self
+    }
+
+    /// Streams observability events ([`crate::observe::ObsEvent`]) to
+    /// `sink`. The sink is shared: clones of the controller keep emitting
+    /// to the same destination.
+    #[must_use]
+    pub fn event_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Validates the assembled configuration and constructs the
+    /// controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InvalidParamsError`] naming the first offending field
+    /// in the parameters or resilience configuration.
+    pub fn build(self) -> Result<ReactiveController, InvalidParamsError> {
+        self.params.validate()?;
+        let resilience = match self.resilience {
+            Some(config) => Some(ResilienceState::new(config)?),
+            None => None,
+        };
+        let mut log = TransitionLog::default();
+        log.set_policy(self.log_policy);
+        let telemetry = if self.metrics || self.sink.is_some() {
+            Some(Box::new(Telemetry {
+                metrics: self.metrics.then(ControllerMetrics::new),
+                sink: self.sink,
+            }))
+        } else {
+            None
+        };
+        Ok(ReactiveController {
+            params: self.params,
+            branches: Vec::new(),
+            log,
+            events: 0,
+            instructions: 0,
+            correct: 0,
+            incorrect: 0,
+            resilience,
+            telemetry,
+        })
+    }
+}
+
+impl ReactiveController {
+    /// Starts building a controller — the sole non-deprecated
+    /// construction path. See [`ControllerBuilder`] for the full surface
+    /// and the legacy-to-builder migration table.
+    pub fn builder(params: ControllerParams) -> ControllerBuilder {
+        ControllerBuilder::new(params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::VecSink;
+    use crate::resilience::{BreakerConfig, ResilienceConfig};
+
+    #[test]
+    fn build_reports_offending_field() {
+        let mut p = ControllerParams::scaled();
+        p.monitor_sample_rate = 0;
+        let err = ReactiveController::builder(p).build().unwrap_err();
+        assert_eq!(err.field(), Some("monitor_sample_rate"));
+    }
+
+    #[test]
+    fn build_validates_resilience_too() {
+        let config = ResilienceConfig {
+            breaker: Some(BreakerConfig {
+                buckets: 0,
+                ..BreakerConfig::default_config()
+            }),
+            ..ResilienceConfig::reliable()
+        };
+        let err = ReactiveController::builder(ControllerParams::scaled())
+            .resilience(config)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), Some("breaker.buckets"));
+    }
+
+    #[test]
+    fn telemetry_absent_unless_requested() {
+        let plain = ReactiveController::builder(ControllerParams::scaled())
+            .build()
+            .unwrap();
+        assert!(plain.metrics().is_none());
+
+        let metered = ReactiveController::builder(ControllerParams::scaled())
+            .metrics()
+            .build()
+            .unwrap();
+        assert!(metered.metrics().is_some());
+
+        // A sink alone enables telemetry but not the registry.
+        let sunk = ReactiveController::builder(ControllerParams::scaled())
+            .event_sink(Arc::new(VecSink::new()))
+            .build()
+            .unwrap();
+        assert!(sunk.metrics().is_none());
+    }
+
+    #[test]
+    fn builder_is_reusable_via_clone() {
+        let b = ReactiveController::builder(ControllerParams::scaled())
+            .log_policy(TransitionLogPolicy::CountsOnly);
+        let a = b.clone().build().unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(a.stats(), c.stats());
+    }
+}

@@ -27,10 +27,12 @@
 //! # Examples
 //!
 //! ```
-//! use rsc_control::{ControllerParams, ReactiveController};
+//! use rsc_control::prelude::*;
 //! use rsc_trace::{BranchId, BranchRecord};
 //!
-//! let mut ctl = ReactiveController::new(ControllerParams::scaled()).unwrap();
+//! let mut ctl = ReactiveController::builder(ControllerParams::scaled())
+//!     .build()
+//!     .unwrap();
 //! for i in 0..500 {
 //!     ctl.observe(&BranchRecord {
 //!         branch: BranchId::new(0),
@@ -47,6 +49,7 @@ use crate::controller::{
     BranchCtl, EvictTracker, ReactiveController, State, TransitionEvent, TransitionKind,
 };
 use crate::counter::HysteresisCounter;
+use crate::observe::{ControllerMetrics, EventSink, ObsEvent, Telemetry};
 use crate::params::{ControllerParams, EvictionMode, InvalidParamsError, MonitorPolicy, Revisit};
 use crate::resilience::breaker::{BreakerConfig, BreakerPhase, StormBreaker};
 use crate::resilience::deployer::{DeployerSpec, FaultMode, FaultScope, FaultSpec, RetryPolicy};
@@ -54,11 +57,14 @@ use crate::resilience::{ResilienceConfig, ResilienceState};
 use crate::translog::{TransitionLog, TransitionLogPolicy};
 use rsc_trace::{BranchId, Direction};
 use std::fmt;
+use std::sync::Arc;
 
 /// Magic bytes opening every checkpoint.
 const MAGIC: [u8; 4] = *b"RSCK";
-/// Current (and only) format version.
-const VERSION: u8 = 1;
+/// Current format version. Version 2 appended the telemetry section
+/// (metric histogram state), so metrics survive checkpoint/restore;
+/// version 1 blobs are rejected.
+const VERSION: u8 = 2;
 
 /// An opaque serialized controller state.
 ///
@@ -850,6 +856,70 @@ fn read_branch(
     })
 }
 
+/// Telemetry section: only the metric state that cannot be re-derived is
+/// serialized — histogram buckets plus the interval bookkeeping. Counters
+/// and gauges are synthesized from controller state at export, and sinks
+/// are live I/O handles, so neither is written (reattach a sink with
+/// [`ReactiveController::restore_with_sink`]).
+fn write_telemetry(w: &mut Writer, telemetry: Option<&Telemetry>) {
+    let Some(cm) = telemetry.and_then(|t| t.metrics.as_ref()) else {
+        w.u8(0);
+        return;
+    };
+    w.u8(1);
+    for id in cm.histograms_in_order() {
+        let h = cm.registry.histogram_ref(id);
+        w.usize(h.buckets().len());
+        for &b in h.buckets() {
+            w.u64(b);
+        }
+        w.u64(h.count());
+        w.u64(h.sum());
+    }
+    w.opt_u64(cm.last_misspec_event);
+    w.usize(cm.enter_event.len());
+    for &e in &cm.enter_event {
+        w.u64(e);
+    }
+    w.opt_u64(cm.breaker_open_since);
+    w.opt_u64(cm.breaker_half_since);
+}
+
+fn read_telemetry(r: &mut Reader<'_>) -> Result<Option<Box<Telemetry>>, CheckpointError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => {
+            let mut cm = ControllerMetrics::new();
+            for id in cm.histograms_in_order() {
+                let n = r.len_prefix()?;
+                let mut buckets = Vec::with_capacity(n);
+                for _ in 0..n {
+                    buckets.push(r.u64()?);
+                }
+                let count = r.u64()?;
+                let sum = r.u64()?;
+                if !cm.registry.histogram_mut(id).set_raw(buckets, count, sum) {
+                    return Err(r.corrupt("histogram bucket count disagrees with this build"));
+                }
+            }
+            cm.last_misspec_event = r.opt_u64()?;
+            let n = r.len_prefix()?;
+            let mut enter_event = Vec::with_capacity(n);
+            for _ in 0..n {
+                enter_event.push(r.u64()?);
+            }
+            cm.enter_event = enter_event;
+            cm.breaker_open_since = r.opt_u64()?;
+            cm.breaker_half_since = r.opt_u64()?;
+            Ok(Some(Box::new(Telemetry {
+                metrics: Some(cm),
+                sink: None,
+            })))
+        }
+        _ => Err(r.corrupt("bad telemetry tag")),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Public API
 // ---------------------------------------------------------------------------
@@ -865,6 +935,10 @@ impl ReactiveController {
     /// amortization state), and every per-branch FSM. Restoring and
     /// replaying the rest of a trace is bit-identical to never having
     /// checkpointed.
+    /// If telemetry is enabled, histogram state is serialized too (so
+    /// metrics survive restore), and a [`ObsEvent::CheckpointSaved`] event
+    /// is emitted to the attached sink. The emitted event never alters the
+    /// serialized bytes: snapshotting is observationally transparent.
     pub fn snapshot(&self) -> ControllerCheckpoint {
         let mut w = Writer::new();
         write_params(&mut w, &self.params);
@@ -884,7 +958,15 @@ impl ReactiveController {
         for b in &self.branches {
             write_branch(&mut w, b);
         }
-        ControllerCheckpoint { bytes: w.buf }
+        write_telemetry(&mut w, self.telemetry.as_deref());
+        let cp = ControllerCheckpoint { bytes: w.buf };
+        if let Some(t) = &self.telemetry {
+            t.emit(&ObsEvent::CheckpointSaved {
+                events: self.events,
+                bytes: cp.len() as u64,
+            });
+        }
+        cp
     }
 
     /// Rebuilds a controller from a checkpoint produced by
@@ -932,6 +1014,7 @@ impl ReactiveController {
         for _ in 0..n_branches {
             branches.push(read_branch(&mut r, &params)?);
         }
+        let telemetry = read_telemetry(&mut r)?;
         if r.pos != bytes.len() {
             return Err(r.corrupt("trailing bytes after checkpoint"));
         }
@@ -944,7 +1027,34 @@ impl ReactiveController {
             correct,
             incorrect,
             resilience,
+            telemetry,
         })
+    }
+
+    /// Rebuilds a controller from a checkpoint and attaches `sink` for
+    /// observability events, emitting [`ObsEvent::CheckpointRestored`]
+    /// once the restore succeeds.
+    ///
+    /// Sinks are live I/O handles and are never serialized, so a restored
+    /// controller is sink-less by default; this is the one-call way to
+    /// resume a run without losing its event stream.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`restore`](ReactiveController::restore).
+    pub fn restore_with_sink(
+        cp: &ControllerCheckpoint,
+        sink: Arc<dyn EventSink>,
+    ) -> Result<Self, CheckpointError> {
+        let mut ctl = Self::restore(cp)?;
+        ctl.attach_event_sink(sink);
+        if let Some(t) = &ctl.telemetry {
+            t.emit(&ObsEvent::CheckpointRestored {
+                events: ctl.events,
+                bytes: cp.len() as u64,
+            });
+        }
+        Ok(ctl)
     }
 }
 
@@ -973,7 +1083,9 @@ mod tests {
 
     #[test]
     fn round_trips_a_plain_controller() {
-        let mut ctl = ReactiveController::new(ControllerParams::scaled()).unwrap();
+        let mut ctl = ReactiveController::builder(ControllerParams::scaled())
+            .build()
+            .unwrap();
         drive(&mut ctl, 5_000);
         let cp = ctl.snapshot();
         let restored = ReactiveController::restore(&cp).unwrap();
@@ -1009,8 +1121,10 @@ mod tests {
                 mass_evict_top_k: 2,
             }),
         };
-        let mut ctl =
-            ReactiveController::with_resilience(ControllerParams::scaled(), config).unwrap();
+        let mut ctl = ReactiveController::builder(ControllerParams::scaled())
+            .resilience(config)
+            .build()
+            .unwrap();
         drive(&mut ctl, 5_000);
         let cp = ctl.snapshot();
         let restored = ReactiveController::restore(&cp).unwrap();
@@ -1027,7 +1141,9 @@ mod tests {
 
     #[test]
     fn checkpoint_is_deterministic() {
-        let mut ctl = ReactiveController::new(ControllerParams::scaled()).unwrap();
+        let mut ctl = ReactiveController::builder(ControllerParams::scaled())
+            .build()
+            .unwrap();
         drive(&mut ctl, 2_000);
         assert_eq!(ctl.snapshot(), ctl.snapshot());
         assert_eq!(ctl.snapshot(), ctl.clone().snapshot());
@@ -1035,7 +1151,9 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic_and_version() {
-        let ctl = ReactiveController::new(ControllerParams::scaled()).unwrap();
+        let ctl = ReactiveController::builder(ControllerParams::scaled())
+            .build()
+            .unwrap();
         let mut bytes = ctl.snapshot().into_bytes();
         bytes[0] = b'X';
         let err = ReactiveController::restore(&ControllerCheckpoint::from_bytes(bytes.clone()))
@@ -1050,7 +1168,9 @@ mod tests {
 
     #[test]
     fn rejects_truncation_at_every_length() {
-        let mut ctl = ReactiveController::new(ControllerParams::scaled()).unwrap();
+        let mut ctl = ReactiveController::builder(ControllerParams::scaled())
+            .build()
+            .unwrap();
         drive(&mut ctl, 1_000);
         let bytes = ctl.snapshot().into_bytes();
         for cut in 0..bytes.len() {
@@ -1064,7 +1184,9 @@ mod tests {
 
     #[test]
     fn rejects_trailing_garbage() {
-        let ctl = ReactiveController::new(ControllerParams::scaled()).unwrap();
+        let ctl = ReactiveController::builder(ControllerParams::scaled())
+            .build()
+            .unwrap();
         let mut bytes = ctl.snapshot().into_bytes();
         bytes.push(0);
         let err =
@@ -1089,8 +1211,10 @@ mod tests {
             retry: RetryPolicy::default_policy(),
             breaker: None,
         };
-        let mut ctl =
-            ReactiveController::with_resilience(ControllerParams::scaled(), config).unwrap();
+        let mut ctl = ReactiveController::builder(ControllerParams::scaled())
+            .resilience(config)
+            .build()
+            .unwrap();
         drive(&mut ctl, 3_000);
         let mut restored = ReactiveController::restore(&ctl.snapshot()).unwrap();
         let req = DeployRequest {

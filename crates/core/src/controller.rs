@@ -20,6 +20,7 @@
 //! repaired code is deployed.
 
 use crate::counter::HysteresisCounter;
+use crate::observe::{EventSink, MetricsRegistry, Telemetry};
 use crate::params::{ControllerParams, EvictionMode, InvalidParamsError, MonitorPolicy, Revisit};
 use crate::resilience::breaker::BreakerSignal;
 use crate::resilience::deployer::{DeployKind, DeployOutcome, DeployRequest};
@@ -27,6 +28,7 @@ use crate::resilience::{ResilienceConfig, ResilienceState, BREAKER_BRANCH};
 use crate::stats::ControlStats;
 use crate::translog::{TransitionLog, TransitionLogPolicy};
 use rsc_trace::{BranchId, BranchRecord, Direction};
+use std::sync::Arc;
 
 /// What the controller did with one dynamic branch execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +111,23 @@ impl TransitionKind {
             TransitionKind::BreakerOpened => 8,
             TransitionKind::BreakerHalfOpen => 9,
             TransitionKind::BreakerClosed => 10,
+        }
+    }
+
+    /// Stable snake_case name used in metric labels and JSONL events.
+    pub const fn name(self) -> &'static str {
+        match self {
+            TransitionKind::EnterBiased => "enter_biased",
+            TransitionKind::ExitBiased => "exit_biased",
+            TransitionKind::EnterUnbiased => "enter_unbiased",
+            TransitionKind::RevisitMonitor => "revisit_monitor",
+            TransitionKind::Disabled => "disabled",
+            TransitionKind::DeployFailed => "deploy_failed",
+            TransitionKind::ForcedDisable => "forced_disable",
+            TransitionKind::EnterAbandoned => "enter_abandoned",
+            TransitionKind::BreakerOpened => "breaker_opened",
+            TransitionKind::BreakerHalfOpen => "breaker_half_open",
+            TransitionKind::BreakerClosed => "breaker_closed",
         }
     }
 }
@@ -343,20 +362,23 @@ impl BranchCtl {
 /// The reactive controller: one FSM per static branch plus global
 /// statistics and a transition log.
 ///
+/// Construct with [`ReactiveController::builder`]; the legacy
+/// constructors are deprecated shims over it.
+///
 /// # Examples
 ///
 /// ```
-/// use rsc_control::{ControllerParams, ReactiveController};
+/// use rsc_control::prelude::*;
 /// use rsc_trace::{spec2000, InputId};
 ///
 /// let pop = spec2000::benchmark("gzip").unwrap().population(200_000);
-/// let mut ctl = ReactiveController::new(ControllerParams::scaled())?;
+/// let mut ctl = ReactiveController::builder(ControllerParams::scaled()).build()?;
 /// for r in pop.trace(InputId::Eval, 200_000, 1) {
 ///     ctl.observe(&r);
 /// }
 /// let stats = ctl.stats();
 /// assert!(stats.correct > stats.incorrect);
-/// # Ok::<(), rsc_control::InvalidParamsError>(())
+/// # Ok::<(), InvalidParamsError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct ReactiveController {
@@ -371,6 +393,10 @@ pub struct ReactiveController {
     /// to the pre-resilience implementation (and on the allocation-free
     /// chunked fast path).
     pub(crate) resilience: Option<ResilienceState>,
+    /// Opt-in observability (metrics registry and/or event sink),
+    /// assembled by the builder. `None` keeps the disabled fast path a
+    /// single pointer-sized check.
+    pub(crate) telemetry: Option<Box<Telemetry>>,
 }
 
 /// What a call to [`ReactiveController::observe_chunk`] did, in aggregate.
@@ -392,18 +418,9 @@ impl ReactiveController {
     /// # Errors
     ///
     /// Returns an error if the parameters are inconsistent.
+    #[deprecated(note = "use `ReactiveController::builder(params).build()`")]
     pub fn new(params: ControllerParams) -> Result<Self, InvalidParamsError> {
-        params.validate()?;
-        Ok(ReactiveController {
-            params,
-            branches: Vec::new(),
-            log: TransitionLog::default(),
-            events: 0,
-            instructions: 0,
-            correct: 0,
-            incorrect: 0,
-            resilience: None,
-        })
+        Self::builder(params).build()
     }
 
     /// Creates a controller with the resilience layer attached: deployments
@@ -414,13 +431,12 @@ impl ReactiveController {
     ///
     /// Returns an error if the controller parameters or the resilience
     /// configuration are inconsistent.
+    #[deprecated(note = "use `ReactiveController::builder(params).resilience(config).build()`")]
     pub fn with_resilience(
         params: ControllerParams,
         config: ResilienceConfig,
     ) -> Result<Self, InvalidParamsError> {
-        let mut ctl = Self::new(params)?;
-        ctl.resilience = Some(ResilienceState::new(config)?);
-        Ok(ctl)
+        Self::builder(params).resilience(config).build()
     }
 
     /// The resilience configuration, if the layer is attached.
@@ -435,6 +451,8 @@ impl ReactiveController {
     /// counters keep counting either way.
     ///
     /// [`set_transition_log_policy`]: ReactiveController::set_transition_log_policy
+    #[deprecated(note = "configure the log policy at construction: \
+                `ReactiveController::builder(params).log_policy(...)`")]
     pub fn set_record_transitions(&mut self, record: bool) {
         self.log.set_policy(if record {
             TransitionLogPolicy::Full
@@ -444,6 +462,8 @@ impl ReactiveController {
     }
 
     /// Sets the transition-log retention policy (see [`TransitionLogPolicy`]).
+    #[deprecated(note = "configure the log policy at construction: \
+                `ReactiveController::builder(params).log_policy(...)`")]
     pub fn set_transition_log_policy(&mut self, policy: TransitionLogPolicy) {
         self.log.set_policy(policy);
     }
@@ -482,13 +502,17 @@ impl ReactiveController {
         instr: u64,
         direction: Option<Direction>,
     ) {
-        self.log.push(TransitionEvent {
+        let ev = TransitionEvent {
             branch,
             kind,
             event_index: self.events,
             instr,
             direction,
-        });
+        };
+        self.log.push(ev);
+        if let Some(t) = &mut self.telemetry {
+            t.on_transition(&ev);
+        }
     }
 
     /// Forgets every classification, returning all touched branches to a
@@ -517,7 +541,7 @@ impl ReactiveController {
         instr: u64,
         attempt: u32,
     ) -> DeployOutcome {
-        match &mut self.resilience {
+        let outcome = match &mut self.resilience {
             Some(rs) => rs.deployer.request(&DeployRequest {
                 branch,
                 kind,
@@ -525,7 +549,11 @@ impl ReactiveController {
                 attempt,
             }),
             None => DeployOutcome::Deployed,
+        };
+        if let Some(t) = &mut self.telemetry {
+            t.on_deploy(branch, kind, attempt, instr, outcome);
         }
+        outcome
     }
 
     /// The unbiased parking state per the revisit policy.
@@ -624,6 +652,11 @@ impl ReactiveController {
             .is_some_and(|rs| rs.breaker.is_some());
         if has_breaker {
             self.breaker_tick(r, decision);
+        }
+        if decision == SpecDecision::Incorrect {
+            if let Some(m) = self.telemetry.as_mut().and_then(|t| t.metrics.as_mut()) {
+                m.on_misspeculation(self.events);
+            }
         }
         decision
     }
@@ -1096,10 +1129,11 @@ impl ReactiveController {
     /// deadlines, sampled eviction) fall back to `observe`.
     pub fn observe_chunk(&mut self, records: &[BranchRecord]) -> ChunkSummary {
         // The resilience layer adds rare-arm states and a global breaker
-        // that the fast arms do not model: delegate to the per-event path
-        // (still allocation-free — the summary falls out of counter
-        // deltas) and keep the fast path exact for the common case.
-        if self.resilience.is_some() {
+        // that the fast arms do not model, and telemetry hooks fire from
+        // the per-event path: delegate to it (still allocation-free — the
+        // summary falls out of counter deltas) and keep the fast path
+        // exact for the common, fully-disabled case.
+        if self.resilience.is_some() || self.telemetry.is_some() {
             let start_events = self.events;
             let start_correct = self.correct;
             let start_incorrect = self.incorrect;
@@ -1312,9 +1346,87 @@ impl ReactiveController {
         s
     }
 
-    /// The transition log (empty if recording is disabled).
+    /// Exports the metrics registry, or `None` unless the controller was
+    /// built with [`metrics`](crate::ControllerBuilder::metrics).
+    ///
+    /// Counters and gauges are synthesized from the controller's exact
+    /// internal state at this call (nothing is double-counted on the hot
+    /// path); histograms carry the observations accumulated since
+    /// construction (or checkpoint restore). The returned registry is a
+    /// self-contained snapshot: render it with
+    /// [`MetricsRegistry::render_prometheus`] or
+    /// [`MetricsRegistry::render_json`].
+    pub fn metrics(&self) -> Option<MetricsRegistry> {
+        let cm = self.telemetry.as_ref()?.metrics.as_ref()?;
+        let mut reg = cm.registry.clone();
+        let ids = &cm.ids;
+        let s = self.stats();
+        reg.set_counter(ids.events, s.events);
+        reg.set_counter(ids.instructions, s.instructions);
+        reg.set_counter(ids.correct, s.correct);
+        reg.set_counter(ids.incorrect, s.incorrect);
+        for kind in TransitionKind::ALL {
+            reg.set_counter(ids.transitions[kind.index()], self.log.count(kind));
+        }
+        // With the resilience layer every pipeline request is counted at
+        // the deployer; without one, deployment is implicit and every
+        // re-optimization request is exactly one deployment.
+        let deploy_requests = match &self.resilience {
+            Some(rs) => rs.deployer.requests(),
+            None => s.reopt_requests,
+        };
+        reg.set_counter(ids.deploy_requests, deploy_requests);
+        reg.set_counter(ids.deploy_failures, s.deploy_failures);
+        reg.set_counter(ids.deploy_retries, s.deploy_retries);
+        reg.set_counter(ids.forced_disables, s.forced_disables);
+        reg.set_counter(ids.suppressed_enters, s.suppressed_enters);
+        reg.set_gauge(ids.branches_tracked, s.touched as f64);
+        reg.set_gauge(ids.branches_disabled, s.disabled_branches as f64);
+        let phase = self
+            .resilience
+            .as_ref()
+            .and_then(|rs| rs.breaker.as_ref())
+            .map_or(0, |b| b.phase().gauge_code());
+        reg.set_gauge(ids.breaker_state, f64::from(phase));
+        Some(reg)
+    }
+
+    /// Attaches (or replaces) the event sink after construction.
+    ///
+    /// Normally sinks are attached via
+    /// [`event_sink`](crate::ControllerBuilder::event_sink); this exists
+    /// for controllers rebuilt from a checkpoint, where the sink cannot be
+    /// serialized (see
+    /// [`restore_with_sink`](ReactiveController::restore_with_sink)).
+    pub fn attach_event_sink(&mut self, sink: Arc<dyn EventSink>) {
+        match &mut self.telemetry {
+            Some(t) => t.sink = Some(sink),
+            None => {
+                self.telemetry = Some(Box::new(Telemetry {
+                    metrics: None,
+                    sink: Some(sink),
+                }));
+            }
+        }
+    }
+
+    /// The attached event sink, if any.
+    pub fn event_sink(&self) -> Option<&Arc<dyn EventSink>> {
+        self.telemetry.as_ref()?.sink.as_ref()
+    }
+
+    /// The retained transition events, oldest first — a convenience view
+    /// of [`transition_log`](Self::transition_log).
+    ///
+    /// Retention follows the configured [`TransitionLogPolicy`]:
+    /// `Full` returns every transition since construction, `CountsOnly`
+    /// always returns an empty slice, and `RingBuffer(n)` returns at most
+    /// the latest `n` events — anything older has been truncated and
+    /// cannot be recovered, though the per-kind counters on
+    /// [`transition_log`](Self::transition_log) remain exact across
+    /// truncation.
     pub fn transitions(&self) -> &[TransitionEvent] {
-        self.log.as_slice()
+        self.transition_log().as_slice()
     }
 
     /// Times `branch` entered the biased state.
@@ -1453,7 +1565,7 @@ mod tests {
 
     #[test]
     fn biased_branch_is_selected_after_monitoring() {
-        let mut ctl = ReactiveController::new(tiny()).unwrap();
+        let mut ctl = ReactiveController::builder(tiny()).build().unwrap();
         let mut instr = 0;
         drive(&mut ctl, 0, true, 10, &mut instr);
         assert!(ctl.is_speculating(BranchId::new(0)));
@@ -1465,7 +1577,7 @@ mod tests {
 
     #[test]
     fn unbiased_branch_is_not_selected() {
-        let mut ctl = ReactiveController::new(tiny()).unwrap();
+        let mut ctl = ReactiveController::builder(tiny()).build().unwrap();
         let mut instr = 0;
         for i in 0..10u64 {
             instr += 5;
@@ -1479,7 +1591,7 @@ mod tests {
 
     #[test]
     fn monitoring_executions_are_not_speculated() {
-        let mut ctl = ReactiveController::new(tiny()).unwrap();
+        let mut ctl = ReactiveController::builder(tiny()).build().unwrap();
         for i in 0..9u64 {
             let d = ctl.observe(&rec(0, true, 5 * (i + 1)));
             assert_eq!(d, SpecDecision::NotSpeculated);
@@ -1488,7 +1600,7 @@ mod tests {
 
     #[test]
     fn eviction_after_sustained_misspeculation() {
-        let mut ctl = ReactiveController::new(tiny()).unwrap();
+        let mut ctl = ReactiveController::builder(tiny()).build().unwrap();
         let mut instr = 0;
         drive(&mut ctl, 0, true, 10, &mut instr); // select taken
                                                   // Reverse the behavior: 100/50 = 2 misspecs to reach threshold 100.
@@ -1502,7 +1614,7 @@ mod tests {
 
     #[test]
     fn short_bursts_are_tolerated() {
-        let mut ctl = ReactiveController::new(tiny()).unwrap();
+        let mut ctl = ReactiveController::builder(tiny()).build().unwrap();
         let mut instr = 0;
         drive(&mut ctl, 0, true, 10, &mut instr);
         // One misspec (counter 50), then plenty of correct ones.
@@ -1515,7 +1627,7 @@ mod tests {
 
     #[test]
     fn revisit_reselects_late_biased_branch() {
-        let mut ctl = ReactiveController::new(tiny()).unwrap();
+        let mut ctl = ReactiveController::builder(tiny()).build().unwrap();
         let mut instr = 0;
         // Unbiased during first monitor window.
         for i in 0..10u64 {
@@ -1534,7 +1646,7 @@ mod tests {
     #[test]
     fn no_revisit_strands_unbiased_branches() {
         let params = tiny().without_revisit();
-        let mut ctl = ReactiveController::new(params).unwrap();
+        let mut ctl = ReactiveController::builder(params).build().unwrap();
         let mut instr = 0;
         for i in 0..10u64 {
             instr += 5;
@@ -1549,7 +1661,7 @@ mod tests {
     #[test]
     fn no_eviction_keeps_misspeculating() {
         let params = tiny().without_eviction();
-        let mut ctl = ReactiveController::new(params).unwrap();
+        let mut ctl = ReactiveController::builder(params).build().unwrap();
         let mut instr = 0;
         drive(&mut ctl, 0, true, 10, &mut instr);
         drive(&mut ctl, 0, false, 500, &mut instr);
@@ -1560,7 +1672,7 @@ mod tests {
 
     #[test]
     fn oscillation_cap_disables_branch() {
-        let mut ctl = ReactiveController::new(tiny()).unwrap();
+        let mut ctl = ReactiveController::builder(tiny()).build().unwrap();
         let mut instr = 0;
         for round in 0..6u32 {
             // Monitor passes (all taken), then reverse until evicted.
@@ -1584,7 +1696,7 @@ mod tests {
     #[test]
     fn selection_latency_defers_speculation() {
         let params = tiny().with_latency(1000);
-        let mut ctl = ReactiveController::new(params).unwrap();
+        let mut ctl = ReactiveController::builder(params).build().unwrap();
         let mut instr = 0;
         drive(&mut ctl, 0, true, 10, &mut instr); // decision at instr=50
                                                   // Still within latency window: not speculated.
@@ -1598,7 +1710,7 @@ mod tests {
     #[test]
     fn eviction_latency_keeps_counting_misspecs() {
         let params = tiny().with_latency(1000);
-        let mut ctl = ReactiveController::new(params).unwrap();
+        let mut ctl = ReactiveController::builder(params).build().unwrap();
         let mut instr = 0;
         drive(&mut ctl, 0, true, 10, &mut instr);
         // Deploy the optimized code.
@@ -1617,7 +1729,7 @@ mod tests {
 
     #[test]
     fn transition_log_captures_lifecycle() {
-        let mut ctl = ReactiveController::new(tiny()).unwrap();
+        let mut ctl = ReactiveController::builder(tiny()).build().unwrap();
         let mut instr = 0;
         drive(&mut ctl, 0, true, 10, &mut instr);
         drive(&mut ctl, 0, false, 2, &mut instr);
@@ -1631,8 +1743,10 @@ mod tests {
 
     #[test]
     fn transition_recording_can_be_disabled() {
-        let mut ctl = ReactiveController::new(tiny()).unwrap();
-        ctl.set_record_transitions(false);
+        let mut ctl = ReactiveController::builder(tiny())
+            .log_policy(TransitionLogPolicy::CountsOnly)
+            .build()
+            .unwrap();
         let mut instr = 0;
         drive(&mut ctl, 0, true, 10, &mut instr);
         assert!(ctl.transitions().is_empty());
@@ -1666,12 +1780,12 @@ mod tests {
     fn observe_chunk_matches_observe_across_lifecycle() {
         let stream = lifecycle_stream();
         for params in [tiny(), tiny().with_latency(40), tiny().without_eviction()] {
-            let mut per_event = ReactiveController::new(params).unwrap();
+            let mut per_event = ReactiveController::builder(params).build().unwrap();
             for r in &stream {
                 per_event.observe(r);
             }
             for chunk_len in [1usize, 3, 16, 1000] {
-                let mut chunked = ReactiveController::new(params).unwrap();
+                let mut chunked = ReactiveController::builder(params).build().unwrap();
                 let mut total = ChunkSummary::default();
                 for chunk in stream.chunks(chunk_len) {
                     let s = chunked.observe_chunk(chunk);
@@ -1697,9 +1811,11 @@ mod tests {
     #[test]
     fn observe_chunk_respects_ring_buffer_policy() {
         let stream = lifecycle_stream();
-        let mut full = ReactiveController::new(tiny()).unwrap();
-        let mut ring = ReactiveController::new(tiny()).unwrap();
-        ring.set_transition_log_policy(crate::translog::TransitionLogPolicy::RingBuffer(3));
+        let mut full = ReactiveController::builder(tiny()).build().unwrap();
+        let mut ring = ReactiveController::builder(tiny())
+            .log_policy(TransitionLogPolicy::RingBuffer(3))
+            .build()
+            .unwrap();
         for chunk in stream.chunks(64) {
             full.observe_chunk(chunk);
             ring.observe_chunk(chunk);
@@ -1719,7 +1835,7 @@ mod tests {
     #[test]
     fn monitor_sampling_classifies_from_fewer_samples() {
         let params = tiny().with_monitor_sampling(2);
-        let mut ctl = ReactiveController::new(params).unwrap();
+        let mut ctl = ReactiveController::builder(params).build().unwrap();
         let mut instr = 0;
         // Alternate so that sampled executions (every 2nd, starting with
         // the first) are all taken while unsampled ones are not-taken.
@@ -1739,7 +1855,7 @@ mod tests {
             samples: 10,
             bias_threshold: 0.98,
         };
-        let mut ctl = ReactiveController::new(params).unwrap();
+        let mut ctl = ReactiveController::builder(params).build().unwrap();
         let mut instr = 0;
         drive(&mut ctl, 0, true, 10, &mut instr); // select
                                                   // Degrade to ~50%: the first full sampling window must evict.
@@ -1761,7 +1877,7 @@ mod tests {
             samples: 10,
             bias_threshold: 0.98,
         };
-        let mut ctl = ReactiveController::new(params).unwrap();
+        let mut ctl = ReactiveController::builder(params).build().unwrap();
         let mut instr = 0;
         drive(&mut ctl, 0, true, 10, &mut instr);
         drive(&mut ctl, 0, true, 200, &mut instr);
@@ -1771,7 +1887,7 @@ mod tests {
 
     #[test]
     fn stats_reflect_mixed_population() {
-        let mut ctl = ReactiveController::new(tiny()).unwrap();
+        let mut ctl = ReactiveController::builder(tiny()).build().unwrap();
         let mut instr = 0;
         // Branch 0 biased; branch 1 unbiased; branch 2 never executes.
         drive(&mut ctl, 0, true, 30, &mut instr);
@@ -1791,7 +1907,7 @@ mod tests {
     fn rejects_invalid_params() {
         let mut p = tiny();
         p.monitor_period = 0;
-        assert!(ReactiveController::new(p).is_err());
+        assert!(ReactiveController::builder(p).build().is_err());
     }
 
     #[test]
@@ -1802,7 +1918,7 @@ mod tests {
         let params = tiny()
             .with_monitor_period(10_000)
             .with_confidence_monitor(2.58, 16, 10_000);
-        let mut ctl = ReactiveController::new(params).unwrap();
+        let mut ctl = ReactiveController::builder(params).build().unwrap();
         let mut instr = 0;
         drive(&mut ctl, 0, true, 2_000, &mut instr);
         assert!(ctl.is_speculating(BranchId::new(0)));
@@ -1813,7 +1929,7 @@ mod tests {
     #[test]
     fn confidence_monitor_rejects_unbiased_early() {
         let params = tiny().with_confidence_monitor(2.58, 16, 10_000);
-        let mut ctl = ReactiveController::new(params).unwrap();
+        let mut ctl = ReactiveController::builder(params).build().unwrap();
         let mut instr = 0;
         for i in 0..400u64 {
             instr += 5;
@@ -1829,7 +1945,7 @@ mod tests {
         // True bias right at the boundary: undecidable, so the max forces
         // a point-estimate decision.
         let params = tiny().with_confidence_monitor(2.58, 16, 64);
-        let mut ctl = ReactiveController::new(params).unwrap();
+        let mut ctl = ReactiveController::builder(params).build().unwrap();
         let mut instr = 0;
         // 63 taken + 1 not-taken in the first 64: point bias 0.984 < 0.995
         // at the cap -> unbiased.
@@ -1842,7 +1958,7 @@ mod tests {
 
     #[test]
     fn flush_forgets_classifications_but_keeps_stats() {
-        let mut ctl = ReactiveController::new(tiny()).unwrap();
+        let mut ctl = ReactiveController::builder(tiny()).build().unwrap();
         let mut instr = 0;
         drive(&mut ctl, 0, true, 50, &mut instr);
         assert!(ctl.is_speculating(BranchId::new(0)));
@@ -1895,9 +2011,11 @@ mod tests {
 
         #[test]
         fn reliable_layer_is_transparent() {
-            let mut plain = ReactiveController::new(tiny()).unwrap();
-            let mut layered =
-                ReactiveController::with_resilience(tiny(), ResilienceConfig::reliable()).unwrap();
+            let mut plain = ReactiveController::builder(tiny()).build().unwrap();
+            let mut layered = ReactiveController::builder(tiny())
+                .resilience(ResilienceConfig::reliable())
+                .build()
+                .unwrap();
             let mut instr = 0;
             for _ in 0..5 {
                 drive(&mut plain, 0, true, 10, &mut instr);
@@ -1928,7 +2046,10 @@ mod tests {
                 FaultScope::OptimizeOnly,
                 4,
             );
-            let mut ctl = ReactiveController::with_resilience(tiny(), config).unwrap();
+            let mut ctl = ReactiveController::builder(tiny())
+                .resilience(config)
+                .build()
+                .unwrap();
             let mut instr = 0;
             drive(&mut ctl, 0, true, 10, &mut instr); // decision at instr 50, deploy fails
             assert!(!ctl.is_speculating(BranchId::new(0)));
@@ -1952,7 +2073,10 @@ mod tests {
         #[test]
         fn optimize_abandoned_after_retries_run_out() {
             let config = always_fail(FaultScope::OptimizeOnly, 4);
-            let mut ctl = ReactiveController::with_resilience(tiny(), config).unwrap();
+            let mut ctl = ReactiveController::builder(tiny())
+                .resilience(config)
+                .build()
+                .unwrap();
             let mut instr = 0;
             // Selection at instr 50; retries at >= 80, >= 130 (backoff 40),
             // >= 220 (backoff 80) all fail; the enter is then abandoned.
@@ -1986,7 +2110,10 @@ mod tests {
         #[test]
         fn failed_repair_keeps_stale_code_speculating_then_force_disables() {
             let config = always_fail(FaultScope::RepairOnly, 2);
-            let mut ctl = ReactiveController::with_resilience(tiny(), config).unwrap();
+            let mut ctl = ReactiveController::builder(tiny())
+                .resilience(config)
+                .build()
+                .unwrap();
             let mut instr = 0;
             drive(&mut ctl, 0, true, 10, &mut instr); // optimize succeeds
             assert!(ctl.is_speculating(BranchId::new(0)));
@@ -2041,7 +2168,10 @@ mod tests {
         #[test]
         fn open_breaker_suppresses_new_deployments() {
             let params = tiny().without_eviction();
-            let mut ctl = ReactiveController::with_resilience(params, small_breaker(0)).unwrap();
+            let mut ctl = ReactiveController::builder(params)
+                .resilience(small_breaker(0))
+                .build()
+                .unwrap();
             let mut instr = 0;
             drive(&mut ctl, 0, true, 10, &mut instr); // branch 0 biased
             drive(&mut ctl, 0, false, 10, &mut instr); // storm: 100% misses
@@ -2064,7 +2194,10 @@ mod tests {
         #[test]
         fn breaker_mass_evicts_worst_offender_on_open() {
             let params = tiny().without_eviction();
-            let mut ctl = ReactiveController::with_resilience(params, small_breaker(1)).unwrap();
+            let mut ctl = ReactiveController::builder(params)
+                .resilience(small_breaker(1))
+                .build()
+                .unwrap();
             let mut instr = 0;
             drive(&mut ctl, 0, true, 10, &mut instr);
             assert!(ctl.is_speculating(BranchId::new(0)));
@@ -2086,7 +2219,10 @@ mod tests {
         #[test]
         fn breaker_half_opens_then_closes_on_recovery() {
             let params = tiny().without_eviction();
-            let mut ctl = ReactiveController::with_resilience(params, small_breaker(1)).unwrap();
+            let mut ctl = ReactiveController::builder(params)
+                .resilience(small_breaker(1))
+                .build()
+                .unwrap();
             let mut instr = 0;
             drive(&mut ctl, 0, true, 10, &mut instr);
             drive(&mut ctl, 0, false, 10, &mut instr); // opens + mass-evicts
@@ -2123,12 +2259,18 @@ mod tests {
                     mass_evict_top_k: 2,
                 }),
             };
-            let mut per_event = ReactiveController::with_resilience(tiny(), config).unwrap();
+            let mut per_event = ReactiveController::builder(tiny())
+                .resilience(config)
+                .build()
+                .unwrap();
             for r in &stream {
                 per_event.observe(r);
             }
             for chunk_len in [1usize, 7, 64, 1000] {
-                let mut chunked = ReactiveController::with_resilience(tiny(), config).unwrap();
+                let mut chunked = ReactiveController::builder(tiny())
+                    .resilience(config)
+                    .build()
+                    .unwrap();
                 let mut total = ChunkSummary::default();
                 for chunk in stream.chunks(chunk_len) {
                     let s = chunked.observe_chunk(chunk);
@@ -2152,10 +2294,16 @@ mod tests {
             ring: usize,
             workload: impl Fn(&mut ReactiveController),
         ) {
-            let mut full = ReactiveController::with_resilience(params, config).unwrap();
+            let mut full = ReactiveController::builder(params)
+                .resilience(config)
+                .build()
+                .unwrap();
             workload(&mut full);
-            let mut ringed = ReactiveController::with_resilience(params, config).unwrap();
-            ringed.set_transition_log_policy(TransitionLogPolicy::RingBuffer(ring));
+            let mut ringed = ReactiveController::builder(params)
+                .resilience(config)
+                .log_policy(TransitionLogPolicy::RingBuffer(ring))
+                .build()
+                .unwrap();
             workload(&mut ringed);
 
             assert!(
@@ -2228,7 +2376,7 @@ mod tests {
 
     #[test]
     fn flush_resets_oscillation_cap_budget() {
-        let mut ctl = ReactiveController::new(tiny()).unwrap();
+        let mut ctl = ReactiveController::builder(tiny()).build().unwrap();
         let mut instr = 0;
         // Exhaust the cap (5 entries) via forced oscillation.
         for _ in 0..6 {
@@ -2242,5 +2390,168 @@ mod tests {
         drive(&mut ctl, 0, true, 10, &mut instr);
         assert!(ctl.is_speculating(BranchId::new(0)));
         assert!(!ctl.is_disabled(BranchId::new(0)));
+    }
+
+    /// The deprecated constructors and setters must stay behaviorally
+    /// identical to their builder replacements until they are removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_builder() {
+        let stream = lifecycle_stream();
+        let mut legacy = ReactiveController::new(tiny()).unwrap();
+        legacy.set_record_transitions(false);
+        let mut built = ReactiveController::builder(tiny())
+            .log_policy(TransitionLogPolicy::CountsOnly)
+            .build()
+            .unwrap();
+        for r in &stream {
+            legacy.observe(r);
+            built.observe(r);
+        }
+        assert_eq!(legacy.stats(), built.stats());
+        assert_eq!(legacy.transitions(), built.transitions());
+
+        let config = crate::resilience::ResilienceConfig::reliable();
+        let legacy = ReactiveController::with_resilience(tiny(), config).unwrap();
+        let built = ReactiveController::builder(tiny())
+            .resilience(config)
+            .build()
+            .unwrap();
+        assert_eq!(legacy.resilience_config(), built.resilience_config());
+    }
+
+    /// Telemetry must never perturb the controller: same trace, same
+    /// stats, same transitions, with the registry and sink agreeing with
+    /// the log.
+    #[test]
+    fn telemetry_is_behavior_preserving_and_consistent() {
+        use crate::observe::{ObsEvent, VecSink};
+
+        let stream = lifecycle_stream();
+        let mut plain = ReactiveController::builder(tiny()).build().unwrap();
+        let sink = Arc::new(VecSink::new());
+        let mut metered = ReactiveController::builder(tiny())
+            .metrics()
+            .event_sink(sink.clone())
+            .build()
+            .unwrap();
+        for r in &stream {
+            plain.observe(r);
+        }
+        for chunk in stream.chunks(64) {
+            metered.observe_chunk(chunk);
+        }
+        assert_eq!(plain.stats(), metered.stats());
+        assert_eq!(plain.transitions(), metered.transitions());
+
+        let reg = metered.metrics().expect("metrics enabled");
+        let s = metered.stats();
+        assert_eq!(reg.counter_value("rsc_events_total"), Some(s.events));
+        assert_eq!(
+            reg.counter_value("rsc_spec_incorrect_total"),
+            Some(s.incorrect)
+        );
+        for kind in TransitionKind::ALL {
+            assert_eq!(
+                reg.counter_value_labeled("rsc_transitions_total", Some(("kind", kind.name()))),
+                Some(metered.transition_log().count(kind)),
+                "{kind:?}"
+            );
+        }
+        // Every misspeculation lands in the interval histogram, and every
+        // completed biased episode in the residency histogram.
+        let h = reg.histogram_value("rsc_misspec_interval_events").unwrap();
+        assert_eq!(h.count(), s.incorrect);
+        let resid = reg.histogram_value("rsc_biased_residency_events").unwrap();
+        assert_eq!(
+            resid.count(),
+            metered.transition_log().count(TransitionKind::ExitBiased)
+        );
+
+        // The sink saw exactly the logged transitions (full policy), plus
+        // one Deploy event per re-optimization request — without a
+        // resilience layer deployment is infallible, so every one of them
+        // reports success on the first attempt.
+        let events = sink.snapshot();
+        let sunk: Vec<TransitionEvent> = events
+            .iter()
+            .filter_map(|e| match e {
+                ObsEvent::Transition(t) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sunk.as_slice(), metered.transitions());
+        let deploys: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                ObsEvent::Deploy {
+                    attempt, deployed, ..
+                } => Some((*attempt, *deployed)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(deploys.len() as u64, s.reopt_requests);
+        assert!(deploys.iter().all(|&(attempt, ok)| attempt == 0 && ok));
+        assert_eq!(events.len(), sunk.len() + deploys.len());
+    }
+
+    /// With a resilience layer attached, deploy attempts stream to the
+    /// sink and the retry-depth histogram counts every attempt.
+    #[test]
+    fn telemetry_observes_deployments() {
+        use crate::observe::{ObsEvent, VecSink};
+        use crate::resilience::{
+            DeployerSpec, FaultMode, FaultScope, FaultSpec, ResilienceConfig, RetryPolicy,
+        };
+
+        let config = ResilienceConfig {
+            deployer: DeployerSpec::Faulty(FaultSpec {
+                seed: 7,
+                mode: FaultMode::Burst {
+                    period: 1_000_000,
+                    len: 1,
+                },
+                scope: FaultScope::OptimizeOnly,
+                wasted: 10,
+            }),
+            retry: RetryPolicy {
+                max_attempts: 4,
+                base_backoff: 20,
+                max_backoff: 80,
+            },
+            breaker: None,
+        };
+        let sink = Arc::new(VecSink::new());
+        let mut ctl = ReactiveController::builder(tiny())
+            .resilience(config)
+            .metrics()
+            .event_sink(sink.clone())
+            .build()
+            .unwrap();
+        let mut instr = 0;
+        drive(&mut ctl, 0, true, 10, &mut instr); // first deploy fails
+        ctl.observe(&rec(0, true, 80)); // retry deploys
+        let s = ctl.stats();
+        assert_eq!(s.deploy_failures, 1);
+        assert_eq!(s.deploy_retries, 1);
+
+        let deploys: Vec<(u32, bool)> = sink
+            .snapshot()
+            .iter()
+            .filter_map(|e| match e {
+                ObsEvent::Deploy {
+                    attempt, deployed, ..
+                } => Some((*attempt, *deployed)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(deploys, vec![(0, false), (1, true)]);
+
+        let reg = ctl.metrics().unwrap();
+        assert_eq!(reg.counter_value("rsc_deploy_requests_total"), Some(2));
+        assert_eq!(reg.counter_value("rsc_deploy_failures_total"), Some(1));
+        let depth = reg.histogram_value("rsc_retry_depth").unwrap();
+        assert_eq!(depth.count(), 2);
+        assert_eq!(depth.sum(), 1, "one first try plus one depth-1 retry");
     }
 }

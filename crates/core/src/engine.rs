@@ -1,5 +1,6 @@
 //! Convenience drivers: run a controller over traces and collect results.
 
+use crate::builder::ControllerBuilder;
 use crate::controller::{ReactiveController, TransitionEvent};
 use crate::params::{ControllerParams, InvalidParamsError};
 use crate::stats::ControlStats;
@@ -43,13 +44,43 @@ pub fn run_trace<I: IntoIterator<Item = BranchRecord>>(
     params: ControllerParams,
     trace: I,
 ) -> Result<RunResult, InvalidParamsError> {
-    let mut ctl = ReactiveController::new(params)?;
+    let (result, _) = run_trace_with(ReactiveController::builder(params), trace)?;
+    Ok(result)
+}
+
+/// Runs a fully configured [`ControllerBuilder`] over a record stream and
+/// returns the finished controller alongside the summary, so callers can
+/// export telemetry ([`ReactiveController::metrics`]), snapshot it, or
+/// keep observing.
+///
+/// # Errors
+///
+/// Returns an error if the builder's configuration is inconsistent.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_control::{engine, prelude::*};
+/// use rsc_trace::{spec2000, InputId};
+///
+/// let pop = spec2000::benchmark("mcf").unwrap().population(50_000);
+/// let builder = ReactiveController::builder(ControllerParams::scaled()).metrics();
+/// let (result, ctl) = engine::run_trace_with(builder, pop.trace(InputId::Eval, 50_000, 1))?;
+/// let registry = ctl.metrics().unwrap();
+/// assert_eq!(registry.counter_value("rsc_events_total"), Some(result.stats.events));
+/// # Ok::<(), InvalidParamsError>(())
+/// ```
+pub fn run_trace_with<I: IntoIterator<Item = BranchRecord>>(
+    builder: ControllerBuilder,
+    trace: I,
+) -> Result<(RunResult, ReactiveController), InvalidParamsError> {
+    let mut ctl = builder.build()?;
     for r in trace {
         ctl.observe(&r);
     }
     let stats = ctl.stats();
     let transitions = ctl.transitions().to_vec();
-    Ok(RunResult { stats, transitions })
+    Ok((RunResult { stats, transitions }, ctl))
 }
 
 /// Runs a controller over one benchmark population.
@@ -88,8 +119,27 @@ pub fn run_population_chunked(
     seed: u64,
     log_policy: TransitionLogPolicy,
 ) -> Result<RunResult, InvalidParamsError> {
-    let mut ctl = ReactiveController::new(params)?;
-    ctl.set_transition_log_policy(log_policy);
+    let builder = ReactiveController::builder(params).log_policy(log_policy);
+    let (result, _) = run_population_chunked_with(builder, population, input, events, seed)?;
+    Ok(result)
+}
+
+/// Chunked-driver counterpart of [`run_trace_with`]: runs a fully
+/// configured [`ControllerBuilder`] over one benchmark population through
+/// [`ReactiveController::observe_chunk`] and returns the finished
+/// controller alongside the summary.
+///
+/// # Errors
+///
+/// Returns an error if the builder's configuration is inconsistent.
+pub fn run_population_chunked_with(
+    builder: ControllerBuilder,
+    population: &Population,
+    input: InputId,
+    events: u64,
+    seed: u64,
+) -> Result<(RunResult, ReactiveController), InvalidParamsError> {
+    let mut ctl = builder.build()?;
     let mut trace = population.trace(input, events, seed);
     let mut buf = vec![
         BranchRecord {
@@ -108,7 +158,7 @@ pub fn run_population_chunked(
     }
     let stats = ctl.stats();
     let transitions = ctl.transitions().to_vec();
-    Ok(RunResult { stats, transitions })
+    Ok((RunResult { stats, transitions }, ctl))
 }
 
 #[cfg(test)]

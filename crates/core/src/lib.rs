@@ -37,27 +37,66 @@
 //! assert!(open.stats.incorrect >= closed.stats.incorrect);
 //! # Ok::<(), rsc_control::InvalidParamsError>(())
 //! ```
+//!
+//! ## Construction and observability
+//!
+//! Controllers are assembled through one builder —
+//! [`ReactiveController::builder`] — which also attaches the optional
+//! observability layer (a [`observe::MetricsRegistry`] and/or an
+//! [`observe::EventSink`]); see [`ControllerBuilder`] for the migration
+//! table from the deprecated constructors. The [`prelude`] re-exports the
+//! types a typical consumer needs.
+
+#![warn(deprecated)]
 
 pub mod analysis;
+pub mod builder;
 pub mod checkpoint;
 pub mod confidence;
 pub mod controller;
 pub mod counter;
 pub mod engine;
+pub mod observe;
 pub mod params;
 pub mod reference;
 pub mod resilience;
 pub mod stats;
 pub mod translog;
 
+pub use builder::ControllerBuilder;
 pub use checkpoint::{CheckpointError, ControllerCheckpoint};
 pub use controller::{
     BranchSnapshot, BranchStateView, ChunkSummary, ReactiveController, SpecDecision, TrackerView,
     TransitionEvent, TransitionKind,
 };
-pub use engine::{run_population, run_population_chunked, run_trace, RunResult};
+pub use engine::{
+    run_population, run_population_chunked, run_population_chunked_with, run_trace, run_trace_with,
+    RunResult,
+};
+pub use observe::{EventSink, JsonlSink, MetricsRegistry, NullSink, ObsEvent, VecSink};
 pub use params::{ControllerParams, EvictionMode, InvalidParamsError, MonitorPolicy, Revisit};
 pub use reference::ReferenceController;
 pub use resilience::ResilienceConfig;
 pub use stats::ControlStats;
 pub use translog::{TransitionLog, TransitionLogPolicy};
+
+/// One-stop imports for assembling and observing controllers.
+///
+/// ```
+/// use rsc_control::prelude::*;
+///
+/// let ctl = ReactiveController::builder(ControllerParams::scaled()).build()?;
+/// assert!(ctl.metrics().is_none());
+/// # Ok::<(), InvalidParamsError>(())
+/// ```
+pub mod prelude {
+    pub use crate::builder::ControllerBuilder;
+    pub use crate::controller::{
+        ChunkSummary, ReactiveController, SpecDecision, TransitionEvent, TransitionKind,
+    };
+    pub use crate::observe::{EventSink, JsonlSink, MetricsRegistry, NullSink, ObsEvent, VecSink};
+    pub use crate::params::{ControllerParams, InvalidParamsError};
+    pub use crate::resilience::ResilienceConfig;
+    pub use crate::stats::ControlStats;
+    pub use crate::translog::TransitionLogPolicy;
+}

@@ -246,14 +246,24 @@ impl ControllerParams {
     /// Returns a description of the first problem found.
     pub fn validate(&self) -> Result<(), InvalidParamsError> {
         if self.monitor_period == 0 {
-            return Err(InvalidParamsError("monitor_period must be positive"));
+            return Err(InvalidParamsError::bad_field(
+                "monitor_period",
+                self.monitor_period,
+                "must be positive",
+            ));
         }
         if self.monitor_sample_rate == 0 {
-            return Err(InvalidParamsError("monitor_sample_rate must be positive"));
+            return Err(InvalidParamsError::bad_field(
+                "monitor_sample_rate",
+                self.monitor_sample_rate,
+                "must be positive",
+            ));
         }
         if !(self.selection_threshold > 0.5 && self.selection_threshold <= 1.0) {
-            return Err(InvalidParamsError(
-                "selection_threshold must be in (0.5, 1.0]",
+            return Err(InvalidParamsError::bad_field(
+                "selection_threshold",
+                self.selection_threshold,
+                "must be in (0.5, 1.0]",
             ));
         }
         match self.eviction {
@@ -262,16 +272,33 @@ impl ControllerParams {
                 down,
                 threshold,
             } => {
-                if up == 0 || threshold == 0 {
-                    return Err(InvalidParamsError(
-                        "counter up and threshold must be positive",
+                if up == 0 {
+                    return Err(InvalidParamsError::bad_field(
+                        "eviction.up",
+                        up,
+                        "must be positive",
+                    ));
+                }
+                if threshold == 0 {
+                    return Err(InvalidParamsError::bad_field(
+                        "eviction.threshold",
+                        threshold,
+                        "must be positive",
                     ));
                 }
                 if down == 0 {
-                    return Err(InvalidParamsError("counter down must be positive"));
+                    return Err(InvalidParamsError::bad_field(
+                        "eviction.down",
+                        down,
+                        "must be positive",
+                    ));
                 }
                 if threshold < up {
-                    return Err(InvalidParamsError("counter threshold must be at least up"));
+                    return Err(InvalidParamsError::bad_field(
+                        "eviction.threshold",
+                        threshold,
+                        "must be at least the up increment",
+                    ));
                 }
             }
             EvictionMode::Sampling {
@@ -280,11 +307,17 @@ impl ControllerParams {
                 bias_threshold,
             } => {
                 if samples == 0 || period == 0 || samples > period {
-                    return Err(InvalidParamsError("sampling needs 0 < samples <= period"));
+                    return Err(InvalidParamsError::bad_field(
+                        "eviction.samples",
+                        samples,
+                        "needs 0 < samples <= period",
+                    ));
                 }
                 if !(bias_threshold > 0.5 && bias_threshold <= 1.0) {
-                    return Err(InvalidParamsError(
-                        "sampling bias threshold must be in (0.5, 1.0]",
+                    return Err(InvalidParamsError::bad_field(
+                        "eviction.bias_threshold",
+                        bias_threshold,
+                        "must be in (0.5, 1.0]",
                     ));
                 }
             }
@@ -297,21 +330,33 @@ impl ControllerParams {
         } = self.monitor_policy
         {
             if !(z.is_finite() && z > 0.0) {
-                return Err(InvalidParamsError(
-                    "confidence z must be positive and finite",
+                return Err(InvalidParamsError::bad_field(
+                    "monitor_policy.z",
+                    z,
+                    "must be positive and finite",
                 ));
             }
             if min_execs == 0 || max_execs < min_execs {
-                return Err(InvalidParamsError(
-                    "confidence monitor needs 0 < min_execs <= max_execs",
+                return Err(InvalidParamsError::bad_field(
+                    "monitor_policy.min_execs",
+                    min_execs,
+                    "needs 0 < min_execs <= max_execs",
                 ));
             }
         }
         if let Revisit::After(0) = self.revisit {
-            return Err(InvalidParamsError("revisit period must be positive"));
+            return Err(InvalidParamsError::bad_field(
+                "revisit",
+                0u64,
+                "period must be positive",
+            ));
         }
         if self.oscillation_limit == Some(0) {
-            return Err(InvalidParamsError("oscillation limit must be positive"));
+            return Err(InvalidParamsError::bad_field(
+                "oscillation_limit",
+                0u32,
+                "must be positive (use None to disable the cap)",
+            ));
         }
         Ok(())
     }
@@ -323,21 +368,75 @@ impl Default for ControllerParams {
     }
 }
 
-/// Error describing an inconsistent [`ControllerParams`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct InvalidParamsError(&'static str);
+/// Error describing an inconsistent [`ControllerParams`] (or resilience
+/// configuration — the resilience layer reuses this type).
+///
+/// Structured errors name the offending field and carry the rejected
+/// value, so a builder caller sees *which* knob was wrong:
+///
+/// ```
+/// use rsc_control::{ControllerParams, ReactiveController};
+///
+/// let mut p = ControllerParams::scaled();
+/// p.selection_threshold = 0.3;
+/// let err = ReactiveController::builder(p).build().unwrap_err();
+/// assert_eq!(err.field(), Some("selection_threshold"));
+/// assert!(err.to_string().contains("0.3"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InvalidParamsError {
+    /// A free-form consistency problem not tied to a single field.
+    Message(&'static str),
+    /// A specific field holds a rejected value.
+    Field {
+        /// Dotted path of the offending field (e.g. `eviction.threshold`).
+        field: &'static str,
+        /// The rejected value, rendered.
+        value: String,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+}
 
 impl InvalidParamsError {
-    /// Crate-internal constructor (the resilience configs reuse this
-    /// error type for their own validation).
-    pub(crate) fn new(msg: &'static str) -> Self {
-        InvalidParamsError(msg)
+    /// Crate-internal constructor naming the offending field and value.
+    pub(crate) fn bad_field(
+        field: &'static str,
+        value: impl std::fmt::Display,
+        reason: &'static str,
+    ) -> Self {
+        InvalidParamsError::Field {
+            field,
+            value: value.to_string(),
+            reason,
+        }
+    }
+
+    /// The offending field's dotted path, when the error is structured.
+    pub fn field(&self) -> Option<&'static str> {
+        match self {
+            InvalidParamsError::Message(_) => None,
+            InvalidParamsError::Field { field, .. } => Some(field),
+        }
     }
 }
 
 impl std::fmt::Display for InvalidParamsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid controller parameters: {}", self.0)
+        match self {
+            InvalidParamsError::Message(msg) => {
+                write!(f, "invalid controller parameters: {msg}")
+            }
+            InvalidParamsError::Field {
+                field,
+                value,
+                reason,
+            } => write!(
+                f,
+                "invalid controller parameters: {field} = {value} {reason}"
+            ),
+        }
     }
 }
 
@@ -462,6 +561,38 @@ mod tests {
         let mut p = ControllerParams::table2();
         p.oscillation_limit = Some(0);
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_errors_name_field_and_value() {
+        let mut p = ControllerParams::table2();
+        p.monitor_period = 0;
+        let err = p.validate().unwrap_err();
+        assert_eq!(err.field(), Some("monitor_period"));
+        let text = err.to_string();
+        assert!(text.contains("monitor_period"), "{text}");
+        assert!(text.contains('0'), "{text}");
+
+        let mut p = ControllerParams::table2();
+        p.selection_threshold = 1.5;
+        let err = p.validate().unwrap_err();
+        assert_eq!(err.field(), Some("selection_threshold"));
+        assert!(err.to_string().contains("1.5"));
+
+        let mut p = ControllerParams::table2();
+        p.eviction = EvictionMode::Counter {
+            up: 50,
+            down: 1,
+            threshold: 10,
+        };
+        let err = p.validate().unwrap_err();
+        assert_eq!(err.field(), Some("eviction.threshold"));
+        assert!(err.to_string().contains("10"));
+
+        // Free-form messages still render and report no field.
+        let err = InvalidParamsError::Message("something inconsistent");
+        assert_eq!(err.field(), None);
+        assert!(err.to_string().contains("something inconsistent"));
     }
 
     #[test]

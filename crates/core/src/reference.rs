@@ -45,7 +45,7 @@
 //!
 //! let pop = spec2000::benchmark("gzip").unwrap().population(20_000);
 //! let mut golden = ReferenceController::new(ControllerParams::scaled())?;
-//! let mut fast = ReactiveController::new(ControllerParams::scaled())?;
+//! let mut fast = ReactiveController::builder(ControllerParams::scaled()).build()?;
 //! for r in pop.trace(InputId::Eval, 20_000, 1) {
 //!     assert_eq!(golden.observe(&r), fast.observe(&r));
 //! }
@@ -185,8 +185,7 @@ impl ReferenceController {
     }
 
     /// Creates a reference controller with the resilience layer attached,
-    /// mirroring
-    /// [`ReactiveController::with_resilience`](crate::ReactiveController::with_resilience).
+    /// mirroring `ReactiveController::builder(params).resilience(config)`.
     ///
     /// # Errors
     ///
@@ -1029,7 +1028,7 @@ mod tests {
 
     fn assert_lockstep(params: ControllerParams) {
         let mut golden = ReferenceController::new(params).unwrap();
-        let mut fast = ReactiveController::new(params).unwrap();
+        let mut fast = ReactiveController::builder(params).build().unwrap();
         for (i, r) in lifecycle_stream().iter().enumerate() {
             let a = golden.observe(r);
             let b = fast.observe(r);
@@ -1091,7 +1090,10 @@ mod tests {
 
         fn assert_lockstep_resilient(params: ControllerParams, config: ResilienceConfig) {
             let mut golden = ReferenceController::with_resilience(params, config).unwrap();
-            let mut fast = ReactiveController::with_resilience(params, config).unwrap();
+            let mut fast = ReactiveController::builder(params)
+                .resilience(config)
+                .build()
+                .unwrap();
             for (i, r) in lifecycle_stream().iter().enumerate() {
                 let a = golden.observe(r);
                 let b = fast.observe(r);
@@ -1129,8 +1131,10 @@ mod tests {
         fn reliable_layer_matches_layerless_reference() {
             let params = tiny();
             let mut golden = ReferenceController::new(params).unwrap();
-            let mut fast =
-                ReactiveController::with_resilience(params, ResilienceConfig::reliable()).unwrap();
+            let mut fast = ReactiveController::builder(params)
+                .resilience(ResilienceConfig::reliable())
+                .build()
+                .unwrap();
             for r in lifecycle_stream() {
                 assert_eq!(golden.observe(&r), fast.observe(&r));
             }
@@ -1243,7 +1247,7 @@ mod tests {
     fn flush_matches_optimized_flush() {
         let params = tiny();
         let mut golden = ReferenceController::new(params).unwrap();
-        let mut fast = ReactiveController::new(params).unwrap();
+        let mut fast = ReactiveController::builder(params).build().unwrap();
         let stream = lifecycle_stream();
         let (head, tail) = stream.split_at(stream.len() / 2);
         for r in head {

@@ -70,24 +70,46 @@ impl BreakerConfig {
     ///
     /// Returns a description of the first problem found.
     pub fn validate(&self) -> Result<(), InvalidParamsError> {
-        if self.bucket_events == 0 || self.buckets == 0 {
-            return Err(InvalidParamsError::new(
-                "breaker window needs positive bucket_events and buckets",
+        if self.bucket_events == 0 {
+            return Err(InvalidParamsError::bad_field(
+                "breaker.bucket_events",
+                self.bucket_events,
+                "must be positive",
+            ));
+        }
+        if self.buckets == 0 {
+            return Err(InvalidParamsError::bad_field(
+                "breaker.buckets",
+                self.buckets,
+                "must be positive",
             ));
         }
         if !(self.open_threshold > 0.0 && self.open_threshold <= 1.0) {
-            return Err(InvalidParamsError::new(
-                "breaker open_threshold must be in (0, 1]",
+            return Err(InvalidParamsError::bad_field(
+                "breaker.open_threshold",
+                self.open_threshold,
+                "must be in (0, 1]",
             ));
         }
         if !(self.close_threshold >= 0.0 && self.close_threshold <= self.open_threshold) {
-            return Err(InvalidParamsError::new(
-                "breaker close_threshold must be in [0, open_threshold]",
+            return Err(InvalidParamsError::bad_field(
+                "breaker.close_threshold",
+                self.close_threshold,
+                "must be in [0, open_threshold]",
             ));
         }
-        if self.cooldown_events == 0 || self.probe_events == 0 {
-            return Err(InvalidParamsError::new(
-                "breaker cooldown and probe periods must be positive",
+        if self.cooldown_events == 0 {
+            return Err(InvalidParamsError::bad_field(
+                "breaker.cooldown_events",
+                self.cooldown_events,
+                "must be positive",
+            ));
+        }
+        if self.probe_events == 0 {
+            return Err(InvalidParamsError::bad_field(
+                "breaker.probe_events",
+                self.probe_events,
+                "must be positive",
             ));
         }
         Ok(())
@@ -110,6 +132,19 @@ pub enum BreakerPhase {
         /// Global event index at which the probe began.
         since: u64,
     },
+}
+
+impl BreakerPhase {
+    /// Numeric code for the `rsc_breaker_state` gauge: 0 closed,
+    /// 1 half-open, 2 open (ordered by severity so alerting can use a
+    /// simple threshold).
+    pub fn gauge_code(self) -> u8 {
+        match self {
+            BreakerPhase::Closed => 0,
+            BreakerPhase::HalfOpen { .. } => 1,
+            BreakerPhase::Open { .. } => 2,
+        }
+    }
 }
 
 /// What a call to [`StormBreaker::tick`] decided (the controller turns

@@ -29,6 +29,16 @@ pub enum DeployKind {
     Repair,
 }
 
+impl DeployKind {
+    /// Stable snake_case name used in metric labels and JSONL events.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DeployKind::Optimize => "optimize",
+            DeployKind::Repair => "repair",
+        }
+    }
+}
+
 /// One deployment request issued by the controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeployRequest {

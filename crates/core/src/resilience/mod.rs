@@ -90,22 +90,28 @@ impl ResilienceConfig {
     /// Returns a description of the first problem found.
     pub fn validate(&self) -> Result<(), InvalidParamsError> {
         if self.retry.max_attempts == 0 {
-            return Err(InvalidParamsError::new(
-                "retry max_attempts must be positive",
+            return Err(InvalidParamsError::bad_field(
+                "retry.max_attempts",
+                self.retry.max_attempts,
+                "must be positive",
             ));
         }
         if let DeployerSpec::Faulty(spec) = self.deployer {
             if let FaultMode::FixedRate { per_mille } = spec.mode {
                 if per_mille > 1000 {
-                    return Err(InvalidParamsError::new(
-                        "fault per_mille must be at most 1000",
+                    return Err(InvalidParamsError::bad_field(
+                        "deployer.per_mille",
+                        per_mille,
+                        "must be at most 1000",
                     ));
                 }
             }
             if let FaultMode::Burst { period, len } = spec.mode {
                 if period == 0 || len > period {
-                    return Err(InvalidParamsError::new(
-                        "fault burst needs len <= period, period > 0",
+                    return Err(InvalidParamsError::bad_field(
+                        "deployer.burst",
+                        format_args!("{len}/{period}"),
+                        "needs len <= period, period > 0",
                     ));
                 }
             }

@@ -51,7 +51,7 @@ fn drive(
 /// repeat. The oscillation cap must bound the damage.
 #[test]
 fn oscillation_storm_is_bounded() {
-    let mut ctl = ReactiveController::new(tiny_params()).unwrap();
+    let mut ctl = ReactiveController::builder(tiny_params()).build().unwrap();
     let mut instr = 0;
     let mut total_incorrect = 0;
     for cycle in 0..100 {
@@ -76,7 +76,7 @@ fn oscillation_storm_without_cap_keeps_reoptimizing() {
         oscillation_limit: None,
         ..tiny_params()
     };
-    let mut ctl = ReactiveController::new(params).unwrap();
+    let mut ctl = ReactiveController::builder(params).build().unwrap();
     let mut instr = 0;
     for cycle in 0..100 {
         let phase = cycle % 2 == 0;
@@ -97,7 +97,7 @@ fn oscillation_storm_without_cap_keeps_reoptimizing() {
 /// hysteresis), and misspeculation stays proportional to its true rate.
 #[test]
 fn sub_threshold_noise_is_not_evicted() {
-    let mut ctl = ReactiveController::new(tiny_params()).unwrap();
+    let mut ctl = ReactiveController::builder(tiny_params()).build().unwrap();
     let mut instr = 0;
     // Select it first.
     drive(&mut ctl, 0, std::iter::repeat_n(true, 100), &mut instr);
@@ -113,7 +113,7 @@ fn sub_threshold_noise_is_not_evicted() {
 /// not evict; a sustained reversal must.
 #[test]
 fn burst_tolerance_vs_sustained_reversal() {
-    let mut ctl = ReactiveController::new(tiny_params()).unwrap();
+    let mut ctl = ReactiveController::builder(tiny_params()).build().unwrap();
     let mut instr = 0;
     drive(&mut ctl, 0, std::iter::repeat_n(true, 100), &mut instr);
     // Burst of 9 misspecs (9 * 50 = 450 < 500), then recovery.
@@ -129,7 +129,7 @@ fn burst_tolerance_vs_sustained_reversal() {
 /// uses; the controller must never select such a branch.
 #[test]
 fn alternating_branch_is_never_selected() {
-    let mut ctl = ReactiveController::new(tiny_params()).unwrap();
+    let mut ctl = ReactiveController::builder(tiny_params()).build().unwrap();
     let mut instr = 0;
     let outcomes = (0..100_000).map(|i| i % 2 == 0);
     let (correct, incorrect) = drive(&mut ctl, 0, outcomes, &mut instr);
@@ -141,7 +141,7 @@ fn alternating_branch_is_never_selected() {
 /// speculated nor blow up controller memory/state.
 #[test]
 fn cold_branch_flood() {
-    let mut ctl = ReactiveController::new(tiny_params()).unwrap();
+    let mut ctl = ReactiveController::builder(tiny_params()).build().unwrap();
     let mut instr = 0;
     for b in 0..50_000u32 {
         instr += 5;
@@ -167,7 +167,7 @@ fn reversal_during_deployment_latency() {
         optimization_latency: 10_000,
         ..tiny_params()
     };
-    let mut ctl = ReactiveController::new(params).unwrap();
+    let mut ctl = ReactiveController::builder(params).build().unwrap();
     let mut instr = 0;
     // Selected as taken at instr ~500.
     drive(&mut ctl, 0, std::iter::repeat_n(true, 100), &mut instr);
@@ -190,7 +190,7 @@ fn reversal_during_deployment_latency() {
 /// Interleaving many branches does not leak state across them.
 #[test]
 fn no_cross_branch_interference() {
-    let mut ctl = ReactiveController::new(tiny_params()).unwrap();
+    let mut ctl = ReactiveController::builder(tiny_params()).build().unwrap();
     let mut instr = 0;
     // Branch 0 perfectly biased, branch 1 perfectly anti-biased, branch 2
     // random-ish; interleaved.

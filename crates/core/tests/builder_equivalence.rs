@@ -1,0 +1,196 @@
+//! Property tests for the [`ControllerBuilder`] redesign: every
+//! controller the deprecated constructors could assemble is reproduced
+//! **bit-for-bit** by the builder, across random parameterizations,
+//! log policies, resilience layers, and seeded traces — and attaching
+//! telemetry never perturbs behavior.
+
+#![allow(deprecated)] // the point of this suite is legacy-vs-builder equality
+
+use proptest::prelude::*;
+use rsc_control::resilience::{DeployerSpec, FaultMode, FaultScope, FaultSpec, RetryPolicy};
+use rsc_control::{
+    ControllerParams, EvictionMode, MonitorPolicy, ReactiveController, ResilienceConfig, Revisit,
+    TransitionLogPolicy, VecSink,
+};
+use rsc_trace::{BranchId, BranchRecord};
+use std::sync::Arc;
+
+/// Arbitrary record streams over a handful of branches.
+fn records(max_len: usize) -> impl Strategy<Value = Vec<BranchRecord>> {
+    prop::collection::vec((0u32..6, any::<bool>(), 1u64..10), 1..max_len).prop_map(|entries| {
+        let mut instr = 0;
+        entries
+            .into_iter()
+            .map(|(b, taken, gap)| {
+                instr += gap;
+                BranchRecord {
+                    branch: BranchId::new(b),
+                    taken,
+                    instr,
+                }
+            })
+            .collect()
+    })
+}
+
+/// Small but structurally valid controller parameterizations.
+fn params() -> impl Strategy<Value = ControllerParams> {
+    (
+        1u64..48, // monitor period
+        1u64..3,  // sample rate
+        prop::sample::select(vec![0.9, 0.99, 1.0]),
+        prop::option::of(1u32..5), // oscillation limit
+        0u64..600,                 // latency
+        prop::option::of(1u64..400),
+    )
+        .prop_map(
+            |(monitor, rate, threshold, osc, latency, revisit)| ControllerParams {
+                monitor_period: monitor,
+                monitor_policy: MonitorPolicy::FixedWindow,
+                monitor_sample_rate: rate,
+                selection_threshold: threshold,
+                eviction: EvictionMode::Counter {
+                    up: 50,
+                    down: 1,
+                    threshold: 200,
+                },
+                revisit: match revisit {
+                    Some(n) => Revisit::After(n),
+                    None => Revisit::Never,
+                },
+                oscillation_limit: osc,
+                optimization_latency: latency,
+            },
+        )
+}
+
+fn log_policy() -> impl Strategy<Value = TransitionLogPolicy> {
+    prop::sample::select(vec![
+        TransitionLogPolicy::Full,
+        TransitionLogPolicy::CountsOnly,
+        TransitionLogPolicy::RingBuffer(5),
+    ])
+}
+
+fn resilience() -> impl Strategy<Value = Option<ResilienceConfig>> {
+    prop::option::of(
+        (1u64..100, 0u16..800).prop_map(|(seed, per_mille)| ResilienceConfig {
+            deployer: DeployerSpec::Faulty(FaultSpec {
+                seed,
+                mode: FaultMode::FixedRate { per_mille },
+                scope: FaultScope::All,
+                wasted: 40,
+            }),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff: 50,
+                max_backoff: 400,
+            },
+            breaker: None,
+        }),
+    )
+}
+
+/// Drives a controller and returns everything comparable about the run.
+fn drive(
+    mut ctl: ReactiveController,
+    recs: &[BranchRecord],
+) -> (ReactiveController, Vec<rsc_control::SpecDecision>) {
+    let decisions = recs.iter().map(|r| ctl.observe(r)).collect();
+    (ctl, decisions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `builder(p).build()` is bit-identical to the deprecated
+    /// `new(p)` + `set_transition_log_policy(policy)` sequence — same
+    /// decisions, stats, retained transitions, and serialized bytes.
+    #[test]
+    fn builder_matches_legacy_construction(
+        recs in records(1_200),
+        p in params(),
+        policy in log_policy(),
+    ) {
+        let mut legacy = ReactiveController::new(p).unwrap();
+        legacy.set_transition_log_policy(policy);
+        let built = ReactiveController::builder(p).log_policy(policy).build().unwrap();
+
+        let (legacy, ld) = drive(legacy, &recs);
+        let (built, bd) = drive(built, &recs);
+        prop_assert_eq!(ld, bd);
+        prop_assert_eq!(legacy.stats(), built.stats());
+        prop_assert_eq!(legacy.transitions(), built.transitions());
+        prop_assert_eq!(legacy.snapshot(), built.snapshot());
+    }
+
+    /// Same equality through the resilience layer: the deprecated
+    /// `with_resilience` equals `.resilience(config)`.
+    #[test]
+    fn builder_matches_legacy_resilience(
+        recs in records(1_200),
+        p in params(),
+        config in resilience(),
+    ) {
+        let legacy = match config {
+            Some(c) => ReactiveController::with_resilience(p, c).unwrap(),
+            None => ReactiveController::new(p).unwrap(),
+        };
+        let mut b = ReactiveController::builder(p);
+        if let Some(c) = config {
+            b = b.resilience(c);
+        }
+        let built = b.build().unwrap();
+
+        let (legacy, ld) = drive(legacy, &recs);
+        let (built, bd) = drive(built, &recs);
+        prop_assert_eq!(ld, bd);
+        prop_assert_eq!(legacy.stats(), built.stats());
+        prop_assert_eq!(legacy.transitions(), built.transitions());
+        prop_assert_eq!(legacy.snapshot(), built.snapshot());
+    }
+
+    /// Telemetry is observation, not intervention: enabling the registry
+    /// and a sink changes no decision, stat, or transition, and the
+    /// sink's transition stream equals the log.
+    #[test]
+    fn telemetry_never_perturbs_behavior(
+        recs in records(1_200),
+        p in params(),
+        config in resilience(),
+    ) {
+        let assemble = || {
+            let mut b = ReactiveController::builder(p);
+            if let Some(c) = config {
+                b = b.resilience(c);
+            }
+            b
+        };
+        let plain = assemble().build().unwrap();
+        let sink = Arc::new(VecSink::new());
+        let metered = assemble().metrics().event_sink(sink.clone()).build().unwrap();
+
+        let (plain, pd) = drive(plain, &recs);
+        let (metered, md) = drive(metered, &recs);
+        prop_assert_eq!(pd, md);
+        prop_assert_eq!(plain.stats(), metered.stats());
+        prop_assert_eq!(plain.transitions(), metered.transitions());
+
+        let s = metered.stats();
+        let reg = metered.metrics().unwrap();
+        prop_assert_eq!(reg.counter_value("rsc_events_total"), Some(s.events));
+        prop_assert_eq!(reg.counter_value("rsc_spec_incorrect_total"), Some(s.incorrect));
+        let h = reg.histogram_value("rsc_misspec_interval_events").unwrap();
+        prop_assert_eq!(h.count(), s.incorrect);
+
+        let sunk_transitions = sink
+            .snapshot()
+            .iter()
+            .filter_map(|e| match e {
+                rsc_control::ObsEvent::Transition(t) => Some(*t),
+                _ => None,
+            })
+            .collect::<Vec<_>>();
+        prop_assert_eq!(sunk_transitions.as_slice(), metered.transitions());
+    }
+}

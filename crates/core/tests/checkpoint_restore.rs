@@ -91,12 +91,11 @@ fn faulty_config(breaker: bool) -> ResilienceConfig {
 }
 
 fn build(config: Option<ResilienceConfig>, policy: TransitionLogPolicy) -> ReactiveController {
-    let mut ctl = match config {
-        None => ReactiveController::new(tiny_params()).unwrap(),
-        Some(c) => ReactiveController::with_resilience(tiny_params(), c).unwrap(),
-    };
-    ctl.set_transition_log_policy(policy);
-    ctl
+    let mut b = ReactiveController::builder(tiny_params()).log_policy(policy);
+    if let Some(c) = config {
+        b = b.resilience(c);
+    }
+    b.build().unwrap()
 }
 
 /// The property itself: for `rounds` seeded random split points, running

@@ -1,0 +1,121 @@
+//! Throughput guard for the disabled-telemetry fast path.
+//!
+//! A controller built without `.metrics()`/`.event_sink(...)` must keep
+//! the allocation-free `observe_chunk` hot path: its throughput has to
+//! stay within noise of the legacy no-registry driver. The failure mode
+//! this guards against is structural, not incremental — if telemetry ever
+//! becomes unconditionally attached, every chunk falls back to the
+//! per-event path and throughput drops far below the threshold used
+//! here, so the generous noise margin still catches the regression.
+//!
+//! Methodology: the two configurations run in alternation (interleaved
+//! trials absorb CPU frequency drift), and the medians are compared.
+
+use rsc_control::prelude::*;
+use rsc_control::{run_population_chunked, run_population_chunked_with, TransitionLogPolicy};
+use rsc_trace::{spec2000, InputId};
+use std::time::Instant;
+
+const EVENTS: u64 = 400_000;
+const TRIALS: usize = 7;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+#[test]
+fn disabled_telemetry_keeps_the_chunked_fast_path() {
+    let pop = spec2000::benchmark("gcc").unwrap().population(EVENTS);
+    let legacy = || {
+        let t = Instant::now();
+        let r = run_population_chunked(
+            ControllerParams::scaled(),
+            &pop,
+            InputId::Eval,
+            EVENTS,
+            7,
+            TransitionLogPolicy::CountsOnly,
+        )
+        .unwrap();
+        (t.elapsed().as_secs_f64(), r.stats)
+    };
+    let built = || {
+        let t = Instant::now();
+        let b = ReactiveController::builder(ControllerParams::scaled())
+            .log_policy(TransitionLogPolicy::CountsOnly);
+        let (r, _) = run_population_chunked_with(b, &pop, InputId::Eval, EVENTS, 7).unwrap();
+        (t.elapsed().as_secs_f64(), r.stats)
+    };
+
+    // Warm-up: fault in the trace tables and let both paths JIT-warm the
+    // branch predictors before any timed trial.
+    let (_, a) = legacy();
+    let (_, b) = built();
+    assert_eq!(a, b, "the two drivers must be behaviorally identical");
+
+    let mut legacy_secs = Vec::with_capacity(TRIALS);
+    let mut built_secs = Vec::with_capacity(TRIALS);
+    for _ in 0..TRIALS {
+        legacy_secs.push(legacy().0);
+        built_secs.push(built().0);
+    }
+    let (lm, bm) = (median(legacy_secs), median(built_secs));
+    // A per-event fallback costs well over 2x on this workload; 35%
+    // headroom keeps the guard robust on noisy CI machines while still
+    // catching any structural regression.
+    assert!(
+        bm <= lm * 1.35,
+        "builder-constructed (telemetry disabled) chunked run is {:.1}% slower than the \
+         legacy driver (median {bm:.4}s vs {lm:.4}s) — did the disabled-telemetry \
+         fast path regress?",
+        (bm / lm - 1.0) * 100.0,
+    );
+}
+
+#[test]
+fn disabled_telemetry_chunked_still_outruns_per_event() {
+    // Structural detection of a fast-path regression: on this workload
+    // the chunked path is ~2.5x the per-event path (see
+    // BENCH_pipeline.json). If a telemetry-free controller ever stopped
+    // taking the chunked fast path — e.g. telemetry became
+    // unconditionally `Some` and every chunk fell back to per-event —
+    // the two timings would converge to ~1x. Requiring ≥1.33x leaves
+    // plenty of noise headroom while making the fallback unmistakable.
+    let pop = spec2000::benchmark("gzip").unwrap().population(EVENTS);
+    let per_event = || {
+        let t = Instant::now();
+        let b = ReactiveController::builder(ControllerParams::scaled())
+            .log_policy(TransitionLogPolicy::CountsOnly);
+        let mut ctl = b.build().unwrap();
+        for r in pop.trace(InputId::Eval, EVENTS, 3) {
+            ctl.observe(&r);
+        }
+        (t.elapsed().as_secs_f64(), ctl.stats())
+    };
+    let chunked = || {
+        let t = Instant::now();
+        let b = ReactiveController::builder(ControllerParams::scaled())
+            .log_policy(TransitionLogPolicy::CountsOnly);
+        let (r, _) = run_population_chunked_with(b, &pop, InputId::Eval, EVENTS, 3).unwrap();
+        (t.elapsed().as_secs_f64(), r.stats)
+    };
+    let (_, a) = per_event();
+    let (_, b) = chunked();
+    assert_eq!(a, b, "the two paths must be behaviorally identical");
+
+    let mut pe = Vec::with_capacity(TRIALS);
+    let mut ch = Vec::with_capacity(TRIALS);
+    for _ in 0..TRIALS {
+        pe.push(per_event().0);
+        ch.push(chunked().0);
+    }
+    let (pm, cm) = (median(pe), median(ch));
+    assert!(
+        cm <= pm * 0.75,
+        "telemetry-free chunked run is only {:.2}x the per-event path \
+         (median {cm:.4}s vs {pm:.4}s) — is the disabled-telemetry fast \
+         path falling back to per-event?",
+        pm / cm,
+    );
+}

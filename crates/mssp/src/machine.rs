@@ -12,7 +12,7 @@ use crate::config::MachineConfig;
 use crate::distill::{Distiller, SkipAccumulator};
 use crate::program::{Instr, MemoryModel, ProgramStream};
 use crate::timing::CoreModel;
-use rsc_control::{ControllerParams, ReactiveController, SpecDecision};
+use rsc_control::{ControllerParams, ReactiveController, SpecDecision, TransitionLogPolicy};
 use rsc_trace::{InputId, Population};
 
 /// Parameters of one MSSP simulation.
@@ -157,9 +157,10 @@ pub fn run_mssp_only(
 
     let baseline_cycles = 0u64;
 
-    let mut controller =
-        ReactiveController::new(params.controller).expect("controller parameters must be valid");
-    controller.set_record_transitions(false);
+    let mut controller = ReactiveController::builder(params.controller)
+        .log_policy(TransitionLogPolicy::CountsOnly)
+        .build()
+        .expect("controller parameters must be valid");
     let distiller = Distiller::new(population.static_branches(), seed);
 
     let mut master = CoreModel::new(machine.leading, machine);

@@ -67,7 +67,9 @@ fn main() {
         oscillation_limit: Some(3),
         optimization_latency: 2_000,
     };
-    let mut jit = ReactiveController::new(params).expect("valid params");
+    let mut jit = ReactiveController::builder(params)
+        .build()
+        .expect("valid params");
     let mut rng = Xoshiro256::seed_from(7);
 
     let mut fast = vec![0u64; guards.len()];

@@ -68,7 +68,9 @@ fn chunk_size_does_not_change_controller_results() {
     )
     .unwrap();
     for chunk in [1usize, 13, 256, 4096, 100_000] {
-        let mut ctl = ReactiveController::new(ControllerParams::scaled()).unwrap();
+        let mut ctl = ReactiveController::builder(ControllerParams::scaled())
+            .build()
+            .unwrap();
         let mut trace = pop.trace(InputId::Eval, EVENTS, SEEDS[0]);
         let mut buf = empty_buf(chunk);
         let mut total = ChunkSummary::default();
@@ -189,8 +191,8 @@ proptest! {
         params.revisit = rsc_control::Revisit::After(2 * monitor);
 
         let trace = oscillating_trace(branches, flip, 3_000);
-        let mut per_event = ReactiveController::new(params).unwrap();
-        let mut chunked = ReactiveController::new(params).unwrap();
+        let mut per_event = ReactiveController::builder(params).build().unwrap();
+        let mut chunked = ReactiveController::builder(params).build().unwrap();
 
         for window in trace.chunks(chunk) {
             let mut expect = ChunkSummary::default();

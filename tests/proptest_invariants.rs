@@ -239,8 +239,8 @@ proptest! {
     /// yields identical stats (the controller is deterministic).
     #[test]
     fn controller_is_pure(recs in records(1_000), p in params()) {
-        let mut a = ReactiveController::new(p).unwrap();
-        let mut b = ReactiveController::new(p).unwrap();
+        let mut a = ReactiveController::builder(p).build().unwrap();
+        let mut b = ReactiveController::builder(p).build().unwrap();
         for r in &recs {
             prop_assert_eq!(a.observe(r), b.observe(r));
         }

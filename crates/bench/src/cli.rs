@@ -1,0 +1,191 @@
+//! Top-level argument parsing for the `repro` binary.
+//!
+//! The experiment flags (`--events`, `--seed`, `--threads`, …) used to be
+//! parsed inline in `main` with `.expect()`, so a typo like
+//! `--events lots` tore the process down with a panic and a backtrace
+//! instead of a usage message. [`parse`] is side-effect free and returns
+//! `Err` with a one-line diagnostic; `main` prints it together with
+//! [`USAGE`] and exits with status 2, matching the subcommands'
+//! usage-error convention.
+
+use crate::options::ExpOptions;
+use std::path::PathBuf;
+
+/// Usage text printed (to stderr) alongside any top-level parse error.
+pub const USAGE: &str = "\
+usage: repro [SUBCOMMAND | EXPERIMENT...] [FLAGS]
+
+subcommands (own their argument lists):
+  conformance     differential fuzzing campaign / artifact replay
+  resilience      resilient-runtime drills
+  observe         metrics exposition smoke
+
+experiments: table1 table2 table3 table4 table5 fig2 fig3 fig5 fig6
+  fig7 fig8 fig9 oscillation dynamo confidence regions variance
+  clustering perf all   (default: all)
+
+flags:
+  --events N      dynamic branch events per run (default 16000000)
+  --full          shorthand for --events 40000000
+  --seed N        root trace seed (default 42)
+  --threads N     worker-thread cap for parallel stages (N >= 1)
+  --shards N      (perf) also measure sharded controller scaling, 1..=N
+  --csv DIR       write CSV/JSON outputs under DIR
+  --metrics-out F write a Prometheus exposition of the perf run to F";
+
+/// Everything the top-level `repro` invocation decided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopArgs {
+    /// Experiment options (`--events`, `--seed`, `--full`).
+    pub opts: ExpOptions,
+    /// `--csv` output directory.
+    pub csv_dir: Option<PathBuf>,
+    /// `--metrics-out` exposition path.
+    pub metrics_out: Option<PathBuf>,
+    /// `--threads` cap; `main` applies it to the parallel runtime.
+    pub threads: Option<usize>,
+    /// `--shards` ceiling for the perf scaling sweep.
+    pub shards: Option<usize>,
+    /// Experiment names, in order. Empty means "all".
+    pub which: Vec<String>,
+}
+
+/// Parses the argument list (everything after the program name). Pure:
+/// no printing, no process exit, no global state.
+///
+/// # Errors
+///
+/// Returns a one-line diagnostic for a missing flag value, a
+/// non-numeric value, a zero where at least 1 is required, or an
+/// unknown `--flag`.
+pub fn parse(args: &[String]) -> Result<TopArgs, String> {
+    let mut top = TopArgs {
+        opts: ExpOptions::new(),
+        csv_dir: None,
+        metrics_out: None,
+        threads: None,
+        shards: None,
+        which: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--events" => top.opts.events = number(&mut it, "--events")?,
+            "--seed" => top.opts.seed = number(&mut it, "--seed")?,
+            "--full" => top.opts.events = 40_000_000,
+            "--threads" => {
+                top.threads = Some(at_least_one(number(&mut it, "--threads")?, "--threads")?)
+            }
+            "--shards" => {
+                top.shards = Some(at_least_one(number(&mut it, "--shards")?, "--shards")?)
+            }
+            "--csv" => top.csv_dir = Some(PathBuf::from(value(&mut it, "--csv")?)),
+            "--metrics-out" => {
+                top.metrics_out = Some(PathBuf::from(value(&mut it, "--metrics-out")?))
+            }
+            other if other.starts_with('-') => return Err(format!("unknown option: {other}")),
+            other => top.which.push(other.to_string()),
+        }
+    }
+    Ok(top)
+}
+
+fn value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a str, String> {
+    match it.next() {
+        Some(v) => Ok(v),
+        None => Err(format!("{flag} needs a value")),
+    }
+}
+
+fn number<T: std::str::FromStr>(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<T, String> {
+    let v = value(it, flag)?;
+    v.parse()
+        .map_err(|_| format!("{flag} needs an integer, got {v:?}"))
+}
+
+fn at_least_one(n: usize, flag: &str) -> Result<usize, String> {
+    if n == 0 {
+        return Err(format!("{flag} must be at least 1"));
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_match_exp_options() {
+        let top = parse(&[]).unwrap();
+        assert_eq!(top.opts, ExpOptions::new());
+        assert!(top.which.is_empty());
+        assert_eq!(top.threads, None);
+        assert_eq!(top.shards, None);
+    }
+
+    #[test]
+    fn flags_and_experiments_parse_together() {
+        let top = parse(&argv(&[
+            "perf",
+            "--events",
+            "1234",
+            "--seed",
+            "9",
+            "--threads",
+            "2",
+            "--shards",
+            "4",
+            "--csv",
+            "out",
+            "--metrics-out",
+            "m.prom",
+        ]))
+        .unwrap();
+        assert_eq!(top.which, vec!["perf"]);
+        assert_eq!(top.opts.events, 1234);
+        assert_eq!(top.opts.seed, 9);
+        assert_eq!(top.threads, Some(2));
+        assert_eq!(top.shards, Some(4));
+        assert_eq!(top.csv_dir.as_deref(), Some(std::path::Path::new("out")));
+        assert_eq!(
+            top.metrics_out.as_deref(),
+            Some(std::path::Path::new("m.prom"))
+        );
+    }
+
+    #[test]
+    fn full_raises_events() {
+        assert_eq!(parse(&argv(&["--full"])).unwrap().opts.events, 40_000_000);
+    }
+
+    #[test]
+    fn bad_values_are_diagnosed_not_panicked() {
+        assert_eq!(
+            parse(&argv(&["--events"])).unwrap_err(),
+            "--events needs a value"
+        );
+        assert_eq!(
+            parse(&argv(&["--events", "lots"])).unwrap_err(),
+            "--events needs an integer, got \"lots\""
+        );
+        assert_eq!(
+            parse(&argv(&["--shards", "0"])).unwrap_err(),
+            "--shards must be at least 1"
+        );
+        assert_eq!(
+            parse(&argv(&["--threads", "0"])).unwrap_err(),
+            "--threads must be at least 1"
+        );
+        assert_eq!(
+            parse(&argv(&["--bogus"])).unwrap_err(),
+            "unknown option: --bogus"
+        );
+    }
+}

@@ -21,6 +21,7 @@ pub fn run(args: &[String]) -> i32 {
     let mut replay: Option<PathBuf> = None;
     let mut artifact_dir = PathBuf::from("conformance-artifacts");
     let mut metrics_out: Option<PathBuf> = None;
+    let mut shards: Option<usize> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -55,6 +56,15 @@ pub fn run(args: &[String]) -> i32 {
                 let v = it.next().expect("--metrics-out needs a file path");
                 metrics_out = Some(PathBuf::from(v));
             }
+            "--shards" => {
+                let v = it.next().expect("--shards needs a value");
+                let n: usize = v.parse().expect("--shards must be an integer");
+                if n == 0 {
+                    eprintln!("--shards must be at least 1");
+                    return 2;
+                }
+                shards = Some(n);
+            }
             other => {
                 eprintln!("unknown conformance option: {other}");
                 return 2;
@@ -65,7 +75,7 @@ pub fn run(args: &[String]) -> i32 {
     if let Some(path) = replay {
         return run_replay(&path);
     }
-    let code = run_campaign(&config, &artifact_dir);
+    let code = run_campaign(&config, shards, &artifact_dir);
     if let Some(mpath) = &metrics_out {
         export_campaign_metrics(&config, mpath);
     }
@@ -131,18 +141,29 @@ fn run_replay(path: &std::path::Path) -> i32 {
     }
 }
 
-fn run_campaign(config: &CampaignConfig, artifact_dir: &std::path::Path) -> i32 {
+fn run_campaign(
+    config: &CampaignConfig,
+    shards: Option<usize>,
+    artifact_dir: &std::path::Path,
+) -> i32 {
     println!(
-        "conformance campaign: seeds {}..{}, {} events/trace{}",
+        "conformance campaign: seeds {}..{}, {} events/trace{}{}",
         config.seed_start,
         config.seed_end,
         config.events,
+        match shards {
+            Some(n) => format!(", sharded lockstep over 1..={n} shards"),
+            None => String::new(),
+        },
         match config.fault {
             Some(f) => format!(", injected fault {f}"),
             None => String::new(),
         },
     );
-    let report = campaign::run(config);
+    let report = match shards {
+        Some(n) => campaign::run_sharded(config, n),
+        None => campaign::run(config),
+    };
     println!(
         "ran {} differential cases ({} events per controller)",
         report.cases, report.events_fed
@@ -241,7 +262,21 @@ mod tests {
     }
 
     #[test]
+    fn sharded_campaign_exits_zero() {
+        let code = run(&[
+            "--seeds".into(),
+            "0..1".into(),
+            "--events".into(),
+            "800".into(),
+            "--shards".into(),
+            "3".into(),
+        ]);
+        assert_eq!(code, 0);
+    }
+
+    #[test]
     fn unknown_flag_is_a_usage_error() {
         assert_eq!(run(&["--bogus".into()]), 2);
+        assert_eq!(run(&["--shards".into(), "0".into()]), 2);
     }
 }

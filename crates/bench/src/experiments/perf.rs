@@ -25,6 +25,12 @@ const BENCHMARK: &str = "gcc";
 /// Chunk size for the chunked paths (matches the engine default).
 const CHUNK: usize = 4096;
 
+/// Chunk size for the sharded scaling sweep. `par_map` spawns scoped
+/// threads per call rather than keeping a pool, so the chunks must be
+/// large enough to amortize the spawn; 1M events puts the spawn cost
+/// three orders of magnitude below the per-chunk controller work.
+const SHARD_CHUNK: usize = 1 << 20;
+
 /// One timed code path: how many events it processed and the best
 /// wall-clock time over the measurement repetitions.
 #[derive(Debug, Clone, Copy)]
@@ -256,6 +262,126 @@ pub fn run(opts: &ExpOptions) -> Vec<StageRow> {
     ]
 }
 
+/// One shard count's controller-phase throughput in the `--shards`
+/// scaling sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRow {
+    /// Worker shard count the engine was built with.
+    pub shards: usize,
+    /// Best-of-reps controller-phase throughput at this count.
+    pub throughput: Throughput,
+    /// Speedup relative to the sweep's first row (shard count 1).
+    pub speedup_vs_1: f64,
+}
+
+/// The shard counts measured for `--shards N`: powers of two up to `N`,
+/// plus `N` itself when it is not a power of two.
+pub fn shard_counts(max: usize) -> Vec<usize> {
+    let mut counts = vec![1usize];
+    while counts.last().copied().unwrap_or(1) * 2 <= max {
+        counts.push(counts.last().unwrap() * 2);
+    }
+    if counts.last().copied() != Some(max) && max >= 1 {
+        counts.push(max);
+    }
+    counts
+}
+
+/// Measures the controller phase alone (trace pre-materialized, so no
+/// generation cost in the timed region) once per shard count. The trace
+/// is fed in [`SHARD_CHUNK`]-event chunks through
+/// [`rsc_control::ShardedController::observe_chunk`]; speedups are
+/// relative to the first row, which callers should make shard count 1.
+///
+/// The sweep only scales with physical parallelism: `par_map` falls back
+/// to sequential execution when the thread cap or core count is 1, so on
+/// a single-core host every row reports ~1.0x.
+pub fn run_shards(opts: &ExpOptions, counts: &[usize]) -> Vec<ShardRow> {
+    let pop = spec2000::benchmark(BENCHMARK)
+        .expect("benchmark exists")
+        .population(opts.events);
+    let trace: Vec<BranchRecord> = pop.trace(InputId::Eval, opts.events, opts.seed).collect();
+    let params = ControllerParams::scaled();
+    let reps = 3;
+    let mut rows: Vec<ShardRow> = Vec::new();
+    for &n in counts {
+        let throughput = time(
+            || {
+                let mut ctl = ReactiveController::builder(params)
+                    .log_policy(TransitionLogPolicy::CountsOnly)
+                    .shards(n)
+                    .build_sharded()
+                    .expect("valid params");
+                for chunk in trace.chunks(SHARD_CHUNK) {
+                    ctl.observe_chunk(chunk);
+                }
+                black_box(ctl.stats().correct);
+                trace.len() as u64
+            },
+            reps,
+        );
+        let base = rows
+            .first()
+            .map(|r| r.throughput.events_per_sec())
+            .unwrap_or_else(|| throughput.events_per_sec());
+        rows.push(ShardRow {
+            shards: n,
+            throughput,
+            speedup_vs_1: throughput.events_per_sec() / base,
+        });
+    }
+    rows
+}
+
+/// Renders the shard-scaling table.
+pub fn render_shards(rows: &[ShardRow]) -> String {
+    let mut t = TextTable::new(vec!["shards", "events", "ev/s", "speedup vs 1"]);
+    for r in rows {
+        t.row(vec![
+            r.shards.to_string(),
+            r.throughput.events.to_string(),
+            format!("{:.3e}", r.throughput.events_per_sec()),
+            format!("{:.2}x", r.speedup_vs_1),
+        ]);
+    }
+    t.render()
+}
+
+/// Runs the `--shards N` workload once more with metrics attached and
+/// returns the merged aggregate registry (per-shard labeled families
+/// included) — the `--metrics-out` payload for a sharded perf run.
+pub fn instrumented_sharded_registry(
+    opts: &ExpOptions,
+    shards: usize,
+) -> rsc_control::MetricsRegistry {
+    let pop = spec2000::benchmark(BENCHMARK)
+        .expect("benchmark exists")
+        .population(opts.events);
+    let mut ctl = ReactiveController::builder(ControllerParams::scaled())
+        .log_policy(TransitionLogPolicy::CountsOnly)
+        .metrics()
+        .shards(shards)
+        .build_sharded()
+        .expect("valid params");
+    let mut buf = vec![
+        BranchRecord {
+            branch: BranchId::new(0),
+            taken: false,
+            instr: 0
+        };
+        SHARD_CHUNK
+    ];
+    let mut trace = pop.trace(InputId::Eval, opts.events, opts.seed);
+    loop {
+        let n = trace.fill(&mut buf);
+        if n == 0 {
+            break;
+        }
+        ctl.observe_chunk(&buf[..n]);
+    }
+    ctl.metrics().expect("metrics were enabled")
+}
+
 /// Runs the perf workload once more with the metrics registry attached
 /// and returns it — the payload behind `repro perf --metrics-out`. Uses
 /// the same benchmark, event count, and seed as the timed rows so the
@@ -302,11 +428,35 @@ pub fn render(rows: &[StageRow]) -> String {
 }
 
 /// Serializes the rows as JSON (the `BENCH_pipeline.json` payload).
-pub fn to_json(rows: &[StageRow], opts: &ExpOptions) -> String {
+/// `shard_rows` is empty when the run had no `--shards` sweep; the
+/// `shard_scaling` array is emitted either way so consumers can probe
+/// one stable schema.
+pub fn to_json(rows: &[StageRow], shard_rows: &[ShardRow], opts: &ExpOptions) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"benchmark\": \"{BENCHMARK}\",\n"));
     out.push_str(&format!("  \"seed\": {},\n", opts.seed));
     out.push_str(&format!("  \"chunk_events\": {CHUNK},\n"));
+    out.push_str(&format!(
+        "  \"threads\": {},\n",
+        crate::parallel::max_threads()
+    ));
+    out.push_str("  \"shard_scaling\": [\n");
+    for (i, r) in shard_rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"shards\": {},\n", r.shards));
+        out.push_str(&format!("      \"events\": {},\n", r.throughput.events));
+        out.push_str(&format!(
+            "      \"events_per_sec\": {:.1},\n",
+            r.throughput.events_per_sec()
+        ));
+        out.push_str(&format!("      \"speedup_vs_1\": {:.3}\n", r.speedup_vs_1));
+        out.push_str(if i + 1 == shard_rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"stages\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str("    {\n");
@@ -392,12 +542,78 @@ mod tests {
                 chunked: None,
             },
         ];
-        let json = to_json(&rows, &ExpOptions::small());
-        assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert_eq!(json.matches('[').count(), json.matches(']').count());
-        assert!(json.contains("\"speedup\": 2.000"));
-        assert!(json.contains("\"speedup\": null"));
-        assert!(json.ends_with("}\n"));
+        let shard_rows = vec![
+            ShardRow {
+                shards: 1,
+                throughput: Throughput {
+                    events: 1000,
+                    secs: 0.4,
+                },
+                speedup_vs_1: 1.0,
+            },
+            ShardRow {
+                shards: 4,
+                throughput: Throughput {
+                    events: 1000,
+                    secs: 0.1,
+                },
+                speedup_vs_1: 4.0,
+            },
+        ];
+        for shards in [&[][..], &shard_rows[..]] {
+            let json = to_json(&rows, shards, &ExpOptions::small());
+            assert_eq!(json.matches('{').count(), json.matches('}').count());
+            assert_eq!(json.matches('[').count(), json.matches(']').count());
+            assert!(json.contains("\"speedup\": 2.000"));
+            assert!(json.contains("\"speedup\": null"));
+            assert!(json.contains("\"shard_scaling\": ["));
+            assert!(json.contains("\"threads\": "));
+            assert!(json.ends_with("}\n"));
+        }
+        let json = to_json(&rows, &shard_rows, &ExpOptions::small());
+        assert!(json.contains("\"shards\": 4"));
+        assert!(json.contains("\"speedup_vs_1\": 4.000"));
+    }
+
+    #[test]
+    fn shard_counts_are_powers_of_two_plus_max() {
+        assert_eq!(shard_counts(1), vec![1]);
+        assert_eq!(shard_counts(4), vec![1, 2, 4]);
+        assert_eq!(shard_counts(6), vec![1, 2, 4, 6]);
+        assert_eq!(shard_counts(8), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn shard_sweep_reports_consistent_rows() {
+        let opts = ExpOptions::small().with_events(40_000);
+        let rows = run_shards(&opts, &shard_counts(3));
+        assert_eq!(
+            rows.iter().map(|r| r.shards).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        for r in &rows {
+            assert_eq!(r.throughput.events, 40_000);
+            assert!(r.throughput.events_per_sec() > 0.0);
+            assert!(r.speedup_vs_1 > 0.0);
+        }
+        assert_eq!(rows[0].speedup_vs_1, 1.0);
+    }
+
+    #[test]
+    fn sharded_registry_matches_sequential_totals() {
+        let opts = ExpOptions::small().with_events(30_000);
+        let sharded = instrumented_sharded_registry(&opts, 4);
+        let sequential = instrumented_registry(&opts);
+        for name in ["rsc_events_total", "rsc_spec_incorrect_total"] {
+            assert_eq!(
+                sharded.counter_value(name),
+                sequential.counter_value(name),
+                "{name}"
+            );
+        }
+        assert!(sharded
+            .render_prometheus()
+            .contains("rsc_shard_events_total"));
     }
 
     #[test]

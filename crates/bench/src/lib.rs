@@ -4,6 +4,7 @@
 //! prints paper-vs-measured comparisons. See `EXPERIMENTS.md` at the repo
 //! root for recorded results.
 
+pub mod cli;
 pub mod conformance_cli;
 pub mod experiments;
 pub mod export;

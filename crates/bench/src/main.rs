@@ -17,45 +17,29 @@ fn main() {
     if args.first().map(String::as_str) == Some("observe") {
         std::process::exit(rsc_bench::observe_cli::run(&args[1..]));
     }
-    let mut opts = ExpOptions::new();
-    let mut csv_dir: Option<PathBuf> = None;
-    let mut metrics_out: Option<PathBuf> = None;
-    let mut which: Vec<String> = Vec::new();
-    let mut it = args.iter().peekable();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--events" => {
-                let v = it.next().expect("--events needs a value");
-                opts.events = v.parse().expect("--events must be an integer");
-            }
-            "--seed" => {
-                let v = it.next().expect("--seed needs a value");
-                opts.seed = v.parse().expect("--seed must be an integer");
-            }
-            "--full" => {
-                opts.events = 40_000_000;
-            }
-            "--threads" => {
-                let v = it.next().expect("--threads needs a value");
-                let n: usize = v.parse().expect("--threads must be an integer");
-                rsc_bench::parallel::set_max_threads(n);
-            }
-            "--csv" => {
-                let v = it.next().expect("--csv needs a directory");
-                csv_dir = Some(PathBuf::from(v));
-            }
-            "--metrics-out" => {
-                let v = it.next().expect("--metrics-out needs a file path");
-                metrics_out = Some(PathBuf::from(v));
-            }
-            other => which.push(other.to_string()),
+    let top = match rsc_bench::cli::parse(&args) {
+        Ok(top) => top,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", rsc_bench::cli::USAGE);
+            std::process::exit(2);
         }
+    };
+    if let Some(n) = top.threads {
+        rsc_bench::parallel::set_max_threads(n);
     }
+    let mut which = top.which.clone();
     if which.is_empty() {
         which.push("all".to_string());
     }
     for w in which {
-        dispatch(&w, &opts, csv_dir.as_deref(), metrics_out.as_deref());
+        dispatch(
+            &w,
+            &top.opts,
+            top.csv_dir.as_deref(),
+            top.metrics_out.as_deref(),
+            top.shards,
+        );
     }
 }
 
@@ -64,6 +48,7 @@ fn dispatch(
     opts: &ExpOptions,
     csv_dir: Option<&std::path::Path>,
     metrics_out: Option<&std::path::Path>,
+    shards: Option<usize>,
 ) {
     let save = |name: &str, csv: String| {
         if let Some(dir) = csv_dir {
@@ -169,7 +154,20 @@ fn dispatch(
             println!("== Pipeline throughput: per-event vs chunked hot path ==");
             let rows = experiments::perf::run(opts);
             println!("{}", experiments::perf::render(&rows));
-            let json = experiments::perf::to_json(&rows, opts);
+            let shard_rows = match shards {
+                Some(n) => {
+                    println!(
+                        "== Shard scaling: controller phase, {} worker thread(s) ==",
+                        rsc_bench::parallel::max_threads()
+                    );
+                    let srows =
+                        experiments::perf::run_shards(opts, &experiments::perf::shard_counts(n));
+                    println!("{}", experiments::perf::render_shards(&srows));
+                    srows
+                }
+                None => Vec::new(),
+            };
+            let json = experiments::perf::to_json(&rows, &shard_rows, opts);
             let path = csv_dir
                 .map(|d| d.join("BENCH_pipeline.json"))
                 .unwrap_or_else(|| PathBuf::from("BENCH_pipeline.json"));
@@ -179,7 +177,10 @@ fn dispatch(
             std::fs::write(&path, json).expect("failed to write BENCH_pipeline.json");
             println!("wrote {}", path.display());
             if let Some(mpath) = metrics_out {
-                let registry = experiments::perf::instrumented_registry(opts);
+                let registry = match shards {
+                    Some(n) if n > 1 => experiments::perf::instrumented_sharded_registry(opts, n),
+                    _ => experiments::perf::instrumented_registry(opts),
+                };
                 rsc_bench::observe_cli::export_metrics(&registry, mpath);
                 println!("wrote {}", mpath.display());
             }
@@ -211,7 +212,7 @@ fn dispatch(
                 "fig8",
                 "clustering",
             ] {
-                dispatch(w, opts, csv_dir, metrics_out);
+                dispatch(w, opts, csv_dir, metrics_out, shards);
             }
         }
         other => {

@@ -1,0 +1,61 @@
+//! End-to-end checks of the `repro` binary's top-level argument
+//! handling: bad or missing flag values must produce a usage message on
+//! stderr and exit status 2, never a panic.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+fn assert_usage_error(out: &Output, needle: &str) {
+    assert_eq!(out.status.code(), Some(2), "exit code");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains(needle),
+        "stderr should mention {needle:?}: {err}"
+    );
+    assert!(
+        err.contains("usage: repro"),
+        "stderr should print usage: {err}"
+    );
+    assert!(
+        !err.contains("panicked"),
+        "usage errors must not panic: {err}"
+    );
+}
+
+#[test]
+fn non_integer_flag_value_is_a_usage_error() {
+    let out = repro(&["perf", "--events", "lots"]);
+    assert_usage_error(&out, "--events");
+}
+
+#[test]
+fn missing_flag_value_is_a_usage_error() {
+    let out = repro(&["perf", "--shards"]);
+    assert_usage_error(&out, "--shards needs a value");
+}
+
+#[test]
+fn zero_shards_is_a_usage_error() {
+    let out = repro(&["perf", "--shards", "0"]);
+    assert_usage_error(&out, "--shards must be at least 1");
+}
+
+#[test]
+fn unknown_option_is_a_usage_error() {
+    let out = repro(&["--bogus"]);
+    assert_usage_error(&out, "unknown option: --bogus");
+}
+
+#[test]
+fn unknown_experiment_still_exits_2() {
+    let out = repro(&["definitely-not-an-experiment"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown experiment"), "{err}");
+}

@@ -79,6 +79,11 @@ impl Counterexample {
                     Mode::Chunked { seed } => {
                         Json::obj([("kind", Json::str("chunked")), ("seed", Json::Int(seed))])
                     }
+                    Mode::Sharded { shards, seed } => Json::obj([
+                        ("kind", Json::str("sharded")),
+                        ("shards", Json::Int(shards as u64)),
+                        ("seed", Json::Int(seed)),
+                    ]),
                 },
             ),
             (
@@ -122,6 +127,16 @@ impl Counterexample {
             Some("chunked") => Mode::Chunked {
                 seed: field_u64(mode_v, "seed")?,
             },
+            Some("sharded") => {
+                let shards = usize::try_from(field_u64(mode_v, "shards")?)
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(ArtifactError::Malformed("mode.shards"))?;
+                Mode::Sharded {
+                    shards,
+                    seed: field_u64(mode_v, "seed")?,
+                }
+            }
             _ => return Err(ArtifactError::Malformed("mode.kind")),
         };
         let trace = v
@@ -376,7 +391,14 @@ mod tests {
 
     #[test]
     fn json_roundtrip_preserves_everything() {
-        for mode in [Mode::PerEvent, Mode::Chunked { seed: 99 }] {
+        for mode in [
+            Mode::PerEvent,
+            Mode::Chunked { seed: 99 },
+            Mode::Sharded {
+                shards: 4,
+                seed: 99,
+            },
+        ] {
             for params in [
                 ControllerParams::scaled(),
                 ControllerParams::table2()

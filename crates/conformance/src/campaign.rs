@@ -134,7 +134,41 @@ pub fn scenarios_for(p: &ControllerParams) -> Vec<Scenario> {
 }
 
 /// Runs the campaign, stopping at the first divergence.
+///
+/// Every (seed, params, scenario) cell runs in three modes: per-event,
+/// chunked, and sharded (the shard count cycles through 1..=8 with the
+/// case's sub-seed, so a sweep of a few seeds covers every count).
 pub fn run(config: &CampaignConfig) -> CampaignReport {
+    sweep(config, &|sub_seed| {
+        vec![
+            Mode::PerEvent,
+            Mode::Chunked { seed: sub_seed },
+            Mode::Sharded {
+                shards: 1 + (sub_seed % 8) as usize,
+                seed: sub_seed,
+            },
+        ]
+    })
+}
+
+/// Runs a sharded-only campaign: every cell runs the sharded lockstep
+/// once per shard count in `1..=max_shards`. This is the exhaustive
+/// shard-count sweep behind `repro conformance --shards N`.
+pub fn run_sharded(config: &CampaignConfig, max_shards: usize) -> CampaignReport {
+    sweep(config, &|sub_seed| {
+        (1..=max_shards.max(1))
+            .map(|shards| Mode::Sharded {
+                shards,
+                seed: sub_seed,
+            })
+            .collect()
+    })
+}
+
+/// The sweep skeleton shared by [`run`] and [`run_sharded`]: seed ×
+/// parameter matrix × scenario, with the per-cell mode list supplied by
+/// the caller.
+fn sweep(config: &CampaignConfig, modes_for: &dyn Fn(u64) -> Vec<Mode>) -> CampaignReport {
     let matrix = param_matrix();
     let mut cases = 0u64;
     let mut events_fed = 0u64;
@@ -151,7 +185,7 @@ pub fn run(config: &CampaignConfig) -> CampaignReport {
                 )
                 .next_u64();
                 let trace = scenario.generate(config.events, sub_seed);
-                for mode in [Mode::PerEvent, Mode::Chunked { seed: sub_seed }] {
+                for mode in modes_for(sub_seed) {
                     let spec = CaseSpec {
                         subject,
                         reference: *params,
@@ -220,5 +254,38 @@ mod tests {
             fault: Some(Fault::HysteresisOffByOne),
         };
         assert_eq!(run(&config), run(&config));
+    }
+
+    #[test]
+    fn sharded_sweep_conforms_and_counts_every_shard_count() {
+        let config = CampaignConfig {
+            seed_start: 0,
+            seed_end: 1,
+            events: 1_000,
+            fault: None,
+        };
+        let report = run_sharded(&config, 8);
+        assert!(
+            report.counterexample.is_none(),
+            "unexpected divergence: {:?}",
+            report.counterexample.map(|c| c.detail)
+        );
+        // 6 param sets × 7 scenarios × 8 shard counts per seed.
+        assert_eq!(report.cases, 6 * 7 * 8);
+        assert_eq!(report.events_fed, report.cases * 1_000);
+    }
+
+    #[test]
+    fn sharded_sweep_catches_injected_faults() {
+        let config = CampaignConfig {
+            seed_start: 0,
+            seed_end: 2,
+            events: 1_200,
+            fault: Some(Fault::HysteresisOffByOne),
+        };
+        let report = run_sharded(&config, 4);
+        let cx = report.counterexample.expect("fault must be caught");
+        assert!(matches!(cx.mode, Mode::Sharded { .. }));
+        assert!(cx.replay().is_err(), "artifact must reproduce");
     }
 }

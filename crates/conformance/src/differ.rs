@@ -19,7 +19,7 @@
 
 use rsc_control::{
     ChunkSummary, ControllerParams, ReactiveController, ReferenceController, ResilienceConfig,
-    SpecDecision, TransitionKind,
+    ShardedController, SpecDecision, TransitionKind,
 };
 use rsc_trace::rng::Xoshiro256;
 use rsc_trace::{BranchId, BranchRecord};
@@ -41,6 +41,17 @@ pub enum Mode {
         /// Seed for the chunk-length stream.
         seed: u64,
     },
+    /// `ShardedController::observe_chunk` with `shards` worker shards,
+    /// over the same random chunk layout as [`Mode::Chunked`]. Checks
+    /// everything the sharded engine promises to merge bit-identically
+    /// (summaries, stats, per-kind counts, snapshots); the ordered
+    /// transition log is shard-local by design and is not compared.
+    Sharded {
+        /// Worker shard count (≥ 1).
+        shards: usize,
+        /// Seed for the chunk-length stream.
+        seed: u64,
+    },
 }
 
 impl Mode {
@@ -49,6 +60,7 @@ impl Mode {
         match self {
             Mode::PerEvent => "per-event",
             Mode::Chunked { .. } => "chunked",
+            Mode::Sharded { .. } => "sharded",
         }
     }
 }
@@ -96,6 +108,9 @@ impl std::fmt::Display for Divergence {
 /// Panics if either parameter set fails validation — campaign parameters
 /// are constructed from validated presets.
 pub fn run_case(spec: &CaseSpec, trace: &[BranchRecord]) -> Result<(), Divergence> {
+    if let Mode::Sharded { shards, seed } = spec.mode {
+        return run_sharded_case(spec, trace, shards, seed);
+    }
     let mut subject = match spec.resilience {
         None => ReactiveController::builder(spec.subject)
             .build()
@@ -154,12 +169,107 @@ pub fn run_case(spec: &CaseSpec, trace: &[BranchRecord]) -> Result<(), Divergenc
                 start = end;
             }
         }
+        Mode::Sharded { .. } => unreachable!("handled by run_sharded_case above"),
     }
 
     compare_final_state(&subject, &reference, trace).map_err(|detail| Divergence {
         index: trace.len(),
         detail,
     })
+}
+
+/// The sharded lockstep: the subject is a [`ShardedController`], fed the
+/// same random chunk layout as [`Mode::Chunked`]; the reference stays
+/// per-event. The sharded engine rejects the resilience layer, so a
+/// [`CaseSpec`] pairing the two is a harness bug.
+fn run_sharded_case(
+    spec: &CaseSpec,
+    trace: &[BranchRecord],
+    shards: usize,
+    seed: u64,
+) -> Result<(), Divergence> {
+    assert!(
+        spec.resilience.is_none(),
+        "sharded mode does not compose with the resilience layer"
+    );
+    let mut subject = ReactiveController::builder(spec.subject)
+        .shards(shards)
+        .build_sharded()
+        .expect("subject params validate");
+    let mut reference =
+        ReferenceController::new(spec.reference).expect("reference params validate");
+
+    let mut sizes = Xoshiro256::seed_from(seed);
+    let mut start = 0usize;
+    while start < trace.len() {
+        let len = (1 + sizes.gen_range(MAX_CHUNK)) as usize;
+        let end = (start + len).min(trace.len());
+        let got = subject.observe_chunk(&trace[start..end]);
+        let mut want = ChunkSummary::default();
+        for r in &trace[start..end] {
+            let d = reference.observe(r);
+            want.events += 1;
+            want.speculated += u64::from(d.speculated());
+            want.correct += u64::from(d == SpecDecision::Correct);
+            want.incorrect += u64::from(d == SpecDecision::Incorrect);
+        }
+        if got != want {
+            return Err(Divergence {
+                index: end - 1,
+                detail: format!(
+                    "sharded ({shards}) chunk summary mismatch over events {start}..{end}: \
+                     subject {got:?}, reference {want:?}"
+                ),
+            });
+        }
+        start = end;
+    }
+
+    compare_sharded_final_state(&subject, &reference, trace).map_err(|detail| Divergence {
+        index: trace.len(),
+        detail,
+    })
+}
+
+/// Final-state comparison for the sharded engine: everything the
+/// deterministic merge covers. The ordered transition log is skipped —
+/// `event_index` is a shard-local ordinal, which is per-shard semantics,
+/// not a divergence.
+fn compare_sharded_final_state(
+    subject: &ShardedController,
+    reference: &ReferenceController,
+    trace: &[BranchRecord],
+) -> Result<(), String> {
+    let got = subject.stats();
+    let want = reference.stats();
+    if got != want {
+        return Err(format!(
+            "final stats mismatch: subject {got:?}, reference {want:?}"
+        ));
+    }
+
+    for kind in TransitionKind::ALL {
+        let got = subject.transition_count(kind);
+        let want = reference.transition_count(kind);
+        if got != want {
+            return Err(format!(
+                "transition count mismatch for {kind:?}: subject {got}, reference {want}"
+            ));
+        }
+    }
+
+    let max_branch = trace.iter().map(|r| r.branch.index()).max().unwrap_or(0);
+    for b in 0..=max_branch {
+        let id = BranchId::new(b as u32);
+        let got = subject.branch_snapshot(id);
+        let want = reference.branch_snapshot(id);
+        if got != want {
+            return Err(format!(
+                "branch {b} snapshot mismatch: subject {got:?}, reference {want:?}"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Compares everything that should be identical once the trace is fully
@@ -354,5 +464,34 @@ mod tests {
         let trace = Scenario::UniformRandom { branches: 6 }.generate(2_000, 8);
         let spec = conforming(Mode::Chunked { seed: 77 });
         assert_eq!(run_case(&spec, &trace), run_case(&spec, &trace));
+    }
+
+    #[test]
+    fn sharded_lockstep_never_diverges_for_any_shard_count() {
+        let trace = Scenario::PhaseFlip {
+            branches: 6,
+            flip_after: 40,
+        }
+        .generate(4_000, 17);
+        for shards in 1..=8 {
+            run_case(&conforming(Mode::Sharded { shards, seed: 9 }), &trace)
+                .unwrap_or_else(|d| panic!("{shards} shards: {d}"));
+        }
+    }
+
+    #[test]
+    fn sharded_mode_still_catches_injected_faults() {
+        let spec = CaseSpec {
+            subject: Fault::HysteresisOffByOne.apply(tiny()),
+            reference: tiny(),
+            mode: Mode::Sharded { shards: 4, seed: 5 },
+            resilience: None,
+        };
+        let trace = Scenario::HysteresisStraddle {
+            warmup: 10,
+            period: 2,
+        }
+        .generate(4_000, 3);
+        run_case(&spec, &trace).unwrap_err();
     }
 }

@@ -34,6 +34,7 @@ use crate::controller::ReactiveController;
 use crate::observe::{ControllerMetrics, EventSink, Telemetry};
 use crate::params::{ControllerParams, InvalidParamsError};
 use crate::resilience::{ResilienceConfig, ResilienceState};
+use crate::shard::ShardedController;
 use crate::translog::{TransitionLog, TransitionLogPolicy};
 use std::sync::Arc;
 
@@ -50,7 +51,9 @@ pub struct ControllerBuilder {
     resilience: Option<ResilienceConfig>,
     log_policy: TransitionLogPolicy,
     metrics: bool,
+    interval_bounds: Option<Vec<u64>>,
     sink: Option<Arc<dyn EventSink>>,
+    shards: usize,
 }
 
 impl std::fmt::Debug for ControllerBuilder {
@@ -60,7 +63,9 @@ impl std::fmt::Debug for ControllerBuilder {
             .field("resilience", &self.resilience)
             .field("log_policy", &self.log_policy)
             .field("metrics", &self.metrics)
+            .field("interval_bounds", &self.interval_bounds)
             .field("sink", &self.sink.is_some())
+            .field("shards", &self.shards)
             .finish()
     }
 }
@@ -72,7 +77,9 @@ impl ControllerBuilder {
             resilience: None,
             log_policy: TransitionLogPolicy::Full,
             metrics: false,
+            interval_bounds: None,
             sink: None,
+            shards: 1,
         }
     }
 
@@ -104,6 +111,27 @@ impl ControllerBuilder {
         self
     }
 
+    /// Overrides the bucket bounds of the four interval-style histograms
+    /// (misspeculation interval, biased residency, breaker open/half-open
+    /// durations). Implies [`metrics`](ControllerBuilder::metrics).
+    /// Bounds must be strictly increasing; [`build`](ControllerBuilder::build)
+    /// rejects anything else as an [`InvalidParamsError`].
+    #[must_use]
+    pub fn interval_bounds(mut self, bounds: &[u64]) -> Self {
+        self.metrics = true;
+        self.interval_bounds = Some(bounds.to_vec());
+        self
+    }
+
+    /// Sets the shard count for [`build_sharded`](ControllerBuilder::build_sharded).
+    /// The plain [`build`](ControllerBuilder::build) only accepts the
+    /// default of 1 — a sharded engine is a different top-level type.
+    #[must_use]
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
     /// Streams observability events ([`crate::observe::ObsEvent`]) to
     /// `sink`. The sink is shared: clones of the controller keep emitting
     /// to the same destination.
@@ -121,6 +149,13 @@ impl ControllerBuilder {
     /// Returns an [`InvalidParamsError`] naming the first offending field
     /// in the parameters or resilience configuration.
     pub fn build(self) -> Result<ReactiveController, InvalidParamsError> {
+        if self.shards != 1 {
+            return Err(InvalidParamsError::bad_field(
+                "shards",
+                self.shards,
+                "build() constructs a sequential controller; use build_sharded()",
+            ));
+        }
         self.params.validate()?;
         let resilience = match self.resilience {
             Some(config) => Some(ResilienceState::new(config)?),
@@ -129,8 +164,16 @@ impl ControllerBuilder {
         let mut log = TransitionLog::default();
         log.set_policy(self.log_policy);
         let telemetry = if self.metrics || self.sink.is_some() {
+            let metrics = if self.metrics {
+                Some(match &self.interval_bounds {
+                    Some(bounds) => ControllerMetrics::with_interval_bounds(bounds)?,
+                    None => ControllerMetrics::new(),
+                })
+            } else {
+                None
+            };
             Some(Box::new(Telemetry {
-                metrics: self.metrics.then(ControllerMetrics::new),
+                metrics,
                 sink: self.sink,
             }))
         } else {
@@ -147,6 +190,61 @@ impl ControllerBuilder {
             resilience,
             telemetry,
         })
+    }
+
+    /// Validates the configuration and constructs a [`ShardedController`]
+    /// with the shard count set via [`shards`](ControllerBuilder::shards)
+    /// (default 1).
+    ///
+    /// Sharding composes with parameters, the log policy, and metrics,
+    /// but not with features whose semantics are inherently global and
+    /// order-dependent across branches:
+    ///
+    /// * the resilience layer (its storm breaker watches the *global*
+    ///   misspeculation stream);
+    /// * event sinks (shards emit concurrently, so interleaving would
+    ///   depend on scheduling).
+    ///
+    /// Both are rejected at any shard count — including 1 — so a config
+    /// never changes meaning when the shard count does.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InvalidParamsError`] for invalid parameters, a shard
+    /// count of 0, or a resilience/sink attachment.
+    pub fn build_sharded(self) -> Result<ShardedController, InvalidParamsError> {
+        if self.shards == 0 {
+            return Err(InvalidParamsError::bad_field(
+                "shards",
+                0usize,
+                "must be positive",
+            ));
+        }
+        if self.resilience.is_some() {
+            return Err(InvalidParamsError::bad_field(
+                "shards",
+                self.shards,
+                "resilience is global state and cannot be sharded",
+            ));
+        }
+        if self.sink.is_some() {
+            return Err(InvalidParamsError::bad_field(
+                "shards",
+                self.shards,
+                "event sinks would interleave nondeterministically across shards",
+            ));
+        }
+        let n = self.shards;
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            let one = ControllerBuilder {
+                shards: 1,
+                sink: None,
+                ..self.clone()
+            };
+            shards.push(one.build()?);
+        }
+        Ok(ShardedController::from_parts(shards))
     }
 }
 

@@ -61,10 +61,12 @@ use std::sync::Arc;
 
 /// Magic bytes opening every checkpoint.
 const MAGIC: [u8; 4] = *b"RSCK";
-/// Current format version. Version 2 appended the telemetry section
-/// (metric histogram state), so metrics survive checkpoint/restore;
-/// version 1 blobs are rejected.
-const VERSION: u8 = 2;
+/// Current format version. Version 3 added a shard-count varint after
+/// the version byte followed by one controller body per shard (a plain
+/// controller writes count 1), plus the interval-histogram bounds in the
+/// telemetry section; version 2 appended the telemetry section itself.
+/// Older blobs are rejected.
+const VERSION: u8 = 3;
 
 /// An opaque serialized controller state.
 ///
@@ -867,6 +869,11 @@ fn write_telemetry(w: &mut Writer, telemetry: Option<&Telemetry>) {
         return;
     };
     w.u8(1);
+    let bounds = cm.interval_bounds();
+    w.usize(bounds.len());
+    for &b in bounds {
+        w.u64(b);
+    }
     for id in cm.histograms_in_order() {
         let h = cm.registry.histogram_ref(id);
         w.usize(h.buckets().len());
@@ -889,7 +896,13 @@ fn read_telemetry(r: &mut Reader<'_>) -> Result<Option<Box<Telemetry>>, Checkpoi
     match r.u8()? {
         0 => Ok(None),
         1 => {
-            let mut cm = ControllerMetrics::new();
+            let n = r.len_prefix()?;
+            let mut bounds = Vec::with_capacity(n);
+            for _ in 0..n {
+                bounds.push(r.u64()?);
+            }
+            let mut cm = ControllerMetrics::with_interval_bounds(&bounds)
+                .map_err(|_| r.corrupt("histogram bounds must be strictly increasing"))?;
             for id in cm.histograms_in_order() {
                 let n = r.len_prefix()?;
                 let mut buckets = Vec::with_capacity(n);
@@ -898,8 +911,8 @@ fn read_telemetry(r: &mut Reader<'_>) -> Result<Option<Box<Telemetry>>, Checkpoi
                 }
                 let count = r.u64()?;
                 let sum = r.u64()?;
-                if !cm.registry.histogram_mut(id).set_raw(buckets, count, sum) {
-                    return Err(r.corrupt("histogram bucket count disagrees with this build"));
+                if let Err(what) = cm.registry.histogram_mut(id).set_raw(buckets, count, sum) {
+                    return Err(r.corrupt(what));
                 }
             }
             cm.last_misspec_event = r.opt_u64()?;
@@ -918,6 +931,86 @@ fn read_telemetry(r: &mut Reader<'_>) -> Result<Option<Box<Telemetry>>, Checkpoi
         }
         _ => Err(r.corrupt("bad telemetry tag")),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-controller bodies (shared by the plain and sharded formats)
+// ---------------------------------------------------------------------------
+
+/// Serializes one complete controller (params through telemetry) — the
+/// repeated unit of the v3 format. A plain checkpoint holds one body; a
+/// sharded checkpoint holds one per shard, in shard order.
+fn write_controller_body(w: &mut Writer, ctl: &ReactiveController) {
+    write_params(w, &ctl.params);
+    match &ctl.resilience {
+        None => w.u8(0),
+        Some(rs) => {
+            w.u8(1);
+            write_resilience(w, rs);
+        }
+    }
+    w.u64(ctl.events);
+    w.u64(ctl.instructions);
+    w.u64(ctl.correct);
+    w.u64(ctl.incorrect);
+    write_log(w, &ctl.log);
+    w.usize(ctl.branches.len());
+    for b in &ctl.branches {
+        write_branch(w, b);
+    }
+    write_telemetry(w, ctl.telemetry.as_deref());
+}
+
+fn read_controller_body(r: &mut Reader<'_>) -> Result<ReactiveController, CheckpointError> {
+    let params = read_params(r)?;
+    params.validate()?;
+    let resilience = match r.u8()? {
+        0 => None,
+        1 => Some(read_resilience(r)?),
+        _ => return Err(r.corrupt("bad resilience tag")),
+    };
+    let events = r.u64()?;
+    let instructions = r.u64()?;
+    let correct = r.u64()?;
+    let incorrect = r.u64()?;
+    let log = read_log(r)?;
+    let n_branches = r.len_prefix()?;
+    let mut branches = Vec::with_capacity(n_branches);
+    for _ in 0..n_branches {
+        branches.push(read_branch(r, &params)?);
+    }
+    let telemetry = read_telemetry(r)?;
+    Ok(ReactiveController {
+        params,
+        branches,
+        log,
+        events,
+        instructions,
+        correct,
+        incorrect,
+        resilience,
+        telemetry,
+    })
+}
+
+/// Validates the magic and version, returning a reader positioned at the
+/// shard-count varint.
+fn read_header(bytes: &[u8]) -> Result<Reader<'_>, CheckpointError> {
+    if bytes.len() < MAGIC.len() + 1 {
+        return Err(CheckpointError::Truncated {
+            offset: bytes.len(),
+        });
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = bytes[MAGIC.len()];
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let mut r = Reader::new(bytes);
+    r.pos = MAGIC.len() + 1;
+    Ok(r)
 }
 
 // ---------------------------------------------------------------------------
@@ -941,24 +1034,8 @@ impl ReactiveController {
     /// serialized bytes: snapshotting is observationally transparent.
     pub fn snapshot(&self) -> ControllerCheckpoint {
         let mut w = Writer::new();
-        write_params(&mut w, &self.params);
-        match &self.resilience {
-            None => w.u8(0),
-            Some(rs) => {
-                w.u8(1);
-                write_resilience(&mut w, rs);
-            }
-        }
-        w.u64(self.events);
-        w.u64(self.instructions);
-        w.u64(self.correct);
-        w.u64(self.incorrect);
-        write_log(&mut w, &self.log);
-        w.usize(self.branches.len());
-        for b in &self.branches {
-            write_branch(&mut w, b);
-        }
-        write_telemetry(&mut w, self.telemetry.as_deref());
+        w.usize(1); // shard count: a plain controller is one shard
+        write_controller_body(&mut w, self);
         let cp = ControllerCheckpoint { bytes: w.buf };
         if let Some(t) = &self.telemetry {
             t.emit(&ObsEvent::CheckpointSaved {
@@ -982,53 +1059,16 @@ impl ReactiveController {
     /// with the byte offset for structural corruption.
     pub fn restore(cp: &ControllerCheckpoint) -> Result<Self, CheckpointError> {
         let bytes = cp.as_bytes();
-        if bytes.len() < MAGIC.len() + 1 {
-            return Err(CheckpointError::Truncated {
-                offset: bytes.len(),
-            });
+        let mut r = read_header(bytes)?;
+        let shard_count = r.len_prefix()?;
+        if shard_count != 1 {
+            return Err(r.corrupt("sharded checkpoint: restore it via ShardedController::restore"));
         }
-        if bytes[..MAGIC.len()] != MAGIC {
-            return Err(CheckpointError::BadMagic);
-        }
-        let version = bytes[MAGIC.len()];
-        if version != VERSION {
-            return Err(CheckpointError::UnsupportedVersion(version));
-        }
-        let mut r = Reader::new(bytes);
-        r.pos = MAGIC.len() + 1;
-
-        let params = read_params(&mut r)?;
-        params.validate()?;
-        let resilience = match r.u8()? {
-            0 => None,
-            1 => Some(read_resilience(&mut r)?),
-            _ => return Err(r.corrupt("bad resilience tag")),
-        };
-        let events = r.u64()?;
-        let instructions = r.u64()?;
-        let correct = r.u64()?;
-        let incorrect = r.u64()?;
-        let log = read_log(&mut r)?;
-        let n_branches = r.len_prefix()?;
-        let mut branches = Vec::with_capacity(n_branches);
-        for _ in 0..n_branches {
-            branches.push(read_branch(&mut r, &params)?);
-        }
-        let telemetry = read_telemetry(&mut r)?;
+        let ctl = read_controller_body(&mut r)?;
         if r.pos != bytes.len() {
             return Err(r.corrupt("trailing bytes after checkpoint"));
         }
-        Ok(ReactiveController {
-            params,
-            branches,
-            log,
-            events,
-            instructions,
-            correct,
-            incorrect,
-            resilience,
-            telemetry,
-        })
+        Ok(ctl)
     }
 
     /// Rebuilds a controller from a checkpoint and attaches `sink` for
@@ -1055,6 +1095,72 @@ impl ReactiveController {
             });
         }
         Ok(ctl)
+    }
+}
+
+impl crate::shard::ShardedController {
+    /// Serializes every shard's complete state into one v3 checkpoint:
+    /// the shard count, then one controller body per shard in shard
+    /// order. Restoring yields the same merged exposition (stats,
+    /// transition counts, snapshots, metrics) as a straight run.
+    pub fn snapshot(&self) -> ControllerCheckpoint {
+        let mut w = Writer::new();
+        w.usize(self.shard_count());
+        for ctl in self.shard_controllers() {
+            write_controller_body(&mut w, ctl);
+        }
+        ControllerCheckpoint { bytes: w.buf }
+    }
+
+    /// Rebuilds a sharded engine from a checkpoint.
+    ///
+    /// Accepts any shard count ≥ 1 — a plain
+    /// [`ReactiveController::snapshot`] blob restores as a one-shard
+    /// engine. Decoding is strict (same guarantees as
+    /// [`ReactiveController::restore`]), and the shards are additionally
+    /// required to be mutually consistent: identical parameters, no
+    /// resilience state, and a uniform telemetry shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] describing the first problem found.
+    pub fn restore(cp: &ControllerCheckpoint) -> Result<Self, CheckpointError> {
+        let bytes = cp.as_bytes();
+        let mut r = read_header(bytes)?;
+        let shard_count = r.len_prefix()?;
+        if shard_count == 0 {
+            return Err(r.corrupt("checkpoint contains zero shards"));
+        }
+        let mut shards = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let ctl = read_controller_body(&mut r)?;
+            if ctl.resilience.is_some() {
+                return Err(CheckpointError::Invalid(InvalidParamsError::bad_field(
+                    "shards",
+                    shard_count,
+                    "resilience is global state and cannot be sharded",
+                )));
+            }
+            shards.push(ctl);
+        }
+        if r.pos != bytes.len() {
+            return Err(r.corrupt("trailing bytes after checkpoint"));
+        }
+        let first_params = shards[0].params;
+        let first_metered = shards[0]
+            .telemetry
+            .as_ref()
+            .is_some_and(|t| t.metrics.is_some());
+        for ctl in &shards[1..] {
+            if ctl.params != first_params {
+                return Err(r.corrupt("shards disagree on controller parameters"));
+            }
+            let metered = ctl.telemetry.as_ref().is_some_and(|t| t.metrics.is_some());
+            if metered != first_metered {
+                return Err(r.corrupt("shards disagree on telemetry shape"));
+            }
+        }
+        Ok(crate::shard::ShardedController::from_parts(shards))
     }
 }
 
@@ -1193,6 +1299,128 @@ mod tests {
             ReactiveController::restore(&ControllerCheckpoint::from_bytes(bytes)).unwrap_err();
         assert!(matches!(err, CheckpointError::Corrupt { what, .. }
             if what == "trailing bytes after checkpoint"));
+    }
+
+    #[test]
+    fn rejects_corrupted_histogram_footer() {
+        // A checkpoint whose histogram count disagrees with its bucket
+        // sum can only come from corruption; restore must refuse it.
+        let mut ctl = ReactiveController::builder(ControllerParams::scaled())
+            .metrics()
+            .build()
+            .unwrap();
+        drive(&mut ctl, 5_000);
+        {
+            let cm = ctl.telemetry.as_mut().unwrap().metrics.as_mut().unwrap();
+            let id = cm.ids.misspec_interval;
+            let honest = cm.registry.histogram_ref(id).count();
+            cm.registry.histogram_mut(id).force_count(honest + 7);
+        }
+        let err = ReactiveController::restore(&ctl.snapshot()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt { what, .. }
+            if what == "histogram count disagrees with bucket sum"));
+    }
+
+    #[test]
+    fn round_trips_a_sharded_controller() {
+        use crate::shard::ShardedController;
+        use crate::TransitionKind;
+        let mut shd = ReactiveController::builder(ControllerParams::scaled())
+            .shards(3)
+            .metrics()
+            .build_sharded()
+            .unwrap();
+        let records: Vec<BranchRecord> = (0..5_000u64)
+            .map(|i| BranchRecord {
+                branch: BranchId::new((i % 7) as u32),
+                taken: (i / 40) % 2 == 0,
+                instr: i * 10,
+            })
+            .collect();
+        shd.observe_chunk(&records);
+        let cp = shd.snapshot();
+        let restored = ShardedController::restore(&cp).unwrap();
+        assert_eq!(restored.shard_count(), 3);
+        assert_eq!(restored.stats(), shd.stats());
+        for kind in TransitionKind::ALL {
+            assert_eq!(restored.transition_count(kind), shd.transition_count(kind));
+        }
+        for b in 0..7u32 {
+            assert_eq!(
+                restored.branch_snapshot(BranchId::new(b)),
+                shd.branch_snapshot(BranchId::new(b))
+            );
+        }
+        assert_eq!(
+            restored.metrics().unwrap().render_prometheus(),
+            shd.metrics().unwrap().render_prometheus(),
+            "restore preserves the merged exposition"
+        );
+        // Resume-equals-straight-run across the shard boundary.
+        let mut resumed = ShardedController::restore(&cp).unwrap();
+        assert_eq!(resumed.observe_chunk(&records), shd.observe_chunk(&records));
+        assert_eq!(resumed.stats(), shd.stats());
+    }
+
+    #[test]
+    fn plain_restore_refuses_sharded_blobs_and_vice_versa() {
+        use crate::shard::ShardedController;
+        let mut shd = ReactiveController::builder(ControllerParams::scaled())
+            .shards(2)
+            .build_sharded()
+            .unwrap();
+        drive_sharded(&mut shd, 1_000);
+        let err = ReactiveController::restore(&shd.snapshot()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt { what, .. }
+            if what.starts_with("sharded checkpoint")));
+
+        // The other direction is accepted: a plain blob is one shard.
+        let mut ctl = ReactiveController::builder(ControllerParams::scaled())
+            .build()
+            .unwrap();
+        drive(&mut ctl, 1_000);
+        let as_sharded = ShardedController::restore(&ctl.snapshot()).unwrap();
+        assert_eq!(as_sharded.shard_count(), 1);
+        assert_eq!(as_sharded.stats(), ctl.stats());
+    }
+
+    #[test]
+    fn sharded_restore_stays_strict() {
+        let mut shd = ReactiveController::builder(ControllerParams::scaled())
+            .shards(2)
+            .build_sharded()
+            .unwrap();
+        drive_sharded(&mut shd, 500);
+        let bytes = shd.snapshot().into_bytes();
+        for cut in 0..bytes.len() {
+            let cp = ControllerCheckpoint::from_bytes(bytes[..cut].to_vec());
+            assert!(
+                crate::shard::ShardedController::restore(&cp).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        let err =
+            crate::shard::ShardedController::restore(&ControllerCheckpoint::from_bytes(trailing))
+                .unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt { what, .. }
+            if what == "trailing bytes after checkpoint"));
+    }
+
+    fn drive_sharded(shd: &mut crate::shard::ShardedController, n: u64) {
+        for i in 0..n {
+            let (branch, taken) = if i % 3 == 0 {
+                (BranchId::new(1), i % 2 == 0)
+            } else {
+                (BranchId::new(0), true)
+            };
+            shd.observe(&BranchRecord {
+                branch,
+                taken,
+                instr: i * 10,
+            });
+        }
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod observe;
 pub mod params;
 pub mod reference;
 pub mod resilience;
+pub mod shard;
 pub mod stats;
 pub mod translog;
 
@@ -77,6 +78,7 @@ pub use observe::{EventSink, JsonlSink, MetricsRegistry, NullSink, ObsEvent, Vec
 pub use params::{ControllerParams, EvictionMode, InvalidParamsError, MonitorPolicy, Revisit};
 pub use reference::ReferenceController;
 pub use resilience::ResilienceConfig;
+pub use shard::ShardedController;
 pub use stats::ControlStats;
 pub use translog::{TransitionLog, TransitionLogPolicy};
 
@@ -97,6 +99,7 @@ pub mod prelude {
     pub use crate::observe::{EventSink, JsonlSink, MetricsRegistry, NullSink, ObsEvent, VecSink};
     pub use crate::params::{ControllerParams, InvalidParamsError};
     pub use crate::resilience::ResilienceConfig;
+    pub use crate::shard::ShardedController;
     pub use crate::stats::ControlStats;
     pub use crate::translog::TransitionLogPolicy;
 }

@@ -47,6 +47,7 @@
 //! `tests/telemetry_overhead.rs`).
 
 use crate::controller::{TransitionEvent, TransitionKind};
+use crate::params::InvalidParamsError;
 use crate::resilience::deployer::{DeployKind, DeployOutcome};
 use rsc_trace::BranchId;
 use std::fmt;
@@ -86,14 +87,25 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn new(bounds: &[u64]) -> Self {
-        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must rise");
-        Histogram {
+    /// Validating constructor: bounds must be strictly increasing, or the
+    /// bucket index computed by [`observe`](Histogram::observe) (a
+    /// `partition_point` over `bounds`) silently misclassifies values in
+    /// release builds.
+    fn try_new(bounds: &[u64]) -> Result<Self, &'static str> {
+        if !bounds.windows(2).all(|w| w[0] < w[1]) {
+            return Err("histogram bounds must be strictly increasing");
+        }
+        Ok(Histogram {
             bounds: bounds.to_vec(),
             buckets: vec![0; bounds.len() + 1],
             count: 0,
             sum: 0,
-        }
+        })
+    }
+
+    #[cfg(test)]
+    fn new(bounds: &[u64]) -> Self {
+        Histogram::try_new(bounds).expect("histogram bounds must be strictly increasing")
     }
 
     #[inline]
@@ -126,15 +138,44 @@ impl Histogram {
     }
 
     /// Checkpoint restore: overwrite the mutable state in place. The
-    /// bucket count must match this histogram's shape.
-    pub(crate) fn set_raw(&mut self, buckets: Vec<u64>, count: u64, sum: u64) -> bool {
+    /// bucket count must match this histogram's shape, and `count` must
+    /// equal the bucket total — every observation lands in exactly one
+    /// bucket, so a disagreement can only mean a corrupted payload.
+    pub(crate) fn set_raw(
+        &mut self,
+        buckets: Vec<u64>,
+        count: u64,
+        sum: u64,
+    ) -> Result<(), &'static str> {
         if buckets.len() != self.buckets.len() {
-            return false;
+            return Err("histogram bucket count disagrees with this build");
+        }
+        if buckets.iter().sum::<u64>() != count {
+            return Err("histogram count disagrees with bucket sum");
         }
         self.buckets = buckets;
         self.count = count;
         self.sum = sum;
-        true
+        Ok(())
+    }
+
+    /// Adds another histogram's observations into this one (used by the
+    /// sharded controller's deterministic merge). Both histograms must
+    /// share the same bounds.
+    pub(crate) fn merge_from(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bounds must match");
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Test hook: corrupt the observation count without touching the
+    /// buckets, to exercise the checkpoint consistency check.
+    #[cfg(test)]
+    pub(crate) fn force_count(&mut self, count: u64) {
+        self.count = count;
     }
 }
 
@@ -258,14 +299,41 @@ impl MetricsRegistry {
     }
 
     /// Registers (or finds) a fixed-bucket histogram with the given
-    /// inclusive upper bounds (strictly increasing; `+Inf` is implicit).
+    /// inclusive upper bounds (`+Inf` is implicit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not strictly increasing; use
+    /// [`try_histogram`](MetricsRegistry::try_histogram) to surface the
+    /// problem as an error instead.
     pub fn histogram(&mut self, name: &str, help: &'static str, bounds: &[u64]) -> HistogramId {
-        HistogramId(self.register(
+        self.try_histogram(name, help, bounds)
+            .expect("histogram bounds must be strictly increasing")
+    }
+
+    /// Registers (or finds) a fixed-bucket histogram, rejecting bounds
+    /// that are not strictly increasing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InvalidParamsError`] naming the offending bounds when
+    /// they are not strictly increasing — with unordered or duplicate
+    /// bounds the bucket search would silently misclassify observations.
+    pub fn try_histogram(
+        &mut self,
+        name: &str,
+        help: &'static str,
+        bounds: &[u64],
+    ) -> Result<HistogramId, InvalidParamsError> {
+        let h = Histogram::try_new(bounds).map_err(|reason| {
+            InvalidParamsError::bad_field("histogram_bounds", format!("{bounds:?}"), reason)
+        })?;
+        Ok(HistogramId(self.register(
             name,
             None,
             help,
-            MetricValue::Histogram(Histogram::new(bounds)),
-        ))
+            MetricValue::Histogram(h),
+        )))
     }
 
     /// Increments a counter by one.
@@ -754,6 +822,23 @@ pub(crate) const NOT_BIASED: u64 = u64::MAX;
 
 impl ControllerMetrics {
     pub(crate) fn new() -> Self {
+        ControllerMetrics::with_interval_bounds(&INTERVAL_BOUNDS)
+            .expect("default interval bounds are strictly increasing")
+    }
+
+    /// Builds the controller metric schema with custom bounds for the
+    /// four interval-style histograms (misspeculation interval, biased
+    /// residency, breaker open/half-open durations). The retry-depth
+    /// bounds stay fixed: retry counts are bounded by policy, not by the
+    /// workload's time scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InvalidParamsError`] when the bounds are not strictly
+    /// increasing.
+    pub(crate) fn with_interval_bounds(
+        interval_bounds: &[u64],
+    ) -> Result<Self, InvalidParamsError> {
         let mut registry = MetricsRegistry::new();
         let events = registry.counter("rsc_events_total", "dynamic branch events observed");
         let instructions = registry.counter(
@@ -808,32 +893,32 @@ impl ControllerMetrics {
             "rsc_breaker_state",
             "storm breaker phase (0 closed, 1 half-open, 2 open; 0 when unconfigured)",
         );
-        let misspec_interval = registry.histogram(
+        let misspec_interval = registry.try_histogram(
             "rsc_misspec_interval_events",
             "branch events between consecutive misspeculations",
-            &INTERVAL_BOUNDS,
-        );
-        let biased_residency = registry.histogram(
+            interval_bounds,
+        )?;
+        let biased_residency = registry.try_histogram(
             "rsc_biased_residency_events",
             "branch events between a branch entering the biased state and its eviction",
-            &INTERVAL_BOUNDS,
-        );
+            interval_bounds,
+        )?;
         let retry_depth = registry.histogram(
             "rsc_retry_depth",
             "failed attempts preceding each deployment request",
             &RETRY_BOUNDS,
         );
-        let breaker_open_duration = registry.histogram(
+        let breaker_open_duration = registry.try_histogram(
             "rsc_breaker_open_duration_events",
             "branch events the breaker spent open before probing",
-            &INTERVAL_BOUNDS,
-        );
-        let breaker_half_open_duration = registry.histogram(
+            interval_bounds,
+        )?;
+        let breaker_half_open_duration = registry.try_histogram(
             "rsc_breaker_half_open_duration_events",
             "branch events the breaker spent half-open before closing or reopening",
-            &INTERVAL_BOUNDS,
-        );
-        ControllerMetrics {
+            interval_bounds,
+        )?;
+        Ok(ControllerMetrics {
             registry,
             ids: MetricIds {
                 events,
@@ -859,7 +944,15 @@ impl ControllerMetrics {
             enter_event: Vec::new(),
             breaker_open_since: None,
             breaker_half_since: None,
-        }
+        })
+    }
+
+    /// The bounds of the four interval-style histograms (serialized into
+    /// checkpoints so a restore rebuilds the same schema).
+    pub(crate) fn interval_bounds(&self) -> &[u64] {
+        self.registry
+            .histogram_ref(self.ids.misspec_interval)
+            .bounds()
     }
 
     /// The controller's histograms in the fixed order the checkpoint
@@ -1116,6 +1209,67 @@ mod tests {
         assert!(lines[0].contains("\"type\":\"checkpoint_saved\""));
         assert!(lines[1].contains("\"type\":\"checkpoint_restored\""));
         assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn non_monotonic_bounds_are_rejected_for_real() {
+        assert!(Histogram::try_new(&[1, 4, 16]).is_ok());
+        assert!(Histogram::try_new(&[]).is_ok());
+        assert!(Histogram::try_new(&[4, 1]).is_err());
+        assert!(Histogram::try_new(&[1, 1]).is_err());
+
+        let mut reg = MetricsRegistry::new();
+        let err = reg.try_histogram("h", "h", &[8, 2]).unwrap_err();
+        assert_eq!(err.field(), Some("histogram_bounds"));
+        assert!(err.to_string().contains("[8, 2]"));
+        assert!(reg.is_empty(), "a rejected histogram must not register");
+    }
+
+    #[test]
+    fn set_raw_rejects_count_bucket_sum_mismatch() {
+        let mut h = Histogram::new(&[1, 4]);
+        assert_eq!(
+            h.set_raw(vec![1, 2], 3, 9).unwrap_err(),
+            "histogram bucket count disagrees with this build"
+        );
+        assert_eq!(
+            h.set_raw(vec![1, 2, 3], 7, 9).unwrap_err(),
+            "histogram count disagrees with bucket sum"
+        );
+        h.set_raw(vec![1, 2, 3], 6, 9).unwrap();
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 9);
+    }
+
+    #[test]
+    fn merge_from_adds_bucketwise() {
+        let mut a = Histogram::new(&[1, 4]);
+        let mut b = Histogram::new(&[1, 4]);
+        for v in [0, 2, 100] {
+            a.observe(v);
+        }
+        for v in [1, 3] {
+            b.observe(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.buckets(), &[2, 2, 1]);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.sum(), 106);
+    }
+
+    #[test]
+    fn custom_interval_bounds_shape_the_schema() {
+        let m = ControllerMetrics::with_interval_bounds(&[10, 20, 30]).unwrap();
+        assert_eq!(m.interval_bounds(), &[10, 20, 30]);
+        let h = m
+            .registry
+            .histogram_value("rsc_biased_residency_events")
+            .unwrap();
+        assert_eq!(h.bounds(), &[10, 20, 30]);
+        // Retry depth keeps its fixed policy-scale bounds.
+        let r = m.registry.histogram_value("rsc_retry_depth").unwrap();
+        assert_eq!(r.bounds(), &RETRY_BOUNDS);
+        assert!(ControllerMetrics::with_interval_bounds(&[5, 5]).is_err());
     }
 
     #[test]

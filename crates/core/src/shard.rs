@@ -1,0 +1,590 @@
+//! [`ShardedController`]: a parallel controller engine that partitions
+//! branches across N worker shards and merges their results
+//! deterministically.
+//!
+//! The paper's FSM is *per-branch*: the decision for branch `b` reads
+//! only `b`'s own counters and the record's instruction count, never
+//! another branch's state. That makes control embarrassingly
+//! partitionable — route every record for the same branch to the same
+//! shard (preserving its per-branch event order) and each shard's FSM
+//! evolves exactly as it would in a sequential run. The engine then
+//! merges [`ControlStats`], [`ChunkSummary`], per-kind transition
+//! counts, and metrics histograms with **order-independent reductions
+//! only** (sums, maxes, bucket-wise adds), so every merged quantity is
+//! independent of thread count and scheduling:
+//!
+//! * identical to a sequential [`ReactiveController`] run: chunk
+//!   summaries, stats (with `instructions` as a high-water max), per-kind
+//!   transition counts, per-branch snapshots, metric counters and gauges;
+//! * **per-shard** semantics (documented, not merged back to global):
+//!   the ordered transition log (`event_index` is a shard-local ordinal)
+//!   and the interval-style histograms (misspeculation intervals and
+//!   residencies are measured in shard-local event time).
+//!
+//! Construction goes through the one builder:
+//!
+//! ```
+//! use rsc_control::prelude::*;
+//! use rsc_trace::{spec2000, InputId};
+//!
+//! let pop = spec2000::benchmark("gzip").unwrap().population(20_000);
+//! let mut seq = ReactiveController::builder(ControllerParams::scaled()).build()?;
+//! let mut shd = ReactiveController::builder(ControllerParams::scaled())
+//!     .shards(4)
+//!     .build_sharded()?;
+//! let records: Vec<_> = pop.trace(InputId::Eval, 20_000, 1).collect();
+//! let mut expect = ChunkSummary::default();
+//! for r in &records {
+//!     let d = seq.observe(r);
+//!     expect.events += 1;
+//!     expect.speculated += u64::from(d.speculated());
+//!     expect.correct += u64::from(d == SpecDecision::Correct);
+//!     expect.incorrect += u64::from(d == SpecDecision::Incorrect);
+//! }
+//! assert_eq!(shd.observe_chunk(&records), expect);
+//! assert_eq!(shd.stats(), seq.stats());
+//! # Ok::<(), InvalidParamsError>(())
+//! ```
+
+use crate::controller::{
+    BranchSnapshot, ChunkSummary, ReactiveController, SpecDecision, TransitionKind,
+};
+use crate::observe::{ControllerMetrics, MetricsRegistry};
+use crate::params::ControllerParams;
+use crate::stats::ControlStats;
+use rsc_trace::{BranchId, BranchRecord};
+use rsc_util::parallel::{max_threads, par_map};
+
+/// Stable shard routing: a splitmix64-style finalizer over the branch
+/// index, reduced modulo the shard count. Seed-free and
+/// version-independent, so checkpoints and artifacts route identically
+/// across builds.
+#[inline]
+pub(crate) fn shard_of(branch: BranchId, shards: usize) -> usize {
+    let mut x = branch.index() as u64;
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x % shards as u64) as usize
+}
+
+/// One worker shard: a full sequential controller plus a reusable
+/// routing buffer (so steady-state chunk routing allocates nothing).
+#[derive(Debug, Clone)]
+pub(crate) struct ShardSlot {
+    pub(crate) ctl: ReactiveController,
+    scratch: Vec<BranchRecord>,
+}
+
+/// A parallel controller: N independent [`ReactiveController`] shards,
+/// branches partitioned by a stable hash of [`BranchId`], results merged
+/// with order-independent reductions.
+///
+/// Built via [`ControllerBuilder::build_sharded`](crate::ControllerBuilder::build_sharded);
+/// see the [module docs](self) for exactly which quantities are
+/// bit-identical to a sequential run and which are per-shard.
+#[derive(Debug, Clone)]
+pub struct ShardedController {
+    shards: Vec<ShardSlot>,
+}
+
+impl ShardedController {
+    /// Assembles the engine from already-built (empty) shard controllers.
+    /// The builder guarantees they share parameters and telemetry shape.
+    pub(crate) fn from_parts(ctls: Vec<ReactiveController>) -> Self {
+        assert!(!ctls.is_empty(), "builder rejects zero shards");
+        ShardedController {
+            shards: ctls
+                .into_iter()
+                .map(|ctl| ShardSlot {
+                    ctl,
+                    scratch: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns `branch` under this engine's routing.
+    pub fn shard_for(&self, branch: BranchId) -> usize {
+        shard_of(branch, self.shards.len())
+    }
+
+    /// The shared controller parameters.
+    pub fn params(&self) -> &ControllerParams {
+        self.shards[0].ctl.params()
+    }
+
+    /// Observes one event, routed to the owning shard.
+    pub fn observe(&mut self, r: &BranchRecord) -> SpecDecision {
+        let k = shard_of(r.branch, self.shards.len());
+        self.shards[k].ctl.observe(r)
+    }
+
+    /// Observes a chunk of events: routes each record to its owning
+    /// shard (preserving per-branch order — routing is a stable filter
+    /// over the chunk), runs the shards in parallel, and returns the
+    /// summed [`ChunkSummary`].
+    ///
+    /// The summary is bit-identical to a sequential controller's over
+    /// the same chunk regardless of shard count, thread count, or
+    /// scheduling: each shard's summary depends only on its own
+    /// sub-chunk, and the merge is a sum.
+    pub fn observe_chunk(&mut self, records: &[BranchRecord]) -> ChunkSummary {
+        let n = self.shards.len();
+        if n == 1 {
+            return self.shards[0].ctl.observe_chunk(records);
+        }
+        if max_threads() <= 1 {
+            return self.observe_chunk_sequential(records);
+        }
+        // Each worker filters the chunk for its own branches; the scan is
+        // read-only and embarrassingly parallel, so routing happens
+        // inside the parallel region rather than as a sequential prefix.
+        let slots = std::mem::take(&mut self.shards);
+        let indexed: Vec<(usize, ShardSlot)> = slots.into_iter().enumerate().collect();
+        let results = par_map(indexed, |(k, mut slot)| {
+            slot.scratch.clear();
+            slot.scratch.extend(
+                records
+                    .iter()
+                    .filter(|r| shard_of(r.branch, n) == k)
+                    .copied(),
+            );
+            let summary = slot.ctl.observe_chunk(&slot.scratch);
+            slot.scratch.clear();
+            (slot, summary)
+        });
+        let mut total = ChunkSummary::default();
+        self.shards = results
+            .into_iter()
+            .map(|(slot, s)| {
+                total.events += s.events;
+                total.speculated += s.speculated;
+                total.correct += s.correct;
+                total.incorrect += s.incorrect;
+                slot
+            })
+            .collect();
+        total
+    }
+
+    /// The one-thread fallback: with no parallelism available, the
+    /// worker-side filtering above would scan the full chunk once per
+    /// shard on a single core. Route in one pass instead, then drain the
+    /// sub-chunks shard by shard — same routing, same per-shard record
+    /// order, same order-independent merge, so the result stays
+    /// bit-identical to the parallel path.
+    fn observe_chunk_sequential(&mut self, records: &[BranchRecord]) -> ChunkSummary {
+        let n = self.shards.len();
+        for slot in &mut self.shards {
+            slot.scratch.clear();
+        }
+        for r in records {
+            self.shards[shard_of(r.branch, n)].scratch.push(*r);
+        }
+        let mut total = ChunkSummary::default();
+        for slot in &mut self.shards {
+            let s = slot.ctl.observe_chunk(&slot.scratch);
+            slot.scratch.clear();
+            total.events += s.events;
+            total.speculated += s.speculated;
+            total.correct += s.correct;
+            total.incorrect += s.incorrect;
+        }
+        total
+    }
+
+    /// Merged aggregate statistics: every field is a sum over shards
+    /// except `instructions`, which is a high-water mark of the dynamic
+    /// instruction counter and therefore merges as a max.
+    pub fn stats(&self) -> ControlStats {
+        let mut total = ControlStats::default();
+        for slot in &self.shards {
+            let s = slot.ctl.stats();
+            total.events += s.events;
+            total.instructions = total.instructions.max(s.instructions);
+            total.correct += s.correct;
+            total.incorrect += s.incorrect;
+            total.touched += s.touched;
+            total.entered_biased += s.entered_biased;
+            total.evicted_branches += s.evicted_branches;
+            total.total_evictions += s.total_evictions;
+            total.total_entries += s.total_entries;
+            total.disabled_branches += s.disabled_branches;
+            total.reopt_requests += s.reopt_requests;
+            total.deploy_failures += s.deploy_failures;
+            total.deploy_retries += s.deploy_retries;
+            total.forced_disables += s.forced_disables;
+            total.suppressed_enters += s.suppressed_enters;
+        }
+        total
+    }
+
+    /// Exact transition count of `kind`, summed across shards (counts
+    /// stay exact under every log policy).
+    pub fn transition_count(&self, kind: TransitionKind) -> u64 {
+        self.shards
+            .iter()
+            .map(|slot| slot.ctl.transition_log().count(kind))
+            .sum()
+    }
+
+    /// Times `branch` entered the biased state (from its owning shard).
+    pub fn entries(&self, branch: BranchId) -> u32 {
+        self.owner(branch).entries(branch)
+    }
+
+    /// Times `branch` was evicted from the biased state.
+    pub fn evictions(&self, branch: BranchId) -> u32 {
+        self.owner(branch).evictions(branch)
+    }
+
+    /// Whether `branch` is currently speculated.
+    pub fn is_speculating(&self, branch: BranchId) -> bool {
+        self.owner(branch).is_speculating(branch)
+    }
+
+    /// Whether `branch` has been permanently disabled.
+    pub fn is_disabled(&self, branch: BranchId) -> bool {
+        self.owner(branch).is_disabled(branch)
+    }
+
+    /// Externally comparable snapshot of `branch`'s FSM state, identical
+    /// to the sequential controller's for every branch.
+    pub fn branch_snapshot(&self, branch: BranchId) -> BranchSnapshot {
+        self.owner(branch).branch_snapshot(branch)
+    }
+
+    fn owner(&self, branch: BranchId) -> &ReactiveController {
+        &self.shards[shard_of(branch, self.shards.len())].ctl
+    }
+
+    /// One shard's own metrics registry (shard-local view), or `None`
+    /// without metrics or for an out-of-range index.
+    pub fn shard_metrics(&self, shard: usize) -> Option<MetricsRegistry> {
+        self.shards.get(shard)?.ctl.metrics()
+    }
+
+    /// The merged metrics registry, or `None` unless the engine was
+    /// built with [`metrics`](crate::ControllerBuilder::metrics).
+    ///
+    /// Counters and gauges carry the same schema and the same values a
+    /// sequential controller would report for the same input. Histograms
+    /// are merged bucket-wise across shards, so their totals are exact
+    /// but interval-style observations are measured in shard-local event
+    /// time (see the [module docs](self)). Per-shard counter families
+    /// (`rsc_shard_*_total{shard="k"}`) are appended after the standard
+    /// schema.
+    pub fn metrics(&self) -> Option<MetricsRegistry> {
+        let first = self.shards[0].ctl.telemetry.as_ref()?.metrics.as_ref()?;
+        let bounds = first.interval_bounds().to_vec();
+        let cm = ControllerMetrics::with_interval_bounds(&bounds)
+            .expect("bounds were validated at build time");
+        let mut reg = cm.registry.clone();
+        let ids = &cm.ids;
+        for slot in &self.shards {
+            let scm = slot.ctl.telemetry.as_ref()?.metrics.as_ref()?;
+            for (agg, shard) in cm
+                .histograms_in_order()
+                .iter()
+                .zip(scm.histograms_in_order())
+            {
+                reg.histogram_mut(*agg)
+                    .merge_from(scm.registry.histogram_ref(shard));
+            }
+        }
+        let s = self.stats();
+        reg.set_counter(ids.events, s.events);
+        reg.set_counter(ids.instructions, s.instructions);
+        reg.set_counter(ids.correct, s.correct);
+        reg.set_counter(ids.incorrect, s.incorrect);
+        for kind in TransitionKind::ALL {
+            reg.set_counter(ids.transitions[kind.index()], self.transition_count(kind));
+        }
+        // Sharding rejects the resilience layer, so deployment is
+        // implicit: one deployment per re-optimization request.
+        reg.set_counter(ids.deploy_requests, s.reopt_requests);
+        reg.set_counter(ids.deploy_failures, s.deploy_failures);
+        reg.set_counter(ids.deploy_retries, s.deploy_retries);
+        reg.set_counter(ids.forced_disables, s.forced_disables);
+        reg.set_counter(ids.suppressed_enters, s.suppressed_enters);
+        reg.set_gauge(ids.branches_tracked, s.touched as f64);
+        reg.set_gauge(ids.branches_disabled, s.disabled_branches as f64);
+        for (k, slot) in self.shards.iter().enumerate() {
+            let ss = slot.ctl.stats();
+            let label = k.to_string();
+            let id = reg.counter_labeled(
+                "rsc_shard_events_total",
+                "shard",
+                &label,
+                "dynamic branch events observed, per shard",
+            );
+            reg.set_counter(id, ss.events);
+            let id = reg.counter_labeled(
+                "rsc_shard_spec_incorrect_total",
+                "shard",
+                &label,
+                "misspeculations, per shard",
+            );
+            reg.set_counter(id, ss.incorrect);
+            let transitions: u64 = TransitionKind::ALL
+                .iter()
+                .map(|&kind| slot.ctl.transition_log().count(kind))
+                .sum();
+            let id = reg.counter_labeled(
+                "rsc_shard_transitions_total",
+                "shard",
+                &label,
+                "classification transitions of every kind, per shard",
+            );
+            reg.set_counter(id, transitions);
+        }
+        Some(reg)
+    }
+
+    /// Read-only access to the shard controllers, in shard order (used
+    /// by the checkpoint writer).
+    pub(crate) fn shard_controllers(&self) -> impl Iterator<Item = &ReactiveController> {
+        self.shards.iter().map(|slot| &slot.ctl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::EvictionMode;
+    use crate::translog::TransitionLogPolicy;
+    use crate::ReactiveController;
+
+    fn tiny() -> ControllerParams {
+        let mut p = ControllerParams::scaled()
+            .with_monitor_period(10)
+            .with_latency(0);
+        p.eviction = EvictionMode::Counter {
+            up: 50,
+            down: 1,
+            threshold: 100,
+        };
+        p.revisit = crate::params::Revisit::After(20);
+        p
+    }
+
+    fn oscillating(branches: u32, flip: u64, events: u64) -> Vec<BranchRecord> {
+        let mut out = Vec::with_capacity(events as usize);
+        let mut execs = vec![0u64; branches as usize];
+        for i in 0..events {
+            let b = (i % u64::from(branches)) as usize;
+            let n = execs[b];
+            execs[b] += 1;
+            out.push(BranchRecord {
+                branch: BranchId::new(b as u32),
+                taken: (n / flip) % 2 == 0,
+                instr: 3 * i + 1,
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for n in 1..=8 {
+            for b in 0..1000u32 {
+                let k = shard_of(BranchId::new(b), n);
+                assert!(k < n);
+                assert_eq!(k, shard_of(BranchId::new(b), n));
+            }
+        }
+        // The hash actually spreads consecutive indices around.
+        let hits: std::collections::BTreeSet<usize> =
+            (0..64u32).map(|b| shard_of(BranchId::new(b), 8)).collect();
+        assert!(hits.len() > 1, "all branches landed on one shard");
+    }
+
+    #[test]
+    fn sharded_matches_sequential_across_shard_counts() {
+        let trace = oscillating(7, 9, 6_000);
+        let mut seq = ReactiveController::builder(tiny()).build().unwrap();
+        let mut seq_total = ChunkSummary::default();
+        for window in trace.chunks(257) {
+            let s = seq.observe_chunk(window);
+            seq_total.events += s.events;
+            seq_total.speculated += s.speculated;
+            seq_total.correct += s.correct;
+            seq_total.incorrect += s.incorrect;
+        }
+        for n in 1..=8 {
+            let mut shd = ReactiveController::builder(tiny())
+                .shards(n)
+                .build_sharded()
+                .unwrap();
+            let mut total = ChunkSummary::default();
+            for window in trace.chunks(257) {
+                let s = shd.observe_chunk(window);
+                total.events += s.events;
+                total.speculated += s.speculated;
+                total.correct += s.correct;
+                total.incorrect += s.incorrect;
+            }
+            assert_eq!(total, seq_total, "{n} shards: summed summaries");
+            assert_eq!(shd.stats(), seq.stats(), "{n} shards: stats");
+            for kind in TransitionKind::ALL {
+                assert_eq!(
+                    shd.transition_count(kind),
+                    seq.transition_log().count(kind),
+                    "{n} shards: {kind:?}"
+                );
+            }
+            for b in 0..7u32 {
+                let id = BranchId::new(b);
+                assert_eq!(
+                    shd.branch_snapshot(id),
+                    seq.branch_snapshot(id),
+                    "{n} shards: branch {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_event_and_chunked_sharded_agree() {
+        let trace = oscillating(5, 7, 3_000);
+        let mut by_event = ReactiveController::builder(tiny())
+            .shards(3)
+            .build_sharded()
+            .unwrap();
+        let mut by_chunk = ReactiveController::builder(tiny())
+            .shards(3)
+            .build_sharded()
+            .unwrap();
+        for r in &trace {
+            by_event.observe(r);
+        }
+        by_chunk.observe_chunk(&trace);
+        assert_eq!(by_event.stats(), by_chunk.stats());
+    }
+
+    #[test]
+    fn one_thread_fast_path_matches_parallel_path() {
+        let trace = oscillating(9, 11, 8_000);
+        let run = |cap: usize| {
+            rsc_util::parallel::set_max_threads(cap);
+            let mut ctl = ReactiveController::builder(tiny())
+                .shards(5)
+                .build_sharded()
+                .unwrap();
+            let mut summaries = Vec::new();
+            for chunk in trace.chunks(313) {
+                summaries.push(ctl.observe_chunk(chunk));
+            }
+            rsc_util::parallel::set_max_threads(0);
+            let snapshots: Vec<BranchSnapshot> = (0..9)
+                .map(|b| ctl.branch_snapshot(BranchId::new(b)))
+                .collect();
+            (summaries, ctl.stats(), snapshots)
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn merged_metrics_counters_match_sequential() {
+        let trace = oscillating(6, 8, 4_000);
+        let mut seq = ReactiveController::builder(tiny())
+            .metrics()
+            .build()
+            .unwrap();
+        let mut shd = ReactiveController::builder(tiny())
+            .shards(4)
+            .metrics()
+            .build_sharded()
+            .unwrap();
+        seq.observe_chunk(&trace);
+        shd.observe_chunk(&trace);
+        let sreg = seq.metrics().unwrap();
+        let mreg = shd.metrics().unwrap();
+        for name in [
+            "rsc_events_total",
+            "rsc_instructions_total",
+            "rsc_spec_correct_total",
+            "rsc_spec_incorrect_total",
+            "rsc_deploy_requests_total",
+        ] {
+            assert_eq!(mreg.counter_value(name), sreg.counter_value(name), "{name}");
+        }
+        for kind in TransitionKind::ALL {
+            assert_eq!(
+                mreg.counter_value_labeled("rsc_transitions_total", Some(("kind", kind.name()))),
+                sreg.counter_value_labeled("rsc_transitions_total", Some(("kind", kind.name()))),
+                "{kind:?}"
+            );
+        }
+        assert_eq!(
+            mreg.gauge_value("rsc_branches_tracked"),
+            sreg.gauge_value("rsc_branches_tracked")
+        );
+        // Histogram totals are exact even though intervals are shard-local.
+        let sh = sreg.histogram_value("rsc_misspec_interval_events").unwrap();
+        let mh = mreg.histogram_value("rsc_misspec_interval_events").unwrap();
+        assert_eq!(mh.count(), sh.count(), "every misspeculation is counted");
+        // Per-shard families sum to the aggregate.
+        let per_shard: u64 = (0..4)
+            .map(|k| {
+                mreg.counter_value_labeled(
+                    "rsc_shard_events_total",
+                    Some(("shard", k.to_string().as_str())),
+                )
+                .unwrap()
+            })
+            .sum();
+        assert_eq!(Some(per_shard), mreg.counter_value("rsc_events_total"));
+        // A shard's own registry is the standard schema.
+        let one = shd.shard_metrics(0).unwrap();
+        assert!(one.counter_value("rsc_events_total").is_some());
+        assert!(shd.shard_metrics(99).is_none());
+    }
+
+    #[test]
+    fn builder_rejects_incompatible_configs() {
+        let err = ReactiveController::builder(tiny())
+            .shards(4)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), Some("shards"));
+        let err = ReactiveController::builder(tiny())
+            .shards(0)
+            .build_sharded()
+            .unwrap_err();
+        assert_eq!(err.field(), Some("shards"));
+        let err = ReactiveController::builder(tiny())
+            .resilience(crate::resilience::ResilienceConfig::reliable())
+            .shards(2)
+            .build_sharded()
+            .unwrap_err();
+        assert_eq!(err.field(), Some("shards"));
+        let err = ReactiveController::builder(tiny())
+            .event_sink(std::sync::Arc::new(crate::observe::VecSink::new()))
+            .shards(2)
+            .build_sharded()
+            .unwrap_err();
+        assert_eq!(err.field(), Some("shards"));
+    }
+
+    #[test]
+    fn log_policy_propagates_to_every_shard() {
+        let trace = oscillating(4, 50, 2_000);
+        let mut shd = ReactiveController::builder(tiny())
+            .shards(2)
+            .log_policy(TransitionLogPolicy::CountsOnly)
+            .build_sharded()
+            .unwrap();
+        shd.observe_chunk(&trace);
+        assert!(shd.transition_count(TransitionKind::EnterBiased) > 0);
+        for ctl in shd.shard_controllers() {
+            assert!(ctl.transitions().is_empty());
+        }
+    }
+}

@@ -8,7 +8,8 @@ use rsc_control::{
     engine, ChunkSummary, ControllerParams, ReactiveController, TransitionLogPolicy,
 };
 use rsc_profile::BranchProfile;
-use rsc_trace::{spec2000, BranchId, BranchRecord, InputId};
+use rsc_trace::rng::SplitMix64;
+use rsc_trace::{spec2000, BranchId, BranchRecord, InputId, Scenario};
 
 const BENCHMARKS: [&str; 4] = ["gzip", "gcc", "crafty", "vortex"];
 const SEEDS: [u64; 2] = [7, 1234];
@@ -209,6 +210,79 @@ proptest! {
 
         prop_assert_eq!(per_event.stats(), chunked.stats());
         prop_assert_eq!(per_event.transitions(), chunked.transitions());
+    }
+
+    /// Sharding is a parallelization, not a semantic change: for every
+    /// shard count 1..=8, adversarial scenario, seed, and random chunk
+    /// layout, the sharded engine's per-chunk summaries, final stats,
+    /// per-kind transition counts, and per-branch snapshots are
+    /// bit-identical to a sequential controller fed per-event.
+    #[test]
+    fn sharded_engine_is_bit_identical_to_sequential(
+        shards in 1usize..=8,
+        scenario in prop::sample::select(vec![
+            Scenario::PhaseFlip { branches: 6, flip_after: 40 },
+            Scenario::HysteresisStraddle { warmup: 10, period: 2 },
+            Scenario::ThresholdOscillator { window: 10 },
+            Scenario::BurstyHotSet { hot: 3, burst: 40 },
+            Scenario::UniformRandom { branches: 8 },
+        ]),
+        seed in any::<u64>(),
+        max_chunk in 1u64..400,
+    ) {
+        let mut params = ControllerParams::scaled()
+            .with_monitor_period(10)
+            .with_latency(0);
+        params.eviction = rsc_control::EvictionMode::Counter {
+            up: 50,
+            down: 1,
+            threshold: 100,
+        };
+        params.revisit = rsc_control::Revisit::After(20);
+
+        let trace = scenario.generate(4_000, seed);
+        let mut sequential = ReactiveController::builder(params).build().unwrap();
+        let mut sharded = ReactiveController::builder(params)
+            .shards(shards)
+            .build_sharded()
+            .unwrap();
+
+        let mut sizes = SplitMix64::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut start = 0usize;
+        while start < trace.len() {
+            let len = 1 + (sizes.next_u64() % max_chunk) as usize;
+            let end = (start + len).min(trace.len());
+            let window = &trace[start..end];
+            let mut expect = ChunkSummary::default();
+            for r in window {
+                let d = sequential.observe(r);
+                expect.events += 1;
+                expect.speculated += u64::from(d.speculated());
+                expect.correct += u64::from(d == rsc_control::SpecDecision::Correct);
+                expect.incorrect += u64::from(d == rsc_control::SpecDecision::Incorrect);
+            }
+            let got = sharded.observe_chunk(window);
+            prop_assert_eq!(got, expect, "shards {}, chunk {}..{}", shards, start, end);
+            start = end;
+        }
+
+        prop_assert_eq!(sequential.stats(), sharded.stats(), "shards {}", shards);
+        for kind in rsc_control::TransitionKind::ALL {
+            prop_assert_eq!(
+                sequential.transition_log().count(kind),
+                sharded.transition_count(kind),
+                "shards {}, kind {:?}", shards, kind
+            );
+        }
+        let max_branch = trace.iter().map(|r| r.branch.index()).max().unwrap_or(0);
+        for b in 0..=max_branch {
+            let id = BranchId::new(b as u32);
+            prop_assert_eq!(
+                sequential.branch_snapshot(id),
+                sharded.branch_snapshot(id),
+                "shards {}, branch {}", shards, b
+            );
+        }
     }
 }
 

@@ -54,6 +54,7 @@ pub struct ControllerBuilder {
     interval_bounds: Option<Vec<u64>>,
     sink: Option<Arc<dyn EventSink>>,
     shards: usize,
+    pool_threads: usize,
 }
 
 impl std::fmt::Debug for ControllerBuilder {
@@ -66,6 +67,7 @@ impl std::fmt::Debug for ControllerBuilder {
             .field("interval_bounds", &self.interval_bounds)
             .field("sink", &self.sink.is_some())
             .field("shards", &self.shards)
+            .field("pool_threads", &self.pool_threads)
             .finish()
     }
 }
@@ -80,6 +82,7 @@ impl ControllerBuilder {
             interval_bounds: None,
             sink: None,
             shards: 1,
+            pool_threads: 0,
         }
     }
 
@@ -129,6 +132,18 @@ impl ControllerBuilder {
     #[must_use]
     pub fn shards(mut self, n: usize) -> Self {
         self.shards = n;
+        self
+    }
+
+    /// Caps the worker-pool size for
+    /// [`build_sharded`](ControllerBuilder::build_sharded): the pool gets
+    /// `min(shards, n)` persistent threads, and `n <= 1` selects the
+    /// inline (threadless) engine. The default of 0 defers to the global
+    /// [`max_threads`](rsc_util::parallel::max_threads) cap — which the
+    /// `repro --threads` flag sets — evaluated once at build time.
+    #[must_use]
+    pub fn pool_threads(mut self, n: usize) -> Self {
+        self.pool_threads = n;
         self
     }
 
@@ -208,6 +223,13 @@ impl ControllerBuilder {
     /// Both are rejected at any shard count — including 1 — so a config
     /// never changes meaning when the shard count does.
     ///
+    /// The engine's persistent worker pool is sized here, once:
+    /// `min(shards, cap)` threads, where `cap` is
+    /// [`pool_threads`](ControllerBuilder::pool_threads) or (by default)
+    /// the global [`max_threads`](rsc_util::parallel::max_threads) cap. A
+    /// cap of 1 yields the inline engine — same single-pass routing, no
+    /// threads, bit-identical results.
+    ///
     /// # Errors
     ///
     /// Returns an [`InvalidParamsError`] for invalid parameters, a shard
@@ -235,6 +257,11 @@ impl ControllerBuilder {
             ));
         }
         let n = self.shards;
+        let thread_cap = if self.pool_threads > 0 {
+            self.pool_threads
+        } else {
+            rsc_util::parallel::max_threads()
+        };
         let mut shards = Vec::with_capacity(n);
         for _ in 0..n {
             let one = ControllerBuilder {
@@ -244,7 +271,7 @@ impl ControllerBuilder {
             };
             shards.push(one.build()?);
         }
-        Ok(ShardedController::from_parts(shards))
+        Ok(ShardedController::from_parts(shards, thread_cap))
     }
 }
 

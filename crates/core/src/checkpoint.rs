@@ -1106,8 +1106,16 @@ impl crate::shard::ShardedController {
     pub fn snapshot(&self) -> ControllerCheckpoint {
         let mut w = Writer::new();
         w.usize(self.shard_count());
-        for ctl in self.shard_controllers() {
-            write_controller_body(&mut w, ctl);
+        // Each body is serialized on its shard's owning worker (the body
+        // format is self-delimiting, so per-shard buffers concatenate
+        // into exactly the stream a single writer would produce).
+        let bodies: Vec<Vec<u8>> = self.map_shards(|_, ctl| {
+            let mut body = Writer { buf: Vec::new() };
+            write_controller_body(&mut body, ctl);
+            body.buf
+        });
+        for body in bodies {
+            w.buf.extend_from_slice(&body);
         }
         ControllerCheckpoint { bytes: w.buf }
     }
@@ -1160,7 +1168,13 @@ impl crate::shard::ShardedController {
                 return Err(r.corrupt("shards disagree on telemetry shape"));
             }
         }
-        Ok(crate::shard::ShardedController::from_parts(shards))
+        // Restored state is handed straight into a fresh engine — worker
+        // threads take ownership of their shards under the current
+        // global thread cap, exactly as a newly built engine would.
+        Ok(crate::shard::ShardedController::from_parts(
+            shards,
+            rsc_util::parallel::max_threads(),
+        ))
     }
 }
 
@@ -1360,6 +1374,57 @@ mod tests {
         let mut resumed = ShardedController::restore(&cp).unwrap();
         assert_eq!(resumed.observe_chunk(&records), shd.observe_chunk(&records));
         assert_eq!(resumed.stats(), shd.stats());
+    }
+
+    #[test]
+    fn pooled_and_inline_round_trips_are_bit_identical() {
+        use crate::shard::ShardedController;
+        // A chunked many-branch trace wide enough to exercise the routed
+        // fast path (bulk observe arms, multi-block chunks).
+        let chunk = |lo: u64, hi: u64| -> Vec<BranchRecord> {
+            (lo..hi)
+                .map(|i| {
+                    let mut x = i.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(7);
+                    x ^= x >> 29;
+                    BranchRecord {
+                        branch: BranchId::new((x % 257) as u32),
+                        taken: x & 8 != 0,
+                        instr: i * 3,
+                    }
+                })
+                .collect()
+        };
+        let build = |threads: usize| {
+            ReactiveController::builder(ControllerParams::scaled())
+                .shards(4)
+                .pool_threads(threads)
+                .build_sharded()
+                .unwrap()
+        };
+        let mut inline = build(1);
+        let mut pooled = build(4);
+        assert_eq!(inline.pool_threads(), 1);
+        assert_eq!(pooled.pool_threads(), 4);
+        let first = chunk(0, 30_000);
+        assert_eq!(inline.observe_chunk(&first), pooled.observe_chunk(&first));
+        let cp_inline = inline.snapshot();
+        let cp_pooled = pooled.snapshot();
+        assert_eq!(
+            cp_inline.as_bytes(),
+            cp_pooled.as_bytes(),
+            "checkpoints are engine-shape-independent"
+        );
+        // restore → observe → checkpoint again: the second-generation
+        // checkpoints must also agree bit-for-bit, whether the next chunk
+        // went through the restored engine or the original pooled one.
+        let second = chunk(30_000, 60_000);
+        let mut restored = ShardedController::restore(&cp_inline).unwrap();
+        let resumed_summary = restored.observe_chunk(&second);
+        assert_eq!(resumed_summary, pooled.observe_chunk(&second));
+        assert_eq!(inline.observe_chunk(&second), resumed_summary);
+        assert_eq!(restored.snapshot().as_bytes(), pooled.snapshot().as_bytes());
+        assert_eq!(inline.snapshot().as_bytes(), restored.snapshot().as_bytes());
+        assert_eq!(restored.stats(), pooled.stats());
     }
 
     #[test]

@@ -21,6 +21,38 @@
 //!   and the interval-style histograms (misspeculation intervals and
 //!   residencies are measured in shard-local event time).
 //!
+//! # Engine architecture: persistent pool + single-pass grouped routing
+//!
+//! `observe_chunk` splits the chunk into cache-sized blocks and, per
+//! block, routes **once** on the caller side — a stable counting sort
+//! that groups each shard's records *by branch* into an SoA layout
+//! (`(branch, len)` run headers over parallel `taken`/`offs` arrays —
+//! 3 scattered bytes per event, with `offs` pointing back into the
+//! original block for the rare slow-path arms).
+//! Each shard then consumes whole runs via
+//! [`ReactiveController::observe_routed`], which keeps one branch's FSM
+//! state in registers for an entire run instead of re-loading it per
+//! event. Because all compared quantities are order-independent (see
+//! above) and per-branch order is preserved, grouping is contractually
+//! invisible — and it is the engine's main speed win on top of
+//! parallelism.
+//!
+//! Worker threads are *persistent*: built once by the builder, each
+//! owning a contiguous range of shard controllers for its whole life
+//! (`WorkerPool`), fed borrowed route buffers per block and joined by a
+//! completion barrier. Two route buffers alternate so the caller routes
+//! block `i+1` while the workers observe block `i`:
+//!
+//! ```text
+//!  caller:   route(b0→A) | dispatch(A), route(b1→B) | dispatch(B), route(b2→A) | …
+//!  workers:               |  observe A               |  observe B               | …
+//! ```
+//!
+//! The pool honors the global [`max_threads`] cap at build time
+//! (`pool size = min(shards, cap)`); with a cap of 1 the engine runs the
+//! same routing + grouped observation inline with no threads at all, so
+//! results are bit-identical across every pool size by construction.
+//!
 //! Construction goes through the one builder:
 //!
 //! ```
@@ -53,7 +85,17 @@ use crate::observe::{ControllerMetrics, MetricsRegistry};
 use crate::params::ControllerParams;
 use crate::stats::ControlStats;
 use rsc_trace::{BranchId, BranchRecord};
-use rsc_util::parallel::{max_threads, par_map};
+use rsc_util::parallel::WorkerPool;
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// Routing/observation block size. Small enough that one block's SoA
+/// payload (`taken` + `offs` + run headers) stays cache-resident while
+/// it is scattered and then immediately consumed; large enough to
+/// amortize the per-block branch-table passes. Also the hard ceiling
+/// for the router's `u16` fields: block-local offsets and per-branch
+/// counts both top out at 65535.
+const BLOCK: usize = u16::MAX as usize;
 
 /// Stable shard routing: a splitmix64-style finalizer over the branch
 /// index, reduced modulo the shard count. Seed-free and
@@ -68,12 +110,202 @@ pub(crate) fn shard_of(branch: BranchId, shards: usize) -> usize {
     (x % shards as u64) as usize
 }
 
-/// One worker shard: a full sequential controller plus a reusable
-/// routing buffer (so steady-state chunk routing allocates nothing).
-#[derive(Debug, Clone)]
-pub(crate) struct ShardSlot {
-    pub(crate) ctl: ReactiveController,
-    scratch: Vec<BranchRecord>,
+#[inline]
+fn add_summary(total: &mut ChunkSummary, s: ChunkSummary) {
+    total.events += s.events;
+    total.speculated += s.speculated;
+    total.correct += s.correct;
+    total.incorrect += s.incorrect;
+}
+
+/// One routed block in SoA layout, shard-major then branch-grouped:
+/// `runs` holds `(branch_index, len)` headers; `taken` the per-event
+/// outcomes and `offs` each event's index back into the original block
+/// (so rare slow-path arms can re-read the full record — only 3 bytes
+/// per event are scattered on the hot path). `shard_runs` / `shard_data`
+/// delimit each shard's slice of the arrays, and `max_instr` carries the
+/// block's instruction high-water mark (computed during counting, so
+/// observation never has to re-scan `instr` values). All buffers are
+/// reused across blocks — lengths (not capacities) define validity, so
+/// no stale data from an earlier, larger block can leak.
+#[derive(Debug, Clone, Default)]
+struct RouteBuf {
+    runs: Vec<(u32, u32)>,
+    taken: Vec<u8>,
+    offs: Vec<u16>,
+    shard_runs: Vec<(u32, u32)>,
+    shard_data: Vec<(u32, u32)>,
+    max_instr: u64,
+}
+
+/// Reusable routing scratch: the per-branch count/cursor table, the
+/// cached branch→shard map, and per-shard sizing accumulators. One
+/// instance per engine; grows monotonically with the branch table.
+#[derive(Debug, Clone, Default)]
+struct RouteScratch {
+    /// Per-branch event count, converted in place to the scatter cursor
+    /// by the layout pass. One `u16` array: both roles fit because a
+    /// block holds at most [`BLOCK`] = 65535 events. Always all-zero
+    /// between [`route`](Self::route) calls.
+    table: Vec<u16>,
+    shard_cache: Vec<u32>,
+    run_cursor: Vec<u32>,
+    data_cursor: Vec<u32>,
+}
+
+impl RouteScratch {
+    /// Ensures the table and shard cache cover branch index `b`.
+    #[cold]
+    fn grow(&mut self, b: usize, n: usize) {
+        let old = self.shard_cache.len();
+        self.shard_cache.resize(b + 1, 0);
+        self.table.resize(b + 1, 0);
+        for g in old..=b {
+            self.shard_cache[g] = shard_of(BranchId::new(g as u32), n) as u32;
+        }
+    }
+
+    /// Routes one block into `buf`: a single O(block) counting pass, two
+    /// O(table) sizing/layout passes, and a single O(block) SoA scatter.
+    /// Stable per branch, so per-branch event order is preserved exactly.
+    ///
+    /// These two per-event loops are the engine's routing overhead in
+    /// its entirety, and they are instruction-bound, not bandwidth-bound
+    /// — hence the unchecked indexing, with every index bounded by
+    /// construction (see the inline safety notes).
+    fn route(&mut self, records: &[BranchRecord], n: usize, buf: &mut RouteBuf) {
+        // Hard cap, not just a debug assert: the u16 counts, cursors,
+        // and offsets below all rely on it.
+        assert!(records.len() <= BLOCK, "route blocks are capped at 65535");
+        buf.shard_runs.clear();
+        buf.shard_runs.resize(n, (0, 0));
+        buf.shard_data.clear();
+        buf.shard_data.resize(n, (0, 0));
+        buf.runs.clear();
+        buf.taken.clear();
+        buf.offs.clear();
+        buf.max_instr = 0;
+        if records.is_empty() {
+            return;
+        }
+        // Counting pass; the instruction high-water mark falls out for
+        // free, so the observe side never reads `instr` on its hot path.
+        let mut max_instr = 0u64;
+        for r in records {
+            let b = r.branch.index();
+            max_instr = max_instr.max(r.instr);
+            if b >= self.table.len() {
+                self.grow(b, n);
+            }
+            // SAFETY: `grow` above guarantees `b < table.len()`; counts
+            // cannot overflow u16 because the block holds ≤ 65535 events.
+            unsafe { *self.table.get_unchecked_mut(b) += 1 };
+        }
+        buf.max_instr = max_instr;
+        // Sizing pass over the whole table (bounded by the branch-index
+        // high-water mark across the engine's lifetime; entries outside
+        // this block are zero and skipped).
+        self.run_cursor.clear();
+        self.run_cursor.resize(n, 0);
+        self.data_cursor.clear();
+        self.data_cursor.resize(n, 0);
+        for b in 0..self.table.len() {
+            let c = self.table[b];
+            if c > 0 {
+                let k = self.shard_cache[b] as usize;
+                self.run_cursor[k] += 1;
+                self.data_cursor[k] += u32::from(c);
+            }
+        }
+        let mut runs_total = 0u32;
+        let mut data_total = 0u32;
+        for k in 0..n {
+            let rc = self.run_cursor[k];
+            let dc = self.data_cursor[k];
+            buf.shard_runs[k] = (runs_total, runs_total + rc);
+            buf.shard_data[k] = (data_total, data_total + dc);
+            self.run_cursor[k] = runs_total;
+            self.data_cursor[k] = data_total;
+            runs_total += rc;
+            data_total += dc;
+        }
+        buf.runs.resize(runs_total as usize, (0, 0));
+        buf.taken.resize(data_total as usize, 0);
+        buf.offs.resize(data_total as usize, 0);
+        // Layout: run headers in (shard, ascending branch) order — so
+        // each shard walks its branch table sequentially — while the
+        // count table becomes the scatter cursor in place.
+        for b in 0..self.table.len() {
+            let c = self.table[b];
+            if c > 0 {
+                let k = self.shard_cache[b] as usize;
+                buf.runs[self.run_cursor[k] as usize] = (b as u32, u32::from(c));
+                self.run_cursor[k] += 1;
+                self.table[b] = self.data_cursor[k] as u16;
+                self.data_cursor[k] += u32::from(c);
+            }
+        }
+        // The hot pass: one stable scatter of 3 bytes per event.
+        for (j, r) in records.iter().enumerate() {
+            let b = r.branch.index();
+            // SAFETY: `b < table.len()` (counting pass grew the table);
+            // each branch's cursor starts at its run's data offset and is
+            // incremented once per event of that branch, so it stays
+            // below `data_total`, the exact length of `taken`/`offs`.
+            unsafe {
+                let c = self.table.get_unchecked_mut(b);
+                let pos = usize::from(*c);
+                *c += 1;
+                *buf.taken.get_unchecked_mut(pos) = u8::from(r.taken);
+                *buf.offs.get_unchecked_mut(pos) = j as u16;
+            }
+        }
+        // Restore the all-zero invariant for the next block. A plain
+        // memset of the whole table: ~16 KiB per 64 Ki events.
+        self.table.fill(0);
+    }
+}
+
+/// Observes one routed buffer's slice for worker `w` (owning the shard
+/// range `shards`), returning the summed summary over those shards.
+fn observe_buf(
+    ctls: &mut [ReactiveController],
+    shards: Range<usize>,
+    records: &[BranchRecord],
+    buf: &RouteBuf,
+) -> ChunkSummary {
+    let mut sum = ChunkSummary::default();
+    for (slot, k) in shards.enumerate() {
+        let (rs, re) = buf.shard_runs[k];
+        let (ds, de) = buf.shard_data[k];
+        let s = ctls[slot].observe_routed(
+            &buf.runs[rs as usize..re as usize],
+            &buf.taken[ds as usize..de as usize],
+            &buf.offs[ds as usize..de as usize],
+            records,
+            buf.max_instr,
+        );
+        add_summary(&mut sum, s);
+    }
+    sum
+}
+
+/// The execution engine behind a [`ShardedController`].
+enum Engine {
+    /// No threads: every shard lives on the caller and observes routed
+    /// blocks inline. Used for one shard, a thread cap of 1, or as the
+    /// fallback when worker threads cannot be spawned.
+    Inline { slots: Vec<ReactiveController> },
+    /// Persistent worker pool: each worker owns a contiguous range of
+    /// shard controllers for its whole life. The `Mutex` only serializes
+    /// `&self` queries; `observe_chunk` goes through `get_mut`.
+    Pooled {
+        pool: Mutex<WorkerPool<Vec<ReactiveController>>>,
+        /// Worker → contiguous shard range.
+        assign: Vec<Range<usize>>,
+        /// Shard → (worker, slot within the worker's range).
+        shard_worker: Vec<(u32, u32)>,
+    },
 }
 
 /// A parallel controller: N independent [`ReactiveController`] shards,
@@ -81,122 +313,233 @@ pub(crate) struct ShardSlot {
 /// with order-independent reductions.
 ///
 /// Built via [`ControllerBuilder::build_sharded`](crate::ControllerBuilder::build_sharded);
-/// see the [module docs](self) for exactly which quantities are
-/// bit-identical to a sequential run and which are per-shard.
-#[derive(Debug, Clone)]
+/// see the [module docs](self) for the engine architecture and exactly
+/// which quantities are bit-identical to a sequential run and which are
+/// per-shard.
 pub struct ShardedController {
-    shards: Vec<ShardSlot>,
+    n: usize,
+    params: ControllerParams,
+    engine: Engine,
+    scratch: RouteScratch,
+    buf_a: RouteBuf,
+    buf_b: RouteBuf,
 }
 
 impl ShardedController {
-    /// Assembles the engine from already-built (empty) shard controllers.
+    /// Assembles the engine from already-built shard controllers (empty
+    /// from the builder, or carrying state from a checkpoint restore).
     /// The builder guarantees they share parameters and telemetry shape.
-    pub(crate) fn from_parts(ctls: Vec<ReactiveController>) -> Self {
+    ///
+    /// `thread_cap` bounds the worker pool: `pool size = min(shards,
+    /// thread_cap)`. A cap of ≤ 1 (or one shard, where the single shard
+    /// *is* the sequential controller) selects the inline engine; so
+    /// does a failed thread spawn — the states are recovered and run on
+    /// the caller, keeping results identical.
+    pub(crate) fn from_parts(ctls: Vec<ReactiveController>, thread_cap: usize) -> Self {
         assert!(!ctls.is_empty(), "builder rejects zero shards");
+        let n = ctls.len();
+        let params = *ctls[0].params();
+        let pool_size = thread_cap.min(n);
+        let engine = if pool_size <= 1 {
+            Engine::Inline { slots: ctls }
+        } else {
+            let assign: Vec<Range<usize>> = (0..pool_size)
+                .map(|w| (w * n / pool_size)..((w + 1) * n / pool_size))
+                .collect();
+            let mut shard_worker = vec![(0u32, 0u32); n];
+            for (w, r) in assign.iter().enumerate() {
+                for (slot, k) in r.clone().enumerate() {
+                    shard_worker[k] = (w as u32, slot as u32);
+                }
+            }
+            let mut states: Vec<Vec<ReactiveController>> =
+                assign.iter().map(|r| Vec::with_capacity(r.len())).collect();
+            let mut it = ctls.into_iter();
+            for (w, r) in assign.iter().enumerate() {
+                states[w].extend(it.by_ref().take(r.len()));
+            }
+            match WorkerPool::new(states, "rsc-shard") {
+                Ok(pool) => Engine::Pooled {
+                    pool: Mutex::new(pool),
+                    assign,
+                    shard_worker,
+                },
+                Err((_, states)) => Engine::Inline {
+                    slots: states.into_iter().flatten().collect(),
+                },
+            }
+        };
         ShardedController {
-            shards: ctls
-                .into_iter()
-                .map(|ctl| ShardSlot {
-                    ctl,
-                    scratch: Vec::new(),
-                })
-                .collect(),
+            n,
+            params,
+            engine,
+            scratch: RouteScratch::default(),
+            buf_a: RouteBuf::default(),
+            buf_b: RouteBuf::default(),
         }
     }
 
     /// Number of worker shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.n
+    }
+
+    /// Number of OS threads backing the engine: the worker-pool size, or
+    /// 1 for the inline engine.
+    pub fn pool_threads(&self) -> usize {
+        match &self.engine {
+            Engine::Inline { .. } => 1,
+            Engine::Pooled { pool, .. } => pool.lock().expect("pool lock").len(),
+        }
     }
 
     /// The shard that owns `branch` under this engine's routing.
     pub fn shard_for(&self, branch: BranchId) -> usize {
-        shard_of(branch, self.shards.len())
+        shard_of(branch, self.n)
     }
 
     /// The shared controller parameters.
     pub fn params(&self) -> &ControllerParams {
-        self.shards[0].ctl.params()
+        &self.params
+    }
+
+    /// Runs `f` over every shard controller in shard order and collects
+    /// the results (dispatched to the owning workers under the pooled
+    /// engine).
+    pub(crate) fn map_shards<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &ReactiveController) -> R + Sync,
+    {
+        match &self.engine {
+            Engine::Inline { slots } => slots.iter().enumerate().map(|(k, c)| f(k, c)).collect(),
+            Engine::Pooled { pool, assign, .. } => {
+                let mut pool = pool.lock().expect("pool lock");
+                let per_worker: Vec<Vec<R>> = pool.map(|w, ctls| {
+                    assign[w]
+                        .clone()
+                        .zip(ctls.iter())
+                        .map(|(k, c)| f(k, c))
+                        .collect()
+                });
+                per_worker.into_iter().flatten().collect()
+            }
+        }
+    }
+
+    /// Runs `f` against one shard's controller on its owning worker.
+    fn with_shard<R, F>(&self, k: usize, f: F) -> R
+    where
+        R: Send,
+        F: FnOnce(&ReactiveController) -> R + Send,
+    {
+        match &self.engine {
+            Engine::Inline { slots } => f(&slots[k]),
+            Engine::Pooled {
+                pool, shard_worker, ..
+            } => {
+                let (w, slot) = shard_worker[k];
+                pool.lock()
+                    .expect("pool lock")
+                    .call(w as usize, move |_, ctls| f(&ctls[slot as usize]))
+            }
+        }
+    }
+
+    /// Mutable counterpart of [`with_shard`](Self::with_shard).
+    fn with_shard_mut<R, F>(&mut self, k: usize, f: F) -> R
+    where
+        R: Send,
+        F: FnOnce(&mut ReactiveController) -> R + Send,
+    {
+        match &mut self.engine {
+            Engine::Inline { slots } => f(&mut slots[k]),
+            Engine::Pooled {
+                pool, shard_worker, ..
+            } => {
+                let (w, slot) = shard_worker[k];
+                pool.get_mut()
+                    .expect("pool lock")
+                    .call(w as usize, move |_, ctls| f(&mut ctls[slot as usize]))
+            }
+        }
     }
 
     /// Observes one event, routed to the owning shard.
     pub fn observe(&mut self, r: &BranchRecord) -> SpecDecision {
-        let k = shard_of(r.branch, self.shards.len());
-        self.shards[k].ctl.observe(r)
+        let k = shard_of(r.branch, self.n);
+        self.with_shard_mut(k, |ctl| ctl.observe(r))
     }
 
-    /// Observes a chunk of events: routes each record to its owning
-    /// shard (preserving per-branch order — routing is a stable filter
-    /// over the chunk), runs the shards in parallel, and returns the
-    /// summed [`ChunkSummary`].
+    /// Observes a chunk of events: routes each block of the chunk to its
+    /// owning shards in one stable branch-grouping pass, observes the
+    /// routed blocks (in parallel under the pooled engine, with routing
+    /// of the next block overlapping observation of the current one),
+    /// and returns the summed [`ChunkSummary`].
     ///
     /// The summary is bit-identical to a sequential controller's over
     /// the same chunk regardless of shard count, thread count, or
-    /// scheduling: each shard's summary depends only on its own
-    /// sub-chunk, and the merge is a sum.
+    /// scheduling: each shard's summary depends only on its own records
+    /// (in preserved per-branch order), and the merge is a sum.
     pub fn observe_chunk(&mut self, records: &[BranchRecord]) -> ChunkSummary {
-        let n = self.shards.len();
+        let n = self.n;
         if n == 1 {
-            return self.shards[0].ctl.observe_chunk(records);
+            // The single shard *is* a sequential controller; keep its
+            // exact semantics (including the ordered transition log) and
+            // an honest 1-shard baseline for scaling comparisons.
+            return match &mut self.engine {
+                Engine::Inline { slots } => slots[0].observe_chunk(records),
+                Engine::Pooled { .. } => unreachable!("one shard always runs inline"),
+            };
         }
-        if max_threads() <= 1 {
-            return self.observe_chunk_sequential(records);
+        match &mut self.engine {
+            Engine::Inline { slots } => {
+                let mut total = ChunkSummary::default();
+                for block in records.chunks(BLOCK) {
+                    self.scratch.route(block, n, &mut self.buf_a);
+                    add_summary(&mut total, observe_buf(slots, 0..n, block, &self.buf_a));
+                }
+                total
+            }
+            Engine::Pooled { pool, assign, .. } => {
+                if records.is_empty() {
+                    return ChunkSummary::default();
+                }
+                let pool = pool.get_mut().expect("pool lock");
+                let scratch = &mut self.scratch;
+                let blocks: Vec<&[BranchRecord]> = records.chunks(BLOCK).collect();
+                let out: Vec<Mutex<ChunkSummary>> = (0..pool.len())
+                    .map(|_| Mutex::new(ChunkSummary::default()))
+                    .collect();
+                let mut cur = &mut self.buf_a;
+                let mut next = &mut self.buf_b;
+                scratch.route(blocks[0], n, cur);
+                for i in 1..=blocks.len() {
+                    let cur_ref: &RouteBuf = cur;
+                    let cur_blk: &[BranchRecord] = blocks[i - 1];
+                    let assign_ref: &[Range<usize>] = assign;
+                    let out_ref = &out;
+                    pool.run_with(
+                        |w, ctls| {
+                            let sum = observe_buf(ctls, assign_ref[w].clone(), cur_blk, cur_ref);
+                            let mut slot = out_ref[w].lock().expect("summary slot");
+                            add_summary(&mut slot, sum);
+                        },
+                        || {
+                            if i < blocks.len() {
+                                scratch.route(blocks[i], n, next);
+                            }
+                        },
+                    );
+                    std::mem::swap(&mut cur, &mut next);
+                }
+                let mut total = ChunkSummary::default();
+                for m in out {
+                    add_summary(&mut total, m.into_inner().expect("summary slot"));
+                }
+                total
+            }
         }
-        // Each worker filters the chunk for its own branches; the scan is
-        // read-only and embarrassingly parallel, so routing happens
-        // inside the parallel region rather than as a sequential prefix.
-        let slots = std::mem::take(&mut self.shards);
-        let indexed: Vec<(usize, ShardSlot)> = slots.into_iter().enumerate().collect();
-        let results = par_map(indexed, |(k, mut slot)| {
-            slot.scratch.clear();
-            slot.scratch.extend(
-                records
-                    .iter()
-                    .filter(|r| shard_of(r.branch, n) == k)
-                    .copied(),
-            );
-            let summary = slot.ctl.observe_chunk(&slot.scratch);
-            slot.scratch.clear();
-            (slot, summary)
-        });
-        let mut total = ChunkSummary::default();
-        self.shards = results
-            .into_iter()
-            .map(|(slot, s)| {
-                total.events += s.events;
-                total.speculated += s.speculated;
-                total.correct += s.correct;
-                total.incorrect += s.incorrect;
-                slot
-            })
-            .collect();
-        total
-    }
-
-    /// The one-thread fallback: with no parallelism available, the
-    /// worker-side filtering above would scan the full chunk once per
-    /// shard on a single core. Route in one pass instead, then drain the
-    /// sub-chunks shard by shard — same routing, same per-shard record
-    /// order, same order-independent merge, so the result stays
-    /// bit-identical to the parallel path.
-    fn observe_chunk_sequential(&mut self, records: &[BranchRecord]) -> ChunkSummary {
-        let n = self.shards.len();
-        for slot in &mut self.shards {
-            slot.scratch.clear();
-        }
-        for r in records {
-            self.shards[shard_of(r.branch, n)].scratch.push(*r);
-        }
-        let mut total = ChunkSummary::default();
-        for slot in &mut self.shards {
-            let s = slot.ctl.observe_chunk(&slot.scratch);
-            slot.scratch.clear();
-            total.events += s.events;
-            total.speculated += s.speculated;
-            total.correct += s.correct;
-            total.incorrect += s.incorrect;
-        }
-        total
     }
 
     /// Merged aggregate statistics: every field is a sum over shards
@@ -204,8 +547,7 @@ impl ShardedController {
     /// instruction counter and therefore merges as a max.
     pub fn stats(&self) -> ControlStats {
         let mut total = ControlStats::default();
-        for slot in &self.shards {
-            let s = slot.ctl.stats();
+        for s in self.map_shards(|_, ctl| ctl.stats()) {
             total.events += s.events;
             total.instructions = total.instructions.max(s.instructions);
             total.correct += s.correct;
@@ -228,46 +570,44 @@ impl ShardedController {
     /// Exact transition count of `kind`, summed across shards (counts
     /// stay exact under every log policy).
     pub fn transition_count(&self, kind: TransitionKind) -> u64 {
-        self.shards
-            .iter()
-            .map(|slot| slot.ctl.transition_log().count(kind))
+        self.map_shards(|_, ctl| ctl.transition_log().count(kind))
+            .into_iter()
             .sum()
     }
 
     /// Times `branch` entered the biased state (from its owning shard).
     pub fn entries(&self, branch: BranchId) -> u32 {
-        self.owner(branch).entries(branch)
+        self.with_shard(self.shard_for(branch), |ctl| ctl.entries(branch))
     }
 
     /// Times `branch` was evicted from the biased state.
     pub fn evictions(&self, branch: BranchId) -> u32 {
-        self.owner(branch).evictions(branch)
+        self.with_shard(self.shard_for(branch), |ctl| ctl.evictions(branch))
     }
 
     /// Whether `branch` is currently speculated.
     pub fn is_speculating(&self, branch: BranchId) -> bool {
-        self.owner(branch).is_speculating(branch)
+        self.with_shard(self.shard_for(branch), |ctl| ctl.is_speculating(branch))
     }
 
     /// Whether `branch` has been permanently disabled.
     pub fn is_disabled(&self, branch: BranchId) -> bool {
-        self.owner(branch).is_disabled(branch)
+        self.with_shard(self.shard_for(branch), |ctl| ctl.is_disabled(branch))
     }
 
     /// Externally comparable snapshot of `branch`'s FSM state, identical
     /// to the sequential controller's for every branch.
     pub fn branch_snapshot(&self, branch: BranchId) -> BranchSnapshot {
-        self.owner(branch).branch_snapshot(branch)
-    }
-
-    fn owner(&self, branch: BranchId) -> &ReactiveController {
-        &self.shards[shard_of(branch, self.shards.len())].ctl
+        self.with_shard(self.shard_for(branch), |ctl| ctl.branch_snapshot(branch))
     }
 
     /// One shard's own metrics registry (shard-local view), or `None`
     /// without metrics or for an out-of-range index.
     pub fn shard_metrics(&self, shard: usize) -> Option<MetricsRegistry> {
-        self.shards.get(shard)?.ctl.metrics()
+        if shard >= self.n {
+            return None;
+        }
+        self.with_shard(shard, |ctl| ctl.metrics())
     }
 
     /// The merged metrics registry, or `None` unless the engine was
@@ -281,14 +621,26 @@ impl ShardedController {
     /// (`rsc_shard_*_total{shard="k"}`) are appended after the standard
     /// schema.
     pub fn metrics(&self) -> Option<MetricsRegistry> {
-        let first = self.shards[0].ctl.telemetry.as_ref()?.metrics.as_ref()?;
+        // One trip through the shards gathers everything the merge needs.
+        let views: Vec<(Option<ControllerMetrics>, ControlStats, Vec<u64>)> =
+            self.map_shards(|_, ctl| {
+                (
+                    ctl.telemetry.as_ref().and_then(|t| t.metrics.clone()),
+                    ctl.stats(),
+                    TransitionKind::ALL
+                        .iter()
+                        .map(|&kind| ctl.transition_log().count(kind))
+                        .collect(),
+                )
+            });
+        let first = views[0].0.as_ref()?;
         let bounds = first.interval_bounds().to_vec();
         let cm = ControllerMetrics::with_interval_bounds(&bounds)
             .expect("bounds were validated at build time");
         let mut reg = cm.registry.clone();
         let ids = &cm.ids;
-        for slot in &self.shards {
-            let scm = slot.ctl.telemetry.as_ref()?.metrics.as_ref()?;
+        for (scm, _, _) in &views {
+            let scm = scm.as_ref()?;
             for (agg, shard) in cm
                 .histograms_in_order()
                 .iter()
@@ -304,7 +656,8 @@ impl ShardedController {
         reg.set_counter(ids.correct, s.correct);
         reg.set_counter(ids.incorrect, s.incorrect);
         for kind in TransitionKind::ALL {
-            reg.set_counter(ids.transitions[kind.index()], self.transition_count(kind));
+            let total: u64 = views.iter().map(|(_, _, c)| c[kind.index()]).sum();
+            reg.set_counter(ids.transitions[kind.index()], total);
         }
         // Sharding rejects the resilience layer, so deployment is
         // implicit: one deployment per re-optimization request.
@@ -315,8 +668,7 @@ impl ShardedController {
         reg.set_counter(ids.suppressed_enters, s.suppressed_enters);
         reg.set_gauge(ids.branches_tracked, s.touched as f64);
         reg.set_gauge(ids.branches_disabled, s.disabled_branches as f64);
-        for (k, slot) in self.shards.iter().enumerate() {
-            let ss = slot.ctl.stats();
+        for (k, (_, ss, counts)) in views.iter().enumerate() {
             let label = k.to_string();
             let id = reg.counter_labeled(
                 "rsc_shard_events_total",
@@ -332,25 +684,41 @@ impl ShardedController {
                 "misspeculations, per shard",
             );
             reg.set_counter(id, ss.incorrect);
-            let transitions: u64 = TransitionKind::ALL
-                .iter()
-                .map(|&kind| slot.ctl.transition_log().count(kind))
-                .sum();
             let id = reg.counter_labeled(
                 "rsc_shard_transitions_total",
                 "shard",
                 &label,
                 "classification transitions of every kind, per shard",
             );
-            reg.set_counter(id, transitions);
+            reg.set_counter(id, counts.iter().sum());
         }
         Some(reg)
     }
+}
 
-    /// Read-only access to the shard controllers, in shard order (used
-    /// by the checkpoint writer).
-    pub(crate) fn shard_controllers(&self) -> impl Iterator<Item = &ReactiveController> {
-        self.shards.iter().map(|slot| &slot.ctl)
+impl Clone for ShardedController {
+    /// Clones the full engine state: every shard controller is copied
+    /// out of its worker and a fresh pool (same size) is spun up for the
+    /// clone.
+    fn clone(&self) -> Self {
+        let ctls = self.map_shards(|_, ctl| ctl.clone());
+        ShardedController::from_parts(ctls, self.pool_threads())
+    }
+}
+
+impl std::fmt::Debug for ShardedController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedController")
+            .field("shards", &self.n)
+            .field(
+                "engine",
+                &match &self.engine {
+                    Engine::Inline { .. } => "inline",
+                    Engine::Pooled { .. } => "pooled",
+                },
+            )
+            .field("pool_threads", &self.pool_threads())
+            .finish()
     }
 }
 
@@ -477,17 +845,115 @@ mod tests {
                 .shards(5)
                 .build_sharded()
                 .unwrap();
+            rsc_util::parallel::set_max_threads(0);
             let mut summaries = Vec::new();
             for chunk in trace.chunks(313) {
                 summaries.push(ctl.observe_chunk(chunk));
             }
-            rsc_util::parallel::set_max_threads(0);
             let snapshots: Vec<BranchSnapshot> = (0..9)
                 .map(|b| ctl.branch_snapshot(BranchId::new(b)))
                 .collect();
             (summaries, ctl.stats(), snapshots)
         };
-        assert_eq!(run(1), run(4));
+        let capped = run(1);
+        let pooled = run(4);
+        assert_eq!(capped, pooled);
+    }
+
+    #[test]
+    fn pool_size_honors_thread_cap_and_shard_count() {
+        let build = |cap: usize, shards: usize| {
+            rsc_util::parallel::set_max_threads(cap);
+            let ctl = ReactiveController::builder(tiny())
+                .shards(shards)
+                .build_sharded()
+                .unwrap();
+            rsc_util::parallel::set_max_threads(0);
+            ctl.pool_threads()
+        };
+        assert_eq!(build(1, 6), 1, "cap 1 → inline engine");
+        assert_eq!(build(4, 6), 4, "pool = cap when cap < shards");
+        assert_eq!(build(16, 6), 6, "pool = shards when cap > shards");
+        assert_eq!(build(16, 1), 1, "one shard always runs inline");
+    }
+
+    #[test]
+    fn builder_pool_threads_overrides_global_cap() {
+        rsc_util::parallel::set_max_threads(1);
+        let ctl = ReactiveController::builder(tiny())
+            .shards(6)
+            .pool_threads(3)
+            .build_sharded()
+            .unwrap();
+        rsc_util::parallel::set_max_threads(0);
+        assert_eq!(ctl.pool_threads(), 3);
+    }
+
+    #[test]
+    fn routing_buffers_survive_wildly_different_chunk_sizes() {
+        // Same trace, radically different chunk layouts — including an
+        // empty chunk, a 1-event chunk, and a chunk larger than any
+        // buffer seen before — must leave no stale routing data behind.
+        let trace = oscillating(23, 11, 60_000);
+        let mut seq = ReactiveController::builder(tiny()).build().unwrap();
+        for r in &trace {
+            seq.observe(r);
+        }
+        for cap in [1usize, 4] {
+            rsc_util::parallel::set_max_threads(cap);
+            let mut shd = ReactiveController::builder(tiny())
+                .shards(4)
+                .build_sharded()
+                .unwrap();
+            rsc_util::parallel::set_max_threads(0);
+            let mut start = 0usize;
+            let mut total = ChunkSummary::default();
+            // 4096-event warmup, empty, 1 event, then one chunk far
+            // larger than anything routed so far (spanning many blocks),
+            // then the tail.
+            for len in [4096usize, 0, 1, 50_000, usize::MAX] {
+                let end = start.saturating_add(len).min(trace.len());
+                let s = shd.observe_chunk(&trace[start..end]);
+                assert_eq!(s.events, (end - start) as u64, "cap {cap}: chunk events");
+                add_summary(&mut total, s);
+                start = end;
+            }
+            assert_eq!(start, trace.len(), "layout covers the whole trace");
+            assert_eq!(shd.stats(), seq.stats(), "cap {cap}: stats");
+            assert_eq!(total.correct, seq.stats().correct, "cap {cap}: correct");
+            assert_eq!(
+                total.incorrect,
+                seq.stats().incorrect,
+                "cap {cap}: incorrect"
+            );
+            for b in 0..23u32 {
+                let id = BranchId::new(b);
+                assert_eq!(
+                    shd.branch_snapshot(id),
+                    seq.branch_snapshot(id),
+                    "cap {cap}: branch {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_engine_clones_and_drops_cleanly() {
+        let trace = oscillating(9, 7, 5_000);
+        rsc_util::parallel::set_max_threads(4);
+        let mut a = ReactiveController::builder(tiny())
+            .shards(4)
+            .build_sharded()
+            .unwrap();
+        rsc_util::parallel::set_max_threads(0);
+        a.observe_chunk(&trace[..2_500]);
+        let mut b = a.clone();
+        assert_eq!(b.pool_threads(), a.pool_threads());
+        a.observe_chunk(&trace[2_500..]);
+        b.observe_chunk(&trace[2_500..]);
+        assert_eq!(a.stats(), b.stats(), "clone diverges from original");
+        drop(a);
+        drop(b); // both pools join cleanly; a hang here fails the test
     }
 
     #[test]
@@ -583,8 +1049,10 @@ mod tests {
             .unwrap();
         shd.observe_chunk(&trace);
         assert!(shd.transition_count(TransitionKind::EnterBiased) > 0);
-        for ctl in shd.shard_controllers() {
-            assert!(ctl.transitions().is_empty());
-        }
+        let empties = shd.map_shards(|_, ctl| ctl.transitions().is_empty());
+        assert!(
+            empties.into_iter().all(|e| e),
+            "CountsOnly stores no events"
+        );
     }
 }

@@ -19,6 +19,7 @@ subcommands (own their argument lists):
   conformance     differential fuzzing campaign / artifact replay
   resilience      resilient-runtime drills
   observe         metrics exposition smoke
+  fuzz            coverage-guided scenario fuzzing with analytic oracle
 
 experiments: table1 table2 table3 table4 table5 fig2 fig3 fig5 fig6
   fig7 fig8 fig9 oscillation dynamo confidence regions variance

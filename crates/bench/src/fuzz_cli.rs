@@ -1,0 +1,402 @@
+//! The `repro fuzz` subcommand: coverage-guided scenario fuzzing of the
+//! reactive controller with an analytic misspeculation oracle.
+//!
+//! Exit status encodes the verdict for CI:
+//!
+//! * `0` — campaign ran; every analytically-checked corpus entry agreed
+//!   with simulation (or the oracle was off);
+//! * `1` — at least one corpus entry diverged from the Markov model
+//!   beyond the documented tolerance (the divergence is written as a
+//!   structured artifact, never a silent pass);
+//! * `2` — usage error.
+
+use rsc_conformance::json::Json;
+use rsc_conformance::params_to_json;
+use rsc_fuzz::corpus::save_entries;
+use rsc_fuzz::{fuzz, AnalyticCheck, FuzzConfig, FuzzReport};
+use std::path::{Path, PathBuf};
+
+/// Usage text printed (to stderr) alongside any parse error.
+pub const USAGE: &str = "\
+usage: repro fuzz [FLAGS]
+
+flags:
+  --iters N         mutation iterations after seeding (default 200, N >= 1)
+  --seed N          master seed for mutations and baselines (default 42)
+  --events N        events per baseline scenario (default 3000, N >= 1)
+  --corpus-dir DIR  write corpus entries, report.json, and the minimized
+                    worst case under DIR
+  --minimize        ddmin-minimize the worst misspeculation trace
+  --analytic-check  cross-check every corpus entry against the analytic
+                    Markov oracle; divergence beyond tolerance exits 1";
+
+/// Everything a `repro fuzz` invocation decided.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzArgs {
+    /// The campaign configuration.
+    pub config: FuzzConfig,
+    /// `--corpus-dir` artifact directory.
+    pub corpus_dir: Option<PathBuf>,
+}
+
+/// Parses the argument list (everything after the literal `fuzz`).
+/// Pure: no printing, no process exit.
+///
+/// # Errors
+///
+/// Returns a one-line diagnostic for a missing flag value, a
+/// non-numeric value, a zero where at least 1 is required, or an
+/// unknown flag.
+pub fn parse(args: &[String]) -> Result<FuzzArgs, String> {
+    let mut out = FuzzArgs {
+        config: FuzzConfig {
+            // The oracle is opt-in on the command line.
+            analytic_check: false,
+            ..FuzzConfig::new()
+        },
+        corpus_dir: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--iters" => out.config.iters = at_least_one(number(&mut it, "--iters")?, "--iters")?,
+            "--seed" => out.config.seed = number(&mut it, "--seed")?,
+            "--events" => {
+                out.config.events = at_least_one(number(&mut it, "--events")?, "--events")?
+            }
+            "--corpus-dir" => out.corpus_dir = Some(PathBuf::from(value(&mut it, "--corpus-dir")?)),
+            "--minimize" => out.config.minimize = true,
+            "--analytic-check" => out.config.analytic_check = true,
+            other => return Err(format!("unknown fuzz option: {other}")),
+        }
+    }
+    Ok(out)
+}
+
+fn value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a str, String> {
+    match it.next() {
+        Some(v) => Ok(v),
+        None => Err(format!("{flag} needs a value")),
+    }
+}
+
+fn number(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<u64, String> {
+    let v = value(it, flag)?;
+    v.parse()
+        .map_err(|_| format!("{flag} needs an integer, got {v:?}"))
+}
+
+fn at_least_one(n: u64, flag: &str) -> Result<u64, String> {
+    if n == 0 {
+        return Err(format!("{flag} must be at least 1"));
+    }
+    Ok(n)
+}
+
+/// Runs the subcommand with its own argument list (everything after the
+/// literal `fuzz`). Returns the process exit code.
+pub fn run(args: &[String]) -> i32 {
+    let parsed = match parse(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            return 2;
+        }
+    };
+
+    println!(
+        "fuzz campaign: {} iterations, seed {}, {} events/baseline{}{}",
+        parsed.config.iters,
+        parsed.config.seed,
+        parsed.config.events,
+        if parsed.config.minimize {
+            ", minimizing worst case"
+        } else {
+            ""
+        },
+        if parsed.config.analytic_check {
+            ", analytic oracle on"
+        } else {
+            ""
+        },
+    );
+    let report = fuzz(&parsed.config);
+
+    println!(
+        "coverage: baseline {} points (7 hand-written scenarios), fuzz {} points ({})",
+        report.baseline_points,
+        report.fuzz_points,
+        if report.beat_baseline() {
+            "fuzzing beat the hand-written campaign"
+        } else {
+            "no gain over the hand-written campaign"
+        },
+    );
+    println!(
+        "corpus: {} entries ({} fuzz finds)",
+        report.corpus.len(),
+        report.corpus.len().saturating_sub(7),
+    );
+    if let Some(w) = &report.worst {
+        println!(
+            "worst case: entry {} ({}), misspec rate {:.5} ({} misses / {} events){}",
+            w.entry,
+            report.corpus[w.entry].genome.describe(),
+            w.misspec_rate,
+            w.misses,
+            w.events,
+            match &w.minimized {
+                Some(t) => format!(", minimized to {} events", t.len()),
+                None => String::new(),
+            },
+        );
+    }
+    for &i in &report.divergences {
+        if let AnalyticCheck::Checked {
+            predicted,
+            simulated,
+            ..
+        } = &report.corpus[i].analytic
+        {
+            println!(
+                "ANALYTIC DIVERGENCE: entry {i} ({}): predicted {predicted:.5}, \
+                 simulated {simulated:.5}",
+                report.corpus[i].genome.describe(),
+            );
+        }
+    }
+
+    if let Some(dir) = &parsed.corpus_dir {
+        match write_artifacts(dir, &report) {
+            Ok(()) => println!("wrote corpus artifacts to {}", dir.display()),
+            Err(e) => {
+                eprintln!("failed to write corpus artifacts: {e}");
+                return 1;
+            }
+        }
+    }
+
+    if report.divergences.is_empty() {
+        if parsed.config.analytic_check {
+            println!("analytic oracle agrees with simulation on every corpus entry");
+        }
+        0
+    } else {
+        println!(
+            "FAIL: {} corpus entr{} diverged from the analytic model",
+            report.divergences.len(),
+            if report.divergences.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+        );
+        1
+    }
+}
+
+/// Writes `entry-NNN.json` per corpus entry, a campaign `report.json`,
+/// and (when minimization ran) `worst-case.json` with the minimized
+/// trace, under `dir`.
+fn write_artifacts(dir: &Path, report: &FuzzReport) -> std::io::Result<()> {
+    save_entries(dir, &report.corpus)?;
+    std::fs::write(dir.join("report.json"), report_json(report).to_string())?;
+    if let Some(w) = &report.worst {
+        if let Some(trace) = &w.minimized {
+            let doc = Json::obj([
+                ("format", Json::Int(1)),
+                ("entry", Json::Int(w.entry as u64)),
+                ("misspec_rate", Json::Num(w.misspec_rate)),
+                ("params", params_to_json(&report.config.params)),
+                (
+                    "genome",
+                    rsc_fuzz::genome::genome_to_json(&report.corpus[w.entry].genome),
+                ),
+                (
+                    "trace",
+                    Json::Arr(
+                        trace
+                            .iter()
+                            .map(|r| {
+                                Json::Arr(vec![
+                                    Json::Int(r.branch.index() as u64),
+                                    Json::Bool(r.taken),
+                                    Json::Int(r.instr),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]);
+            std::fs::write(dir.join("worst-case.json"), doc.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+/// The structured campaign summary (`report.json`).
+fn report_json(report: &FuzzReport) -> Json {
+    Json::obj([
+        ("format", Json::Int(1)),
+        ("iters", Json::Int(report.config.iters)),
+        ("seed", Json::Int(report.config.seed)),
+        ("events", Json::Int(report.config.events)),
+        ("params", params_to_json(&report.config.params)),
+        (
+            "baseline_points",
+            Json::Int(u64::from(report.baseline_points)),
+        ),
+        ("fuzz_points", Json::Int(u64::from(report.fuzz_points))),
+        ("beat_baseline", Json::Bool(report.beat_baseline())),
+        ("corpus_entries", Json::Int(report.corpus.len() as u64)),
+        (
+            "kinds_seen",
+            Json::Arr(
+                report
+                    .coverage
+                    .kinds_seen()
+                    .into_iter()
+                    .map(Json::str)
+                    .collect(),
+            ),
+        ),
+        (
+            "divergences",
+            Json::Arr(
+                report
+                    .divergences
+                    .iter()
+                    .map(|&i| Json::Int(i as u64))
+                    .collect(),
+            ),
+        ),
+        (
+            "worst_case",
+            match &report.worst {
+                Some(w) => Json::obj([
+                    ("entry", Json::Int(w.entry as u64)),
+                    ("misspec_rate", Json::Num(w.misspec_rate)),
+                    ("misses", Json::Int(w.misses)),
+                    ("events", Json::Int(w.events)),
+                    (
+                        "minimized_events",
+                        match &w.minimized {
+                            Some(t) => Json::Int(t.len() as u64),
+                            None => Json::Null,
+                        },
+                    ),
+                ]),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_match_fuzz_config_with_oracle_opt_in() {
+        let parsed = parse(&[]).unwrap();
+        assert_eq!(
+            parsed.config,
+            FuzzConfig {
+                analytic_check: false,
+                ..FuzzConfig::new()
+            }
+        );
+        assert_eq!(parsed.corpus_dir, None);
+    }
+
+    #[test]
+    fn all_flags_parse_together() {
+        let parsed = parse(&argv(&[
+            "--iters",
+            "50",
+            "--seed",
+            "7",
+            "--events",
+            "900",
+            "--corpus-dir",
+            "out",
+            "--minimize",
+            "--analytic-check",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.config.iters, 50);
+        assert_eq!(parsed.config.seed, 7);
+        assert_eq!(parsed.config.events, 900);
+        assert!(parsed.config.minimize);
+        assert!(parsed.config.analytic_check);
+        assert_eq!(parsed.corpus_dir.as_deref(), Some(Path::new("out")));
+    }
+
+    #[test]
+    fn bad_values_are_diagnosed_not_panicked() {
+        assert_eq!(
+            parse(&argv(&["--iters"])).unwrap_err(),
+            "--iters needs a value"
+        );
+        assert_eq!(
+            parse(&argv(&["--iters", "lots"])).unwrap_err(),
+            "--iters needs an integer, got \"lots\""
+        );
+        assert_eq!(
+            parse(&argv(&["--iters", "0"])).unwrap_err(),
+            "--iters must be at least 1"
+        );
+        assert_eq!(
+            parse(&argv(&["--events", "0"])).unwrap_err(),
+            "--events must be at least 1"
+        );
+        assert_eq!(
+            parse(&argv(&["--corpus-dir"])).unwrap_err(),
+            "--corpus-dir needs a value"
+        );
+        assert_eq!(
+            parse(&argv(&["--bogus"])).unwrap_err(),
+            "unknown fuzz option: --bogus"
+        );
+    }
+
+    #[test]
+    fn tiny_campaign_writes_artifacts_and_exits_zero() {
+        let dir = std::env::temp_dir().join("rsc_fuzz_cli_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let code = run(&argv(&[
+            "--iters",
+            "10",
+            "--events",
+            "600",
+            "--minimize",
+            "--analytic-check",
+            "--corpus-dir",
+            dir.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0, "tiny campaign must agree with the oracle");
+        assert!(dir.join("report.json").exists());
+        assert!(dir.join("entry-000.json").exists());
+        assert!(dir.join("worst-case.json").exists());
+        let report =
+            Json::parse(&std::fs::read_to_string(dir.join("report.json")).unwrap()).unwrap();
+        assert_eq!(report.get("format").and_then(Json::as_u64), Some(1));
+        assert!(report
+            .get("divergences")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn usage_error_exits_two() {
+        assert_eq!(run(&argv(&["--bogus"])), 2);
+        assert_eq!(run(&argv(&["--iters", "0"])), 2);
+    }
+}

@@ -8,6 +8,7 @@ pub mod cli;
 pub mod conformance_cli;
 pub mod experiments;
 pub mod export;
+pub mod fuzz_cli;
 pub mod observe_cli;
 pub mod options;
 pub mod parallel;

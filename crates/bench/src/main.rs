@@ -17,6 +17,9 @@ fn main() {
     if args.first().map(String::as_str) == Some("observe") {
         std::process::exit(rsc_bench::observe_cli::run(&args[1..]));
     }
+    if args.first().map(String::as_str) == Some("fuzz") {
+        std::process::exit(rsc_bench::fuzz_cli::run(&args[1..]));
+    }
     let top = match rsc_bench::cli::parse(&args) {
         Ok(top) => top,
         Err(e) => {

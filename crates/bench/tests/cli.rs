@@ -59,3 +59,51 @@ fn unknown_experiment_still_exits_2() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown experiment"), "{err}");
 }
+
+#[test]
+fn fuzz_non_integer_iters_is_a_usage_error() {
+    let out = repro(&["fuzz", "--iters", "lots"]);
+    assert_usage_error(&out, "--iters needs an integer");
+}
+
+#[test]
+fn fuzz_missing_flag_value_is_a_usage_error() {
+    let out = repro(&["fuzz", "--corpus-dir"]);
+    assert_usage_error(&out, "--corpus-dir needs a value");
+}
+
+#[test]
+fn fuzz_zero_iters_is_a_usage_error() {
+    let out = repro(&["fuzz", "--iters", "0"]);
+    assert_usage_error(&out, "--iters must be at least 1");
+}
+
+#[test]
+fn fuzz_unknown_option_is_a_usage_error() {
+    let out = repro(&["fuzz", "--bogus"]);
+    assert_usage_error(&out, "unknown fuzz option: --bogus");
+}
+
+#[test]
+fn fuzz_smoke_run_writes_corpus_artifacts_and_exits_zero() {
+    let dir = std::env::temp_dir().join("rsc_repro_fuzz_e2e");
+    std::fs::remove_dir_all(&dir).ok();
+    let out = repro(&[
+        "fuzz",
+        "--iters",
+        "10",
+        "--seed",
+        "42",
+        "--events",
+        "600",
+        "--analytic-check",
+        "--corpus-dir",
+        dir.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("coverage: baseline"), "{stdout}");
+    assert!(dir.join("report.json").exists());
+    assert!(dir.join("entry-000.json").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -232,7 +232,9 @@ fn field_f64(v: &Json, key: &'static str) -> Result<f64, ArtifactError> {
         .ok_or(ArtifactError::Malformed(key))
 }
 
-fn params_to_json(p: &ControllerParams) -> Json {
+/// Serializes controller parameters to the artifact JSON schema
+/// (shared with the fuzz corpus format).
+pub fn params_to_json(p: &ControllerParams) -> Json {
     Json::obj([
         ("monitor_period", Json::Int(p.monitor_period)),
         (
@@ -297,7 +299,9 @@ fn params_to_json(p: &ControllerParams) -> Json {
     ])
 }
 
-fn params_from_json(v: &Json) -> Result<ControllerParams, ArtifactError> {
+/// Parses controller parameters from the artifact JSON schema; inverse
+/// of [`params_to_json`].
+pub fn params_from_json(v: &Json) -> Result<ControllerParams, ArtifactError> {
     let monitor_v = v
         .get("monitor_policy")
         .ok_or(ArtifactError::Malformed("monitor_policy"))?;

@@ -39,8 +39,8 @@ pub mod fault;
 pub mod json;
 pub mod shrink;
 
-pub use artifact::{ArtifactError, Counterexample};
+pub use artifact::{params_from_json, params_to_json, ArtifactError, Counterexample};
 pub use campaign::{run, CampaignConfig, CampaignReport};
 pub use differ::{run_case, CaseSpec, Divergence, Mode};
 pub use fault::Fault;
-pub use shrink::shrink;
+pub use shrink::{shrink, shrink_by};

@@ -50,10 +50,37 @@ pub fn shrink_with_budget(
     trace: &[BranchRecord],
     budget: usize,
 ) -> (Vec<BranchRecord>, Divergence) {
+    shrink_by(
+        trace,
+        budget,
+        |candidate| run_case(spec, candidate).err(),
+        |div| div.index,
+    )
+}
+
+/// Minimizes `trace` while an arbitrary failure predicate keeps holding.
+///
+/// This is the generic core of [`shrink`]: `fails` returns `Some`
+/// evidence when a candidate still fails (a [`Divergence`] for the
+/// differ, a misspeculation budget overrun for the fuzzer's worst-case
+/// minimizer, …), and `index_of` maps that evidence to the event index
+/// it anchors to — used by the truncation phase; return `trace.len()`
+/// if the failure has no meaningful position. `fails` is invoked at
+/// most `budget` times after the initial check.
+///
+/// # Panics
+///
+/// Panics if `trace` does not fail the predicate.
+pub fn shrink_by<E>(
+    trace: &[BranchRecord],
+    budget: usize,
+    mut fails: impl FnMut(&[BranchRecord]) -> Option<E>,
+    index_of: impl Fn(&E) -> usize,
+) -> (Vec<BranchRecord>, E) {
     let runs = std::cell::Cell::new(0usize);
-    let fails = |candidate: &[BranchRecord]| -> Option<Divergence> {
+    let mut fails = |candidate: &[BranchRecord]| -> Option<E> {
         runs.set(runs.get() + 1);
-        run_case(spec, candidate).err()
+        fails(candidate)
     };
     let runs = || runs.get();
 
@@ -62,7 +89,7 @@ pub fn shrink_with_budget(
 
     // Phase 1: truncate to the divergence point until it stops moving.
     loop {
-        let cut = (div.index + 1).min(best.len());
+        let cut = (index_of(&div) + 1).min(best.len());
         if cut >= best.len() || runs() >= budget {
             break;
         }
@@ -193,6 +220,26 @@ mod tests {
         let (small, _) = shrink(&spec, &trace);
         assert!(run_case(&spec, &small).is_err());
         assert!(small.len() <= 1_000, "got {} events", small.len());
+    }
+
+    #[test]
+    fn shrink_by_minimizes_against_a_custom_predicate() {
+        // Fuzzer-style worst-case minimization: "still fails" means the
+        // candidate still contains at least 5 not-taken executions.
+        let trace = Scenario::UniformRandom { branches: 4 }.generate(5_000, 2);
+        let misses = |t: &[rsc_trace::BranchRecord]| t.iter().filter(|r| !r.taken).count();
+        assert!(misses(&trace) >= 5);
+        let (small, count) = shrink_by(
+            &trace,
+            DEFAULT_BUDGET,
+            |cand| {
+                let m = misses(cand);
+                (m >= 5).then_some(m)
+            },
+            |_| trace.len(),
+        );
+        assert_eq!(count, 5, "minimal witness keeps exactly the budget");
+        assert_eq!(small.len(), 5, "everything else is removed");
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! FSM-transition coverage map — the fuzzer's guidance signal.
+//!
+//! A coverage signature summarizes which corners of the controller's
+//! transition space a run exercised, at three granularities:
+//!
+//! * **Kinds** — which of the [`TransitionKind`]s fired at all (11 bits).
+//! * **Pairs** — which *consecutive per-branch* kind pairs occurred
+//!   (11×11 bits). A branch that goes `EnterBiased → ExitBiased →
+//!   EnterBiased` covers different FSM arcs than one that goes
+//!   `EnterBiased → Disabled`, even if both fire the same kinds overall.
+//!   Pair extraction walks [`TransitionLog::as_slice`], so it needs
+//!   [`TransitionLogPolicy::Full`](crate::translog::TransitionLogPolicy)
+//!   to be complete; under lossy policies only the retained suffix
+//!   contributes.
+//! * **Buckets** — AFL-style log2 hit-count buckets per kind (11×16
+//!   bits): a run that fires `ExitBiased` 200 times is distinguishable
+//!   from one that fires it once, without rewarding every +1.
+//!
+//! Signatures merge by bitwise OR; [`TransitionCoverage::points`] is the
+//! population count, so "strictly more coverage" is a plain integer
+//! comparison.
+
+use std::collections::HashMap;
+
+use crate::controller::TransitionKind;
+use crate::translog::TransitionLog;
+
+/// Number of transition kinds (width of the kind axis).
+pub const KINDS: usize = TransitionKind::ALL.len();
+
+const PAIR_WORDS: usize = KINDS * KINDS / 64 + 1;
+
+/// A mergeable bitset over the controller's FSM-transition space.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_control::analysis::coverage::TransitionCoverage;
+/// use rsc_control::{TransitionLog, TransitionLogPolicy};
+///
+/// let log = TransitionLog::new(TransitionLogPolicy::Full);
+/// let empty = TransitionCoverage::from_log(&log);
+/// assert_eq!(empty.points(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransitionCoverage {
+    /// Kind `k` observed at least once ⇔ bit `k` set.
+    kind_bits: u16,
+    /// Consecutive per-branch pair `(prev, next)` observed ⇔ bit
+    /// `prev.index() * KINDS + next.index()` set.
+    pair_bits: [u64; PAIR_WORDS],
+    /// Log2 hit-count bucket `b` reached for kind `k` ⇔ bit `b` of
+    /// `bucket_bits[k]` set.
+    bucket_bits: [u16; KINDS],
+}
+
+/// Maps a hit count to its log2 bucket index in `0..16`.
+fn bucket(count: u64) -> u32 {
+    debug_assert!(count > 0);
+    (63 - count.leading_zeros()).min(15)
+}
+
+impl TransitionCoverage {
+    /// Extracts the signature of one run from its transition log.
+    ///
+    /// Kind and bucket bits come from the exact per-kind counters (valid
+    /// under every log policy); pair bits come from the retained event
+    /// sequence and are complete only under the `Full` policy.
+    pub fn from_log(log: &TransitionLog) -> Self {
+        let mut cov = Self::default();
+        for kind in TransitionKind::ALL {
+            let n = log.count(kind);
+            if n > 0 {
+                cov.kind_bits |= 1 << kind.index();
+                cov.bucket_bits[kind.index()] |= 1 << bucket(n);
+            }
+        }
+        let mut last: HashMap<u32, usize> = HashMap::new();
+        for ev in log.as_slice() {
+            let next = ev.kind.index();
+            let key = ev.branch.index() as u32;
+            if let Some(prev) = last.insert(key, next) {
+                let bit = prev * KINDS + next;
+                cov.pair_bits[bit / 64] |= 1 << (bit % 64);
+            }
+        }
+        cov
+    }
+
+    /// ORs `other` into `self`; returns how many points were new.
+    pub fn merge(&mut self, other: &Self) -> u32 {
+        let before = self.points();
+        self.kind_bits |= other.kind_bits;
+        for (a, b) in self.pair_bits.iter_mut().zip(other.pair_bits) {
+            *a |= b;
+        }
+        for (a, b) in self.bucket_bits.iter_mut().zip(other.bucket_bits) {
+            *a |= b;
+        }
+        self.points() - before
+    }
+
+    /// Total covered points (population count across all three axes).
+    pub fn points(&self) -> u32 {
+        self.kind_bits.count_ones()
+            + self.pair_bits.iter().map(|w| w.count_ones()).sum::<u32>()
+            + self.bucket_bits.iter().map(|w| w.count_ones()).sum::<u32>()
+    }
+
+    /// Points covered by `self` that `base` does not cover.
+    pub fn new_points(&self, base: &Self) -> u32 {
+        let mut merged = *base;
+        merged.merge(self)
+    }
+
+    /// Names of the kinds this signature has seen, in index order.
+    pub fn kinds_seen(&self) -> Vec<&'static str> {
+        TransitionKind::ALL
+            .into_iter()
+            .filter(|k| self.kind_bits & (1 << k.index()) != 0)
+            .map(|k| k.name())
+            .collect()
+    }
+
+    /// Compact hex encoding for artifacts; inverse of [`Self::decode`].
+    pub fn encode(&self) -> String {
+        let mut s = format!("{:04x}", self.kind_bits);
+        for w in self.pair_bits {
+            s.push_str(&format!("{w:016x}"));
+        }
+        for w in self.bucket_bits {
+            s.push_str(&format!("{w:04x}"));
+        }
+        s
+    }
+
+    /// Parses a signature produced by [`Self::encode`].
+    pub fn decode(s: &str) -> Option<Self> {
+        let expect = 4 + PAIR_WORDS * 16 + KINDS * 4;
+        if s.len() != expect || !s.is_ascii() {
+            return None;
+        }
+        let mut cov = Self {
+            kind_bits: u16::from_str_radix(&s[..4], 16).ok()?,
+            ..Self::default()
+        };
+        let mut at = 4;
+        for w in &mut cov.pair_bits {
+            *w = u64::from_str_radix(&s[at..at + 16], 16).ok()?;
+            at += 16;
+        }
+        for w in &mut cov.bucket_bits {
+            *w = u16::from_str_radix(&s[at..at + 4], 16).ok()?;
+            at += 4;
+        }
+        Some(cov)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::TransitionEvent;
+    use crate::translog::TransitionLogPolicy;
+    use rsc_trace::BranchId;
+
+    fn ev(branch: u32, kind: TransitionKind) -> TransitionEvent {
+        TransitionEvent {
+            branch: BranchId::new(branch),
+            kind,
+            event_index: 0,
+            instr: 0,
+            direction: None,
+        }
+    }
+
+    #[test]
+    fn counts_kinds_pairs_and_buckets() {
+        let mut log = TransitionLog::new(TransitionLogPolicy::Full);
+        log.push(ev(0, TransitionKind::EnterBiased));
+        log.push(ev(0, TransitionKind::ExitBiased));
+        log.push(ev(1, TransitionKind::EnterUnbiased));
+        let cov = TransitionCoverage::from_log(&log);
+        // 3 kinds + 1 pair (EnterBiased→ExitBiased on branch 0) +
+        // 3 buckets (count 1 for each kind).
+        assert_eq!(cov.points(), 7);
+        assert_eq!(
+            cov.kinds_seen(),
+            vec!["enter_biased", "exit_biased", "enter_unbiased"]
+        );
+    }
+
+    #[test]
+    fn pairs_are_per_branch_not_global() {
+        let mut log = TransitionLog::new(TransitionLogPolicy::Full);
+        log.push(ev(0, TransitionKind::EnterBiased));
+        log.push(ev(1, TransitionKind::ExitBiased));
+        let cov = TransitionCoverage::from_log(&log);
+        // Interleaving on different branches yields no pair bit.
+        assert_eq!(cov.points(), 2 + 0 + 2);
+    }
+
+    #[test]
+    fn buckets_separate_hit_magnitudes() {
+        let mut a = TransitionLog::new(TransitionLogPolicy::CountsOnly);
+        a.push(ev(0, TransitionKind::EnterBiased));
+        let mut b = TransitionLog::new(TransitionLogPolicy::CountsOnly);
+        for _ in 0..200 {
+            b.push(ev(0, TransitionKind::EnterBiased));
+        }
+        let ca = TransitionCoverage::from_log(&a);
+        let cb = TransitionCoverage::from_log(&b);
+        assert_ne!(ca, cb);
+        assert_eq!(cb.new_points(&ca), 1, "one new bucket bit");
+    }
+
+    #[test]
+    fn merge_reports_gain_and_is_idempotent() {
+        let mut log = TransitionLog::new(TransitionLogPolicy::Full);
+        log.push(ev(0, TransitionKind::EnterBiased));
+        let cov = TransitionCoverage::from_log(&log);
+        let mut acc = TransitionCoverage::default();
+        assert_eq!(acc.merge(&cov), cov.points());
+        assert_eq!(acc.merge(&cov), 0);
+        assert_eq!(acc, cov);
+    }
+
+    #[test]
+    fn encode_round_trips() {
+        let mut log = TransitionLog::new(TransitionLogPolicy::Full);
+        log.push(ev(3, TransitionKind::EnterBiased));
+        log.push(ev(3, TransitionKind::Disabled));
+        let cov = TransitionCoverage::from_log(&log);
+        assert_eq!(TransitionCoverage::decode(&cov.encode()), Some(cov));
+        assert_eq!(TransitionCoverage::decode("zz"), None);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket(1), 0);
+        assert_eq!(bucket(2), 1);
+        assert_eq!(bucket(3), 1);
+        assert_eq!(bucket(4), 2);
+        assert_eq!(bucket(u64::MAX), 15);
+    }
+}

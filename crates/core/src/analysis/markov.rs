@@ -1,0 +1,610 @@
+//! Analytic misspeculation oracle: the 3-state FSM as a Markov chain
+//! over bias classes.
+//!
+//! Instead of simulating a trace event-by-event, this model abstracts
+//! each branch's outcome stream into *bias classes* — consecutive blocks
+//! of `monitor_period` executions summarized by their taken fraction —
+//! and propagates a probability distribution over the controller's
+//! macro-states (Monitor, Biased, Unbiased, Disabled) through that block
+//! sequence. Transition probabilities come from closed forms, in the
+//! linear-equational probabilistic-dataflow tradition (Di Pierro &
+//! Wiklicky; see PAPERS.md):
+//!
+//! * **Classification** — a monitoring window drawing from a block is a
+//!   sample *without replacement*, so the taken-count distribution is
+//!   hypergeometric: a window aligned with a whole block classifies
+//!   deterministically (zero variance), and only misaligned windows fall
+//!   back to a binomial over the mixed mean. The window's mass is split
+//!   three ways (biased-taken / biased-not-taken / unbiased) by the
+//!   exact `max(t, s−t)/s ≥ θ` rule.
+//! * **Eviction** — under the asymmetric counter (+u per miss, −d per
+//!   correct, evict at ≥ T) with per-exec miss probability `q`, the
+//!   counter gains `g = u − d(1−q)/q` per miss cycle, so eviction takes
+//!   `k = 1 + ⌈(T − c − u)/g⌉` misses and `k/q` executions when the
+//!   drift `δ = uq − d(1−q)` is positive; otherwise the branch
+//!   misspeculates at rate `q` indefinitely.
+//! * **Oscillation** — particles carry their entry count, so the
+//!   disable cap is applied exactly where the controller applies it
+//!   (refusing the `(limit+1)`-th entry).
+//!
+//! ## Stated assumptions (what a divergence means)
+//!
+//! 1. Outcomes within a block are exchangeable: ordering effects finer
+//!    than `monitor_period` are invisible (e.g. a burst of misses at a
+//!    block boundary).
+//! 2. Eviction uses expected drift with the saturation-at-zero floor
+//!    applied only between blocks; variance-driven evictions when
+//!    `δ ≤ 0` are not modeled.
+//! 3. The particle population is capped; merged particles average their
+//!    counter values.
+//!
+//! Predictions are compared against simulation with the documented
+//! tolerance ([`TOLERANCE_ABS`] / [`TOLERANCE_REL`]); a scenario outside
+//! tolerance is a *model divergence* — interesting by construction —
+//! and is reported as a structured artifact by the fuzzer, never
+//! silently accepted. Parameterizations the model does not cover return
+//! [`ModelOutcome::Unsupported`] with the reason.
+
+use crate::params::{ControllerParams, EvictionMode, MonitorPolicy, Revisit};
+use rsc_trace::BranchRecord;
+
+/// Absolute misspeculation-rate tolerance for prediction vs simulation.
+pub const TOLERANCE_ABS: f64 = 0.02;
+/// Relative tolerance (fraction of the larger rate), used when the
+/// absolute gate fails.
+pub const TOLERANCE_REL: f64 = 0.15;
+
+/// Maximum particles per branch before low-weight pruning.
+const MAX_PARTICLES: usize = 64;
+
+/// `true` if `predicted` and `simulated` misspeculation rates agree
+/// within the documented tolerance.
+pub fn within_tolerance(predicted: f64, simulated: f64) -> bool {
+    let abs = (predicted - simulated).abs();
+    abs <= TOLERANCE_ABS || abs <= TOLERANCE_REL * predicted.max(simulated)
+}
+
+/// Result of asking the model about one `(params, trace)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelOutcome {
+    /// The parameterization is inside the modeled subset.
+    Supported(Prediction),
+    /// The parameterization uses a mechanism the chain does not model;
+    /// the payload says which.
+    Unsupported(&'static str),
+}
+
+/// Steady-state expectations solved from the chain.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Prediction {
+    /// Trace length the prediction covers.
+    pub events: u64,
+    /// Expected misspeculated executions.
+    pub expected_misses: f64,
+    /// `expected_misses / events` (0 for an empty trace).
+    pub misspec_rate: f64,
+    /// Expected `EnterBiased` transitions.
+    pub enters: f64,
+    /// Expected `ExitBiased` transitions (counter evictions).
+    pub exits: f64,
+    /// Expected `EnterUnbiased` transitions.
+    pub unbiased: f64,
+    /// Expected `RevisitMonitor` transitions.
+    pub revisits: f64,
+    /// Expected `Disabled` transitions (oscillation cap).
+    pub disables: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PState {
+    Monitor { execs: u64, staken: f64, svar: f64 },
+    Biased { taken: bool, counter: f64 },
+    Unbiased { rem: Option<u64> },
+    Disabled,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Particle {
+    w: f64,
+    entries: u32,
+    state: PState,
+}
+
+/// Running expectations accumulated while the chain advances.
+#[derive(Default)]
+struct Acc {
+    misses: f64,
+    enters: f64,
+    exits: f64,
+    unbiased: f64,
+    revisits: f64,
+    disables: f64,
+}
+
+/// Returns why `params` falls outside the modeled subset, if it does.
+fn unsupported_reason(params: &ControllerParams) -> Option<&'static str> {
+    if matches!(params.monitor_policy, MonitorPolicy::Confidence { .. }) {
+        return Some("confidence-interval monitor not modeled");
+    }
+    if params.monitor_sample_rate != 1 {
+        return Some("monitor sampling (rate > 1) not modeled");
+    }
+    if matches!(params.eviction, EvictionMode::Sampling { .. }) {
+        return Some("sampling eviction not modeled");
+    }
+    if params.optimization_latency != 0 {
+        return Some("nonzero optimization latency not modeled");
+    }
+    None
+}
+
+/// Solves the chain for `trace` under `params`.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_control::analysis::markov::{predict, ModelOutcome};
+/// use rsc_control::ControllerParams;
+/// use rsc_trace::Scenario;
+///
+/// let params = ControllerParams::scaled().with_latency(0);
+/// let trace = Scenario::PhaseFlip { branches: 2, flip_after: 4_000 }
+///     .generate(20_000, 7);
+/// let ModelOutcome::Supported(p) = predict(&params, &trace) else {
+///     panic!("scaled params are in the modeled subset");
+/// };
+/// // Long perfectly-biased phases: almost everything speculates
+/// // correctly, so the predicted miss rate is tiny.
+/// assert!(p.misspec_rate < 0.01);
+/// ```
+pub fn predict(params: &ControllerParams, trace: &[BranchRecord]) -> ModelOutcome {
+    if let Some(reason) = unsupported_reason(params) {
+        return ModelOutcome::Unsupported(reason);
+    }
+    // Per-branch outcome streams.
+    let mut streams: Vec<Vec<bool>> = Vec::new();
+    for r in trace {
+        let idx = r.branch.index();
+        if streams.len() <= idx {
+            streams.resize_with(idx + 1, Vec::new);
+        }
+        streams[idx].push(r.taken);
+    }
+    let mut acc = Acc::default();
+    let block = params.monitor_period.max(1) as usize;
+    for outcomes in &streams {
+        solve_branch(outcomes, block, params, &mut acc);
+    }
+    let events = trace.len() as u64;
+    ModelOutcome::Supported(Prediction {
+        events,
+        expected_misses: acc.misses,
+        misspec_rate: if events == 0 {
+            0.0
+        } else {
+            acc.misses / events as f64
+        },
+        enters: acc.enters,
+        exits: acc.exits,
+        unbiased: acc.unbiased,
+        revisits: acc.revisits,
+        disables: acc.disables,
+    })
+}
+
+fn solve_branch(outcomes: &[bool], block: usize, params: &ControllerParams, acc: &mut Acc) {
+    let mut particles = vec![Particle {
+        w: 1.0,
+        entries: 0,
+        state: PState::Monitor {
+            execs: 0,
+            staken: 0.0,
+            svar: 0.0,
+        },
+    }];
+    let mut next = Vec::new();
+    for chunk in outcomes.chunks(block) {
+        let block_n = chunk.len() as u64;
+        let block_t = chunk.iter().filter(|&&t| t).count() as u64;
+        next.clear();
+        for p in particles.drain(..) {
+            advance(p, block_n, block_t as f64, params, acc, &mut next);
+        }
+        merge(&mut next);
+        std::mem::swap(&mut particles, &mut next);
+    }
+}
+
+/// Variance of the taken count when drawing `k` of `n` remaining
+/// executions whose remaining taken fraction is `p` (hypergeometric;
+/// zero when the draw exhausts the block).
+fn hyper_var(k: u64, n: u64, p: f64) -> f64 {
+    if n <= 1 || k >= n {
+        return 0.0;
+    }
+    k as f64 * p * (1.0 - p) * ((n - k) as f64 / (n - 1) as f64)
+}
+
+/// Pushes one particle through a block of `block_n` executions with
+/// `block_t` expected taken, splitting at classifications.
+fn advance(
+    p: Particle,
+    block_n: u64,
+    block_t: f64,
+    params: &ControllerParams,
+    acc: &mut Acc,
+    out: &mut Vec<Particle>,
+) {
+    // (particle, execs already consumed from this block, expected taken
+    // remaining in the block)
+    let mut stack = vec![(p, 0u64, block_t)];
+    while let Some((mut p, done, mut t_r)) = stack.pop() {
+        let n_r = block_n - done;
+        if n_r == 0 || p.w <= 0.0 {
+            out.push(p);
+            continue;
+        }
+        let p_loc = (t_r / n_r as f64).clamp(0.0, 1.0);
+        match p.state {
+            PState::Disabled | PState::Unbiased { rem: None } => out.push(p),
+            PState::Unbiased { rem: Some(rem) } => {
+                if rem > n_r {
+                    p.state = PState::Unbiased {
+                        rem: Some(rem - n_r),
+                    };
+                    out.push(p);
+                } else {
+                    // The `rem`-th execution triggers the revisit; the
+                    // next one is the first monitored execution.
+                    t_r -= rem as f64 * p_loc;
+                    acc.revisits += p.w;
+                    p.state = PState::Monitor {
+                        execs: 0,
+                        staken: 0.0,
+                        svar: 0.0,
+                    };
+                    stack.push((p, done + rem, t_r));
+                }
+            }
+            PState::Monitor {
+                execs,
+                staken,
+                svar,
+            } => {
+                let need = params.monitor_period - execs;
+                if need > n_r {
+                    p.state = PState::Monitor {
+                        execs: execs + n_r,
+                        staken: staken + n_r as f64 * p_loc,
+                        svar: svar + hyper_var(n_r, n_r, p_loc),
+                    };
+                    out.push(p);
+                } else {
+                    let staken = staken + need as f64 * p_loc;
+                    let svar = svar + hyper_var(need, n_r, p_loc);
+                    t_r -= need as f64 * p_loc;
+                    let done = done + need;
+                    for (t_count, prob) in t_distribution(params.monitor_period, staken, svar) {
+                        if prob <= 0.0 {
+                            continue;
+                        }
+                        let mut child = Particle { w: p.w * prob, ..p };
+                        let s = params.monitor_period;
+                        let majority = t_count.max(s - t_count);
+                        let biased = majority as f64 / s as f64 >= params.selection_threshold;
+                        if !biased {
+                            acc.unbiased += child.w;
+                            child.state = PState::Unbiased {
+                                rem: match params.revisit {
+                                    Revisit::After(n) => Some(n),
+                                    Revisit::Never => None,
+                                },
+                            };
+                        } else if params
+                            .oscillation_limit
+                            .is_some_and(|limit| child.entries >= limit)
+                        {
+                            acc.disables += child.w;
+                            child.state = PState::Disabled;
+                        } else {
+                            child.entries += 1;
+                            acc.enters += child.w;
+                            child.state = PState::Biased {
+                                taken: t_count * 2 >= s,
+                                counter: 0.0,
+                            };
+                        }
+                        stack.push((child, done, t_r));
+                    }
+                }
+            }
+            PState::Biased { taken, counter } => {
+                let q = if taken { 1.0 - p_loc } else { p_loc };
+                let evict = match params.eviction {
+                    EvictionMode::Never | EvictionMode::Sampling { .. } => None,
+                    EvictionMode::Counter {
+                        up,
+                        down,
+                        threshold,
+                    } => {
+                        eviction_point(counter, q, f64::from(up), f64::from(down), threshold.into())
+                    }
+                };
+                match evict {
+                    Some((k_miss, e_execs)) if e_execs <= n_r => {
+                        // The eviction fires on the k-th miss; that
+                        // execution is itself counted.
+                        acc.misses += p.w * k_miss;
+                        acc.exits += p.w;
+                        t_r -= e_execs as f64 * p_loc;
+                        p.state = PState::Monitor {
+                            execs: 0,
+                            staken: 0.0,
+                            svar: 0.0,
+                        };
+                        stack.push((p, done + e_execs, t_r));
+                    }
+                    _ => {
+                        acc.misses += p.w * n_r as f64 * q;
+                        if let EvictionMode::Counter {
+                            up,
+                            down,
+                            threshold,
+                        } = params.eviction
+                        {
+                            let delta = f64::from(up) * q - f64::from(down) * (1.0 - q);
+                            // The controller never lets the counter rest
+                            // at or above the threshold.
+                            p.state = PState::Biased {
+                                taken,
+                                counter: (counter + delta * n_r as f64)
+                                    .clamp(0.0, f64::from(threshold)),
+                            };
+                        }
+                        out.push(p);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Closed-form eviction point for the asymmetric counter: returns the
+/// expected `(misses, executions)` until the counter crosses `t`, or
+/// `None` when the drift never gets there.
+fn eviction_point(c: f64, q: f64, u: f64, d: f64, t: f64) -> Option<(f64, u64)> {
+    if q <= 0.0 {
+        return None;
+    }
+    // Net counter gain per miss cycle (one miss plus its expected run of
+    // corrects).
+    let gain = u - d * (1.0 - q) / q;
+    let k_miss = if c + u >= t {
+        1.0
+    } else {
+        if gain <= 0.0 {
+            return None;
+        }
+        1.0 + ((t - c - u) / gain).ceil()
+    };
+    let e_execs = (k_miss / q).round().max(1.0);
+    if e_execs > u64::MAX as f64 {
+        return None;
+    }
+    Some((k_miss, e_execs as u64))
+}
+
+/// Distribution of the window's taken count: a point mass when the
+/// accumulated variance is (numerically) zero — a window aligned with
+/// whole blocks — otherwise a binomial over the mixed mean.
+fn t_distribution(s: u64, staken: f64, svar: f64) -> Vec<(u64, f64)> {
+    let mean = staken.clamp(0.0, s as f64);
+    if svar < 1e-9 {
+        return vec![(mean.round() as u64, 1.0)];
+    }
+    let p = mean / s as f64;
+    if p <= 0.0 {
+        return vec![(0, 1.0)];
+    }
+    if p >= 1.0 {
+        return vec![(s, 1.0)];
+    }
+    // Binomial pmf in log space; `s` is a monitor period, so the O(s)
+    // enumeration is cheap.
+    let n = s as usize;
+    let mut ln_fact = vec![0.0f64; n + 1];
+    for i in 1..=n {
+        ln_fact[i] = ln_fact[i - 1] + (i as f64).ln();
+    }
+    let (lp, lq) = (p.ln(), (1.0 - p).ln());
+    (0..=n)
+        .map(|t| {
+            let ln_pmf =
+                ln_fact[n] - ln_fact[t] - ln_fact[n - t] + t as f64 * lp + (n - t) as f64 * lq;
+            (t as u64, ln_pmf.exp())
+        })
+        .collect()
+}
+
+/// Coalesces particles with the same discrete signature and prunes the
+/// population to [`MAX_PARTICLES`], preserving total weight.
+fn merge(particles: &mut Vec<Particle>) {
+    let mut merged: Vec<Particle> = Vec::with_capacity(particles.len());
+    'outer: for p in particles.drain(..) {
+        for m in &mut merged {
+            if same_signature(m, &p) {
+                let w = m.w + p.w;
+                if let (PState::Biased { counter: a, .. }, PState::Biased { counter: b, .. }) =
+                    (&mut m.state, &p.state)
+                {
+                    *a = (*a * m.w + b * p.w) / w;
+                }
+                if let (
+                    PState::Monitor { staken, svar, .. },
+                    PState::Monitor {
+                        staken: bs,
+                        svar: bv,
+                        ..
+                    },
+                ) = (&mut m.state, &p.state)
+                {
+                    *staken = (*staken * m.w + bs * p.w) / w;
+                    *svar = svar.max(*bv);
+                }
+                m.w = w;
+                continue 'outer;
+            }
+        }
+        merged.push(p);
+    }
+    merged.retain(|p| p.w > 1e-12);
+    if merged.len() > MAX_PARTICLES {
+        merged.sort_by(|a, b| b.w.partial_cmp(&a.w).unwrap_or(std::cmp::Ordering::Equal));
+        let total: f64 = merged.iter().map(|p| p.w).sum();
+        merged.truncate(MAX_PARTICLES);
+        let kept: f64 = merged.iter().map(|p| p.w).sum();
+        if kept > 0.0 {
+            let scale = total / kept;
+            for p in &mut merged {
+                p.w *= scale;
+            }
+        }
+    }
+    *particles = merged;
+}
+
+fn same_signature(a: &Particle, b: &Particle) -> bool {
+    if a.entries != b.entries {
+        return false;
+    }
+    match (&a.state, &b.state) {
+        (PState::Monitor { execs: x, .. }, PState::Monitor { execs: y, .. }) => x == y,
+        (PState::Biased { taken: x, .. }, PState::Biased { taken: y, .. }) => x == y,
+        (PState::Unbiased { rem: x }, PState::Unbiased { rem: y }) => x == y,
+        (PState::Disabled, PState::Disabled) => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::ReactiveController;
+    use crate::params::Revisit;
+    use rsc_trace::Scenario;
+
+    fn tiny() -> ControllerParams {
+        ControllerParams {
+            monitor_period: 10,
+            monitor_policy: MonitorPolicy::FixedWindow,
+            monitor_sample_rate: 1,
+            selection_threshold: 0.995,
+            eviction: EvictionMode::Counter {
+                up: 50,
+                down: 1,
+                threshold: 100,
+            },
+            revisit: Revisit::After(20),
+            oscillation_limit: Some(3),
+            optimization_latency: 0,
+        }
+    }
+
+    fn simulated_rate(params: &ControllerParams, trace: &[rsc_trace::BranchRecord]) -> f64 {
+        let mut ctl = ReactiveController::builder(*params)
+            .build()
+            .expect("valid params");
+        for r in trace {
+            ctl.observe(r);
+        }
+        let s = ctl.stats();
+        if s.events == 0 {
+            0.0
+        } else {
+            s.incorrect as f64 / s.events as f64
+        }
+    }
+
+    #[test]
+    fn unsupported_params_are_flagged_not_guessed() {
+        let trace = Scenario::UniformRandom { branches: 2 }.generate(100, 1);
+        let p = tiny().with_latency(500);
+        assert!(matches!(
+            predict(&p, &trace),
+            ModelOutcome::Unsupported(reason) if reason.contains("latency")
+        ));
+        let p = tiny().with_monitor_sampling(4);
+        assert!(matches!(predict(&p, &trace), ModelOutcome::Unsupported(_)));
+    }
+
+    #[test]
+    fn empty_trace_predicts_zero() {
+        match predict(&tiny(), &[]) {
+            ModelOutcome::Supported(p) => {
+                assert_eq!(p.expected_misses, 0.0);
+                assert_eq!(p.misspec_rate, 0.0);
+            }
+            ModelOutcome::Unsupported(r) => panic!("{r}"),
+        }
+    }
+
+    #[test]
+    fn perfectly_biased_branch_is_near_free() {
+        let trace = Scenario::PhaseFlip {
+            branches: 1,
+            flip_after: 1_000_000,
+        }
+        .generate(5_000, 3);
+        let ModelOutcome::Supported(p) = predict(&tiny(), &trace) else {
+            panic!("tiny is supported");
+        };
+        assert!(p.misspec_rate < 1e-6, "rate {}", p.misspec_rate);
+        assert!(p.enters >= 0.99, "enters {}", p.enters);
+    }
+
+    #[test]
+    fn prediction_tracks_simulation_across_scenarios() {
+        let scenarios = [
+            Scenario::PhaseFlip {
+                branches: 4,
+                flip_after: 50,
+            },
+            Scenario::HysteresisStraddle {
+                warmup: 10,
+                period: 3,
+            },
+            Scenario::ThresholdOscillator { window: 10 },
+            Scenario::RevisitAlias { period: 30 },
+            Scenario::UniformRandom { branches: 8 },
+            Scenario::BurstyHotSet { hot: 3, burst: 40 },
+            Scenario::CorrelatedGroups {
+                groups: 2,
+                per_group: 3,
+                flip_every: 50,
+                churn: 200,
+            },
+        ];
+        for s in scenarios {
+            let trace = s.generate(4_000, 11);
+            let ModelOutcome::Supported(p) = predict(&tiny(), &trace) else {
+                panic!("tiny is supported");
+            };
+            let sim = simulated_rate(&tiny(), &trace);
+            assert!(
+                within_tolerance(p.misspec_rate, sim),
+                "{}: predicted {:.5} vs simulated {:.5}",
+                s.name(),
+                p.misspec_rate,
+                sim
+            );
+        }
+    }
+
+    #[test]
+    fn tolerance_gate_behaves() {
+        assert!(within_tolerance(0.0, 0.0));
+        assert!(within_tolerance(0.10, 0.11));
+        assert!(within_tolerance(0.30, 0.33));
+        assert!(!within_tolerance(0.10, 0.30));
+    }
+}

@@ -1,7 +1,11 @@
 //! Post-hoc analyses of controller runs: per-branch block biases
-//! (Figure 3), transition-local misprediction behavior (Figure 6), and
-//! biased-interval correlation (Figure 9).
+//! (Figure 3), transition-local misprediction behavior (Figure 6),
+//! biased-interval correlation (Figure 9), FSM-transition coverage
+//! signatures (the fuzzer's guidance signal), and the Markov-chain
+//! analytic misspeculation model.
 
 pub mod blocks;
+pub mod coverage;
 pub mod intervals;
+pub mod markov;
 pub mod transition;

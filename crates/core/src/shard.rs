@@ -878,6 +878,57 @@ mod tests {
     }
 
     #[test]
+    fn spawn_failure_falls_back_to_inline_with_identical_results() {
+        let trace = oscillating(11, 9, 8_000);
+
+        // Reference: a normal pooled build over the same trace.
+        let mut pooled = ReactiveController::builder(tiny())
+            .shards(4)
+            .pool_threads(4)
+            .log_policy(TransitionLogPolicy::CountsOnly)
+            .build_sharded()
+            .unwrap();
+        assert_eq!(pooled.pool_threads(), 4);
+
+        // Same build, but the very first worker spawn fails: from_parts
+        // must recover every shard state and run the inline engine.
+        rsc_util::parallel::fail_nth_spawn(1);
+        let mut fallback = ReactiveController::builder(tiny())
+            .shards(4)
+            .pool_threads(4)
+            .log_policy(TransitionLogPolicy::CountsOnly)
+            .build_sharded()
+            .unwrap();
+        assert_eq!(fallback.pool_threads(), 1, "fallback engine is inline");
+        assert_eq!(fallback.shard_count(), 4, "all shards recovered");
+
+        for window in trace.chunks(257) {
+            let a = pooled.observe_chunk(window);
+            let b = fallback.observe_chunk(window);
+            assert_eq!(a, b, "chunk summaries are bit-identical");
+        }
+        assert_eq!(pooled.stats(), fallback.stats());
+        for b in 0..11u32 {
+            let id = BranchId::new(b);
+            assert_eq!(pooled.branch_snapshot(id), fallback.branch_snapshot(id));
+        }
+    }
+
+    #[test]
+    fn mid_way_spawn_failure_recovers_every_shard() {
+        // Fail the *second* spawn: worker 0 is already live and must be
+        // joined, its states reclaimed, and the remainder drained.
+        rsc_util::parallel::fail_nth_spawn(2);
+        let ctl = ReactiveController::builder(tiny())
+            .shards(6)
+            .pool_threads(3)
+            .build_sharded()
+            .unwrap();
+        assert_eq!(ctl.pool_threads(), 1);
+        assert_eq!(ctl.shard_count(), 6);
+    }
+
+    #[test]
     fn builder_pool_threads_overrides_global_cap() {
         rsc_util::parallel::set_max_threads(1);
         let ctl = ReactiveController::builder(tiny())

@@ -1,0 +1,326 @@
+//! Corpus entries and their on-disk JSON schema.
+//!
+//! The fuzzer keeps every *interesting* genome — one that contributed
+//! new FSM-transition coverage or a new worst misspeculation rate —
+//! together with what made it interesting and the analytic oracle's
+//! verdict. Entries serialize to self-contained JSON files (`format: 1`,
+//! sibling of the conformance counterexample schema, sharing its
+//! controller-parameter encoding) so a scenario found in CI replays
+//! anywhere from the artifact alone.
+
+use crate::genome::{genome_from_json, genome_to_json, Genome};
+use rsc_conformance::json::Json;
+use rsc_control::analysis::coverage::TransitionCoverage;
+use rsc_control::analysis::markov::{TOLERANCE_ABS, TOLERANCE_REL};
+use std::path::Path;
+
+/// The analytic oracle's verdict on one corpus entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalyticCheck {
+    /// The oracle was not consulted (`--analytic-check` off).
+    Skipped,
+    /// The scenario is outside the Markov model's supported subset;
+    /// carries the model's stated reason.
+    Unsupported(String),
+    /// The model produced a prediction; `within_tolerance` says whether
+    /// it agrees with simulation under the documented tolerance
+    /// (|Δ| ≤ [`TOLERANCE_ABS`] or |Δ| ≤ [`TOLERANCE_REL`]·max).
+    Checked {
+        /// Model-predicted misspeculation rate.
+        predicted: f64,
+        /// Simulated misspeculation rate.
+        simulated: f64,
+        /// Agreement under the documented tolerance.
+        within_tolerance: bool,
+    },
+}
+
+impl AnalyticCheck {
+    /// True when the oracle ran and disagreed with simulation.
+    pub fn is_divergence(&self) -> bool {
+        matches!(
+            self,
+            AnalyticCheck::Checked {
+                within_tolerance: false,
+                ..
+            }
+        )
+    }
+}
+
+/// One interesting scenario, with the evidence that earned its keep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusEntry {
+    /// The replayable scenario program.
+    pub genome: Genome,
+    /// Why it was kept.
+    pub reason: KeepReason,
+    /// FSM-transition coverage of this entry alone.
+    pub coverage: TransitionCoverage,
+    /// Coverage points this entry added to the corpus when admitted.
+    pub gained_points: u32,
+    /// Events the expressed trace contains.
+    pub events: u64,
+    /// Misspeculations the controller suffered on the trace.
+    pub misses: u64,
+    /// `misses / events`.
+    pub misspec_rate: f64,
+    /// The analytic oracle's verdict.
+    pub analytic: AnalyticCheck,
+}
+
+/// What admitted an entry to the corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeepReason {
+    /// One of the seed scenarios (the hand-written adversary campaign).
+    Baseline,
+    /// Contributed unseen FSM-transition coverage.
+    NewCoverage,
+    /// Raised the worst observed misspeculation rate.
+    WorseMisspeculation,
+}
+
+impl KeepReason {
+    /// Stable artifact name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KeepReason::Baseline => "baseline",
+            KeepReason::NewCoverage => "new_coverage",
+            KeepReason::WorseMisspeculation => "worse_misspeculation",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "baseline" => Some(KeepReason::Baseline),
+            "new_coverage" => Some(KeepReason::NewCoverage),
+            "worse_misspeculation" => Some(KeepReason::WorseMisspeculation),
+            _ => None,
+        }
+    }
+}
+
+/// Serializes an entry to the corpus JSON schema.
+pub fn entry_to_json(e: &CorpusEntry) -> Json {
+    let analytic = match &e.analytic {
+        AnalyticCheck::Skipped => Json::obj([("kind", Json::str("skipped"))]),
+        AnalyticCheck::Unsupported(reason) => Json::obj([
+            ("kind", Json::str("unsupported")),
+            ("reason", Json::str(reason.clone())),
+        ]),
+        AnalyticCheck::Checked {
+            predicted,
+            simulated,
+            within_tolerance,
+        } => Json::obj([
+            ("kind", Json::str("checked")),
+            ("predicted", Json::Num(*predicted)),
+            ("simulated", Json::Num(*simulated)),
+            ("within_tolerance", Json::Bool(*within_tolerance)),
+            ("tolerance_abs", Json::Num(TOLERANCE_ABS)),
+            ("tolerance_rel", Json::Num(TOLERANCE_REL)),
+        ]),
+    };
+    Json::obj([
+        ("format", Json::Int(1)),
+        ("genome", genome_to_json(&e.genome)),
+        ("reason", Json::str(e.reason.name())),
+        ("coverage", Json::str(e.coverage.encode())),
+        ("gained_points", Json::Int(u64::from(e.gained_points))),
+        ("events", Json::Int(e.events)),
+        ("misses", Json::Int(e.misses)),
+        ("misspec_rate", Json::Num(e.misspec_rate)),
+        ("analytic", analytic),
+    ])
+}
+
+/// Parses an entry from the corpus JSON schema; inverse of
+/// [`entry_to_json`].
+pub fn entry_from_json(v: &Json) -> Result<CorpusEntry, &'static str> {
+    if v.get("format").and_then(Json::as_u64) != Some(1) {
+        return Err("format");
+    }
+    let analytic_v = v.get("analytic").ok_or("analytic")?;
+    let analytic = match analytic_v.get("kind").and_then(Json::as_str) {
+        Some("skipped") => AnalyticCheck::Skipped,
+        Some("unsupported") => AnalyticCheck::Unsupported(
+            analytic_v
+                .get("reason")
+                .and_then(Json::as_str)
+                .ok_or("analytic.reason")?
+                .to_string(),
+        ),
+        Some("checked") => AnalyticCheck::Checked {
+            predicted: analytic_v
+                .get("predicted")
+                .and_then(Json::as_f64)
+                .ok_or("analytic.predicted")?,
+            simulated: analytic_v
+                .get("simulated")
+                .and_then(Json::as_f64)
+                .ok_or("analytic.simulated")?,
+            within_tolerance: analytic_v
+                .get("within_tolerance")
+                .and_then(Json::as_bool)
+                .ok_or("analytic.within_tolerance")?,
+        },
+        _ => return Err("analytic.kind"),
+    };
+    Ok(CorpusEntry {
+        genome: genome_from_json(v.get("genome").ok_or("genome")?)?,
+        reason: v
+            .get("reason")
+            .and_then(Json::as_str)
+            .and_then(KeepReason::from_name)
+            .ok_or("reason")?,
+        coverage: v
+            .get("coverage")
+            .and_then(Json::as_str)
+            .and_then(TransitionCoverage::decode)
+            .ok_or("coverage")?,
+        gained_points: v
+            .get("gained_points")
+            .and_then(Json::as_u64)
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or("gained_points")?,
+        events: v.get("events").and_then(Json::as_u64).ok_or("events")?,
+        misses: v.get("misses").and_then(Json::as_u64).ok_or("misses")?,
+        misspec_rate: v
+            .get("misspec_rate")
+            .and_then(Json::as_f64)
+            .ok_or("misspec_rate")?,
+        analytic,
+    })
+}
+
+/// Writes one entry per `entry-NNN.json` file under `dir` (created if
+/// missing).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_entries(dir: &Path, entries: &[CorpusEntry]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for (i, e) in entries.iter().enumerate() {
+        let path = dir.join(format!("entry-{i:03}.json"));
+        std::fs::write(path, entry_to_json(e).to_string())?;
+    }
+    Ok(())
+}
+
+/// Reads every `entry-*.json` under `dir`, in filename order.
+///
+/// # Errors
+///
+/// Returns a static description of the first I/O or schema problem.
+pub fn load_entries(dir: &Path) -> Result<Vec<CorpusEntry>, &'static str> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|_| "corpus dir unreadable")?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("entry-") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    let mut entries = Vec::with_capacity(paths.len());
+    for p in paths {
+        let text = std::fs::read_to_string(&p).map_err(|_| "entry unreadable")?;
+        let v = Json::parse(&text).map_err(|_| "entry is not valid json")?;
+        entries.push(entry_from_json(&v)?);
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::Segment;
+    use rsc_trace::Scenario;
+
+    fn sample(reason: KeepReason, analytic: AnalyticCheck) -> CorpusEntry {
+        CorpusEntry {
+            genome: Genome {
+                seed: 3,
+                segments: vec![Segment {
+                    scenario: Scenario::PhaseFlip {
+                        branches: 2,
+                        flip_after: 40,
+                    },
+                    events: 500,
+                }],
+            },
+            reason,
+            coverage: TransitionCoverage::default(),
+            gained_points: 4,
+            events: 500,
+            misses: 17,
+            misspec_rate: 17.0 / 500.0,
+            analytic,
+        }
+    }
+
+    #[test]
+    fn entry_json_round_trips_for_every_verdict() {
+        for (reason, analytic) in [
+            (KeepReason::Baseline, AnalyticCheck::Skipped),
+            (
+                KeepReason::NewCoverage,
+                AnalyticCheck::Unsupported("nonzero latency".to_string()),
+            ),
+            (
+                KeepReason::WorseMisspeculation,
+                AnalyticCheck::Checked {
+                    predicted: 0.034,
+                    simulated: 0.036,
+                    within_tolerance: true,
+                },
+            ),
+        ] {
+            let e = sample(reason, analytic);
+            let text = entry_to_json(&e).to_string();
+            let back = entry_from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn divergence_predicate_only_fires_on_failed_checks() {
+        assert!(!AnalyticCheck::Skipped.is_divergence());
+        assert!(!AnalyticCheck::Unsupported("x".into()).is_divergence());
+        assert!(!AnalyticCheck::Checked {
+            predicted: 0.0,
+            simulated: 0.0,
+            within_tolerance: true
+        }
+        .is_divergence());
+        assert!(AnalyticCheck::Checked {
+            predicted: 0.5,
+            simulated: 0.0,
+            within_tolerance: false
+        }
+        .is_divergence());
+    }
+
+    #[test]
+    fn save_and_load_round_trip_preserves_order() {
+        let dir = std::env::temp_dir().join("rsc_fuzz_corpus_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let entries = vec![
+            sample(KeepReason::Baseline, AnalyticCheck::Skipped),
+            sample(
+                KeepReason::NewCoverage,
+                AnalyticCheck::Checked {
+                    predicted: 0.1,
+                    simulated: 0.09,
+                    within_tolerance: true,
+                },
+            ),
+        ];
+        save_entries(&dir, &entries).unwrap();
+        let back = load_entries(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(back, entries);
+    }
+}

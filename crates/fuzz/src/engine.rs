@@ -1,0 +1,390 @@
+//! The coverage-guided fuzzing loop and its report.
+//!
+//! The loop is classic greybox fuzzing transplanted onto the reactive
+//! controller: the corpus seeds from the hand-written adversary campaign,
+//! each iteration mutates a corpus genome, expresses it as a trace, runs
+//! the real [`ReactiveController`] over it with full transition logging,
+//! and admits the child if it covered unseen FSM-transition structure or
+//! raised the worst observed misspeculation rate. Every admitted entry is
+//! cross-examined by the analytic Markov oracle
+//! ([`rsc_control::analysis::markov`]): the model either explains the
+//! scenario (prediction within tolerance), declares it out of scope with
+//! a reason, or *diverges* — and a divergence is a first-class result
+//! (model bug or controller bug), never a silent pass.
+//!
+//! Everything is a pure function of [`FuzzConfig`]: same config, same
+//! report, on any machine.
+
+use crate::corpus::{AnalyticCheck, CorpusEntry, KeepReason};
+use crate::genome::Genome;
+use rsc_conformance::campaign::{param_matrix, scenarios_for};
+use rsc_conformance::shrink::{shrink_by, DEFAULT_BUDGET};
+use rsc_control::analysis::coverage::TransitionCoverage;
+use rsc_control::analysis::markov::{predict, within_tolerance, ModelOutcome};
+use rsc_control::translog::TransitionLogPolicy;
+use rsc_control::{ControllerParams, ReactiveController};
+use rsc_trace::rng::Xoshiro256;
+use rsc_trace::BranchRecord;
+
+/// Fuzzing campaign configuration. The whole report is a deterministic
+/// function of this value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FuzzConfig {
+    /// Mutation iterations to run after seeding the corpus.
+    pub iters: u64,
+    /// Master seed for mutation choices and baseline genome seeds.
+    pub seed: u64,
+    /// Events per baseline scenario (mutation may grow/shrink children).
+    pub events: u64,
+    /// Controller parameters under test.
+    pub params: ControllerParams,
+    /// Minimize the worst-case trace with the ddmin shrinker.
+    pub minimize: bool,
+    /// Run the analytic Markov oracle on every admitted entry.
+    pub analytic_check: bool,
+}
+
+impl FuzzConfig {
+    /// The defaults behind `repro fuzz`: 200 iterations, seed 42, the
+    /// campaign's "tiny" parameter set, oracle on, minimization off.
+    pub fn new() -> Self {
+        FuzzConfig {
+            iters: 200,
+            seed: 42,
+            events: 3_000,
+            params: Self::default_params(),
+            minimize: false,
+            analytic_check: true,
+        }
+    }
+
+    /// The campaign's "tiny" parameter set — FSM time constants small
+    /// enough that a few-thousand-event trace exercises every arc, and
+    /// inside the analytic model's supported subset.
+    pub fn default_params() -> ControllerParams {
+        param_matrix()
+            .into_iter()
+            .find(|(name, _)| *name == "tiny")
+            .expect("campaign param matrix always contains \"tiny\"")
+            .1
+    }
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig::new()
+    }
+}
+
+/// The worst misspeculation scenario the campaign observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorstCase {
+    /// Index of the corpus entry that produced it.
+    pub entry: usize,
+    /// Misspeculation rate of the full trace.
+    pub misspec_rate: f64,
+    /// Misspeculations on the full trace.
+    pub misses: u64,
+    /// Events in the full trace.
+    pub events: u64,
+    /// ddmin-minimized trace still achieving `misspec_rate`, when
+    /// minimization was requested.
+    pub minimized: Option<Vec<BranchRecord>>,
+}
+
+/// Everything a fuzzing campaign produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzReport {
+    /// The configuration that (deterministically) produced this report.
+    pub config: FuzzConfig,
+    /// Coverage points of the 7 hand-written adversary scenarios merged.
+    pub baseline_points: u32,
+    /// Coverage points of the whole corpus at the end of the campaign.
+    pub fuzz_points: u32,
+    /// Coverage map of the whole corpus.
+    pub coverage: TransitionCoverage,
+    /// Every admitted scenario (baseline entries first, in campaign
+    /// order; fuzz finds after, in discovery order).
+    pub corpus: Vec<CorpusEntry>,
+    /// Indices of corpus entries whose analytic check diverged.
+    pub divergences: Vec<usize>,
+    /// The worst misspeculation scenario observed.
+    pub worst: Option<WorstCase>,
+}
+
+impl FuzzReport {
+    /// True when fuzzing strictly beat the hand-written campaign's
+    /// transition coverage — the acceptance gate for the fuzzer itself.
+    pub fn beat_baseline(&self) -> bool {
+        self.fuzz_points > self.baseline_points
+    }
+}
+
+/// One execution of the controller over a trace.
+struct RunOutcome {
+    coverage: TransitionCoverage,
+    events: u64,
+    misses: u64,
+}
+
+impl RunOutcome {
+    fn misspec_rate(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.events as f64
+        }
+    }
+}
+
+/// Runs the real controller over `trace` with full transition logging.
+fn run_trace(params: &ControllerParams, trace: &[BranchRecord]) -> RunOutcome {
+    let mut c = ReactiveController::builder(*params)
+        .log_policy(TransitionLogPolicy::Full)
+        .build()
+        .expect("fuzz params must validate");
+    for r in trace {
+        c.observe(r);
+    }
+    let stats = c.stats();
+    RunOutcome {
+        coverage: TransitionCoverage::from_log(c.transition_log()),
+        events: stats.events,
+        misses: stats.incorrect,
+    }
+}
+
+/// Simulated misspeculation count for a candidate trace (the shrinker's
+/// failure predicate).
+fn misses_on(params: &ControllerParams, trace: &[BranchRecord]) -> u64 {
+    run_trace(params, trace).misses
+}
+
+/// Consults the Markov oracle about one trace.
+fn analytic_verdict(
+    params: &ControllerParams,
+    trace: &[BranchRecord],
+    simulated: f64,
+) -> AnalyticCheck {
+    match predict(params, trace) {
+        ModelOutcome::Supported(pred) => AnalyticCheck::Checked {
+            predicted: pred.misspec_rate,
+            simulated,
+            within_tolerance: within_tolerance(pred.misspec_rate, simulated),
+        },
+        ModelOutcome::Unsupported(reason) => AnalyticCheck::Unsupported(reason.to_string()),
+    }
+}
+
+/// Runs a full fuzzing campaign. Deterministic in `config`.
+pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
+    let params = config.params;
+    let mut rng = Xoshiro256::seed_from(config.seed);
+
+    // Seed the corpus with the hand-written adversary campaign; its
+    // merged coverage is the baseline the fuzzer must beat.
+    let mut corpus: Vec<CorpusEntry> = Vec::new();
+    let mut coverage = TransitionCoverage::default();
+    for (i, scenario) in scenarios_for(&params).into_iter().enumerate() {
+        let genome = Genome::single(scenario, config.events, config.seed ^ ((i as u64) << 32));
+        let out = run_trace(&params, &genome.trace());
+        let gained = coverage.merge(&out.coverage);
+        let rate = out.misspec_rate();
+        let analytic = if config.analytic_check {
+            analytic_verdict(&params, &genome.trace(), rate)
+        } else {
+            AnalyticCheck::Skipped
+        };
+        corpus.push(CorpusEntry {
+            genome,
+            reason: KeepReason::Baseline,
+            coverage: out.coverage,
+            gained_points: gained,
+            events: out.events,
+            misses: out.misses,
+            misspec_rate: rate,
+            analytic,
+        });
+    }
+    let baseline_points = coverage.points();
+    let mut worst_idx = corpus
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            a.1.misspec_rate
+                .partial_cmp(&b.1.misspec_rate)
+                .expect("rates are finite")
+        })
+        .map(|(i, _)| i);
+
+    // The greybox loop: mutate a corpus member, run, keep if interesting.
+    for _ in 0..config.iters {
+        let parent = &corpus[rng.gen_range(corpus.len() as u64) as usize];
+        let child = parent.genome.mutate(&mut rng, params.monitor_period);
+        let trace = child.trace();
+        let out = run_trace(&params, &trace);
+        let rate = out.misspec_rate();
+
+        let gained = out.coverage.new_points(&coverage);
+        let worst_rate = worst_idx.map_or(0.0, |i| corpus[i].misspec_rate);
+        let reason = if gained > 0 {
+            KeepReason::NewCoverage
+        } else if rate > worst_rate {
+            KeepReason::WorseMisspeculation
+        } else {
+            continue;
+        };
+
+        coverage.merge(&out.coverage);
+        let analytic = if config.analytic_check {
+            analytic_verdict(&params, &trace, rate)
+        } else {
+            AnalyticCheck::Skipped
+        };
+        corpus.push(CorpusEntry {
+            genome: child,
+            reason,
+            coverage: out.coverage,
+            gained_points: gained,
+            events: out.events,
+            misses: out.misses,
+            misspec_rate: rate,
+            analytic,
+        });
+        if rate > worst_rate {
+            worst_idx = Some(corpus.len() - 1);
+        }
+    }
+
+    let divergences: Vec<usize> = corpus
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.analytic.is_divergence())
+        .map(|(i, _)| i)
+        .collect();
+
+    // Worst-case minimization: the smallest trace that still drives the
+    // controller to at least the observed misspeculation rate (with at
+    // least one real miss, so the witness shows the mechanism).
+    let worst = worst_idx.map(|entry| {
+        let e = &corpus[entry];
+        let minimized = if config.minimize && e.misses > 0 {
+            let target = e.misspec_rate;
+            let trace = e.genome.trace();
+            let (small, _) = shrink_by(
+                &trace,
+                DEFAULT_BUDGET,
+                |cand| {
+                    let misses = misses_on(&params, cand);
+                    let rate = misses as f64 / cand.len() as f64;
+                    (misses > 0 && rate >= target).then_some(misses)
+                },
+                |_| trace.len(),
+            );
+            Some(small)
+        } else {
+            None
+        };
+        WorstCase {
+            entry,
+            misspec_rate: e.misspec_rate,
+            misses: e.misses,
+            events: e.events,
+            minimized,
+        }
+    });
+
+    FuzzReport {
+        config: *config,
+        baseline_points,
+        fuzz_points: coverage.points(),
+        coverage,
+        corpus,
+        divergences,
+        worst,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> FuzzConfig {
+        FuzzConfig {
+            iters: 30,
+            events: 1_000,
+            ..FuzzConfig::new()
+        }
+    }
+
+    #[test]
+    fn fuzzing_is_deterministic() {
+        let cfg = quick();
+        let a = fuzz(&cfg);
+        let b = fuzz(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corpus_seeds_with_the_seven_baseline_scenarios() {
+        let report = fuzz(&quick());
+        let baseline: Vec<_> = report
+            .corpus
+            .iter()
+            .filter(|e| e.reason == KeepReason::Baseline)
+            .collect();
+        assert_eq!(baseline.len(), 7);
+        assert!(report.baseline_points > 0);
+        assert!(report.fuzz_points >= report.baseline_points);
+    }
+
+    #[test]
+    fn every_kept_entry_carries_an_analytic_verdict() {
+        let report = fuzz(&quick());
+        for e in &report.corpus {
+            assert_ne!(
+                e.analytic,
+                AnalyticCheck::Skipped,
+                "oracle on: every entry must be explained or flagged"
+            );
+        }
+        // The tiny parameter set is inside the model's supported subset.
+        assert!(report
+            .corpus
+            .iter()
+            .all(|e| matches!(e.analytic, AnalyticCheck::Checked { .. })));
+    }
+
+    #[test]
+    fn skipping_the_oracle_marks_entries_unchecked() {
+        let cfg = FuzzConfig {
+            analytic_check: false,
+            iters: 5,
+            events: 500,
+            ..FuzzConfig::new()
+        };
+        let report = fuzz(&cfg);
+        assert!(report
+            .corpus
+            .iter()
+            .all(|e| e.analytic == AnalyticCheck::Skipped));
+        assert!(report.divergences.is_empty());
+    }
+
+    #[test]
+    fn minimization_produces_a_smaller_trace_with_the_same_rate_floor() {
+        let cfg = FuzzConfig {
+            minimize: true,
+            iters: 20,
+            events: 1_000,
+            ..FuzzConfig::new()
+        };
+        let report = fuzz(&cfg);
+        let worst = report.worst.expect("campaign observed misspeculation");
+        let small = worst.minimized.expect("worst case had misses");
+        assert!(small.len() as u64 <= worst.events);
+        let misses = misses_on(&cfg.params, &small);
+        assert!(misses > 0);
+        assert!(misses as f64 / small.len() as f64 >= worst.misspec_rate);
+    }
+}

@@ -1,0 +1,518 @@
+//! Scenario genomes: the fuzzer's mutable representation of a workload.
+//!
+//! A genome is a *sequence of adversary-scenario segments* plus a seed.
+//! The trace it expresses is the concatenation of each segment's
+//! generated events (instruction counters re-based so the stream stays
+//! strictly increasing). Segments reuse branch ids, so a segment
+//! boundary is an *input switch*: the same static branches abruptly
+//! change behavior — exactly the cross-input bias movement the paper's
+//! reactive FSM exists to survive.
+//!
+//! Mutation operates on generator parameters (phase lengths, flip
+//! correlations, hot-set churn, correlated-group membership) and on the
+//! segment list (split/remove/duplicate/swap = input-switch structure),
+//! never on raw events — every corpus entry stays replayable from a
+//! handful of integers.
+
+use rsc_conformance::json::Json;
+use rsc_trace::rng::{SplitMix64, Xoshiro256};
+use rsc_trace::{BranchRecord, Scenario};
+
+/// Ceiling on segments per genome; keeps mutation from degenerating into
+/// noise soup.
+pub const MAX_SEGMENTS: usize = 8;
+/// Floor on events per segment; shorter than a monitor window is inert.
+pub const MIN_SEGMENT_EVENTS: u64 = 50;
+/// Ceiling on events per segment; bounds the cost of one fuzz execution.
+pub const MAX_SEGMENT_EVENTS: u64 = 20_000;
+
+/// One scenario played for a bounded number of events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// The adversary generator and its parameters.
+    pub scenario: Scenario,
+    /// Events this segment contributes.
+    pub events: u64,
+}
+
+/// A replayable, mutable scenario program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Genome {
+    /// Seeds every segment's generator (forked per segment index).
+    pub seed: u64,
+    /// The scenario program, played in order.
+    pub segments: Vec<Segment>,
+}
+
+impl Genome {
+    /// Wraps a single hand-written scenario (used to seed the corpus
+    /// with the 7 baseline adversaries).
+    pub fn single(scenario: Scenario, events: u64, seed: u64) -> Self {
+        Genome {
+            seed,
+            segments: vec![Segment { scenario, events }],
+        }
+    }
+
+    /// Total events across all segments.
+    pub fn total_events(&self) -> u64 {
+        self.segments.iter().map(|s| s.events).sum()
+    }
+
+    /// Expresses the genome as a concrete trace. Pure function of the
+    /// genome: segment `i` is generated with a seed derived from
+    /// `(self.seed, i)`, and instruction counters are re-based onto the
+    /// end of the previous segment.
+    pub fn trace(&self) -> Vec<BranchRecord> {
+        let mut out = Vec::with_capacity(self.total_events() as usize);
+        let mut base = 0u64;
+        for (i, seg) in self.segments.iter().enumerate() {
+            let seg_seed =
+                SplitMix64::new(self.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                    .next_u64();
+            for mut r in seg.scenario.generate(seg.events, seg_seed) {
+                r.instr += base;
+                out.push(r);
+            }
+            base = out.last().map_or(base, |r| r.instr);
+        }
+        out
+    }
+
+    /// Short human label: segment names joined by `+`.
+    pub fn describe(&self) -> String {
+        self.segments
+            .iter()
+            .map(|s| s.scenario.name())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    /// Produces a mutated child. One mutation operator is applied per
+    /// call (occasionally two — fuzzing folklore says stacked mutations
+    /// find different bugs than single ones).
+    pub fn mutate(&self, rng: &mut Xoshiro256, monitor_period: u64) -> Genome {
+        let mut child = self.clone();
+        let stacked = rng.gen_bool(0.25);
+        mutate_once(&mut child, rng, monitor_period);
+        if stacked {
+            mutate_once(&mut child, rng, monitor_period);
+        }
+        child
+    }
+}
+
+fn mutate_once(g: &mut Genome, rng: &mut Xoshiro256, monitor: u64) {
+    let seg = rng.gen_range(g.segments.len() as u64) as usize;
+    match rng.gen_range(9) {
+        // Tweak the selected segment's scenario parameters.
+        0 | 1 | 2 => {
+            let s = &mut g.segments[seg];
+            s.scenario = tweak_scenario(s.scenario, rng);
+        }
+        // Resize the segment (changes how long the controller marinates
+        // in whatever state the segment drives it into).
+        8 => {
+            let s = &mut g.segments[seg];
+            s.events = if rng.gen_bool(0.5) {
+                (s.events * 2).min(MAX_SEGMENT_EVENTS)
+            } else {
+                (s.events / 2).max(MIN_SEGMENT_EVENTS)
+            };
+        }
+        // Replace the segment's scenario family outright.
+        3 => {
+            let s = &mut g.segments[seg];
+            s.scenario = random_scenario(rng, monitor);
+        }
+        // Input switch: split the segment in two, giving the new half a
+        // fresh scenario.
+        4 => {
+            if g.segments.len() < MAX_SEGMENTS && g.segments[seg].events >= 2 * MIN_SEGMENT_EVENTS {
+                let half = g.segments[seg].events / 2;
+                g.segments[seg].events -= half;
+                let scenario = random_scenario(rng, monitor);
+                g.segments.insert(
+                    seg + 1,
+                    Segment {
+                        scenario,
+                        events: half,
+                    },
+                );
+            } else {
+                g.segments[seg].scenario = tweak_scenario(g.segments[seg].scenario, rng);
+            }
+        }
+        // Remove a segment (its events fold into a neighbor, preserving
+        // total length).
+        5 => {
+            if g.segments.len() > 1 {
+                let removed = g.segments.remove(seg);
+                let neighbor = seg.min(g.segments.len() - 1);
+                g.segments[neighbor].events += removed.events;
+            } else {
+                g.seed = g.seed.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(1);
+            }
+        }
+        // Swap two segments (reorders the input switches).
+        6 => {
+            if g.segments.len() > 1 {
+                let other = rng.gen_range(g.segments.len() as u64) as usize;
+                g.segments.swap(seg, other);
+            } else {
+                g.segments[seg].scenario = tweak_scenario(g.segments[seg].scenario, rng);
+            }
+        }
+        // Reseed: same program, different sample path.
+        _ => {
+            g.seed = g.seed.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(1);
+        }
+    }
+}
+
+/// Nudges one numeric parameter of the scenario, multiplicatively (×2,
+/// ÷2) or additively (±1), clamped to stay valid.
+fn tweak_scenario(s: Scenario, rng: &mut Xoshiro256) -> Scenario {
+    let nudge = |v: u64, rng: &mut Xoshiro256| -> u64 {
+        match rng.gen_range(4) {
+            0 => (v * 2).max(1),
+            1 => (v / 2).max(1),
+            2 => v + 1,
+            _ => v.saturating_sub(1).max(1),
+        }
+    };
+    let nudge32 = |v: u32, rng: &mut Xoshiro256| -> u32 { nudge(u64::from(v), rng) as u32 };
+    match s {
+        Scenario::PhaseFlip {
+            branches,
+            flip_after,
+        } => {
+            if rng.gen_bool(0.5) {
+                Scenario::PhaseFlip {
+                    branches: nudge32(branches, rng).min(64),
+                    flip_after,
+                }
+            } else {
+                Scenario::PhaseFlip {
+                    branches,
+                    flip_after: nudge(flip_after, rng),
+                }
+            }
+        }
+        Scenario::HysteresisStraddle { warmup, period } => {
+            if rng.gen_bool(0.5) {
+                Scenario::HysteresisStraddle {
+                    warmup: nudge(warmup, rng),
+                    period,
+                }
+            } else {
+                Scenario::HysteresisStraddle {
+                    warmup,
+                    period: nudge(period, rng),
+                }
+            }
+        }
+        Scenario::RevisitAlias { period } => Scenario::RevisitAlias {
+            period: nudge(period, rng),
+        },
+        Scenario::ThresholdOscillator { window } => Scenario::ThresholdOscillator {
+            window: nudge(window, rng),
+        },
+        Scenario::BurstyHotSet { hot, burst } => {
+            if rng.gen_bool(0.5) {
+                Scenario::BurstyHotSet {
+                    hot: nudge32(hot, rng).min(64),
+                    burst,
+                }
+            } else {
+                Scenario::BurstyHotSet {
+                    hot,
+                    burst: nudge(burst, rng),
+                }
+            }
+        }
+        Scenario::UniformRandom { branches } => Scenario::UniformRandom {
+            branches: nudge32(branches, rng).min(64),
+        },
+        Scenario::CorrelatedGroups {
+            groups,
+            per_group,
+            flip_every,
+            churn,
+        } => match rng.gen_range(4) {
+            0 => Scenario::CorrelatedGroups {
+                groups: nudge32(groups, rng).min(16),
+                per_group,
+                flip_every,
+                churn,
+            },
+            1 => Scenario::CorrelatedGroups {
+                groups,
+                per_group: nudge32(per_group, rng).min(16),
+                flip_every,
+                churn,
+            },
+            2 => Scenario::CorrelatedGroups {
+                groups,
+                per_group,
+                flip_every: nudge(flip_every, rng),
+                churn,
+            },
+            _ => Scenario::CorrelatedGroups {
+                groups,
+                per_group,
+                flip_every,
+                // Churn may be zeroed (membership frozen) or re-enabled.
+                churn: if churn == 0 {
+                    nudge(flip_every, rng)
+                } else if rng.gen_bool(0.2) {
+                    0
+                } else {
+                    nudge(churn, rng)
+                },
+            },
+        },
+    }
+}
+
+/// Draws a fresh scenario with parameters aliased against the
+/// controller's monitor period (the campaign's trick for hitting FSM
+/// time constants).
+pub fn random_scenario(rng: &mut Xoshiro256, monitor: u64) -> Scenario {
+    let m = monitor.max(2);
+    match rng.gen_range(7) {
+        0 => Scenario::PhaseFlip {
+            branches: 1 + rng.gen_range(8) as u32,
+            flip_after: 1 + rng.gen_range(8 * m),
+        },
+        1 => Scenario::HysteresisStraddle {
+            warmup: 1 + rng.gen_range(2 * m),
+            period: 1 + rng.gen_range(8),
+        },
+        2 => Scenario::RevisitAlias {
+            period: 1 + rng.gen_range(4 * m),
+        },
+        3 => Scenario::ThresholdOscillator {
+            window: 1 + rng.gen_range(2 * m),
+        },
+        4 => Scenario::BurstyHotSet {
+            hot: 1 + rng.gen_range(8) as u32,
+            burst: 1 + rng.gen_range(8 * m),
+        },
+        5 => Scenario::UniformRandom {
+            branches: 1 + rng.gen_range(16) as u32,
+        },
+        _ => Scenario::CorrelatedGroups {
+            groups: 1 + rng.gen_range(4) as u32,
+            per_group: 1 + rng.gen_range(4) as u32,
+            flip_every: 1 + rng.gen_range(8 * m),
+            churn: rng.gen_range(8 * m),
+        },
+    }
+}
+
+/// Serializes a scenario to the corpus JSON schema.
+pub fn scenario_to_json(s: &Scenario) -> Json {
+    let mut fields = vec![("family", Json::str(s.name()))];
+    match *s {
+        Scenario::PhaseFlip {
+            branches,
+            flip_after,
+        } => {
+            fields.push(("branches", Json::Int(u64::from(branches))));
+            fields.push(("flip_after", Json::Int(flip_after)));
+        }
+        Scenario::HysteresisStraddle { warmup, period } => {
+            fields.push(("warmup", Json::Int(warmup)));
+            fields.push(("period", Json::Int(period)));
+        }
+        Scenario::RevisitAlias { period } => fields.push(("period", Json::Int(period))),
+        Scenario::ThresholdOscillator { window } => fields.push(("window", Json::Int(window))),
+        Scenario::BurstyHotSet { hot, burst } => {
+            fields.push(("hot", Json::Int(u64::from(hot))));
+            fields.push(("burst", Json::Int(burst)));
+        }
+        Scenario::UniformRandom { branches } => {
+            fields.push(("branches", Json::Int(u64::from(branches))));
+        }
+        Scenario::CorrelatedGroups {
+            groups,
+            per_group,
+            flip_every,
+            churn,
+        } => {
+            fields.push(("groups", Json::Int(u64::from(groups))));
+            fields.push(("per_group", Json::Int(u64::from(per_group))));
+            fields.push(("flip_every", Json::Int(flip_every)));
+            fields.push(("churn", Json::Int(churn)));
+        }
+    }
+    Json::obj(fields)
+}
+
+/// Parses a scenario from the corpus JSON schema; inverse of
+/// [`scenario_to_json`].
+pub fn scenario_from_json(v: &Json) -> Result<Scenario, &'static str> {
+    let field = |key: &'static str| -> Result<u64, &'static str> {
+        v.get(key).and_then(Json::as_u64).ok_or(key)
+    };
+    let f32of = |key: &'static str| -> Result<u32, &'static str> {
+        field(key).map(|x| x.min(u64::from(u32::MAX)) as u32)
+    };
+    match v.get("family").and_then(Json::as_str) {
+        Some("phase_flip") => Ok(Scenario::PhaseFlip {
+            branches: f32of("branches")?,
+            flip_after: field("flip_after")?,
+        }),
+        Some("hysteresis_straddle") => Ok(Scenario::HysteresisStraddle {
+            warmup: field("warmup")?,
+            period: field("period")?,
+        }),
+        Some("revisit_alias") => Ok(Scenario::RevisitAlias {
+            period: field("period")?,
+        }),
+        Some("threshold_oscillator") => Ok(Scenario::ThresholdOscillator {
+            window: field("window")?,
+        }),
+        Some("bursty_hot_set") => Ok(Scenario::BurstyHotSet {
+            hot: f32of("hot")?,
+            burst: field("burst")?,
+        }),
+        Some("uniform_random") => Ok(Scenario::UniformRandom {
+            branches: f32of("branches")?,
+        }),
+        Some("correlated_groups") => Ok(Scenario::CorrelatedGroups {
+            groups: f32of("groups")?,
+            per_group: f32of("per_group")?,
+            flip_every: field("flip_every")?,
+            churn: field("churn")?,
+        }),
+        _ => Err("family"),
+    }
+}
+
+/// Serializes a genome to the corpus JSON schema.
+pub fn genome_to_json(g: &Genome) -> Json {
+    Json::obj([
+        ("seed", Json::Int(g.seed)),
+        (
+            "segments",
+            Json::Arr(
+                g.segments
+                    .iter()
+                    .map(|seg| {
+                        Json::obj([
+                            ("scenario", scenario_to_json(&seg.scenario)),
+                            ("events", Json::Int(seg.events)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses a genome from the corpus JSON schema; inverse of
+/// [`genome_to_json`].
+pub fn genome_from_json(v: &Json) -> Result<Genome, &'static str> {
+    let seed = v.get("seed").and_then(Json::as_u64).ok_or("seed")?;
+    let segs = v.get("segments").and_then(Json::as_arr).ok_or("segments")?;
+    let mut segments = Vec::with_capacity(segs.len());
+    for seg in segs {
+        segments.push(Segment {
+            scenario: scenario_from_json(seg.get("scenario").ok_or("scenario")?)?,
+            events: seg.get("events").and_then(Json::as_u64).ok_or("events")?,
+        });
+    }
+    if segments.is_empty() {
+        return Err("segments");
+    }
+    Ok(Genome { seed, segments })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Genome {
+        Genome {
+            seed: 99,
+            segments: vec![
+                Segment {
+                    scenario: Scenario::PhaseFlip {
+                        branches: 2,
+                        flip_after: 30,
+                    },
+                    events: 400,
+                },
+                Segment {
+                    scenario: Scenario::CorrelatedGroups {
+                        groups: 2,
+                        per_group: 2,
+                        flip_every: 40,
+                        churn: 0,
+                    },
+                    events: 300,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn trace_concatenates_with_strictly_increasing_instr() {
+        let g = sample();
+        let t = g.trace();
+        assert_eq!(t.len() as u64, g.total_events());
+        for w in t.windows(2) {
+            assert!(w[0].instr < w[1].instr);
+        }
+        assert_eq!(g.trace(), t, "expression is deterministic");
+    }
+
+    #[test]
+    fn mutation_is_deterministic_and_stays_valid() {
+        let g = sample();
+        let mut a = Xoshiro256::seed_from(5);
+        let mut b = Xoshiro256::seed_from(5);
+        for _ in 0..200 {
+            let ca = g.mutate(&mut a, 10);
+            let cb = g.mutate(&mut b, 10);
+            assert_eq!(ca, cb);
+            assert!(!ca.segments.is_empty());
+            assert!(ca.segments.len() <= MAX_SEGMENTS);
+            let _ = ca.trace(); // must not panic
+        }
+    }
+
+    #[test]
+    fn repeated_mutation_explores_without_exploding() {
+        let mut rng = Xoshiro256::seed_from(7);
+        let mut g = sample();
+        let mut shapes = std::collections::BTreeSet::new();
+        for _ in 0..300 {
+            g = g.mutate(&mut rng, 10);
+            shapes.insert(g.describe());
+            assert!(g.segments.len() <= MAX_SEGMENTS);
+        }
+        assert!(shapes.len() > 10, "mutation explores program shapes");
+    }
+
+    #[test]
+    fn genome_json_round_trips() {
+        let g = sample();
+        let j = genome_to_json(&g);
+        let parsed = Json::parse(&j.to_string()).expect("serializer emits valid JSON");
+        assert_eq!(genome_from_json(&parsed), Ok(g));
+    }
+
+    #[test]
+    fn every_scenario_family_round_trips() {
+        let mut rng = Xoshiro256::seed_from(3);
+        for _ in 0..100 {
+            let s = random_scenario(&mut rng, 10);
+            let j = scenario_to_json(&s);
+            let parsed = Json::parse(&j.to_string()).unwrap();
+            assert_eq!(scenario_from_json(&parsed), Ok(s));
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # rsc-fuzz — coverage-guided scenario fuzzing with an analytic oracle
+//!
+//! The hand-written adversary campaign in `rsc-conformance` asks a fixed
+//! set of seven questions. This crate asks *generated* ones: a greybox
+//! fuzzer mutates trace-generator parameters — phase lengths, flip
+//! correlations, hot-set churn, input switches, correlated-group
+//! membership — guided by coverage of the controller's FSM-transition
+//! space and by the observed misspeculation rate.
+//!
+//! Three pieces:
+//!
+//! * [`genome`] — the mutable scenario representation: a seeded sequence
+//!   of adversary-generator segments, each segment boundary an input
+//!   switch. Mutation edits generator parameters and program structure,
+//!   never raw events, so every find replays from a few integers.
+//! * [`engine`] — the fuzzing loop. Coverage is
+//!   [`rsc_control::analysis::coverage::TransitionCoverage`] (transition
+//!   kinds, per-branch kind pairs, hit-count buckets); a child joins the
+//!   corpus when it adds coverage points or a new worst misspeculation
+//!   rate. Worst cases minimize with `rsc-conformance`'s ddmin shrinker.
+//! * [`corpus`] — admitted entries plus the verdict of the analytic
+//!   Markov oracle ([`rsc_control::analysis::markov`]). Every kept
+//!   scenario ships with an analytic explanation, an explicit
+//!   out-of-model reason, or a flagged divergence — never a silent pass.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rsc_fuzz::{fuzz, FuzzConfig};
+//!
+//! let report = fuzz(&FuzzConfig {
+//!     iters: 30,
+//!     events: 1_000,
+//!     ..FuzzConfig::new()
+//! });
+//! // Seeded by the 7 hand-written adversaries, then grown.
+//! assert!(report.corpus.len() >= 7);
+//! assert!(report.fuzz_points >= report.baseline_points);
+//! // Same config, same report, on any machine.
+//! assert_eq!(fuzz(&report.config), report);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod engine;
+pub mod genome;
+
+pub use corpus::{AnalyticCheck, CorpusEntry, KeepReason};
+pub use engine::{fuzz, FuzzConfig, FuzzReport, WorstCase};
+pub use genome::{Genome, Segment};

@@ -22,6 +22,9 @@
 //!   exclusive bursts, each burst with a freshly drawn bias.
 //! * [`Scenario::UniformRandom`] — an unstructured baseline that keeps
 //!   the fuzzer honest about coverage it did not design for.
+//! * [`Scenario::CorrelatedGroups`] — the paper's Fig. 9 dynamics:
+//!   groups of branches whose biased intervals begin and end together,
+//!   with group membership churning over time.
 //!
 //! All generation is a pure function of `(scenario, events, seed)` via
 //! [`Xoshiro256`] forks, so any failure found by the conformance fuzzer
@@ -100,6 +103,24 @@ pub enum Scenario {
         /// Number of static branches.
         branches: u32,
     },
+    /// Fig. 9 correlated flip dynamics: `groups * per_group` branches
+    /// partitioned into `groups` groups. Every member of a group shares
+    /// one bias direction and flips it at the same event boundary (every
+    /// `flip_every` events, phase-offset per group), so the controller
+    /// sees whole cohorts of biased branches invalidate together. Every
+    /// `churn` events one randomly chosen branch migrates to a randomly
+    /// chosen group (`churn = 0` disables migration). Outcomes carry 2%
+    /// noise so streams are seed-sensitive.
+    CorrelatedGroups {
+        /// Number of correlated groups.
+        groups: u32,
+        /// Branches per group at initialization.
+        per_group: u32,
+        /// Events between group-wide direction flips.
+        flip_every: u64,
+        /// Events between single-branch group migrations (0 = never).
+        churn: u64,
+    },
 }
 
 impl Scenario {
@@ -112,6 +133,7 @@ impl Scenario {
             Scenario::ThresholdOscillator { .. } => "threshold_oscillator",
             Scenario::BurstyHotSet { .. } => "bursty_hot_set",
             Scenario::UniformRandom { .. } => "uniform_random",
+            Scenario::CorrelatedGroups { .. } => "correlated_groups",
         }
     }
 
@@ -130,6 +152,7 @@ impl Scenario {
         let mut execs: Vec<u64> = Vec::new();
         let mut burst_state: Option<(u32, f64)> = None;
         let mut biases: Vec<f64> = Vec::new();
+        let mut membership: Vec<u32> = Vec::new();
 
         for i in 0..events {
             instr += 1 + instr_rng.gen_range(8);
@@ -195,6 +218,30 @@ impl Scenario {
                     }
                     (b, outcome_rng.gen_bool(biases[b as usize]))
                 }
+                Scenario::CorrelatedGroups {
+                    groups,
+                    per_group,
+                    flip_every,
+                    churn,
+                } => {
+                    let groups = groups.max(1);
+                    let total = u64::from(groups) * u64::from(per_group.max(1));
+                    if membership.is_empty() {
+                        membership = (0..total as u32).map(|b| b % groups).collect();
+                    }
+                    if churn > 0 && i > 0 && i.is_multiple_of(churn) {
+                        let migrant = mix_rng.gen_range(total) as usize;
+                        membership[migrant] = mix_rng.gen_range(u64::from(groups)) as u32;
+                    }
+                    let b = mix_rng.gen_range(total) as u32;
+                    let g = membership[b as usize];
+                    // Phase-offset per group so groups don't all flip at
+                    // the same instant; within a group every member sees
+                    // the same boundary.
+                    let phase = i / flip_every.max(1) + u64::from(g);
+                    let dir = phase.is_multiple_of(2);
+                    (b, dir != outcome_rng.gen_bool(0.02))
+                }
             };
             out.push(BranchRecord {
                 branch: BranchId::new(branch),
@@ -231,7 +278,7 @@ impl GrowDefault for f64 {
 mod tests {
     use super::*;
 
-    const ALL: [Scenario; 6] = [
+    const ALL: [Scenario; 7] = [
         Scenario::PhaseFlip {
             branches: 4,
             flip_after: 100,
@@ -244,6 +291,12 @@ mod tests {
         Scenario::ThresholdOscillator { window: 10 },
         Scenario::BurstyHotSet { hot: 3, burst: 64 },
         Scenario::UniformRandom { branches: 8 },
+        Scenario::CorrelatedGroups {
+            groups: 2,
+            per_group: 3,
+            flip_every: 50,
+            churn: 200,
+        },
     ];
 
     #[test]
@@ -313,6 +366,35 @@ mod tests {
         assert!(t[..10].iter().all(|r| r.taken));
         let second: Vec<bool> = t[10..20].iter().map(|r| r.taken).collect();
         assert_eq!(second.iter().filter(|&&x| !x).count(), 1);
+    }
+
+    #[test]
+    fn correlated_groups_flip_together() {
+        let s = Scenario::CorrelatedGroups {
+            groups: 2,
+            per_group: 3,
+            flip_every: 200,
+            churn: 0,
+        };
+        let t = s.generate(400, 17);
+        assert!(t.iter().all(|r| r.branch.index() < 6));
+        // With churn disabled, group(b) = b % 2 throughout. In the first
+        // window group 0 is biased taken and group 1 not-taken; both flip
+        // at event 200. Outcomes carry 2% noise, so check agreement rate.
+        for (lo, hi, flipped) in [(0, 200, false), (200, 400, true)] {
+            for g in 0..2u32 {
+                let expect = (g == 0) != flipped;
+                let (mut agree, mut n) = (0u32, 0u32);
+                for r in &t[lo..hi] {
+                    if r.branch.index() as u32 % 2 == g {
+                        n += 1;
+                        agree += u32::from(r.taken == expect);
+                    }
+                }
+                assert!(n > 0);
+                assert!(agree * 10 >= n * 9, "group {g} window {lo}..{hi}");
+            }
+        }
     }
 
     #[test]

@@ -39,6 +39,41 @@ pub fn max_threads() -> usize {
         .unwrap_or(4)
 }
 
+std::thread_local! {
+    /// Countdown for [`fail_nth_spawn`]; `0` means no failure armed.
+    static FAIL_NTH_SPAWN: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Test seam: arms the *n*-th (1-based) subsequent [`WorkerPool`] spawn
+/// attempt **on this thread** to fail with a synthetic [`std::io::Error`],
+/// without consuming an OS thread. Pools are spawned from the calling
+/// thread, so this injects exactly where `WorkerPool::new`'s recovery
+/// path runs. Passing `0` disarms.
+///
+/// Spawn failures are otherwise nearly impossible to provoke portably
+/// (they require hitting an OS thread limit), yet the fallback they
+/// trigger — hand every state back so the caller can run inline — is a
+/// correctness path the sharded engine depends on.
+pub fn fail_nth_spawn(n: usize) {
+    FAIL_NTH_SPAWN.with(|c| c.set(n));
+}
+
+/// Consumes one spawn attempt from the injection countdown; `true` means
+/// this attempt must fail.
+fn take_injected_spawn_failure() -> bool {
+    FAIL_NTH_SPAWN.with(|c| match c.get() {
+        0 => false,
+        1 => {
+            c.set(0);
+            true
+        }
+        n => {
+            c.set(n - 1);
+            false
+        }
+    })
+}
+
 /// Applies `f` to every item in parallel, preserving input order.
 ///
 /// `f` may borrow from the environment (threads are scoped). Panics in `f`
@@ -170,26 +205,30 @@ impl<S: Send + 'static> WorkerPool<S> {
             // on failure, and the state must survive to be handed back.
             let cell = std::sync::Arc::new(Mutex::new(Some(state)));
             let worker_cell = std::sync::Arc::clone(&cell);
-            let spawned = std::thread::Builder::new()
-                .name(format!("{name}-w{k}"))
-                .spawn(move || {
-                    let mut state = worker_cell
-                        .lock()
-                        .expect("state cell lock")
-                        .take()
-                        .expect("state staged by new()");
-                    drop(worker_cell);
-                    while let Ok(Msg::Run(job)) = rx.recv() {
-                        // SAFETY: see `Job` — the caller keeps the
-                        // closure alive until this ack is received.
-                        let f = unsafe { &*job.f };
-                        let ok = catch_unwind(AssertUnwindSafe(|| f(k, &mut state))).is_ok();
-                        // A dropped pool means no one is listening;
-                        // nothing to report.
-                        let _ = done_tx.send(ok);
-                    }
-                    state
-                });
+            let spawned = if take_injected_spawn_failure() {
+                Err(std::io::Error::other("injected spawn failure"))
+            } else {
+                std::thread::Builder::new()
+                    .name(format!("{name}-w{k}"))
+                    .spawn(move || {
+                        let mut state = worker_cell
+                            .lock()
+                            .expect("state cell lock")
+                            .take()
+                            .expect("state staged by new()");
+                        drop(worker_cell);
+                        while let Ok(Msg::Run(job)) = rx.recv() {
+                            // SAFETY: see `Job` — the caller keeps the
+                            // closure alive until this ack is received.
+                            let f = unsafe { &*job.f };
+                            let ok = catch_unwind(AssertUnwindSafe(|| f(k, &mut state))).is_ok();
+                            // A dropped pool means no one is listening;
+                            // nothing to report.
+                            let _ = done_tx.send(ok);
+                        }
+                        state
+                    })
+            };
             match spawned {
                 Ok(handle) => pool.workers.push(Worker {
                     tx,
@@ -495,5 +534,55 @@ mod tests {
     fn pool_drop_joins_cleanly_without_jobs() {
         let pool = WorkerPool::new(vec![(); 8], "t").unwrap();
         drop(pool);
+    }
+
+    #[test]
+    fn spawn_failure_on_first_worker_returns_all_states_in_order() {
+        fail_nth_spawn(1);
+        let err = WorkerPool::new(vec![1u8, 2, 3, 4], "t").err().unwrap();
+        assert_eq!(err.1, vec![1, 2, 3, 4], "every state handed back");
+        assert_eq!(err.0.to_string(), "injected spawn failure");
+        // The seam disarms after firing: the next pool spawns fine.
+        let mut pool = WorkerPool::new(vec![1u8, 2, 3, 4], "t").unwrap();
+        assert_eq!(pool.map(|_, s| *s), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn spawn_failure_mid_way_recovers_already_spawned_states_in_order() {
+        // Worker 0 and 1 spawn, worker 2 fails: the recovery path has to
+        // join live workers, reclaim the orphaned state, and drain the
+        // unspawned remainder — in the original order.
+        fail_nth_spawn(3);
+        let err = WorkerPool::new(vec![10u8, 11, 12, 13, 14], "t")
+            .err()
+            .unwrap();
+        assert_eq!(err.1, vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn pool_call_panic_poisons_without_deadlocking() {
+        let mut pool = WorkerPool::new(vec![0u8; 3], "t").unwrap();
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.call(2, |_, _| -> u8 { panic!("boom") });
+        }));
+        assert!(r.is_err(), "the panic reaches the caller");
+        assert!(pool.is_poisoned());
+        let again = std::panic::catch_unwind(AssertUnwindSafe(|| pool.call(0, |_, s| *s)));
+        assert!(again.is_err(), "a poisoned pool refuses single dispatches");
+        drop(pool); // joins cleanly — the test would hang otherwise
+    }
+
+    #[test]
+    fn overlap_panic_still_drains_the_barrier() {
+        let mut pool = WorkerPool::new(vec![0u64; 4], "t").unwrap();
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_with(|_, s| *s += 1, || panic!("caller-side boom"));
+        }));
+        assert!(r.is_err());
+        // The workers' jobs succeeded, so the pool is *not* poisoned and
+        // the barrier was drained before the unwind (otherwise this
+        // dispatch would race the previous job's borrows).
+        assert!(!pool.is_poisoned());
+        assert_eq!(pool.map(|_, s| *s), vec![1, 1, 1, 1]);
     }
 }

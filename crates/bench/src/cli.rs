@@ -20,6 +20,8 @@ subcommands (own their argument lists):
   resilience      resilient-runtime drills
   observe         metrics exposition smoke
   fuzz            coverage-guided scenario fuzzing with analytic oracle
+  serve           multi-tenant controller daemon (quotas, drain, chaos)
+  load            seeded load/chaos storm against a serve daemon
 
 experiments: table1 table2 table3 table4 table5 fig2 fig3 fig5 fig6
   fig7 fig8 fig9 oscillation dynamo confidence regions variance
@@ -91,14 +93,20 @@ pub fn parse(args: &[String]) -> Result<TopArgs, String> {
     Ok(top)
 }
 
-fn value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a str, String> {
+/// Pulls the next argument as `flag`'s value. Shared by every
+/// subcommand's parser so the diagnostics stay word-for-word identical.
+pub(crate) fn value<'a>(
+    it: &mut std::slice::Iter<'a, String>,
+    flag: &str,
+) -> Result<&'a str, String> {
     match it.next() {
         Some(v) => Ok(v),
         None => Err(format!("{flag} needs a value")),
     }
 }
 
-fn number<T: std::str::FromStr>(
+/// Pulls and parses the next argument as an integer value for `flag`.
+pub(crate) fn number<T: std::str::FromStr>(
     it: &mut std::slice::Iter<'_, String>,
     flag: &str,
 ) -> Result<T, String> {
@@ -107,8 +115,9 @@ fn number<T: std::str::FromStr>(
         .map_err(|_| format!("{flag} needs an integer, got {v:?}"))
 }
 
-fn at_least_one(n: usize, flag: &str) -> Result<usize, String> {
-    if n == 0 {
+/// Rejects zero for flags where it would be meaningless.
+pub(crate) fn at_least_one<T: PartialOrd + From<u8>>(n: T, flag: &str) -> Result<T, String> {
+    if n < T::from(1u8) {
         return Err(format!("{flag} must be at least 1"));
     }
     Ok(n)

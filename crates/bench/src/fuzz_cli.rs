@@ -10,6 +10,7 @@
 //!   structured artifact, never a silent pass);
 //! * `2` — usage error.
 
+use crate::cli::{at_least_one, number, value};
 use rsc_conformance::json::Json;
 use rsc_conformance::params_to_json;
 use rsc_fuzz::corpus::save_entries;
@@ -71,26 +72,6 @@ pub fn parse(args: &[String]) -> Result<FuzzArgs, String> {
         }
     }
     Ok(out)
-}
-
-fn value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a str, String> {
-    match it.next() {
-        Some(v) => Ok(v),
-        None => Err(format!("{flag} needs a value")),
-    }
-}
-
-fn number(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<u64, String> {
-    let v = value(it, flag)?;
-    v.parse()
-        .map_err(|_| format!("{flag} needs an integer, got {v:?}"))
-}
-
-fn at_least_one(n: u64, flag: &str) -> Result<u64, String> {
-    if n == 0 {
-        return Err(format!("{flag} must be at least 1"));
-    }
-    Ok(n)
 }
 
 /// Runs the subcommand with its own argument list (everything after the

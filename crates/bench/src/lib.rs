@@ -9,8 +9,10 @@ pub mod conformance_cli;
 pub mod experiments;
 pub mod export;
 pub mod fuzz_cli;
+pub mod load_cli;
 pub mod observe_cli;
 pub mod options;
 pub mod parallel;
 pub mod resilience_cli;
+pub mod serve_cli;
 pub mod table;

@@ -20,6 +20,12 @@ fn main() {
     if args.first().map(String::as_str) == Some("fuzz") {
         std::process::exit(rsc_bench::fuzz_cli::run(&args[1..]));
     }
+    if args.first().map(String::as_str) == Some("serve") {
+        std::process::exit(rsc_bench::serve_cli::run(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("load") {
+        std::process::exit(rsc_bench::load_cli::run(&args[1..]));
+    }
     let top = match rsc_bench::cli::parse(&args) {
         Ok(top) => top,
         Err(e) => {

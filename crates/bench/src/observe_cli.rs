@@ -20,6 +20,7 @@
 //! families only. The output is a pure function of `--bench`, `--events`,
 //! `--seed`, and `--resilience`.
 
+use crate::cli::{number, value};
 use rsc_control::resilience::{
     BreakerConfig, DeployerSpec, FaultMode, FaultScope, FaultSpec, RetryPolicy,
 };
@@ -31,60 +32,107 @@ use rsc_trace::{spec2000, InputId};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// Runs the subcommand with its own argument list (everything after the
-/// literal `observe`). Returns the process exit code.
-pub fn run(args: &[String]) -> i32 {
-    let mut bench = "gcc".to_string();
-    let mut events: u64 = 1_000_000;
-    let mut seed: u64 = 42;
-    let mut resilience = false;
-    let mut check = false;
-    let mut metrics_out: Option<PathBuf> = None;
-    let mut json_out: Option<PathBuf> = None;
-    let mut events_out: Option<PathBuf> = None;
+/// Usage text printed (to stderr) alongside any parse error.
+pub const USAGE: &str = "\
+usage: repro observe [FLAGS]
 
+flags:
+  --bench NAME     benchmark model driving the workload (default gcc)
+  --events N       dynamic branch events to run (default 1000000)
+  --seed N         trace seed (default 42)
+  --resilience     layer a flaky deploy pipeline + storm breaker over the run
+  --check          validate the Prometheus exposition; malformed text exits 1
+  --metrics-out F  write the Prometheus exposition to F (default: stdout)
+  --json-out F     also write the metrics registry as JSON to F
+  --events-out F   write the observability event stream as JSON Lines to F";
+
+/// Everything a `repro observe` invocation decided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObserveArgs {
+    /// `--bench` workload model name (validated against [`spec2000::NAMES`]).
+    pub bench: String,
+    /// `--events` run length.
+    pub events: u64,
+    /// `--seed` trace seed.
+    pub seed: u64,
+    /// `--resilience` layering.
+    pub resilience: bool,
+    /// `--check` exposition validation.
+    pub check: bool,
+    /// `--metrics-out` path (stdout when absent).
+    pub metrics_out: Option<PathBuf>,
+    /// `--json-out` path.
+    pub json_out: Option<PathBuf>,
+    /// `--events-out` path.
+    pub events_out: Option<PathBuf>,
+}
+
+/// Parses the argument list (everything after the literal `observe`).
+/// Pure: no printing, no process exit.
+///
+/// # Errors
+///
+/// Returns a one-line diagnostic for a missing flag value, a
+/// non-numeric value, an unknown benchmark name, or an unknown flag.
+pub fn parse(args: &[String]) -> Result<ObserveArgs, String> {
+    let mut out = ObserveArgs {
+        bench: "gcc".to_string(),
+        events: 1_000_000,
+        seed: 42,
+        resilience: false,
+        check: false,
+        metrics_out: None,
+        json_out: None,
+        events_out: None,
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--bench" => {
-                bench = it.next().expect("--bench needs a benchmark name").clone();
-            }
-            "--events" => {
-                let v = it.next().expect("--events needs a value");
-                events = v.parse().expect("--events must be an integer");
-            }
-            "--seed" => {
-                let v = it.next().expect("--seed needs a value");
-                seed = v.parse().expect("--seed must be an integer");
-            }
-            "--resilience" => resilience = true,
-            "--check" => check = true,
+            "--bench" => out.bench = value(&mut it, "--bench")?.to_string(),
+            "--events" => out.events = number(&mut it, "--events")?,
+            "--seed" => out.seed = number(&mut it, "--seed")?,
+            "--resilience" => out.resilience = true,
+            "--check" => out.check = true,
             "--metrics-out" => {
-                let v = it.next().expect("--metrics-out needs a file path");
-                metrics_out = Some(PathBuf::from(v));
+                out.metrics_out = Some(PathBuf::from(value(&mut it, "--metrics-out")?))
             }
-            "--json-out" => {
-                let v = it.next().expect("--json-out needs a file path");
-                json_out = Some(PathBuf::from(v));
-            }
-            "--events-out" => {
-                let v = it.next().expect("--events-out needs a file path");
-                events_out = Some(PathBuf::from(v));
-            }
-            other => {
-                eprintln!("unknown observe option: {other}");
-                return 2;
-            }
+            "--json-out" => out.json_out = Some(PathBuf::from(value(&mut it, "--json-out")?)),
+            "--events-out" => out.events_out = Some(PathBuf::from(value(&mut it, "--events-out")?)),
+            other => return Err(format!("unknown observe option: {other}")),
         }
     }
-
-    let Some(model) = spec2000::benchmark(&bench) else {
-        eprintln!(
-            "unknown benchmark {bench:?}; known: {}",
+    if spec2000::benchmark(&out.bench).is_none() {
+        return Err(format!(
+            "unknown benchmark {:?}; known: {}",
+            out.bench,
             spec2000::NAMES.join(", ")
-        );
-        return 2;
+        ));
+    }
+    Ok(out)
+}
+
+/// Runs the subcommand with its own argument list (everything after the
+/// literal `observe`). Returns the process exit code.
+pub fn run(args: &[String]) -> i32 {
+    let ObserveArgs {
+        bench,
+        events,
+        seed,
+        resilience,
+        check,
+        metrics_out,
+        json_out,
+        events_out,
+    } = match parse(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            return 2;
+        }
     };
+
+    let model = spec2000::benchmark(&bench).expect("parse validated the name");
     let pop = model.population(events);
 
     let mut builder = ReactiveController::builder(rsc_control::ControllerParams::scaled())
@@ -407,6 +455,68 @@ mod tests {
         // Re-declared family.
         let text = "# HELP x h\n# TYPE x counter\n# HELP x h\n";
         assert!(validate_prometheus(text).is_err());
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.bench, "gcc");
+        assert_eq!(d.events, 1_000_000);
+        assert_eq!(d.seed, 42);
+        assert!(!d.resilience && !d.check);
+        let p = parse(&argv(&[
+            "--bench",
+            "gzip",
+            "--events",
+            "5000",
+            "--seed",
+            "7",
+            "--resilience",
+            "--check",
+            "--metrics-out",
+            "m.prom",
+            "--json-out",
+            "m.json",
+            "--events-out",
+            "e.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(p.bench, "gzip");
+        assert_eq!(p.events, 5000);
+        assert_eq!(p.seed, 7);
+        assert!(p.resilience && p.check);
+        assert_eq!(p.metrics_out.as_deref(), Some(Path::new("m.prom")));
+        assert_eq!(p.json_out.as_deref(), Some(Path::new("m.json")));
+        assert_eq!(p.events_out.as_deref(), Some(Path::new("e.jsonl")));
+    }
+
+    #[test]
+    fn parse_diagnoses_bad_input_without_panicking() {
+        assert_eq!(
+            parse(&argv(&["--events"])).unwrap_err(),
+            "--events needs a value"
+        );
+        assert_eq!(
+            parse(&argv(&["--events", "lots"])).unwrap_err(),
+            "--events needs an integer, got \"lots\""
+        );
+        assert_eq!(
+            parse(&argv(&["--bogus"])).unwrap_err(),
+            "unknown observe option: --bogus"
+        );
+        assert!(parse(&argv(&["--bench", "nope"]))
+            .unwrap_err()
+            .starts_with("unknown benchmark \"nope\""));
+    }
+
+    #[test]
+    fn usage_error_exits_two() {
+        assert_eq!(run(&argv(&["--bogus"])), 2);
+        assert_eq!(run(&argv(&["--bench", "nope"])), 2);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! [`Invariant`]), so CI can treat the subcommand as a smoke test; the
 //! JSON is a pure function of `--seed` and `--events`.
 
+use crate::cli::{number, value};
 use rsc_conformance::json::Json;
 use rsc_control::resilience::{
     BreakerConfig, DeployerSpec, FaultMode, FaultScope, FaultSpec, RetryPolicy,
@@ -28,39 +29,75 @@ use rsc_control::{
 use rsc_trace::{BranchRecord, Scenario};
 use std::path::PathBuf;
 
-/// Runs the subcommand with its own argument list (everything after the
-/// literal `resilience`). Returns the process exit code.
-pub fn run(args: &[String]) -> i32 {
-    let mut events: u64 = 200_000;
-    let mut seed: u64 = 42;
-    let mut out = PathBuf::from("resilience-artifacts/RESILIENCE_report.json");
-    let mut metrics_out: Option<PathBuf> = None;
+/// Usage text printed (to stderr) alongside any parse error.
+pub const USAGE: &str = "\
+usage: repro resilience [FLAGS]
 
+flags:
+  --events N       events per scenario (default 200000)
+  --seed N         workload and fault seed (default 42)
+  --out PATH       JSON report path
+                   (default resilience-artifacts/RESILIENCE_report.json)
+  --metrics-out F  export the storm-breaker scenario's metrics to F";
+
+/// Everything a `repro resilience` invocation decided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilienceArgs {
+    /// `--events` run length per scenario.
+    pub events: u64,
+    /// `--seed` workload/fault seed.
+    pub seed: u64,
+    /// `--out` report path.
+    pub out: PathBuf,
+    /// `--metrics-out` exposition path.
+    pub metrics_out: Option<PathBuf>,
+}
+
+/// Parses the argument list (everything after the literal
+/// `resilience`). Pure: no printing, no process exit.
+///
+/// # Errors
+///
+/// Returns a one-line diagnostic for a missing flag value, a
+/// non-numeric value, or an unknown flag.
+pub fn parse(args: &[String]) -> Result<ResilienceArgs, String> {
+    let mut parsed = ResilienceArgs {
+        events: 200_000,
+        seed: 42,
+        out: PathBuf::from("resilience-artifacts/RESILIENCE_report.json"),
+        metrics_out: None,
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--events" => {
-                let v = it.next().expect("--events needs a value");
-                events = v.parse().expect("--events must be an integer");
-            }
-            "--seed" => {
-                let v = it.next().expect("--seed needs a value");
-                seed = v.parse().expect("--seed must be an integer");
-            }
-            "--out" => {
-                let v = it.next().expect("--out needs a file path");
-                out = PathBuf::from(v);
-            }
+            "--events" => parsed.events = number(&mut it, "--events")?,
+            "--seed" => parsed.seed = number(&mut it, "--seed")?,
+            "--out" => parsed.out = PathBuf::from(value(&mut it, "--out")?),
             "--metrics-out" => {
-                let v = it.next().expect("--metrics-out needs a file path");
-                metrics_out = Some(PathBuf::from(v));
+                parsed.metrics_out = Some(PathBuf::from(value(&mut it, "--metrics-out")?))
             }
-            other => {
-                eprintln!("unknown resilience option: {other}");
-                return 2;
-            }
+            other => return Err(format!("unknown resilience option: {other}")),
         }
     }
+    Ok(parsed)
+}
+
+/// Runs the subcommand with its own argument list (everything after the
+/// literal `resilience`). Returns the process exit code.
+pub fn run(args: &[String]) -> i32 {
+    let ResilienceArgs {
+        events,
+        seed,
+        out,
+        metrics_out,
+    } = match parse(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            return 2;
+        }
+    };
 
     println!("resilience smoke: {events} events, seed {seed}");
     let trace = Scenario::PhaseFlip {
@@ -346,6 +383,59 @@ fn run_scenario(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.events, 200_000);
+        assert_eq!(d.seed, 42);
+        assert_eq!(
+            d.out,
+            PathBuf::from("resilience-artifacts/RESILIENCE_report.json")
+        );
+        assert_eq!(d.metrics_out, None);
+        let p = parse(&argv(&[
+            "--events",
+            "9000",
+            "--seed",
+            "3",
+            "--out",
+            "r.json",
+            "--metrics-out",
+            "r.prom",
+        ]))
+        .unwrap();
+        assert_eq!(p.events, 9000);
+        assert_eq!(p.seed, 3);
+        assert_eq!(p.out, PathBuf::from("r.json"));
+        assert_eq!(p.metrics_out, Some(PathBuf::from("r.prom")));
+    }
+
+    #[test]
+    fn parse_diagnoses_bad_input_without_panicking() {
+        assert_eq!(
+            parse(&argv(&["--events"])).unwrap_err(),
+            "--events needs a value"
+        );
+        assert_eq!(
+            parse(&argv(&["--seed", "lots"])).unwrap_err(),
+            "--seed needs an integer, got \"lots\""
+        );
+        assert_eq!(
+            parse(&argv(&["--bogus"])).unwrap_err(),
+            "unknown resilience option: --bogus"
+        );
+    }
+
+    #[test]
+    fn usage_error_exits_two() {
+        assert_eq!(run(&argv(&["--bogus"])), 2);
+        assert_eq!(run(&argv(&["--events", "lots"])), 2);
+    }
 
     #[test]
     fn report_is_deterministic_for_a_fixed_seed() {

@@ -1,0 +1,171 @@
+//! Deterministic fault injection for the serve daemon's seams.
+//!
+//! The robustness thesis of this crate is that *every degradation path
+//! is a tested code path*. [`ChaosConfig`] describes, in per-mille
+//! probabilities, the faults to inject at the two kinds of seams:
+//!
+//! * **storage seams** (server side): a checkpoint write fails
+//!   spuriously, or the blob is corrupted by one bit on its way to disk
+//!   — exercising the typed-error restore paths and the
+//!   write-then-atomic-rename protocol;
+//! * **client seams** (`repro load`): a frame is torn mid-write, the
+//!   connection drops between frames, or a slow-loris client dribbles a
+//!   frame byte by byte — exercising the server's torn-frame handling,
+//!   per-connection isolation, and read deadlines.
+//!
+//! All rolls come from forked [`Xoshiro256`] streams, so a chaos run is
+//! a pure function of its seed: the *content* of every injected fault
+//! replays exactly (wall-clock timing, of course, does not).
+
+use rsc_trace::rng::Xoshiro256;
+
+/// Per-mille fault probabilities for every chaos seam. A zeroed config
+/// (`ChaosConfig::off()`) injects nothing and is the production default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Seed for the fault-roll RNG streams.
+    pub seed: u64,
+    /// Client: probability a frame is truncated mid-write and the
+    /// connection dropped (per mille).
+    pub torn_frame_per_mille: u16,
+    /// Client: probability the connection is dropped between frames and
+    /// reopened for the next one (per mille).
+    pub disconnect_per_mille: u16,
+    /// Client: probability a frame is written one byte at a time with
+    /// delays (per mille).
+    pub slow_loris_per_mille: u16,
+    /// Storage: probability a checkpoint save returns a spurious write
+    /// error (per mille).
+    pub write_error_per_mille: u16,
+    /// Storage: probability one bit of a checkpoint blob is flipped
+    /// before it reaches disk (per mille).
+    pub corrupt_blob_per_mille: u16,
+}
+
+impl ChaosConfig {
+    /// No injected faults.
+    pub fn off() -> Self {
+        ChaosConfig {
+            seed: 0,
+            torn_frame_per_mille: 0,
+            disconnect_per_mille: 0,
+            slow_loris_per_mille: 0,
+            write_error_per_mille: 0,
+            corrupt_blob_per_mille: 0,
+        }
+    }
+
+    /// True when any seam has a nonzero probability.
+    pub fn enabled(&self) -> bool {
+        self.torn_frame_per_mille > 0
+            || self.disconnect_per_mille > 0
+            || self.slow_loris_per_mille > 0
+            || self.write_error_per_mille > 0
+            || self.corrupt_blob_per_mille > 0
+    }
+
+    /// Named profiles for the CLI: `off`, `light` (occasional faults on
+    /// every seam), `heavy` (every seam hot — the CI storm profile).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown name so the CLI can print a diagnostic.
+    pub fn profile(name: &str, seed: u64) -> Result<Self, String> {
+        let base = match name {
+            "off" => ChaosConfig::off(),
+            "light" => ChaosConfig {
+                seed,
+                torn_frame_per_mille: 20,
+                disconnect_per_mille: 30,
+                slow_loris_per_mille: 10,
+                write_error_per_mille: 50,
+                corrupt_blob_per_mille: 20,
+            },
+            "heavy" => ChaosConfig {
+                seed,
+                torn_frame_per_mille: 80,
+                disconnect_per_mille: 120,
+                slow_loris_per_mille: 40,
+                write_error_per_mille: 200,
+                corrupt_blob_per_mille: 100,
+            },
+            other => return Err(format!("unknown chaos profile {other:?}")),
+        };
+        Ok(ChaosConfig { seed, ..base })
+    }
+
+    /// A die for one seam, forked off the config seed by a stable stream
+    /// id so seams never share a roll sequence.
+    pub fn die(&self, stream: u64) -> ChaosDie {
+        ChaosDie {
+            rng: Xoshiro256::seed_from(self.seed).fork(stream),
+        }
+    }
+}
+
+/// One seam's deterministic roll stream.
+#[derive(Debug, Clone)]
+pub struct ChaosDie {
+    rng: Xoshiro256,
+}
+
+impl ChaosDie {
+    /// Rolls a per-mille chance. Always consumes exactly one RNG step,
+    /// so downstream rolls stay aligned whether or not the fault fires.
+    pub fn roll(&mut self, per_mille: u16) -> bool {
+        let v = self.rng.next_u64() % 1000;
+        v < u64::from(per_mille.min(1000))
+    }
+
+    /// A uniform index below `n` (for picking which byte to tear or
+    /// which bit to flip).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.rng.next_u64() % n
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolls_are_a_pure_function_of_the_seed() {
+        let cfg = ChaosConfig {
+            seed: 7,
+            ..ChaosConfig::profile("heavy", 7).unwrap()
+        };
+        let mut a = cfg.die(3);
+        let mut b = cfg.die(3);
+        let seq_a: Vec<bool> = (0..100).map(|_| a.roll(100)).collect();
+        let seq_b: Vec<bool> = (0..100).map(|_| b.roll(100)).collect();
+        assert_eq!(seq_a, seq_b);
+        // Distinct streams diverge.
+        let mut c = cfg.die(4);
+        let seq_c: Vec<bool> = (0..100).map(|_| c.roll(100)).collect();
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn per_mille_extremes() {
+        let cfg = ChaosConfig {
+            seed: 1,
+            ..ChaosConfig::off()
+        };
+        let mut die = cfg.die(0);
+        assert!((0..1000).all(|_| !die.roll(0)));
+        assert!((0..1000).all(|_| die.roll(1000)));
+    }
+
+    #[test]
+    fn profiles_parse_and_off_is_inert() {
+        assert!(!ChaosConfig::off().enabled());
+        assert!(ChaosConfig::profile("light", 9).unwrap().enabled());
+        assert!(ChaosConfig::profile("heavy", 9).unwrap().enabled());
+        assert!(!ChaosConfig::profile("off", 9).unwrap().enabled());
+        assert!(ChaosConfig::profile("nope", 9).is_err());
+    }
+}

@@ -1,0 +1,432 @@
+//! A serve-protocol client with retry, timeout, and backoff — plus the
+//! misbehaving variants the chaos harness uses to attack the server.
+//!
+//! The client is strictly request-response: one frame out, one frame
+//! back. On any transport failure (connect refused, mid-response
+//! disconnect, timeout) it drops the connection, backs off
+//! exponentially, reconnects, and *resends the whole request* — the
+//! server's admission logic is level-based (quotas and controller state,
+//! not per-frame dedup), so the retry either lands or earns a structured
+//! reject. Faults injected via [`ClientFault`] model the client side of
+//! the chaos matrix: torn frames, between-frame disconnects, and
+//! slow-loris writes.
+
+use crate::frame::{read_frame_with_limit, Frame, FrameError, MAX_FRAME_LEN};
+use crate::server::ServeStream;
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// TCP address, e.g. `127.0.0.1:7411`.
+    Tcp(String),
+    /// Unix socket path.
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Opens one connection to the endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(&self) -> io::Result<Box<dyn ServeStream>> {
+        Ok(match self {
+            Endpoint::Tcp(addr) => Box::new(TcpStream::connect(addr)?),
+            Endpoint::Unix(path) => Box::new(UnixStream::connect(path)?),
+        })
+    }
+}
+
+/// Client behavior knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Where to connect.
+    pub endpoint: Endpoint,
+    /// Transport failures tolerated per request before giving up.
+    pub max_retries: u32,
+    /// First backoff; doubles per retry, capped at 32x.
+    pub backoff: Duration,
+    /// Socket read timeout while awaiting a response.
+    pub io_timeout: Duration,
+    /// Delay between bytes for slow-loris writes.
+    pub loris_delay: Duration,
+}
+
+impl ClientConfig {
+    /// Defaults for the given endpoint.
+    pub fn new(endpoint: Endpoint) -> Self {
+        ClientConfig {
+            endpoint,
+            max_retries: 8,
+            backoff: Duration::from_millis(10),
+            io_timeout: Duration::from_secs(5),
+            loris_delay: Duration::from_micros(200),
+        }
+    }
+}
+
+/// A deliberately injected client-side fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientFault {
+    /// Behave.
+    None,
+    /// Write only `keep` bytes of the encoded frame, then sever the
+    /// connection (the server should count one torn frame and carry on).
+    Torn {
+        /// Encoded-frame bytes to emit before severing.
+        keep: usize,
+    },
+    /// Sever the connection *before* writing, then proceed normally on a
+    /// fresh one.
+    DisconnectFirst,
+    /// Write the frame one byte at a time with delays (stays inside the
+    /// server's per-read patience, so it must still be served).
+    SlowLoris,
+}
+
+/// Why a request ultimately failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport kept failing after every retry.
+    Io(io::Error),
+    /// The server's response failed to decode.
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport failed after retries: {e}"),
+            ClientError::Frame(e) => write!(f, "bad response frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One connection-at-a-time protocol client.
+pub struct Client {
+    cfg: ClientConfig,
+    stream: Option<Box<dyn ServeStream>>,
+    /// Transport retries performed over this client's lifetime.
+    pub retries: u64,
+}
+
+impl Client {
+    /// A disconnected client; connections open lazily per request.
+    pub fn new(cfg: ClientConfig) -> Self {
+        Client {
+            cfg,
+            stream: None,
+            retries: 0,
+        }
+    }
+
+    fn stream(&mut self) -> io::Result<&mut Box<dyn ServeStream>> {
+        if self.stream.is_none() {
+            let mut s = self.cfg.endpoint.connect()?;
+            s.set_stream_read_timeout(Some(self.cfg.io_timeout))?;
+            self.stream = Some(s);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// Drops the current connection (the next request reconnects).
+    pub fn disconnect(&mut self) {
+        self.stream = None;
+    }
+
+    /// Sends `frame` and awaits the response, reconnecting and resending
+    /// with exponential backoff on transport failures.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when every retry failed; [`ClientError::Frame`]
+    /// when the server's response was undecodable.
+    pub fn request(&mut self, frame: &Frame) -> Result<Frame, ClientError> {
+        self.request_with(frame, ClientFault::None)
+    }
+
+    /// [`Client::request`] with a chaos fault applied to the *first*
+    /// attempt (retries behave normally — an app retrying after its own
+    /// torn write is exactly the recovery path under test).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn request_with(
+        &mut self,
+        frame: &Frame,
+        fault: ClientFault,
+    ) -> Result<Frame, ClientError> {
+        let encoded = frame.encode();
+        let mut fault = fault;
+        let mut backoff = self.cfg.backoff;
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 0..=self.cfg.max_retries {
+            if attempt > 0 {
+                self.retries += 1;
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(self.cfg.backoff * 32);
+            }
+            match self.attempt(&encoded, fault) {
+                Ok(reply) => return Ok(reply),
+                Err(AttemptError::Transport(e)) => {
+                    self.disconnect();
+                    last_err = Some(e);
+                }
+                Err(AttemptError::BadResponse(e)) => {
+                    self.disconnect();
+                    return Err(ClientError::Frame(e));
+                }
+            }
+            // The injected fault fires once; recovery runs clean.
+            fault = ClientFault::None;
+        }
+        Err(ClientError::Io(last_err.unwrap_or_else(|| {
+            io::Error::other("request failed with no attempts")
+        })))
+    }
+
+    fn attempt(&mut self, encoded: &[u8], fault: ClientFault) -> Result<Frame, AttemptError> {
+        match fault {
+            ClientFault::None => {
+                let s = self.stream().map_err(AttemptError::Transport)?;
+                s.write_all(encoded).map_err(AttemptError::Transport)?;
+                s.flush().map_err(AttemptError::Transport)?;
+            }
+            ClientFault::Torn { keep } => {
+                let keep = keep.min(encoded.len().saturating_sub(1));
+                let s = self.stream().map_err(AttemptError::Transport)?;
+                let _ = s.write_all(&encoded[..keep]);
+                let _ = s.flush();
+                self.disconnect();
+                return Err(AttemptError::Transport(io::Error::other(
+                    "injected: frame torn mid-write",
+                )));
+            }
+            ClientFault::DisconnectFirst => {
+                // Cycle the connection, then send normally.
+                let _ = self.stream();
+                self.disconnect();
+                let s = self.stream().map_err(AttemptError::Transport)?;
+                s.write_all(encoded).map_err(AttemptError::Transport)?;
+                s.flush().map_err(AttemptError::Transport)?;
+            }
+            ClientFault::SlowLoris => {
+                let delay = self.cfg.loris_delay;
+                let s = self.stream().map_err(AttemptError::Transport)?;
+                for byte in encoded {
+                    s.write_all(std::slice::from_ref(byte))
+                        .map_err(AttemptError::Transport)?;
+                    s.flush().map_err(AttemptError::Transport)?;
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+        let s = self.stream().map_err(AttemptError::Transport)?;
+        match read_frame_with_limit(s, MAX_FRAME_LEN) {
+            Ok(reply) => Ok(reply),
+            Err(FrameError::Eof) => Err(AttemptError::Transport(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "server closed before responding",
+            ))),
+            Err(FrameError::Io(e)) => Err(AttemptError::Transport(e)),
+            Err(e) => Err(AttemptError::BadResponse(e)),
+        }
+    }
+}
+
+enum AttemptError {
+    Transport(io::Error),
+    BadResponse(FrameError),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+    use rsc_trace::adversary::Scenario;
+    use rsc_trace::io::write_trace;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    fn payload(events: u64, seed: u64) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_trace(
+            &mut buf,
+            Scenario::UniformRandom { branches: 32 }.generate(events, seed),
+        )
+        .unwrap();
+        buf
+    }
+
+    struct Harness {
+        server: Server,
+        stop: Arc<AtomicBool>,
+        addr: String,
+        accept: Option<std::thread::JoinHandle<()>>,
+    }
+
+    impl Harness {
+        fn start(dir: &str) -> Harness {
+            let dir = std::env::temp_dir().join(dir);
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut cfg = ServerConfig::new(dir);
+            cfg.io_timeout = Duration::from_millis(500);
+            let server = Server::new(cfg).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap().to_string();
+            let stop = Arc::new(AtomicBool::new(false));
+            let accept = {
+                let server = server.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    server.serve_tcp(listener, stop).unwrap();
+                })
+            };
+            Harness {
+                server,
+                stop,
+                addr,
+                accept: Some(accept),
+            }
+        }
+
+        fn client(&self) -> Client {
+            let mut cfg = ClientConfig::new(Endpoint::Tcp(self.addr.clone()));
+            cfg.io_timeout = Duration::from_secs(5);
+            Client::new(cfg)
+        }
+    }
+
+    impl Drop for Harness {
+        fn drop(&mut self) {
+            self.stop.store(true, Ordering::SeqCst);
+            if let Some(h) = self.accept.take() {
+                let _ = h.join();
+            }
+        }
+    }
+
+    #[test]
+    fn request_response_over_tcp() {
+        let h = Harness::start("rsc_client_rr");
+        let mut c = h.client();
+        assert_eq!(c.request(&Frame::Ping).unwrap(), Frame::Pong);
+        let reply = c
+            .request(&Frame::Events {
+                tenant: 4,
+                payload: payload(120, 1),
+            })
+            .unwrap();
+        assert_eq!(
+            reply,
+            Frame::Ack {
+                tenant: 4,
+                accepted: 120,
+                tenant_events: 120
+            }
+        );
+    }
+
+    #[test]
+    fn torn_frame_is_counted_and_the_retry_lands() {
+        let h = Harness::start("rsc_client_torn");
+        let mut c = h.client();
+        let frame = Frame::Events {
+            tenant: 1,
+            payload: payload(80, 2),
+        };
+        let keep = frame.encode().len() / 2;
+        let reply = c.request_with(&frame, ClientFault::Torn { keep }).unwrap();
+        assert_eq!(
+            reply,
+            Frame::Ack {
+                tenant: 1,
+                accepted: 80,
+                tenant_events: 80
+            }
+        );
+        assert!(c.retries >= 1);
+        // Give the server a beat to log the severed connection.
+        for _ in 0..100 {
+            if h.server.counters().torn_frames >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(h.server.counters().torn_frames, 1);
+        assert_eq!(h.server.counters().accepted_frames, 1, "no double apply");
+    }
+
+    #[test]
+    fn disconnect_and_slow_loris_are_survivable() {
+        let h = Harness::start("rsc_client_chaos");
+        let mut c = h.client();
+        let reply = c
+            .request_with(
+                &Frame::Events {
+                    tenant: 2,
+                    payload: payload(30, 3),
+                },
+                ClientFault::DisconnectFirst,
+            )
+            .unwrap();
+        assert!(matches!(reply, Frame::Ack { tenant: 2, .. }));
+        let reply = c
+            .request_with(&Frame::Ping, ClientFault::SlowLoris)
+            .unwrap();
+        assert_eq!(reply, Frame::Pong);
+    }
+
+    #[test]
+    fn connect_failure_is_a_typed_error_after_retries() {
+        // A listener we immediately drop: the port refuses connections.
+        let dead = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = dead.local_addr().unwrap().to_string();
+        drop(dead);
+        let mut cfg = ClientConfig::new(Endpoint::Tcp(addr));
+        cfg.max_retries = 2;
+        cfg.backoff = Duration::from_millis(1);
+        let mut c = Client::new(cfg);
+        assert!(matches!(c.request(&Frame::Ping), Err(ClientError::Io(_))));
+        assert_eq!(c.retries, 2);
+    }
+
+    #[test]
+    fn unix_socket_transport_works_end_to_end() {
+        let dir = std::env::temp_dir().join("rsc_client_uds");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("serve.sock");
+        let mut cfg = ServerConfig::new(dir.join("ckpt"));
+        cfg.io_timeout = Duration::from_millis(500);
+        let server = Server::new(cfg).unwrap();
+        let listener = std::os::unix::net::UnixListener::bind(&sock).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let server = server.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || server.serve_unix(listener, stop).unwrap())
+        };
+        let mut c = Client::new(ClientConfig::new(Endpoint::Unix(sock)));
+        assert_eq!(c.request(&Frame::Ping).unwrap(), Frame::Pong);
+        let reply = c
+            .request(&Frame::Events {
+                tenant: 9,
+                payload: payload(50, 4),
+            })
+            .unwrap();
+        assert!(matches!(reply, Frame::Ack { tenant: 9, .. }));
+        stop.store(true, Ordering::SeqCst);
+        accept.join().unwrap();
+        let _ = std::fs::remove_dir_all(std::env::temp_dir().join("rsc_client_uds"));
+    }
+}

@@ -1,0 +1,402 @@
+//! The `repro load` engine: N concurrent clients replaying adversary
+//! traces at a serve daemon, with optional chaos clients in the mix.
+//!
+//! # Determinism boundary
+//!
+//! A load run is a pure function of its seed *up to network timing*.
+//! Tenants are partitioned disjointly among clients (`tenant % clients`
+//! names the owner), and each client derives everything it does — which
+//! scenario each frame replays, the trace bytes, and every chaos roll —
+//! from `Xoshiro256::seed_from(seed).fork(client)`. Two runs with the
+//! same seed therefore send byte-identical per-tenant streams in the
+//! same per-tenant order, and the server's tenants-only metrics
+//! exposition (a pure function of those streams) is identical across
+//! runs and across server restarts. What the seed does *not* replay is
+//! wall-clock interleaving *between* tenants: latencies, retry timing,
+//! and cross-tenant arrival order vary run to run, which is why the
+//! report separates deterministic counts from timing measurements.
+
+use crate::chaos::ChaosConfig;
+use crate::client::{Client, ClientConfig, ClientError, ClientFault, Endpoint};
+use crate::frame::{Frame, RejectCode};
+use rsc_trace::adversary::Scenario;
+use rsc_trace::io::write_trace;
+use std::time::{Duration, Instant};
+
+/// The storm-heavy scenario mix `repro load` replays: weighted toward
+/// the generators that trigger correlated invalidation storms and
+/// eviction churn, with a random baseline to keep coverage honest.
+pub const STORM_MIX: [Scenario; 6] = [
+    Scenario::PhaseFlip {
+        branches: 8,
+        flip_after: 200,
+    },
+    Scenario::CorrelatedGroups {
+        groups: 4,
+        per_group: 8,
+        flip_every: 300,
+        churn: 150,
+    },
+    Scenario::ThresholdOscillator { window: 100 },
+    Scenario::BurstyHotSet { hot: 6, burst: 64 },
+    Scenario::PhaseFlip {
+        branches: 16,
+        flip_after: 500,
+    },
+    Scenario::UniformRandom { branches: 64 },
+];
+
+/// One load run's shape.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Daemon endpoint.
+    pub endpoint: Endpoint,
+    /// Concurrent clients (each owns `tenant % clients == id` tenants).
+    pub clients: usize,
+    /// Distinct tenants across all clients.
+    pub tenants: u64,
+    /// Event frames sent per tenant.
+    pub frames_per_tenant: u32,
+    /// Events per frame.
+    pub events_per_frame: u64,
+    /// Root seed; the whole plan derives from it.
+    pub seed: u64,
+    /// Client-seam chaos (torn frames, disconnects, slow-loris).
+    pub chaos: ChaosConfig,
+    /// Delay between slow-loris bytes.
+    pub loris_delay: Duration,
+    /// Transport retries per request.
+    pub max_retries: u32,
+}
+
+impl LoadConfig {
+    /// A small default storm against `endpoint`.
+    pub fn new(endpoint: Endpoint) -> Self {
+        LoadConfig {
+            endpoint,
+            clients: 4,
+            tenants: 16,
+            frames_per_tenant: 4,
+            events_per_frame: 500,
+            seed: 0,
+            chaos: ChaosConfig::off(),
+            loris_delay: Duration::from_micros(200),
+            max_retries: 8,
+        }
+    }
+}
+
+/// One planned `Events` frame (pure data; see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedFrame {
+    /// Destination tenant.
+    pub tenant: u64,
+    /// Scenario replayed by this frame.
+    pub scenario: Scenario,
+    /// Seed for the trace bytes.
+    pub trace_seed: u64,
+    /// Events in the frame.
+    pub events: u64,
+}
+
+impl PlannedFrame {
+    /// Renders the frame's trace payload (deterministic).
+    pub fn payload(&self) -> Vec<u8> {
+        let records = self.scenario.generate(self.events, self.trace_seed);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, records).expect("writing to a Vec cannot fail");
+        buf
+    }
+}
+
+/// The deterministic frame sequence for one client: round-robin over the
+/// client's tenants, `frames_per_tenant` rounds, scenario and trace seed
+/// drawn from the client's forked RNG stream.
+pub fn client_plan(cfg: &LoadConfig, client: usize) -> Vec<PlannedFrame> {
+    let mut rng = rsc_trace::rng::Xoshiro256::seed_from(cfg.seed).fork(client as u64);
+    let tenants: Vec<u64> = (0..cfg.tenants)
+        .filter(|t| (*t as usize) % cfg.clients.max(1) == client)
+        .collect();
+    let mut plan = Vec::with_capacity(tenants.len() * cfg.frames_per_tenant as usize);
+    for _round in 0..cfg.frames_per_tenant {
+        for &tenant in &tenants {
+            let scenario = STORM_MIX[(rng.next_u64() % STORM_MIX.len() as u64) as usize];
+            let trace_seed = rng.next_u64();
+            plan.push(PlannedFrame {
+                tenant,
+                scenario,
+                trace_seed,
+                events: cfg.events_per_frame,
+            });
+        }
+    }
+    plan
+}
+
+/// Chaos stream id offset for client seams (client *c* rolls from stream
+/// `CLIENT_CHAOS_STREAM + c`, never colliding with the storage seam).
+pub const CLIENT_CHAOS_STREAM: u64 = 0xC11E;
+
+/// What one load run did and measured.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Clients that ran.
+    pub clients: usize,
+    /// Tenants addressed.
+    pub tenants: u64,
+    /// `Events` frames sent (first attempts; retries not double-counted).
+    pub frames_sent: u64,
+    /// Frames acknowledged.
+    pub frames_acked: u64,
+    /// Frames rejected (sum of `rejects_by_code`).
+    pub frames_rejected: u64,
+    /// Rejects indexed like [`RejectCode::ALL`].
+    pub rejects_by_code: [u64; 6],
+    /// Requests that failed transport even after retries.
+    pub failed_requests: u64,
+    /// Events the server acknowledged applying.
+    pub events_acked: u64,
+    /// Transport retries across all clients.
+    pub retries: u64,
+    /// Injected torn frames.
+    pub chaos_torn: u64,
+    /// Injected disconnects.
+    pub chaos_disconnects: u64,
+    /// Injected slow-loris sends.
+    pub chaos_loris: u64,
+    /// Wall-clock run time.
+    pub elapsed: Duration,
+    /// Ingest latency percentiles/max over acknowledged or rejected
+    /// requests, in microseconds (send to response, retries included).
+    pub p50_us: u64,
+    /// 99th-percentile ingest latency (µs).
+    pub p99_us: u64,
+    /// Worst ingest latency (µs).
+    pub max_us: u64,
+}
+
+impl LoadReport {
+    /// Tenants served per wall-clock second.
+    pub fn tenants_per_sec(&self) -> f64 {
+        per_sec(self.tenants as f64, self.elapsed)
+    }
+
+    /// Frames resolved per wall-clock second.
+    pub fn frames_per_sec(&self) -> f64 {
+        per_sec(self.frames_sent as f64, self.elapsed)
+    }
+}
+
+fn per_sec(n: f64, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs == 0.0 {
+        0.0
+    } else {
+        n / secs
+    }
+}
+
+#[derive(Default)]
+struct ClientOutcome {
+    frames_sent: u64,
+    frames_acked: u64,
+    rejects_by_code: [u64; 6],
+    failed_requests: u64,
+    events_acked: u64,
+    retries: u64,
+    chaos_torn: u64,
+    chaos_disconnects: u64,
+    chaos_loris: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn code_index(code: RejectCode) -> usize {
+    RejectCode::ALL
+        .iter()
+        .position(|c| *c == code)
+        .expect("ALL covers every code")
+}
+
+fn run_client(cfg: &LoadConfig, client_id: usize) -> ClientOutcome {
+    let mut out = ClientOutcome::default();
+    let mut client_cfg = ClientConfig::new(cfg.endpoint.clone());
+    client_cfg.max_retries = cfg.max_retries;
+    client_cfg.loris_delay = cfg.loris_delay;
+    let mut client = Client::new(client_cfg);
+    let mut die = cfg.chaos.die(CLIENT_CHAOS_STREAM + client_id as u64);
+    for planned in client_plan(cfg, client_id) {
+        let frame = Frame::Events {
+            tenant: planned.tenant,
+            payload: planned.payload(),
+        };
+        // One roll per seam per frame keeps the roll sequence aligned
+        // with the plan regardless of which faults fire.
+        let torn = die.roll(cfg.chaos.torn_frame_per_mille);
+        let disconnect = die.roll(cfg.chaos.disconnect_per_mille);
+        let loris = die.roll(cfg.chaos.slow_loris_per_mille);
+        let tear_at = die.below(frame.encode().len() as u64) as usize;
+        let fault = if torn {
+            out.chaos_torn += 1;
+            ClientFault::Torn { keep: tear_at }
+        } else if disconnect {
+            out.chaos_disconnects += 1;
+            ClientFault::DisconnectFirst
+        } else if loris {
+            out.chaos_loris += 1;
+            ClientFault::SlowLoris
+        } else {
+            ClientFault::None
+        };
+        out.frames_sent += 1;
+        let start = Instant::now();
+        match client.request_with(&frame, fault) {
+            Ok(Frame::Ack { accepted, .. }) => {
+                out.frames_acked += 1;
+                out.events_acked += accepted;
+                out.latencies_us.push(start.elapsed().as_micros() as u64);
+            }
+            Ok(Frame::Reject { code, .. }) => {
+                out.rejects_by_code[code_index(code)] += 1;
+                out.latencies_us.push(start.elapsed().as_micros() as u64);
+            }
+            Ok(_) | Err(ClientError::Frame(_)) => out.failed_requests += 1,
+            Err(ClientError::Io(_)) => out.failed_requests += 1,
+        }
+    }
+    out.retries = client.retries;
+    out
+}
+
+/// Runs the load: `cfg.clients` threads, each replaying its
+/// deterministic plan, merged into one report.
+pub fn run_load(cfg: &LoadConfig) -> LoadReport {
+    let started = Instant::now();
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients.max(1))
+            .map(|id| scope.spawn(move || run_client(cfg, id)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load client panicked"))
+            .collect()
+    });
+    let mut report = LoadReport {
+        clients: cfg.clients.max(1),
+        tenants: cfg.tenants,
+        elapsed: started.elapsed(),
+        ..LoadReport::default()
+    };
+    let mut latencies: Vec<u64> = Vec::new();
+    for out in outcomes {
+        report.frames_sent += out.frames_sent;
+        report.frames_acked += out.frames_acked;
+        for (total, per_client) in report
+            .rejects_by_code
+            .iter_mut()
+            .zip(out.rejects_by_code.iter())
+        {
+            *total += per_client;
+        }
+        report.failed_requests += out.failed_requests;
+        report.events_acked += out.events_acked;
+        report.retries += out.retries;
+        report.chaos_torn += out.chaos_torn;
+        report.chaos_disconnects += out.chaos_disconnects;
+        report.chaos_loris += out.chaos_loris;
+        latencies.extend(out.latencies_us);
+    }
+    report.frames_rejected = report.rejects_by_code.iter().sum();
+    latencies.sort_unstable();
+    if !latencies.is_empty() {
+        report.p50_us = latencies[(latencies.len() - 1) / 2];
+        report.p99_us = latencies[(latencies.len() - 1) * 99 / 100];
+        report.max_us = *latencies.last().expect("nonempty");
+    }
+    report
+}
+
+/// Fetches the daemon's metrics exposition over a one-shot client.
+///
+/// # Errors
+///
+/// Returns a description of transport or protocol failures.
+pub fn fetch_metrics(endpoint: &Endpoint, tenants_only: bool) -> Result<String, String> {
+    let mut client = Client::new(ClientConfig::new(endpoint.clone()));
+    match client.request(&Frame::MetricsRequest { tenants_only }) {
+        Ok(Frame::MetricsText { text }) => Ok(text),
+        Ok(other) => Err(format!("unexpected metrics response: {other:?}")),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Asks the daemon to drain; returns `(flushed, failed)` tenant counts.
+///
+/// # Errors
+///
+/// Returns a description of transport or protocol failures.
+pub fn request_drain(endpoint: &Endpoint) -> Result<(u64, u64), String> {
+    let mut client = Client::new(ClientConfig::new(endpoint.clone()));
+    match client.request(&Frame::Drain) {
+        Ok(Frame::Ack {
+            accepted,
+            tenant_events,
+            ..
+        }) => Ok((accepted, tenant_events)),
+        Ok(other) => Err(format!("unexpected drain response: {other:?}")),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64) -> LoadConfig {
+        let mut cfg = LoadConfig::new(Endpoint::Tcp("unused".into()));
+        cfg.clients = 3;
+        cfg.tenants = 7;
+        cfg.frames_per_tenant = 2;
+        cfg.events_per_frame = 50;
+        cfg.seed = seed;
+        cfg
+    }
+
+    #[test]
+    fn plans_are_a_pure_function_of_the_seed() {
+        for client in 0..3 {
+            assert_eq!(client_plan(&cfg(42), client), client_plan(&cfg(42), client));
+        }
+        assert_ne!(client_plan(&cfg(42), 0), client_plan(&cfg(43), 0));
+    }
+
+    #[test]
+    fn tenants_are_partitioned_disjointly() {
+        let mut seen = std::collections::BTreeSet::new();
+        let c = cfg(1);
+        for client in 0..c.clients {
+            for frame in client_plan(&c, client) {
+                assert!(frame.tenant < c.tenants);
+                seen.insert((client, frame.tenant));
+            }
+        }
+        // Every tenant belongs to exactly one client.
+        let mut owners = std::collections::BTreeMap::new();
+        for (client, tenant) in seen {
+            let prev = owners.insert(tenant, client);
+            assert!(
+                prev.is_none() || prev == Some(client),
+                "tenant {tenant} owned by two clients"
+            );
+        }
+        assert_eq!(owners.len(), c.tenants as usize);
+    }
+
+    #[test]
+    fn payloads_replay_byte_identically() {
+        let plan = client_plan(&cfg(9), 1);
+        let again = client_plan(&cfg(9), 1);
+        for (a, b) in plan.iter().zip(again.iter()) {
+            assert_eq!(a.payload(), b.payload());
+        }
+    }
+}

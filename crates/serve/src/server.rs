@@ -1,0 +1,1088 @@
+//! The multi-tenant serving core: tenant registry, admission control,
+//! overload shedding, graceful drain, and the connection loops.
+//!
+//! # Concurrency shape
+//!
+//! There are no per-tenant worker threads. Each connection gets one
+//! thread; a frame for tenant *t* is applied *by the connection thread*
+//! under tenant *t*'s lock. Fairness and backpressure come from the
+//! per-tenant [`Gate`]: at most `queue_depth` operations may be admitted
+//! against one tenant at a time, and a thread that cannot acquire a
+//! permit within `backpressure_wait` turns its frame into an
+//! `Overloaded` reject. A slow or spammy tenant therefore stalls only
+//! connections carrying *its* frames — the accept loop and every other
+//! tenant's frames never wait on it.
+//!
+//! The registry is a `Mutex<HashMap<tenant, Slot>>` plus a condvar. A
+//! slot is `Live` (the tenant is in memory) or `Busy` (someone is
+//! restoring or evicting it); lookups wait out `Busy` and retry. A cell
+//! that was evicted after a thread cloned its `Arc` is detected by the
+//! `retired` flag under the tenant lock, and the thread re-resolves —
+//! which transparently restores the tenant from its checkpoint.
+//!
+//! # Lifecycle
+//!
+//! ```text
+//!            ingest/lookup            shed (coldest)
+//!   absent ───────────────▶ live ───────────────────▶ evicted (disk)
+//!      ▲                      │  ▲                        │
+//!      │        drain: flush  │  └────────────────────────┘
+//!      │        to disk, keep │         next touch restores
+//!      └── remove ◀───────────┘
+//! ```
+//!
+//! Drain (`SIGTERM` or a `Drain` frame) flips a flag that rejects new
+//! `Events` frames with `Draining`, then writes every live tenant to the
+//! checkpoint directory. Restart resolves tenants lazily from that
+//! directory, so a drained or evicted tenant resumes bit-identically.
+
+use crate::chaos::ChaosConfig;
+use crate::frame::{
+    read_frame_with_limit, write_frame, Frame, FrameError, RejectCode, MAX_FRAME_LEN,
+};
+use crate::storage::{CheckpointStore, StoreError};
+use crate::tenant::{QuotaConfig, Tenant};
+use rsc_control::{ControllerParams, MetricsRegistry};
+use rsc_util::sync::Gate;
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Everything the daemon needs to run.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Controller parameters shared by every tenant.
+    pub params: ControllerParams,
+    /// Shards per tenant controller.
+    pub shards_per_tenant: usize,
+    /// Per-tenant admission limits.
+    pub quota: QuotaConfig,
+    /// Per-tenant concurrent-operation bound (the ingest queue depth).
+    pub queue_depth: usize,
+    /// How long a frame may wait for a tenant permit before it is
+    /// rejected `Overloaded`.
+    pub backpressure_wait: Duration,
+    /// Live tenants above this count trigger eviction of the coldest
+    /// (0 = never shed).
+    pub max_live_tenants: usize,
+    /// Where evicted and drained tenants are checkpointed.
+    pub checkpoint_dir: PathBuf,
+    /// Fault injection for the storage seam.
+    pub chaos: ChaosConfig,
+    /// Socket read timeout; also the slow-loris patience per syscall.
+    pub io_timeout: Duration,
+    /// Largest accepted frame body.
+    pub max_frame_len: u32,
+}
+
+impl ServerConfig {
+    /// Sensible defaults rooted at `checkpoint_dir`.
+    pub fn new(checkpoint_dir: impl Into<PathBuf>) -> Self {
+        ServerConfig {
+            params: ControllerParams::scaled(),
+            shards_per_tenant: 2,
+            quota: QuotaConfig::unlimited(),
+            queue_depth: 8,
+            backpressure_wait: Duration::from_millis(500),
+            max_live_tenants: 0,
+            checkpoint_dir: checkpoint_dir.into(),
+            chaos: ChaosConfig::off(),
+            io_timeout: Duration::from_secs(2),
+            max_frame_len: MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// Monotonic process-wide counters, exported as server metrics.
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    frames: AtomicU64,
+    accepted_frames: AtomicU64,
+    rejected_frames: AtomicU64,
+    torn_frames: AtomicU64,
+    shed_tenants: AtomicU64,
+    shed_failures: AtomicU64,
+    restores: AtomicU64,
+    drain_flushed: AtomicU64,
+    store_errors: AtomicU64,
+}
+
+/// A point-in-time copy of the server counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Frames fully decoded.
+    pub frames: u64,
+    /// `Events` frames acknowledged.
+    pub accepted_frames: u64,
+    /// `Events` frames rejected (any code).
+    pub rejected_frames: u64,
+    /// Connections dropped on torn or corrupt frames.
+    pub torn_frames: u64,
+    /// Tenants evicted to disk under memory pressure.
+    pub shed_tenants: u64,
+    /// Evictions abandoned because the checkpoint write failed.
+    pub shed_failures: u64,
+    /// Tenants restored from disk.
+    pub restores: u64,
+    /// Tenants flushed by drain.
+    pub drain_flushed: u64,
+    /// Store reads that failed while rendering metrics.
+    pub store_errors: u64,
+}
+
+/// What [`Server::drain`] accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Tenants whose state reached disk.
+    pub flushed: u64,
+    /// Tenants whose checkpoint write kept failing (their state stayed
+    /// in memory; the exit code should reflect this).
+    pub failed: u64,
+}
+
+struct TenantCore {
+    tenant: Tenant,
+    /// Set (under this lock) when the cell was evicted; holders of stale
+    /// `Arc`s must re-resolve through the registry.
+    retired: bool,
+}
+
+struct TenantCell {
+    gate: Gate,
+    /// Last-touch stamp from the registry clock; the eviction policy
+    /// picks the minimum.
+    touch: AtomicU64,
+    core: Mutex<TenantCore>,
+}
+
+enum Slot {
+    Live(Arc<TenantCell>),
+    /// Restore or eviction in flight; wait on the condvar and re-check.
+    Busy,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    slots: Mutex<HashMap<u64, Slot>>,
+    slot_changed: Condvar,
+    store: Mutex<CheckpointStore>,
+    draining: AtomicBool,
+    clock: AtomicU64,
+    counters: Counters,
+}
+
+/// The serving core. Cheap to clone; all clones share state.
+#[derive(Clone)]
+pub struct Server {
+    shared: Arc<Shared>,
+}
+
+/// How many times a drain or eviction retries a failing checkpoint
+/// write before giving up (each retry re-rolls the chaos die).
+const SAVE_RETRIES: u32 = 10;
+
+impl Server {
+    /// Builds the serving core and opens the checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates checkpoint-directory creation failures.
+    pub fn new(mut cfg: ServerConfig) -> Result<Self, StoreError> {
+        cfg.queue_depth = cfg.queue_depth.max(1);
+        cfg.shards_per_tenant = cfg.shards_per_tenant.max(1);
+        let store = CheckpointStore::open(&cfg.checkpoint_dir, cfg.chaos)?;
+        Ok(Server {
+            shared: Arc::new(Shared {
+                cfg,
+                slots: Mutex::new(HashMap::new()),
+                slot_changed: Condvar::new(),
+                store: Mutex::new(store),
+                draining: AtomicBool::new(false),
+                clock: AtomicU64::new(0),
+                counters: Counters::default(),
+            }),
+        })
+    }
+
+    /// True once drain has begun (no new events are admitted).
+    pub fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Live (in-memory) tenant count.
+    pub fn live_tenants(&self) -> usize {
+        let slots = self.shared.slots.lock().unwrap();
+        slots
+            .values()
+            .filter(|s| matches!(s, Slot::Live(_)))
+            .count()
+    }
+
+    /// Current counter values.
+    pub fn counters(&self) -> CounterSnapshot {
+        let c = &self.shared.counters;
+        CounterSnapshot {
+            connections: c.connections.load(Ordering::Relaxed),
+            frames: c.frames.load(Ordering::Relaxed),
+            accepted_frames: c.accepted_frames.load(Ordering::Relaxed),
+            rejected_frames: c.rejected_frames.load(Ordering::Relaxed),
+            torn_frames: c.torn_frames.load(Ordering::Relaxed),
+            shed_tenants: c.shed_tenants.load(Ordering::Relaxed),
+            shed_failures: c.shed_failures.load(Ordering::Relaxed),
+            restores: c.restores.load(Ordering::Relaxed),
+            drain_flushed: c.drain_flushed.load(Ordering::Relaxed),
+            store_errors: c.store_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops admitting events and flushes every live tenant to the
+    /// checkpoint directory. Safe to call from any thread, including a
+    /// connection thread handling a `Drain` frame; a second call
+    /// re-flushes (same bytes) harmlessly.
+    pub fn drain(&self) -> DrainReport {
+        let shared = &self.shared;
+        shared.draining.store(true, Ordering::SeqCst);
+        let cells: Vec<Arc<TenantCell>> = {
+            let slots = shared.slots.lock().unwrap();
+            slots
+                .values()
+                .filter_map(|s| match s {
+                    Slot::Live(c) => Some(Arc::clone(c)),
+                    Slot::Busy => None,
+                })
+                .collect()
+        };
+        let mut report = DrainReport {
+            flushed: 0,
+            failed: 0,
+        };
+        for cell in cells {
+            let core = cell.core.lock().unwrap();
+            if core.retired {
+                continue;
+            }
+            let rec = core.tenant.to_record();
+            drop(core);
+            if save_with_retries(shared, &rec) {
+                report.flushed += 1;
+                shared
+                    .counters
+                    .drain_flushed
+                    .fetch_add(1, Ordering::Relaxed);
+            } else {
+                report.failed += 1;
+            }
+        }
+        report
+    }
+
+    /// Renders Prometheus metrics. With `tenants_only`, the output is
+    /// exactly the per-tenant families — a pure function of the streams
+    /// each tenant has ingested, which is what the restart-identity
+    /// check compares. Tenants on disk (evicted or drained) are included
+    /// by restoring a throwaway copy from their record.
+    pub fn metrics_text(&self, tenants_only: bool) -> String {
+        let shared = &self.shared;
+        let mut per_tenant: BTreeMap<u64, (u64, u64, u64, u64, u64)> = BTreeMap::new();
+        let live: Vec<(u64, Arc<TenantCell>)> = {
+            let slots = shared.slots.lock().unwrap();
+            slots
+                .iter()
+                .filter_map(|(id, s)| match s {
+                    Slot::Live(c) => Some((*id, Arc::clone(c))),
+                    Slot::Busy => None,
+                })
+                .collect()
+        };
+        for (id, cell) in live {
+            let core = cell.core.lock().unwrap();
+            if core.retired {
+                continue;
+            }
+            let t = &core.tenant;
+            per_tenant.insert(
+                id,
+                (
+                    t.accepted_events(),
+                    t.rejected_events(),
+                    t.bytes_ingested(),
+                    t.stats().incorrect,
+                    t.stream_digest(),
+                ),
+            );
+        }
+        let on_disk = {
+            let store = shared.store.lock().unwrap();
+            store.list().unwrap_or_default()
+        };
+        for id in on_disk {
+            if per_tenant.contains_key(&id) {
+                continue;
+            }
+            let loaded = {
+                let store = shared.store.lock().unwrap();
+                store.load(id)
+            };
+            let tenant = loaded
+                .ok()
+                .flatten()
+                .and_then(|rec| Tenant::from_record(&rec, shared.cfg.quota).ok());
+            match tenant {
+                Some(t) => {
+                    per_tenant.insert(
+                        id,
+                        (
+                            t.accepted_events(),
+                            t.rejected_events(),
+                            t.bytes_ingested(),
+                            t.stats().incorrect,
+                            t.stream_digest(),
+                        ),
+                    );
+                }
+                None => {
+                    shared.counters.store_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let mut reg = MetricsRegistry::new();
+        for (id, (events, rejected, bytes, incorrect, digest)) in &per_tenant {
+            let label = id.to_string();
+            let c = reg.counter_labeled(
+                "rsc_tenant_events_total",
+                "tenant",
+                &label,
+                "Events accepted per tenant",
+            );
+            reg.set_counter(c, *events);
+            let c = reg.counter_labeled(
+                "rsc_tenant_rejected_total",
+                "tenant",
+                &label,
+                "Events rejected per tenant",
+            );
+            reg.set_counter(c, *rejected);
+            let c = reg.counter_labeled(
+                "rsc_tenant_bytes_total",
+                "tenant",
+                &label,
+                "Payload bytes accepted per tenant",
+            );
+            reg.set_counter(c, *bytes);
+            let c = reg.counter_labeled(
+                "rsc_tenant_misspeculations_total",
+                "tenant",
+                &label,
+                "Misspeculated branches per tenant",
+            );
+            reg.set_counter(c, *incorrect);
+            let c = reg.counter_labeled(
+                "rsc_tenant_stream_digest",
+                "tenant",
+                &label,
+                "FNV-1a digest of the tenant's accepted payload sequence",
+            );
+            reg.set_counter(c, *digest);
+        }
+        if !tenants_only {
+            let snap = self.counters();
+            let pairs: [(&str, u64, &'static str); 10] = [
+                (
+                    "rsc_serve_connections_total",
+                    snap.connections,
+                    "Connections accepted",
+                ),
+                ("rsc_serve_frames_total", snap.frames, "Frames decoded"),
+                (
+                    "rsc_serve_accepted_frames_total",
+                    snap.accepted_frames,
+                    "Events frames acknowledged",
+                ),
+                (
+                    "rsc_serve_rejected_frames_total",
+                    snap.rejected_frames,
+                    "Events frames rejected",
+                ),
+                (
+                    "rsc_serve_torn_frames_total",
+                    snap.torn_frames,
+                    "Connections dropped on torn frames",
+                ),
+                (
+                    "rsc_serve_shed_tenants_total",
+                    snap.shed_tenants,
+                    "Tenants evicted to disk",
+                ),
+                (
+                    "rsc_serve_shed_failures_total",
+                    snap.shed_failures,
+                    "Evictions abandoned on write failure",
+                ),
+                (
+                    "rsc_serve_restores_total",
+                    snap.restores,
+                    "Tenants restored from disk",
+                ),
+                (
+                    "rsc_serve_drain_flushed_total",
+                    snap.drain_flushed,
+                    "Tenants flushed by drain",
+                ),
+                (
+                    "rsc_serve_store_errors_total",
+                    snap.store_errors,
+                    "Store read failures",
+                ),
+            ];
+            for (name, value, help) in pairs {
+                let c = reg.counter(name, help);
+                reg.set_counter(c, value);
+            }
+            let g = reg.gauge("rsc_serve_live_tenants", "Tenants resident in memory");
+            reg.set_gauge(g, self.live_tenants() as f64);
+        }
+        reg.render_prometheus()
+    }
+
+    /// Applies one decoded request frame and returns the response.
+    /// Exposed so tests (and in-process harnesses) can drive the server
+    /// without sockets.
+    pub fn respond(&self, frame: Frame) -> Frame {
+        self.shared.counters.frames.fetch_add(1, Ordering::Relaxed);
+        match frame {
+            Frame::Ping => Frame::Pong,
+            Frame::MetricsRequest { tenants_only } => Frame::MetricsText {
+                text: self.metrics_text(tenants_only),
+            },
+            Frame::Drain => {
+                let report = self.drain();
+                // `Drain` acknowledges with flushed/failed counts in the
+                // `Ack` numeric slots (tenant 0 is reserved).
+                Frame::Ack {
+                    tenant: 0,
+                    accepted: report.flushed,
+                    tenant_events: report.failed,
+                }
+            }
+            Frame::Events { tenant, payload } => self.ingest_frame(tenant, &payload),
+            // Response kinds arriving at the server are a protocol error.
+            Frame::Ack { .. }
+            | Frame::Reject { .. }
+            | Frame::MetricsText { .. }
+            | Frame::Pong
+            | Frame::ServerError { .. } => Frame::ServerError {
+                detail: "client sent a response frame".to_string(),
+            },
+        }
+    }
+
+    fn ingest_frame(&self, tenant: u64, payload: &[u8]) -> Frame {
+        let shared = &self.shared;
+        if self.draining() {
+            shared
+                .counters
+                .rejected_frames
+                .fetch_add(1, Ordering::Relaxed);
+            return Frame::Reject {
+                tenant,
+                code: RejectCode::Draining,
+                detail: "server is draining".to_string(),
+            };
+        }
+        loop {
+            let cell = match self.resolve(tenant) {
+                Ok(c) => c,
+                Err(detail) => {
+                    shared
+                        .counters
+                        .rejected_frames
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Frame::Reject {
+                        tenant,
+                        code: RejectCode::TenantUnavailable,
+                        detail,
+                    };
+                }
+            };
+            let Some(_permit) = cell.gate.acquire_timeout(shared.cfg.backpressure_wait) else {
+                shared
+                    .counters
+                    .rejected_frames
+                    .fetch_add(1, Ordering::Relaxed);
+                return Frame::Reject {
+                    tenant,
+                    code: RejectCode::Overloaded,
+                    detail: format!(
+                        "tenant ingest queue full ({} deep) for {:?}",
+                        shared.cfg.queue_depth, shared.cfg.backpressure_wait
+                    ),
+                };
+            };
+            let mut core = cell.core.lock().unwrap();
+            if core.retired {
+                // Evicted between resolve and lock; re-resolve (which
+                // restores from the checkpoint just written).
+                continue;
+            }
+            cell.touch.store(
+                shared.clock.fetch_add(1, Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+            return match core.tenant.ingest(payload) {
+                Ok(report) => {
+                    shared
+                        .counters
+                        .accepted_frames
+                        .fetch_add(1, Ordering::Relaxed);
+                    Frame::Ack {
+                        tenant,
+                        accepted: report.accepted,
+                        tenant_events: report.tenant_events,
+                    }
+                }
+                Err(rej) => {
+                    shared
+                        .counters
+                        .rejected_frames
+                        .fetch_add(1, Ordering::Relaxed);
+                    Frame::Reject {
+                        tenant,
+                        code: rej.code,
+                        detail: rej.detail,
+                    }
+                }
+            };
+        }
+    }
+
+    /// Returns the live cell for a tenant, restoring it from disk or
+    /// creating it fresh as needed, waiting out concurrent restores.
+    fn resolve(&self, tenant: u64) -> Result<Arc<TenantCell>, String> {
+        let shared = &self.shared;
+        let mut slots = shared.slots.lock().unwrap();
+        loop {
+            match slots.get(&tenant) {
+                Some(Slot::Live(c)) => return Ok(Arc::clone(c)),
+                Some(Slot::Busy) => {
+                    slots = shared.slot_changed.wait(slots).unwrap();
+                }
+                None => break,
+            }
+        }
+        slots.insert(tenant, Slot::Busy);
+        drop(slots);
+        let built = self.restore_or_create(tenant);
+        let mut slots = shared.slots.lock().unwrap();
+        match built {
+            Ok(cell) => {
+                slots.insert(tenant, Slot::Live(Arc::clone(&cell)));
+                shared.slot_changed.notify_all();
+                drop(slots);
+                self.maybe_shed(tenant);
+                Ok(cell)
+            }
+            Err(detail) => {
+                slots.remove(&tenant);
+                shared.slot_changed.notify_all();
+                Err(detail)
+            }
+        }
+    }
+
+    fn restore_or_create(&self, tenant: u64) -> Result<Arc<TenantCell>, String> {
+        let shared = &self.shared;
+        let record = {
+            let store = shared.store.lock().unwrap();
+            store.load(tenant)
+        };
+        let t = match record {
+            Ok(Some(rec)) => {
+                let t = Tenant::from_record(&rec, shared.cfg.quota)
+                    .map_err(|e| format!("checkpoint for tenant {tenant} rejected: {e}"))?;
+                shared.counters.restores.fetch_add(1, Ordering::Relaxed);
+                t
+            }
+            Ok(None) => Tenant::new(
+                tenant,
+                shared.cfg.params,
+                shared.cfg.shards_per_tenant,
+                shared.cfg.quota,
+            )
+            .map_err(|e| format!("tenant construction failed: {e}"))?,
+            Err(e) => return Err(format!("store read for tenant {tenant} failed: {e}")),
+        };
+        Ok(Arc::new(TenantCell {
+            gate: Gate::new(shared.cfg.queue_depth),
+            touch: AtomicU64::new(shared.clock.fetch_add(1, Ordering::Relaxed)),
+            core: Mutex::new(TenantCore {
+                tenant: t,
+                retired: false,
+            }),
+        }))
+    }
+
+    /// Evicts coldest tenants until the live count is back under the
+    /// configured ceiling. `protect` (the tenant that just came live) is
+    /// never the victim.
+    fn maybe_shed(&self, protect: u64) {
+        let shared = &self.shared;
+        if shared.cfg.max_live_tenants == 0 {
+            return;
+        }
+        loop {
+            let victim = {
+                let mut slots = shared.slots.lock().unwrap();
+                let live: Vec<(u64, u64)> = slots
+                    .iter()
+                    .filter_map(|(id, s)| match s {
+                        Slot::Live(c) if *id != protect => {
+                            Some((*id, c.touch.load(Ordering::Relaxed)))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                let live_total = slots
+                    .values()
+                    .filter(|s| matches!(s, Slot::Live(_)))
+                    .count();
+                if live_total <= shared.cfg.max_live_tenants {
+                    return;
+                }
+                let Some(&(victim, _)) = live.iter().min_by_key(|(_, touch)| *touch) else {
+                    return;
+                };
+                let Some(Slot::Live(cell)) = slots.insert(victim, Slot::Busy) else {
+                    unreachable!("victim was selected from live slots under this lock");
+                };
+                (victim, cell)
+            };
+            let (victim_id, cell) = victim;
+            let mut core = cell.core.lock().unwrap();
+            core.retired = true;
+            let rec = core.tenant.to_record();
+            drop(core);
+            if save_with_retries(shared, &rec) {
+                let mut slots = shared.slots.lock().unwrap();
+                slots.remove(&victim_id);
+                shared.slot_changed.notify_all();
+                shared.counters.shed_tenants.fetch_add(1, Ordering::Relaxed);
+            } else {
+                // The checkpoint never reached disk; losing the tenant
+                // is worse than running over the ceiling. Un-retire.
+                let mut core = cell.core.lock().unwrap();
+                core.retired = false;
+                drop(core);
+                let mut slots = shared.slots.lock().unwrap();
+                slots.insert(victim_id, Slot::Live(cell));
+                shared.slot_changed.notify_all();
+                shared
+                    .counters
+                    .shed_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+
+    /// Accepts TCP connections until `stop` is set or drain begins, one
+    /// thread per connection. Joins every connection thread before
+    /// returning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors (per-connection errors only end
+    /// that connection).
+    pub fn serve_tcp(&self, listener: TcpListener, stop: Arc<AtomicBool>) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        self.accept_loop(stop, move || match listener.accept() {
+            Ok((s, _)) => {
+                s.set_nonblocking(false).ok();
+                Accepted::Conn(Box::new(s))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Accepted::Empty,
+            Err(e) => Accepted::Fatal(e),
+        })
+    }
+
+    /// Accepts Unix-socket connections until `stop` is set or drain
+    /// begins. Same semantics as [`Server::serve_tcp`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors.
+    pub fn serve_unix(&self, listener: UnixListener, stop: Arc<AtomicBool>) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        self.accept_loop(stop, move || match listener.accept() {
+            Ok((s, _)) => {
+                s.set_nonblocking(false).ok();
+                Accepted::Conn(Box::new(s))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Accepted::Empty,
+            Err(e) => Accepted::Fatal(e),
+        })
+    }
+
+    fn accept_loop(
+        &self,
+        stop: Arc<AtomicBool>,
+        mut accept: impl FnMut() -> Accepted,
+    ) -> io::Result<()> {
+        let mut handles = Vec::new();
+        let result = loop {
+            if stop.load(Ordering::SeqCst) || self.draining() {
+                break Ok(());
+            }
+            match accept() {
+                Accepted::Conn(stream) => {
+                    self.shared
+                        .counters
+                        .connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    let server = self.clone();
+                    let stop = Arc::clone(&stop);
+                    handles.push(std::thread::spawn(move || {
+                        server.handle_conn(stream, &stop);
+                    }));
+                }
+                Accepted::Empty => std::thread::sleep(Duration::from_millis(5)),
+                Accepted::Fatal(e) => break Err(e),
+            }
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        result
+    }
+
+    /// Serves one connection until EOF, a torn frame, or shutdown.
+    /// Public so in-process tests can drive a duplex pair directly.
+    pub fn handle_conn(&self, mut stream: Box<dyn ServeStream>, stop: &AtomicBool) {
+        let _ = stream.set_stream_read_timeout(Some(self.shared.cfg.io_timeout));
+        loop {
+            let mut counting = CountingReader {
+                inner: &mut stream,
+                read: 0,
+            };
+            match read_frame_with_limit(&mut counting, self.shared.cfg.max_frame_len) {
+                Ok(frame) => {
+                    let reply = self.respond(frame);
+                    if write_frame(&mut stream, &reply).is_err() {
+                        return;
+                    }
+                }
+                Err(FrameError::Eof) => return,
+                Err(FrameError::Io(e)) if is_timeout(&e) && counting.read == 0 => {
+                    // Idle at a frame boundary: keep waiting unless the
+                    // process is shutting down.
+                    if stop.load(Ordering::SeqCst) || self.draining() {
+                        return;
+                    }
+                }
+                Err(_) => {
+                    // Torn, corrupt, oversized, or stalled mid-frame
+                    // (slow-loris past its deadline): drop this
+                    // connection; everyone else is unaffected.
+                    self.shared
+                        .counters
+                        .torn_frames
+                        .fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn save_with_retries(shared: &Shared, rec: &crate::storage::TenantRecord) -> bool {
+    let mut store = shared.store.lock().unwrap();
+    for _ in 0..SAVE_RETRIES {
+        match store.save(rec) {
+            Ok(()) => {
+                // Chaos may have corrupted the bytes on the way down;
+                // trust the file only if it reads back. (With chaos off
+                // this read-back is the crash-safety audit, not a tax.)
+                match store.load(rec.tenant) {
+                    Ok(Some(back)) if &back == rec => return true,
+                    _ => continue,
+                }
+            }
+            Err(_) => continue,
+        }
+    }
+    false
+}
+
+enum Accepted {
+    Conn(Box<dyn ServeStream>),
+    Empty,
+    Fatal(io::Error),
+}
+
+/// The stream surface the connection loop needs; lets TCP and Unix
+/// sockets (and test duplex pairs) share one code path.
+pub trait ServeStream: Read + Write + Send {
+    /// Applies a read timeout, where the transport supports one.
+    fn set_stream_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()>;
+}
+
+impl ServeStream for TcpStream {
+    fn set_stream_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+}
+
+impl ServeStream for UnixStream {
+    fn set_stream_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+struct CountingReader<'a, R: Read> {
+    inner: &'a mut R,
+    read: u64,
+}
+
+impl<R: Read> Read for CountingReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.read += n as u64;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_trace::adversary::Scenario;
+    use rsc_trace::io::write_trace;
+
+    fn payload(events: u64, seed: u64) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_trace(
+            &mut buf,
+            Scenario::UniformRandom { branches: 32 }.generate(events, seed),
+        )
+        .unwrap();
+        buf
+    }
+
+    fn server_in(dir: &str, tweak: impl FnOnce(&mut ServerConfig)) -> Server {
+        let dir = std::env::temp_dir().join(dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = ServerConfig::new(dir);
+        tweak(&mut cfg);
+        Server::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn events_are_acked_and_counted() {
+        let srv = server_in("rsc_srv_ack", |_| {});
+        let reply = srv.respond(Frame::Events {
+            tenant: 7,
+            payload: payload(300, 1),
+        });
+        assert_eq!(
+            reply,
+            Frame::Ack {
+                tenant: 7,
+                accepted: 300,
+                tenant_events: 300
+            }
+        );
+        assert_eq!(srv.counters().accepted_frames, 1);
+        assert_eq!(srv.live_tenants(), 1);
+        assert_eq!(srv.respond(Frame::Ping), Frame::Pong);
+    }
+
+    #[test]
+    fn quota_and_payload_rejects_are_structured() {
+        let srv = server_in("rsc_srv_rej", |cfg| {
+            cfg.quota = QuotaConfig {
+                max_events: 100,
+                max_bytes: 0,
+            };
+        });
+        let reply = srv.respond(Frame::Events {
+            tenant: 1,
+            payload: payload(200, 1),
+        });
+        assert!(
+            matches!(
+                reply,
+                Frame::Reject {
+                    tenant: 1,
+                    code: RejectCode::QuotaEvents,
+                    ..
+                }
+            ),
+            "got {reply:?}"
+        );
+        let reply = srv.respond(Frame::Events {
+            tenant: 1,
+            payload: b"garbage".to_vec(),
+        });
+        assert!(matches!(
+            reply,
+            Frame::Reject {
+                code: RejectCode::BadPayload,
+                ..
+            }
+        ));
+        assert_eq!(srv.counters().rejected_frames, 2);
+    }
+
+    #[test]
+    fn drain_rejects_new_events_and_flushes() {
+        let srv = server_in("rsc_srv_drain", |_| {});
+        srv.respond(Frame::Events {
+            tenant: 3,
+            payload: payload(100, 2),
+        });
+        let reply = srv.respond(Frame::Drain);
+        assert_eq!(
+            reply,
+            Frame::Ack {
+                tenant: 0,
+                accepted: 1,
+                tenant_events: 0
+            }
+        );
+        assert!(srv.draining());
+        let reply = srv.respond(Frame::Events {
+            tenant: 3,
+            payload: payload(100, 2),
+        });
+        assert!(matches!(
+            reply,
+            Frame::Reject {
+                code: RejectCode::Draining,
+                ..
+            }
+        ));
+        // The flushed record is on disk and restores bit-identically.
+        let srv2 = Server::new(ServerConfig::new(
+            std::env::temp_dir().join("rsc_srv_drain"),
+        ))
+        .unwrap();
+        assert_eq!(
+            srv2.metrics_text(true),
+            srv.metrics_text(true),
+            "exposition identity across restart"
+        );
+    }
+
+    #[test]
+    fn shed_evicts_coldest_and_restores_on_touch() {
+        let srv = server_in("rsc_srv_shed", |cfg| {
+            cfg.max_live_tenants = 2;
+        });
+        for tenant in [1, 2, 3] {
+            srv.respond(Frame::Events {
+                tenant,
+                payload: payload(50, tenant),
+            });
+        }
+        assert_eq!(srv.live_tenants(), 2);
+        assert_eq!(srv.counters().shed_tenants, 1);
+        // Tenant 1 was coldest; touching it restores from disk with its
+        // history intact.
+        let reply = srv.respond(Frame::Events {
+            tenant: 1,
+            payload: payload(50, 9),
+        });
+        assert_eq!(
+            reply,
+            Frame::Ack {
+                tenant: 1,
+                accepted: 50,
+                tenant_events: 100
+            }
+        );
+        assert_eq!(srv.counters().restores, 1);
+    }
+
+    #[test]
+    fn metrics_cover_live_and_evicted_tenants() {
+        let srv = server_in("rsc_srv_metrics", |cfg| {
+            cfg.max_live_tenants = 1;
+        });
+        srv.respond(Frame::Events {
+            tenant: 10,
+            payload: payload(40, 1),
+        });
+        srv.respond(Frame::Events {
+            tenant: 11,
+            payload: payload(60, 2),
+        });
+        assert_eq!(srv.live_tenants(), 1);
+        let text = srv.metrics_text(true);
+        assert!(
+            text.contains("rsc_tenant_events_total{tenant=\"10\"} 40"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rsc_tenant_events_total{tenant=\"11\"} 60"),
+            "{text}"
+        );
+        let full = srv.metrics_text(false);
+        assert!(full.contains("rsc_serve_shed_tenants_total 1"), "{full}");
+    }
+
+    #[test]
+    fn backpressure_rejects_overloaded_tenant_only() {
+        let srv = server_in("rsc_srv_backpressure", |cfg| {
+            cfg.queue_depth = 1;
+            cfg.backpressure_wait = Duration::from_millis(50);
+        });
+        // Create the tenant, then occupy its one permit from another
+        // thread while we try to ingest.
+        srv.respond(Frame::Events {
+            tenant: 5,
+            payload: payload(10, 1),
+        });
+        let cell = srv.resolve(5).unwrap();
+        let permit = cell.gate.acquire();
+        let reply = srv.respond(Frame::Events {
+            tenant: 5,
+            payload: payload(10, 2),
+        });
+        assert!(
+            matches!(
+                reply,
+                Frame::Reject {
+                    tenant: 5,
+                    code: RejectCode::Overloaded,
+                    ..
+                }
+            ),
+            "got {reply:?}"
+        );
+        // A different tenant sails through while 5 is saturated.
+        let reply = srv.respond(Frame::Events {
+            tenant: 6,
+            payload: payload(10, 3),
+        });
+        assert!(matches!(reply, Frame::Ack { tenant: 6, .. }));
+        drop(permit);
+        let reply = srv.respond(Frame::Events {
+            tenant: 5,
+            payload: payload(10, 4),
+        });
+        assert!(matches!(reply, Frame::Ack { tenant: 5, .. }));
+    }
+}

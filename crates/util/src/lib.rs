@@ -4,8 +4,11 @@
 //! workspace. Currently: [`parallel`], the scoped order-preserving parallel
 //! map (promoted out of `rsc-bench` so the library crates — offline profile
 //! sharding in `rsc-profile`, experiment fan-out in `rsc-bench` — share one
-//! implementation and one global thread cap).
+//! implementation and one global thread cap), and [`sync`], the bounded
+//! admission gate behind the serve daemon's per-tenant backpressure.
 
 pub mod parallel;
+pub mod sync;
 
 pub use parallel::{max_threads, par_map, set_max_threads};
+pub use sync::{Gate, GatePermit};

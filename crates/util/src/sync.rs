@@ -1,0 +1,202 @@
+//! Bounded-admission primitives for backpressure.
+//!
+//! [`Gate`] is a counting semaphore with a hard capacity: `acquire`
+//! blocks while `cap` permits are outstanding, so a producer that is
+//! faster than its consumer stalls *itself* instead of growing an
+//! unbounded queue. The serve daemon puts one gate in front of every
+//! tenant's ingest path — a slow tenant's connections pile up on that
+//! tenant's gate and nowhere else.
+//!
+//! Permits are RAII ([`GatePermit`]), so a panicking holder still
+//! releases its slot and cannot deadlock the remaining waiters.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A counting semaphore with a fixed capacity.
+///
+/// # Examples
+///
+/// ```
+/// use rsc_util::sync::Gate;
+///
+/// let gate = Gate::new(2);
+/// let a = gate.acquire();
+/// let b = gate.try_acquire().expect("one slot left");
+/// assert!(gate.try_acquire().is_none(), "gate is full");
+/// drop(a);
+/// assert!(gate.try_acquire().is_some());
+/// # drop(b);
+/// ```
+#[derive(Debug)]
+pub struct Gate {
+    cap: usize,
+    held: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Gate {
+    /// A gate admitting at most `cap` concurrent holders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero — a gate nobody can pass is a deadlock,
+    /// not a configuration.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "gate capacity must be at least 1");
+        Gate {
+            cap,
+            held: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Permits currently outstanding.
+    pub fn in_use(&self) -> usize {
+        *self.held.lock().expect("gate lock")
+    }
+
+    /// Blocks until a permit is free, then takes it.
+    pub fn acquire(&self) -> GatePermit<'_> {
+        let mut held = self.held.lock().expect("gate lock");
+        while *held >= self.cap {
+            held = self.freed.wait(held).expect("gate lock");
+        }
+        *held += 1;
+        GatePermit { gate: self }
+    }
+
+    /// Takes a permit if one is free right now.
+    pub fn try_acquire(&self) -> Option<GatePermit<'_>> {
+        let mut held = self.held.lock().expect("gate lock");
+        if *held >= self.cap {
+            return None;
+        }
+        *held += 1;
+        Some(GatePermit { gate: self })
+    }
+
+    /// Blocks up to `timeout` for a permit; `None` on timeout. Lets a
+    /// stalled producer give up with a structured error instead of
+    /// waiting forever on a tenant that will never drain.
+    pub fn acquire_timeout(&self, timeout: Duration) -> Option<GatePermit<'_>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut held = self.held.lock().expect("gate lock");
+        while *held >= self.cap {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, res) = self
+                .freed
+                .wait_timeout(held, deadline - now)
+                .expect("gate lock");
+            held = guard;
+            if res.timed_out() && *held >= self.cap {
+                return None;
+            }
+        }
+        *held += 1;
+        Some(GatePermit { gate: self })
+    }
+
+    fn release(&self) {
+        let mut held = self.held.lock().expect("gate lock");
+        *held = held.saturating_sub(1);
+        self.freed.notify_one();
+    }
+}
+
+/// RAII permit returned by [`Gate::acquire`]; releasing is dropping.
+#[derive(Debug)]
+pub struct GatePermit<'a> {
+    gate: &'a Gate,
+}
+
+impl Drop for GatePermit<'_> {
+    fn drop(&mut self) {
+        self.gate.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn capacity_bounds_concurrent_holders() {
+        let gate = Gate::new(3);
+        let a = gate.acquire();
+        let b = gate.acquire();
+        let c = gate.acquire();
+        assert_eq!(gate.in_use(), 3);
+        assert!(gate.try_acquire().is_none());
+        drop(b);
+        assert_eq!(gate.in_use(), 2);
+        let d = gate.try_acquire().expect("freed slot is reusable");
+        drop((a, c, d));
+        assert_eq!(gate.in_use(), 0);
+    }
+
+    #[test]
+    fn acquire_timeout_gives_up_when_full() {
+        let gate = Gate::new(1);
+        let _held = gate.acquire();
+        let start = std::time::Instant::now();
+        assert!(gate.acquire_timeout(Duration::from_millis(30)).is_none());
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn blocked_acquirers_wake_in_bounded_time() {
+        let gate = Arc::new(Gate::new(2));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let inside = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let gate = gate.clone();
+                let peak = peak.clone();
+                let inside = inside.clone();
+                std::thread::spawn(move || {
+                    let _permit = gate.acquire();
+                    let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(2));
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "capacity was exceeded");
+    }
+
+    #[test]
+    fn panicking_holder_still_releases() {
+        let gate = Arc::new(Gate::new(1));
+        let g2 = gate.clone();
+        let _ = std::thread::spawn(move || {
+            let _permit = g2.acquire();
+            panic!("holder dies");
+        })
+        .join();
+        assert!(
+            gate.acquire_timeout(Duration::from_millis(500)).is_some(),
+            "permit leaked by a panicking holder"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_is_rejected() {
+        let _ = Gate::new(0);
+    }
+}

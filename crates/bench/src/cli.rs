@@ -22,6 +22,7 @@ subcommands (own their argument lists):
   fuzz            coverage-guided scenario fuzzing with analytic oracle
   serve           multi-tenant controller daemon (quotas, drain, chaos)
   load            seeded load/chaos storm against a serve daemon
+  pareto          benefit-vs-misspeculation sweeps across the policy zoo
 
 experiments: table1 table2 table3 table4 table5 fig2 fig3 fig5 fig6
   fig7 fig8 fig9 oscillation dynamo confidence regions variance

@@ -22,6 +22,7 @@ pub fn run(args: &[String]) -> i32 {
     let mut artifact_dir = PathBuf::from("conformance-artifacts");
     let mut metrics_out: Option<PathBuf> = None;
     let mut shards: Option<usize> = None;
+    let mut policies = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -65,6 +66,7 @@ pub fn run(args: &[String]) -> i32 {
                 }
                 shards = Some(n);
             }
+            "--policies" => policies = true,
             other => {
                 eprintln!("unknown conformance option: {other}");
                 return 2;
@@ -75,7 +77,11 @@ pub fn run(args: &[String]) -> i32 {
     if let Some(path) = replay {
         return run_replay(&path);
     }
-    let code = run_campaign(&config, shards, &artifact_dir);
+    let code = if policies {
+        run_policy_campaign(&config)
+    } else {
+        run_campaign(&config, shards, &artifact_dir)
+    };
     if let Some(mpath) = &metrics_out {
         export_campaign_metrics(&config, mpath);
     }
@@ -137,6 +143,48 @@ fn run_replay(path: &std::path::Path) -> i32 {
         Ok(()) => {
             println!("divergence no longer reproduces (fixed?)");
             0
+        }
+    }
+}
+
+/// The `--policies` sweep: every builtin policy locksteps its chunked
+/// and sharded fast paths against its own per-event semantics (and the
+/// paper FSM against the golden reference). Exit semantics mirror the
+/// plain campaign: with a fault injected, catching it is success.
+fn run_policy_campaign(config: &CampaignConfig) -> i32 {
+    println!(
+        "policy-zoo campaign: seeds {}..{}, {} events/trace, policies {}{}",
+        config.seed_start,
+        config.seed_end,
+        config.events,
+        rsc_control::BUILTIN_POLICY_IDS.join(", "),
+        match config.fault {
+            Some(f) => format!(", injected fault {f}"),
+            None => String::new(),
+        },
+    );
+    let report = campaign::run_policies(config);
+    println!(
+        "ran {} differential cases ({} events per controller)",
+        report.cases, report.events_fed
+    );
+    match (report.failure, config.fault) {
+        (None, None) => {
+            println!("no divergences: every policy's fast paths match its per-event semantics");
+            0
+        }
+        (None, Some(fault)) => {
+            println!("FAIL: injected fault {fault} was NOT caught");
+            1
+        }
+        (Some(div), fault) => {
+            println!("{div}");
+            if fault.is_some() {
+                println!("injected fault caught: harness self-test passed");
+                0
+            } else {
+                1
+            }
         }
     }
 }
@@ -257,6 +305,18 @@ mod tests {
             "0..1".into(),
             "--events".into(),
             "1000".into(),
+        ]);
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn policy_campaign_exits_zero() {
+        let code = run(&[
+            "--seeds".into(),
+            "0..1".into(),
+            "--events".into(),
+            "600".into(),
+            "--policies".into(),
         ]);
         assert_eq!(code, 0);
     }

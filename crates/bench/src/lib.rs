@@ -13,6 +13,7 @@ pub mod load_cli;
 pub mod observe_cli;
 pub mod options;
 pub mod parallel;
+pub mod pareto_cli;
 pub mod resilience_cli;
 pub mod serve_cli;
 pub mod table;

@@ -26,6 +26,9 @@ fn main() {
     if args.first().map(String::as_str) == Some("load") {
         std::process::exit(rsc_bench::load_cli::run(&args[1..]));
     }
+    if args.first().map(String::as_str) == Some("pareto") {
+        std::process::exit(rsc_bench::pareto_cli::run(&args[1..]));
+    }
     let top = match rsc_bench::cli::parse(&args) {
         Ok(top) => top,
         Err(e) => {

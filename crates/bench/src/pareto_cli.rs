@@ -1,0 +1,440 @@
+//! The `repro pareto` subcommand: Fig. 2-style benefit-vs-misspeculation
+//! sweeps across the controller zoo.
+//!
+//! Each policy traces one curve: its aggressiveness knob is swept over
+//! five settings, each run over a fixed set of adversarial workloads,
+//! and the aggregate correct/incorrect speculation counts per 1,000
+//! events become one point. Together the curves show what the policy
+//! seam buys — how much speculation benefit each control strategy
+//! harvests at a given misspeculation budget:
+//!
+//! * `paper-fsm` and `adaptive-hysteresis` sweep `selection_threshold`
+//!   (how biased a branch must look before it is optimized);
+//! * `perceptron` sweeps its confidence margin `theta`;
+//! * `cost-aware` sweeps the assumed recovery penalty in cycles.
+//!
+//! Results are written to `BENCH_pareto.json`. `--check` additionally
+//! asserts that at least three policies produce *monotone-sane* curves
+//! (benefit and misspeculation both non-decreasing as the knob
+//! loosens, within slack) — the CI smoke gate for the policy seam.
+
+use rsc_control::{
+    AdaptiveHysteresis, ControllerParams, CostAware, PaperFsm, Perceptron, Policy,
+    ReactiveController, TransitionLogPolicy, BUILTIN_POLICY_IDS,
+};
+use rsc_trace::Scenario;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Events fed per (policy, knob, scenario) cell by default. Large enough
+/// that every scenario leaves the monitor state many times at the
+/// scaled-model time constants.
+const DEFAULT_EVENTS: u64 = 200_000;
+
+/// Chunk size for the bulk-routed fast path.
+const CHUNK: usize = 4_096;
+
+/// Relative slack for the `--check` monotonicity gate: adjacent points
+/// may regress by up to this fraction before the curve is called
+/// non-monotone. Absorbs knee flatness without accepting inversions.
+const SLACK: f64 = 0.02;
+
+/// One point on a policy's curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Name of the swept knob.
+    pub knob: &'static str,
+    /// Knob setting (most conservative first).
+    pub value: f64,
+    /// Events fed across all scenarios.
+    pub events: u64,
+    /// Correct speculations across all scenarios.
+    pub correct: u64,
+    /// Misspeculations across all scenarios.
+    pub incorrect: u64,
+}
+
+impl ParetoPoint {
+    /// Correct speculations per 1,000 events — the benefit axis.
+    pub fn benefit_per_1k(&self) -> f64 {
+        1_000.0 * self.correct as f64 / self.events.max(1) as f64
+    }
+
+    /// Misspeculations per 1,000 events — the cost axis.
+    pub fn misspec_per_1k(&self) -> f64 {
+        1_000.0 * self.incorrect as f64 / self.events.max(1) as f64
+    }
+}
+
+/// One policy's swept curve, points ordered most-conservative first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoCurve {
+    /// Policy id (one of [`BUILTIN_POLICY_IDS`]).
+    pub policy: &'static str,
+    /// Curve points, one per knob setting.
+    pub points: Vec<ParetoPoint>,
+}
+
+impl ParetoCurve {
+    /// Whether the curve is monotone-sane: walking from the most
+    /// conservative knob setting to the loosest, benefit and
+    /// misspeculation must both be non-decreasing within [`SLACK`].
+    pub fn is_monotone_sane(&self) -> bool {
+        self.points.windows(2).all(|w| {
+            let ok = |a: f64, b: f64| b >= a * (1.0 - SLACK) - 1e-9;
+            ok(w[0].benefit_per_1k(), w[1].benefit_per_1k())
+                && ok(w[0].misspec_per_1k(), w[1].misspec_per_1k())
+        })
+    }
+}
+
+/// The workloads every cell runs: biased phases that invalidate, a
+/// churning hot set, and an unstructured baseline. Periodicities are in
+/// scaled-model time constants.
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::PhaseFlip {
+            branches: 8,
+            flip_after: 4_000,
+        },
+        Scenario::BurstyHotSet {
+            hot: 6,
+            burst: 2_000,
+        },
+        Scenario::UniformRandom { branches: 16 },
+    ]
+}
+
+/// The knob sweep for one policy: (knob name, settings, point builder).
+/// Settings are ordered most-conservative first so the emitted curve
+/// reads left-to-right along the risk axis.
+fn sweep_for(policy: &'static str) -> (&'static str, Vec<f64>) {
+    match policy {
+        "paper-fsm" | "adaptive-hysteresis" => {
+            ("selection_threshold", vec![0.999, 0.99, 0.9, 0.75, 0.55])
+        }
+        "perceptron" => ("theta", vec![192.0, 96.0, 48.0, 16.0, 4.0]),
+        "cost-aware" => ("recovery", vec![1_600.0, 800.0, 400.0, 200.0, 100.0]),
+        other => unreachable!("unknown builtin policy {other}"),
+    }
+}
+
+/// Builds the (params, policy) pair for one cell of the sweep.
+fn cell(policy: &'static str, value: f64) -> (ControllerParams, Arc<dyn Policy>) {
+    let mut params = ControllerParams::scaled();
+    match policy {
+        "paper-fsm" => {
+            params.selection_threshold = value;
+            (params, Arc::new(PaperFsm))
+        }
+        "adaptive-hysteresis" => {
+            params.selection_threshold = value;
+            (params, Arc::new(AdaptiveHysteresis))
+        }
+        "perceptron" => (
+            params,
+            Arc::new(Perceptron {
+                theta: value as u32,
+                ..Perceptron::default()
+            }),
+        ),
+        "cost-aware" => (
+            params,
+            Arc::new(CostAware {
+                recovery: value as u32,
+                ..CostAware::default()
+            }),
+        ),
+        other => unreachable!("unknown builtin policy {other}"),
+    }
+}
+
+/// Runs the full sweep: one curve per builtin policy.
+pub fn run_sweep(events: u64, seed: u64) -> Vec<ParetoCurve> {
+    BUILTIN_POLICY_IDS
+        .iter()
+        .map(|&policy| {
+            let (knob, values) = sweep_for(policy);
+            let points = values
+                .into_iter()
+                .map(|value| {
+                    let mut point = ParetoPoint {
+                        knob,
+                        value,
+                        events: 0,
+                        correct: 0,
+                        incorrect: 0,
+                    };
+                    for (si, scenario) in scenarios().into_iter().enumerate() {
+                        let trace = scenario.generate(events, seed ^ (si as u64) << 8);
+                        let (params, policy_arc) = cell(policy, value);
+                        let mut ctl = ReactiveController::builder(params)
+                            .policy_arc(policy_arc)
+                            .log_policy(TransitionLogPolicy::CountsOnly)
+                            .build()
+                            .expect("scaled params validate");
+                        for chunk in trace.chunks(CHUNK) {
+                            ctl.observe_chunk(chunk);
+                        }
+                        let s = ctl.stats();
+                        point.events += s.events;
+                        point.correct += s.correct;
+                        point.incorrect += s.incorrect;
+                    }
+                    point
+                })
+                .collect();
+            ParetoCurve { policy, points }
+        })
+        .collect()
+}
+
+/// Renders the curves as the `BENCH_pareto.json` document.
+pub fn to_json(curves: &[ParetoCurve], events: u64, seed: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"pareto\",\n");
+    out.push_str(&format!("  \"events_per_cell\": {events},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!(
+        "  \"scenarios\": [{}],\n",
+        scenarios()
+            .iter()
+            .map(|s| format!("\"{}\"", s.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("  \"policies\": [\n");
+    for (ci, c) in curves.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"policy\": \"{}\",\n", c.policy));
+        out.push_str(&format!(
+            "      \"monotone_sane\": {},\n",
+            c.is_monotone_sane()
+        ));
+        out.push_str("      \"points\": [\n");
+        for (pi, p) in c.points.iter().enumerate() {
+            out.push_str("        {");
+            out.push_str(&format!(
+                "\"knob\": \"{}\", \"value\": {}, \"events\": {}, \
+                 \"correct\": {}, \"incorrect\": {}, \
+                 \"benefit_per_1k\": {:.3}, \"misspec_per_1k\": {:.3}",
+                p.knob,
+                p.value,
+                p.events,
+                p.correct,
+                p.incorrect,
+                p.benefit_per_1k(),
+                p.misspec_per_1k()
+            ));
+            out.push_str(if pi + 1 == c.points.len() {
+                "}\n"
+            } else {
+                "},\n"
+            });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if ci + 1 == curves.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the human-readable table.
+pub fn render(curves: &[ParetoCurve]) -> String {
+    let mut out = String::new();
+    for c in curves {
+        out.push_str(&format!(
+            "{} ({}{})\n",
+            c.policy,
+            c.points.first().map_or("", |p| p.knob),
+            if c.is_monotone_sane() {
+                ", monotone"
+            } else {
+                ", NON-MONOTONE"
+            }
+        ));
+        for p in &c.points {
+            out.push_str(&format!(
+                "  {:>8} -> benefit {:>8.1}/1k  misspec {:>7.3}/1k\n",
+                p.value,
+                p.benefit_per_1k(),
+                p.misspec_per_1k()
+            ));
+        }
+    }
+    out
+}
+
+/// Runs the subcommand with its own argument list (everything after the
+/// literal `pareto`). Returns the process exit code.
+pub fn run(args: &[String]) -> i32 {
+    let mut events = DEFAULT_EVENTS;
+    let mut seed = 42u64;
+    let mut out = PathBuf::from("BENCH_pareto.json");
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut check = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let res = match a.as_str() {
+            "--events" => crate::cli::number(&mut it, "--events").map(|n| events = n),
+            "--seed" => crate::cli::number(&mut it, "--seed").map(|n| seed = n),
+            "--out" => crate::cli::value(&mut it, "--out").map(|v| out = PathBuf::from(v)),
+            "--metrics-out" => crate::cli::value(&mut it, "--metrics-out")
+                .map(|v| metrics_out = Some(PathBuf::from(v))),
+            "--check" => {
+                check = true;
+                Ok(())
+            }
+            other => Err(format!("unknown pareto option: {other}")),
+        };
+        if let Err(e) = res {
+            eprintln!("{e}");
+            return 2;
+        }
+    }
+
+    println!(
+        "== Pareto sweep: benefit vs misspeculation across the policy zoo ==\n\
+         {} events/cell, seed {}, policies {}",
+        events,
+        seed,
+        BUILTIN_POLICY_IDS.join(", ")
+    );
+    let curves = run_sweep(events, seed);
+    println!("{}", render(&curves));
+
+    if let Some(dir) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return 1;
+        }
+    }
+    if let Err(e) = std::fs::write(&out, to_json(&curves, events, seed)) {
+        eprintln!("cannot write {}: {e}", out.display());
+        return 1;
+    }
+    println!("wrote {}", out.display());
+
+    if let Some(mpath) = &metrics_out {
+        export_sweep_metrics(events, seed, mpath);
+    }
+
+    if check {
+        let sane = curves.iter().filter(|c| c.is_monotone_sane()).count();
+        let with_points = curves.iter().filter(|c| !c.points.is_empty()).count();
+        println!(
+            "check: {with_points}/{} policies produced points, {sane} monotone-sane curves",
+            curves.len()
+        );
+        if with_points < 4 || sane < 3 {
+            println!("FAIL: expected points for all 4 policies and >=3 monotone-sane curves");
+            return 1;
+        }
+    }
+    0
+}
+
+/// The `--metrics-out` payload: one instrumented run of the sweep's
+/// first cell, so the exposition carries the `rsc_policy_info` family
+/// alongside the usual controller metrics.
+fn export_sweep_metrics(events: u64, seed: u64, path: &std::path::Path) {
+    let policy = BUILTIN_POLICY_IDS[0];
+    let (_, values) = sweep_for(policy);
+    let (params, policy_arc) = cell(policy, values[0]);
+    let trace = scenarios()[0].generate(events, seed);
+    let mut ctl = ReactiveController::builder(params)
+        .policy_arc(policy_arc)
+        .log_policy(TransitionLogPolicy::CountsOnly)
+        .metrics()
+        .build()
+        .expect("scaled params validate");
+    for chunk in trace.chunks(CHUNK) {
+        ctl.observe_chunk(chunk);
+    }
+    let registry = ctl.metrics().expect("metrics were enabled");
+    crate::observe_cli::export_metrics(&registry, path);
+    println!("wrote {} (policy {policy})", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_policy_is_sweepable() {
+        for &policy in BUILTIN_POLICY_IDS.iter() {
+            let (knob, values) = sweep_for(policy);
+            assert!(!knob.is_empty());
+            assert_eq!(values.len(), 5);
+            for v in values {
+                let (params, arc) = cell(policy, v);
+                assert!(params.validate().is_ok());
+                assert_eq!(arc.id(), policy);
+            }
+            assert!(rsc_control::builtin_policy(policy).is_some());
+        }
+    }
+
+    #[test]
+    fn small_sweep_produces_points_for_every_policy() {
+        let curves = run_sweep(4_000, 7);
+        assert_eq!(curves.len(), BUILTIN_POLICY_IDS.len());
+        for c in &curves {
+            assert_eq!(c.points.len(), 5, "{}", c.policy);
+            for p in &c.points {
+                assert_eq!(p.events, 3 * 4_000, "{}", c.policy);
+            }
+        }
+        let json = to_json(&curves, 4_000, 7);
+        for id in BUILTIN_POLICY_IDS.iter() {
+            assert!(json.contains(&format!("\"policy\": \"{id}\"")));
+        }
+    }
+
+    #[test]
+    fn monotone_gate_accepts_flat_and_rejects_inversion() {
+        let mk = |pairs: &[(u64, u64)]| ParetoCurve {
+            policy: "paper-fsm",
+            points: pairs
+                .iter()
+                .map(|&(c, i)| ParetoPoint {
+                    knob: "selection_threshold",
+                    value: 0.9,
+                    events: 1_000,
+                    correct: c,
+                    incorrect: i,
+                })
+                .collect(),
+        };
+        assert!(mk(&[(100, 1), (200, 2), (200, 2)]).is_monotone_sane());
+        assert!(!mk(&[(500, 5), (100, 1)]).is_monotone_sane());
+    }
+
+    #[test]
+    fn cli_writes_the_artifact_and_checks() {
+        let dir = std::env::temp_dir().join("rsc_pareto_cli_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let out = dir.join("BENCH_pareto.json");
+        let code = run(&[
+            "--events".into(),
+            "20000".into(),
+            "--out".into(),
+            out.to_string_lossy().into_owned(),
+            "--check".into(),
+        ]);
+        assert_eq!(code, 0, "check gate must pass at smoke scale");
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("\"policy\": \"cost-aware\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_flag_is_a_usage_error() {
+        assert_eq!(run(&["--bogus".into()]), 2);
+    }
+}

@@ -11,10 +11,10 @@
 //! harness — it must find something, quickly and minimally.
 
 use crate::artifact::Counterexample;
-use crate::differ::{run_case, CaseSpec, Mode};
+use crate::differ::{run_case, run_policy_case, CaseSpec, Mode};
 use crate::fault::Fault;
 use crate::shrink::shrink;
-use rsc_control::{ControllerParams, EvictionMode, Revisit};
+use rsc_control::{ControllerParams, EvictionMode, Revisit, BUILTIN_POLICY_IDS};
 use rsc_trace::rng::SplitMix64;
 use rsc_trace::Scenario;
 
@@ -151,6 +151,112 @@ pub fn run(config: &CampaignConfig) -> CampaignReport {
     })
 }
 
+/// A divergence found by the policy-zoo sweep. Policy cases compare a
+/// fast path against the same policy's per-event semantics, so there is
+/// no cross-implementation artifact to shrink and replay — the sweep
+/// reports the cell instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyDivergence {
+    /// Id of the diverging policy.
+    pub policy: &'static str,
+    /// Scenario that produced the trace.
+    pub scenario: String,
+    /// Seed the trace (and chunk layout) derived from.
+    pub seed: u64,
+    /// How the subject consumed the trace.
+    pub mode: Mode,
+    /// Human-readable description of what differed.
+    pub detail: String,
+}
+
+impl std::fmt::Display for PolicyDivergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "policy {} diverged ({}, scenario {}, seed {}): {}",
+            self.policy,
+            self.mode.name(),
+            self.scenario,
+            self.seed,
+            self.detail
+        )
+    }
+}
+
+/// Outcome of the policy-zoo sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyCampaignReport {
+    /// Differential cases executed (trace × policy × mode).
+    pub cases: u64,
+    /// Total events fed to each controller.
+    pub events_fed: u64,
+    /// The first divergence found. `None` is conformance.
+    pub failure: Option<PolicyDivergence>,
+}
+
+/// Runs the policy-zoo sweep: every builtin policy, over the same seed ×
+/// parameter-matrix × scenario grid as [`run`], each cell checked in
+/// chunked and sharded mode against the policy's own per-event
+/// semantics (`paper-fsm` is additionally held to the golden
+/// [`ReferenceController`](rsc_control::ReferenceController)).
+///
+/// A configured [`Fault`] perturbs the *subject's* parameters only, so
+/// the sweep doubles as a harness self-test — though only faults in
+/// machinery a policy actually consults (e.g. the monitor window) are
+/// observable for every policy.
+pub fn run_policies(config: &CampaignConfig) -> PolicyCampaignReport {
+    let matrix = param_matrix();
+    let mut cases = 0u64;
+    let mut events_fed = 0u64;
+
+    for seed in config.seed_start..config.seed_end {
+        for (pi, (_, params)) in matrix.iter().enumerate() {
+            let subject = match config.fault {
+                Some(f) => f.apply(*params),
+                None => *params,
+            };
+            for (si, scenario) in scenarios_for(params).into_iter().enumerate() {
+                let sub_seed = SplitMix64::new(
+                    seed.wrapping_mul(0x0100_0000_01b3) ^ ((pi as u64) << 32) ^ (si as u64),
+                )
+                .next_u64();
+                let trace = scenario.generate(config.events, sub_seed);
+                for policy in BUILTIN_POLICY_IDS {
+                    for mode in [
+                        Mode::Chunked { seed: sub_seed },
+                        Mode::Sharded {
+                            shards: 1 + (sub_seed % 8) as usize,
+                            seed: sub_seed,
+                        },
+                    ] {
+                        cases += 1;
+                        events_fed += trace.len() as u64;
+                        if let Err(div) = run_policy_case(policy, subject, *params, mode, &trace) {
+                            return PolicyCampaignReport {
+                                cases,
+                                events_fed,
+                                failure: Some(PolicyDivergence {
+                                    policy,
+                                    scenario: scenario.name().to_string(),
+                                    seed: sub_seed,
+                                    mode,
+                                    detail: div.to_string(),
+                                }),
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    PolicyCampaignReport {
+        cases,
+        events_fed,
+        failure: None,
+    }
+}
+
 /// Runs a sharded-only campaign: every cell runs the sharded lockstep
 /// once per shard count in `1..=max_shards`. This is the exhaustive
 /// shard-count sweep behind `repro conformance --shards N`.
@@ -273,6 +379,39 @@ mod tests {
         // 6 param sets × 7 scenarios × 8 shard counts per seed.
         assert_eq!(report.cases, 6 * 7 * 8);
         assert_eq!(report.events_fed, report.cases * 1_000);
+    }
+
+    #[test]
+    fn policy_sweep_conforms_across_the_zoo() {
+        let config = CampaignConfig {
+            seed_start: 0,
+            seed_end: 1,
+            events: 1_000,
+            fault: None,
+        };
+        let report = run_policies(&config);
+        assert!(
+            report.failure.is_none(),
+            "unexpected divergence: {}",
+            report.failure.unwrap()
+        );
+        // 6 param sets × 7 scenarios × 4 policies × 2 modes per seed.
+        assert_eq!(report.cases, 6 * 7 * 4 * 2);
+        assert_eq!(report.events_fed, report.cases * 1_000);
+    }
+
+    #[test]
+    fn policy_sweep_catches_monitor_faults_for_every_policy() {
+        // The monitor window is machinery every policy consults, so an
+        // off-by-one there must surface no matter which policy runs.
+        let config = CampaignConfig {
+            seed_start: 0,
+            seed_end: 2,
+            events: 1_200,
+            fault: Some(Fault::MonitorWindowOffByOne),
+        };
+        let report = run_policies(&config);
+        assert!(report.failure.is_some(), "fault must be caught");
     }
 
     #[test]

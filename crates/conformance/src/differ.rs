@@ -18,8 +18,8 @@
 //! (for the artifact).
 
 use rsc_control::{
-    ChunkSummary, ControllerParams, ReactiveController, ReferenceController, ResilienceConfig,
-    ShardedController, SpecDecision, TransitionKind,
+    builtin_policy, ChunkSummary, ControllerParams, ReactiveController, ReferenceController,
+    ResilienceConfig, ShardedController, SpecDecision, TransitionKind,
 };
 use rsc_trace::rng::Xoshiro256;
 use rsc_trace::{BranchId, BranchRecord};
@@ -267,6 +267,211 @@ fn compare_sharded_final_state(
             return Err(format!(
                 "branch {b} snapshot mismatch: subject {got:?}, reference {want:?}"
             ));
+        }
+    }
+    Ok(())
+}
+
+/// One differential case over the policy zoo: the subject consumes the
+/// trace via `mode` under the named [`Policy`](rsc_control::Policy); the
+/// reference is the *same policy* consumed one event at a time (the
+/// per-event path is the semantic definition every fast path must
+/// match). For `"paper-fsm"` the reference is stronger — the golden
+/// [`ReferenceController`] — so the paper policy is checked against an
+/// independent implementation, not just against itself.
+///
+/// `subject_params` and `reference_params` are identical in conformance
+/// mode; a campaign self-test passes faulted subject parameters.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found.
+///
+/// # Panics
+///
+/// Panics if `policy` is not a builtin id or the parameters fail
+/// validation.
+pub fn run_policy_case(
+    policy: &'static str,
+    subject_params: ControllerParams,
+    reference_params: ControllerParams,
+    mode: Mode,
+    trace: &[BranchRecord],
+) -> Result<(), Divergence> {
+    if policy == "paper-fsm" {
+        return run_case(
+            &CaseSpec {
+                subject: subject_params,
+                reference: reference_params,
+                mode,
+                resilience: None,
+            },
+            trace,
+        );
+    }
+    let build = |params: ControllerParams| {
+        ReactiveController::builder(params)
+            .policy_arc(builtin_policy(policy).expect("builtin policy id"))
+            .build()
+            .expect("params validate")
+    };
+    let mut reference = build(reference_params);
+
+    match mode {
+        Mode::PerEvent => {
+            let mut subject = build(subject_params);
+            for (i, r) in trace.iter().enumerate() {
+                let got = subject.observe(r);
+                let want = reference.observe(r);
+                if got != want {
+                    return Err(Divergence {
+                        index: i,
+                        detail: format!(
+                            "[{policy}] decision mismatch on branch {}: \
+                             subject {got:?}, reference {want:?}",
+                            r.branch.index()
+                        ),
+                    });
+                }
+            }
+            compare_policy_final_state(policy, &subject, &reference, trace)
+        }
+        Mode::Chunked { seed } => {
+            let mut subject = build(subject_params);
+            let mut sizes = Xoshiro256::seed_from(seed);
+            let mut start = 0usize;
+            while start < trace.len() {
+                let len = (1 + sizes.gen_range(MAX_CHUNK)) as usize;
+                let end = (start + len).min(trace.len());
+                let got = subject.observe_chunk(&trace[start..end]);
+                let want = reference_summary(&mut reference, &trace[start..end]);
+                if got != want {
+                    return Err(Divergence {
+                        index: end - 1,
+                        detail: format!(
+                            "[{policy}] chunk summary mismatch over events {start}..{end}: \
+                             subject {got:?}, reference {want:?}"
+                        ),
+                    });
+                }
+                start = end;
+            }
+            compare_policy_final_state(policy, &subject, &reference, trace)
+        }
+        Mode::Sharded { shards, seed } => {
+            let mut subject = ReactiveController::builder(subject_params)
+                .policy_arc(builtin_policy(policy).expect("builtin policy id"))
+                .shards(shards)
+                .build_sharded()
+                .expect("params validate");
+            let mut sizes = Xoshiro256::seed_from(seed);
+            let mut start = 0usize;
+            while start < trace.len() {
+                let len = (1 + sizes.gen_range(MAX_CHUNK)) as usize;
+                let end = (start + len).min(trace.len());
+                let got = subject.observe_chunk(&trace[start..end]);
+                let want = reference_summary(&mut reference, &trace[start..end]);
+                if got != want {
+                    return Err(Divergence {
+                        index: end - 1,
+                        detail: format!(
+                            "[{policy}] sharded ({shards}) chunk summary mismatch over \
+                             events {start}..{end}: subject {got:?}, reference {want:?}"
+                        ),
+                    });
+                }
+                start = end;
+            }
+            compare_policy_sharded_final_state(policy, &subject, &reference, trace).map_err(
+                |detail| Divergence {
+                    index: trace.len(),
+                    detail,
+                },
+            )
+        }
+    }
+}
+
+/// Sums per-event reference decisions into the summary a chunked subject
+/// must report.
+fn reference_summary(reference: &mut ReactiveController, recs: &[BranchRecord]) -> ChunkSummary {
+    let mut want = ChunkSummary::default();
+    for r in recs {
+        let d = reference.observe(r);
+        want.events += 1;
+        want.speculated += u64::from(d.speculated());
+        want.correct += u64::from(d == SpecDecision::Correct);
+        want.incorrect += u64::from(d == SpecDecision::Incorrect);
+    }
+    want
+}
+
+/// Final-state comparison for a same-policy pair of plain controllers:
+/// stats, the full transition log, per-branch snapshots, and — the
+/// strongest check — bit-identical checkpoint bytes.
+fn compare_policy_final_state(
+    policy: &str,
+    subject: &ReactiveController,
+    reference: &ReactiveController,
+    trace: &[BranchRecord],
+) -> Result<(), Divergence> {
+    let err = |detail: String| Divergence {
+        index: trace.len(),
+        detail: format!("[{policy}] {detail}"),
+    };
+    if subject.stats() != reference.stats() {
+        return Err(err(format!(
+            "final stats mismatch: subject {:?}, reference {:?}",
+            subject.stats(),
+            reference.stats()
+        )));
+    }
+    if subject.transitions() != reference.transitions() {
+        return Err(err("transition log mismatch".to_string()));
+    }
+    let max_branch = trace.iter().map(|r| r.branch.index()).max().unwrap_or(0);
+    for b in 0..=max_branch {
+        let id = BranchId::new(b as u32);
+        if subject.branch_snapshot(id) != reference.branch_snapshot(id) {
+            return Err(err(format!("branch {b} snapshot mismatch")));
+        }
+    }
+    if subject.snapshot() != reference.snapshot() {
+        return Err(err("checkpoint bytes differ".to_string()));
+    }
+    Ok(())
+}
+
+/// Final-state comparison for a sharded subject against a same-policy
+/// per-event reference — everything the deterministic merge covers.
+fn compare_policy_sharded_final_state(
+    policy: &str,
+    subject: &ShardedController,
+    reference: &ReactiveController,
+    trace: &[BranchRecord],
+) -> Result<(), String> {
+    if subject.stats() != reference.stats() {
+        return Err(format!(
+            "[{policy}] final stats mismatch: subject {:?}, reference {:?}",
+            subject.stats(),
+            reference.stats()
+        ));
+    }
+    for kind in TransitionKind::ALL {
+        let got = subject.transition_count(kind);
+        let want = reference.transition_log().count(kind);
+        if got != want {
+            return Err(format!(
+                "[{policy}] transition count mismatch for {kind:?}: \
+                 subject {got}, reference {want}"
+            ));
+        }
+    }
+    let max_branch = trace.iter().map(|r| r.branch.index()).max().unwrap_or(0);
+    for b in 0..=max_branch {
+        let id = BranchId::new(b as u32);
+        if subject.branch_snapshot(id) != reference.branch_snapshot(id) {
+            return Err(format!("[{policy}] branch {b} snapshot mismatch"));
         }
     }
     Ok(())

@@ -40,7 +40,9 @@ pub mod json;
 pub mod shrink;
 
 pub use artifact::{params_from_json, params_to_json, ArtifactError, Counterexample};
-pub use campaign::{run, CampaignConfig, CampaignReport};
-pub use differ::{run_case, CaseSpec, Divergence, Mode};
+pub use campaign::{
+    run, run_policies, CampaignConfig, CampaignReport, PolicyCampaignReport, PolicyDivergence,
+};
+pub use differ::{run_case, run_policy_case, CaseSpec, Divergence, Mode};
 pub use fault::Fault;
 pub use shrink::{shrink, shrink_by};

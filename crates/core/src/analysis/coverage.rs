@@ -197,7 +197,7 @@ mod tests {
         log.push(ev(1, TransitionKind::ExitBiased));
         let cov = TransitionCoverage::from_log(&log);
         // Interleaving on different branches yields no pair bit.
-        assert_eq!(cov.points(), 2 + 0 + 2);
+        assert_eq!(cov.points(), 4);
     }
 
     #[test]

@@ -2,19 +2,18 @@
 //! [`ReactiveController`].
 //!
 //! The controller's configuration surface grew one seam at a time —
-//! `new`, then `with_resilience`, then post-construction
-//! `set_record_transitions`/`set_transition_log_policy` — and the
-//! observability layer would have added two more. The builder collapses
-//! all of it into one fluent assembly step; the legacy constructors and
-//! setters remain as `#[deprecated]` shims for one release.
+//! `new`, then `with_resilience`, then post-construction log-policy
+//! setters — and the observability layer would have added two more. The
+//! builder collapses all of it into one fluent assembly step. The
+//! `#[deprecated]` legacy constructors and setters that shimmed the old
+//! surface for one release have been removed:
 //!
-//! | Legacy | Builder |
+//! | Removed | Builder |
 //! |---|---|
 //! | `ReactiveController::new(p)` | `ReactiveController::builder(p).build()` |
 //! | `ReactiveController::with_resilience(p, cfg)` | `ReactiveController::builder(p).resilience(cfg).build()` |
 //! | `ctl.set_transition_log_policy(pol)` | `.log_policy(pol)` before `build()` |
 //! | `ctl.set_record_transitions(false)` | `.log_policy(TransitionLogPolicy::CountsOnly)` |
-//! | — | `.metrics()` / `.event_sink(sink)` (new) |
 //!
 //! # Examples
 //!
@@ -29,10 +28,25 @@
 //! assert!(ctl.metrics().is_some());
 //! # Ok::<(), InvalidParamsError>(())
 //! ```
+//!
+//! The decision rules themselves are pluggable via
+//! [`policy`](ControllerBuilder::policy) — see the
+//! [policy module](crate::policy) for the zoo:
+//!
+//! ```
+//! use rsc_control::prelude::*;
+//!
+//! let ctl = ReactiveController::builder(ControllerParams::scaled())
+//!     .policy(CostAware::default())
+//!     .build()?;
+//! assert_eq!(ctl.policy_id(), "cost-aware");
+//! # Ok::<(), InvalidParamsError>(())
+//! ```
 
 use crate::controller::ReactiveController;
 use crate::observe::{ControllerMetrics, EventSink, Telemetry};
 use crate::params::{ControllerParams, InvalidParamsError};
+use crate::policy::{PaperFsm, Policy};
 use crate::resilience::{ResilienceConfig, ResilienceState};
 use crate::shard::ShardedController;
 use crate::translog::{TransitionLog, TransitionLogPolicy};
@@ -55,6 +69,7 @@ pub struct ControllerBuilder {
     sink: Option<Arc<dyn EventSink>>,
     shards: usize,
     pool_threads: usize,
+    policy: Arc<dyn Policy>,
 }
 
 impl std::fmt::Debug for ControllerBuilder {
@@ -68,6 +83,7 @@ impl std::fmt::Debug for ControllerBuilder {
             .field("sink", &self.sink.is_some())
             .field("shards", &self.shards)
             .field("pool_threads", &self.pool_threads)
+            .field("policy", &self.policy.id())
             .finish()
     }
 }
@@ -83,7 +99,26 @@ impl ControllerBuilder {
             sink: None,
             shards: 1,
             pool_threads: 0,
+            policy: Arc::new(PaperFsm),
         }
+    }
+
+    /// Sets the control policy (default: the paper-exact [`PaperFsm`]).
+    /// See the [policy module](crate::policy) for the built-in zoo and
+    /// the trait contract for custom implementations.
+    #[must_use]
+    pub fn policy(mut self, policy: impl Policy + 'static) -> Self {
+        self.policy = Arc::new(policy);
+        self
+    }
+
+    /// Sets the control policy from a shared handle (e.g. one produced by
+    /// [`policy_from_blob`](crate::policy::policy_from_blob) during
+    /// checkpoint restore).
+    #[must_use]
+    pub fn policy_arc(mut self, policy: Arc<dyn Policy>) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Attaches the resilience layer: deployments go through the
@@ -204,6 +239,7 @@ impl ControllerBuilder {
             incorrect: 0,
             resilience,
             telemetry,
+            policy: self.policy,
         })
     }
 

@@ -51,6 +51,7 @@ use crate::controller::{
 use crate::counter::HysteresisCounter;
 use crate::observe::{ControllerMetrics, EventSink, ObsEvent, Telemetry};
 use crate::params::{ControllerParams, EvictionMode, InvalidParamsError, MonitorPolicy, Revisit};
+use crate::policy::{policy_from_blob, PaperFsm, Policy};
 use crate::resilience::breaker::{BreakerConfig, BreakerPhase, StormBreaker};
 use crate::resilience::deployer::{DeployerSpec, FaultMode, FaultScope, FaultSpec, RetryPolicy};
 use crate::resilience::{ResilienceConfig, ResilienceState};
@@ -61,12 +62,20 @@ use std::sync::Arc;
 
 /// Magic bytes opening every checkpoint.
 const MAGIC: [u8; 4] = *b"RSCK";
-/// Current format version. Version 3 added a shard-count varint after
-/// the version byte followed by one controller body per shard (a plain
-/// controller writes count 1), plus the interval-histogram bounds in the
-/// telemetry section; version 2 appended the telemetry section itself.
-/// Older blobs are rejected.
-const VERSION: u8 = 3;
+/// Current format version. Version 4 added a policy section to each
+/// controller body (stable policy id + config blob, right after the
+/// params) and widened biased counter trackers to their full shape
+/// (value, up, down, threshold) because policies now parametrize
+/// trackers independently of `params.eviction`. Version 3 added a
+/// shard-count varint after the version byte followed by one controller
+/// body per shard (a plain controller writes count 1), plus the
+/// interval-histogram bounds in the telemetry section; version 2
+/// appended the telemetry section itself. Version 3 blobs still restore
+/// (as the paper-exact [`PaperFsm`] policy, whose rules v3 hardwired);
+/// older blobs are rejected.
+const VERSION: u8 = 4;
+/// Oldest version [`read_header`] still accepts.
+const MIN_VERSION: u8 = 3;
 
 /// An opaque serialized controller state.
 ///
@@ -135,6 +144,22 @@ pub enum CheckpointError {
     /// own validation (the checkpoint was produced by an incompatible or
     /// tampered source).
     Invalid(InvalidParamsError),
+    /// The blob names a policy this build does not know (or its config
+    /// blob does not decode as that policy's configuration). Restore the
+    /// blob with a build that registers the policy.
+    UnknownPolicy {
+        /// The policy id recorded in the checkpoint.
+        id: String,
+    },
+    /// A sharded blob whose shards disagree on the control policy — every
+    /// shard of one engine runs the same policy, so this can only come
+    /// from mixing checkpoints.
+    PolicyMismatch {
+        /// The first shard's policy id.
+        expected: String,
+        /// The disagreeing shard's policy id.
+        found: String,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -151,6 +176,15 @@ impl fmt::Display for CheckpointError {
                 write!(f, "corrupt checkpoint at byte {offset}: {what}")
             }
             CheckpointError::Invalid(e) => write!(f, "checkpoint carries invalid config: {e}"),
+            CheckpointError::UnknownPolicy { id } => {
+                write!(f, "checkpoint names unknown control policy {id:?}")
+            }
+            CheckpointError::PolicyMismatch { expected, found } => {
+                write!(
+                    f,
+                    "sharded checkpoint mixes control policies ({expected:?} vs {found:?})"
+                )
+            }
         }
     }
 }
@@ -173,9 +207,19 @@ struct Writer {
 
 impl Writer {
     fn new() -> Self {
+        Self::with_version(VERSION)
+    }
+
+    /// A writer emitting an older format version — only used to produce
+    /// compatibility fixtures in tests; [`snapshot`] always writes
+    /// [`VERSION`].
+    ///
+    /// [`snapshot`]: ReactiveController::snapshot
+    fn with_version(version: u8) -> Self {
+        debug_assert!((MIN_VERSION..=VERSION).contains(&version));
         let mut buf = Vec::with_capacity(256);
         buf.extend_from_slice(&MAGIC);
-        buf.push(VERSION);
+        buf.push(version);
         Writer { buf }
     }
 
@@ -243,6 +287,12 @@ impl Writer {
             Some(Direction::Taken) => 1,
             Some(Direction::NotTaken) => 2,
         });
+    }
+
+    /// Length-prefixed raw bytes.
+    fn bytes(&mut self, b: &[u8]) {
+        self.usize(b.len());
+        self.buf.extend_from_slice(b);
     }
 }
 
@@ -359,6 +409,18 @@ impl<'a> Reader<'a> {
             2 => Ok(Some(Direction::NotTaken)),
             _ => Err(self.corrupt("bad optional-direction tag")),
         }
+    }
+
+    /// Length-prefixed raw bytes.
+    fn bytes(&mut self) -> Result<&'a [u8], CheckpointError> {
+        let n = self.len_prefix()?;
+        let end = self.pos + n;
+        let b = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| self.truncated())?;
+        self.pos = end;
+        Ok(b)
     }
 }
 
@@ -715,7 +777,7 @@ fn read_log(r: &mut Reader<'_>) -> Result<TransitionLog, CheckpointError> {
     Ok(TransitionLog::from_raw_storage(policy, events, counts))
 }
 
-fn write_branch(w: &mut Writer, b: &BranchCtl) {
+fn write_branch(w: &mut Writer, b: &BranchCtl, version: u8) {
     match &b.state {
         State::Monitor {
             execs,
@@ -739,6 +801,15 @@ fn write_branch(w: &mut Writer, b: &BranchCtl) {
                 EvictTracker::Counter(c) => {
                     w.u8(0);
                     w.u32(c.value());
+                    if version >= 4 {
+                        // v4 carries the full counter shape: policies
+                        // parametrize trackers independently of the
+                        // eviction mode, so the shape can no longer be
+                        // re-derived from the params.
+                        w.u32(c.up());
+                        w.u32(c.down());
+                        w.u32(c.threshold());
+                    }
                 }
                 EvictTracker::Sampling {
                     pos,
@@ -786,6 +857,7 @@ fn write_branch(w: &mut Writer, b: &BranchCtl) {
 fn read_branch(
     r: &mut Reader<'_>,
     params: &ControllerParams,
+    version: u8,
 ) -> Result<BranchCtl, CheckpointError> {
     let state = match r.u8()? {
         0 => State::Monitor {
@@ -800,11 +872,26 @@ fn read_branch(
         2 => {
             let dir = r.dir()?;
             let tracker = match r.u8()? {
+                0 if version >= 4 => {
+                    // v4 serializes the full counter shape alongside the
+                    // value, because policies may hand out trackers whose
+                    // shape differs from the params' eviction mode.
+                    let value = r.u32()?;
+                    let up = r.u32()?;
+                    let down = r.u32()?;
+                    let threshold = r.u32()?;
+                    if up == 0 || down == 0 || threshold < up {
+                        return Err(r.corrupt("invalid counter tracker shape"));
+                    }
+                    let mut c = HysteresisCounter::new(up, down, threshold);
+                    c.set_value(value);
+                    EvictTracker::Counter(c)
+                }
                 0 => {
-                    // The counter's shape lives in the params; only its
-                    // value is serialized. A tracker kind that disagrees
-                    // with the eviction mode means the blob was not
-                    // produced against these params.
+                    // v3: the counter's shape lives in the params; only
+                    // its value is serialized. A tracker kind that
+                    // disagrees with the eviction mode means the blob was
+                    // not produced against these params.
                     let EvictionMode::Counter {
                         up,
                         down,
@@ -938,10 +1025,16 @@ fn read_telemetry(r: &mut Reader<'_>) -> Result<Option<Box<Telemetry>>, Checkpoi
 // ---------------------------------------------------------------------------
 
 /// Serializes one complete controller (params through telemetry) — the
-/// repeated unit of the v3 format. A plain checkpoint holds one body; a
-/// sharded checkpoint holds one per shard, in shard order.
-fn write_controller_body(w: &mut Writer, ctl: &ReactiveController) {
+/// repeated unit of the format. A plain checkpoint holds one body; a
+/// sharded checkpoint holds one per shard, in shard order. From v4 the
+/// body carries a policy section (length-prefixed id, length-prefixed
+/// config blob) right after the params.
+fn write_controller_body(w: &mut Writer, ctl: &ReactiveController, version: u8) {
     write_params(w, &ctl.params);
+    if version >= 4 {
+        w.bytes(ctl.policy.id().as_bytes());
+        w.bytes(&ctl.policy.config_blob());
+    }
     match &ctl.resilience {
         None => w.u8(0),
         Some(rs) => {
@@ -956,14 +1049,32 @@ fn write_controller_body(w: &mut Writer, ctl: &ReactiveController) {
     write_log(w, &ctl.log);
     w.usize(ctl.branches.len());
     for b in &ctl.branches {
-        write_branch(w, b);
+        write_branch(w, b, version);
     }
     write_telemetry(w, ctl.telemetry.as_deref());
 }
 
-fn read_controller_body(r: &mut Reader<'_>) -> Result<ReactiveController, CheckpointError> {
+fn read_controller_body(
+    r: &mut Reader<'_>,
+    version: u8,
+) -> Result<ReactiveController, CheckpointError> {
     let params = read_params(r)?;
     params.validate()?;
+    let policy: Arc<dyn Policy> = if version >= 4 {
+        let id = match std::str::from_utf8(r.bytes()?) {
+            Ok(s) => s.to_owned(),
+            Err(_) => return Err(r.corrupt("policy id is not valid UTF-8")),
+        };
+        let blob = r.bytes()?.to_vec();
+        match policy_from_blob(&id, &blob) {
+            Some(p) => p,
+            None => return Err(CheckpointError::UnknownPolicy { id }),
+        }
+    } else {
+        // v3 blobs predate the policy seam; they were all produced by the
+        // paper FSM.
+        Arc::new(PaperFsm)
+    };
     let resilience = match r.u8()? {
         0 => None,
         1 => Some(read_resilience(r)?),
@@ -977,11 +1088,12 @@ fn read_controller_body(r: &mut Reader<'_>) -> Result<ReactiveController, Checkp
     let n_branches = r.len_prefix()?;
     let mut branches = Vec::with_capacity(n_branches);
     for _ in 0..n_branches {
-        branches.push(read_branch(r, &params)?);
+        branches.push(read_branch(r, &params, version)?);
     }
     let telemetry = read_telemetry(r)?;
     Ok(ReactiveController {
         params,
+        policy,
         branches,
         log,
         events,
@@ -994,8 +1106,9 @@ fn read_controller_body(r: &mut Reader<'_>) -> Result<ReactiveController, Checkp
 }
 
 /// Validates the magic and version, returning a reader positioned at the
-/// shard-count varint.
-fn read_header(bytes: &[u8]) -> Result<Reader<'_>, CheckpointError> {
+/// shard-count varint plus the format version the body must be decoded
+/// with. Every version back to [`MIN_VERSION`] is accepted.
+fn read_header(bytes: &[u8]) -> Result<(Reader<'_>, u8), CheckpointError> {
     if bytes.len() < MAGIC.len() + 1 {
         return Err(CheckpointError::Truncated {
             offset: bytes.len(),
@@ -1005,12 +1118,12 @@ fn read_header(bytes: &[u8]) -> Result<Reader<'_>, CheckpointError> {
         return Err(CheckpointError::BadMagic);
     }
     let version = bytes[MAGIC.len()];
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(CheckpointError::UnsupportedVersion(version));
     }
     let mut r = Reader::new(bytes);
     r.pos = MAGIC.len() + 1;
-    Ok(r)
+    Ok((r, version))
 }
 
 // ---------------------------------------------------------------------------
@@ -1035,7 +1148,7 @@ impl ReactiveController {
     pub fn snapshot(&self) -> ControllerCheckpoint {
         let mut w = Writer::new();
         w.usize(1); // shard count: a plain controller is one shard
-        write_controller_body(&mut w, self);
+        write_controller_body(&mut w, self, VERSION);
         let cp = ControllerCheckpoint { bytes: w.buf };
         if let Some(t) = &self.telemetry {
             t.emit(&ObsEvent::CheckpointSaved {
@@ -1059,12 +1172,12 @@ impl ReactiveController {
     /// with the byte offset for structural corruption.
     pub fn restore(cp: &ControllerCheckpoint) -> Result<Self, CheckpointError> {
         let bytes = cp.as_bytes();
-        let mut r = read_header(bytes)?;
+        let (mut r, version) = read_header(bytes)?;
         let shard_count = r.len_prefix()?;
         if shard_count != 1 {
             return Err(r.corrupt("sharded checkpoint: restore it via ShardedController::restore"));
         }
-        let ctl = read_controller_body(&mut r)?;
+        let ctl = read_controller_body(&mut r, version)?;
         if r.pos != bytes.len() {
             return Err(r.corrupt("trailing bytes after checkpoint"));
         }
@@ -1099,7 +1212,7 @@ impl ReactiveController {
 }
 
 impl crate::shard::ShardedController {
-    /// Serializes every shard's complete state into one v3 checkpoint:
+    /// Serializes every shard's complete state into one checkpoint:
     /// the shard count, then one controller body per shard in shard
     /// order. Restoring yields the same merged exposition (stats,
     /// transition counts, snapshots, metrics) as a straight run.
@@ -1111,7 +1224,7 @@ impl crate::shard::ShardedController {
         // into exactly the stream a single writer would produce).
         let bodies: Vec<Vec<u8>> = self.map_shards(|_, ctl| {
             let mut body = Writer { buf: Vec::new() };
-            write_controller_body(&mut body, ctl);
+            write_controller_body(&mut body, ctl, VERSION);
             body.buf
         });
         for body in bodies {
@@ -1134,14 +1247,14 @@ impl crate::shard::ShardedController {
     /// Returns a [`CheckpointError`] describing the first problem found.
     pub fn restore(cp: &ControllerCheckpoint) -> Result<Self, CheckpointError> {
         let bytes = cp.as_bytes();
-        let mut r = read_header(bytes)?;
+        let (mut r, version) = read_header(bytes)?;
         let shard_count = r.len_prefix()?;
         if shard_count == 0 {
             return Err(r.corrupt("checkpoint contains zero shards"));
         }
         let mut shards = Vec::with_capacity(shard_count);
         for _ in 0..shard_count {
-            let ctl = read_controller_body(&mut r)?;
+            let ctl = read_controller_body(&mut r, version)?;
             if ctl.resilience.is_some() {
                 return Err(CheckpointError::Invalid(InvalidParamsError::bad_field(
                     "shards",
@@ -1159,9 +1272,20 @@ impl crate::shard::ShardedController {
             .telemetry
             .as_ref()
             .is_some_and(|t| t.metrics.is_some());
+        let first_policy_id = shards[0].policy.id();
+        let first_policy_blob = shards[0].policy.config_blob();
         for ctl in &shards[1..] {
             if ctl.params != first_params {
                 return Err(r.corrupt("shards disagree on controller parameters"));
+            }
+            if ctl.policy.id() != first_policy_id {
+                return Err(CheckpointError::PolicyMismatch {
+                    expected: first_policy_id.to_owned(),
+                    found: ctl.policy.id().to_owned(),
+                });
+            }
+            if ctl.policy.config_blob() != first_policy_blob {
+                return Err(r.corrupt("shards disagree on policy configuration"));
             }
             let metered = ctl.telemetry.as_ref().is_some_and(|t| t.metrics.is_some());
             if metered != first_metered {
@@ -1522,5 +1646,141 @@ mod tests {
             assert_eq!(a, b);
             let _ = matches!(a, DeployOutcome::Deployed);
         }
+    }
+
+    /// Emits the pre-policy v3 format — the compatibility fixture the
+    /// migration tests decode.
+    fn snapshot_v3(ctl: &ReactiveController) -> ControllerCheckpoint {
+        let mut w = Writer::with_version(3);
+        w.usize(1);
+        write_controller_body(&mut w, ctl, 3);
+        ControllerCheckpoint { bytes: w.buf }
+    }
+
+    #[test]
+    fn v3_blob_restores_as_paper_fsm() {
+        let mut ctl = ReactiveController::builder(ControllerParams::scaled())
+            .build()
+            .unwrap();
+        drive(&mut ctl, 5_000);
+        let restored = ReactiveController::restore(&snapshot_v3(&ctl)).unwrap();
+        assert_eq!(restored.policy_id(), "paper-fsm");
+        assert_eq!(restored.stats(), ctl.stats());
+        // Re-serializing through the current writer must land byte-for-byte
+        // on what the original (also paper-FSM) controller produces.
+        assert_eq!(restored.snapshot(), ctl.snapshot());
+        // And resuming from the old blob replays identically.
+        let mut resumed = ReactiveController::restore(&snapshot_v3(&ctl)).unwrap();
+        drive(&mut resumed, 5_000);
+        drive(&mut ctl, 5_000);
+        assert_eq!(resumed.stats(), ctl.stats());
+    }
+
+    #[test]
+    fn unknown_policy_id_is_refused() {
+        use crate::policy::{MonitorCounts, SpecChoice};
+        #[derive(Debug)]
+        struct Martian;
+        impl Policy for Martian {
+            fn id(&self) -> &'static str {
+                "martian-fsm"
+            }
+            fn decide(&self, counts: MonitorCounts, params: &ControllerParams) -> SpecChoice {
+                PaperFsm.decide(counts, params)
+            }
+            fn evict(&self, params: &ControllerParams, evictions: u32) -> EvictTracker {
+                PaperFsm.evict(params, evictions)
+            }
+        }
+        let mut ctl = ReactiveController::builder(ControllerParams::scaled())
+            .policy(Martian)
+            .build()
+            .unwrap();
+        drive(&mut ctl, 500);
+        let err = ReactiveController::restore(&ctl.snapshot()).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::UnknownPolicy {
+                id: "martian-fsm".to_owned()
+            }
+        );
+    }
+
+    #[test]
+    fn non_default_policy_round_trips() {
+        use crate::policy::Perceptron;
+        let policy = Perceptron {
+            theta: 12,
+            w_max: 64,
+            miss_weight: 8,
+        };
+        let mut ctl = ReactiveController::builder(ControllerParams::scaled())
+            .policy(policy)
+            .build()
+            .unwrap();
+        drive(&mut ctl, 5_000);
+        let cp = ctl.snapshot();
+        let restored = ReactiveController::restore(&cp).unwrap();
+        assert_eq!(restored.policy_id(), "perceptron");
+        assert_eq!(
+            restored.policy().config_blob(),
+            ctl.policy().config_blob(),
+            "policy configuration survives the round trip"
+        );
+        // The perceptron's trackers have a shape the params cannot
+        // re-derive; v4 must carry it so the second-generation snapshot
+        // is bit-identical.
+        assert_eq!(restored.snapshot(), cp);
+        let mut resumed = ReactiveController::restore(&cp).unwrap();
+        drive(&mut resumed, 5_000);
+        drive(&mut ctl, 5_000);
+        assert_eq!(resumed.stats(), ctl.stats());
+        assert_eq!(resumed.snapshot(), ctl.snapshot());
+    }
+
+    #[test]
+    fn mismatched_policy_shards_are_refused() {
+        use crate::policy::Perceptron;
+        let paper = ReactiveController::builder(ControllerParams::scaled())
+            .build()
+            .unwrap();
+        let perceptron = ReactiveController::builder(ControllerParams::scaled())
+            .policy(Perceptron::default())
+            .build()
+            .unwrap();
+        let mut w = Writer::new();
+        w.usize(2);
+        write_controller_body(&mut w, &paper, VERSION);
+        write_controller_body(&mut w, &perceptron, VERSION);
+        let err = crate::shard::ShardedController::restore(&ControllerCheckpoint { bytes: w.buf })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::PolicyMismatch {
+                expected: "paper-fsm".to_owned(),
+                found: "perceptron".to_owned(),
+            }
+        );
+
+        // Same id but different knobs is corruption, not a mismatch.
+        let a = ReactiveController::builder(ControllerParams::scaled())
+            .policy(Perceptron::default())
+            .build()
+            .unwrap();
+        let b = ReactiveController::builder(ControllerParams::scaled())
+            .policy(Perceptron {
+                theta: 1,
+                ..Perceptron::default()
+            })
+            .build()
+            .unwrap();
+        let mut w = Writer::new();
+        w.usize(2);
+        write_controller_body(&mut w, &a, VERSION);
+        write_controller_body(&mut w, &b, VERSION);
+        let err = crate::shard::ShardedController::restore(&ControllerCheckpoint { bytes: w.buf })
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt { what, .. }
+            if what == "shards disagree on policy configuration"));
     }
 }

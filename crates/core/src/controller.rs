@@ -21,12 +21,13 @@
 
 use crate::counter::HysteresisCounter;
 use crate::observe::{EventSink, MetricsRegistry, Telemetry};
-use crate::params::{ControllerParams, EvictionMode, InvalidParamsError, MonitorPolicy, Revisit};
+use crate::params::{ControllerParams, Revisit};
+use crate::policy::{MonitorCounts, Policy, SpecChoice};
 use crate::resilience::breaker::BreakerSignal;
 use crate::resilience::deployer::{DeployKind, DeployOutcome, DeployRequest};
 use crate::resilience::{ResilienceConfig, ResilienceState, BREAKER_BRANCH};
 use crate::stats::ControlStats;
-use crate::translog::{TransitionLog, TransitionLogPolicy};
+use crate::translog::TransitionLog;
 use rsc_trace::{BranchId, BranchRecord, Direction};
 use std::sync::Arc;
 
@@ -274,14 +275,29 @@ impl BranchSnapshot {
 }
 
 /// Eviction bookkeeping inside the biased state.
+///
+/// A [`Policy`](crate::policy::Policy) picks the tracker (and its
+/// parametrization) on each biased entry via
+/// [`Policy::evict`](crate::policy::Policy::evict), and folds outcomes
+/// into it via [`Policy::observe`](crate::policy::Policy::observe). The
+/// chunked fast paths inline the standard `Counter`/`Never` semantics —
+/// see the [policy module docs](crate::policy) for the obligations.
 #[derive(Debug, Clone)]
-pub(crate) enum EvictTracker {
+pub enum EvictTracker {
+    /// An asymmetric saturating counter; evicts when it trips.
     Counter(HysteresisCounter),
+    /// Periodic re-sampling against
+    /// [`EvictionMode::Sampling`](crate::params::EvictionMode::Sampling)
+    /// parameters.
     Sampling {
+        /// Position within the current sampling period.
         pos: u64,
+        /// Correct speculations among this period's samples.
         matched: u64,
+        /// Samples taken this period.
         sampled: u64,
     },
+    /// No eviction bookkeeping (the open-loop configuration).
     Never,
 }
 
@@ -362,8 +378,13 @@ impl BranchCtl {
 /// The reactive controller: one FSM per static branch plus global
 /// statistics and a transition log.
 ///
-/// Construct with [`ReactiveController::builder`]; the legacy
-/// constructors are deprecated shims over it.
+/// Construct with [`ReactiveController::builder`] — the only
+/// construction path. The decision rules (classification, eviction
+/// parametrization, biased-state updates) come from the builder's
+/// [`Policy`](crate::policy::Policy) (default: the paper-exact
+/// [`PaperFsm`](crate::policy::PaperFsm)); everything else — deployment
+/// latency, retries, the oscillation cap, the revisit arc, telemetry —
+/// is policy-independent environment owned by the controller.
 ///
 /// # Examples
 ///
@@ -397,6 +418,10 @@ pub struct ReactiveController {
     /// assembled by the builder. `None` keeps the disabled fast path a
     /// single pointer-sized check.
     pub(crate) telemetry: Option<Box<Telemetry>>,
+    /// The decision rules. Policies are stateless configuration (all
+    /// mutable per-branch state lives in [`BranchCtl`]), so clones and
+    /// shards share one `Arc`.
+    pub(crate) policy: Arc<dyn Policy>,
 }
 
 /// What a call to [`ReactiveController::observe_chunk`] did, in aggregate.
@@ -413,59 +438,9 @@ pub struct ChunkSummary {
 }
 
 impl ReactiveController {
-    /// Creates a controller.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the parameters are inconsistent.
-    #[deprecated(note = "use `ReactiveController::builder(params).build()`")]
-    pub fn new(params: ControllerParams) -> Result<Self, InvalidParamsError> {
-        Self::builder(params).build()
-    }
-
-    /// Creates a controller with the resilience layer attached: deployments
-    /// go through the configured pipeline (and can fail), and the optional
-    /// storm breaker monitors the global misspeculation rate.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the controller parameters or the resilience
-    /// configuration are inconsistent.
-    #[deprecated(note = "use `ReactiveController::builder(params).resilience(config).build()`")]
-    pub fn with_resilience(
-        params: ControllerParams,
-        config: ResilienceConfig,
-    ) -> Result<Self, InvalidParamsError> {
-        Self::builder(params).resilience(config).build()
-    }
-
     /// The resilience configuration, if the layer is attached.
     pub fn resilience_config(&self) -> Option<&ResilienceConfig> {
         self.resilience.as_ref().map(|rs| &rs.config)
-    }
-
-    /// Disables (or re-enables) transition *event storage*.
-    ///
-    /// Shorthand for [`set_transition_log_policy`]
-    /// (`Full` when `record` is `true`, `CountsOnly` otherwise); per-kind
-    /// counters keep counting either way.
-    ///
-    /// [`set_transition_log_policy`]: ReactiveController::set_transition_log_policy
-    #[deprecated(note = "configure the log policy at construction: \
-                `ReactiveController::builder(params).log_policy(...)`")]
-    pub fn set_record_transitions(&mut self, record: bool) {
-        self.log.set_policy(if record {
-            TransitionLogPolicy::Full
-        } else {
-            TransitionLogPolicy::CountsOnly
-        });
-    }
-
-    /// Sets the transition-log retention policy (see [`TransitionLogPolicy`]).
-    #[deprecated(note = "configure the log policy at construction: \
-                `ReactiveController::builder(params).log_policy(...)`")]
-    pub fn set_transition_log_policy(&mut self, policy: TransitionLogPolicy) {
-        self.log.set_policy(policy);
     }
 
     /// The transition log, with its retention policy and exact per-kind
@@ -479,20 +454,14 @@ impl ReactiveController {
         &self.params
     }
 
-    fn fresh_tracker(&self) -> EvictTracker {
-        match self.params.eviction {
-            EvictionMode::Counter {
-                up,
-                down,
-                threshold,
-            } => EvictTracker::Counter(HysteresisCounter::new(up, down, threshold)),
-            EvictionMode::Sampling { .. } => EvictTracker::Sampling {
-                pos: 0,
-                matched: 0,
-                sampled: 0,
-            },
-            EvictionMode::Never => EvictTracker::Never,
-        }
+    /// The active control policy.
+    pub fn policy(&self) -> &Arc<dyn Policy> {
+        &self.policy
+    }
+
+    /// The active policy's stable identifier (checkpoints, metrics).
+    pub fn policy_id(&self) -> &'static str {
+        self.policy.id()
     }
 
     fn log_transition(
@@ -689,59 +658,33 @@ impl ReactiveController {
                         taken += u64::from(r.taken);
                     }
                     execs += 1;
-                    let majority = taken.max(samples - taken);
-                    let point_bias = if samples == 0 {
-                        0.0
-                    } else {
-                        majority as f64 / samples as f64
-                    };
-                    let threshold = self.params.selection_threshold;
-                    // `Some(true)` = classify biased, `Some(false)` =
-                    // classify unbiased, `None` = keep monitoring.
-                    let outcome = match self.params.monitor_policy {
-                        MonitorPolicy::FixedWindow => {
-                            if execs >= self.params.monitor_period {
-                                Some(point_bias >= threshold)
-                            } else {
-                                None
-                            }
-                        }
-                        MonitorPolicy::Confidence {
-                            z,
-                            min_execs,
-                            max_execs,
-                        } => {
-                            if samples < min_execs {
-                                None
-                            } else {
-                                let (lo, hi) =
-                                    crate::confidence::wilson_bounds(majority, samples, z);
-                                if lo >= threshold {
-                                    Some(true)
-                                } else if hi < threshold {
-                                    Some(false)
-                                } else if samples >= max_execs {
-                                    Some(point_bias >= threshold)
-                                } else {
-                                    None
-                                }
-                            }
-                        }
-                    };
-                    let Some(is_biased) = outcome else {
-                        self.branches[idx].state = State::Monitor {
+                    let choice = self.policy.decide(
+                        MonitorCounts {
                             execs,
                             samples,
                             taken,
-                        };
+                        },
+                        &self.params,
+                    );
+                    let SpecChoice::Speculate(dir) = choice else {
+                        if choice == SpecChoice::Continue {
+                            self.branches[idx].state = State::Monitor {
+                                execs,
+                                samples,
+                                taken,
+                            };
+                        } else {
+                            self.branches[idx].state = self.fresh_unbiased();
+                            self.log_transition(
+                                r.branch,
+                                TransitionKind::EnterUnbiased,
+                                r.instr,
+                                None,
+                            );
+                        }
                         return SpecDecision::NotSpeculated;
                     };
-                    if is_biased {
-                        let dir = if taken * 2 >= samples {
-                            Direction::Taken
-                        } else {
-                            Direction::NotTaken
-                        };
+                    {
                         // An open storm breaker suppresses the deployment:
                         // the branch parks as unbiased (no entry, no log)
                         // and the revisit arc re-monitors it after the
@@ -781,10 +724,10 @@ impl ReactiveController {
                         match self.deploy(r.branch, DeployKind::Optimize, r.instr, 0) {
                             DeployOutcome::Deployed => {
                                 if self.params.optimization_latency == 0 {
-                                    self.branches[idx].state = State::Biased {
-                                        dir,
-                                        tracker: self.fresh_tracker(),
-                                    };
+                                    let tracker = self
+                                        .policy
+                                        .evict(&self.params, self.branches[idx].evictions);
+                                    self.branches[idx].state = State::Biased { dir, tracker };
                                 } else {
                                     self.branches[idx].state = State::PendingBiased {
                                         deadline: r.instr + self.params.optimization_latency,
@@ -823,9 +766,6 @@ impl ReactiveController {
                                 }
                             }
                         }
-                    } else {
-                        self.branches[idx].state = self.fresh_unbiased();
-                        self.log_transition(r.branch, TransitionKind::EnterUnbiased, r.instr, None);
                     }
                     return SpecDecision::NotSpeculated;
                 }
@@ -833,10 +773,10 @@ impl ReactiveController {
                     if r.instr >= deadline {
                         // New code deployed; reprocess this execution as
                         // biased.
-                        self.branches[idx].state = State::Biased {
-                            dir,
-                            tracker: self.fresh_tracker(),
-                        };
+                        let tracker = self
+                            .policy
+                            .evict(&self.params, self.branches[idx].evictions);
+                        self.branches[idx].state = State::Biased { dir, tracker };
                         continue;
                     }
                     self.branches[idx].state = State::PendingBiased { deadline, dir };
@@ -851,47 +791,7 @@ impl ReactiveController {
                         self.incorrect += 1;
                         SpecDecision::Incorrect
                     };
-                    let evict = match &mut tracker {
-                        EvictTracker::Counter(c) => {
-                            if correct {
-                                c.correct();
-                            } else {
-                                c.misspeculation();
-                            }
-                            c.should_evict()
-                        }
-                        EvictTracker::Sampling {
-                            pos,
-                            matched,
-                            sampled,
-                        } => {
-                            let (period, samples, bias_threshold) = match self.params.eviction {
-                                EvictionMode::Sampling {
-                                    period,
-                                    samples,
-                                    bias_threshold,
-                                } => (period, samples, bias_threshold),
-                                _ => unreachable!("tracker matches eviction mode"),
-                            };
-                            let mut fire = false;
-                            if *pos < samples {
-                                *sampled += 1;
-                                *matched += u64::from(correct);
-                                if *sampled == samples {
-                                    let bias = *matched as f64 / *sampled as f64;
-                                    fire = bias < bias_threshold;
-                                }
-                            }
-                            *pos += 1;
-                            if *pos >= period {
-                                *pos = 0;
-                                *matched = 0;
-                                *sampled = 0;
-                            }
-                            fire
-                        }
-                        EvictTracker::Never => false,
-                    };
+                    let evict = self.policy.observe(&mut tracker, correct, &self.params);
                     if evict {
                         self.branches[idx].evictions += 1;
                         self.log_transition(
@@ -1005,7 +905,9 @@ impl ReactiveController {
                             self.branches[idx].state = if self.params.optimization_latency == 0 {
                                 State::Biased {
                                     dir,
-                                    tracker: self.fresh_tracker(),
+                                    tracker: self
+                                        .policy
+                                        .evict(&self.params, self.branches[idx].evictions),
                                 }
                             } else {
                                 State::PendingBiased {
@@ -1158,11 +1060,16 @@ impl ReactiveController {
             }
         }
 
-        let monitor_period = self.params.monitor_period;
-        let monitor_sample_rate = self.params.monitor_sample_rate;
+        let params = self.params;
+        let monitor_sample_rate = params.monitor_sample_rate;
         let sample_every_exec = monitor_sample_rate == 1;
-        let fixed_window = matches!(self.params.monitor_policy, MonitorPolicy::FixedWindow);
-        let optimization_latency = self.params.optimization_latency;
+        let optimization_latency = params.optimization_latency;
+        // Hoisted so the hot loop never borrows `self` for the policy:
+        // `observe_run` bounds the monitor fast arm, and a policy with a
+        // non-standard `observe` opts its biased branches out of the
+        // inlined tracker arms.
+        let policy = Arc::clone(&self.policy);
+        let custom_observe = policy.custom_observe();
 
         // The summary falls out of the counter deltas, and the counters
         // live in locals so the hot loop keeps them in registers; they sync
@@ -1210,9 +1117,15 @@ impl ReactiveController {
                     samples,
                     taken,
                 } => {
-                    // Inline only mid-window fixed-period monitoring; any
-                    // event that could classify goes through `observe`.
-                    if fixed_window && *execs + 1 < monitor_period {
+                    // Inline only executions inside the policy's guaranteed
+                    // monitor headroom; any event that could classify goes
+                    // through `observe`.
+                    let counts = MonitorCounts {
+                        execs: *execs,
+                        samples: *samples,
+                        taken: *taken,
+                    };
+                    if policy.observe_run(counts, &params) >= 1 {
                         if sample_every_exec || *execs % monitor_sample_rate == 0 {
                             *samples += 1;
                             *taken += u64::from(r.taken);
@@ -1226,7 +1139,7 @@ impl ReactiveController {
                     }
                 }
                 State::Biased { dir, tracker } => match tracker {
-                    EvictTracker::Counter(c) => {
+                    EvictTracker::Counter(c) if !custom_observe => {
                         let matched = dir.matches(r.taken);
                         if matched {
                             c.correct();
@@ -1242,7 +1155,7 @@ impl ReactiveController {
                             evict = Some(*dir);
                         }
                     }
-                    EvictTracker::Never => {
+                    EvictTracker::Never if !custom_observe => {
                         if dir.matches(r.taken) {
                             correct += 1;
                         } else {
@@ -1252,7 +1165,9 @@ impl ReactiveController {
                         events += 1;
                         instructions = instructions.max(r.instr);
                     }
-                    EvictTracker::Sampling { .. } => slow = true,
+                    // Sampled eviction, or a policy with a non-standard
+                    // `observe`: per-event path.
+                    _ => slow = true,
                 },
                 // Deployment deadlines can cascade through several states:
                 // slow path. Retry states only exist with the resilience
@@ -1383,11 +1298,13 @@ impl ReactiveController {
             }
         }
 
-        let monitor_period = self.params.monitor_period;
-        let monitor_sample_rate = self.params.monitor_sample_rate;
+        let params = self.params;
+        let monitor_sample_rate = params.monitor_sample_rate;
         let sample_every_exec = monitor_sample_rate == 1;
-        let fixed_window = matches!(self.params.monitor_policy, MonitorPolicy::FixedWindow);
-        let optimization_latency = self.params.optimization_latency;
+        let optimization_latency = params.optimization_latency;
+        // Same hoists as `observe_chunk` (see there).
+        let policy = Arc::clone(&self.policy);
+        let custom_observe = policy.custom_observe();
 
         let start_events = self.events;
         let start_correct = self.correct;
@@ -1445,11 +1362,17 @@ impl ReactiveController {
                         samples,
                         taken: tk,
                     } => {
-                        // Bulk-consume up to the last mid-window event;
-                        // the event that could classify goes to `observe`.
-                        if fixed_window && *execs + 1 < monitor_period {
-                            let headroom =
-                                usize::try_from(monitor_period - 1 - *execs).unwrap_or(usize::MAX);
+                        // Bulk-consume the policy's guaranteed monitor
+                        // headroom; the event that could classify goes to
+                        // `observe`.
+                        let counts = MonitorCounts {
+                            execs: *execs,
+                            samples: *samples,
+                            taken: *tk,
+                        };
+                        let headroom = policy.observe_run(counts, &params);
+                        if headroom >= 1 {
+                            let headroom = usize::try_from(headroom).unwrap_or(usize::MAX);
                             let m = headroom.min(len - i);
                             if sample_every_exec {
                                 *samples += m as u64;
@@ -1471,7 +1394,7 @@ impl ReactiveController {
                         }
                     }
                     State::Biased { dir, tracker } => match tracker {
-                        EvictTracker::Counter(c) => {
+                        EvictTracker::Counter(c) if !custom_observe => {
                             let want = u8::from(*dir == Direction::Taken);
                             let mut j = i;
                             // Consume miss-free stretches in one step: scan
@@ -1503,7 +1426,7 @@ impl ReactiveController {
                             events += m as u64;
                             i = j;
                         }
-                        EvictTracker::Never => {
+                        EvictTracker::Never if !custom_observe => {
                             let m = len - i;
                             let want = u8::from(*dir == Direction::Taken);
                             let hits: u64 = t[i..].iter().map(|&x| u64::from(x == want)).sum();
@@ -1513,7 +1436,9 @@ impl ReactiveController {
                             events += m as u64;
                             i = len;
                         }
-                        EvictTracker::Sampling { .. } => slow = true,
+                        // Sampled eviction, or a policy with a
+                        // non-standard `observe`: per-event path.
+                        _ => slow = true,
                     },
                     State::PendingBiased { .. }
                     | State::PendingMonitor { .. }
@@ -1649,6 +1574,16 @@ impl ReactiveController {
             .and_then(|rs| rs.breaker.as_ref())
             .map_or(0, |b| b.phase().gauge_code());
         reg.set_gauge(ids.breaker_state, f64::from(phase));
+        // Info-style metric: the label carries the active policy id, the
+        // value is always 1. Synthesized at export time so restored or
+        // rebuilt controllers always report their current policy.
+        let policy_info = reg.counter_labeled(
+            "rsc_policy_info",
+            "policy",
+            self.policy.id(),
+            "Active control policy (value is constant 1; the label is the payload)",
+        );
+        reg.set_counter(policy_info, 1);
         Some(reg)
     }
 
@@ -1679,7 +1614,8 @@ impl ReactiveController {
     /// The retained transition events, oldest first — a convenience view
     /// of [`transition_log`](Self::transition_log).
     ///
-    /// Retention follows the configured [`TransitionLogPolicy`]:
+    /// Retention follows the configured
+    /// [`TransitionLogPolicy`](crate::translog::TransitionLogPolicy):
     /// `Full` returns every transition since construction, `CountsOnly`
     /// always returns an empty slice, and `RingBuffer(n)` returns at most
     /// the latest `n` events — anything older has been truncated and
@@ -1790,6 +1726,8 @@ impl ReactiveController {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::{EvictionMode, MonitorPolicy};
+    use crate::translog::TransitionLogPolicy;
 
     fn rec(b: u32, taken: bool, instr: u64) -> BranchRecord {
         BranchRecord {
@@ -2651,34 +2589,6 @@ mod tests {
         drive(&mut ctl, 0, true, 10, &mut instr);
         assert!(ctl.is_speculating(BranchId::new(0)));
         assert!(!ctl.is_disabled(BranchId::new(0)));
-    }
-
-    /// The deprecated constructors and setters must stay behaviorally
-    /// identical to their builder replacements until they are removed.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_builder() {
-        let stream = lifecycle_stream();
-        let mut legacy = ReactiveController::new(tiny()).unwrap();
-        legacy.set_record_transitions(false);
-        let mut built = ReactiveController::builder(tiny())
-            .log_policy(TransitionLogPolicy::CountsOnly)
-            .build()
-            .unwrap();
-        for r in &stream {
-            legacy.observe(r);
-            built.observe(r);
-        }
-        assert_eq!(legacy.stats(), built.stats());
-        assert_eq!(legacy.transitions(), built.transitions());
-
-        let config = crate::resilience::ResilienceConfig::reliable();
-        let legacy = ReactiveController::with_resilience(tiny(), config).unwrap();
-        let built = ReactiveController::builder(tiny())
-            .resilience(config)
-            .build()
-            .unwrap();
-        assert_eq!(legacy.resilience_config(), built.resilience_config());
     }
 
     /// Telemetry must never perturb the controller: same trace, same

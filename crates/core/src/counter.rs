@@ -79,6 +79,21 @@ impl HysteresisCounter {
         self.value
     }
 
+    /// The per-misspeculation increment.
+    pub fn up(&self) -> u32 {
+        self.up
+    }
+
+    /// The per-correct-speculation decrement.
+    pub fn down(&self) -> u32 {
+        self.down
+    }
+
+    /// The eviction threshold (also the saturation ceiling).
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
     /// Resets to zero (used when re-entering the biased state).
     pub fn reset(&mut self) {
         self.value = 0;

@@ -43,9 +43,11 @@
 //! Controllers are assembled through one builder —
 //! [`ReactiveController::builder`] — which also attaches the optional
 //! observability layer (a [`observe::MetricsRegistry`] and/or an
-//! [`observe::EventSink`]); see [`ControllerBuilder`] for the migration
-//! table from the deprecated constructors. The [`prelude`] re-exports the
-//! types a typical consumer needs.
+//! [`observe::EventSink`]) and selects the control [`policy::Policy`]
+//! (the paper's FSM is [`policy::PaperFsm`], the default, one of a small
+//! zoo of competing implementations); see [`ControllerBuilder`] for the
+//! migration table from the removed legacy constructors. The [`prelude`]
+//! re-exports the types a typical consumer needs.
 
 #![warn(deprecated)]
 
@@ -58,6 +60,7 @@ pub mod counter;
 pub mod engine;
 pub mod observe;
 pub mod params;
+pub mod policy;
 pub mod reference;
 pub mod resilience;
 pub mod shard;
@@ -67,8 +70,8 @@ pub mod translog;
 pub use builder::ControllerBuilder;
 pub use checkpoint::{CheckpointError, ControllerCheckpoint};
 pub use controller::{
-    BranchSnapshot, BranchStateView, ChunkSummary, ReactiveController, SpecDecision, TrackerView,
-    TransitionEvent, TransitionKind,
+    BranchSnapshot, BranchStateView, ChunkSummary, EvictTracker, ReactiveController, SpecDecision,
+    TrackerView, TransitionEvent, TransitionKind,
 };
 pub use engine::{
     run_population, run_population_chunked, run_population_chunked_with, run_trace, run_trace_with,
@@ -76,6 +79,10 @@ pub use engine::{
 };
 pub use observe::{EventSink, JsonlSink, MetricsRegistry, NullSink, ObsEvent, VecSink};
 pub use params::{ControllerParams, EvictionMode, InvalidParamsError, MonitorPolicy, Revisit};
+pub use policy::{
+    builtin_policy, policy_from_blob, AdaptiveHysteresis, CostAware, MonitorCounts, PaperFsm,
+    Perceptron, Policy, SpecChoice, BUILTIN_POLICY_IDS,
+};
 pub use reference::ReferenceController;
 pub use resilience::ResilienceConfig;
 pub use shard::ShardedController;
@@ -94,10 +101,14 @@ pub use translog::{TransitionLog, TransitionLogPolicy};
 pub mod prelude {
     pub use crate::builder::ControllerBuilder;
     pub use crate::controller::{
-        ChunkSummary, ReactiveController, SpecDecision, TransitionEvent, TransitionKind,
+        ChunkSummary, EvictTracker, ReactiveController, SpecDecision, TransitionEvent,
+        TransitionKind,
     };
     pub use crate::observe::{EventSink, JsonlSink, MetricsRegistry, NullSink, ObsEvent, VecSink};
     pub use crate::params::{ControllerParams, InvalidParamsError};
+    pub use crate::policy::{
+        AdaptiveHysteresis, CostAware, MonitorCounts, PaperFsm, Perceptron, Policy, SpecChoice,
+    };
     pub use crate::resilience::ResilienceConfig;
     pub use crate::shard::ShardedController;
     pub use crate::stats::ControlStats;

@@ -552,7 +552,13 @@ fn json_str(s: &str) -> String {
 // ---------------------------------------------------------------------------
 
 /// One observability event emitted by the controller.
+///
+/// Marked `#[non_exhaustive]`: new controller subsystems add event
+/// kinds over time (deployment, breaker, checkpoint events all arrived
+/// after the first release of this enum), so downstream matches must
+/// keep a wildcard arm.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub enum ObsEvent {
     /// A classification transition (including the global breaker
     /// transitions, which carry the

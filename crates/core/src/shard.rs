@@ -751,7 +751,7 @@ mod tests {
             execs[b] += 1;
             out.push(BranchRecord {
                 branch: BranchId::new(b as u32),
-                taken: (n / flip) % 2 == 0,
+                taken: (n / flip).is_multiple_of(2),
                 instr: 3 * i + 1,
             });
         }

@@ -1,18 +1,18 @@
-//! Property tests for the [`ControllerBuilder`] redesign: every
-//! controller the deprecated constructors could assemble is reproduced
-//! **bit-for-bit** by the builder, across random parameterizations,
-//! log policies, resilience layers, and seeded traces — and attaching
-//! telemetry never perturbs behavior.
-
-#![allow(deprecated)] // the point of this suite is legacy-vs-builder equality
+//! Property tests for the [`Policy`] seam: a controller built with an
+//! explicit `.policy(PaperFsm)` is **bit-identical** to the default
+//! controller — same decisions, stats, retained transitions, and
+//! serialized checkpoint bytes — across random parameterizations, all
+//! seven adversary generators, random chunk layouts, and both the
+//! sequential and the sharded engines. Telemetry attachment stays
+//! observation-only.
 
 use proptest::prelude::*;
 use rsc_control::resilience::{DeployerSpec, FaultMode, FaultScope, FaultSpec, RetryPolicy};
 use rsc_control::{
-    ControllerParams, EvictionMode, MonitorPolicy, ReactiveController, ResilienceConfig, Revisit,
-    TransitionLogPolicy, VecSink,
+    ControllerParams, EvictionMode, MonitorPolicy, PaperFsm, ReactiveController, ResilienceConfig,
+    Revisit, ShardedController, TransitionLogPolicy, VecSink,
 };
-use rsc_trace::{BranchId, BranchRecord};
+use rsc_trace::{BranchId, BranchRecord, Scenario};
 use std::sync::Arc;
 
 /// Arbitrary record streams over a handful of branches.
@@ -31,6 +31,50 @@ fn records(max_len: usize) -> impl Strategy<Value = Vec<BranchRecord>> {
             })
             .collect()
     })
+}
+
+/// One of the seven adversarial workload generators, parameterized
+/// randomly and rendered to a concrete stream.
+fn adversary(len: usize) -> impl Strategy<Value = Vec<BranchRecord>> {
+    (0usize..7, 1u64..64, 1u32..9, 1u64..1_000).prop_map(move |(which, t, n, seed)| {
+        let scenario = match which {
+            0 => Scenario::PhaseFlip {
+                branches: n,
+                flip_after: t * 4,
+            },
+            1 => Scenario::HysteresisStraddle {
+                warmup: t * 2,
+                period: 1 + t % 8,
+            },
+            2 => Scenario::RevisitAlias { period: t * 2 },
+            3 => Scenario::ThresholdOscillator { window: t },
+            4 => Scenario::BurstyHotSet { hot: n, burst: t },
+            5 => Scenario::UniformRandom { branches: n },
+            _ => Scenario::CorrelatedGroups {
+                groups: 1 + n / 3,
+                per_group: 2,
+                flip_every: t * 3,
+                churn: t * 5,
+            },
+        };
+        scenario.generate(len as u64, seed)
+    })
+}
+
+/// Random chunk layout: split points partitioning `len` records.
+fn chunk_layout(len: usize) -> Vec<usize> {
+    // Deterministic pseudo-splits derived from the length keep the
+    // strategy space small while still varying block shapes.
+    let mut cuts = vec![0];
+    let mut at = 0;
+    let mut step = 1 + len % 37;
+    while at + step < len {
+        at += step;
+        cuts.push(at);
+        step = 1 + (step * 7 + 3) % 61;
+    }
+    cuts.push(len);
+    cuts
 }
 
 /// Small but structurally valid controller parameterizations.
@@ -103,51 +147,100 @@ fn drive(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// `builder(p).build()` is bit-identical to the deprecated
-    /// `new(p)` + `set_transition_log_policy(policy)` sequence — same
-    /// decisions, stats, retained transitions, and serialized bytes.
+    /// `builder(p).policy(PaperFsm)` is bit-identical to the default
+    /// builder — the paper FSM *is* the default policy, with no drift
+    /// between the explicit and implicit paths.
     #[test]
-    fn builder_matches_legacy_construction(
+    fn explicit_paper_fsm_matches_default(
         recs in records(1_200),
         p in params(),
         policy in log_policy(),
     ) {
-        let mut legacy = ReactiveController::new(p).unwrap();
-        legacy.set_transition_log_policy(policy);
-        let built = ReactiveController::builder(p).log_policy(policy).build().unwrap();
+        let default = ReactiveController::builder(p)
+            .log_policy(policy)
+            .build()
+            .unwrap();
+        let explicit = ReactiveController::builder(p)
+            .log_policy(policy)
+            .policy(PaperFsm)
+            .build()
+            .unwrap();
+        prop_assert_eq!(explicit.policy_id(), "paper-fsm");
 
-        let (legacy, ld) = drive(legacy, &recs);
-        let (built, bd) = drive(built, &recs);
-        prop_assert_eq!(ld, bd);
-        prop_assert_eq!(legacy.stats(), built.stats());
-        prop_assert_eq!(legacy.transitions(), built.transitions());
-        prop_assert_eq!(legacy.snapshot(), built.snapshot());
+        let (default, dd) = drive(default, &recs);
+        let (explicit, ed) = drive(explicit, &recs);
+        prop_assert_eq!(dd, ed);
+        prop_assert_eq!(default.stats(), explicit.stats());
+        prop_assert_eq!(default.transitions(), explicit.transitions());
+        prop_assert_eq!(default.snapshot(), explicit.snapshot());
     }
 
-    /// Same equality through the resilience layer: the deprecated
-    /// `with_resilience` equals `.resilience(config)`.
+    /// Across every adversary generator and a random chunk layout, the
+    /// chunked fast path and the sharded engine agree with the
+    /// sequential per-event path under an explicit `PaperFsm` policy.
     #[test]
-    fn builder_matches_legacy_resilience(
+    fn paper_fsm_agrees_sequential_chunked_and_sharded(
+        recs in adversary(2_000),
+        p in params(),
+        shards in 1usize..4,
+    ) {
+        let (sequential, _) = drive(
+            ReactiveController::builder(p).policy(PaperFsm).build().unwrap(),
+            &recs,
+        );
+
+        let mut chunked = ReactiveController::builder(p).policy(PaperFsm).build().unwrap();
+        let cuts = chunk_layout(recs.len());
+        for w in cuts.windows(2) {
+            chunked.observe_chunk(&recs[w[0]..w[1]]);
+        }
+        prop_assert_eq!(sequential.stats(), chunked.stats());
+        prop_assert_eq!(sequential.snapshot(), chunked.snapshot());
+
+        let mut sharded = ReactiveController::builder(p)
+            .policy(PaperFsm)
+            .shards(shards)
+            .build_sharded()
+            .unwrap();
+        for w in cuts.windows(2) {
+            sharded.observe_chunk(&recs[w[0]..w[1]]);
+        }
+        prop_assert_eq!(sequential.stats(), sharded.stats());
+        for b in 0..10u32 {
+            prop_assert_eq!(
+                sequential.branch_snapshot(BranchId::new(b)),
+                sharded.branch_snapshot(BranchId::new(b))
+            );
+        }
+        // The sharded engine round-trips through its own checkpoint.
+        let restored = ShardedController::restore(&sharded.snapshot()).unwrap();
+        prop_assert_eq!(restored.stats(), sharded.stats());
+    }
+
+    /// Resilience composes with the policy seam exactly as it does with
+    /// the default controller.
+    #[test]
+    fn resilience_composes_with_explicit_policy(
         recs in records(1_200),
         p in params(),
         config in resilience(),
     ) {
-        let legacy = match config {
-            Some(c) => ReactiveController::with_resilience(p, c).unwrap(),
-            None => ReactiveController::new(p).unwrap(),
+        let assemble = |explicit: bool| {
+            let mut b = ReactiveController::builder(p);
+            if explicit {
+                b = b.policy(PaperFsm);
+            }
+            if let Some(c) = config {
+                b = b.resilience(c);
+            }
+            b.build().unwrap()
         };
-        let mut b = ReactiveController::builder(p);
-        if let Some(c) = config {
-            b = b.resilience(c);
-        }
-        let built = b.build().unwrap();
-
-        let (legacy, ld) = drive(legacy, &recs);
-        let (built, bd) = drive(built, &recs);
-        prop_assert_eq!(ld, bd);
-        prop_assert_eq!(legacy.stats(), built.stats());
-        prop_assert_eq!(legacy.transitions(), built.transitions());
-        prop_assert_eq!(legacy.snapshot(), built.snapshot());
+        let (default, dd) = drive(assemble(false), &recs);
+        let (explicit, ed) = drive(assemble(true), &recs);
+        prop_assert_eq!(dd, ed);
+        prop_assert_eq!(default.stats(), explicit.stats());
+        prop_assert_eq!(default.transitions(), explicit.transitions());
+        prop_assert_eq!(default.snapshot(), explicit.snapshot());
     }
 
     /// Telemetry is observation, not intervention: enabling the registry

@@ -106,7 +106,7 @@ fn mutate_once(g: &mut Genome, rng: &mut Xoshiro256, monitor: u64) {
     let seg = rng.gen_range(g.segments.len() as u64) as usize;
     match rng.gen_range(9) {
         // Tweak the selected segment's scenario parameters.
-        0 | 1 | 2 => {
+        0..=2 => {
             let s = &mut g.segments[seg];
             s.scenario = tweak_scenario(s.scenario, rng);
         }
@@ -145,14 +145,13 @@ fn mutate_once(g: &mut Genome, rng: &mut Xoshiro256, monitor: u64) {
         }
         // Remove a segment (its events fold into a neighbor, preserving
         // total length).
+        5 if g.segments.len() > 1 => {
+            let removed = g.segments.remove(seg);
+            let neighbor = seg.min(g.segments.len() - 1);
+            g.segments[neighbor].events += removed.events;
+        }
         5 => {
-            if g.segments.len() > 1 {
-                let removed = g.segments.remove(seg);
-                let neighbor = seg.min(g.segments.len() - 1);
-                g.segments[neighbor].events += removed.events;
-            } else {
-                g.seed = g.seed.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(1);
-            }
+            g.seed = g.seed.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(1);
         }
         // Swap two segments (reorders the input switches).
         6 => {

@@ -42,7 +42,12 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 
 /// Why a tenant's events were refused. Carried inside [`Frame::Reject`]
 /// so clients always learn *which* defense fired.
+///
+/// Marked `#[non_exhaustive]`: every new server-side defense mints a
+/// new code, and clients must treat unknown codes as a generic refusal
+/// rather than failing to compile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RejectCode {
     /// The tenant's lifetime event quota would be exceeded.
     QuotaEvents,

@@ -475,7 +475,7 @@ mod tests {
 
     #[test]
     fn pool_run_with_overlaps_caller_work_and_borrows_stack() {
-        let inputs = vec![5u32, 6, 7];
+        let inputs = [5u32, 6, 7];
         let slots: Vec<Mutex<u32>> = (0..3).map(|_| Mutex::new(0)).collect();
         let mut pool = WorkerPool::new(vec![(); 3], "t").unwrap();
         let mut overlapped = false;

@@ -232,9 +232,22 @@ fn mssp_step(pop: &Population, events: u64, seed: u64, reps: u32) -> StageRow {
     // events/sec figure stays representative.
     let events = (events / 8).max(50_000);
     let machine_cfg = MachineConfig::table5();
-    let per_event = time(
+    // The chunked path must be bit-identical, not just fast; assert it on
+    // the measured workload before timing.
+    assert_eq!(
+        machine::run_baseline(pop, InputId::Eval, events, seed, &machine_cfg),
+        machine::run_baseline_chunked(pop, InputId::Eval, events, seed, &machine_cfg),
+        "chunked mssp path diverged from the per-event oracle"
+    );
+    let (per_event, chunked) = time_pair(
         || {
             let cycles = machine::run_baseline(pop, InputId::Eval, events, seed, &machine_cfg);
+            black_box(cycles);
+            events
+        },
+        || {
+            let cycles =
+                machine::run_baseline_chunked(pop, InputId::Eval, events, seed, &machine_cfg);
             black_box(cycles);
             events
         },
@@ -243,7 +256,7 @@ fn mssp_step(pop: &Population, events: u64, seed: u64, reps: u32) -> StageRow {
     StageRow {
         stage: "mssp_step",
         per_event,
-        chunked: None,
+        chunked: Some(chunked),
     }
 }
 
@@ -472,22 +485,23 @@ pub fn to_json(rows: &[StageRow], shard_rows: &[ShardRow], opts: &ExpOptions) ->
             "      \"per_event_events_per_sec\": {:.1},\n",
             r.per_event.events_per_sec()
         ));
-        match r.chunked {
-            Some(c) => {
-                out.push_str(&format!(
-                    "      \"chunked_events_per_sec\": {:.1},\n",
-                    c.events_per_sec()
-                ));
-                out.push_str(&format!(
-                    "      \"speedup\": {:.3}\n",
-                    r.speedup().expect("chunked implies speedup")
-                ));
-            }
-            None => {
-                out.push_str("      \"chunked_events_per_sec\": null,\n");
-                out.push_str("      \"speedup\": null\n");
-            }
-        }
+        // Every stage has a chunked path now; a missing measurement is a
+        // wiring bug and must not be papered over with `null` in the
+        // exported benchmark file.
+        let c = r.chunked.unwrap_or_else(|| {
+            panic!(
+                "stage {} is missing its chunked measurement; refusing to export null",
+                r.stage
+            )
+        });
+        out.push_str(&format!(
+            "      \"chunked_events_per_sec\": {:.1},\n",
+            c.events_per_sec()
+        ));
+        out.push_str(&format!(
+            "      \"speedup\": {:.3}\n",
+            r.speedup().expect("chunked implies speedup")
+        ));
         out.push_str(if i + 1 == rows.len() {
             "    }\n"
         } else {
@@ -520,9 +534,13 @@ mod tests {
                 "mssp_step"
             ]
         );
-        // Stages with a chunked path report a speedup; MSSP does not.
-        assert!(rows[1].speedup().is_some());
-        assert!(rows[3].speedup().is_none());
+        // Every stage, MSSP included, reports a chunked speedup.
+        for r in &rows {
+            let s = r
+                .speedup()
+                .unwrap_or_else(|| panic!("{} has no speedup", r.stage));
+            assert!(s > 0.0, "{}: speedup {s}", r.stage);
+        }
     }
 
     #[test]
@@ -545,7 +563,10 @@ mod tests {
                     events: 100,
                     secs: 0.5,
                 },
-                chunked: None,
+                chunked: Some(Throughput {
+                    events: 100,
+                    secs: 0.1,
+                }),
             },
         ];
         let shard_rows = vec![
@@ -571,7 +592,8 @@ mod tests {
             assert_eq!(json.matches('{').count(), json.matches('}').count());
             assert_eq!(json.matches('[').count(), json.matches(']').count());
             assert!(json.contains("\"speedup\": 2.000"));
-            assert!(json.contains("\"speedup\": null"));
+            assert!(json.contains("\"speedup\": 5.000"));
+            assert!(!json.contains("null"), "no stage may export null");
             assert!(json.contains("\"shard_scaling\": ["));
             assert!(json.contains("\"threads\": "));
             assert!(json.ends_with("}\n"));
@@ -579,6 +601,20 @@ mod tests {
         let json = to_json(&rows, &shard_rows, &ExpOptions::small());
         assert!(json.contains("\"shards\": 4"));
         assert!(json.contains("\"speedup_vs_1\": 4.000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing its chunked measurement")]
+    fn export_fails_loudly_on_missing_chunked_measurement() {
+        let rows = vec![StageRow {
+            stage: "mssp_step",
+            per_event: Throughput {
+                events: 100,
+                secs: 0.5,
+            },
+            chunked: None,
+        }];
+        let _ = to_json(&rows, &[], &ExpOptions::small());
     }
 
     #[test]

@@ -108,6 +108,108 @@ impl Cache {
     }
 }
 
+/// A caller-held flat mirror of a [`Cache`]'s contents: the batched
+/// timing loop's cache fast path.
+///
+/// The shadow stores every set's blocks MRU-first in one contiguous
+/// array (`sets * assoc` slots, `u64::MAX` marking an empty way), so an
+/// access is a strided scan of at most `assoc` adjacent words and an LRU
+/// rotation is a `copy_within` of the few words in front of the hit —
+/// no per-set `Vec` headers to chase and no `remove`/`insert` shuffles.
+/// The leading slot is the set's MRU block, which makes the dominant
+/// repeat-access pattern a single compare. Replacement semantics are
+/// exactly [`Cache::access`]'s true-LRU, and the hit/miss counters keep
+/// living on the shadowed `Cache`, which stays the one source of
+/// accounting truth.
+///
+/// [`ShadowCache::access`] is bit-identical to [`Cache::access`]
+/// **provided every access to the underlying cache flows through the
+/// same shadow for the shadow's lifetime**: the shadow owns the
+/// *contents* from construction on, so an access that bypasses it leaves
+/// the two copies permanently diverged. The chunked machine loops
+/// therefore create one shadow per cache per run and route all traffic
+/// through it; the per-event oracle path never constructs one.
+#[derive(Debug, Clone)]
+pub struct ShadowCache {
+    /// `sets * assoc` block numbers, each set's ways adjacent and
+    /// MRU-first; `u64::MAX` means "empty way" (addresses are < 2^48, so
+    /// real block numbers never collide with the sentinel).
+    ways: Box<[u64]>,
+    assoc: usize,
+    block_shift: u32,
+    set_mask: u64,
+}
+
+impl ShadowCache {
+    /// Creates a shadow holding `cache`'s current contents (empty sets
+    /// included), after which all accesses must flow through it.
+    pub fn new(cache: &Cache) -> Self {
+        let assoc = cache.assoc;
+        let set_bits = cache.sets.len().trailing_zeros();
+        let mut ways = vec![u64::MAX; cache.sets.len() * assoc].into_boxed_slice();
+        for (s, set) in cache.sets.iter().enumerate() {
+            for (i, &tag) in set.iter().enumerate() {
+                ways[s * assoc + i] = (tag << set_bits) | s as u64;
+            }
+        }
+        ShadowCache {
+            ways,
+            assoc,
+            block_shift: cache.block_shift,
+            set_mask: cache.set_mask,
+        }
+    }
+
+    /// Accesses `addr` through the shadow, updating `cache`'s hit/miss
+    /// counters; identical results to [`Cache::access`] under the
+    /// exclusive-routing invariant above.
+    #[inline]
+    pub fn access(&mut self, cache: &mut Cache, addr: u64) -> Access {
+        let a = self.access_uncounted(addr);
+        match a {
+            Access::Hit => cache.hits += 1,
+            Access::Miss => cache.misses += 1,
+        }
+        a
+    }
+
+    /// [`ShadowCache::access`] without the counter update, for hot loops
+    /// that tally hits/misses in locals and flush them to the shadowed
+    /// [`Cache`] once per batch (the totals are what must stay identical).
+    #[inline]
+    pub fn access_uncounted(&mut self, addr: u64) -> Access {
+        let block = addr >> self.block_shift;
+        let start = (block & self.set_mask) as usize * self.assoc;
+        let ways = &mut self.ways[start..start + self.assoc];
+        if ways[0] == block {
+            // The block is already this set's MRU: hit, LRU unchanged.
+            return Access::Hit;
+        }
+        for i in 1..ways.len() {
+            if ways[i] == block {
+                ways.copy_within(0..i, 1);
+                ways[0] = block;
+                return Access::Hit;
+            }
+        }
+        // Miss: shift every way down (the last one — LRU or an empty
+        // sentinel — falls off) and fill the MRU slot.
+        ways.copy_within(0..self.assoc - 1, 1);
+        ways[0] = block;
+        Access::Miss
+    }
+}
+
+/// Adds externally tallied hit/miss counts to a cache's counters: the
+/// flush half of the [`ShadowCache::access_uncounted`] protocol.
+impl Cache {
+    /// Credits `hits` and `misses` accumulated outside [`Cache::access`].
+    pub fn add_counts(&mut self, hits: u64, misses: u64) {
+        self.hits += hits;
+        self.misses += misses;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,5 +272,65 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_odd_block_size() {
         Cache::new(8, 2, 48);
+    }
+
+    #[test]
+    fn shadow_is_bit_identical_to_direct_access() {
+        for (kib, assoc) in [(8, 2), (64, 8), (1, 1)] {
+            let mut plain = Cache::new(kib, assoc, 64);
+            let mut shadowed = Cache::new(kib, assoc, 64);
+            let mut shadow = ShadowCache::new(&shadowed);
+            // A mix of repeats, conflicts, and strides; LCG-driven.
+            let mut x = 0xDEADBEEFu64;
+            for i in 0..20_000u64 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let addr = if i % 3 == 0 {
+                    (x >> 40) % 512
+                } else {
+                    (x >> 40) % (64 * 1024)
+                };
+                assert_eq!(
+                    plain.access(addr),
+                    shadow.access(&mut shadowed, addr),
+                    "{kib} KiB {assoc}-way"
+                );
+            }
+            assert_eq!(plain.hits(), shadowed.hits());
+            assert_eq!(plain.misses(), shadowed.misses());
+        }
+    }
+
+    #[test]
+    fn shadow_of_a_warm_cache_keeps_its_contents_and_lru_order() {
+        let mut plain = Cache::new(1, 2, 64); // 8 sets
+        let mut shadowed = Cache::new(1, 2, 64);
+        let stride = 8 * 64;
+        for addr in [0, stride, 0] {
+            plain.access(addr);
+            shadowed.access(addr); // set 0 now holds [0, stride], 0 MRU
+        }
+        let mut shadow = ShadowCache::new(&shadowed);
+        // 2*stride evicts `stride` (LRU), keeping 0 — in both copies.
+        assert_eq!(plain.access(2 * stride), Access::Miss);
+        assert_eq!(shadow.access(&mut shadowed, 2 * stride), Access::Miss);
+        assert_eq!(plain.access(0), Access::Hit);
+        assert_eq!(shadow.access(&mut shadowed, 0), Access::Hit);
+        assert_eq!(plain.access(stride), Access::Miss);
+        assert_eq!(shadow.access(&mut shadowed, stride), Access::Miss);
+    }
+
+    #[test]
+    fn shadow_fast_path_triggers_on_repeats() {
+        let mut c = Cache::new(8, 2, 64);
+        let mut shadow = ShadowCache::new(&c);
+        assert_eq!(shadow.access(&mut c, 0x100), Access::Miss);
+        assert_eq!(
+            shadow.access(&mut c, 0x104),
+            Access::Hit,
+            "same block, MRU slot"
+        );
+        assert_eq!(c.hits(), 1);
     }
 }

@@ -33,9 +33,13 @@ pub mod predictor;
 pub mod program;
 pub mod timing;
 
-pub use cache::Cache;
+pub use cache::{Cache, ShadowCache};
 pub use config::{CoreConfig, MachineConfig};
 pub use distill::Distiller;
-pub use machine::{run_baseline, run_mssp, run_mssp_only, MsspParams, MsspResult};
-pub use program::{Instr, MemoryModel, ProgramStream};
-pub use timing::{CoreModel, TimingStats};
+pub use machine::{
+    run_baseline, run_baseline_chunked, run_mssp, run_mssp_mode, run_mssp_only,
+    run_mssp_only_chunked, run_mssp_only_mode, run_mssp_only_speculative, ExecMode, MsspParams,
+    MsspResult,
+};
+pub use program::{BlockOp, Instr, InstrBlock, MemoryModel, OpKind, ProgramStream};
+pub use timing::{CoreModel, StepMemo, TimingStats};

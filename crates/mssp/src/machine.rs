@@ -10,10 +10,31 @@
 use crate::cache::Cache;
 use crate::config::MachineConfig;
 use crate::distill::{Distiller, SkipAccumulator};
-use crate::program::{Instr, MemoryModel, ProgramStream};
-use crate::timing::CoreModel;
+use crate::program::{Instr, InstrBlock, MemoryModel, OpKind, ProgramStream};
+use crate::timing::{CoreModel, StepMemo};
 use rsc_control::{ControllerParams, ReactiveController, SpecDecision, TransitionLogPolicy};
 use rsc_trace::{InputId, Population};
+
+/// Branch events per block on the chunked baseline path (tasks set the
+/// block size on the MSSP paths).
+const BASELINE_BLOCK_EVENTS: u64 = 2048;
+
+/// How the simulator executes a run. Every mode produces bit-identical
+/// results ([`MsspResult`] and the underlying `TimingStats`); they differ
+/// only in speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One `Instr` at a time: the slow oracle path the others are pinned
+    /// against.
+    #[default]
+    PerEvent,
+    /// Whole task blocks through the batched `CoreModel` arms.
+    Chunked,
+    /// Chunked, plus the next master task is simulated speculatively on
+    /// this thread while a second thread runs the trailing check of the
+    /// current task; the speculative outcome is promoted at commit.
+    Speculative,
+}
 
 /// Parameters of one MSSP simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -114,6 +135,31 @@ pub fn run_baseline(
     core.cycles()
 }
 
+/// [`run_baseline`] on the chunked fast path: whole instruction blocks
+/// through the batched `CoreModel` arms. Bit-identical cycles.
+pub fn run_baseline_chunked(
+    population: &Population,
+    input: InputId,
+    events: u64,
+    seed: u64,
+    machine: &MachineConfig,
+) -> u64 {
+    let mem = MemoryModel::for_benchmark(population.name());
+    let mut core = CoreModel::new(machine.leading, machine);
+    let mut l2 = Cache::new(machine.l2_kib, machine.l2_assoc, machine.block_bytes);
+    let mut memo = StepMemo::new(&core, &l2);
+    let mut stream = ProgramStream::new(population, input, events, seed, mem);
+    let mut block = InstrBlock::default();
+    loop {
+        stream.fill_block_arms(&mut block, BASELINE_BLOCK_EVENTS);
+        if block.is_empty() {
+            break;
+        }
+        core.step_block(&block, &mut l2, &mut memo);
+    }
+    core.cycles()
+}
+
 /// Runs the MSSP machine with the given speculation-control policy and
 /// returns cycles for both MSSP and the baseline.
 ///
@@ -131,6 +177,173 @@ pub fn run_mssp(
     let mut r = run_mssp_only(population, input, events, seed, params);
     r.baseline_cycles = baseline_cycles;
     r
+}
+
+/// What the master side of one task produced, captured so commit-time
+/// bookkeeping can run after (and, in speculative mode, concurrently
+/// with) the task's execution.
+struct TaskOutcome {
+    /// Dynamic instructions in the original (undistilled) task.
+    orig_instr: u64,
+    /// Whether any branch in the task misspeculated.
+    failed: bool,
+    /// Branch misspeculations inside the task.
+    branch_misspecs: u64,
+    /// Master cycles spent on this task.
+    master_cycles_delta: u64,
+    /// Master's cumulative instruction count when the task finished
+    /// (snapshotted because the master may run ahead of bookkeeping).
+    master_instr_after: u64,
+}
+
+/// Commit-order bookkeeping shared by every execution mode: master/slave
+/// clocks, task counters, and the recovery arithmetic. One source of
+/// truth keeps the modes bit-identical by construction.
+struct Bookkeeper {
+    slave_free: Vec<u64>,
+    coherence_hop: u64,
+    recovery_cycles: u64,
+    task_overhead_cycles: u64,
+    master_time: u64,
+    last_commit: u64,
+    tasks: u64,
+    task_misspecs: u64,
+    branch_misspecs: u64,
+    original_instructions: u64,
+}
+
+impl Bookkeeper {
+    fn new(machine: &MachineConfig, params: &MsspParams) -> Self {
+        Bookkeeper {
+            slave_free: vec![0u64; machine.trailing_count as usize],
+            coherence_hop: u64::from(machine.coherence_hop),
+            recovery_cycles: params.recovery_cycles,
+            task_overhead_cycles: params.task_overhead_cycles,
+            master_time: 0,
+            last_commit: 0,
+            tasks: 0,
+            task_misspecs: 0,
+            branch_misspecs: 0,
+            original_instructions: 0,
+        }
+    }
+
+    /// Commits one task: advances the master clock, schedules the
+    /// verification on the least-loaded trailing core, and applies the
+    /// detection/recovery arithmetic on a squash.
+    fn commit(&mut self, outcome: &TaskOutcome, verify_cycles: u64) {
+        self.tasks += 1;
+        self.branch_misspecs += outcome.branch_misspecs;
+        self.original_instructions += outcome.orig_instr;
+        self.master_time += outcome.master_cycles_delta + self.task_overhead_cycles;
+
+        let slave = self
+            .slave_free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &free)| free)
+            .map(|(i, _)| i)
+            .expect("at least one trailing core");
+        let start = self.master_time.max(self.slave_free[slave]) + self.coherence_hop;
+        let done = start + verify_cycles;
+        self.slave_free[slave] = done;
+
+        if outcome.failed {
+            self.task_misspecs += 1;
+            // Detection happens when the checker reaches the bad value;
+            // the master then restarts from the trailing state and redoes
+            // the task without the offending optimization.
+            let master_cpi = self.master_time as f64 / outcome.master_instr_after.max(1) as f64;
+            let reexec = (outcome.orig_instr as f64 * master_cpi.max(0.25)) as u64;
+            self.master_time = done + self.recovery_cycles + reexec;
+            self.last_commit = self.master_time;
+        } else {
+            self.last_commit = self.last_commit.max(done);
+        }
+    }
+
+    fn result(&self, master_instructions: u64) -> MsspResult {
+        MsspResult {
+            baseline_cycles: 0,
+            mssp_cycles: self.master_time.max(self.last_commit),
+            original_instructions: self.original_instructions,
+            master_instructions,
+            tasks: self.tasks,
+            task_misspecs: self.task_misspecs,
+            branch_misspecs: self.branch_misspecs,
+        }
+    }
+}
+
+/// Executes one distilled task (one block) on the master: controller
+/// observations, distillation skips, and selective stepping of the
+/// surviving ops. Identical decision and draw order to the per-event
+/// loop: the ALU gap before each op is skip-tested instruction by
+/// instruction (the accumulator is f64 state, so closed forms would
+/// round differently), but when no elimination is active the gap retires
+/// in closed form — the common case, since `elim_frac` starts at zero
+/// every task.
+fn master_task(
+    master: &mut CoreModel,
+    master_l2: &mut Cache,
+    memo: &mut StepMemo,
+    controller: &mut ReactiveController,
+    distiller: &Distiller,
+    skip: &mut SkipAccumulator,
+    block: &InstrBlock,
+) -> TaskOutcome {
+    let cycles_before = master.cycles();
+    let mut elim_frac = 0.0f64;
+    let mut failed = false;
+    let mut misspecs = 0u64;
+    for op in block.ops() {
+        let gap = u64::from(op.gap);
+        if gap > 0 {
+            if elim_frac > 0.0 {
+                let mut kept = 0u64;
+                for _ in 0..gap {
+                    if !skip.skip(elim_frac) {
+                        kept += 1;
+                    }
+                }
+                master.retire_alus(kept);
+            } else {
+                master.retire_alus(gap);
+            }
+        }
+        if op.kind == OpKind::Branch {
+            let record = op.record();
+            match controller.observe(&record) {
+                SpecDecision::Correct => {
+                    // Branch (and, downstream, part of its feeding
+                    // computation) vanishes from the master.
+                    elim_frac = distiller.elim_frac(record.branch);
+                }
+                SpecDecision::Incorrect => {
+                    misspecs += 1;
+                    failed = true;
+                    elim_frac = 0.0;
+                    master.exec_op(op, master_l2, memo);
+                }
+                SpecDecision::NotSpeculated => {
+                    elim_frac = 0.0;
+                    master.exec_op(op, master_l2, memo);
+                }
+            }
+        } else if elim_frac > 0.0 && skip.skip(elim_frac) {
+            // Dead-code elimination from the most recent correct
+            // speculation thins the surrounding block.
+        } else {
+            master.exec_op(op, master_l2, memo);
+        }
+    }
+    TaskOutcome {
+        orig_instr: block.instructions(),
+        failed,
+        branch_misspecs: misspecs,
+        master_cycles_delta: master.cycles() - cycles_before,
+        master_instr_after: master.stats().instructions,
+    }
 }
 
 /// Runs only the MSSP side (no baseline), leaving
@@ -155,8 +368,6 @@ pub fn run_mssp_only(
     let machine = &params.machine;
     let mem = MemoryModel::for_benchmark(population.name());
 
-    let baseline_cycles = 0u64;
-
     let mut controller = ReactiveController::builder(params.controller)
         .log_policy(TransitionLogPolicy::CountsOnly)
         .build()
@@ -170,14 +381,7 @@ pub fn run_mssp_only(
     let mut trail = CoreModel::new(machine.trailing, machine);
     let mut trail_l2 = Cache::new(machine.l2_kib, machine.l2_assoc, machine.block_bytes);
 
-    let mut slave_free = vec![0u64; machine.trailing_count as usize];
-    let mut master_time = 0u64;
-    let mut last_commit = 0u64;
-
-    let mut tasks = 0u64;
-    let mut task_misspecs = 0u64;
-    let mut branch_misspecs = 0u64;
-    let mut original_instructions = 0u64;
+    let mut book = Bookkeeper::new(machine, params);
 
     let mut stream = ProgramStream::new(population, input, events, seed, mem).peekable();
 
@@ -190,12 +394,12 @@ pub fn run_mssp_only(
         let mut task_branches = 0u64;
         let mut task_failed = false;
         let mut task_orig_instr = 0u64;
+        let mut task_branch_misspecs = 0u64;
         let mut elim_frac = 0.0f64;
 
         while task_branches < params.task_events {
             let Some(instr) = stream.next() else { break };
             task_orig_instr += 1;
-            original_instructions += 1;
             // The trailing execution always checks the original program.
             trail.step(&instr, &mut trail_l2);
 
@@ -209,7 +413,7 @@ pub fn run_mssp_only(
                             elim_frac = distiller.elim_frac(record.branch);
                         }
                         SpecDecision::Incorrect => {
-                            branch_misspecs += 1;
+                            task_branch_misspecs += 1;
                             task_failed = true;
                             elim_frac = 0.0;
                             master.step(&instr, &mut master_l2);
@@ -233,44 +437,243 @@ pub fn run_mssp_only(
         if task_orig_instr == 0 {
             break;
         }
-        tasks += 1;
-        master_time += master.cycles() - master_cycles_before + params.task_overhead_cycles;
-
+        let outcome = TaskOutcome {
+            orig_instr: task_orig_instr,
+            failed: task_failed,
+            branch_misspecs: task_branch_misspecs,
+            master_cycles_delta: master.cycles() - master_cycles_before,
+            master_instr_after: master.stats().instructions,
+        };
         // ---- a trailing core verifies the task ----
-        let verify_cycles = trail.cycles() - trail_cycles_before;
-        let slave = slave_free
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &free)| free)
-            .map(|(i, _)| i)
-            .expect("at least one trailing core");
-        let start = master_time.max(slave_free[slave]) + u64::from(machine.coherence_hop);
-        let done = start + verify_cycles;
-        slave_free[slave] = done;
+        book.commit(&outcome, trail.cycles() - trail_cycles_before);
+    }
 
-        if task_failed {
-            task_misspecs += 1;
-            // Detection happens when the checker reaches the bad value;
-            // the master then restarts from the trailing state and redoes
-            // the task without the offending optimization.
-            let master_cpi = master_time as f64 / master.stats().instructions.max(1) as f64;
-            let reexec = (task_orig_instr as f64 * master_cpi.max(0.25)) as u64;
-            master_time = done + params.recovery_cycles + reexec;
-            last_commit = master_time;
-        } else {
-            last_commit = last_commit.max(done);
+    book.result(master.stats().instructions)
+}
+
+/// [`run_mssp_only`] on the chunked fast path: each task is generated as
+/// one [`InstrBlock`], the trailing check consumes it through the batched
+/// arms, and the master selectively steps the surviving ops.
+/// Bit-identical results.
+///
+/// # Panics
+///
+/// Panics if the controller parameters are invalid or `task_events` is 0.
+pub fn run_mssp_only_chunked(
+    population: &Population,
+    input: InputId,
+    events: u64,
+    seed: u64,
+    params: &MsspParams,
+) -> MsspResult {
+    assert!(
+        params.task_events > 0,
+        "tasks must contain at least one event"
+    );
+    let machine = &params.machine;
+    let mem = MemoryModel::for_benchmark(population.name());
+
+    let mut controller = ReactiveController::builder(params.controller)
+        .log_policy(TransitionLogPolicy::CountsOnly)
+        .build()
+        .expect("controller parameters must be valid");
+    let distiller = Distiller::new(population.static_branches(), seed);
+
+    let mut master = CoreModel::new(machine.leading, machine);
+    let mut master_l2 = Cache::new(machine.l2_kib, machine.l2_assoc, machine.block_bytes);
+    let mut master_memo = StepMemo::new(&master, &master_l2);
+    let mut trail = CoreModel::new(machine.trailing, machine);
+    let mut trail_l2 = Cache::new(machine.l2_kib, machine.l2_assoc, machine.block_bytes);
+    let mut trail_memo = StepMemo::new(&trail, &trail_l2);
+
+    let mut book = Bookkeeper::new(machine, params);
+    let mut stream = ProgramStream::new(population, input, events, seed, mem);
+    let mut skip = SkipAccumulator::new();
+    let mut block = InstrBlock::default();
+
+    loop {
+        stream.fill_block(&mut block, params.task_events);
+        if block.is_empty() {
+            break;
         }
+        let trail_before = trail.cycles();
+        trail.step_block(&block, &mut trail_l2, &mut trail_memo);
+        let verify_cycles = trail.cycles() - trail_before;
+        let outcome = master_task(
+            &mut master,
+            &mut master_l2,
+            &mut master_memo,
+            &mut controller,
+            &distiller,
+            &mut skip,
+            &block,
+        );
+        book.commit(&outcome, verify_cycles);
     }
 
-    MsspResult {
-        baseline_cycles,
-        mssp_cycles: master_time.max(last_commit),
-        original_instructions,
-        master_instructions: master.stats().instructions,
-        tasks,
-        task_misspecs,
-        branch_misspecs,
+    book.result(master.stats().instructions)
+}
+
+/// [`run_mssp_only_chunked`] with speculative master execution: while a
+/// second thread runs the trailing check of task *i*, this thread
+/// optimistically generates and simulates master task *i+1*; the
+/// speculative [`TaskOutcome`] is promoted when task *i* commits. On a
+/// squash the simulated machine does not roll back — in this
+/// deterministic model the master's architectural state is
+/// squash-invariant (recovery is priced by the commit-time re-execution
+/// arithmetic, not re-simulated), so the "discard" is exactly that
+/// repricing and the speculative outcome of task *i+1* stays valid.
+/// Blocks are double-buffered through the channel pair and reused.
+/// Bit-identical results to both other modes.
+///
+/// # Panics
+///
+/// Panics if the controller parameters are invalid or `task_events` is 0.
+pub fn run_mssp_only_speculative(
+    population: &Population,
+    input: InputId,
+    events: u64,
+    seed: u64,
+    params: &MsspParams,
+) -> MsspResult {
+    assert!(
+        params.task_events > 0,
+        "tasks must contain at least one event"
+    );
+    let machine = &params.machine;
+    let mem = MemoryModel::for_benchmark(population.name());
+
+    let mut controller = ReactiveController::builder(params.controller)
+        .log_policy(TransitionLogPolicy::CountsOnly)
+        .build()
+        .expect("controller parameters must be valid");
+    let distiller = Distiller::new(population.static_branches(), seed);
+
+    let mut master = CoreModel::new(machine.leading, machine);
+    let mut master_l2 = Cache::new(machine.l2_kib, machine.l2_assoc, machine.block_bytes);
+    let mut master_memo = StepMemo::new(&master, &master_l2);
+    let trail_core = CoreModel::new(machine.trailing, machine);
+    let trail_l2 = Cache::new(machine.l2_kib, machine.l2_assoc, machine.block_bytes);
+
+    let mut book = Bookkeeper::new(machine, params);
+    let mut stream = ProgramStream::new(population, input, events, seed, mem);
+    let mut skip = SkipAccumulator::new();
+
+    let (to_trail, trail_rx) = std::sync::mpsc::channel::<InstrBlock>();
+    let (to_main, main_rx) = std::sync::mpsc::channel::<(InstrBlock, u64)>();
+
+    let master_instructions = std::thread::scope(|s| {
+        s.spawn(move || {
+            // The checker thread owns the trailing core; each received
+            // block comes back with its verify-cycle price.
+            let mut trail = trail_core;
+            let mut trail_l2 = trail_l2;
+            let mut trail_memo = StepMemo::new(&trail, &trail_l2);
+            while let Ok(block) = trail_rx.recv() {
+                let before = trail.cycles();
+                trail.step_block(&block, &mut trail_l2, &mut trail_memo);
+                if to_main.send((block, trail.cycles() - before)).is_err() {
+                    break;
+                }
+            }
+        });
+
+        let mut cur = InstrBlock::default();
+        let mut spare = InstrBlock::default();
+        if stream.fill_block(&mut cur, params.task_events) == 0 {
+            drop(to_trail);
+            return master.stats().instructions;
+        }
+        let mut pending = master_task(
+            &mut master,
+            &mut master_l2,
+            &mut master_memo,
+            &mut controller,
+            &distiller,
+            &mut skip,
+            &cur,
+        );
+        to_trail.send(cur).expect("checker thread alive");
+
+        loop {
+            // Speculate: simulate the next master task while the checker
+            // verifies the current one.
+            let next = if stream.fill_block(&mut spare, params.task_events) > 0 {
+                Some(master_task(
+                    &mut master,
+                    &mut master_l2,
+                    &mut master_memo,
+                    &mut controller,
+                    &distiller,
+                    &mut skip,
+                    &spare,
+                ))
+            } else {
+                None
+            };
+            // Join with the current task's verification; promote the
+            // pending outcome (or, on a squash, price the recovery).
+            let (done_block, verify_cycles) = main_rx.recv().expect("checker thread alive");
+            book.commit(&pending, verify_cycles);
+            match next {
+                Some(outcome) => {
+                    pending = outcome;
+                    let filled = std::mem::replace(&mut spare, done_block);
+                    to_trail.send(filled).expect("checker thread alive");
+                }
+                None => break,
+            }
+        }
+        drop(to_trail);
+        master.stats().instructions
+    });
+
+    book.result(master_instructions)
+}
+
+/// Dispatches [`run_mssp_only`] / [`run_mssp_only_chunked`] /
+/// [`run_mssp_only_speculative`] by `mode`.
+///
+/// # Panics
+///
+/// Panics if the controller parameters are invalid or `task_events` is 0.
+pub fn run_mssp_only_mode(
+    population: &Population,
+    input: InputId,
+    events: u64,
+    seed: u64,
+    params: &MsspParams,
+    mode: ExecMode,
+) -> MsspResult {
+    match mode {
+        ExecMode::PerEvent => run_mssp_only(population, input, events, seed, params),
+        ExecMode::Chunked => run_mssp_only_chunked(population, input, events, seed, params),
+        ExecMode::Speculative => run_mssp_only_speculative(population, input, events, seed, params),
     }
+}
+
+/// [`run_mssp`] with a mode-matched baseline: the per-event mode pairs
+/// with [`run_baseline`], the fast modes with [`run_baseline_chunked`]
+/// (the two baselines are themselves bit-identical).
+///
+/// # Panics
+///
+/// Panics if the controller parameters are invalid or `task_events` is 0.
+pub fn run_mssp_mode(
+    population: &Population,
+    input: InputId,
+    events: u64,
+    seed: u64,
+    params: &MsspParams,
+    mode: ExecMode,
+) -> MsspResult {
+    let baseline_cycles = match mode {
+        ExecMode::PerEvent => run_baseline(population, input, events, seed, &params.machine),
+        _ => run_baseline_chunked(population, input, events, seed, &params.machine),
+    };
+    let mut r = run_mssp_only_mode(population, input, events, seed, params, mode);
+    r.baseline_cycles = baseline_cycles;
+    r
 }
 
 #[cfg(test)]
@@ -369,5 +772,58 @@ mod tests {
         let mut p = MsspParams::new();
         p.task_events = 0;
         run("gzip", 1_000, &p);
+    }
+
+    #[test]
+    fn chunked_baseline_is_bit_identical() {
+        for name in ["gzip", "mcf"] {
+            let pop = spec2000::benchmark(name).unwrap().population(100_000);
+            let m = MachineConfig::table5();
+            let a = run_baseline(&pop, InputId::Eval, 100_000, 11, &m);
+            let b = run_baseline_chunked(&pop, InputId::Eval, 100_000, 11, &m);
+            assert_eq!(a, b, "{name}");
+        }
+    }
+
+    #[test]
+    fn all_exec_modes_are_bit_identical() {
+        let pop = spec2000::benchmark("gcc").unwrap().population(100_000);
+        let p = MsspParams::new();
+        let per_event = run_mssp_only(&pop, InputId::Eval, 100_000, 11, &p);
+        let chunked = run_mssp_only_chunked(&pop, InputId::Eval, 100_000, 11, &p);
+        let speculative = run_mssp_only_speculative(&pop, InputId::Eval, 100_000, 11, &p);
+        assert_eq!(per_event, chunked);
+        assert_eq!(per_event, speculative);
+    }
+
+    #[test]
+    fn single_event_tasks_are_bit_identical() {
+        // task_events=1 makes every task a single branch event, so any
+        // squash is a squash on the task's final event.
+        let pop = spec2000::benchmark("mcf").unwrap().population(300_000);
+        let mut p = MsspParams::new();
+        p.task_events = 1;
+        let per_event = run_mssp_only(&pop, InputId::Eval, 300_000, 11, &p);
+        let chunked = run_mssp_only_chunked(&pop, InputId::Eval, 300_000, 11, &p);
+        let speculative = run_mssp_only_speculative(&pop, InputId::Eval, 300_000, 11, &p);
+        assert!(
+            per_event.task_misspecs > 0,
+            "scenario must exercise squashes"
+        );
+        assert_eq!(per_event, chunked);
+        assert_eq!(per_event, speculative);
+    }
+
+    #[test]
+    fn mode_dispatch_matches_direct_calls() {
+        let pop = spec2000::benchmark("gzip").unwrap().population(30_000);
+        let p = MsspParams::new();
+        let direct = run_mssp(&pop, InputId::Eval, 30_000, 3, &p);
+        for mode in [ExecMode::PerEvent, ExecMode::Chunked, ExecMode::Speculative] {
+            assert_eq!(
+                run_mssp_mode(&pop, InputId::Eval, 30_000, 3, &p, mode),
+                direct
+            );
+        }
     }
 }

@@ -61,6 +61,31 @@ impl Gshare {
         self.history = (self.history << 1) | u64::from(taken);
         predicted_taken == taken
     }
+
+    /// Returns `true` when the predictor is at a *fixed point* for a
+    /// repeat of `(pc, taken)`: the masked global history already consists
+    /// entirely of `taken`-direction bits, and the counter such a repeat
+    /// would index is saturated in the `taken` direction. At a fixed point
+    /// another [`Gshare::predict_and_update`] with the same arguments
+    /// predicts correctly and changes no state, so the chunked loop's
+    /// one-entry memo can skip it outright.
+    #[inline]
+    pub fn at_fixed_point(&self, pc: u64, taken: bool) -> bool {
+        let h = self.history & self.history_mask;
+        let history_saturated = if taken {
+            h == self.history_mask
+        } else {
+            h == 0
+        };
+        history_saturated && {
+            let c = self.counters[self.index(pc)];
+            if taken {
+                c == 3
+            } else {
+                c == 0
+            }
+        }
+    }
 }
 
 /// A return-address stack with a bounded depth.
@@ -186,6 +211,35 @@ mod tests {
             }
         }
         assert!(correct_late >= 950, "late accuracy: {correct_late}/1000");
+    }
+
+    #[test]
+    fn fixed_point_means_update_is_a_no_op() {
+        let mut g = Gshare::new(1024);
+        for _ in 0..40 {
+            let _ = g.predict_and_update(0x1000, true);
+        }
+        assert!(g.at_fixed_point(0x1000, true));
+        let snapshot = g.clone();
+        assert!(
+            g.predict_and_update(0x1000, true),
+            "fixed point predicts correctly"
+        );
+        assert_eq!(g.counters, snapshot.counters);
+        assert_eq!(
+            g.history & g.history_mask,
+            snapshot.history & snapshot.history_mask
+        );
+        // Opposite direction is not at a fixed point.
+        assert!(!g.at_fixed_point(0x1000, false));
+    }
+
+    #[test]
+    fn fixed_point_requires_saturated_counter() {
+        let g = Gshare::new(1024);
+        // Fresh predictor: history is all zeros (not-taken-saturated) but
+        // counters start weakly not-taken (1), not 0.
+        assert!(!g.at_fixed_point(0x1000, false));
     }
 
     #[test]

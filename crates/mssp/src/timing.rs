@@ -9,17 +9,24 @@
 //! performance, and it is deterministic and fast enough to simulate
 //! hundreds of millions of instructions.
 
-use crate::cache::{Access, Cache};
+use crate::cache::{Access, Cache, ShadowCache};
 use crate::config::{CoreConfig, MachineConfig};
 use crate::predictor::{Gshare, IndirectPredictor, ReturnAddressStack};
-use crate::program::Instr;
+use crate::program::{BlockOp, Instr, InstrBlock, OpKind};
 
 /// Cycle accounting for one core.
+///
+/// `branch_penalty` covers every front-end redirect — conditional
+/// mispredictions, return-address-stack misses, and indirect-target
+/// misses — and each source has its own event counters, so
+/// `branch_penalty` always equals `pipeline_depth * (mispredicts +
+/// return_mispredicts + indirect_mispredicts)`. (`branches` and
+/// `mispredicts` remain conditional-only, as before.)
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TimingStats {
     /// Instructions executed.
     pub instructions: u64,
-    /// Penalty cycles from branch mispredictions.
+    /// Penalty cycles from branch mispredictions (all three sources).
     pub branch_penalty: u64,
     /// Penalty cycles from memory misses.
     pub memory_penalty: u64,
@@ -27,6 +34,14 @@ pub struct TimingStats {
     pub branches: u64,
     /// Conditional branches mispredicted.
     pub mispredicts: u64,
+    /// Returns executed.
+    pub returns: u64,
+    /// Returns whose target missed in the return-address stack.
+    pub return_mispredicts: u64,
+    /// Indirect jumps executed.
+    pub indirect_jumps: u64,
+    /// Indirect jumps whose predicted target was wrong.
+    pub indirect_mispredicts: u64,
 }
 
 /// A core timing model with private L1 and front-end predictors.
@@ -42,6 +57,10 @@ pub struct CoreModel {
     l2_latency: u32,
     memory_latency: u32,
     mlp: u64,
+    /// Fractional memory-penalty remainder in quarter-load units (see
+    /// [`CoreModel::charge_memory`]); carried so small penalties are not
+    /// truncated to zero.
+    mem_acc: u64,
     stats: TimingStats,
 }
 
@@ -58,7 +77,33 @@ impl CoreModel {
             memory_latency: machine.memory_latency,
             // Achievable memory-level parallelism grows with the window.
             mlp: u64::from(core.window / 32).max(1),
+            mem_acc: 0,
             stats: TimingStats::default(),
+        }
+    }
+
+    /// Charges a memory-miss penalty expressed in *quarter-load* units
+    /// (`raw_latency * 4` for a load, `raw_latency` for a store, so
+    /// stores cost a quarter of the load penalty as before). The charge is
+    /// divided by `mlp` in fixed point: whole cycles land in
+    /// `memory_penalty` immediately and the sub-cycle remainder carries in
+    /// `mem_acc`, so small penalties (e.g. an L2-hit store on a wide
+    /// window, `10 / 16`) accumulate instead of truncating to zero.
+    #[inline]
+    fn charge_memory(&mut self, quarter_loads: u64) {
+        self.mem_acc += quarter_loads;
+        let den = self.mlp * 4;
+        self.stats.memory_penalty += self.mem_acc / den;
+        self.mem_acc %= den;
+    }
+
+    /// Raw (un-divided) latency of a data access that missed L1.
+    #[inline]
+    fn l2_or_memory_latency(&self, l2_access: Access) -> u64 {
+        if l2_access == Access::Miss {
+            u64::from(self.l2_latency + self.memory_latency)
+        } else {
+            u64::from(self.l2_latency)
         }
     }
 
@@ -71,24 +116,16 @@ impl CoreModel {
             Instr::Alu { .. } => {}
             Instr::Load { addr, .. } => {
                 if self.l1.access(addr) == Access::Miss {
-                    let penalty = if l2.access(addr) == Access::Miss {
-                        u64::from(self.l2_latency + self.memory_latency)
-                    } else {
-                        u64::from(self.l2_latency)
-                    };
-                    self.stats.memory_penalty += penalty / self.mlp;
+                    let raw = self.l2_or_memory_latency(l2.access(addr));
+                    self.charge_memory(raw * 4);
                 }
             }
             Instr::Store { addr, .. } => {
                 // Stores retire through the store buffer; misses cost a
-                // fraction of the load penalty.
+                // quarter of the load penalty.
                 if self.l1.access(addr) == Access::Miss {
-                    let penalty = if l2.access(addr) == Access::Miss {
-                        u64::from(self.l2_latency + self.memory_latency)
-                    } else {
-                        u64::from(self.l2_latency)
-                    };
-                    self.stats.memory_penalty += penalty / (self.mlp * 4);
+                    let raw = self.l2_or_memory_latency(l2.access(addr));
+                    self.charge_memory(raw);
                 }
             }
             Instr::CondBranch { pc, record } => {
@@ -102,12 +139,167 @@ impl CoreModel {
                 self.ras.push(return_addr);
             }
             Instr::Return { target, .. } => {
+                self.stats.returns += 1;
                 if !self.ras.predict_return(target) {
+                    self.stats.return_mispredicts += 1;
                     self.stats.branch_penalty += u64::from(self.cfg.pipeline_depth);
                 }
             }
             Instr::IndirectJump { pc, target } => {
+                self.stats.indirect_jumps += 1;
                 if !self.indirect.predict_and_update(pc, target) {
+                    self.stats.indirect_mispredicts += 1;
+                    self.stats.branch_penalty += u64::from(self.cfg.pipeline_depth);
+                }
+            }
+        }
+    }
+
+    /// Executes a whole instruction block in one call: the chunked fast
+    /// path. ALU instructions fold into a single closed-form addition to
+    /// the dispatch term (they touch no other state), and the remaining
+    /// ops stream through tight per-kind arms with `memo` short-circuiting
+    /// repeated cache-set and predictor transitions.
+    ///
+    /// The arms run kind-segregated rather than in program order: loads
+    /// and stores touch only the caches, conditional branches only the
+    /// gshare, and calls/returns/indirect jumps only the RAS and indirect
+    /// table, so reordering *across* kinds cannot change any outcome as
+    /// long as order *within* each kind is preserved (which the arm
+    /// vectors guarantee). Memory penalties are likewise summed before a
+    /// single fixed-point division: `charge_memory`'s carried remainder
+    /// makes the final `(memory_penalty, mem_acc)` a function of the sum
+    /// of charges alone.
+    ///
+    /// Bit-identical to feeding the block's instructions through
+    /// [`CoreModel::step`] one at a time, **provided** all of this core's
+    /// traffic (and `l2`'s) flows through the same `memo` for the memo's
+    /// lifetime.
+    pub fn step_block(&mut self, block: &InstrBlock, l2: &mut Cache, memo: &mut StepMemo) {
+        use crate::program::{BRANCH_PC_BASE, STORE_BIT};
+
+        self.stats.instructions += block.instructions();
+
+        // Memory arm: hit/miss tallies and quarter-load charges live in
+        // locals and flush once per block.
+        let (mut l1_hits, mut l1_misses) = (0u64, 0u64);
+        let (mut l2_hits, mut l2_misses) = (0u64, 0u64);
+        let mut quarter_loads = 0u64;
+        let l2_lat = u64::from(self.l2_latency);
+        let miss_lat = u64::from(self.l2_latency + self.memory_latency);
+        for &entry in block.mem_ops() {
+            let addr = entry & !STORE_BIT;
+            if memo.l1.access_uncounted(addr) == Access::Hit {
+                l1_hits += 1;
+                continue;
+            }
+            l1_misses += 1;
+            let raw = match memo.l2.access_uncounted(addr) {
+                Access::Hit => {
+                    l2_hits += 1;
+                    l2_lat
+                }
+                Access::Miss => {
+                    l2_misses += 1;
+                    miss_lat
+                }
+            };
+            // Loads charge 4 quarter-loads per latency cycle, stores 1.
+            quarter_loads += if entry & STORE_BIT == 0 { raw * 4 } else { raw };
+        }
+        self.l1.add_counts(l1_hits, l1_misses);
+        l2.add_counts(l2_hits, l2_misses);
+        self.charge_memory(quarter_loads);
+
+        // Conditional-branch arm: gshare only, with the fixed-point memo.
+        let mut mispredicts = 0u64;
+        for &entry in block.cond_ops() {
+            let pc = BRANCH_PC_BASE + u64::from(entry >> 1) * 64;
+            let taken = entry & 1 != 0;
+            if memo.gshare_fixed && memo.gshare_pc == pc && memo.gshare_taken == taken {
+                // Repeat of a branch at a predictor fixed point:
+                // predicts correctly, changes no state — skip it.
+                continue;
+            }
+            if !self.gshare.predict_and_update(pc, taken) {
+                mispredicts += 1;
+            }
+            memo.gshare_pc = pc;
+            memo.gshare_taken = taken;
+            memo.gshare_fixed = self.gshare.at_fixed_point(pc, taken);
+        }
+        self.stats.branches += block.branches();
+        self.stats.mispredicts += mispredicts;
+        self.stats.branch_penalty += mispredicts * u64::from(self.cfg.pipeline_depth);
+
+        // Rare-op arm: calls, returns, and indirect jumps in stream order.
+        for op in block.misc_ops() {
+            self.block_op(op, l2, memo);
+        }
+    }
+
+    /// Executes one non-ALU block op *and counts its instruction*: the
+    /// selective-stepping primitive for the distilled master, which walks
+    /// a block op-by-op and skips eliminated work.
+    #[inline]
+    pub fn exec_op(&mut self, op: &BlockOp, l2: &mut Cache, memo: &mut StepMemo) {
+        self.stats.instructions += 1;
+        self.block_op(op, l2, memo);
+    }
+
+    /// Retires `n` ALU instructions in closed form (dispatch term only).
+    #[inline]
+    pub fn retire_alus(&mut self, n: u64) {
+        self.stats.instructions += n;
+    }
+
+    /// The per-kind batched arms shared by [`CoreModel::step_block`] and
+    /// [`CoreModel::exec_op`]. Does *not* count the instruction.
+    #[inline]
+    fn block_op(&mut self, op: &BlockOp, l2: &mut Cache, memo: &mut StepMemo) {
+        match op.kind {
+            OpKind::Load => {
+                if memo.l1.access(&mut self.l1, op.a) == Access::Miss {
+                    let raw = self.l2_or_memory_latency(memo.l2.access(l2, op.a));
+                    self.charge_memory(raw * 4);
+                }
+            }
+            OpKind::Store => {
+                if memo.l1.access(&mut self.l1, op.a) == Access::Miss {
+                    let raw = self.l2_or_memory_latency(memo.l2.access(l2, op.a));
+                    self.charge_memory(raw);
+                }
+            }
+            OpKind::Branch => {
+                self.stats.branches += 1;
+                let pc = op.a;
+                if memo.gshare_fixed && memo.gshare_pc == pc && memo.gshare_taken == op.taken {
+                    // Repeat of a branch at a predictor fixed point:
+                    // predicts correctly, changes no state — skip it.
+                } else {
+                    if !self.gshare.predict_and_update(pc, op.taken) {
+                        self.stats.mispredicts += 1;
+                        self.stats.branch_penalty += u64::from(self.cfg.pipeline_depth);
+                    }
+                    memo.gshare_pc = pc;
+                    memo.gshare_taken = op.taken;
+                    memo.gshare_fixed = self.gshare.at_fixed_point(pc, op.taken);
+                }
+            }
+            OpKind::Call => {
+                self.ras.push(op.a);
+            }
+            OpKind::Return => {
+                self.stats.returns += 1;
+                if !self.ras.predict_return(op.a) {
+                    self.stats.return_mispredicts += 1;
+                    self.stats.branch_penalty += u64::from(self.cfg.pipeline_depth);
+                }
+            }
+            OpKind::IndirectJump => {
+                self.stats.indirect_jumps += 1;
+                if !self.indirect.predict_and_update(op.a, op.b) {
+                    self.stats.indirect_mispredicts += 1;
                     self.stats.branch_penalty += u64::from(self.cfg.pipeline_depth);
                 }
             }
@@ -139,6 +331,36 @@ impl CoreModel {
     /// The core configuration.
     pub fn config(&self) -> &CoreConfig {
         &self.cfg
+    }
+}
+
+/// Per-run memo state for the chunked fast path: flat shadows of the
+/// core's L1 and the shared L2, plus a one-entry gshare fixed-point memo
+/// for consecutive repeats of the same `(pc, taken)` branch.
+///
+/// A memo is tied to one `(core, l2)` pair for one run: every access to
+/// those state machines must flow through it (see [`ShadowCache`]), which
+/// is why the machine loops construct one per core per run and the
+/// per-event oracle path never uses one.
+#[derive(Debug, Clone)]
+pub struct StepMemo {
+    l1: ShadowCache,
+    l2: ShadowCache,
+    gshare_pc: u64,
+    gshare_taken: bool,
+    gshare_fixed: bool,
+}
+
+impl StepMemo {
+    /// Creates a memo shadowing `core`'s L1 and the shared `l2`.
+    pub fn new(core: &CoreModel, l2: &Cache) -> Self {
+        StepMemo {
+            l1: ShadowCache::new(&core.l1),
+            l2: ShadowCache::new(l2),
+            gshare_pc: u64::MAX,
+            gshare_taken: false,
+            gshare_fixed: false,
+        }
     }
 }
 
@@ -265,6 +487,103 @@ mod tests {
             trail.step(&instr, &mut l2b);
         }
         assert!(lead.ipc() > trail.ipc());
+    }
+
+    #[test]
+    fn l2_hit_stores_accumulate_fractional_penalty() {
+        // Table 5 leading core: window=128 → mlp=4, l2_latency=10. An
+        // L2-hit store is worth 10/16 of a cycle; the old integer
+        // division truncated every one of them to zero, making store
+        // misses free on the leading core.
+        let (mut core, mut l2) = leading();
+        // Three blocks in the same L1 set (64 KiB 2-way → 32 KiB stride)
+        // but different L2 sets: cycling them keeps every store an L1
+        // miss while all three stay L2-resident after the cold round.
+        let addrs = [0u64, 32 * 1024, 64 * 1024];
+        for i in 0..51u64 {
+            let addr = addrs[(i % 3) as usize];
+            core.step(&Instr::Store { pc: 0, addr }, &mut l2);
+        }
+        // 3 cold L2 misses (raw 210) + 48 L2-hit stores (raw 10), in
+        // quarter-load units: (3*210 + 48*10) / (4*4) = 1110/16 = 69.
+        // The truncating accounting charged only the cold misses: 39.
+        assert_eq!(core.stats().memory_penalty, 69);
+    }
+
+    #[test]
+    fn load_penalty_remainder_carries_across_misses() {
+        let (mut core, mut l2) = leading();
+        // Two isolated memory-miss loads: raw latency 210, mlp 4 →
+        // 52.5 cycles each. Truncating per-load gave 104; the carried
+        // remainder makes the pair worth the true 105.
+        core.step(&Instr::Load { pc: 0, addr: 0 }, &mut l2);
+        core.step(
+            &Instr::Load {
+                pc: 0,
+                addr: 1 << 20,
+            },
+            &mut l2,
+        );
+        assert_eq!(core.stats().memory_penalty, 105);
+    }
+
+    #[test]
+    fn return_and_indirect_mispredicts_are_counted() {
+        let (mut core, mut l2) = leading();
+        // Returns against an empty RAS always mispredict; a repeated
+        // indirect jump mispredicts once (cold table) then hits.
+        for _ in 0..5 {
+            core.step(
+                &Instr::Return {
+                    pc: 0,
+                    target: 0x1234,
+                },
+                &mut l2,
+            );
+        }
+        core.step(
+            &Instr::IndirectJump {
+                pc: 0x100,
+                target: 0xA,
+            },
+            &mut l2,
+        );
+        core.step(
+            &Instr::IndirectJump {
+                pc: 0x100,
+                target: 0xA,
+            },
+            &mut l2,
+        );
+        let s = core.stats();
+        assert_eq!(s.returns, 5);
+        assert_eq!(s.return_mispredicts, 5);
+        assert_eq!(s.indirect_jumps, 2);
+        assert_eq!(s.indirect_mispredicts, 1);
+        assert_eq!(
+            s.branch_penalty,
+            12 * (s.mispredicts + s.return_mispredicts + s.indirect_mispredicts)
+        );
+    }
+
+    #[test]
+    fn branch_penalty_is_consistent_with_counted_events_on_real_stream() {
+        use crate::program::{MemoryModel, ProgramStream};
+        use rsc_trace::{spec2000, InputId};
+
+        let pop = spec2000::benchmark("gcc").unwrap().population(50_000);
+        let mem = MemoryModel::for_benchmark("gcc");
+        let (mut core, mut l2) = leading();
+        for instr in ProgramStream::new(&pop, InputId::Eval, 50_000, 9, mem) {
+            core.step(&instr, &mut l2);
+        }
+        let s = core.stats();
+        assert!(s.returns > 0, "stream should contain returns");
+        assert!(s.indirect_jumps > 0, "stream should contain indirect jumps");
+        assert_eq!(
+            s.branch_penalty,
+            12 * (s.mispredicts + s.return_mispredicts + s.indirect_mispredicts)
+        );
     }
 
     #[test]

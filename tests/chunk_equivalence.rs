@@ -287,6 +287,54 @@ proptest! {
 }
 
 #[test]
+fn chunked_baseline_timing_matches_per_event_for_every_benchmark_and_seed() {
+    use rsc_mssp::{run_baseline, run_baseline_chunked, MachineConfig};
+    let machine = MachineConfig::table5();
+    for name in BENCHMARKS {
+        let pop = spec2000::benchmark(name).unwrap().population(EVENTS);
+        for seed in SEEDS {
+            assert_eq!(
+                run_baseline(&pop, InputId::Eval, EVENTS, seed, &machine),
+                run_baseline_chunked(&pop, InputId::Eval, EVENTS, seed, &machine),
+                "{name} seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mssp_exec_modes_are_bit_identical_across_benchmarks_seeds_and_task_sizes() {
+    use rsc_mssp::{run_mssp_only_mode, ExecMode, MsspParams};
+    for name in BENCHMARKS {
+        let pop = spec2000::benchmark(name).unwrap().population(EVENTS);
+        for seed in SEEDS {
+            // task_events = 1 is the degenerate block size where every
+            // chunk boundary falls inside a gap; 64 is the default; 1000
+            // spans many trace-refill chunks.
+            for task_events in [1u64, 64, 1000] {
+                let mut params = MsspParams::new();
+                params.task_events = task_events;
+                let per_event = run_mssp_only_mode(
+                    &pop,
+                    InputId::Eval,
+                    EVENTS,
+                    seed,
+                    &params,
+                    ExecMode::PerEvent,
+                );
+                for mode in [ExecMode::Chunked, ExecMode::Speculative] {
+                    let got = run_mssp_only_mode(&pop, InputId::Eval, EVENTS, seed, &params, mode);
+                    assert_eq!(
+                        per_event, got,
+                        "{name} seed {seed} task_events {task_events} {mode:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn fill_matches_iterator_for_every_benchmark_and_seed() {
     for name in BENCHMARKS {
         let pop = spec2000::benchmark(name).unwrap().population(20_000);
